@@ -1,0 +1,1 @@
+bench/bench_common.ml: List Mdsp_md Mdsp_util Mdsp_workload Printf Table_text

@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Array Bench_common Fixed Float List Mdsp_core Mdsp_ff Mdsp_machine Mdsp_md Mdsp_space Mdsp_util Mdsp_workload Poly Printf Rng T Vec3

@@ -1,0 +1,1 @@
+bench/exp_ensemble.ml: Array Bench_common Config Float List Mdsp_analysis Mdsp_core Mdsp_ff Mdsp_machine Mdsp_md Mdsp_util Mdsp_workload Perf Printf T

@@ -1,0 +1,1 @@
+bench/exp_perf.ml: Array Bench_common Config Fun List Mdsp_baseline Mdsp_core Mdsp_ff Mdsp_longrange Mdsp_machine Mdsp_util Mdsp_workload Perf Printf T

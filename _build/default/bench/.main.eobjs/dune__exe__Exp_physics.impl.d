@@ -1,0 +1,1 @@
+bench/exp_physics.ml: Array Bench_common Float Mdsp_ff Mdsp_longrange Mdsp_md Mdsp_util Mdsp_workload Pbc Printf Rng Stats T Units Vec3

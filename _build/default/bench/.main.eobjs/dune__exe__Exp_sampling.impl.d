@@ -1,0 +1,1 @@
+bench/exp_sampling.ml: Array Bench_common Float List Mdsp_analysis Mdsp_core Mdsp_ff Mdsp_md Mdsp_util Mdsp_workload Printf Rng String T Units

@@ -1,0 +1,1 @@
+bench/exp_structure.ml: Array Bench_common List Mdsp_analysis Mdsp_ff Mdsp_md Mdsp_space Mdsp_util Mdsp_workload Pbc Printf Rng T Units

@@ -1,0 +1,1 @@
+bench/exp_tables.ml: Array Bench_common Float Fun List Mdsp_baseline Mdsp_core Mdsp_ff Mdsp_machine Mdsp_space Mdsp_util Mdsp_workload Pbc Rng T

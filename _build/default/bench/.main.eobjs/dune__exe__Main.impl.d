@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablations Exp_ensemble Exp_perf Exp_physics Exp_sampling Exp_structure Exp_tables Exp_timing List Printf Sys

@@ -1,0 +1,49 @@
+(* Shared helpers for the experiment harness. *)
+
+open Mdsp_util
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n\n" id title
+
+let note fmt = Printf.printf fmt
+
+module T = Table_text
+
+(* A pre-equilibrated LJ engine (shared by several experiments). *)
+let lj_engine ?(n = 108) ?(temp = 120.) ?(seed = 42) ?(equil = 1000)
+    ?(gamma = 0.02) () =
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n () in
+  let cfg =
+    {
+      Mdsp_md.Engine.default_config with
+      dt_fs = 2.0;
+      temperature = temp;
+      thermostat = Mdsp_md.Engine.Langevin { gamma_fs = gamma };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed sys in
+  Mdsp_md.Engine.run eng equil;
+  eng
+
+let double_well_engine ?(temp = 300.) ?(seed = 42) () =
+  let sys = Mdsp_workload.Workloads.double_well () in
+  let cfg =
+    {
+      Mdsp_md.Engine.default_config with
+      dt_fs = 2.0;
+      temperature = temp;
+      thermostat = Mdsp_md.Engine.Langevin { gamma_fs = 0.02 };
+    }
+  in
+  Mdsp_workload.Workloads.make_engine ~config:cfg ~seed sys
+
+(* Count barrier crossings of a 1D trace with hysteresis thresholds. *)
+let crossings ?(lo = -0.5) ?(hi = 0.5) trace =
+  let n = ref 0 and side = ref 0 in
+  List.iter
+    (fun x ->
+      let s = if x > hi then 1 else if x < lo then -1 else 0 in
+      if s <> 0 && !side <> 0 && s <> !side then incr n;
+      if s <> 0 then side := s)
+    trace;
+  !n

@@ -1,0 +1,173 @@
+(* Experiment E12: physics sanity table — conservation, thermostats,
+   barostat, constraints, plus long-range solver agreement. *)
+
+open Mdsp_util
+open Bench_common
+module E = Mdsp_md.Engine
+
+let nve_drift_per_ps eng steps dt_fs =
+  let e0 = E.total_energy eng in
+  let worst = ref 0. in
+  let chunks = 10 in
+  for _ = 1 to chunks do
+    E.run eng (steps / chunks);
+    worst :=
+      Float.max !worst (abs_float (E.total_energy eng -. e0) /. abs_float e0)
+  done;
+  !worst /. (float_of_int steps *. dt_fs *. 1e-3)
+
+let e12 () =
+  section "E12" "Physics sanity of the MD substrate (Table V)";
+  let t =
+    T.create ~title:"Conservation / ensemble checks"
+      ~columns:[ ("check", T.Left); ("measured", T.Right); ("target", T.Right) ]
+  in
+  (* NVE drift, LJ fluid. *)
+  let eng = lj_engine ~n:108 ~equil:1500 () in
+  let st = E.state eng in
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:108 () in
+  let sys =
+    { sys with Mdsp_workload.Workloads.positions = Array.copy st.Mdsp_md.State.positions }
+  in
+  let nve =
+    Mdsp_workload.Workloads.make_engine
+      ~config:{ E.default_config with dt_fs = 2.0; temperature = 120. }
+      sys
+  in
+  Array.blit st.Mdsp_md.State.velocities 0
+    (E.state nve).Mdsp_md.State.velocities 0 108;
+  E.refresh_forces nve;
+  let drift = nve_drift_per_ps nve 1000 2.0 in
+  T.row t
+    [ "NVE relative drift, LJ-108, dt=2fs"; Printf.sprintf "%.1e /ps" drift; "< 1e-3" ];
+  (* NVE drift, rigid water. *)
+  let weng =
+    Mdsp_workload.Workloads.make_engine
+      ~config:
+        {
+          E.default_config with
+          dt_fs = 1.0;
+          temperature = 300.;
+          thermostat = E.Langevin { gamma_fs = 0.02 };
+        }
+      (Mdsp_workload.Workloads.water_box ~n_side:4 ())
+  in
+  E.run weng 2000;
+  let st = E.state weng in
+  let wsys = Mdsp_workload.Workloads.water_box ~n_side:4 () in
+  let wsys =
+    { wsys with Mdsp_workload.Workloads.positions = Array.copy st.Mdsp_md.State.positions }
+  in
+  let wnve =
+    Mdsp_workload.Workloads.make_engine
+      ~config:{ E.default_config with dt_fs = 1.0; temperature = 300. }
+      wsys
+  in
+  Array.blit st.Mdsp_md.State.velocities 0
+    (E.state wnve).Mdsp_md.State.velocities 0 192;
+  E.refresh_forces wnve;
+  let wdrift = nve_drift_per_ps wnve 1000 1.0 in
+  T.row t
+    [
+      "NVE relative drift, rigid water-192, dt=1fs";
+      Printf.sprintf "%.1e /ps" wdrift;
+      "< 1e-3";
+    ];
+  let viol =
+    Mdsp_md.Constraints.max_violation (E.constraints wnve)
+      (E.state wnve).Mdsp_md.State.box (E.state wnve).Mdsp_md.State.positions
+  in
+  T.row t
+    [ "max constraint violation (relative)"; Printf.sprintf "%.1e" viol; "< 1e-7" ];
+  (* Thermostats. *)
+  let mean_temp thermostat label =
+    let sys = Mdsp_workload.Workloads.lj_fluid ~n:108 () in
+    let cfg =
+      { E.default_config with dt_fs = 2.0; temperature = 120.; thermostat }
+    in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+    E.run eng 4000;
+    let acc = Stats.Online.create () in
+    for _ = 1 to 2000 do
+      E.step eng;
+      Stats.Online.add acc (E.temperature eng)
+    done;
+    T.row t
+      [
+        Printf.sprintf "<T> under %s (target 120 K)" label;
+        Printf.sprintf "%.1f K" (Stats.Online.mean acc);
+        "120 +- 3";
+      ]
+  in
+  mean_temp (E.Langevin { gamma_fs = 0.02 }) "Langevin";
+  mean_temp (E.Nose_hoover { tau_fs = 50. }) "Nose-Hoover";
+  mean_temp (E.Berendsen { tau_fs = 100. }) "Berendsen";
+  (* Barostat relaxation. *)
+  let sys = Mdsp_workload.Workloads.lj_fluid ~rho_star:1.05 ~n:108 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 2.0;
+      temperature = 120.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+      barostat = E.Berendsen_baro { tau_fs = 500.; pressure_atm = 1. };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  let p0 = E.pressure_atm eng in
+  E.run eng 5000;
+  let acc = Stats.Online.create () in
+  for _ = 1 to 1000 do
+    E.step eng;
+    Stats.Online.add acc (E.pressure_atm eng)
+  done;
+  T.row t
+    [
+      Printf.sprintf "barostat pressure relaxation (from %.0f atm)" p0;
+      Printf.sprintf "%.0f atm" (Stats.Online.mean acc);
+      "toward 1 atm";
+    ];
+  (* Long-range agreement (GSE vs Ewald), NaCl Madelung. *)
+  let box = Pbc.cubic 2.0 in
+  let positions = ref [] and charges = ref [] in
+  for x = 0 to 1 do
+    for y = 0 to 1 do
+      for z = 0 to 1 do
+        positions :=
+          Vec3.make (float_of_int x) (float_of_int y) (float_of_int z)
+          :: !positions;
+        charges := (if (x + y + z) mod 2 = 0 then 1.0 else -1.0) :: !charges
+      done
+    done
+  done;
+  let pos = Array.of_list !positions and q = Array.of_list !charges in
+  let ew = Mdsp_longrange.Ewald.create ~beta:2.5 ~kmax:12 box in
+  let m =
+    -.Mdsp_longrange.Ewald.total_reference ew box q pos /. (Units.coulomb *. 4.)
+  in
+  T.row t
+    [ "NaCl Madelung constant (Ewald)"; Printf.sprintf "%.6f" m; "1.747565" ];
+  let beta = 0.35 in
+  let box10 = Pbc.cubic 10. in
+  let rng = Rng.create 5 in
+  let pos10 =
+    Array.init 20 (fun _ ->
+        Vec3.make
+          (Rng.uniform_in rng 0. 10.)
+          (Rng.uniform_in rng 0. 10.)
+          (Rng.uniform_in rng 0. 10.))
+  in
+  let q10 = Array.init 20 (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  let ew10 = Mdsp_longrange.Ewald.create ~beta ~kmax:14 box10 in
+  let acc1 = Mdsp_ff.Bonded.make_accum 20 in
+  let e_ref = Mdsp_longrange.Ewald.reciprocal ew10 q10 pos10 acc1 in
+  let gse = Mdsp_longrange.Gse.create ~beta ~grid:(32, 32, 32) box10 in
+  let acc2 = Mdsp_ff.Bonded.make_accum 20 in
+  let e_gse = Mdsp_longrange.Gse.reciprocal gse q10 pos10 acc2 in
+  T.row t
+    [
+      "GSE grid solver vs Ewald (reciprocal energy)";
+      Printf.sprintf "%.2e rel" (abs_float ((e_gse -. e_ref) /. e_ref));
+      "< 1e-3";
+    ];
+  T.print t

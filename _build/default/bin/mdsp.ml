@@ -1,0 +1,341 @@
+(* mdsp — command-line front end.
+
+   Subcommands:
+     mdsp presets                  list built-in workloads
+     mdsp run ...                  run MD on a preset and report
+     mdsp model ...                machine/cluster performance model
+     mdsp table ...                compile a pair form and report accuracy *)
+
+open Cmdliner
+module E = Mdsp_md.Engine
+
+(* --- presets --- *)
+
+let presets_cmd =
+  let doc = "List the built-in benchmark workloads." in
+  let run () =
+    Printf.printf "%-10s %8s\n" "name" "atoms";
+    List.iter
+      (fun p ->
+        Printf.printf "%-10s %8d\n" p.Mdsp_workload.Workloads.name
+          p.Mdsp_workload.Workloads.atoms)
+      Mdsp_workload.Workloads.presets
+  in
+  Cmd.v (Cmd.info "presets" ~doc) Term.(const run $ const ())
+
+(* --- run --- *)
+
+let preset_arg =
+  let doc = "Workload preset (see `mdsp presets'), or lj<N> / water<S> for a\n
+             custom LJ fluid of N atoms / water box of S^3 molecules." in
+  Arg.(value & opt string "lj1k" & info [ "p"; "preset" ] ~docv:"NAME" ~doc)
+
+let steps_arg =
+  Arg.(value & opt int 2000 & info [ "n"; "steps" ] ~docv:"STEPS" ~doc:"MD steps.")
+
+let temp_arg =
+  Arg.(
+    value & opt float 300.
+    & info [ "t"; "temperature" ] ~docv:"K" ~doc:"Target temperature (K).")
+
+let dt_arg =
+  Arg.(value & opt float 2.0 & info [ "dt" ] ~docv:"FS" ~doc:"Time step (fs).")
+
+let thermostat_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("langevin", `Langevin); ("nose-hoover", `Nh); ("berendsen", `Ber) ]) `Langevin
+    & info [ "thermostat" ] ~docv:"KIND" ~doc:"none | langevin | nose-hoover | berendsen.")
+
+let tables_arg =
+  Arg.(
+    value & flag
+    & info [ "machine-tables" ]
+        ~doc:"Run the pair interactions through compiled machine tables.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let xyz_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "xyz" ] ~docv:"FILE" ~doc:"Write an XYZ trajectory to FILE.")
+
+let xyz_stride_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "xyz-stride" ] ~docv:"N" ~doc:"Steps between trajectory frames.")
+
+let checkpoint_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Write a restart checkpoint to FILE at the end of the run.")
+
+let restart_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "restart" ] ~docv:"FILE"
+        ~doc:"Resume positions/velocities/box/time from a checkpoint.")
+
+let build_system name =
+  match
+    List.find_opt
+      (fun p -> p.Mdsp_workload.Workloads.name = name)
+      Mdsp_workload.Workloads.presets
+  with
+  | Some p -> p.Mdsp_workload.Workloads.build ()
+  | None ->
+      if String.length name > 2 && String.sub name 0 2 = "lj" then
+        Mdsp_workload.Workloads.lj_fluid
+          ~n:(int_of_string (String.sub name 2 (String.length name - 2)))
+          ()
+      else if String.length name > 5 && String.sub name 0 5 = "water" then
+        Mdsp_workload.Workloads.water_box
+          ~n_side:(int_of_string (String.sub name 5 (String.length name - 5)))
+          ()
+      else failwith (Printf.sprintf "unknown preset %S" name)
+
+let run_cmd =
+  let doc = "Run molecular dynamics on a workload and report observables." in
+  let run preset steps temp dt thermostat use_tables seed xyz xyz_stride
+      checkpoint restart =
+    let sys = build_system preset in
+    let thermostat =
+      match thermostat with
+      | `None -> E.No_thermostat
+      | `Langevin -> E.Langevin { gamma_fs = 0.02 }
+      | `Nh -> E.Nose_hoover { tau_fs = 100. }
+      | `Ber -> E.Berendsen { tau_fs = 100. }
+    in
+    let cfg = { E.default_config with dt_fs = dt; temperature = temp; thermostat } in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed sys in
+    (match restart with
+    | None -> ()
+    | Some path ->
+        let loaded, step = Mdsp_md.Trajectory.Checkpoint.load path in
+        let st = E.state eng in
+        Array.blit loaded.Mdsp_md.State.positions 0 st.Mdsp_md.State.positions
+          0 (Mdsp_md.State.n st);
+        Array.blit loaded.Mdsp_md.State.velocities 0
+          st.Mdsp_md.State.velocities 0 (Mdsp_md.State.n st);
+        st.Mdsp_md.State.box <- loaded.Mdsp_md.State.box;
+        st.Mdsp_md.State.time <- loaded.Mdsp_md.State.time;
+        E.refresh_forces eng;
+        Printf.printf "restarted from %s (step %d)\n" path step);
+    let traj =
+      Option.map
+        (fun path ->
+          let names =
+            Array.map
+              (fun (a : Mdsp_ff.Topology.atom) -> a.Mdsp_ff.Topology.name)
+              sys.Mdsp_workload.Workloads.topo.Mdsp_ff.Topology.atoms
+          in
+          let t = Mdsp_md.Trajectory.open_xyz path ~names in
+          E.add_post_step eng ~name:"xyz" (fun eng ->
+              if E.steps_done eng mod xyz_stride = 0 then begin
+                let st = E.state eng in
+                Mdsp_md.Trajectory.write_frame t st.Mdsp_md.State.box
+                  ~time_fs:(Mdsp_util.Units.to_fs st.Mdsp_md.State.time)
+                  st.Mdsp_md.State.positions
+              end);
+          t)
+        xyz
+    in
+    if use_tables then begin
+      let cutoff =
+        Mdsp_space.Neighbor_list.cutoff (Mdsp_md.Force_calc.nlist (E.force_calc eng))
+      in
+      let has_charges =
+        Array.exists
+          (fun (a : Mdsp_ff.Topology.atom) -> a.Mdsp_ff.Topology.charge <> 0.)
+          sys.Mdsp_workload.Workloads.topo.Mdsp_ff.Topology.atoms
+      in
+      let elec =
+        if has_charges then
+          Mdsp_ff.Pair_interactions.Reaction_field { epsilon_rf = 78.5 }
+        else Mdsp_ff.Pair_interactions.No_coulomb
+      in
+      let ts =
+        Mdsp_core.Table.table_set_of_topology sys.Mdsp_workload.Workloads.topo
+          ~cutoff ~elec ~n:2048 ()
+      in
+      let types =
+        Array.map
+          (fun (a : Mdsp_ff.Topology.atom) -> a.Mdsp_ff.Topology.type_id)
+          sys.Mdsp_workload.Workloads.topo.Mdsp_ff.Topology.atoms
+      in
+      let charges = Mdsp_ff.Topology.charges sys.Mdsp_workload.Workloads.topo in
+      Mdsp_md.Force_calc.set_evaluator (E.force_calc eng)
+        (Mdsp_machine.Htis.evaluator ts ~types ~charges ~cutoff);
+      E.refresh_forces eng;
+      Printf.printf "pair interactions: compiled machine tables (2048 intervals)\n"
+    end;
+    Printf.printf "%s: %d atoms, %d steps at %.1f fs\n"
+      sys.Mdsp_workload.Workloads.label
+      (Mdsp_ff.Topology.n_atoms sys.Mdsp_workload.Workloads.topo)
+      steps dt;
+    let report () =
+      Printf.printf
+        "  t = %7.2f ps   T = %7.1f K   PE = %12.3f   E = %12.3f   P = %9.1f atm\n%!"
+        (Mdsp_util.Units.to_ns (E.state eng).Mdsp_md.State.time *. 1000.)
+        (E.temperature eng) (E.potential_energy eng) (E.total_energy eng)
+        (E.pressure_atm eng)
+    in
+    report ();
+    let chunk = max 1 (steps / 10) in
+    let remaining = ref steps in
+    while !remaining > 0 do
+      let todo = min chunk !remaining in
+      E.run eng todo;
+      remaining := !remaining - todo;
+      report ()
+    done;
+    Option.iter Mdsp_md.Trajectory.close_xyz traj;
+    (match checkpoint with
+    | None -> ()
+    | Some path ->
+        Mdsp_md.Trajectory.Checkpoint.save path (E.state eng)
+          ~step:(E.steps_done eng);
+        Printf.printf "checkpoint written to %s\n" path)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ preset_arg $ steps_arg $ temp_arg $ dt_arg $ thermostat_arg
+      $ tables_arg $ seed_arg $ xyz_arg $ xyz_stride_arg $ checkpoint_arg
+      $ restart_arg)
+
+(* --- model --- *)
+
+let atoms_arg =
+  Arg.(value & opt int 23500 & info [ "atoms" ] ~docv:"N" ~doc:"Atom count.")
+
+let nodes_arg =
+  Arg.(
+    value & opt (t3 int int int) (8, 8, 8)
+    & info [ "nodes" ] ~docv:"X,Y,Z" ~doc:"Torus dimensions.")
+
+let model_cmd =
+  let doc = "Report the machine and cluster performance models for a workload." in
+  let run atoms nodes =
+    let g =
+      Mdsp_longrange.Fft.next_pow2
+        (int_of_float ((float_of_int atoms /. 0.1) ** (1. /. 3.)))
+    in
+    let w =
+      {
+        (Mdsp_machine.Perf.plain_workload ~n_atoms:atoms ~density:0.1
+           ~cutoff:9.0 ~dt_fs:2.5)
+        with
+        Mdsp_machine.Perf.n_constraints = atoms;
+        fft_grid = Some (g, g, g);
+      }
+    in
+    let cfg = Mdsp_machine.Config.anton_like ~nodes () in
+    let b = Mdsp_machine.Perf.step_time cfg w in
+    let px, py, pz = nodes in
+    Printf.printf "machine %dx%dx%d, %d atoms:\n" px py pz atoms;
+    Printf.printf "  pipelines   %8.3f us\n" (b.Mdsp_machine.Perf.htis_s *. 1e6);
+    Printf.printf "  flex cores  %8.3f us\n" (b.Mdsp_machine.Perf.flex_s *. 1e6);
+    Printf.printf "  network     %8.3f us\n" (b.Mdsp_machine.Perf.comm_s *. 1e6);
+    Printf.printf "  long-range  %8.3f us\n" (b.Mdsp_machine.Perf.fft_s *. 1e6);
+    Printf.printf "  sync        %8.3f us\n" (b.Mdsp_machine.Perf.sync_s *. 1e6);
+    Printf.printf "  step        %8.3f us  ->  %.0f ns/day\n"
+      (b.Mdsp_machine.Perf.step_s *. 1e6)
+      (Mdsp_machine.Perf.ns_per_day cfg w);
+    let cl = Mdsp_baseline.Cluster.commodity () in
+    Printf.printf "commodity cluster (64 nodes): %.0f ns/day\n"
+      (Mdsp_baseline.Cluster.ns_per_day cl w)
+  in
+  Cmd.v (Cmd.info "model" ~doc) Term.(const run $ atoms_arg $ nodes_arg)
+
+(* --- table --- *)
+
+let form_arg =
+  Arg.(
+    value
+    & opt (enum [ ("lj", `Lj); ("buckingham", `Buck); ("gauss", `Gauss); ("erfc", `Erfc) ]) `Lj
+    & info [ "form" ] ~docv:"FORM" ~doc:"lj | buckingham | gauss | erfc.")
+
+let width_arg =
+  Arg.(value & opt int 1024 & info [ "width" ] ~docv:"N" ~doc:"Table intervals.")
+
+let table_cmd =
+  let doc = "Compile a pair functional form into the machine table format." in
+  let run form width =
+    let name, f =
+      match form with
+      | `Lj ->
+          ("LJ 12-6", Mdsp_ff.Nonbonded.Lennard_jones { epsilon = 0.238; sigma = 3.405 })
+      | `Buck -> ("Buckingham", Mdsp_ff.Nonbonded.Buckingham { a = 40000.; b = 3.5; c = 300. })
+      | `Gauss ->
+          ("Gaussian", Mdsp_ff.Nonbonded.Gaussian_repulsion { height = 10.; width = 3. })
+      | `Erfc -> ("erfc-Coulomb", Mdsp_ff.Nonbonded.Coulomb_erfc { qq = 332.; beta = 0.35 })
+    in
+    let radial = Mdsp_core.Table.of_form f ~cutoff:9. in
+    let t = Mdsp_core.Table.compile ~r_min:2. ~r_cut:9. ~n:width radial in
+    let rep = Mdsp_core.Table.accuracy t radial () in
+    Printf.printf "%s, %d intervals over [2, 9] A (r^2-indexed):\n" name width;
+    Printf.printf "  max |dE|          %.3e kcal/mol\n" rep.Mdsp_core.Table.max_abs_energy;
+    Printf.printf "  max |df/r|        %.3e\n" rep.Mdsp_core.Table.max_abs_force;
+    Printf.printf "  max rel force err %.3e\n" rep.Mdsp_core.Table.max_rel_force;
+    Printf.printf "  rms force err     %.3e\n" rep.Mdsp_core.Table.rms_force;
+    Printf.printf "  SRAM              %d bytes\n"
+      (Mdsp_machine.Interp_table.sram_bytes t);
+    match
+      Mdsp_core.Table.width_for_accuracy ~r_min:2. ~r_cut:9. ~target:1e-4 radial
+    with
+    | Some n -> Printf.printf "  width for 1e-4:   %d intervals\n" n
+    | None -> Printf.printf "  width for 1e-4:   not reachable\n"
+  in
+  Cmd.v (Cmd.info "table" ~doc) Term.(const run $ form_arg $ width_arg)
+
+(* --- analyze --- *)
+
+let traj_arg =
+  Arg.(
+    required & opt (some string) None
+    & info [ "xyz" ] ~docv:"FILE" ~doc:"XYZ trajectory to analyze.")
+
+let rmax_arg =
+  Arg.(value & opt float 8. & info [ "r-max" ] ~docv:"A" ~doc:"g(r) range.")
+
+let bins_arg =
+  Arg.(value & opt int 40 & info [ "bins" ] ~docv:"N" ~doc:"Histogram bins.")
+
+let analyze_cmd =
+  let doc = "Compute the radial distribution function of an XYZ trajectory." in
+  let run path r_max bins =
+    let frames = Mdsp_md.Trajectory.read_xyz path in
+    (match frames with
+    | [] -> failwith "empty trajectory"
+    | (comment, _) :: _ ->
+        (* Parse the box from the Lattice= comment written by the engine. *)
+        let box =
+          try
+            Scanf.sscanf comment "Lattice=\"%f 0 0 0 %f 0 0 0 %f\""
+              (fun lx ly lz -> Mdsp_util.Pbc.make ~lx ~ly ~lz)
+          with _ -> failwith "could not parse Lattice from the comment line"
+        in
+        let sd = Mdsp_analysis.Structure.create ~r_max ~bins in
+        List.iter
+          (fun (_, pos) -> Mdsp_analysis.Structure.sample sd box pos ())
+          frames;
+        Printf.printf "# %d frames, %d atoms, box %s\n" (List.length frames)
+          (Array.length (snd (List.hd frames)))
+          (Format.asprintf "%a" Mdsp_util.Pbc.pp box);
+        Printf.printf "# r(A)  g(r)\n";
+        Array.iter
+          (fun (r, g) -> Printf.printf "%8.3f  %8.4f\n" r g)
+          (Mdsp_analysis.Structure.g sd);
+        let r_peak, g_peak = Mdsp_analysis.Structure.first_peak ~r_min:1. sd in
+        Printf.printf "# first peak: r = %.2f A, g = %.2f\n" r_peak g_peak)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ traj_arg $ rmax_arg $ bins_arg)
+
+let main =
+  let doc = "Molecular dynamics on a modeled special-purpose machine." in
+  Cmd.group (Cmd.info "mdsp" ~version:"1.0.0" ~doc)
+    [ presets_cmd; run_cmd; model_cmd; table_cmd; analyze_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/custom_potential.ml: Array List Mdsp_core Mdsp_ff Mdsp_machine Mdsp_md Mdsp_space Mdsp_util Pbc Printf Rng Vec3

@@ -1,0 +1,1 @@
+examples/free_energy_pipeline.ml: Array Float Mdsp_analysis Mdsp_core Mdsp_md Mdsp_workload Printf Workloads

@@ -1,0 +1,1 @@
+examples/machine_sizing.ml: Config List Mdsp_core Mdsp_machine Perf Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Mdsp_baseline Mdsp_core Mdsp_ff Mdsp_machine Mdsp_md Mdsp_space Mdsp_util Mdsp_workload Printf Workloads

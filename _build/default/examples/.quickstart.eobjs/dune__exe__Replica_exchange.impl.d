@@ -1,0 +1,1 @@
+examples/replica_exchange.ml: Array Mdsp_core Mdsp_md Mdsp_workload Printf

@@ -1,0 +1,1 @@
+examples/water_models.ml: Array Float Fun List Mdsp_analysis Mdsp_ff Mdsp_md Mdsp_util Mdsp_workload Pbc Printf

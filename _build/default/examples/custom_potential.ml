@@ -1,0 +1,120 @@
+(* The generality headline, end to end: define a force field the hardware
+   designers never anticipated — a double-exponential "bonding" well plus a
+   soft Gaussian shoulder — compile it into the pair pipelines'
+   interpolation-table format, verify the fit, and run MD with it.
+
+   Run with: dune exec examples/custom_potential.exe *)
+
+open Mdsp_util
+module E = Mdsp_md.Engine
+
+(* A custom radial interaction, specified only as energy + f_over_r of the
+   squared distance. Nothing else about the engine needs to know its form. *)
+let my_potential r2 =
+  let r = sqrt r2 in
+  let well d r0 w = -.d *. exp (-.((r -. r0) ** 2.) /. (2. *. w *. w)) in
+  let shoulder h r0 w = h *. exp (-.((r -. r0) ** 2.) /. (2. *. w *. w)) in
+  let wall = 2000. *. exp (-3. *. r) in
+  let e = wall +. shoulder 1.2 4.5 0.6 +. well 0.9 6.0 0.8 in
+  (* -dU/dr, term by term. *)
+  let minus_du_dr =
+    (3. *. wall)
+    +. (1.2 *. (r -. 4.5) /. 0.36 *. exp (-.((r -. 4.5) ** 2.) /. 0.72))
+    -. (0.9 *. (r -. 6.0) /. 0.64 *. exp (-.((r -. 6.0) ** 2.) /. 1.28))
+  in
+  (e, minus_du_dr /. r)
+
+let () =
+  let cutoff = 9.0 in
+  (* 1. Compile into the hardware table format and report the fit. *)
+  let shifted r2 =
+    let e, f = my_potential r2 in
+    let e_cut, _ = my_potential (cutoff *. cutoff) in
+    (e -. e_cut, f)
+  in
+  let widths = [ 256; 1024; 4096 ] in
+  Printf.printf "compiling a custom potential into pipeline tables:\n";
+  let table =
+    List.fold_left
+      (fun _ n ->
+        let t = Mdsp_core.Table.compile ~r_min:1.0 ~r_cut:cutoff ~n shifted in
+        let rep = Mdsp_core.Table.accuracy t shifted () in
+        Printf.printf "  n = %5d   max rel force error %.2e\n" n
+          rep.Mdsp_core.Table.max_rel_force;
+        t)
+      (Mdsp_core.Table.compile ~r_min:1.0 ~r_cut:cutoff ~n:256 shifted)
+      widths
+  in
+
+  (* 2. Build a fluid of particles interacting ONLY through the table. *)
+  let n = 300 in
+  let b = Mdsp_ff.Topology.Builder.create () in
+  Mdsp_ff.Topology.Builder.set_lj_types b [| (0., 1.) |];
+  for _ = 1 to n do
+    ignore
+      (Mdsp_ff.Topology.Builder.add_atom b ~mass:50. ~charge:0. ~type_id:0
+         ~name:"X")
+  done;
+  let topo = Mdsp_ff.Topology.Builder.finish b in
+  let box_l = 40.0 in
+  let box = Pbc.cubic box_l in
+  let rng = Rng.create 1 in
+  let positions =
+    Array.init n (fun _ ->
+        Vec3.make
+          (Rng.uniform_in rng 0. box_l)
+          (Rng.uniform_in rng 0. box_l)
+          (Rng.uniform_in rng 0. box_l))
+  in
+  let table_set =
+    { Mdsp_machine.Htis.lj = [| [| table |] |]; electrostatic = None }
+  in
+  let evaluator =
+    Mdsp_machine.Htis.evaluator table_set ~types:(Array.make n 0)
+      ~charges:(Array.make n 0.) ~cutoff
+  in
+  let nlist = Mdsp_space.Neighbor_list.create ~cutoff ~skin:1. box positions in
+  let fc =
+    Mdsp_md.Force_calc.create topo ~evaluator
+      ~longrange:Mdsp_md.Force_calc.Lr_none ~nlist
+  in
+  let st =
+    Mdsp_md.State.create ~positions ~masses:(Mdsp_ff.Topology.masses topo) ~box
+  in
+  Mdsp_md.State.thermalize st rng ~temp:250.;
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 4.0;
+      temperature = 250.;
+      thermostat = E.Langevin { gamma_fs = 0.01 };
+    }
+  in
+  let eng = E.create topo fc st cfg in
+  E.minimize eng ~steps:100;
+  Mdsp_md.State.thermalize st rng ~temp:250.;
+  E.refresh_forces eng;
+
+  (* 3. Run and watch the custom fluid equilibrate; the "bond" well at 6 A
+        should build up a coordination shell. *)
+  let shell_count () =
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let r2 = Pbc.dist2 st.Mdsp_md.State.box st.Mdsp_md.State.positions.(i)
+            st.Mdsp_md.State.positions.(j) in
+        if r2 > 25. && r2 < 49. then incr c
+      done
+    done;
+    !c
+  in
+  Printf.printf "\nrunning MD on the custom potential:\n";
+  Printf.printf "  start:    PE = %8.2f   pairs in 5-7 A shell: %d\n"
+    (E.potential_energy eng) (shell_count ());
+  for k = 1 to 4 do
+    E.run eng 1000;
+    Printf.printf "  t=%2d ps:  PE = %8.2f   pairs in 5-7 A shell: %d   T = %.0f K\n"
+      (k * 4) (E.potential_energy eng) (shell_count ()) (E.temperature eng)
+  done;
+  Printf.printf
+    "\nThe pipelines never knew: any radial form is one table away.\n"

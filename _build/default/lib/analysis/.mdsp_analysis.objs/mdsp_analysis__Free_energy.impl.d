@@ -1,0 +1,1 @@
+lib/analysis/free_energy.ml: Array Float List Mdsp_util Units

@@ -1,0 +1,1 @@
+lib/analysis/free_energy.mli:

@@ -1,0 +1,1 @@
+lib/analysis/structure.ml: Array Float Fun Mdsp_util Pbc

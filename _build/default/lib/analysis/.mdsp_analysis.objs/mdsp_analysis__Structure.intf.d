@@ -1,0 +1,1 @@
+lib/analysis/structure.mli: Mdsp_util Pbc Vec3

@@ -1,0 +1,1 @@
+lib/analysis/transport.ml: Array List Mdsp_util Stats Units Vec3

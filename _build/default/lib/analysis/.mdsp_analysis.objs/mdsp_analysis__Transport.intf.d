@@ -1,0 +1,1 @@
+lib/analysis/transport.mli: Mdsp_util Vec3

@@ -1,0 +1,1 @@
+lib/analysis/wham.ml: Array Float Histogram List Mdsp_util Units

@@ -1,0 +1,76 @@
+open Mdsp_util
+
+let exp_averaging ~temp du =
+  if Array.length du = 0 then invalid_arg "Free_energy.exp_averaging: empty";
+  let kt = Units.kt temp in
+  let beta = 1. /. kt in
+  (* Log-sum-exp for numerical stability. *)
+  let m = Array.fold_left (fun a x -> Float.min a x) infinity du in
+  let n = float_of_int (Array.length du) in
+  let s =
+    Array.fold_left (fun a x -> a +. exp (-.beta *. (x -. m))) 0. du
+  in
+  m -. (kt *. log (s /. n))
+
+let bar ~temp ~forward ~backward =
+  if Array.length forward = 0 || Array.length backward = 0 then
+    invalid_arg "Free_energy.bar: empty samples";
+  let kt = Units.kt temp in
+  let beta = 1. /. kt in
+  let nf = float_of_int (Array.length forward) in
+  let nb = float_of_int (Array.length backward) in
+  let log_ratio = log (nf /. nb) in
+  let fermi x = 1. /. (1. +. exp x) in
+  (* Self-consistency residual for trial df: mean_f fermi(beta(du_f - df) +
+     lnQ) - mean_b fermi(-beta(du_b' + df) - lnQ) = 0 formulated as the
+     standard BAR implicit equation. *)
+  let residual df =
+    let sf =
+      Array.fold_left
+        (fun a du -> a +. fermi ((beta *. (du -. df)) +. log_ratio))
+        0. forward
+      /. nf
+    in
+    let sb =
+      Array.fold_left
+        (fun a du -> a +. fermi ((beta *. (du +. df)) -. log_ratio))
+        0. backward
+      /. nb
+    in
+    sf -. sb
+  in
+  (* Bracket the root. *)
+  let lo = ref (-500.) and hi = ref 500. in
+  let r_lo = residual !lo and r_hi = residual !hi in
+  if r_lo *. r_hi > 0. then
+    (* Degenerate sampling; fall back to exponential averaging. *)
+    exp_averaging ~temp forward
+  else begin
+    for _ = 1 to 200 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if residual !lo *. residual mid <= 0. then hi := mid else lo := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let jarzynski ~temp works =
+  if Array.length works = 0 then invalid_arg "Free_energy.jarzynski: empty";
+  let df = exp_averaging ~temp works in
+  let mean_w =
+    Array.fold_left ( +. ) 0. works /. float_of_int (Array.length works)
+  in
+  (df, mean_w -. df)
+
+let widom ~temp du = exp_averaging ~temp du
+
+let ti_trapezoid points =
+  match points with
+  | [] | [ _ ] -> invalid_arg "Free_energy.ti_trapezoid: need >= 2 points"
+  | _ ->
+      let pts = List.sort (fun (a, _) (b, _) -> compare a b) points in
+      let rec go acc = function
+        | (l1, g1) :: ((l2, g2) :: _ as rest) ->
+            go (acc +. (0.5 *. (g1 +. g2) *. (l2 -. l1))) rest
+        | _ -> acc
+      in
+      go 0. pts

@@ -1,0 +1,24 @@
+(** Free-energy difference estimators for alchemical (FEP) calculations. *)
+
+(** Exponential averaging (Zwanzig): [dF = -kT ln <exp(-beta dU)>_0] from
+    forward energy differences [du = U_1 - U_0] sampled in state 0. *)
+val exp_averaging : temp:float -> float array -> float
+
+(** Bennett acceptance ratio from forward differences ([U1 - U0] in state 0)
+    and backward differences ([U0 - U1] in state 1). Solved by bisection on
+    the self-consistency equation; returns dF = F1 - F0. *)
+val bar : temp:float -> forward:float array -> backward:float array -> float
+
+(** Thermodynamic-integration estimate from <dU/dlambda> means at given
+    lambda points (trapezoidal). Pairs are (lambda, mean_du_dlambda). *)
+val ti_trapezoid : (float * float) list -> float
+
+(** Jarzynski equality: [dF = -kT ln <exp(-beta W)>] over repeated
+    nonequilibrium work values (e.g. steered-MD pulls). Biased high for few
+    samples; the dissipation estimate [(mean W - dF)] is also returned. *)
+val jarzynski : temp:float -> float array -> float * float
+
+(** Widom test-particle insertion: excess chemical potential
+    [mu_ex = -kT ln <exp(-beta dU)>] over insertion energies [du] of ghost
+    particles placed uniformly at random. *)
+val widom : temp:float -> float array -> float

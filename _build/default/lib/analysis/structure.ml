@@ -1,0 +1,78 @@
+open Mdsp_util
+
+type t = {
+  r_max : float;
+  bins : int;
+  width : float;
+  counts : float array;
+  mutable frames : int;
+  mutable pair_norm : float;  (** accumulated n_pairs_counted per frame *)
+  mutable density_sum : float;  (** accumulated particle density *)
+}
+
+let create ~r_max ~bins =
+  if r_max <= 0. || bins <= 0 then invalid_arg "Structure.create";
+  {
+    r_max;
+    bins;
+    width = r_max /. float_of_int bins;
+    counts = Array.make bins 0.;
+    frames = 0;
+    pair_norm = 0.;
+    density_sum = 0.;
+  }
+
+let sample t box positions ?subset () =
+  if t.r_max > 0.5 *. Pbc.min_edge box +. 1e-9 then
+    invalid_arg "Structure.sample: r_max exceeds half the box edge";
+  let idx =
+    match subset with
+    | Some s -> s
+    | None -> Array.init (Array.length positions) Fun.id
+  in
+  let n = Array.length idx in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let r = Pbc.dist box positions.(idx.(a)) positions.(idx.(b)) in
+      if r < t.r_max then begin
+        let bin = int_of_float (r /. t.width) in
+        let bin = min bin (t.bins - 1) in
+        t.counts.(bin) <- t.counts.(bin) +. 2.
+        (* each pair counts for both particles *)
+      end
+    done
+  done;
+  t.frames <- t.frames + 1;
+  t.pair_norm <- t.pair_norm +. float_of_int n;
+  t.density_sum <- t.density_sum +. (float_of_int n /. Pbc.volume box)
+
+let frames t = t.frames
+
+let g t =
+  if t.frames = 0 then invalid_arg "Structure.g: no frames";
+  let rho = t.density_sum /. float_of_int t.frames in
+  Array.init t.bins (fun b ->
+      let r_lo = float_of_int b *. t.width in
+      let r_hi = r_lo +. t.width in
+      let r = 0.5 *. (r_lo +. r_hi) in
+      let shell_vol = 4. /. 3. *. Float.pi *. ((r_hi ** 3.) -. (r_lo ** 3.)) in
+      (* counts per particle per frame, normalized by ideal-gas shell. *)
+      let per_particle = t.counts.(b) /. t.pair_norm in
+      (r, per_particle /. (rho *. shell_vol)))
+
+let first_peak ?(r_min = 0.5) t =
+  let gr = g t in
+  Array.fold_left
+    (fun (best_r, best_g) (r, gv) ->
+      if r >= r_min && gv > best_g then (r, gv) else (best_r, best_g))
+    (0., neg_infinity) gr
+
+let coordination_number t ~r_cut =
+  let gr = g t in
+  let rho = t.density_sum /. float_of_int (max 1 t.frames) in
+  Array.fold_left
+    (fun acc (r, gv) ->
+      if r <= r_cut then
+        acc +. (4. *. Float.pi *. rho *. gv *. r *. r *. t.width)
+      else acc)
+    0. gr

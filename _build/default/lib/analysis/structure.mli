@@ -1,0 +1,31 @@
+(** Structural observables: radial distribution functions.
+
+    The accumulator is fed snapshots during a run (e.g. from a post-step
+    hook) and normalized at the end. *)
+
+open Mdsp_util
+
+type t
+
+(** [create ~r_max ~bins] prepares a g(r) accumulator. [r_max] must not
+    exceed half the box edge at sampling time. *)
+val create : r_max:float -> bins:int -> t
+
+(** [sample t box positions ?subset ()] accumulates one frame. With
+    [subset], only pairs within the index subset are counted (e.g. the
+    oxygens of a water box). *)
+val sample : t -> Pbc.t -> Vec3.t array -> ?subset:int array -> unit -> unit
+
+(** Number of frames accumulated. *)
+val frames : t -> int
+
+(** [g t] is [(r, g(r))] pairs, normalized against the ideal gas at the
+    mean density of the sampled frames. *)
+val g : t -> (float * float) array
+
+(** Position of the first maximum of g(r) beyond [r_min] (default 0.5). *)
+val first_peak : ?r_min:float -> t -> float * float
+
+(** Coordination number: 4 pi rho * integral of g(r) r^2 dr up to
+    [r_cut]. *)
+val coordination_number : t -> r_cut:float -> float

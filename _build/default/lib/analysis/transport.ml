@@ -1,0 +1,73 @@
+open Mdsp_util
+
+type frame = { time : float; pos : Vec3.t array; vel : Vec3.t array }
+
+type t = { n : int; mutable frames : frame list (* reversed *) }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Transport.create";
+  { n; frames = [] }
+
+let record t ~time pos vel =
+  if Array.length pos <> t.n || Array.length vel <> t.n then
+    invalid_arg "Transport.record: array size mismatch";
+  t.frames <-
+    { time; pos = Array.copy pos; vel = Array.copy vel } :: t.frames
+
+let n_frames t = List.length t.frames
+
+let frames_array t = Array.of_list (List.rev t.frames)
+
+let lag_average ?(origin_stride = 1) t f =
+  let fr = frames_array t in
+  let nf = Array.length fr in
+  if nf < 4 then invalid_arg "Transport: need at least 4 frames";
+  let max_lag = nf / 2 in
+  Array.init max_lag (fun lag ->
+      let lag = lag + 1 in
+      let acc = ref 0. and count = ref 0 in
+      let o = ref 0 in
+      while !o + lag < nf do
+        acc := !acc +. f fr.(!o) fr.(!o + lag);
+        incr count;
+        o := !o + origin_stride
+      done;
+      let dt = fr.(lag).time -. fr.(0).time in
+      (dt, !acc /. float_of_int !count))
+
+let msd ?origin_stride t =
+  lag_average ?origin_stride t (fun a b ->
+      let s = ref 0. in
+      for i = 0 to t.n - 1 do
+        s := !s +. Vec3.dist2 b.pos.(i) a.pos.(i)
+      done;
+      !s /. float_of_int t.n)
+
+let diffusion_coefficient ?origin_stride t =
+  let m = msd ?origin_stride t in
+  let nm = Array.length m in
+  if nm < 4 then invalid_arg "Transport.diffusion_coefficient: too few lags";
+  (* Fit the second half, away from the ballistic regime. *)
+  let tail = Array.sub m (nm / 2) (nm - (nm / 2)) in
+  let xs = Array.map fst tail and ys = Array.map snd tail in
+  let slope, _ = Stats.linear_fit xs ys in
+  slope /. 6.
+
+let d_cm2_s d =
+  (* A^2 per internal time -> cm^2/s: 1 A^2 = 1e-16 cm^2; 1 internal time
+     = time_unit_fs * 1e-15 s. *)
+  d *. 1e-16 /. (Units.time_unit_fs *. 1e-15)
+
+let vacf ?origin_stride t =
+  let fr = frames_array t in
+  if Array.length fr < 4 then invalid_arg "Transport.vacf: need frames";
+  let dot_frame a b =
+    let s = ref 0. in
+    for i = 0 to t.n - 1 do
+      s := !s +. Vec3.dot a.vel.(i) b.vel.(i)
+    done;
+    !s /. float_of_int t.n
+  in
+  let c0 = dot_frame fr.(0) fr.(0) in
+  let c0 = if c0 = 0. then 1. else c0 in
+  lag_average ?origin_stride t (fun a b -> dot_frame a b /. c0)

@@ -1,0 +1,34 @@
+(** Transport observables: mean-squared displacement, self-diffusion, and
+    the velocity autocorrelation function.
+
+    Positions must be unwrapped (the engine never wraps its position
+    arrays, so feeding engine positions directly is correct). Times are in
+    internal units; the diffusion coefficient is returned in A^2 per
+    internal time unit and in cm^2/s via {!val-d_cm2_s}. *)
+
+open Mdsp_util
+
+type t
+
+(** [create ~n] prepares a recorder for [n] particles. *)
+val create : n:int -> t
+
+(** Record a frame (positions and velocities at the given time). *)
+val record : t -> time:float -> Vec3.t array -> Vec3.t array -> unit
+
+val n_frames : t -> int
+
+(** Mean-squared displacement vs lag: [(dt, msd)] for lags up to half the
+    trajectory (averaged over time origins with the given stride). *)
+val msd : ?origin_stride:int -> t -> (float * float) array
+
+(** Self-diffusion coefficient from the long-time MSD slope (Einstein:
+    MSD = 6 D t), fit over the second half of available lags. Internal
+    units: A^2 / internal-time. *)
+val diffusion_coefficient : ?origin_stride:int -> t -> float
+
+(** Convert a diffusion coefficient from internal units to cm^2/s. *)
+val d_cm2_s : float -> float
+
+(** Normalized velocity autocorrelation function vs lag. *)
+val vacf : ?origin_stride:int -> t -> (float * float) array

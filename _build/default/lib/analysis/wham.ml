@@ -1,0 +1,85 @@
+open Mdsp_util
+
+type window = { bias : float -> float; samples : float array }
+
+type profile = {
+  centers : float array;
+  free_energy : float array;
+  window_offsets : float array;
+  iterations : int;
+}
+
+let solve ~temp ~lo ~hi ~bins ?(tol = 1e-7) ?(max_iter = 50_000) windows =
+  if windows = [] then invalid_arg "Wham.solve: no windows";
+  let kt = Units.kt temp in
+  let beta = 1. /. kt in
+  let nw = List.length windows in
+  let windows = Array.of_list windows in
+  let width = (hi -. lo) /. float_of_int bins in
+  let centers =
+    Array.init bins (fun b -> lo +. ((float_of_int b +. 0.5) *. width))
+  in
+  (* Histogram each window. *)
+  let hists =
+    Array.map
+      (fun w ->
+        let h = Histogram.create ~lo ~hi ~bins in
+        Array.iter (fun x -> Histogram.add h x) w.samples;
+        Histogram.counts h)
+      windows
+  in
+  let n_k =
+    Array.map (fun h -> Array.fold_left ( +. ) 0. h) hists
+  in
+  (* Total counts per bin. *)
+  let total = Array.make bins 0. in
+  Array.iter (Array.iteri (fun b c -> total.(b) <- total.(b) +. c)) hists;
+  (* Precompute bias factors exp(-beta * U_k(x_b)). *)
+  let bias_fact =
+    Array.map
+      (fun w -> Array.map (fun x -> exp (-.beta *. w.bias x)) centers)
+      windows
+  in
+  let f = Array.make nw 0. in
+  let p = Array.make bins 0. in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < max_iter do
+    (* Unbiased probability estimate. *)
+    for b = 0 to bins - 1 do
+      let denom = ref 0. in
+      for k = 0 to nw - 1 do
+        denom := !denom +. (n_k.(k) *. exp (beta *. f.(k)) *. bias_fact.(k).(b))
+      done;
+      p.(b) <- (if !denom > 0. then total.(b) /. !denom else 0.)
+    done;
+    (* Update window offsets. *)
+    let max_change = ref 0. in
+    for k = 0 to nw - 1 do
+      let z = ref 0. in
+      for b = 0 to bins - 1 do
+        z := !z +. (p.(b) *. bias_fact.(k).(b))
+      done;
+      let f_new = if !z > 0. then -.kt *. log !z else f.(k) in
+      max_change := Float.max !max_change (abs_float (f_new -. f.(k)));
+      f.(k) <- f_new
+    done;
+    (* Anchor the gauge freedom. *)
+    let f0 = f.(0) in
+    for k = 0 to nw - 1 do
+      f.(k) <- f.(k) -. f0
+    done;
+    if !max_change < tol then converged := true;
+    incr iter
+  done;
+  let free_energy =
+    Array.map (fun pi -> if pi > 0. then -.kt *. log pi else Float.nan) p
+  in
+  (* Shift the minimum to zero. *)
+  let fmin =
+    Array.fold_left
+      (fun acc v -> if Float.is_nan v then acc else Float.min acc v)
+      infinity free_energy
+  in
+  let free_energy = Array.map (fun v -> v -. fmin) free_energy in
+  { centers; free_energy; window_offsets = f; iterations = !iter }

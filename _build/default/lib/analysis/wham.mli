@@ -1,0 +1,23 @@
+(** Weighted-histogram analysis method (1D), for umbrella sampling.
+
+    Given biased histograms of a reaction coordinate collected in windows
+    with known bias potentials, iterate the WHAM equations to the unbiased
+    free-energy profile. *)
+
+type window = {
+  bias : float -> float;  (** bias energy at coordinate x, kcal/mol *)
+  samples : float array;  (** observed coordinate values *)
+}
+
+type profile = {
+  centers : float array;
+  free_energy : float array;  (** kcal/mol, min shifted to zero *)
+  window_offsets : float array;  (** converged per-window f_i *)
+  iterations : int;
+}
+
+(** [solve ~temp ~lo ~hi ~bins ~tol ~max_iter windows]. Bins with zero total
+    count get [nan] free energy. *)
+val solve :
+  temp:float -> lo:float -> hi:float -> bins:int -> ?tol:float ->
+  ?max_iter:int -> window list -> profile

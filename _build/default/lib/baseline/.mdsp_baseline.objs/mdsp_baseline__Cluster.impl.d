@@ -1,0 +1,1 @@
+lib/baseline/cluster.ml: Mdsp_machine Perf Printf

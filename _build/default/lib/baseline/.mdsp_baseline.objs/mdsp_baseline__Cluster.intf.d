@@ -1,0 +1,1 @@
+lib/baseline/cluster.mli: Mdsp_machine

@@ -1,0 +1,1 @@
+lib/baseline/reference.ml: Array Float Mdsp_ff Mdsp_util Vec3

@@ -1,0 +1,1 @@
+lib/baseline/reference.mli: Mdsp_ff Mdsp_util Pbc Vec3

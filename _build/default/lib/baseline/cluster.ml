@@ -1,0 +1,68 @@
+open Mdsp_machine
+
+type t = {
+  name : string;
+  n_nodes : int;
+  pairs_per_second_node : float;
+  flex_ops_per_second_node : float;
+  node_bw_gb_s : float;
+  message_latency_us : float;
+  per_step_overhead_us : float;
+}
+
+let commodity ?(nodes = 64) () =
+  {
+    name = Printf.sprintf "commodity-%d" nodes;
+    n_nodes = nodes;
+    pairs_per_second_node = 5e8;
+    flex_ops_per_second_node = 2e10;
+    node_bw_gb_s = 5.0;
+    message_latency_us = 1.5;
+    per_step_overhead_us = 20.0;
+  }
+
+let step_time c (w : Perf.workload) =
+  let nodes = float_of_int c.n_nodes in
+  let pairs = Perf.pair_count w in
+  let compute_s = pairs /. nodes /. c.pairs_per_second_node in
+  let flex_ops =
+    (float_of_int w.Perf.bonded_terms *. 60.)
+    +. (float_of_int w.Perf.n_atoms *. 40.)
+    +. (float_of_int w.Perf.n_constraints *. 50.)
+    +. w.Perf.flex_ops_per_step
+  in
+  let flex_s = flex_ops /. nodes /. c.flex_ops_per_second_node in
+  (* Halo exchange: surface atoms of each domain, two phases. *)
+  let vol = float_of_int w.Perf.n_atoms /. w.Perf.density in
+  let domain_edge = (vol /. nodes) ** (1. /. 3.) in
+  let halo_atoms =
+    w.Perf.density
+    *. (((domain_edge +. (2. *. w.Perf.cutoff)) ** 3.)
+       -. (domain_edge ** 3.))
+  in
+  let halo_bytes = halo_atoms *. 32. in
+  let comm_s =
+    (halo_bytes /. (c.node_bw_gb_s *. 1e9))
+    +. (4. *. c.message_latency_us *. 1e-6)
+  in
+  (* PME all-to-all: latency-bound at scale. *)
+  let fft_s =
+    match w.Perf.fft_grid with
+    | None -> 0.
+    | Some (gx, gy, gz) ->
+        let k = float_of_int (gx * gy * gz) in
+        let compute =
+          k /. nodes *. 60. /. c.flex_ops_per_second_node
+        in
+        let alltoall =
+          (2. *. k /. nodes *. 16. /. (c.node_bw_gb_s *. 1e9))
+          +. (2. *. sqrt nodes *. c.message_latency_us *. 1e-6)
+        in
+        compute +. alltoall
+  in
+  compute_s +. flex_s +. comm_s +. fft_s
+  +. (c.per_step_overhead_us *. 1e-6)
+
+let ns_per_day c w =
+  let s = step_time c w in
+  86400. /. s *. w.Perf.dt_fs *. 1e-6

@@ -1,0 +1,29 @@
+(** Commodity-cluster performance model — the comparison baseline.
+
+    Models a conventional MPI cluster running well-optimized MD: per-node
+    pair throughput, halo-exchange and PME all-to-all communication with
+    microsecond-class latencies, and fixed per-step software overhead. Like
+    the machine model, this is a transparent analytic model whose purpose is
+    the *shape* of the comparison (who wins, roughly by how much, where
+    scaling rolls over), not absolute agreement with any specific cluster.
+    It consumes the same workload descriptor as the machine model
+    ({!Mdsp_machine.Perf.workload}). *)
+
+type t = {
+  name : string;
+  n_nodes : int;
+  pairs_per_second_node : float;
+      (** sustained nonbonded pair rate of one node, all force terms in *)
+  flex_ops_per_second_node : float;  (** bonded/integration throughput *)
+  node_bw_gb_s : float;  (** network bandwidth per node *)
+  message_latency_us : float;  (** point-to-point latency *)
+  per_step_overhead_us : float;  (** software overhead per step *)
+}
+
+(** A competitive CPU/GPU cluster of [n] nodes (default 64). *)
+val commodity : ?nodes:int -> unit -> t
+
+(** Step time in seconds for the given workload. *)
+val step_time : t -> Mdsp_machine.Perf.workload -> float
+
+val ns_per_day : t -> Mdsp_machine.Perf.workload -> float

@@ -1,0 +1,42 @@
+open Mdsp_util
+
+type result = {
+  forces : Vec3.t array;
+  pair_energy : float;
+  bonded_energy : float;
+  virial : float;
+}
+
+let compute (topo : Mdsp_ff.Topology.t) box positions ~evaluator =
+  let n = Array.length positions in
+  let acc = Mdsp_ff.Bonded.make_accum n in
+  let eb, ea, ed = Mdsp_ff.Bonded.all box topo positions acc in
+  let pair_energy =
+    Mdsp_ff.Pair_interactions.compute_all_pairs
+      ~exclusions:topo.Mdsp_ff.Topology.exclusions evaluator box positions acc
+  in
+  {
+    forces = Array.copy acc.forces;
+    pair_energy;
+    bonded_energy = eb +. ea +. ed;
+    virial = acc.virial;
+  }
+
+let max_force_error a b =
+  let n = Array.length a in
+  if Array.length b <> n then
+    invalid_arg "Reference.max_force_error: length mismatch";
+  if n = 0 then 0.
+  else begin
+    let rms = ref 0. in
+    for i = 0 to n - 1 do
+      rms := !rms +. Vec3.norm2 a.(i)
+    done;
+    let rms = sqrt (!rms /. float_of_int n) in
+    let scale = Float.max rms 1e-12 in
+    let worst = ref 0. in
+    for i = 0 to n - 1 do
+      worst := Float.max !worst (Vec3.dist a.(i) b.(i))
+    done;
+    !worst /. scale
+  end

@@ -1,0 +1,25 @@
+(** Reference force computation — the correctness oracle.
+
+    Computes forces and energies with the analytic evaluator over all pairs
+    (O(N^2), exclusion-aware), bypassing neighbor lists and tables entirely.
+    Machine-model results are validated against this in the E3 experiment
+    and throughout the test suite. *)
+
+open Mdsp_util
+
+type result = {
+  forces : Vec3.t array;
+  pair_energy : float;
+  bonded_energy : float;
+  virial : float;
+}
+
+(** [compute topo box positions ~evaluator] evaluates bonded terms plus all
+    non-excluded pairs with the given evaluator. *)
+val compute :
+  Mdsp_ff.Topology.t -> Pbc.t -> Vec3.t array ->
+  evaluator:Mdsp_ff.Pair_interactions.evaluator -> result
+
+(** Maximum per-atom force discrepancy between two force sets, normalized by
+    the RMS force of [a] (a dimensionless relative error). *)
+val max_force_error : Vec3.t array -> Vec3.t array -> float

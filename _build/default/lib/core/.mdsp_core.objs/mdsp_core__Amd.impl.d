@@ -1,0 +1,1 @@
+lib/core/amd.ml: Array List Mdsp_ff Mdsp_md Mdsp_util Units Vec3

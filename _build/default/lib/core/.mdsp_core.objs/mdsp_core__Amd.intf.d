@@ -1,0 +1,1 @@
+lib/core/amd.mli: Mdsp_md

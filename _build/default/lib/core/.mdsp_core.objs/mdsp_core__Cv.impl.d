@@ -1,0 +1,1 @@
+lib/core/cv.ml: Array Float List Mdsp_ff Mdsp_md Mdsp_util Pbc Printf Vec3

@@ -1,0 +1,1 @@
+lib/core/cv.mli: Mdsp_md Mdsp_util Pbc Vec3

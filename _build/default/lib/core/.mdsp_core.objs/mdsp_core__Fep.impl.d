@@ -1,0 +1,1 @@
+lib/core/fep.ml: Array List Mdsp_analysis Mdsp_ff Mdsp_machine Mdsp_md Mdsp_space Mdsp_util Pbc Table Units

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Float Hashtbl List Mdsp_ff Mdsp_md Mdsp_util Option Pbc Printf Stdlib Vec3

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Mdsp_md Mdsp_util Vec3

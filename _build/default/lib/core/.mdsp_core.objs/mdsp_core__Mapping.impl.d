@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Amd Fep Kernel List Mdsp_machine Metadynamics Perf Printf Remd Smd Tamd Tempering

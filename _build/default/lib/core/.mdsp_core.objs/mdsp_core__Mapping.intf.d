@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Amd Fep Kernel Mdsp_machine Metadynamics Remd Smd Tamd Tempering

@@ -1,0 +1,1 @@
+lib/core/metadynamics.ml: Array Cv List Mdsp_ff Mdsp_md Mdsp_util Units Vec3

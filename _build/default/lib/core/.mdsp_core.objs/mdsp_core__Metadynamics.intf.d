@@ -1,0 +1,1 @@
+lib/core/metadynamics.mli: Cv Mdsp_md

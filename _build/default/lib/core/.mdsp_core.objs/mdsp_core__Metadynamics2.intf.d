@@ -1,0 +1,1 @@
+lib/core/metadynamics2.mli: Cv Mdsp_md

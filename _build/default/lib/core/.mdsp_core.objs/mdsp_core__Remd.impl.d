@@ -1,0 +1,1 @@
+lib/core/remd.ml: Array Fun Mdsp_md Mdsp_util Rng Units

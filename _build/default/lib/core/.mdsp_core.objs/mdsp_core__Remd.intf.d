@@ -1,0 +1,1 @@
+lib/core/remd.mli: Mdsp_md

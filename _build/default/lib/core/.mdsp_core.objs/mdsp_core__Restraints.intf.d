@@ -1,0 +1,1 @@
+lib/core/restraints.mli: Kernel Mdsp_md Mdsp_util Vec3

@@ -1,0 +1,1 @@
+lib/core/smd.ml: Cv List Mdsp_md

@@ -1,0 +1,1 @@
+lib/core/smd.mli: Cv Mdsp_md

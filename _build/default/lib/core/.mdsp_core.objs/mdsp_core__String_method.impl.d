@@ -1,0 +1,1 @@
+lib/core/string_method.ml: Array Cv Float List Mdsp_md Mdsp_util Printf Rng

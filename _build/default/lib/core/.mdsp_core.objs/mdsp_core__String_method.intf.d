@@ -1,0 +1,1 @@
+lib/core/string_method.mli: Cv Mdsp_md

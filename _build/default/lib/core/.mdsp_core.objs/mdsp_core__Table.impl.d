@@ -1,0 +1,1 @@
+lib/core/table.ml: Array Float Mdsp_ff Mdsp_machine Mdsp_util Option Poly

@@ -1,0 +1,1 @@
+lib/core/table.mli: Mdsp_ff Mdsp_machine

@@ -1,0 +1,1 @@
+lib/core/tamd.ml: Cv List Mdsp_md Mdsp_util Rng Units

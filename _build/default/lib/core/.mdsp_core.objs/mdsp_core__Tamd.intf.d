@@ -1,0 +1,1 @@
+lib/core/tamd.mli: Cv Mdsp_md

@@ -1,0 +1,1 @@
+lib/core/tempering.ml: Array Float Mdsp_md Mdsp_util Rng Units

@@ -1,0 +1,1 @@
+lib/core/tempering.mli: Mdsp_md

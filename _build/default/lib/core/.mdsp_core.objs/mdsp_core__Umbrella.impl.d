@@ -1,0 +1,1 @@
+lib/core/umbrella.ml: Array Cv List Mdsp_analysis Mdsp_md

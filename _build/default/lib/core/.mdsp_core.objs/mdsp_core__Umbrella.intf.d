@@ -1,0 +1,1 @@
+lib/core/umbrella.mli: Cv Mdsp_analysis Mdsp_md

@@ -1,0 +1,1 @@
+lib/core/widom.ml: Array Mdsp_analysis Mdsp_ff Mdsp_md Mdsp_util Pbc Rng Vec3

@@ -1,0 +1,1 @@
+lib/core/widom.mli: Mdsp_md

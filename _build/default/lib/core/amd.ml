@@ -1,0 +1,61 @@
+open Mdsp_util
+
+type t = {
+  threshold : float;  (** boost below this potential energy *)
+  alpha : float;  (** smoothing parameter, kcal/mol *)
+  mutable last_boost : float;
+  mutable boost_samples : float list;
+}
+
+let create ~threshold ~alpha =
+  if alpha <= 0. then invalid_arg "Amd.create: alpha must be positive";
+  { threshold; alpha; last_boost = 0.; boost_samples = [] }
+
+(* dV(V) = (E - V)^2 / (alpha + E - V) for V < E, else 0.
+   d(dV)/dV = -(E - V)(E - V + 2 alpha) / (alpha + E - V)^2, so the force
+   scale (1 + d(dV)/dV) stays in (0, 1]. *)
+let boost t v =
+  if v >= t.threshold then (0., 1.)
+  else begin
+    let d = t.threshold -. v in
+    let dv = d *. d /. (t.alpha +. d) in
+    let ddv_dv = -.d *. (d +. (2. *. t.alpha)) /. ((t.alpha +. d) ** 2.) in
+    (dv, 1. +. ddv_dv)
+  end
+
+let transform t =
+  {
+    Mdsp_md.Force_calc.tr_name = "amd";
+    tr_apply =
+      (fun _box _positions acc v ->
+        let dv, scale = boost t v in
+        t.last_boost <- dv;
+        t.boost_samples <- dv :: t.boost_samples;
+        if scale <> 1. then begin
+          let f = acc.Mdsp_ff.Bonded.forces in
+          for i = 0 to Array.length f - 1 do
+            f.(i) <- Vec3.scale scale f.(i)
+          done;
+          acc.Mdsp_ff.Bonded.virial <- acc.Mdsp_ff.Bonded.virial *. scale
+        end;
+        dv);
+  }
+
+let attach t eng =
+  Mdsp_md.Force_calc.set_transform (Mdsp_md.Engine.force_calc eng)
+    (Some (transform t));
+  Mdsp_md.Engine.refresh_forces eng
+
+let detach eng =
+  Mdsp_md.Force_calc.set_transform (Mdsp_md.Engine.force_calc eng) None;
+  Mdsp_md.Engine.refresh_forces eng
+
+let last_boost t = t.last_boost
+let boost_samples t = Array.of_list (List.rev t.boost_samples)
+
+(* Reweighting factors exp(beta dV) for recovering canonical averages. *)
+let reweighting_factors t ~temp =
+  let beta = 1. /. Units.kt temp in
+  Array.map (fun dv -> exp (beta *. dv)) (boost_samples t)
+
+let flex_ops_per_step _ ~n_atoms = float_of_int n_atoms *. 3.

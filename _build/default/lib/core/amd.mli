@@ -1,0 +1,28 @@
+(** Accelerated MD (boost potential).
+
+    When the potential energy falls below a threshold E, the bias
+    [dV = (E - V)^2 / (alpha + E - V)] is added, flattening basins and
+    accelerating barrier crossing; forces are scaled by [1 + d(dV)/dV],
+    which the force-transform hook applies after the normal force pass.
+    Canonical averages are recovered by reweighting with [exp(beta dV)]. *)
+
+type t
+
+val create : threshold:float -> alpha:float -> t
+
+(** [boost t v] is [(dV, force_scale)] at potential energy [v]. *)
+val boost : t -> float -> float * float
+
+(** Install the force transform on the engine. *)
+val attach : t -> Mdsp_md.Engine.t -> unit
+
+(** Remove any installed force transform. *)
+val detach : Mdsp_md.Engine.t -> unit
+
+val last_boost : t -> float
+
+(** All boost values observed, in time order. *)
+val boost_samples : t -> float array
+
+val reweighting_factors : t -> temp:float -> float array
+val flex_ops_per_step : t -> n_atoms:int -> float

@@ -1,0 +1,282 @@
+open Mdsp_util
+
+type t = {
+  cv_name : string;
+  value : Pbc.t -> Vec3.t array -> float;
+  gradient : Pbc.t -> Vec3.t array -> (int * Vec3.t) list;
+  flex_ops : float;
+}
+
+let distance ~i ~j =
+  {
+    cv_name = Printf.sprintf "dist(%d,%d)" i j;
+    value = (fun box pos -> Pbc.dist box pos.(i) pos.(j));
+    gradient =
+      (fun box pos ->
+        let d = Pbc.min_image box pos.(i) pos.(j) in
+        let r = Float.max 1e-10 (Vec3.norm d) in
+        let u = Vec3.scale (1. /. r) d in
+        [ (i, u); (j, Vec3.neg u) ]);
+    flex_ops = 30.;
+  }
+
+let center_of box =
+  let open Pbc in
+  Vec3.make (box.lx /. 2.) (box.ly /. 2.) (box.lz /. 2.)
+
+let position ~axis ~i =
+  let pick (v : Vec3.t) =
+    match axis with `X -> v.Vec3.x | `Y -> v.Vec3.y | `Z -> v.Vec3.z
+  in
+  let unit =
+    match axis with
+    | `X -> Vec3.make 1. 0. 0.
+    | `Y -> Vec3.make 0. 1. 0.
+    | `Z -> Vec3.make 0. 0. 1.
+  in
+  let name = match axis with `X -> "x" | `Y -> "y" | `Z -> "z" in
+  {
+    cv_name = Printf.sprintf "%s(%d)" name i;
+    value = (fun box pos -> pick (Pbc.min_image box pos.(i) (center_of box)));
+    gradient = (fun _ _ -> [ (i, unit) ]);
+    flex_ops = 10.;
+  }
+
+let com_distance ~group_a ~group_b ~masses =
+  if Array.length group_a = 0 || Array.length group_b = 0 then
+    invalid_arg "Cv.com_distance: empty group";
+  let mass_of g =
+    Array.fold_left (fun acc i -> acc +. masses.(i)) 0. g
+  in
+  let ma = mass_of group_a and mb = mass_of group_b in
+  (* COM computed relative to the group's first atom to stay PBC-safe for
+     compact groups. *)
+  let com box pos g =
+    let anchor = pos.(g.(0)) in
+    let acc = ref Vec3.zero in
+    let m = ref 0. in
+    Array.iter
+      (fun i ->
+        let d = Pbc.min_image box pos.(i) anchor in
+        acc := Vec3.add !acc (Vec3.scale masses.(i) d);
+        m := !m +. masses.(i))
+      g;
+    Vec3.add anchor (Vec3.scale (1. /. !m) !acc)
+  in
+  {
+    cv_name = "com_distance";
+    value =
+      (fun box pos -> Pbc.dist box (com box pos group_a) (com box pos group_b));
+    gradient =
+      (fun box pos ->
+        let ca = com box pos group_a and cb = com box pos group_b in
+        let d = Pbc.min_image box ca cb in
+        let r = Float.max 1e-10 (Vec3.norm d) in
+        let u = Vec3.scale (1. /. r) d in
+        let ga =
+          Array.to_list
+            (Array.map
+               (fun i -> (i, Vec3.scale (masses.(i) /. ma) u))
+               group_a)
+        in
+        let gb =
+          Array.to_list
+            (Array.map
+               (fun i -> (i, Vec3.scale (-.masses.(i) /. mb) u))
+               group_b)
+        in
+        ga @ gb);
+    flex_ops = 20. *. float_of_int (Array.length group_a + Array.length group_b);
+  }
+
+let coordination ~i ~others ~r0 =
+  let term r =
+    (* s(r) = (1 - u^6)/(1 - u^12) with u = r/r0; = 1/(1+u^6). *)
+    let u6 = (r /. r0) ** 6. in
+    1. /. (1. +. u6)
+  in
+  let dterm_dr r =
+    let u = r /. r0 in
+    let u6 = u ** 6. in
+    -.6. *. u6 /. (r *. ((1. +. u6) ** 2.))
+  in
+  {
+    cv_name = Printf.sprintf "coord(%d)" i;
+    value =
+      (fun box pos ->
+        Array.fold_left
+          (fun acc j -> acc +. term (Pbc.dist box pos.(i) pos.(j)))
+          0. others);
+    gradient =
+      (fun box pos ->
+        let gi = ref Vec3.zero in
+        let rest =
+          Array.to_list
+            (Array.map
+               (fun j ->
+                 let d = Pbc.min_image box pos.(i) pos.(j) in
+                 let r = Float.max 1e-10 (Vec3.norm d) in
+                 let coeff = dterm_dr r /. r in
+                 let g = Vec3.scale coeff d in
+                 gi := Vec3.add !gi g;
+                 (j, Vec3.neg g))
+               others)
+        in
+        (i, !gi) :: rest);
+    flex_ops = 40. *. float_of_int (Array.length others);
+  }
+
+let angle ~i ~j ~k =
+  let geometry box (pos : Vec3.t array) =
+    let rij = Pbc.min_image box pos.(i) pos.(j) in
+    let rkj = Pbc.min_image box pos.(k) pos.(j) in
+    let nij = Vec3.norm rij and nkj = Vec3.norm rkj in
+    let cos_t =
+      Float.max (-1.) (Float.min 1. (Vec3.dot rij rkj /. (nij *. nkj)))
+    in
+    (rij, rkj, nij, nkj, cos_t)
+  in
+  {
+    cv_name = Printf.sprintf "angle(%d,%d,%d)" i j k;
+    value =
+      (fun box pos ->
+        let _, _, _, _, cos_t = geometry box pos in
+        acos cos_t);
+    gradient =
+      (fun box pos ->
+        let rij, rkj, nij, nkj, cos_t = geometry box pos in
+        (* d theta / d r = -(1/sin) d cos / d r. *)
+        let sin_t = Float.max 1e-8 (sqrt (1. -. (cos_t *. cos_t))) in
+        let gi =
+          Vec3.scale
+            (-1. /. (sin_t *. nij))
+            (Vec3.sub (Vec3.scale (1. /. nkj) rkj)
+               (Vec3.scale (cos_t /. nij) rij))
+        in
+        let gk =
+          Vec3.scale
+            (-1. /. (sin_t *. nkj))
+            (Vec3.sub (Vec3.scale (1. /. nij) rij)
+               (Vec3.scale (cos_t /. nkj) rkj))
+        in
+        let gj = Vec3.neg (Vec3.add gi gk) in
+        [ (i, gi); (j, gj); (k, gk) ]);
+    flex_ops = 60.;
+  }
+
+let dihedral ~i ~j ~k ~l =
+  (* Shared geometry with the bonded torsion machinery (Blondel-Karplus
+     gradients); duplicated here because the bonded module applies forces
+     directly while a CV must expose the raw gradient. *)
+  let geometry box (pos : Vec3.t array) =
+    let b1 = Pbc.min_image box pos.(j) pos.(i) in
+    let b2 = Pbc.min_image box pos.(k) pos.(j) in
+    let b3 = Pbc.min_image box pos.(l) pos.(k) in
+    let n1 = Vec3.cross b1 b2 in
+    let n2 = Vec3.cross b2 b3 in
+    (b1, b2, b3, n1, n2)
+  in
+  {
+    cv_name = Printf.sprintf "dihedral(%d,%d,%d,%d)" i j k l;
+    value =
+      (fun box pos ->
+        let _, b2, _, n1, n2 = geometry box pos in
+        let n1n = Vec3.norm n1 and n2n = Vec3.norm n2 in
+        if n1n <= 1e-10 || n2n <= 1e-10 then 0.
+        else begin
+          let b2n = Vec3.norm b2 in
+          let m1 = Vec3.cross n1 (Vec3.scale (1. /. b2n) b2) in
+          let x = Vec3.dot n1 n2 /. (n1n *. n2n) in
+          let y = Vec3.dot m1 n2 /. (n1n *. n2n) in
+          atan2 y x
+        end);
+    gradient =
+      (fun box pos ->
+        let b1, b2, b3, n1, n2 = geometry box pos in
+        let n1n = Vec3.norm n1 and n2n = Vec3.norm n2 in
+        if n1n <= 1e-10 || n2n <= 1e-10 then []
+        else begin
+          let b2n = Vec3.norm b2 in
+          (* dphi/dr: the Blondel-Karplus force expressions divided by
+             -dU/dphi, i.e. gi = +|b2| n1 / |n1|^2 etc. *)
+          let gi = Vec3.scale (b2n /. (n1n *. n1n)) n1 in
+          let gl = Vec3.scale (-.b2n /. (n2n *. n2n)) n2 in
+          let p = -.(Vec3.dot b1 b2) /. (b2n *. b2n) in
+          let q = -.(Vec3.dot b3 b2) /. (b2n *. b2n) in
+          let sv = Vec3.sub (Vec3.scale p gi) (Vec3.scale q gl) in
+          let gj = Vec3.sub sv gi in
+          let gk = Vec3.neg (Vec3.add sv gl) in
+          [ (i, gi); (j, gj); (k, gk); (l, gl) ]
+        end);
+    flex_ops = 90.;
+  }
+
+let gyration_radius ~atoms ~masses =
+  if Array.length atoms < 2 then invalid_arg "Cv.gyration_radius: need >= 2";
+  let total_mass = Array.fold_left (fun a i -> a +. masses.(i)) 0. atoms in
+  (* Work in displacements from the first atom to stay PBC-safe. *)
+  let rel box (pos : Vec3.t array) =
+    let anchor = pos.(atoms.(0)) in
+    Array.map (fun i -> Pbc.min_image box pos.(i) anchor) atoms
+  in
+  let com_of rels =
+    let acc = ref Vec3.zero in
+    Array.iteri
+      (fun a d -> acc := Vec3.axpy masses.(atoms.(a)) d !acc)
+      rels;
+    Vec3.scale (1. /. total_mass) !acc
+  in
+  let rg_of rels =
+    let com = com_of rels in
+    let s = ref 0. in
+    Array.iteri
+      (fun a d -> s := !s +. (masses.(atoms.(a)) *. Vec3.dist2 d com))
+      rels;
+    sqrt (!s /. total_mass)
+  in
+  {
+    cv_name = "rg";
+    value = (fun box pos -> rg_of (rel box pos));
+    gradient =
+      (fun box pos ->
+        let rels = rel box pos in
+        let com = com_of rels in
+        let rg = Float.max 1e-10 (rg_of rels) in
+        (* d Rg / d r_i = m_i (r_i - com) / (M Rg). *)
+        Array.to_list
+          (Array.mapi
+             (fun a i ->
+               ( i,
+                 Vec3.scale
+                   (masses.(i) /. (total_mass *. rg))
+                   (Vec3.sub rels.(a) com) ))
+             atoms));
+    flex_ops = 15. *. float_of_int (Array.length atoms);
+  }
+
+let apply_bias cv k center last box positions (acc : Mdsp_ff.Bonded.accum) =
+  let v = cv.value box positions in
+  (match last with Some r -> r := v | None -> ());
+  let c = center () in
+  let dv = v -. c in
+  let e = k *. dv *. dv in
+  let coeff = -2. *. k *. dv in
+  List.iter
+    (fun (idx, g) ->
+      acc.forces.(idx) <- Vec3.add acc.forces.(idx) (Vec3.scale coeff g))
+    (cv.gradient box positions);
+  e
+
+let harmonic_bias ~name ~cv ~k ~center =
+  {
+    Mdsp_md.Force_calc.bias_name = name;
+    bias_compute = apply_bias cv k center None;
+  }
+
+let harmonic_bias_tracked ~name ~cv ~k ~center =
+  let last = ref nan in
+  ( {
+      Mdsp_md.Force_calc.bias_name = name;
+      bias_compute = apply_bias cv k center (Some last);
+    },
+    fun () -> !last )

@@ -1,0 +1,58 @@
+(** Collective variables (CVs): scalar functions of the configuration with
+    analytic gradients.
+
+    Every enhanced-sampling method in {!Methods} is generic over a CV. On
+    the machine, CV values and gradients are computed by the programmable
+    cores; {!flex_ops} estimates that cost for the mapping layer. *)
+
+open Mdsp_util
+
+type t = {
+  cv_name : string;
+  value : Pbc.t -> Vec3.t array -> float;
+  gradient : Pbc.t -> Vec3.t array -> (int * Vec3.t) list;
+      (** sparse gradient: (atom, d value / d position) *)
+  flex_ops : float;  (** programmable-core ops per evaluation *)
+}
+
+(** Minimum-image distance between two atoms. *)
+val distance : i:int -> j:int -> t
+
+(** A coordinate of one atom relative to the box center ([`X], [`Y], [`Z]).
+    Well-defined as long as the atom stays within half a box of the
+    center — appropriate for the double-well model systems. *)
+val position : axis:[ `X | `Y | `Z ] -> i:int -> t
+
+(** Distance between the centers of mass of two groups. *)
+val com_distance :
+  group_a:int array -> group_b:int array -> masses:float array -> t
+
+(** Smooth coordination number of atom [i] with [others]:
+    sum over j of (1 - (r/r0)^6) / (1 - (r/r0)^12). *)
+val coordination : i:int -> others:int array -> r0:float -> t
+
+(** The angle at atom [j] formed by atoms [i]-[j]-[k], in radians. *)
+val angle : i:int -> j:int -> k:int -> t
+
+(** The torsion angle of atoms [i]-[j]-[k]-[l], in (-pi, pi] — the classic
+    metadynamics coordinate. Note the 2 pi periodicity: biases built on it
+    should either stay away from the branch cut or use sin/cos embeddings. *)
+val dihedral : i:int -> j:int -> k:int -> l:int -> t
+
+(** Mass-weighted radius of gyration of a group (PBC-safe for compact
+    groups anchored at the first atom). *)
+val gyration_radius : atoms:int array -> masses:float array -> t
+
+(** [harmonic_bias ~name ~cv ~k ~center cv] is the restraint
+    [k (cv - center())^2] as a force-calculator bias; [center] is read at
+    every evaluation so callers can move it (umbrella windows are fixed
+    closures, steered MD advances it). *)
+val harmonic_bias :
+  name:string -> cv:t -> k:float -> center:(unit -> float) ->
+  Mdsp_md.Force_calc.bias
+
+(** Last value evaluated through a bias built by {!harmonic_bias_tracked}:
+    the pair is (bias, fun () -> last cv value). *)
+val harmonic_bias_tracked :
+  name:string -> cv:t -> k:float -> center:(unit -> float) ->
+  Mdsp_md.Force_calc.bias * (unit -> float)

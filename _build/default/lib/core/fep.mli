@@ -1,0 +1,68 @@
+(** Alchemical free-energy perturbation.
+
+    A subset of atoms (the solute) is coupled to its environment through a
+    lambda-dependent evaluator: Beutler soft-core Lennard-Jones and linearly
+    scaled electrostatics. Windows along the lambda schedule are sampled in
+    sequence; adjacent-window energy differences feed the Bennett acceptance
+    ratio. On the machine this is the showcase for per-window interaction
+    tables: every lambda compiles to its own table set and runs at full
+    pipeline speed. *)
+
+open Mdsp_util
+
+type topology_info
+
+val make_info :
+  ?sc_alpha:float ->
+  Mdsp_ff.Topology.t ->
+  solute:bool array ->
+  cutoff:float ->
+  elec:Mdsp_ff.Pair_interactions.electrostatics ->
+  topology_info
+
+(** The lambda-coupled pair evaluator (lambda in [0, 1]; 1 = fully
+    coupled). *)
+val evaluator :
+  topology_info -> lambda:float -> Mdsp_ff.Pair_interactions.evaluator
+
+(** The same lambda-coupled interaction, compiled entirely into machine
+    interpolation tables (one soft-core table per type pair for the
+    solute-environment cross terms, the standard table set for everything
+    else, and the charge-scaled shape table for cross electrostatics) —
+    this is how a lambda window boards the pair pipelines at full speed.
+    [n] is the interval count per table. *)
+val table_evaluator :
+  topology_info -> lambda:float -> n:int ->
+  Mdsp_ff.Pair_interactions.evaluator
+
+(** Solute-environment interaction energy of a configuration at a lambda. *)
+val cross_energy :
+  topology_info -> lambda:float -> Pbc.t -> Vec3.t array -> float
+
+type window_samples = {
+  lambda : float;
+  du_forward : float array;
+  du_backward : float array;
+}
+
+type result = {
+  windows : window_samples list;
+  delta_f : float;
+  per_stage : float array;
+}
+
+(** Run the full window schedule on an engine whose force calculator will
+    have its evaluator swapped per window. [delta_f] is
+    F(last lambda) - F(first lambda). *)
+val run :
+  topology_info ->
+  engine:Mdsp_md.Engine.t ->
+  lambdas:float array ->
+  temp:float ->
+  equil_steps:int ->
+  sample_steps:int ->
+  sample_stride:int ->
+  result
+
+val pair_passes : topology_info -> float
+val flex_ops_per_step : topology_info -> float

@@ -1,0 +1,307 @@
+open Mdsp_util
+
+type expr =
+  | Const of float
+  | Param of string
+  | Time
+  | X | Y | Z
+  | Vx | Vy | Vz
+  | Aux of int
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+  | Pow_int of expr * int
+  | Sqrt of expr
+  | Exp of expr
+  | Log of expr
+  | Cos of expr
+  | Sin of expr
+  | Min of expr * expr
+  | Max of expr * expr
+
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+let c v = Const v
+let sq e = Pow_int (e, 2)
+
+let rec uses_velocity = function
+  | Vx | Vy | Vz -> true
+  | Const _ | Param _ | Time | X | Y | Z | Aux _ -> false
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
+    ->
+      uses_velocity a || uses_velocity b
+  | Neg a | Pow_int (a, _) | Sqrt a | Exp a | Log a | Cos a | Sin a ->
+      uses_velocity a
+
+let rec params_of = function
+  | Param p -> [ p ]
+  | Const _ | Time | X | Y | Z | Vx | Vy | Vz | Aux _ -> []
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
+    ->
+      params_of a @ params_of b
+  | Neg a | Pow_int (a, _) | Sqrt a | Exp a | Log a | Cos a | Sin a ->
+      params_of a
+
+(* Min and max are kinked; before differentiating we rewrite them through
+   the identity min(a,b) = (a + b - |a-b|)/2 with |x| smoothed as
+   sqrt(x^2 + eps). The smoothing error is O(sqrt eps) only within
+   ~1e-8 of the kink — in practice Min/Max appear in flat-bottom
+   restraints where the kink carries zero force anyway. *)
+let smooth_minmax e =
+  let eps = Const 1e-16 in
+  let abs_smooth x = Sqrt (Add (Mul (x, x), eps)) in
+  let rec go = function
+    | Min (a, b) ->
+        let a = go a and b = go b in
+        Div (Sub (Add (a, b), abs_smooth (Sub (a, b))), Const 2.)
+    | Max (a, b) ->
+        let a = go a and b = go b in
+        Div (Add (Add (a, b), abs_smooth (Sub (a, b))), Const 2.)
+    | Add (a, b) -> Add (go a, go b)
+    | Sub (a, b) -> Sub (go a, go b)
+    | Mul (a, b) -> Mul (go a, go b)
+    | Div (a, b) -> Div (go a, go b)
+    | Neg a -> Neg (go a)
+    | Pow_int (a, n) -> Pow_int (go a, n)
+    | Sqrt a -> Sqrt (go a)
+    | Exp a -> Exp (go a)
+    | Log a -> Log (go a)
+    | Cos a -> Cos (go a)
+    | Sin a -> Sin (go a)
+    | (Const _ | Param _ | Time | X | Y | Z | Vx | Vy | Vz | Aux _) as leaf ->
+        leaf
+  in
+  go e
+
+(* Symbolic differentiation with respect to a coordinate. *)
+let rec diff e (v : [ `X | `Y | `Z ]) =
+  let d x = diff x v in
+  match e with
+  | Const _ | Param _ | Time | Vx | Vy | Vz | Aux _ -> Const 0.
+  | X -> Const (if v = `X then 1. else 0.)
+  | Y -> Const (if v = `Y then 1. else 0.)
+  | Z -> Const (if v = `Z then 1. else 0.)
+  | Add (a, b) -> Add (d a, d b)
+  | Sub (a, b) -> Sub (d a, d b)
+  | Mul (a, b) -> Add (Mul (d a, b), Mul (a, d b))
+  | Div (a, b) -> Div (Sub (Mul (d a, b), Mul (a, d b)), Mul (b, b))
+  | Neg a -> Neg (d a)
+  | Pow_int (a, n) ->
+      if n = 0 then Const 0.
+      else Mul (Mul (Const (float_of_int n), Pow_int (a, Stdlib.( - ) n 1)), d a)
+  | Sqrt a ->
+      (* Guard the 0/0 at a = 0 (e.g. d/dx sqrt(x^2+y^2+z^2) at the
+         origin): the epsilon makes the chain-rule limit resolve to 0
+         instead of NaN, at a relative error below 1e-15 elsewhere. *)
+      Div (d a, Add (Mul (Const 2., Sqrt a), Const 1e-15))
+  | Exp a -> Mul (Exp a, d a)
+  | Log a -> Div (d a, a)
+  | Cos a -> Neg (Mul (Sin a, d a))
+  | Sin a -> Mul (Cos a, d a)
+  | (Min _ | Max _) as m -> d (smooth_minmax m)
+
+exception Unbound_parameter of string
+
+let rec simplify e =
+  match e with
+  | Add (a, b) -> begin
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x +. y)
+      | Const 0., s | s, Const 0. -> s
+      | a', b' -> Add (a', b')
+    end
+  | Sub (a, b) -> begin
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x -. y)
+      | s, Const 0. -> s
+      | Const 0., s -> Neg s
+      | a', b' -> Sub (a', b')
+    end
+  | Mul (a, b) -> begin
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x *. y)
+      | Const 0., _ | _, Const 0. -> Const 0.
+      | Const 1., s | s, Const 1. -> s
+      | Const (-1.), s | s, Const (-1.) -> Neg s
+      | a', b' -> Mul (a', b')
+    end
+  | Div (a, b) -> begin
+      match (simplify a, simplify b) with
+      | Const 0., _ -> Const 0.
+      | Const x, Const y when y <> 0. -> Const (x /. y)
+      | s, Const 1. -> s
+      | a', b' -> Div (a', b')
+    end
+  | Neg a -> begin
+      match simplify a with
+      | Const x -> Const (-.x)
+      | Neg s -> s
+      | s -> Neg s
+    end
+  | Pow_int (a, n) -> begin
+      match (simplify a, n) with
+      | _, 0 -> Const 1.
+      | s, 1 -> s
+      | Const x, _ -> Const (x ** float_of_int n)
+      | s, _ -> Pow_int (s, n)
+    end
+  | Sqrt a -> begin
+      match simplify a with
+      | Const x when x >= 0. -> Const (sqrt x)
+      | s -> Sqrt s
+    end
+  | Exp a -> begin
+      match simplify a with Const x -> Const (exp x) | s -> Exp s
+    end
+  | Log a -> begin
+      match simplify a with
+      | Const x when x > 0. -> Const (log x)
+      | s -> Log s
+    end
+  | Cos a -> begin
+      match simplify a with Const x -> Const (cos x) | s -> Cos s
+    end
+  | Sin a -> begin
+      match simplify a with Const x -> Const (sin x) | s -> Sin s
+    end
+  | Min (a, b) -> begin
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (Float.min x y)
+      | a', b' -> Min (a', b')
+    end
+  | Max (a, b) -> begin
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (Float.max x y)
+      | a', b' -> Max (a', b')
+    end
+  | e -> e
+
+let rec expr_ops e =
+  let open Stdlib in
+  match e with
+  | Const _ | Param _ | Time | X | Y | Z | Vx | Vy | Vz | Aux _ -> 0
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
+    ->
+      1 + expr_ops a + expr_ops b
+  | Neg a -> 1 + expr_ops a
+  | Pow_int (a, n) -> max 1 (abs n - 1) + expr_ops a
+  | Sqrt a | Exp a | Log a | Cos a | Sin a ->
+      (* transcendental units cost several multiply-adds on the cores *)
+      4 + expr_ops a
+
+let rec eval_expr e ~params ~time ~(pos : Vec3.t) ~(vel : Vec3.t) ~aux =
+  let ev x = eval_expr x ~params ~time ~pos ~vel ~aux in
+  match e with
+  | Const v -> v
+  | Param p -> params p
+  | Time -> time
+  | X -> pos.Vec3.x
+  | Y -> pos.Vec3.y
+  | Z -> pos.Vec3.z
+  | Vx -> vel.Vec3.x
+  | Vy -> vel.Vec3.y
+  | Vz -> vel.Vec3.z
+  | Aux i -> if i < Array.length aux then aux.(i) else 0.
+  | Add (a, b) -> ev a +. ev b
+  | Sub (a, b) -> ev a -. ev b
+  | Mul (a, b) -> ev a *. ev b
+  | Div (a, b) -> ev a /. ev b
+  | Neg a -> -.ev a
+  | Pow_int (a, n) ->
+      let base = ev a in
+      let rec pow acc k = if k = 0 then acc else pow (acc *. base) (Stdlib.( - ) k 1) in
+      if n >= 0 then pow 1. n else 1. /. pow 1. (Stdlib.( ~- ) n)
+  | Sqrt a -> sqrt (ev a)
+  | Exp a -> exp (ev a)
+  | Log a -> log (ev a)
+  | Cos a -> cos (ev a)
+  | Sin a -> sin (ev a)
+  | Min (a, b) -> Float.min (ev a) (ev b)
+  | Max (a, b) -> Float.max (ev a) (ev b)
+
+type t = {
+  kname : string;
+  energy : expr;
+  dx : expr;
+  dy : expr;
+  dz : expr;
+  particles : int array;
+  params : (string, float) Hashtbl.t;
+  ops : int;
+}
+
+let create ~name ~energy ~particles ~params =
+  if uses_velocity energy then
+    invalid_arg "Kernel.create: energy must not reference velocities";
+  let table = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace table k v) params;
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem table p) then
+        invalid_arg (Printf.sprintf "Kernel.create: unbound parameter %S" p))
+    (params_of energy);
+  let smooth = smooth_minmax energy in
+  let dx = simplify (diff smooth `X) in
+  let dy = simplify (diff smooth `Y) in
+  let dz = simplify (diff smooth `Z) in
+  let energy = simplify energy in
+  let ops =
+    Stdlib.( + )
+      (Stdlib.( + ) (expr_ops energy) (expr_ops dx))
+      (Stdlib.( + ) (expr_ops dy) (expr_ops dz))
+  in
+  { kname = name; energy; dx; dy; dz; particles; params = table; ops }
+
+let name t = t.kname
+
+let set_param t key v =
+  if not (Hashtbl.mem t.params key) then
+    invalid_arg (Printf.sprintf "Kernel.set_param: unknown parameter %S" key);
+  Hashtbl.replace t.params key v
+
+let get_param t key =
+  match Hashtbl.find_opt t.params key with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "Kernel.get_param: unknown parameter %S" key)
+
+let ops_per_particle t = t.ops
+let flex_ops t = float_of_int (Stdlib.( * ) t.ops (Array.length t.particles))
+
+let to_bias ?velocities ?aux ~time t =
+  let lookup p =
+    match Hashtbl.find_opt t.params p with
+    | Some v -> v
+    | None -> raise (Unbound_parameter p)
+  in
+  let empty_aux = [||] in
+  {
+    Mdsp_md.Force_calc.bias_name = t.kname;
+    bias_compute =
+      (fun box positions acc ->
+        let open Pbc in
+        let center = Vec3.make (box.lx /. 2.) (box.ly /. 2.) (box.lz /. 2.) in
+        let now = time () in
+        let vels = Option.map (fun f -> f ()) velocities in
+        let e_total = ref 0. in
+        Array.iter
+          (fun i ->
+            let pos = Pbc.min_image box positions.(i) center in
+            let vel =
+              match vels with Some v -> v.(i) | None -> Vec3.zero
+            in
+            let av = match aux with Some f -> f i | None -> empty_aux in
+            let ev ex =
+              eval_expr ex ~params:lookup ~time:now ~pos ~vel ~aux:av
+            in
+            e_total := !e_total +. ev t.energy;
+            let f = Vec3.make (-.ev t.dx) (-.ev t.dy) (-.ev t.dz) in
+            acc.Mdsp_ff.Bonded.forces.(i) <-
+              Vec3.add acc.Mdsp_ff.Bonded.forces.(i) f)
+          t.particles;
+        !e_total);
+  }

@@ -1,0 +1,103 @@
+(** The programmable-core kernel DSL — the other half of the generality
+    story.
+
+    Methods that do not fit the pair pipelines run on the flexible
+    subsystem. A kernel is a per-particle *energy expression* over the
+    particle's coordinates, velocities, per-particle auxiliary slots, the
+    simulation time, and named parameters. The compiler differentiates the
+    expression symbolically, so registering a kernel yields consistent
+    energies and forces automatically, and counts arithmetic operations to
+    estimate the flexible-subsystem cycle cost (the machine mapping's
+    input).
+
+    Coordinates inside kernel expressions are minimum-image displacements
+    from the box center, so kernels are well-defined under PBC. *)
+
+open Mdsp_util
+
+type expr =
+  | Const of float
+  | Param of string  (** looked up in the kernel's parameter table *)
+  | Time  (** simulation time, internal units *)
+  | X | Y | Z  (** particle position relative to the box center *)
+  | Vx | Vy | Vz
+  | Aux of int  (** per-particle auxiliary slot *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+  | Pow_int of expr * int
+  | Sqrt of expr
+  | Exp of expr
+  | Log of expr
+  | Cos of expr
+  | Sin of expr
+  | Min of expr * expr
+  | Max of expr * expr
+
+(** Convenience constructors. *)
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val c : float -> expr
+val sq : expr -> expr
+
+type t
+
+(** [create ~name ~energy ~particles ~params] compiles a kernel applying
+    [energy] to each particle index in [particles]. Raises
+    [Invalid_argument] if the energy expression references velocities (the
+    force is -dE/dx; velocity-dependent "energies" are not conservative) or
+    an unbound parameter. *)
+val create :
+  name:string ->
+  energy:expr ->
+  particles:int array ->
+  params:(string * float) list ->
+  t
+
+val name : t -> string
+
+(** Update a named parameter (e.g. a moving restraint center). *)
+val set_param : t -> string -> float -> unit
+
+val get_param : t -> string -> float
+
+(** Arithmetic operations per particle per evaluation (energy + 3 force
+    gradients, after constant folding). *)
+val ops_per_particle : t -> int
+
+(** Flexible-subsystem ops per step contributed by this kernel. *)
+val flex_ops : t -> float
+
+(** Symbolic derivative (exposed for tests). *)
+val diff : expr -> [ `X | `Y | `Z ] -> expr
+
+(** Constant-fold / simplify (exposed for tests). *)
+val simplify : expr -> expr
+
+(** Operation count of one expression after simplification. *)
+val expr_ops : expr -> int
+
+(** Evaluate an expression for a particle (exposed for tests). [aux] is this
+    particle's auxiliary vector. *)
+val eval_expr :
+  expr ->
+  params:(string -> float) ->
+  time:float ->
+  pos:Vec3.t ->
+  vel:Vec3.t ->
+  aux:float array ->
+  float
+
+(** The bias that plugs the kernel into the force calculator. [velocities]
+    and [aux] suppliers are optional; time is read from the supplied
+    closure. *)
+val to_bias :
+  ?velocities:(unit -> Vec3.t array) ->
+  ?aux:(int -> float array) ->
+  time:(unit -> float) ->
+  t ->
+  Mdsp_md.Force_calc.bias

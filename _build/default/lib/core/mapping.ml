@@ -1,0 +1,114 @@
+open Mdsp_machine
+
+type method_cost = {
+  method_name : string;
+  flex_ops_per_step : float;
+  pair_passes : float;
+  bytes_per_step : float;
+}
+
+let plain =
+  {
+    method_name = "plain MD";
+    flex_ops_per_step = 0.;
+    pair_passes = 1.;
+    bytes_per_step = 0.;
+  }
+
+let of_restraint k =
+  {
+    method_name = Printf.sprintf "restraint(%s)" (Kernel.name k);
+    flex_ops_per_step = Kernel.flex_ops k;
+    pair_passes = 1.;
+    bytes_per_step = 0.;
+  }
+
+let of_metadynamics m =
+  {
+    method_name = "metadynamics";
+    flex_ops_per_step = Metadynamics.flex_ops_per_step m;
+    pair_passes = 1.;
+    bytes_per_step = 32.;
+  }
+
+let of_smd s =
+  {
+    method_name = "steered MD";
+    flex_ops_per_step = Smd.flex_ops_per_step s;
+    pair_passes = 1.;
+    bytes_per_step = 16.;
+  }
+
+let of_tempering t =
+  {
+    method_name = "simulated tempering";
+    flex_ops_per_step = Tempering.flex_ops_per_step t;
+    pair_passes = 1.;
+    bytes_per_step = Tempering.method_bytes_per_step t;
+  }
+
+let of_remd r ~n_atoms =
+  {
+    method_name = "replica exchange";
+    flex_ops_per_step = 50.;
+    pair_passes = 1.;
+    bytes_per_step = Remd.method_bytes_per_step r ~n_atoms;
+  }
+
+let of_fep info =
+  {
+    method_name = "FEP (soft-core)";
+    flex_ops_per_step = Fep.flex_ops_per_step info;
+    pair_passes = Fep.pair_passes info;
+    bytes_per_step = 0.;
+  }
+
+let of_tamd t =
+  {
+    method_name = "TAMD";
+    flex_ops_per_step = Tamd.flex_ops_per_step t;
+    pair_passes = 1.;
+    bytes_per_step = 16.;
+  }
+
+let of_amd a ~n_atoms =
+  {
+    method_name = "accelerated MD";
+    flex_ops_per_step = Amd.flex_ops_per_step a ~n_atoms;
+    pair_passes = 1.;
+    bytes_per_step = 8.;
+  }
+
+let apply cost (w : Perf.workload) =
+  {
+    w with
+    Perf.flex_ops_per_step = w.Perf.flex_ops_per_step +. cost.flex_ops_per_step;
+    pair_passes = w.Perf.pair_passes *. cost.pair_passes;
+    method_bytes_per_step = w.Perf.method_bytes_per_step +. cost.bytes_per_step;
+  }
+
+let overhead cfg base cost =
+  let t0 = (Perf.step_time cfg base).Perf.step_s in
+  let t1 = (Perf.step_time cfg (apply cost base)).Perf.step_s in
+  (t1 /. t0) -. 1.
+
+type row = {
+  name : string;
+  breakdown : Perf.breakdown;
+  ns_per_day : float;
+  overhead_pct : float;
+}
+
+let table cfg base costs =
+  let t0 = (Perf.step_time cfg base).Perf.step_s in
+  List.map
+    (fun cost ->
+      let w = apply cost base in
+      let b = Perf.step_time cfg w in
+      {
+        name = cost.method_name;
+        breakdown = b;
+        ns_per_day = Perf.ns_per_day cfg w;
+        overhead_pct = ((b.Perf.step_s /. t0) -. 1.) *. 100.;
+      })
+    costs

@@ -1,0 +1,48 @@
+(** Mapping methods onto machine resources.
+
+    The heart of the paper's claim: each extended method decomposes into
+    (a) extra table passes through the hardwired pipelines, (b) extra
+    programmable-core work, and (c) extra communication — and those
+    increments are small, so the extended methods run at close to plain-MD
+    speed. This module produces the adjusted workload for the performance
+    model and the E6/E7 overhead and breakdown tables. *)
+
+type method_cost = {
+  method_name : string;
+  flex_ops_per_step : float;
+  pair_passes : float;  (** multiplier on the pair-pipeline workload *)
+  bytes_per_step : float;  (** extra network traffic per step *)
+}
+
+(** Plain MD: the identity mapping. *)
+val plain : method_cost
+
+val of_restraint : Kernel.t -> method_cost
+val of_metadynamics : Metadynamics.t -> method_cost
+val of_smd : Smd.t -> method_cost
+val of_tempering : Tempering.t -> method_cost
+val of_remd : Remd.t -> n_atoms:int -> method_cost
+val of_fep : Fep.topology_info -> method_cost
+val of_tamd : Tamd.t -> method_cost
+val of_amd : Amd.t -> n_atoms:int -> method_cost
+
+(** Apply a method's increments to a baseline workload. *)
+val apply :
+  method_cost -> Mdsp_machine.Perf.workload -> Mdsp_machine.Perf.workload
+
+(** [overhead cfg base cost] is
+    [(step time with method / plain step time) - 1]. *)
+val overhead :
+  Mdsp_machine.Config.t -> Mdsp_machine.Perf.workload -> method_cost -> float
+
+type row = {
+  name : string;
+  breakdown : Mdsp_machine.Perf.breakdown;
+  ns_per_day : float;
+  overhead_pct : float;
+}
+
+(** Evaluate a list of methods against a baseline workload on a machine. *)
+val table :
+  Mdsp_machine.Config.t -> Mdsp_machine.Perf.workload -> method_cost list ->
+  row list

@@ -1,0 +1,40 @@
+(** Metadynamics: history-dependent Gaussian bias on a collective variable.
+
+    Hills of height [height] and width [sigma] are deposited at the current
+    CV value every [stride] steps; the accumulated bias discourages
+    revisiting sampled regions, and its negative converges to the free
+    energy along the CV (up to a constant). [well_tempered] enables
+    height decay with an effective delta-T, giving the well-tempered
+    variant whose estimate is scaled by (T + dT)/dT.
+
+    On the machine, the hill sum evaluates on the programmable cores;
+    {!flex_ops_per_step} feeds the mapping layer. *)
+
+type t
+
+val create :
+  ?well_tempered:float ->
+  cv:Cv.t ->
+  sigma:float ->
+  height:float ->
+  stride:int ->
+  temp:float ->
+  unit ->
+  t
+
+(** Register the bias and the deposition hook on an engine. *)
+val attach : t -> Mdsp_md.Engine.t -> unit
+
+(** Current bias potential at a CV value. *)
+val bias_energy : t -> float -> float
+
+(** Hills deposited so far. *)
+val n_hills : t -> int
+
+(** [free_energy_estimate t ~lo ~hi ~bins] is [(s, F(s))] with
+    [F = -bias] (scaled appropriately if well-tempered), not yet shifted. *)
+val free_energy_estimate :
+  t -> lo:float -> hi:float -> bins:int -> (float * float) array
+
+(** Programmable-core cost for the mapping layer. *)
+val flex_ops_per_step : t -> float

@@ -1,0 +1,131 @@
+open Mdsp_util
+
+type hill = { c1 : float; c2 : float; height : float }
+
+type t = {
+  cv1 : Cv.t;
+  cv2 : Cv.t;
+  sigma1 : float;
+  sigma2 : float;
+  w0 : float;
+  stride : int;
+  well_tempered : float option;
+  temp : float;
+  mutable hills : hill list;
+  mutable n_hills : int;
+}
+
+let create ?well_tempered ~cv1 ~cv2 ~sigma1 ~sigma2 ~height ~stride ~temp () =
+  if sigma1 <= 0. || sigma2 <= 0. then
+    invalid_arg "Metadynamics2.create: sigmas must be positive";
+  if height <= 0. then invalid_arg "Metadynamics2.create: height";
+  if stride <= 0 then invalid_arg "Metadynamics2.create: stride";
+  {
+    cv1;
+    cv2;
+    sigma1;
+    sigma2;
+    w0 = height;
+    stride;
+    well_tempered;
+    temp;
+    hills = [];
+    n_hills = 0;
+  }
+
+let bias_energy t s1 s2 =
+  List.fold_left
+    (fun acc h ->
+      let d1 = (s1 -. h.c1) /. t.sigma1 in
+      let d2 = (s2 -. h.c2) /. t.sigma2 in
+      acc +. (h.height *. exp (-0.5 *. ((d1 *. d1) +. (d2 *. d2)))))
+    0. t.hills
+
+(* (dV/ds1, dV/ds2). *)
+let bias_gradient t s1 s2 =
+  List.fold_left
+    (fun (g1, g2) h ->
+      let d1 = (s1 -. h.c1) /. t.sigma1 in
+      let d2 = (s2 -. h.c2) /. t.sigma2 in
+      let e = h.height *. exp (-0.5 *. ((d1 *. d1) +. (d2 *. d2))) in
+      (g1 -. (e *. d1 /. t.sigma1), g2 -. (e *. d2 /. t.sigma2)))
+    (0., 0.) t.hills
+
+let bias t =
+  {
+    Mdsp_md.Force_calc.bias_name = "metadynamics2";
+    bias_compute =
+      (fun box positions acc ->
+        let s1 = t.cv1.Cv.value box positions in
+        let s2 = t.cv2.Cv.value box positions in
+        let e = bias_energy t s1 s2 in
+        let dv1, dv2 = bias_gradient t s1 s2 in
+        (* Force on the atoms: -dV/ds * ds/dr for each CV. *)
+        List.iter
+          (fun (i, g) ->
+            acc.Mdsp_ff.Bonded.forces.(i) <-
+              Vec3.axpy (-.dv1) g acc.Mdsp_ff.Bonded.forces.(i))
+          (t.cv1.Cv.gradient box positions);
+        List.iter
+          (fun (i, g) ->
+            acc.Mdsp_ff.Bonded.forces.(i) <-
+              Vec3.axpy (-.dv2) g acc.Mdsp_ff.Bonded.forces.(i))
+          (t.cv2.Cv.gradient box positions);
+        e);
+  }
+
+let deposit t s1 s2 =
+  let height =
+    match t.well_tempered with
+    | None -> t.w0
+    | Some delta_t ->
+        t.w0 *. exp (-.bias_energy t s1 s2 /. (Units.k_b *. delta_t))
+  in
+  t.hills <- { c1 = s1; c2 = s2; height } :: t.hills;
+  t.n_hills <- t.n_hills + 1
+
+let attach t eng =
+  Mdsp_md.Force_calc.add_bias (Mdsp_md.Engine.force_calc eng) (bias t);
+  Mdsp_md.Engine.add_post_step eng ~name:"metadynamics2" (fun eng ->
+      if Mdsp_md.Engine.steps_done eng mod t.stride = 0 then begin
+        let st = Mdsp_md.Engine.state eng in
+        let s1 =
+          t.cv1.Cv.value st.Mdsp_md.State.box st.Mdsp_md.State.positions
+        in
+        let s2 =
+          t.cv2.Cv.value st.Mdsp_md.State.box st.Mdsp_md.State.positions
+        in
+        deposit t s1 s2
+      end)
+
+let n_hills t = t.n_hills
+
+let scale t =
+  match t.well_tempered with
+  | None -> 1.
+  | Some delta_t -> (t.temp +. delta_t) /. delta_t
+
+let free_energy_surface t ~lo1 ~hi1 ~bins1 ~lo2 ~hi2 ~bins2 =
+  let w1 = (hi1 -. lo1) /. float_of_int bins1 in
+  let w2 = (hi2 -. lo2) /. float_of_int bins2 in
+  let sc = scale t in
+  Array.init bins1 (fun a ->
+      let s1 = lo1 +. ((float_of_int a +. 0.5) *. w1) in
+      Array.init bins2 (fun b ->
+          let s2 = lo2 +. ((float_of_int b +. 0.5) *. w2) in
+          (s1, s2, -.sc *. bias_energy t s1 s2)))
+
+let ridge_path t ~lo1 ~hi1 ~bins1 ~lo2 ~hi2 ~bins2 =
+  let surface = free_energy_surface t ~lo1 ~hi1 ~bins1 ~lo2 ~hi2 ~bins2 in
+  Array.map
+    (fun column ->
+      let s1, _, _ = column.(0) in
+      let best =
+        Array.fold_left
+          (fun (bs2, bf) (_, s2, f) -> if f < bf then (s2, f) else (bs2, bf))
+          (0., infinity) column
+      in
+      (s1, fst best))
+    surface
+
+let flex_ops_per_step t = t.cv1.Cv.flex_ops +. t.cv2.Cv.flex_ops +. 300.

@@ -1,0 +1,44 @@
+(** Two-dimensional metadynamics: Gaussian hills on a pair of collective
+    variables. Same deposition protocol as the 1D version
+    ({!Metadynamics}), with an optional well-tempered height schedule; the
+    free-energy estimate comes back on a grid. *)
+
+type t
+
+val create :
+  ?well_tempered:float ->
+  cv1:Cv.t ->
+  cv2:Cv.t ->
+  sigma1:float ->
+  sigma2:float ->
+  height:float ->
+  stride:int ->
+  temp:float ->
+  unit ->
+  t
+
+(** Register the bias and the deposition hook on an engine. *)
+val attach : t -> Mdsp_md.Engine.t -> unit
+
+(** Current bias at a CV point. *)
+val bias_energy : t -> float -> float -> float
+
+val n_hills : t -> int
+
+(** [free_energy_surface t ~lo1 ~hi1 ~bins1 ~lo2 ~hi2 ~bins2] is the grid
+    of (s1, s2, F) with F = -bias (scaled if well-tempered), not shifted. *)
+val free_energy_surface :
+  t ->
+  lo1:float -> hi1:float -> bins1:int ->
+  lo2:float -> hi2:float -> bins2:int ->
+  (float * float * float) array array
+
+(** Minimum-free-energy value of s2 for each s1 column of the surface —
+    a path estimate comparable to the string method's. *)
+val ridge_path :
+  t ->
+  lo1:float -> hi1:float -> bins1:int ->
+  lo2:float -> hi2:float -> bins2:int ->
+  (float * float) array
+
+val flex_ops_per_step : t -> float

@@ -1,0 +1,28 @@
+(** Temperature replica exchange (parallel tempering).
+
+    Runs a ladder of engines, one per temperature rung; every [stride] steps
+    neighboring rungs attempt a Metropolis configuration exchange
+    (alternating even/odd pairs per sweep). Each engine must run a
+    thermostat. *)
+
+type t
+
+val create :
+  engines:Mdsp_md.Engine.t array -> temps:float array -> stride:int ->
+  seed:int -> t
+
+(** [run t ~sweeps] advances all replicas [sweeps * stride] steps with
+    exchange attempts between sweeps. *)
+val run : t -> sweeps:int -> unit
+
+(** Per-neighbor-pair acceptance rates. *)
+val acceptance : t -> float array
+
+val engines : t -> Mdsp_md.Engine.t array
+
+(** [replica_of_config t].(c) is the rung currently holding the
+    configuration that started at rung [c] — diagnostics for ladder mixing. *)
+val replica_of_config : t -> int array
+
+(** Extra communication charged per step by the machine mapping. *)
+val method_bytes_per_step : t -> n_atoms:int -> float

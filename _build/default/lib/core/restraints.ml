@@ -1,0 +1,47 @@
+open Mdsp_util
+
+(* Positional restraint as a kernel: k * ((x-x0)^2 + (y-y0)^2 + (z-z0)^2).
+   Coordinates inside kernels are relative to the box center, so reference
+   points are too. *)
+let position ~name ~particles ~k ~reference =
+  let label = name in
+  let open Kernel in
+  let e =
+    (c k * sq (X - Param "x0"))
+    + (c k * sq (Y - Param "y0"))
+    + (c k * sq (Z - Param "z0"))
+  in
+  Kernel.create ~name:label ~energy:e ~particles
+    ~params:
+      [
+        ("x0", reference.Vec3.x);
+        ("y0", reference.Vec3.y);
+        ("z0", reference.Vec3.z);
+      ]
+
+(* Flat-bottom spherical restraint: zero inside radius r0, harmonic wall
+   outside: k * max(0, r - r0)^2 with r relative to the box center. *)
+let flat_bottom ~name ~particles ~k ~radius =
+  let label = name in
+  let open Kernel in
+  let r = Sqrt (sq X + sq Y + sq Z) in
+  let excess = Max (r - Param "r0", c 0.) in
+  Kernel.create ~name:label
+    ~energy:(c k * sq excess)
+    ~particles
+    ~params:[ ("r0", radius) ]
+
+let kernel_bias eng kernel =
+  let time () = (Mdsp_md.Engine.state eng).Mdsp_md.State.time in
+  Kernel.to_bias ~time kernel
+
+let attach_kernel eng kernel =
+  Mdsp_md.Force_calc.add_bias
+    (Mdsp_md.Engine.force_calc eng)
+    (kernel_bias eng kernel)
+
+(* Distance restraint between two atoms through the CV machinery. *)
+let distance ~name ~i ~j ~k ~target =
+  Cv.harmonic_bias ~name ~cv:(Cv.distance ~i ~j) ~k ~center:(fun () -> target)
+
+let flex_ops_of_kernel = Kernel.flex_ops

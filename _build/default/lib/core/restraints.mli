@@ -1,0 +1,31 @@
+(** Restraints, expressed as programmable-core kernels or CV biases.
+
+    Position and flat-bottom restraints are built with the kernel DSL — the
+    compiler differentiates the energy expression, so these serve as both
+    useful tools and the canonical kernel examples. *)
+
+open Mdsp_util
+
+(** Harmonic positional restraint [k |r - r0|^2]; [reference] is relative to
+    the box center. *)
+val position :
+  name:string -> particles:int array -> k:float -> reference:Vec3.t ->
+  Kernel.t
+
+(** Flat-bottom spherical wall: free inside [radius] of the box center,
+    harmonic outside. *)
+val flat_bottom :
+  name:string -> particles:int array -> k:float -> radius:float -> Kernel.t
+
+(** Wrap a kernel into a bias bound to an engine's clock. *)
+val kernel_bias : Mdsp_md.Engine.t -> Kernel.t -> Mdsp_md.Force_calc.bias
+
+(** Register a kernel on an engine's force calculator. *)
+val attach_kernel : Mdsp_md.Engine.t -> Kernel.t -> unit
+
+(** Harmonic distance restraint between two atoms. *)
+val distance :
+  name:string -> i:int -> j:int -> k:float -> target:float ->
+  Mdsp_md.Force_calc.bias
+
+val flex_ops_of_kernel : Kernel.t -> float

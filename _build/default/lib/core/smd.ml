@@ -1,0 +1,40 @@
+type t = {
+  cv : Cv.t;
+  k : float;
+  mutable center : float;
+  speed : float; (* CV units per step *)
+  mutable work : float;
+  mutable trace : (float * float * float) list; (* (center, cv, work), reversed *)
+  record_stride : int;
+}
+
+let create ?(record_stride = 10) ~cv ~k ~start ~speed_per_step () =
+  {
+    cv;
+    k;
+    center = start;
+    speed = speed_per_step;
+    work = 0.;
+    trace = [];
+    record_stride;
+  }
+
+let bias t =
+  Cv.harmonic_bias ~name:"smd" ~cv:t.cv ~k:t.k ~center:(fun () -> t.center)
+
+let attach t eng =
+  Mdsp_md.Force_calc.add_bias (Mdsp_md.Engine.force_calc eng) (bias t);
+  Mdsp_md.Engine.add_post_step eng ~name:"smd" (fun eng ->
+      let st = Mdsp_md.Engine.state eng in
+      let s = t.cv.Cv.value st.Mdsp_md.State.box st.Mdsp_md.State.positions in
+      (* Pulling work: dW = dU/dc * dc = -2k (s - c) dc. *)
+      let dc = t.speed in
+      t.work <- t.work -. (2. *. t.k *. (s -. t.center) *. dc);
+      t.center <- t.center +. dc;
+      if Mdsp_md.Engine.steps_done eng mod t.record_stride = 0 then
+        t.trace <- (t.center, s, t.work) :: t.trace)
+
+let work t = t.work
+let center t = t.center
+let trace t = List.rev t.trace
+let flex_ops_per_step t = t.cv.Cv.flex_ops +. 20.

@@ -1,0 +1,23 @@
+(** Steered molecular dynamics: a harmonic restraint whose center moves at
+    constant speed, dragging the system along a collective variable. The
+    accumulated nonequilibrium work is recorded (usable with the Jarzynski
+    equality). *)
+
+type t
+
+(** [speed_per_step] is the center displacement per MD step (CV units). *)
+val create :
+  ?record_stride:int ->
+  cv:Cv.t -> k:float -> start:float -> speed_per_step:float -> unit -> t
+
+val attach : t -> Mdsp_md.Engine.t -> unit
+
+(** Accumulated pulling work, kcal/mol. *)
+val work : t -> float
+
+val center : t -> float
+
+(** Recorded (center, cv, work) triples in time order. *)
+val trace : t -> (float * float * float) list
+
+val flex_ops_per_step : t -> float

@@ -1,0 +1,180 @@
+open Mdsp_util
+
+type t = {
+  cvs : Cv.t array;
+  mutable images : float array array;  (** n_images x n_cvs *)
+  states : Mdsp_md.State.t array;
+  engine : Mdsp_md.Engine.t;
+  k : float;
+  equil_steps : int;
+  n_swarms : int;
+  swarm_steps : int;
+  rng : Rng.t;
+  mutable iterations : int;
+  mutable history : float array array list;  (** images per iteration *)
+}
+
+let interpolate_endpoint ~a ~b ~n =
+  Array.init n (fun i ->
+      let frac = float_of_int i /. float_of_int (n - 1) in
+      Array.init (Array.length a) (fun d ->
+          a.(d) +. (frac *. (b.(d) -. a.(d)))))
+
+let create ~cvs ~start ~stop ~n_images ~engine ~k ~equil_steps ~n_swarms
+    ~swarm_steps ~seed =
+  if n_images < 3 then invalid_arg "String_method.create: need >= 3 images";
+  if Array.length start <> Array.length cvs
+     || Array.length stop <> Array.length cvs
+  then invalid_arg "String_method.create: endpoint dimension mismatch";
+  let images = interpolate_endpoint ~a:start ~b:stop ~n:n_images in
+  let st0 = Mdsp_md.Engine.state engine in
+  let states = Array.init n_images (fun _ -> Mdsp_md.State.copy st0) in
+  {
+    cvs;
+    images;
+    states;
+    engine;
+    k;
+    equil_steps;
+    n_swarms;
+    swarm_steps;
+    rng = Rng.create seed;
+    iterations = 0;
+    history = [];
+  }
+
+let images t = Array.map Array.copy t.images
+let iterations t = t.iterations
+let history t = List.rev t.history
+
+let measure_cvs t =
+  let st = Mdsp_md.Engine.state t.engine in
+  Array.map
+    (fun cv -> cv.Cv.value st.Mdsp_md.State.box st.Mdsp_md.State.positions)
+    t.cvs
+
+let add_restraints t image =
+  let fc = Mdsp_md.Engine.force_calc t.engine in
+  Array.iteri
+    (fun d cv ->
+      let center = image.(d) in
+      Mdsp_md.Force_calc.add_bias fc
+        (Cv.harmonic_bias
+           ~name:(Printf.sprintf "string_r%d" d)
+           ~cv ~k:t.k
+           ~center:(fun () -> center)))
+    t.cvs
+
+let remove_restraints t =
+  let fc = Mdsp_md.Engine.force_calc t.engine in
+  Array.iteri
+    (fun d _ ->
+      ignore (Mdsp_md.Force_calc.remove_bias fc (Printf.sprintf "string_r%d" d)))
+    t.cvs
+
+(* Arc-length reparametrization: redistribute images at equal arc length
+   along the piecewise-linear string. *)
+let reparametrize images =
+  let n = Array.length images in
+  let dim = Array.length images.(0) in
+  let seg_len = Array.make (n - 1) 0. in
+  for i = 0 to n - 2 do
+    let s = ref 0. in
+    for d = 0 to dim - 1 do
+      s := !s +. ((images.(i + 1).(d) -. images.(i).(d)) ** 2.)
+    done;
+    seg_len.(i) <- sqrt !s
+  done;
+  let total = Array.fold_left ( +. ) 0. seg_len in
+  if total <= 0. then images
+  else begin
+    let cum = Array.make n 0. in
+    for i = 1 to n - 1 do
+      cum.(i) <- cum.(i - 1) +. seg_len.(i - 1)
+    done;
+    Array.init n (fun i ->
+        if i = 0 then Array.copy images.(0)
+        else if i = n - 1 then Array.copy images.(n - 1)
+        else begin
+          let target = total *. float_of_int i /. float_of_int (n - 1) in
+          (* Locate the segment containing the target arc length. *)
+          let seg = ref 0 in
+          while !seg < n - 2 && cum.(!seg + 1) < target do
+            incr seg
+          done;
+          let s = !seg in
+          let denom = Float.max 1e-12 seg_len.(s) in
+          let frac = (target -. cum.(s)) /. denom in
+          Array.init dim (fun d ->
+              images.(s).(d) +. (frac *. (images.(s + 1).(d) -. images.(s).(d))))
+        end)
+  end
+
+(* One string iteration. Returns the max image displacement in CV space. *)
+let iterate t =
+  let n = Array.length t.images in
+  let dim = Array.length t.cvs in
+  let drifts = Array.make_matrix n dim 0. in
+  let eng_state = Mdsp_md.Engine.state t.engine in
+  for i = 0 to n - 1 do
+    (* Restrained equilibration at the image. *)
+    Mdsp_md.State.blit ~src:t.states.(i) ~dst:eng_state;
+    add_restraints t t.images.(i);
+    Mdsp_md.Engine.refresh_forces t.engine;
+    Mdsp_md.Engine.run t.engine t.equil_steps;
+    remove_restraints t;
+    Mdsp_md.State.blit ~src:eng_state ~dst:t.states.(i);
+    (* Swarm of short unbiased trajectories. *)
+    let z0 = measure_cvs t in
+    let mean_drift = Array.make dim 0. in
+    for _ = 1 to t.n_swarms do
+      Mdsp_md.State.blit ~src:t.states.(i) ~dst:eng_state;
+      (* Fresh velocities decorrelate swarm members. *)
+      Mdsp_md.State.thermalize eng_state t.rng
+        ~temp:(Mdsp_md.Engine.config t.engine).Mdsp_md.Engine.temperature;
+      Mdsp_md.Engine.refresh_forces t.engine;
+      Mdsp_md.Engine.run t.engine t.swarm_steps;
+      let z1 = measure_cvs t in
+      for d = 0 to dim - 1 do
+        mean_drift.(d) <-
+          mean_drift.(d) +. ((z1.(d) -. z0.(d)) /. float_of_int t.n_swarms)
+      done
+    done;
+    for d = 0 to dim - 1 do
+      drifts.(i).(d) <- mean_drift.(d)
+    done
+  done;
+  (* Move interior images by the mean drift, then reparametrize. *)
+  let proposed =
+    Array.mapi
+      (fun i img ->
+        if i = 0 || i = n - 1 then Array.copy img
+        else Array.mapi (fun d v -> v +. drifts.(i).(d)) img)
+      t.images
+  in
+  let new_images = reparametrize proposed in
+  let max_move = ref 0. in
+  for i = 0 to n - 1 do
+    let s = ref 0. in
+    for d = 0 to dim - 1 do
+      s := !s +. ((new_images.(i).(d) -. t.images.(i).(d)) ** 2.)
+    done;
+    max_move := Float.max !max_move (sqrt !s)
+  done;
+  t.images <- new_images;
+  t.iterations <- t.iterations + 1;
+  t.history <- Array.map Array.copy new_images :: t.history;
+  !max_move
+
+let converge ?(tol = 0.05) ?(max_iterations = 50) t =
+  let rec go last =
+    if t.iterations >= max_iterations then last
+    else begin
+      let m = iterate t in
+      if m < tol then m else go m
+    end
+  in
+  go infinity
+
+let flex_ops_per_step t =
+  Array.fold_left (fun acc cv -> acc +. cv.Cv.flex_ops) 100. t.cvs

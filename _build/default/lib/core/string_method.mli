@@ -1,0 +1,45 @@
+(** String method with swarms of trajectories (Pan, Sezer & Roux).
+
+    Finds the most probable transition pathway between two basins in a
+    collective-variable space. Each iteration: (1) equilibrate each image
+    under harmonic CV restraints, (2) launch a swarm of short unbiased
+    trajectories per image and average the CV drift, (3) move interior
+    images by the mean drift and reparametrize the string to equal arc
+    length. Converges when images stop moving. *)
+
+type t
+
+(** [start]/[stop] are the endpoint images in CV space (held fixed). The
+    engine's current state seeds every image. *)
+val create :
+  cvs:Cv.t array ->
+  start:float array ->
+  stop:float array ->
+  n_images:int ->
+  engine:Mdsp_md.Engine.t ->
+  k:float ->
+  equil_steps:int ->
+  n_swarms:int ->
+  swarm_steps:int ->
+  seed:int ->
+  t
+
+(** One iteration; returns the max image displacement (CV units). *)
+val iterate : t -> float
+
+(** Iterate until displacement < [tol] (default 0.05) or [max_iterations]
+    (default 50); returns the final displacement. *)
+val converge : ?tol:float -> ?max_iterations:int -> t -> float
+
+(** Current images, one CV vector per image. *)
+val images : t -> float array array
+
+val iterations : t -> int
+
+(** Image snapshots after each iteration, oldest first. *)
+val history : t -> float array array list
+
+(** Equal-arc-length reparametrization (exposed for tests). *)
+val reparametrize : float array array -> float array array
+
+val flex_ops_per_step : t -> float

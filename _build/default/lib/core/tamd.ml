@@ -1,0 +1,51 @@
+open Mdsp_util
+
+type t = {
+  cv : Cv.t;
+  k : float;  (** coupling spring (energy per CV unit squared) *)
+  mutable s : float;  (** extended variable *)
+  gamma : float;  (** friction of the extended variable, per step *)
+  s_temp : float;  (** temperature of the extended variable *)
+  mutable trace : float list;
+  record_stride : int;
+  rng : Rng.t;
+}
+
+let create ?(record_stride = 10) ~cv ~k ~s0 ~gamma ~s_temp ~seed () =
+  if k <= 0. then invalid_arg "Tamd.create: k must be positive";
+  if gamma <= 0. || gamma > 1. then
+    invalid_arg "Tamd.create: gamma must be in (0, 1] (per-step mobility)";
+  {
+    cv;
+    k;
+    s = s0;
+    gamma;
+    s_temp;
+    trace = [];
+    record_stride;
+    rng = Rng.create seed;
+  }
+
+let bias t =
+  Cv.harmonic_bias ~name:"tamd" ~cv:t.cv ~k:t.k ~center:(fun () -> t.s)
+
+(* Overdamped (Brownian) dynamics of the extended variable at the elevated
+   temperature: ds = -mobility dU/ds + sqrt(2 kT_s mobility) xi, with
+   dU/ds = -2k (z - s). The per-step mobility is gamma. *)
+let hook t eng =
+  let st = Mdsp_md.Engine.state eng in
+  let z = t.cv.Cv.value st.Mdsp_md.State.box st.Mdsp_md.State.positions in
+  let du_ds = -2. *. t.k *. (z -. t.s) in
+  let kt = Units.kt t.s_temp in
+  let noise = sqrt (2. *. kt *. t.gamma /. (2. *. t.k)) *. Rng.gaussian t.rng in
+  t.s <- t.s -. (t.gamma /. (2. *. t.k) *. du_ds) +. noise;
+  if Mdsp_md.Engine.steps_done eng mod t.record_stride = 0 then
+    t.trace <- t.s :: t.trace
+
+let attach t eng =
+  Mdsp_md.Force_calc.add_bias (Mdsp_md.Engine.force_calc eng) (bias t);
+  Mdsp_md.Engine.add_post_step eng ~name:"tamd" (hook t)
+
+let s_value t = t.s
+let trace t = List.rev t.trace
+let flex_ops_per_step t = t.cv.Cv.flex_ops +. 40.

@@ -1,0 +1,26 @@
+(** Temperature-accelerated molecular dynamics (TAMD / d-AFED).
+
+    An extended variable [s] is tethered to a collective variable [z] by a
+    stiff spring and evolved by overdamped Brownian dynamics at an elevated
+    temperature [s_temp]; the hot extended variable drags the physical
+    system across barriers along the CV while the rest of the system stays
+    cold. *)
+
+type t
+
+(** [gamma] is the per-step mobility of the extended variable (dimensionless
+    fraction of the gradient step, in (0, 1]). *)
+val create :
+  ?record_stride:int ->
+  cv:Cv.t -> k:float -> s0:float -> gamma:float -> s_temp:float -> seed:int ->
+  unit -> t
+
+val attach : t -> Mdsp_md.Engine.t -> unit
+
+(** Current extended-variable value. *)
+val s_value : t -> float
+
+(** Recorded extended-variable trajectory. *)
+val trace : t -> float list
+
+val flex_ops_per_step : t -> float

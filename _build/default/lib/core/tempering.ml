@@ -1,0 +1,91 @@
+open Mdsp_util
+
+type t = {
+  temps : float array;
+  weights : float array;  (** dimensionless log-weights a_m *)
+  mutable rung : int;
+  stride : int;
+  mutable wl_delta : float;  (** Wang–Landau adaption increment *)
+  mutable adapting : bool;
+  visits : int array;
+  mutable attempts : int;
+  mutable accepts : int;
+}
+
+let create ?(wl_delta = 0.5) ~temps ~stride () =
+  let m = Array.length temps in
+  if m < 2 then invalid_arg "Tempering.create: need at least two rungs";
+  for i = 1 to m - 1 do
+    if temps.(i) <= temps.(i - 1) then
+      invalid_arg "Tempering.create: temperatures must increase"
+  done;
+  {
+    temps;
+    weights = Array.make m 0.;
+    rung = 0;
+    stride;
+    wl_delta;
+    adapting = true;
+    visits = Array.make m 0;
+    attempts = 0;
+    accepts = 0;
+  }
+
+let rung t = t.rung
+let temperature t = t.temps.(t.rung)
+let visits t = Array.copy t.visits
+let weights t = Array.copy t.weights
+
+let acceptance_rate t =
+  if t.attempts = 0 then 0.
+  else float_of_int t.accepts /. float_of_int t.attempts
+
+let freeze_adaption t = t.adapting <- false
+
+let attempt t eng =
+  let m = t.rung in
+  let n =
+    if m = 0 then 1
+    else if m = Array.length t.temps - 1 then m - 1
+    else if Rng.uniform (Mdsp_md.Engine.rng eng) < 0.5 then m - 1
+    else m + 1
+  in
+  t.attempts <- t.attempts + 1;
+  let u = Mdsp_md.Engine.potential_energy eng in
+  let beta_m = 1. /. Units.kt t.temps.(m) in
+  let beta_n = 1. /. Units.kt t.temps.(n) in
+  let log_p = ((beta_m -. beta_n) *. u) +. t.weights.(n) -. t.weights.(m) in
+  let accept =
+    log_p >= 0. || Rng.uniform (Mdsp_md.Engine.rng eng) < exp log_p
+  in
+  if accept then begin
+    t.accepts <- t.accepts + 1;
+    let scale = sqrt (t.temps.(n) /. t.temps.(m)) in
+    Mdsp_md.State.scale_velocities (Mdsp_md.Engine.state eng) scale;
+    Mdsp_md.Engine.set_temperature eng t.temps.(n);
+    t.rung <- n
+  end
+
+let hook t eng =
+  if Mdsp_md.Engine.steps_done eng mod t.stride = 0 then begin
+    let m = t.rung in
+    t.visits.(m) <- t.visits.(m) + 1;
+    if t.adapting then begin
+      (* Wang–Landau: penalize the current rung so the walk spreads; the
+         increment shrinks once every rung has been visited repeatedly. *)
+      t.weights.(m) <- t.weights.(m) -. t.wl_delta;
+      let min_visits = Array.fold_left min max_int t.visits in
+      if min_visits > 0 && min_visits mod 20 = 0 then
+        t.wl_delta <- Float.max 1e-3 (t.wl_delta *. 0.8)
+    end;
+    attempt t eng
+  end
+
+let attach t eng =
+  Mdsp_md.Engine.set_temperature eng t.temps.(t.rung);
+  Mdsp_md.Engine.add_post_step eng ~name:"tempering" (hook t)
+
+(* Tempering costs one reduction of the potential energy plus a scalar
+   Metropolis test: all on the programmable cores / network. *)
+let flex_ops_per_step _ = 50.
+let method_bytes_per_step _ = 64.

@@ -1,0 +1,25 @@
+(** Simulated tempering: a single replica performs a random walk on a
+    temperature ladder, with Metropolis moves every [stride] steps using the
+    instantaneous potential energy and adaptive (Wang–Landau) rung weights.
+
+    The engine must run a thermostat whose target the method can switch
+    (any of Langevin / Berendsen / Nosé–Hoover). *)
+
+type t
+
+val create : ?wl_delta:float -> temps:float array -> stride:int -> unit -> t
+
+(** Register the per-step hook; also sets the engine to the initial rung. *)
+val attach : t -> Mdsp_md.Engine.t -> unit
+
+val rung : t -> int
+val temperature : t -> float
+val visits : t -> int array
+val weights : t -> float array
+val acceptance_rate : t -> float
+
+(** Stop weight adaption (production phase). *)
+val freeze_adaption : t -> unit
+
+val flex_ops_per_step : t -> float
+val method_bytes_per_step : t -> float

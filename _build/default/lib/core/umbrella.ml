@@ -1,0 +1,58 @@
+type window_result = {
+  center : float;
+  k : float;
+  samples : float array;
+}
+
+type plan = {
+  cv : Cv.t;
+  k : float;
+  centers : float array;
+  equil_steps : int;
+  sample_steps : int;
+  sample_stride : int;
+}
+
+let make_plan ~cv ~k ~centers ~equil_steps ~sample_steps ~sample_stride =
+  if Array.length centers < 2 then
+    invalid_arg "Umbrella.make_plan: need at least two windows";
+  { cv; k; centers; equil_steps; sample_steps; sample_stride }
+
+let run_window plan eng center =
+  let fc = Mdsp_md.Engine.force_calc eng in
+  let bias, last =
+    Cv.harmonic_bias_tracked ~name:"umbrella" ~cv:plan.cv ~k:plan.k
+      ~center:(fun () -> center)
+  in
+  Mdsp_md.Force_calc.add_bias fc bias;
+  Mdsp_md.Engine.refresh_forces eng;
+  Mdsp_md.Engine.run eng plan.equil_steps;
+  let samples = ref [] in
+  let n_samples = plan.sample_steps / plan.sample_stride in
+  for _ = 1 to n_samples do
+    Mdsp_md.Engine.run eng plan.sample_stride;
+    samples := last () :: !samples
+  done;
+  ignore (Mdsp_md.Force_calc.remove_bias fc "umbrella");
+  Mdsp_md.Engine.refresh_forces eng;
+  { center; k = plan.k; samples = Array.of_list (List.rev !samples) }
+
+(* Windows run sequentially on one engine, dragging the system from window
+   to window — the standard serial protocol. (On the machine each window is
+   an independent job; the mapping layer charges no extra per-step cost.) *)
+let run plan ~make_engine =
+  let eng = make_engine () in
+  Array.to_list
+    (Array.map (fun c -> run_window plan eng c) plan.centers)
+
+let to_wham_windows results =
+  List.map
+    (fun (w : window_result) ->
+      {
+        Mdsp_analysis.Wham.bias = (fun x -> w.k *. ((x -. w.center) ** 2.));
+        samples = w.samples;
+      })
+    results
+
+let solve ~temp ~lo ~hi ~bins results =
+  Mdsp_analysis.Wham.solve ~temp ~lo ~hi ~bins (to_wham_windows results)

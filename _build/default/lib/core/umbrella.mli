@@ -1,0 +1,36 @@
+(** Umbrella sampling along a collective variable, analyzed with WHAM.
+
+    A plan fixes the window centers, the restraint stiffness, and the
+    sampling schedule; {!run} executes the windows serially on a fresh
+    engine, and {!solve} recovers the potential of mean force. *)
+
+type window_result = {
+  center : float;
+  k : float;
+  samples : float array;
+}
+
+type plan = {
+  cv : Cv.t;
+  k : float;
+  centers : float array;
+  equil_steps : int;
+  sample_steps : int;
+  sample_stride : int;
+}
+
+val make_plan :
+  cv:Cv.t -> k:float -> centers:float array -> equil_steps:int ->
+  sample_steps:int -> sample_stride:int -> plan
+
+(** Run one window on an existing engine (bias added then removed). *)
+val run_window : plan -> Mdsp_md.Engine.t -> float -> window_result
+
+(** Run all windows on an engine built by [make_engine]. *)
+val run : plan -> make_engine:(unit -> Mdsp_md.Engine.t) -> window_result list
+
+val to_wham_windows : window_result list -> Mdsp_analysis.Wham.window list
+
+val solve :
+  temp:float -> lo:float -> hi:float -> bins:int -> window_result list ->
+  Mdsp_analysis.Wham.profile

@@ -1,0 +1,80 @@
+open Mdsp_util
+
+type t = {
+  epsilon : float;
+  sigma : float;
+  cutoff : float;
+  insertions_per_frame : int;
+  rng : Rng.t;
+  mutable du : float list;
+  mutable n : int;
+}
+
+let create ~epsilon ~sigma ~cutoff ~insertions_per_frame ~seed =
+  if insertions_per_frame <= 0 then
+    invalid_arg "Widom.create: insertions_per_frame must be positive";
+  {
+    epsilon;
+    sigma;
+    cutoff;
+    insertions_per_frame;
+    rng = Rng.create seed;
+    du = [];
+    n = 0;
+  }
+
+let insertion_energy t (topo : Mdsp_ff.Topology.t) box positions point =
+  let rc2 = t.cutoff *. t.cutoff in
+  let e = ref 0. in
+  Array.iteri
+    (fun j p ->
+      let r2 = Pbc.dist2 box point p in
+      if r2 < rc2 then begin
+        let eps_j, sigma_j =
+          topo.Mdsp_ff.Topology.lj_types.(topo.Mdsp_ff.Topology.atoms.(j)
+                                            .Mdsp_ff.Topology.type_id)
+        in
+        if eps_j > 0. then begin
+          let form =
+            Mdsp_ff.Nonbonded.lorentz_berthelot (t.epsilon, t.sigma)
+              (eps_j, sigma_j)
+          in
+          e :=
+            !e
+            +. fst
+                 (Mdsp_ff.Nonbonded.eval_truncated form ~cutoff:t.cutoff
+                    ~trunc:Mdsp_ff.Nonbonded.Shift r2)
+        end
+      end)
+    positions;
+  !e
+
+let sample t eng =
+  let st = Mdsp_md.Engine.state eng in
+  let box = st.Mdsp_md.State.box in
+  let positions = st.Mdsp_md.State.positions in
+  let topo_fc = Mdsp_md.Engine.force_calc eng in
+  let topo = Mdsp_md.Force_calc.topology topo_fc in
+  let open Pbc in
+  for _ = 1 to t.insertions_per_frame do
+    let point =
+      Vec3.make
+        (Rng.uniform_in t.rng 0. box.lx)
+        (Rng.uniform_in t.rng 0. box.ly)
+        (Rng.uniform_in t.rng 0. box.lz)
+    in
+    t.du <- insertion_energy t topo box positions point :: t.du;
+    t.n <- t.n + 1
+  done
+
+let attach t ~stride eng =
+  if stride <= 0 then invalid_arg "Widom.attach: stride must be positive";
+  Mdsp_md.Engine.add_post_step eng ~name:"widom" (fun eng ->
+      if Mdsp_md.Engine.steps_done eng mod stride = 0 then sample t eng)
+
+let n_samples t = t.n
+let insertion_energies t = Array.of_list t.du
+
+let mu_excess t ~temp =
+  if t.n = 0 then invalid_arg "Widom.mu_excess: no samples";
+  Mdsp_analysis.Free_energy.widom ~temp (insertion_energies t)

@@ -1,0 +1,26 @@
+(** Widom test-particle insertion: the excess chemical potential of a ghost
+    LJ particle, sampled during a run. Cross-validates the alchemical FEP
+    route (the two must agree: coupling a particle by FEP measures the same
+    mu_ex that Widom estimates by virtual insertions). *)
+
+type t
+
+(** The ghost particle's own LJ parameters (mixed with each solvent type by
+    Lorentz-Berthelot). *)
+val create :
+  epsilon:float -> sigma:float -> cutoff:float -> insertions_per_frame:int ->
+  seed:int -> t
+
+(** Sample one configuration frame from a running engine. *)
+val sample : t -> Mdsp_md.Engine.t -> unit
+
+(** Register a hook sampling every [stride] steps. *)
+val attach : t -> stride:int -> Mdsp_md.Engine.t -> unit
+
+val n_samples : t -> int
+
+(** Excess chemical potential, kcal/mol. *)
+val mu_excess : t -> temp:float -> float
+
+(** Raw insertion energies (for custom estimators). *)
+val insertion_energies : t -> float array

@@ -1,0 +1,1 @@
+lib/forcefield/bonded.ml: Array Float Mdsp_util Pbc Topology Vec3

@@ -1,0 +1,1 @@
+lib/forcefield/bonded.mli: Mdsp_util Pbc Topology Vec3

@@ -1,0 +1,1 @@
+lib/forcefield/nonbonded.ml: Float List Mdsp_util Specfun

@@ -1,0 +1,1 @@
+lib/forcefield/nonbonded.mli:

@@ -1,0 +1,1 @@
+lib/forcefield/pair_interactions.ml: Array Bonded Mdsp_space Mdsp_util Nonbonded Pbc Topology Units Vec3

@@ -1,0 +1,1 @@
+lib/forcefield/pair_interactions.mli: Bonded Mdsp_space Mdsp_util Nonbonded Pbc Topology Vec3

@@ -1,0 +1,1 @@
+lib/forcefield/topology.ml: Array Hashtbl List Mdsp_space Printf

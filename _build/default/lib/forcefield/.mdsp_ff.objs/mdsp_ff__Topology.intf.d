@@ -1,0 +1,1 @@
+lib/forcefield/topology.mli: Mdsp_space

@@ -1,0 +1,1 @@
+lib/forcefield/water.ml: Float Mdsp_util Rng Topology Vec3

@@ -1,0 +1,1 @@
+lib/forcefield/water.mli: Mdsp_util Rng Topology Vec3

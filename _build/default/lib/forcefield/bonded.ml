@@ -1,0 +1,158 @@
+open Mdsp_util
+
+type accum = { forces : Vec3.t array; mutable virial : float }
+
+let make_accum n = { forces = Array.make n Vec3.zero; virial = 0. }
+
+let reset acc =
+  Array.fill acc.forces 0 (Array.length acc.forces) Vec3.zero;
+  acc.virial <- 0.
+
+let add_force acc i f = acc.forces.(i) <- Vec3.add acc.forces.(i) f
+
+let bonds box (topo : Topology.t) positions acc =
+  let e = ref 0. in
+  Array.iter
+    (fun (b : Topology.bond) ->
+      let d = Pbc.min_image box positions.(b.i) positions.(b.j) in
+      let r = Vec3.norm d in
+      let dr = r -. b.r0 in
+      e := !e +. (b.k *. dr *. dr);
+      (* F_i = -dU/dr * d/r, with dU/dr = 2 k dr *)
+      let fmag = -2. *. b.k *. dr /. r in
+      let f = Vec3.scale fmag d in
+      add_force acc b.i f;
+      add_force acc b.j (Vec3.neg f);
+      acc.virial <- acc.virial +. Vec3.dot f d)
+    topo.bonds;
+  !e
+
+let angles box (topo : Topology.t) positions acc =
+  let e = ref 0. in
+  Array.iter
+    (fun (a : Topology.angle) ->
+      (* Vectors from the central atom j to i and k. *)
+      let rij = Pbc.min_image box positions.(a.i) positions.(a.j) in
+      let rkj = Pbc.min_image box positions.(a.k) positions.(a.j) in
+      let nij = Vec3.norm rij and nkj = Vec3.norm rkj in
+      let cos_t =
+        Float.max (-1.) (Float.min 1. (Vec3.dot rij rkj /. (nij *. nkj)))
+      in
+      let theta = acos cos_t in
+      let dtheta = theta -. a.theta0 in
+      e := !e +. (a.k_theta *. dtheta *. dtheta);
+      let du_dtheta = 2. *. a.k_theta *. dtheta in
+      (* F_i = -dU/dr_i = (dU/dtheta / sin theta) * dcos(theta)/dr_i. Guard
+         collinear geometry where sin(theta) -> 0. *)
+      let sin_t = Float.max 1e-8 (sqrt (1. -. (cos_t *. cos_t))) in
+      let coeff = du_dtheta /. sin_t in
+      let fi =
+        Vec3.scale (coeff /. nij)
+          (Vec3.sub (Vec3.scale (1. /. nkj) rkj)
+             (Vec3.scale (cos_t /. nij) rij))
+      in
+      let fk =
+        Vec3.scale (coeff /. nkj)
+          (Vec3.sub (Vec3.scale (1. /. nij) rij)
+             (Vec3.scale (cos_t /. nkj) rkj))
+      in
+      let fj = Vec3.neg (Vec3.add fi fk) in
+      add_force acc a.i fi;
+      add_force acc a.j fj;
+      add_force acc a.k fk;
+      (* Virial with atom j as local origin; forces sum to zero. *)
+      acc.virial <- acc.virial +. Vec3.dot fi rij +. Vec3.dot fk rkj)
+    topo.angles;
+  !e
+
+(* Shared torsion machinery: computes the dihedral angle phi of the atom
+   quadruple (i, j, k, l) and applies the Blondel-Karplus gradients for a
+   caller-supplied dU/dphi. Returns the angle, or None for degenerate
+   (collinear) geometry. *)
+let torsion box positions acc ~i ~j ~k ~l ~du_dphi_of =
+  let b1 = Pbc.min_image box positions.(j) positions.(i) in
+  let b2 = Pbc.min_image box positions.(k) positions.(j) in
+  let b3 = Pbc.min_image box positions.(l) positions.(k) in
+  let n1 = Vec3.cross b1 b2 in
+  let n2 = Vec3.cross b2 b3 in
+  let n1n = Vec3.norm n1 and n2n = Vec3.norm n2 in
+  if n1n <= 1e-10 || n2n <= 1e-10 then None
+  else begin
+    let b2n = Vec3.norm b2 in
+    let m1 = Vec3.cross n1 (Vec3.scale (1. /. b2n) b2) in
+    let x = Vec3.dot n1 n2 /. (n1n *. n2n) in
+    let y = Vec3.dot m1 n2 /. (n1n *. n2n) in
+    let phi = atan2 y x in
+    let du_dphi = du_dphi_of phi in
+    (* Blondel-Karplus gradients: with F = ri - rj = -b1, G = rj - rk =
+       -b2, H = rl - rk = b3, A = n1, B = n2:
+         F_i = -|G| U' A/|A|^2, F_l = +|G| U' B/|B|^2,
+         sv = p F_i - q F_l, F_j = sv - F_i, F_k = -sv - F_l
+       with p = r_ij.r_kj/|r_kj|^2 and q = r_kl.r_kj/|r_kj|^2. *)
+    let fi = Vec3.scale (-.du_dphi *. b2n /. (n1n *. n1n)) n1 in
+    let fl = Vec3.scale (du_dphi *. b2n /. (n2n *. n2n)) n2 in
+    let p = -.(Vec3.dot b1 b2) /. (b2n *. b2n) in
+    let q = -.(Vec3.dot b3 b2) /. (b2n *. b2n) in
+    let sv = Vec3.sub (Vec3.scale p fi) (Vec3.scale q fl) in
+    let fj = Vec3.sub sv fi in
+    let fk = Vec3.neg (Vec3.add sv fl) in
+    add_force acc i fi;
+    add_force acc j fj;
+    add_force acc k fk;
+    add_force acc l fl;
+    (* Virial relative to atom j. *)
+    let rij = Vec3.neg b1 in
+    let rkj = b2 in
+    let rlj = Vec3.add b2 b3 in
+    acc.virial <-
+      acc.virial +. Vec3.dot fi rij +. Vec3.dot fk rkj +. Vec3.dot fl rlj;
+    Some phi
+  end
+
+let dihedrals box (topo : Topology.t) positions acc =
+  let e = ref 0. in
+  Array.iter
+    (fun (d : Topology.dihedral) ->
+      match
+        torsion box positions acc ~i:d.i ~j:d.j ~k:d.k ~l:d.l
+          ~du_dphi_of:(fun phi ->
+            let arg = (float_of_int d.mult *. phi) -. d.phase in
+            e := !e +. (d.k_phi *. (1. +. cos arg));
+            -.d.k_phi *. float_of_int d.mult *. sin arg)
+      with
+      | Some _ | None -> ())
+    topo.dihedrals;
+  !e
+
+(* Wrap an angle difference into (-pi, pi]. *)
+let wrap_angle x =
+  let two_pi = 2. *. Float.pi in
+  let x = Float.rem x two_pi in
+  if x > Float.pi then x -. two_pi
+  else if x <= -.Float.pi then x +. two_pi
+  else x
+
+let impropers box (topo : Topology.t) positions acc =
+  let e = ref 0. in
+  Array.iter
+    (fun (im : Topology.improper) ->
+      match
+        torsion box positions acc ~i:im.ii ~j:im.ij ~k:im.ik ~l:im.il
+          ~du_dphi_of:(fun phi ->
+            let dxi = wrap_angle (phi -. im.xi0) in
+            e := !e +. (im.k_xi *. dxi *. dxi);
+            2. *. im.k_xi *. dxi)
+      with
+      | Some _ | None -> ())
+    topo.impropers;
+  !e
+
+let all box topo positions acc =
+  let eb = bonds box topo positions acc in
+  let ea = angles box topo positions acc in
+  let ed = dihedrals box topo positions acc +. impropers box topo positions acc in
+  (eb, ea, ed)
+
+let term_count (topo : Topology.t) =
+  Array.length topo.bonds + Array.length topo.angles
+  + Array.length topo.dihedrals + Array.length topo.impropers

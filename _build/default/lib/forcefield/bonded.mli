@@ -1,0 +1,36 @@
+(** Bonded-term evaluation: harmonic bonds, harmonic angles, periodic
+    dihedrals.
+
+    Forces are accumulated into the caller's array; each function returns the
+    term's potential energy and adds its contribution to the scalar virial
+    [W = sum_i f_i . r_i] (computed with minimum-image internal geometry so
+    it is box-consistent). On the machine model these terms execute on the
+    programmable (flexible) subsystem. *)
+
+open Mdsp_util
+
+type accum = {
+  forces : Vec3.t array;
+  mutable virial : float;
+}
+
+val make_accum : int -> accum
+val reset : accum -> unit
+
+(** Evaluate all bonds; returns the total bond energy. *)
+val bonds : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float
+
+(** Evaluate all angles; returns the total angle energy. *)
+val angles : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float
+
+(** Evaluate all dihedrals; returns the total dihedral energy. *)
+val dihedrals : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float
+
+(** Evaluate all harmonic improper torsions. *)
+val impropers : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float
+
+(** All bonded terms. Returns (bond_e, angle_e, dihedral_e + improper_e). *)
+val all : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float * float * float
+
+(** Count of bonded interactions, used by the machine performance model. *)
+val term_count : Topology.t -> int

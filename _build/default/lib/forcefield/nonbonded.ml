@@ -1,0 +1,127 @@
+open Mdsp_util
+
+type form =
+  | Lennard_jones of { epsilon : float; sigma : float }
+  | Buckingham of { a : float; b : float; c : float }
+  | Coulomb of { qq : float }
+  | Coulomb_erfc of { qq : float; beta : float }
+  | Gaussian_repulsion of { height : float; width : float }
+  | Soft_core_lj of {
+      epsilon : float;
+      sigma : float;
+      alpha : float;
+      lambda : float;
+    }
+  | Morse of { d_e : float; a : float; r0 : float }
+  | Yukawa of { a : float; kappa : float }
+  | Lj_12_6_4 of { epsilon : float; sigma : float; c4 : float }
+  | Sum of form list
+
+let two_over_sqrt_pi = 2. /. sqrt Float.pi
+
+let rec eval form r2 =
+  match form with
+  | Lennard_jones { epsilon; sigma } ->
+      let sr2 = sigma *. sigma /. r2 in
+      let sr6 = sr2 *. sr2 *. sr2 in
+      let sr12 = sr6 *. sr6 in
+      let e = 4. *. epsilon *. (sr12 -. sr6) in
+      let f_over_r = 24. *. epsilon *. ((2. *. sr12) -. sr6) /. r2 in
+      (e, f_over_r)
+  | Buckingham { a; b; c } ->
+      let r = sqrt r2 in
+      let expt = a *. exp (-.b *. r) in
+      let r6 = r2 *. r2 *. r2 in
+      let e = expt -. (c /. r6) in
+      let minus_du_dr = (b *. expt) -. (6. *. c /. (r6 *. r)) in
+      (e, minus_du_dr /. r)
+  | Coulomb { qq } ->
+      let r = sqrt r2 in
+      let e = qq /. r in
+      (e, e /. r2)
+  | Coulomb_erfc { qq; beta } ->
+      let r = sqrt r2 in
+      let erfc_br = Specfun.erfc (beta *. r) in
+      let e = qq *. erfc_br /. r in
+      let gauss = two_over_sqrt_pi *. beta *. exp (-.beta *. beta *. r2) in
+      let f_over_r = qq *. ((erfc_br /. r) +. gauss) /. r2 in
+      (e, f_over_r)
+  | Gaussian_repulsion { height; width } ->
+      let w2 = width *. width in
+      let e = height *. exp (-.r2 /. w2) in
+      (e, 2. *. e /. w2)
+  | Soft_core_lj { epsilon; sigma; alpha; lambda } ->
+      let s6 = sigma ** 6. in
+      let r6 = r2 *. r2 *. r2 in
+      let d = (alpha *. s6 *. (1. -. lambda)) +. r6 in
+      let s = s6 /. d in
+      let e = 4. *. epsilon *. lambda *. ((s *. s) -. s) in
+      (* f_over_r = -dU/dr / r; dU/dr = 4 eps lam (2s - 1) ds/dr,
+         ds/dr = -6 r^5 s6 / d^2. *)
+      let f_over_r =
+        4. *. epsilon *. lambda *. ((2. *. s) -. 1.) *. 6. *. r2 *. r2 *. s6
+        /. (d *. d)
+      in
+      (e, f_over_r)
+  | Morse { d_e; a; r0 } ->
+      let r = sqrt r2 in
+      let ex = exp (-.a *. (r -. r0)) in
+      let one_m = 1. -. ex in
+      let e = (d_e *. one_m *. one_m) -. d_e in
+      (* dU/dr = 2 D_e (1 - ex) * a * ex *)
+      let du_dr = 2. *. d_e *. one_m *. a *. ex in
+      (e, -.du_dr /. r)
+  | Yukawa { a; kappa } ->
+      let r = sqrt r2 in
+      let e = a *. exp (-.kappa *. r) /. r in
+      (* -dU/dr = e (kappa + 1/r) *)
+      (e, e *. (kappa +. (1. /. r)) /. r)
+  | Lj_12_6_4 { epsilon; sigma; c4 } ->
+      let sr2 = sigma *. sigma /. r2 in
+      let sr6 = sr2 *. sr2 *. sr2 in
+      let sr12 = sr6 *. sr6 in
+      let e = (4. *. epsilon *. (sr12 -. sr6)) -. (c4 /. (r2 *. r2)) in
+      let f_over_r =
+        (24. *. epsilon *. ((2. *. sr12) -. sr6) /. r2)
+        -. (4. *. c4 /. (r2 *. r2 *. r2))
+      in
+      (e, f_over_r)
+  | Sum forms ->
+      List.fold_left
+        (fun (e, f) fm ->
+          let e', f' = eval fm r2 in
+          (e +. e', f +. f'))
+        (0., 0.) forms
+
+let energy form r2 = fst (eval form r2)
+let shift_at form cutoff = energy form (cutoff *. cutoff)
+
+type truncation = Truncate | Shift | Switch of { r_on : float }
+
+let eval_truncated form ~cutoff ~trunc r2 =
+  let rc2 = cutoff *. cutoff in
+  if r2 >= rc2 then (0., 0.)
+  else begin
+    let e, f = eval form r2 in
+    match trunc with
+    | Truncate -> (e, f)
+    | Shift -> (e -. shift_at form cutoff, f)
+    | Switch { r_on } ->
+        let ron2 = r_on *. r_on in
+        if r2 <= ron2 then (e, f)
+        else begin
+          let a = rc2 -. r2 in
+          let b = rc2 +. (2. *. r2) -. (3. *. ron2) in
+          let denom = (rc2 -. ron2) ** 3. in
+          let s = a *. a *. b /. denom in
+          let ds_dr_over_r = 4. *. a *. (a -. b) /. denom in
+          ((e *. s), (f *. s) -. (e *. ds_dr_over_r))
+        end
+  end
+
+let lorentz_berthelot (eps_i, sigma_i) (eps_j, sigma_j) =
+  Lennard_jones
+    {
+      epsilon = sqrt (eps_i *. eps_j);
+      sigma = 0.5 *. (sigma_i +. sigma_j);
+    }

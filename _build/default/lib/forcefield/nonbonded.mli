@@ -1,0 +1,54 @@
+(** Nonbonded pair-interaction functional forms.
+
+    Each form maps a squared separation to an energy and to the scalar
+    [f_over_r] such that the force on atom i is [f_over_r * (ri - rj)]. The
+    generality layer (Mdsp_core.Table) compiles any of these — or any
+    user-supplied radial function — into machine interpolation tables; this
+    module is the analytic reference. Units: kcal/mol, angstroms, charges in
+    units of e. *)
+
+type form =
+  | Lennard_jones of { epsilon : float; sigma : float }
+  | Buckingham of { a : float; b : float; c : float }
+      (** a*exp(-b r) - c / r^6 *)
+  | Coulomb of { qq : float }  (** qq = k_e * q_i * q_j *)
+  | Coulomb_erfc of { qq : float; beta : float }
+      (** real-space Ewald term: qq * erfc(beta r) / r *)
+  | Gaussian_repulsion of { height : float; width : float }
+      (** height * exp(-(r/width)^2), a soft-core form used in enhanced
+          sampling and coarse models *)
+  | Soft_core_lj of { epsilon : float; sigma : float; alpha : float; lambda : float }
+      (** Beutler soft-core LJ for alchemical transformations *)
+  | Morse of { d_e : float; a : float; r0 : float }
+      (** D_e (1 - exp(-a (r - r0)))^2 - D_e : a bond-like pair well *)
+  | Yukawa of { a : float; kappa : float }
+      (** screened Coulomb: A exp(-kappa r) / r *)
+  | Lj_12_6_4 of { epsilon : float; sigma : float; c4 : float }
+      (** LJ plus an r^-4 charge-induced-dipole term (ion models) *)
+  | Sum of form list
+
+(** [eval form r2] is [(energy, f_over_r)] at squared distance [r2]. *)
+val eval : form -> float -> float * float
+
+(** Energy only. *)
+val energy : form -> float -> float
+
+(** Analytic energy at the cutoff; used for shifting. *)
+val shift_at : form -> float -> float
+
+(** Truncation scheme applied on top of a form. *)
+type truncation =
+  | Truncate  (** plain cutoff: discontinuous energy *)
+  | Shift  (** energy shifted to zero at the cutoff *)
+  | Switch of { r_on : float }
+      (** CHARMM-style switching of the energy between r_on and the cutoff *)
+
+(** [eval_truncated form ~cutoff ~trunc r2] is [(energy, f_over_r)], zero
+    beyond the cutoff. *)
+val eval_truncated :
+  form -> cutoff:float -> trunc:truncation -> float -> float * float
+
+(** Lorentz–Berthelot combination of per-type LJ parameters:
+    sigma arithmetic mean, epsilon geometric mean. *)
+val lorentz_berthelot :
+  (float * float) -> (float * float) -> form

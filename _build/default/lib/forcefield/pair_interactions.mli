@@ -1,0 +1,53 @@
+(** Short-range nonbonded evaluation over a neighbor list.
+
+    The central abstraction is an {!evaluator}: a function from an atom pair
+    and squared distance to (energy, f_over_r). The reference evaluator is
+    built analytically from the topology; the machine model substitutes an
+    evaluator backed by quantized interpolation tables. Everything downstream
+    (energies, forces, virial) is agnostic to which one it is given. *)
+
+open Mdsp_util
+
+(** How the electrostatic part of the short-range sum is handled. *)
+type electrostatics =
+  | No_coulomb
+  | Cutoff_coulomb
+  | Reaction_field of { epsilon_rf : float }
+      (** Tironi reaction field with the given dielectric beyond the cutoff *)
+  | Ewald_real of { beta : float }
+      (** real-space part of an Ewald decomposition *)
+
+type evaluator = {
+  eval : int -> int -> float -> float * float;
+      (** [eval i j r2] is [(energy, f_over_r)] for the atom pair *)
+  cutoff : float;
+}
+
+(** Analytic reference evaluator for a topology. [trunc] applies to the LJ
+    part; electrostatics are handled per the [electrostatics] choice. *)
+val of_topology :
+  Topology.t ->
+  cutoff:float ->
+  trunc:Nonbonded.truncation ->
+  elec:electrostatics ->
+  evaluator
+
+(** [compute eval box nlist positions acc] accumulates forces and virial for
+    all neighbor-list pairs and returns the potential energy. *)
+val compute :
+  evaluator -> Pbc.t -> Mdsp_space.Neighbor_list.t -> Vec3.t array ->
+  Bonded.accum -> float
+
+(** Scaled 1-4 interactions: for each pair in [topo.pairs14], evaluates
+    Lorentz-Berthelot LJ scaled by [topo.scale14_lj] plus shifted-cutoff
+    Coulomb scaled by [topo.scale14_coul]. Returns the energy; forces and
+    virial go into the accumulator. On the machine these terms run with the
+    bonded work on the programmable cores. *)
+val compute_pairs14 :
+  Topology.t -> cutoff:float -> Pbc.t -> Vec3.t array -> Bonded.accum -> float
+
+(** All-pairs O(N^2) version used as a test oracle (ignores no pairs; applies
+    exclusions from the topology if given). *)
+val compute_all_pairs :
+  ?exclusions:Mdsp_space.Exclusions.t ->
+  evaluator -> Pbc.t -> Vec3.t array -> Bonded.accum -> float

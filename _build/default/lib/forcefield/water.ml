@@ -1,0 +1,88 @@
+open Mdsp_util
+
+let o_mass = 15.9994
+let h_mass = 1.008
+let o_charge = -0.834
+let h_charge = 0.417
+let oh_dist = 0.9572
+let hoh_angle = 104.52 *. Float.pi /. 180.
+let hh_dist = 2. *. oh_dist *. sin (hoh_angle /. 2.)
+let o_lj = (0.1521, 3.15066)
+let number_density = 0.0334 (* molecules per cubic angstrom at 1 g/cm^3 *)
+
+(* Shared frame builder: returns (o_pos, h1_pos, h2_pos, bisector unit). *)
+let geometry ~center ~orient =
+  let u = Rng.unit_vector orient in
+  let v0 = Rng.unit_vector orient in
+  let v = Vec3.sub v0 (Vec3.scale (Vec3.dot v0 u) u) in
+  let v =
+    if Vec3.norm v < 1e-6 then
+      Vec3.normalize (Vec3.cross u (Vec3.make 1. 0. 0.))
+    else Vec3.normalize v
+  in
+  let half = hoh_angle /. 2. in
+  let h_dir sign =
+    Vec3.add (Vec3.scale (cos half) u) (Vec3.scale (sign *. sin half) v)
+  in
+  ( center,
+    Vec3.add center (Vec3.scale oh_dist (h_dir 1.)),
+    Vec3.add center (Vec3.scale oh_dist (h_dir (-1.))),
+    u )
+
+let add_molecule b ~o_type ~h_type ~center ~orient =
+  let o_pos, h1_pos, h2_pos, _ = geometry ~center ~orient in
+  let o =
+    Topology.Builder.add_atom b ~mass:o_mass ~charge:o_charge ~type_id:o_type
+      ~name:"OW"
+  in
+  let h1 =
+    Topology.Builder.add_atom b ~mass:h_mass ~charge:h_charge ~type_id:h_type
+      ~name:"HW1"
+  in
+  let h2 =
+    Topology.Builder.add_atom b ~mass:h_mass ~charge:h_charge ~type_id:h_type
+      ~name:"HW2"
+  in
+  Topology.Builder.add_constraint b ~i:o ~j:h1 ~dist:oh_dist;
+  Topology.Builder.add_constraint b ~i:o ~j:h2 ~dist:oh_dist;
+  Topology.Builder.add_constraint b ~i:h1 ~j:h2 ~dist:hh_dist;
+  (o, [| o_pos; h1_pos; h2_pos |])
+
+module Tip4p = struct
+  let o_lj = (0.155, 3.15365)
+  let h_charge = 0.52
+  let m_charge = -1.04
+  let om_dist = 0.15
+
+  let add_molecule b ~o_type ~h_type ~m_type ~center ~orient =
+    let o_pos, h1_pos, h2_pos, bisector = geometry ~center ~orient in
+    let o =
+      Topology.Builder.add_atom b ~mass:o_mass ~charge:0. ~type_id:o_type
+        ~name:"OW"
+    in
+    let h1 =
+      Topology.Builder.add_atom b ~mass:h_mass ~charge:h_charge
+        ~type_id:h_type ~name:"HW1"
+    in
+    let h2 =
+      Topology.Builder.add_atom b ~mass:h_mass ~charge:h_charge
+        ~type_id:h_type ~name:"HW2"
+    in
+    (* The virtual M site carries the negative charge. The placeholder mass
+       is never used: the engine excludes virtual sites from integration. *)
+    let m =
+      Topology.Builder.add_atom b ~mass:1.0 ~charge:m_charge ~type_id:m_type
+        ~name:"MW"
+    in
+    Topology.Builder.add_constraint b ~i:o ~j:h1 ~dist:oh_dist;
+    Topology.Builder.add_constraint b ~i:o ~j:h2 ~dist:oh_dist;
+    Topology.Builder.add_constraint b ~i:h1 ~j:h2 ~dist:hh_dist;
+    (* Linear virtual-site weights placing M on the bisector at om_dist:
+       with rigid geometry, |a (rH1 - rO) + a (rH2 - rO)| = om_dist when
+       a = om_dist / (2 oh_dist cos(theta/2)). *)
+    let a = om_dist /. (2. *. oh_dist *. cos (hoh_angle /. 2.)) in
+    Topology.Builder.add_virtual_site b ~site:m
+      ~parents:[| (o, 1. -. (2. *. a)); (h1, a); (h2, a) |];
+    let m_pos = Vec3.add o_pos (Vec3.scale om_dist bisector) in
+    (o, [| o_pos; h1_pos; h2_pos; m_pos |])
+end

@@ -1,0 +1,53 @@
+(** Rigid 3-site water model (TIP3P-class parameters).
+
+    Waters are kept rigid by three distance constraints (O-H, O-H, H-H)
+    solved by SHAKE/RATTLE, matching how the special-purpose machine treats
+    them on its programmable cores. *)
+
+open Mdsp_util
+
+(** Geometry and charges of the model. *)
+val o_mass : float
+val h_mass : float
+val o_charge : float
+val h_charge : float
+val oh_dist : float
+
+(** The H-O-H angle, in radians. *)
+val hoh_angle : float
+
+val hh_dist : float
+
+(** (epsilon, sigma) of the oxygen LJ site. *)
+val o_lj : float * float
+
+(** [add_molecule builder ~o_type ~h_type ~center ~orient] appends one rigid
+    water (atoms O, H1, H2) oriented by the unit vector pair derived from
+    [orient]; returns the oxygen's atom index. [o_type]/[h_type] are the LJ
+    type ids to assign. *)
+val add_molecule :
+  Topology.Builder.t ->
+  o_type:int -> h_type:int -> center:Vec3.t -> orient:Rng.t ->
+  int * Vec3.t array
+
+(** Number density of liquid water at ambient conditions, molecules / A^3. *)
+val number_density : float
+
+(** 4-site (TIP4P-class) parameters: the negative charge sits on a massless
+    virtual M site on the HOH bisector. *)
+module Tip4p : sig
+  val o_lj : float * float
+  val h_charge : float
+  val m_charge : float
+
+  (** O-M distance along the bisector, angstroms. *)
+  val om_dist : float
+
+  (** [add_molecule builder ~o_type ~h_type ~m_type ~center ~orient] appends
+      one rigid 4-site water (O, H1, H2, M with M a virtual site); returns
+      the oxygen index and the four initial positions. *)
+  val add_molecule :
+    Topology.Builder.t ->
+    o_type:int -> h_type:int -> m_type:int -> center:Vec3.t -> orient:Rng.t ->
+    int * Vec3.t array
+end

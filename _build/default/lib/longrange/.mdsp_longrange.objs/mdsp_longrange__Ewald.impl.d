@@ -1,0 +1,1 @@
+lib/longrange/ewald.ml: Array Float List Mdsp_ff Mdsp_space Mdsp_util Pbc Specfun Units Vec3

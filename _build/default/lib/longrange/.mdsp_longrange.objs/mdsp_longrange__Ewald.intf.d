@@ -1,0 +1,1 @@
+lib/longrange/ewald.mli: Mdsp_ff Mdsp_space Mdsp_util Pbc Vec3

@@ -1,0 +1,1 @@
+lib/longrange/fft.ml: Array Float

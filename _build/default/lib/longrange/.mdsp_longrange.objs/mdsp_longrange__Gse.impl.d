@@ -1,0 +1,1 @@
+lib/longrange/gse.ml: Array Fft Float Mdsp_ff Mdsp_util Pbc Units Vec3

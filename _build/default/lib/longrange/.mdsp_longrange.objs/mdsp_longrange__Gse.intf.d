@@ -1,0 +1,1 @@
+lib/longrange/gse.mli: Mdsp_ff Mdsp_util Pbc Vec3

@@ -1,0 +1,20 @@
+(** Self-contained complex FFT (iterative radix-2) and a 3D transform.
+
+    Sufficient for the grid sizes used by the Gaussian-split-Ewald solver
+    (all dimensions must be powers of two). Data layout: separate [re]/[im]
+    float arrays; the 3D transform uses row-major order with x fastest. *)
+
+(** In-place 1D FFT of length [n] (power of two). [sign] is -1 for the
+    forward transform, +1 for the inverse; the inverse is unscaled (caller
+    divides by n). *)
+val fft_1d : sign:int -> float array -> float array -> unit
+
+(** [fft_3d ~sign ~nx ~ny ~nz re im] transforms in place; unscaled. *)
+val fft_3d :
+  sign:int -> nx:int -> ny:int -> nz:int -> float array -> float array -> unit
+
+(** True if [n] is a power of two (and positive). *)
+val is_pow2 : int -> bool
+
+(** Smallest power of two >= n. *)
+val next_pow2 : int -> int

@@ -1,0 +1,166 @@
+open Mdsp_util
+
+type t = {
+  beta_ : float;
+  sigma : float;
+  support : float;
+  nx : int;
+  ny : int;
+  nz : int;
+  box : Pbc.t;
+  ghat : float array;  (** influence function, indexed like the grid *)
+  k2s : float array;  (** squared wavevector per grid point *)
+}
+
+let create ~beta ~grid:(nx, ny, nz) ?sigma_s ?(support = 4.) box =
+  if beta <= 0. then invalid_arg "Gse.create: beta must be positive";
+  if not (Fft.is_pow2 nx && Fft.is_pow2 ny && Fft.is_pow2 nz) then
+    invalid_arg "Gse.create: grid dims must be powers of two";
+  let sigma =
+    match sigma_s with
+    | Some s -> s
+    | None -> 1. /. (2. *. sqrt 2. *. beta)
+  in
+  if sigma > 1. /. (2. *. beta) +. 1e-12 then
+    invalid_arg "Gse.create: sigma_s must be <= 1/(2 beta)";
+  let open Pbc in
+  let two_pi = 2. *. Float.pi in
+  let freq n l m =
+    let m' = if m <= n / 2 then m else m - n in
+    two_pi *. float_of_int m' /. l
+  in
+  (* Remaining k-space Gaussian after two real-space spreads of width
+     sigma: exp(-k^2 (1/(4 beta^2) - sigma^2)). *)
+  let rem = (1. /. (4. *. beta *. beta)) -. (sigma *. sigma) in
+  let ghat = Array.make (nx * ny * nz) 0. in
+  let k2s = Array.make (nx * ny * nz) 0. in
+  for mz = 0 to nz - 1 do
+    for my = 0 to ny - 1 do
+      for mx = 0 to nx - 1 do
+        let kx = freq nx box.lx mx in
+        let ky = freq ny box.ly my in
+        let kz = freq nz box.lz mz in
+        let k2 = (kx *. kx) +. (ky *. ky) +. (kz *. kz) in
+        let idx = mx + (nx * (my + (ny * mz))) in
+        k2s.(idx) <- k2;
+        if k2 > 0. then
+          ghat.(idx) <- 4. *. Float.pi *. exp (-.k2 *. rem) /. k2
+      done
+    done
+  done;
+  { beta_ = beta; sigma; support; nx; ny; nz; box; ghat; k2s }
+
+let beta t = t.beta_
+let grid t = (t.nx, t.ny, t.nz)
+
+let support_cells t =
+  let open Pbc in
+  let dx = t.box.lx /. float_of_int t.nx in
+  let dy = t.box.ly /. float_of_int t.ny in
+  let dz = t.box.lz /. float_of_int t.nz in
+  let r = t.support *. t.sigma in
+  ( int_of_float (ceil (r /. dx)),
+    int_of_float (ceil (r /. dy)),
+    int_of_float (ceil (r /. dz)) )
+
+let support_points t =
+  let sx, sy, sz = support_cells t in
+  ((2 * sx) + 1) * ((2 * sy) + 1) * ((2 * sz) + 1)
+
+(* Iterate over grid points within the spreading support of position p,
+   calling [f idx gauss dx dy dz] with the Gaussian weight and the
+   minimum-image displacement p - r_grid. *)
+let iter_support t (p : Vec3.t) f =
+  let open Pbc in
+  let dx = t.box.lx /. float_of_int t.nx in
+  let dy = t.box.ly /. float_of_int t.ny in
+  let dz = t.box.lz /. float_of_int t.nz in
+  let sx, sy, sz = support_cells t in
+  let w = Pbc.wrap t.box p in
+  let cx = int_of_float (w.Vec3.x /. dx) in
+  let cy = int_of_float (w.Vec3.y /. dy) in
+  let cz = int_of_float (w.Vec3.z /. dz) in
+  let norm = (2. *. Float.pi *. t.sigma *. t.sigma) ** (-1.5) in
+  let inv_2s2 = 1. /. (2. *. t.sigma *. t.sigma) in
+  let r_max2 = (t.support *. t.sigma) ** 2. in
+  for oz = -sz to sz do
+    for oy = -sy to sy do
+      for ox = -sx to sx do
+        let gx = ((cx + ox) mod t.nx + t.nx) mod t.nx in
+        let gy = ((cy + oy) mod t.ny + t.ny) mod t.ny in
+        let gz = ((cz + oz) mod t.nz + t.nz) mod t.nz in
+        let rx = float_of_int (cx + ox) *. dx in
+        let ry = float_of_int (cy + oy) *. dy in
+        let rz = float_of_int (cz + oz) *. dz in
+        let ddx = w.Vec3.x -. rx in
+        let ddy = w.Vec3.y -. ry in
+        let ddz = w.Vec3.z -. rz in
+        let r2 = (ddx *. ddx) +. (ddy *. ddy) +. (ddz *. ddz) in
+        if r2 <= r_max2 then begin
+          let g = norm *. exp (-.r2 *. inv_2s2) in
+          let idx = gx + (t.nx * (gy + (t.ny * gz))) in
+          f idx g ddx ddy ddz
+        end
+      done
+    done
+  done
+
+let reciprocal t charges positions (acc : Mdsp_ff.Bonded.accum) =
+  let n = Array.length positions in
+  let total = t.nx * t.ny * t.nz in
+  let re = Array.make total 0. in
+  let im = Array.make total 0. in
+  (* 1. Spread charges. *)
+  for i = 0 to n - 1 do
+    let q = charges.(i) in
+    if q <> 0. then
+      iter_support t positions.(i) (fun idx g _ _ _ ->
+          re.(idx) <- re.(idx) +. (q *. g))
+  done;
+  (* 2. Solve in k-space. *)
+  Fft.fft_3d ~sign:(-1) ~nx:t.nx ~ny:t.ny ~nz:t.nz re im;
+  let vol = Pbc.volume t.box in
+  let cell_vol = vol /. float_of_int total in
+  (* Energy = 1/(2V) sum_k Ghat |rho_hat|^2 with rho_hat = cell_vol * DFT. *)
+  let energy = ref 0. in
+  let virial = ref 0. in
+  let e_scale = cell_vol *. cell_vol /. (2. *. vol) *. Units.coulomb in
+  let inv_2b2 = 1. /. (2. *. t.beta_ *. t.beta_) in
+  for k = 0 to total - 1 do
+    let s2 = (re.(k) *. re.(k)) +. (im.(k) *. im.(k)) in
+    let e_k = t.ghat.(k) *. s2 in
+    energy := !energy +. e_k;
+    (* The total k-space kernel equals Ewald's, so the reciprocal virial
+       takes the same per-mode form: W_k = E_k (1 - k^2 / (2 beta^2)). *)
+    virial := !virial +. (e_k *. (1. -. (t.k2s.(k) *. inv_2b2)));
+    re.(k) <- re.(k) *. t.ghat.(k);
+    im.(k) <- im.(k) *. t.ghat.(k)
+  done;
+  acc.Mdsp_ff.Bonded.virial <-
+    acc.Mdsp_ff.Bonded.virial +. (!virial *. e_scale);
+  let energy = !energy *. e_scale in
+  (* 3. Back-transform to the potential grid: phi = (1/N) * IDFT scaled. *)
+  Fft.fft_3d ~sign:1 ~nx:t.nx ~ny:t.ny ~nz:t.nz re im;
+  let phi_scale = cell_vol /. vol in
+  (* phi(r_g) = (cell_vol / V) * Finv[Ghat * F[rho]]_g  (= (1/N) * ... ). *)
+  for k = 0 to total - 1 do
+    re.(k) <- re.(k) *. phi_scale
+  done;
+  (* 4. Interpolate forces: F_i = q_i cell_vol / sigma^2 *
+        sum_g phi_g (r_i - r_g) gauss. *)
+  let inv_s2 = 1. /. (t.sigma *. t.sigma) in
+  for i = 0 to n - 1 do
+    let q = charges.(i) in
+    if q <> 0. then begin
+      let fx = ref 0. and fy = ref 0. and fz = ref 0. in
+      iter_support t positions.(i) (fun idx g dx dy dz ->
+          let w = re.(idx) *. g in
+          fx := !fx +. (w *. dx);
+          fy := !fy +. (w *. dy);
+          fz := !fz +. (w *. dz));
+      let c = q *. cell_vol *. inv_s2 *. Units.coulomb in
+      acc.forces.(i) <-
+        Vec3.add acc.forces.(i) (Vec3.make (c *. !fx) (c *. !fy) (c *. !fz))
+    end
+  done;
+  energy

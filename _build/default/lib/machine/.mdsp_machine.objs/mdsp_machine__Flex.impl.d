@@ -1,0 +1,1 @@
+lib/machine/flex.ml: Config Float Perf

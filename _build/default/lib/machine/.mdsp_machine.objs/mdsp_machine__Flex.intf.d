@@ -1,0 +1,1 @@
+lib/machine/flex.mli: Config Perf

@@ -1,0 +1,1 @@
+lib/machine/htis.ml: Array Config Fixed Fun Int64 Interp_table Mdsp_ff Mdsp_space Mdsp_util Pbc Units Vec3

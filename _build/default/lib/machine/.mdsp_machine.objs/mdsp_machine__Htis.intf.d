@@ -1,0 +1,1 @@
+lib/machine/htis.mli: Config Interp_table Mdsp_ff Mdsp_space Mdsp_util Pbc Vec3

@@ -1,0 +1,1 @@
+lib/machine/interp_table.ml: Array Fixed Float Mdsp_util

@@ -1,0 +1,1 @@
+lib/machine/interp_table.mli: Mdsp_util

@@ -1,0 +1,1 @@
+lib/machine/machine_sim.ml: Array Fixed Htis Int64 Interp_table List Mdsp_space Mdsp_util Pbc Units Vec3

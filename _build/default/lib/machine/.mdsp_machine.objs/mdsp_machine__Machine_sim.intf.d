@@ -1,0 +1,1 @@
+lib/machine/machine_sim.mli: Fixed Htis Mdsp_space Mdsp_util Pbc Vec3

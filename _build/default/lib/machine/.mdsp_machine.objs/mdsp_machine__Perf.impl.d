@@ -1,0 +1,1 @@
+lib/machine/perf.ml: Config Float Mdsp_ff Mdsp_util

@@ -1,0 +1,1 @@
+lib/machine/perf.mli: Config Mdsp_ff Mdsp_util

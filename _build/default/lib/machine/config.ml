@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  nodes : int * int * int;
+  clock_ghz : float;
+  ppips_per_node : int;
+  ppip_pairs_per_cycle : float;
+  flex_cores_per_node : int;
+  flex_ops_per_cycle : float;
+  link_gb_s : float;
+  links_per_node : int;
+  hop_latency_ns : float;
+  bytes_per_atom : int;
+  sync_latency_ns : float;
+  table_sram_bytes : int;
+}
+
+let node_count t =
+  let x, y, z = t.nodes in
+  x * y * z
+
+let pair_throughput t =
+  float_of_int (node_count t)
+  *. float_of_int t.ppips_per_node
+  *. t.ppip_pairs_per_cycle *. t.clock_ghz *. 1e9
+
+let flex_throughput t =
+  float_of_int (node_count t)
+  *. float_of_int t.flex_cores_per_node
+  *. t.flex_ops_per_cycle *. t.clock_ghz *. 1e9
+
+let anton_like ?(nodes = (8, 8, 8)) () =
+  {
+    name = "anton-like";
+    nodes;
+    clock_ghz = 0.8;
+    ppips_per_node = 32;
+    ppip_pairs_per_cycle = 1.0;
+    flex_cores_per_node = 12;
+    flex_ops_per_cycle = 4.0;
+    link_gb_s = 25.0;
+    links_per_node = 6;
+    hop_latency_ns = 50.0;
+    bytes_per_atom = 16;
+    sync_latency_ns = 200.0;
+    table_sram_bytes = 256 * 1024;
+  }
+
+let max_hops t =
+  let x, y, z = t.nodes in
+  (x / 2) + (y / 2) + (z / 2)

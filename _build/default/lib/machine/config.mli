@@ -1,0 +1,38 @@
+(** Static description of the special-purpose machine.
+
+    Numbers are configurable; the defaults give an Anton-class machine of
+    512 nodes, each with 32 hardwired pairwise point-interaction pipelines
+    (PPIPs) and a programmable "flexible" subsystem, connected as a 3D torus.
+    These are modeling knobs, not measurements of any real machine. *)
+
+type t = {
+  name : string;
+  nodes : int * int * int;  (** torus dimensions *)
+  clock_ghz : float;
+  ppips_per_node : int;
+  ppip_pairs_per_cycle : float;  (** pair interactions per PPIP per cycle *)
+  flex_cores_per_node : int;
+  flex_ops_per_cycle : float;  (** arithmetic ops per flexible core per cycle *)
+  link_gb_s : float;  (** one torus link, one direction *)
+  links_per_node : int;  (** usable links for injection (6 on a 3D torus) *)
+  hop_latency_ns : float;
+  bytes_per_atom : int;  (** position + id payload per imported atom *)
+  sync_latency_ns : float;  (** global barrier cost per stage *)
+  table_sram_bytes : int;
+      (** SRAM available per node for interaction tables *)
+}
+
+val node_count : t -> int
+
+(** Aggregate pair-interaction throughput, pairs/second. *)
+val pair_throughput : t -> float
+
+(** Aggregate flexible-subsystem throughput, ops/second. *)
+val flex_throughput : t -> float
+
+(** Anton-class presets. [nodes] defaults to (8, 8, 8). *)
+val anton_like : ?nodes:int * int * int -> unit -> t
+
+(** Diameter (max hop count) of the torus. *)
+val max_hops : t -> int
+

@@ -1,0 +1,37 @@
+type budget = {
+  ops_available : float;
+  ops_used : float;
+  ops_slack : float;
+  slack_fraction : float;
+}
+
+let baseline_ops (w : Perf.workload) =
+  (float_of_int w.Perf.bonded_terms *. 60.)
+  +. (float_of_int w.Perf.n_atoms *. 40.)
+  +. (float_of_int w.Perf.n_constraints *. 50.)
+  +. w.Perf.flex_ops_per_step
+
+let budget cfg w =
+  let b = Perf.step_time cfg w in
+  let clock_hz = cfg.Config.clock_ghz *. 1e9 in
+  let node_throughput =
+    float_of_int cfg.Config.flex_cores_per_node
+    *. cfg.Config.flex_ops_per_cycle *. clock_hz
+  in
+  let nodes = float_of_int (Config.node_count cfg) in
+  (* The flexible subsystem can compute during the whole step except the
+     serial sync tail. *)
+  let window = Float.max 0. (b.Perf.step_s -. b.Perf.sync_s) in
+  let ops_available = window *. node_throughput *. nodes in
+  let ops_used = baseline_ops w in
+  let ops_slack = Float.max 0. (ops_available -. ops_used) in
+  {
+    ops_available;
+    ops_used;
+    ops_slack;
+    slack_fraction =
+      (if ops_available > 0. then ops_slack /. ops_available else 0.);
+  }
+
+let fits cfg w ~extra_ops = extra_ops <= (budget cfg w).ops_slack
+let headroom cfg w = (budget cfg w).ops_slack

@@ -1,0 +1,27 @@
+(** Flexible-subsystem budget accounting.
+
+    The programmable cores have a hard per-step cycle budget set by the
+    step time the pair pipelines and network allow. Methods that add
+    programmable work (kernels, CV evaluation, hill sums) must fit in the
+    slack or they lengthen the step. This module quantifies that: given a
+    machine and a workload, how many spare flexible-subsystem operations
+    per step exist, and does a given method fit? *)
+
+type budget = {
+  ops_available : float;
+      (** flex ops/step the subsystem can execute within the current step
+          time *)
+  ops_used : float;  (** baseline bonded + integration + constraint work *)
+  ops_slack : float;  (** available - used (>= 0) *)
+  slack_fraction : float;  (** slack / available *)
+}
+
+(** Budget of the baseline workload on a machine. *)
+val budget : Config.t -> Perf.workload -> budget
+
+(** [fits cfg w ~extra_ops] is true if a method adding [extra_ops] per step
+    fits in the slack without lengthening the step. *)
+val fits : Config.t -> Perf.workload -> extra_ops:float -> bool
+
+(** Largest per-step op count that still fits. *)
+val headroom : Config.t -> Perf.workload -> float

@@ -1,0 +1,81 @@
+open Mdsp_util
+
+(* 26-bit signed mantissa with a per-interval block exponent: the
+   "pseudo-floating-point" table-entry format. *)
+let coeff_format = Fixed.format ~frac_bits:24 ~total_bits:26
+
+type t = {
+  r_min : float;
+  r_cut : float;
+  n : int;
+  width : float; (* interval width in r^2 *)
+  r_min2 : float;
+  r_cut2 : float;
+  (* Flattened [n][4] coefficient arrays. *)
+  e_coeffs : float array;
+  f_coeffs : float array;
+  quantized : bool;
+}
+
+(* Block quantization: scale the interval's 8 coefficients by the largest
+   magnitude (rounded up to a power of two, like a shared exponent), then
+   round each to the mantissa grid. *)
+let quantize_block coeffs =
+  let m = Array.fold_left (fun a c -> Float.max a (abs_float c)) 0. coeffs in
+  if m = 0. then coeffs
+  else begin
+    let scale = ldexp 1. (snd (frexp m)) in
+    Array.map
+      (fun c -> Fixed.quantize coeff_format (c /. scale) *. scale)
+      coeffs
+  end
+
+let make ~r_min ~r_cut ~n ~quantize ~energy_coeffs ~force_coeffs =
+  if n <= 0 then invalid_arg "Interp_table.make: n must be positive";
+  if r_cut <= r_min || r_min < 0. then
+    invalid_arg "Interp_table.make: need 0 <= r_min < r_cut";
+  if Array.length energy_coeffs <> n || Array.length force_coeffs <> n then
+    invalid_arg "Interp_table.make: coefficient count mismatch";
+  let r_min2 = r_min *. r_min and r_cut2 = r_cut *. r_cut in
+  let width = (r_cut2 -. r_min2) /. float_of_int n in
+  let e_coeffs = Array.make (4 * n) 0. in
+  let f_coeffs = Array.make (4 * n) 0. in
+  for i = 0 to n - 1 do
+    let ec = energy_coeffs.(i) and fc = force_coeffs.(i) in
+    if Array.length ec <> 4 || Array.length fc <> 4 then
+      invalid_arg "Interp_table.make: each interval needs 4 coefficients";
+    let block = Array.append ec fc in
+    let block = if quantize then quantize_block block else block in
+    for d = 0 to 3 do
+      e_coeffs.((4 * i) + d) <- block.(d);
+      f_coeffs.((4 * i) + d) <- block.(4 + d)
+    done
+  done;
+  { r_min; r_cut; n; width; r_min2; r_cut2; e_coeffs; f_coeffs;
+    quantized = quantize }
+
+let n_intervals t = t.n
+let r_min t = t.r_min
+let r_cut t = t.r_cut
+let quantized t = t.quantized
+
+let eval t r2 =
+  if r2 >= t.r_cut2 then (0., 0.)
+  else begin
+    let r2c = if r2 < t.r_min2 then t.r_min2 else r2 in
+    let x = (r2c -. t.r_min2) /. t.width in
+    let i = min (t.n - 1) (int_of_float x) in
+    let u = r2c -. t.r_min2 -. (float_of_int i *. t.width) in
+    let base = 4 * i in
+    let horner c =
+      c.(base)
+      +. (u
+          *. (c.(base + 1) +. (u *. (c.(base + 2) +. (u *. c.(base + 3))))))
+    in
+    (horner t.e_coeffs, horner t.f_coeffs)
+  end
+
+let sram_bytes t =
+  (* 8 coefficients x 26-bit mantissa (stored as 32-bit words) + shared
+     exponent per interval. *)
+  t.n * ((8 * 4) + 1)

@@ -1,0 +1,46 @@
+(** The hardwired pipelines' interpolation-table format.
+
+    A pairwise point-interaction pipeline (PPIP) evaluates one radial
+    function per pair per cycle by piecewise-cubic interpolation in squared
+    distance: the table covers [r_min^2, r_cut^2] with [n] equal intervals;
+    each interval holds four fixed-point coefficients for the energy and four
+    for [f_over_r]. This module is the *format and evaluator* (hardware
+    semantics); fitting arbitrary functional forms into it is the job of the
+    generality layer's table compiler ({!Mdsp_core.Table}).
+
+    Indexing in r^2 (not r) matches the hardware: it avoids a square root in
+    the pipeline and concentrates resolution at small separations where
+    potentials are steep. *)
+
+type t
+
+(** Coefficient fixed-point format used on quantization. *)
+val coeff_format : Mdsp_util.Fixed.format
+
+(** [make ~r_min ~r_cut ~n ~quantize ~energy_coeffs ~force_coeffs] builds a
+    table from per-interval cubic coefficients (in the local variable
+    [u = r2 - knot_i], increasing degree). [quantize] applies block
+    fixed-point quantization to model the hardware datapath; the compiler
+    turns it off to measure pure interpolation error. *)
+val make :
+  r_min:float ->
+  r_cut:float ->
+  n:int ->
+  quantize:bool ->
+  energy_coeffs:float array array ->
+  force_coeffs:float array array ->
+  t
+
+val n_intervals : t -> int
+val r_min : t -> float
+val r_cut : t -> float
+val quantized : t -> bool
+
+(** [eval t r2] is [(energy, f_over_r)]; zero beyond [r_cut^2], and clamped
+    to the first interval below [r_min^2] (the hardware saturates there; the
+    compiler chooses [r_min] below any physical separation). *)
+val eval : t -> float -> float * float
+
+(** Bytes of SRAM the table occupies (8 coefficients per interval at the
+    coefficient width) — a resource-model input. *)
+val sram_bytes : t -> int

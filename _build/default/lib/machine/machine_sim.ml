@@ -1,0 +1,99 @@
+open Mdsp_util
+
+type result = {
+  forces : Vec3.t array;
+  energy : float;
+  pairs_per_node : int array;
+}
+
+let compute ?(format = Fixed.force_format) ~nodes ts ~types ~charges ~cutoff
+    box nlist positions =
+  let n = Array.length positions in
+  let decomp =
+    Mdsp_space.Decomp.create box ~nodes ~cutoff
+      ~policy:Mdsp_space.Decomp.Half_shell
+  in
+  let n_nodes = Mdsp_space.Decomp.node_count decomp in
+  (* Assign each pair to the node owning its first atom (the simplified
+     ownership rule; any deterministic rule preserves the property). *)
+  let pairs = Mdsp_space.Neighbor_list.pairs nlist in
+  let node_pairs = Array.make n_nodes [] in
+  Array.iter
+    (fun (i, j) ->
+      let node = Mdsp_space.Decomp.owner decomp positions.(i) in
+      node_pairs.(node) <- (i, j) :: node_pairs.(node))
+    pairs;
+  (* Per-node fixed-point accumulation. *)
+  let fmt = format in
+  let totals_x = Array.make n 0L in
+  let totals_y = Array.make n 0L in
+  let totals_z = Array.make n 0L in
+  let total_e = ref 0L in
+  let pairs_per_node = Array.make n_nodes 0 in
+  let rc2 = cutoff *. cutoff in
+  Array.iteri
+    (fun node plist ->
+      pairs_per_node.(node) <- List.length plist;
+      (* Node-local accumulators. *)
+      let fx = Array.make n 0L in
+      let fy = Array.make n 0L in
+      let fz = Array.make n 0L in
+      let e_acc = ref 0L in
+      List.iter
+        (fun (i, j) ->
+          let d = Pbc.min_image box positions.(i) positions.(j) in
+          let r2 = Vec3.norm2 d in
+          if r2 < rc2 then begin
+            let e, f_over_r =
+              let e_lj, f_lj =
+                Interp_table.eval ts.Htis.lj.(types.(i)).(types.(j)) r2
+              in
+              match ts.Htis.electrostatic with
+              | None -> (e_lj, f_lj)
+              | Some es ->
+                  let qq = Units.coulomb *. charges.(i) *. charges.(j) in
+                  if qq = 0. then (e_lj, f_lj)
+                  else begin
+                    let e_es, f_es = Interp_table.eval es r2 in
+                    (e_lj +. (qq *. e_es), f_lj +. (qq *. f_es))
+                  end
+            in
+            let gx = Fixed.of_float fmt (f_over_r *. d.Vec3.x) in
+            let gy = Fixed.of_float fmt (f_over_r *. d.Vec3.y) in
+            let gz = Fixed.of_float fmt (f_over_r *. d.Vec3.z) in
+            fx.(i) <- Fixed.add fmt fx.(i) gx;
+            fy.(i) <- Fixed.add fmt fy.(i) gy;
+            fz.(i) <- Fixed.add fmt fz.(i) gz;
+            fx.(j) <- Fixed.add fmt fx.(j) (Int64.neg gx);
+            fy.(j) <- Fixed.add fmt fy.(j) (Int64.neg gy);
+            fz.(j) <- Fixed.add fmt fz.(j) (Int64.neg gz);
+            e_acc := Fixed.add fmt !e_acc (Fixed.of_float fmt e)
+          end)
+        plist;
+      (* "Network reduction": combine node partials, still in fixed point. *)
+      for i = 0 to n - 1 do
+        totals_x.(i) <- Fixed.add fmt totals_x.(i) fx.(i);
+        totals_y.(i) <- Fixed.add fmt totals_y.(i) fy.(i);
+        totals_z.(i) <- Fixed.add fmt totals_z.(i) fz.(i)
+      done;
+      total_e := Fixed.add fmt !total_e !e_acc)
+    node_pairs;
+  let forces =
+    Array.init n (fun i ->
+        Vec3.make
+          (Fixed.to_float fmt totals_x.(i))
+          (Fixed.to_float fmt totals_y.(i))
+          (Fixed.to_float fmt totals_z.(i)))
+  in
+  { forces; energy = Fixed.to_float fmt !total_e; pairs_per_node }
+
+let imbalance r =
+  let n = Array.length r.pairs_per_node in
+  if n = 0 then 1.
+  else begin
+    let total = Array.fold_left ( + ) 0 r.pairs_per_node in
+    let mean = float_of_int total /. float_of_int n in
+    if mean = 0. then 1.
+    else
+      float_of_int (Array.fold_left max 0 r.pairs_per_node) /. mean
+  end

@@ -1,0 +1,36 @@
+(** Whole-machine functional simulation of the parallel force computation.
+
+    Pairs are assigned to nodes by spatial decomposition (the home box of
+    the pair's first atom, standing in for the half-shell ownership rule);
+    each node accumulates its partial forces in fixed point; node partials
+    are then combined in fixed point, mimicking the deterministic reduction
+    over the torus. Because every addition is exact, the result is
+    **bitwise identical for any node count and any per-node pair order** —
+    the machine's parallel-determinism property, strictly stronger than the
+    single-stream order independence of {!Htis.compute_forces}. *)
+
+open Mdsp_util
+
+type result = {
+  forces : Vec3.t array;
+  energy : float;
+  pairs_per_node : int array;  (** load distribution diagnostic *)
+}
+
+(** [compute ?format ~nodes ts ~types ~charges ~cutoff box nlist positions]
+    runs the decomposed computation on a simulated torus of dimensions
+    [nodes]. *)
+val compute :
+  ?format:Fixed.format ->
+  nodes:int * int * int ->
+  Htis.table_set ->
+  types:int array ->
+  charges:float array ->
+  cutoff:float ->
+  Pbc.t ->
+  Mdsp_space.Neighbor_list.t ->
+  Vec3.t array ->
+  result
+
+(** Load imbalance of a run: max node pair count over the mean. *)
+val imbalance : result -> float

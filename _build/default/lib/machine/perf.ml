@@ -1,0 +1,147 @@
+type workload = {
+  n_atoms : int;
+  density : float;
+  cutoff : float;
+  dt_fs : float;
+  bonded_terms : int;
+  n_constraints : int;
+  flex_ops_per_step : float;
+  pair_passes : float;
+  fft_grid : (int * int * int) option;
+  method_bytes_per_step : float;
+}
+
+let plain_workload ~n_atoms ~density ~cutoff ~dt_fs =
+  {
+    n_atoms;
+    density;
+    cutoff;
+    dt_fs;
+    bonded_terms = 0;
+    n_constraints = 0;
+    flex_ops_per_step = 0.;
+    pair_passes = 1.0;
+    fft_grid = None;
+    method_bytes_per_step = 0.;
+  }
+
+let of_system ?(dt_fs = 2.0) ?fft_grid (topo : Mdsp_ff.Topology.t) box =
+  let n = Mdsp_ff.Topology.n_atoms topo in
+  {
+    n_atoms = n;
+    density = float_of_int n /. Mdsp_util.Pbc.volume box;
+    cutoff = 9.0;
+    dt_fs;
+    bonded_terms = Mdsp_ff.Bonded.term_count topo;
+    n_constraints = Mdsp_ff.Topology.n_constraints topo;
+    flex_ops_per_step = 0.;
+    pair_passes = 1.0;
+    fft_grid;
+    method_bytes_per_step = 0.;
+  }
+
+let pair_count w =
+  let vol_sphere = 4. /. 3. *. Float.pi *. (w.cutoff ** 3.) in
+  float_of_int w.n_atoms *. w.density *. vol_sphere /. 2. *. w.pair_passes
+
+(* Flexible-subsystem op costs (arithmetic ops per item). These encode the
+   relative expense of each stage on the programmable cores. *)
+let ops_per_bonded_term = 60.
+let ops_per_atom_integration = 40.
+let ops_per_constraint = 50.
+let ops_per_grid_point = 12. (* spreading + gather work per grid pt, amortized *)
+
+type breakdown = {
+  htis_s : float;
+  flex_s : float;
+  comm_s : float;
+  fft_s : float;
+  sync_s : float;
+  step_s : float;
+}
+
+let step_time cfg w =
+  let nodes = float_of_int (Config.node_count cfg) in
+  let clock_hz = cfg.Config.clock_ghz *. 1e9 in
+  (* --- pair pipelines --- *)
+  let pairs_per_node = pair_count w /. nodes in
+  let htis_cycles =
+    pairs_per_node
+    /. (float_of_int cfg.Config.ppips_per_node
+       *. cfg.Config.ppip_pairs_per_cycle)
+  in
+  let htis_s = htis_cycles /. clock_hz in
+  (* --- flexible subsystem --- *)
+  let flex_ops =
+    (float_of_int w.bonded_terms *. ops_per_bonded_term)
+    +. (float_of_int w.n_atoms *. ops_per_atom_integration)
+    +. (float_of_int w.n_constraints *. ops_per_constraint)
+    +. w.flex_ops_per_step
+  in
+  let flex_node_throughput =
+    float_of_int cfg.Config.flex_cores_per_node
+    *. cfg.Config.flex_ops_per_cycle *. clock_hz
+  in
+  let flex_s = flex_ops /. nodes /. flex_node_throughput in
+  (* --- import/export communication --- *)
+  let px, py, pz = cfg.Config.nodes in
+  let vol = float_of_int w.n_atoms /. w.density in
+  let box_edge = vol ** (1. /. 3.) in
+  let hx = box_edge /. float_of_int px
+  and hy = box_edge /. float_of_int py
+  and hz = box_edge /. float_of_int pz in
+  let r = w.cutoff in
+  let import_volume =
+    (* half-shell import region around one home box *)
+    (2. *. r *. ((hx *. hy) +. (hy *. hz) +. (hx *. hz))
+    +. (Float.pi *. r *. r *. (hx +. hy +. hz))
+    +. (4. /. 3. *. Float.pi *. (r ** 3.)))
+    /. 2.
+  in
+  let import_atoms = w.density *. import_volume in
+  let import_bytes =
+    import_atoms *. float_of_int cfg.Config.bytes_per_atom *. 2.
+    (* positions in + forces back *)
+  in
+  let inject_bw =
+    cfg.Config.link_gb_s *. 1e9 *. float_of_int cfg.Config.links_per_node
+  in
+  let comm_s =
+    ((import_bytes +. (w.method_bytes_per_step /. nodes)) /. inject_bw)
+    +. (cfg.Config.hop_latency_ns *. 1e-9
+       *. ceil (r /. Float.min hx (Float.min hy hz)))
+  in
+  (* --- long-range FFT --- *)
+  let fft_s =
+    match w.fft_grid with
+    | None -> 0.
+    | Some (gx, gy, gz) ->
+        let k = float_of_int (gx * gy * gz) in
+        let compute =
+          (k /. nodes)
+          *. (Float.max 1. (log (k) /. log 2.) *. 2. +. ops_per_grid_point)
+          /. flex_node_throughput
+        in
+        (* Two all-to-all transpose passes of the (complex) grid. *)
+        let transpose_bytes = k /. nodes *. 16. *. 2. in
+        let transpose =
+          (transpose_bytes /. inject_bw)
+          +. (2. *. float_of_int (Config.max_hops cfg)
+             *. cfg.Config.hop_latency_ns *. 1e-9)
+        in
+        compute +. transpose
+  in
+  (* --- synchronization --- *)
+  let sync_s =
+    cfg.Config.sync_latency_ns *. 1e-9
+    *. Float.max 1. (log nodes /. log 2.)
+  in
+  (* The machine overlaps aggressively: a step is bounded by its slowest
+     resource, plus the serial long-range phase and the barrier. *)
+  let step_s = Float.max htis_s (Float.max flex_s comm_s) +. fft_s +. sync_s in
+  { htis_s; flex_s; comm_s; fft_s; sync_s; step_s }
+
+let ns_per_day cfg w =
+  let b = step_time cfg w in
+  let steps_per_day = 86400. /. b.step_s in
+  steps_per_day *. w.dt_fs *. 1e-6

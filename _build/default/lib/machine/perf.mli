@@ -1,0 +1,50 @@
+(** Per-step performance model.
+
+    Converts a workload description into per-step times for each machine
+    resource (pair pipelines, flexible subsystem, network, long-range FFT)
+    and an aggregate ns/day figure. The machine overlaps communication with
+    computation; a step is bounded by its slowest resource plus a global
+    synchronization term. All per-resource costs are exposed so the E7
+    cycle-breakdown experiment can report them. *)
+
+type workload = {
+  n_atoms : int;
+  density : float;  (** atoms per cubic angstrom *)
+  cutoff : float;
+  dt_fs : float;
+  bonded_terms : int;
+  n_constraints : int;
+  flex_ops_per_step : float;
+      (** extra programmable-core work added by methods (kernel DSL cost) *)
+  pair_passes : float;
+      (** multiplier on the pair workload; 1.0 for plain MD, e.g. 2.0 for a
+          dual-topology FEP pass *)
+  fft_grid : (int * int * int) option;
+  method_bytes_per_step : float;
+      (** extra per-step communication a method needs (e.g. REMD exchange) *)
+}
+
+val plain_workload :
+  n_atoms:int -> density:float -> cutoff:float -> dt_fs:float -> workload
+
+(** Derive a workload from an actual system. *)
+val of_system :
+  ?dt_fs:float -> ?fft_grid:int * int * int ->
+  Mdsp_ff.Topology.t -> Mdsp_util.Pbc.t -> workload
+
+type breakdown = {
+  htis_s : float;  (** pair pipelines *)
+  flex_s : float;  (** programmable cores: bonded + integration + methods *)
+  comm_s : float;  (** import/export + method communication *)
+  fft_s : float;  (** long-range grid work incl. transposes *)
+  sync_s : float;  (** global synchronization *)
+  step_s : float;  (** resulting step time *)
+}
+
+val step_time : Config.t -> workload -> breakdown
+
+(** Nanoseconds of simulated time per wall-clock day. *)
+val ns_per_day : Config.t -> workload -> float
+
+(** Pairs within the cutoff per step (half counting), from density. *)
+val pair_count : workload -> float

@@ -1,0 +1,1 @@
+lib/md/constraints.ml: Array Float Mdsp_ff Mdsp_util Pbc Vec3

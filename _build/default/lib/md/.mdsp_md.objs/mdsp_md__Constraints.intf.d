@@ -1,0 +1,1 @@
+lib/md/constraints.mli: Mdsp_ff Mdsp_util Pbc Vec3

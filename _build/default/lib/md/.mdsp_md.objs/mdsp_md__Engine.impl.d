@@ -1,0 +1,1 @@
+lib/md/engine.ml: Array Constraints Float Force_calc List Mdsp_ff Mdsp_space Mdsp_util Pbc Rng State Units Vec3 Virtual_sites

@@ -1,0 +1,1 @@
+lib/md/engine.mli: Constraints Force_calc Mdsp_ff Mdsp_util Rng State

@@ -1,0 +1,1 @@
+lib/md/force_calc.ml: List Mdsp_ff Mdsp_longrange Mdsp_space Mdsp_util Pbc Vec3

@@ -1,0 +1,1 @@
+lib/md/observables.ml: Array Engine List Mdsp_util Printf Stats

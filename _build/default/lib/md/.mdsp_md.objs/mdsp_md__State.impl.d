@@ -1,0 +1,1 @@
+lib/md/state.ml: Array Mdsp_util Pbc Rng Units Vec3

@@ -1,0 +1,1 @@
+lib/md/state.mli: Mdsp_util Pbc Rng Vec3

@@ -1,0 +1,1 @@
+lib/md/trajectory.ml: Array Fun List Mdsp_util Pbc Printf Scanf State String Vec3

@@ -1,0 +1,1 @@
+lib/md/trajectory.mli: Mdsp_util Pbc State Vec3

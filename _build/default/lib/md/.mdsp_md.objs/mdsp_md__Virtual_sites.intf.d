@@ -1,0 +1,1 @@
+lib/md/virtual_sites.mli: Mdsp_ff Mdsp_util Pbc Vec3

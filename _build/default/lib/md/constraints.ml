@@ -1,0 +1,87 @@
+open Mdsp_util
+
+type t = {
+  pairs : (int * int * float) array; (* (i, j, target distance) *)
+  tol : float;
+  max_iter : int;
+}
+
+let create ?(tol = 1e-8) ?(max_iter = 200) (topo : Mdsp_ff.Topology.t) =
+  let pairs =
+    Array.map
+      (fun (c : Mdsp_ff.Topology.constraint_) -> (c.ci, c.cj, c.dist))
+      topo.constraints
+  in
+  { pairs; tol; max_iter }
+
+let none = { pairs = [||]; tol = 1e-8; max_iter = 1 }
+let count t = Array.length t.pairs
+
+let shake t box ~prev positions ~masses =
+  if Array.length t.pairs > 0 then begin
+    let iter = ref 0 in
+    let converged = ref false in
+    while (not !converged) && !iter < t.max_iter do
+      converged := true;
+      Array.iter
+        (fun (i, j, d) ->
+          let d2 = d *. d in
+          let rij = Pbc.min_image box positions.(i) positions.(j) in
+          let diff = Vec3.norm2 rij -. d2 in
+          if abs_float diff > t.tol *. d2 then begin
+            converged := false;
+            (* Displace along the pre-step bond direction (classic SHAKE). *)
+            let rij_prev = Pbc.min_image box prev.(i) prev.(j) in
+            let inv_mi = 1. /. masses.(i) and inv_mj = 1. /. masses.(j) in
+            let denom =
+              2. *. (inv_mi +. inv_mj) *. Vec3.dot rij rij_prev
+            in
+            if abs_float denom < 1e-12 then
+              failwith "Constraints.shake: degenerate constraint geometry";
+            let g = diff /. denom in
+            positions.(i) <-
+              Vec3.sub positions.(i) (Vec3.scale (g *. inv_mi) rij_prev);
+            positions.(j) <-
+              Vec3.add positions.(j) (Vec3.scale (g *. inv_mj) rij_prev)
+          end)
+        t.pairs;
+      incr iter
+    done;
+    if not !converged then failwith "Constraints.shake: did not converge"
+  end
+
+let rattle t box positions velocities ~masses =
+  if Array.length t.pairs > 0 then begin
+    let iter = ref 0 in
+    let converged = ref false in
+    (* Velocity tolerance scaled by constraint length. *)
+    while (not !converged) && !iter < t.max_iter do
+      converged := true;
+      Array.iter
+        (fun (i, j, d) ->
+          let rij = Pbc.min_image box positions.(i) positions.(j) in
+          let vij = Vec3.sub velocities.(i) velocities.(j) in
+          let rv = Vec3.dot rij vij in
+          let inv_mi = 1. /. masses.(i) and inv_mj = 1. /. masses.(j) in
+          let d2 = d *. d in
+          if abs_float rv > t.tol *. d2 *. 10. then begin
+            converged := false;
+            let k = rv /. (d2 *. (inv_mi +. inv_mj)) in
+            velocities.(i) <-
+              Vec3.sub velocities.(i) (Vec3.scale (k *. inv_mi) rij);
+            velocities.(j) <-
+              Vec3.add velocities.(j) (Vec3.scale (k *. inv_mj) rij)
+          end)
+        t.pairs;
+      incr iter
+    done;
+    if not !converged then failwith "Constraints.rattle: did not converge"
+  end
+
+let max_violation t box positions =
+  Array.fold_left
+    (fun acc (i, j, d) ->
+      let d2 = d *. d in
+      let r2 = Pbc.dist2 box positions.(i) positions.(j) in
+      Float.max acc (abs_float (r2 -. d2) /. d2))
+    0. t.pairs

@@ -1,0 +1,35 @@
+(** Holonomic distance constraints: SHAKE (positions) and RATTLE
+    (velocities).
+
+    Constraints come from the topology (rigid waters, fixed X–H bonds). The
+    iterative solvers converge geometrically for the small coupled clusters
+    that appear in practice (a rigid water is a 3-constraint cluster). *)
+
+open Mdsp_util
+
+type t
+
+(** [create topo ~tol ~max_iter] prepares the constraint solver. [tol] is
+    the relative tolerance on squared distances (default 1e-8); [max_iter]
+    defaults to 200. *)
+val create : ?tol:float -> ?max_iter:int -> Mdsp_ff.Topology.t -> t
+
+(** No constraints at all (cheap no-op solver). *)
+val none : t
+
+val count : t -> int
+
+(** [shake t box ~prev positions] adjusts [positions] so all constraints
+    hold, applying displacements inversely weighted by mass along the
+    constraint direction of the *previous* (pre-step) geometry [prev].
+    Raises [Failure] if the iteration does not converge. *)
+val shake :
+  t -> Pbc.t -> prev:Vec3.t array -> Vec3.t array -> masses:float array -> unit
+
+(** [rattle t box positions velocities] projects velocity components along
+    the constraint directions out of [velocities]. *)
+val rattle :
+  t -> Pbc.t -> Vec3.t array -> Vec3.t array -> masses:float array -> unit
+
+(** Maximum relative violation max |r^2 - d^2| / d^2 over constraints. *)
+val max_violation : t -> Pbc.t -> Vec3.t array -> float

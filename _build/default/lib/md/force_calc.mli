@@ -1,0 +1,81 @@
+(** Full force-field evaluation: bonded + short-range pairs + long-range
+    electrostatics + externally registered biases.
+
+    The short-range pair part goes through an abstract
+    {!Mdsp_ff.Pair_interactions.evaluator}, which is the seam where the
+    machine model substitutes its table-driven pipelines for the analytic
+    reference. Biases (restraints, metadynamics hills, boost potentials...)
+    are closures registered by the sampling methods. *)
+
+open Mdsp_util
+
+type longrange =
+  | Lr_none
+  | Lr_ewald of Mdsp_longrange.Ewald.t
+  | Lr_gse of Mdsp_longrange.Gse.t
+
+type energies = {
+  bond : float;
+  angle : float;
+  dihedral : float;
+  pair : float;  (** short-range nonbonded *)
+  recip : float;  (** long-range reciprocal *)
+  correction : float;  (** Ewald self + excluded-pair corrections *)
+  bias : float;  (** all registered biases *)
+}
+
+val total : energies -> float
+val zero_energies : energies
+
+(** A bias sees the box and positions and adds forces into the accumulator,
+    returning its energy. *)
+type bias = {
+  bias_name : string;
+  bias_compute : Pbc.t -> Vec3.t array -> Mdsp_ff.Bonded.accum -> float;
+}
+
+(** A force transform rewrites the already-accumulated forces as a function
+    of the pre-transform potential energy — the mechanism behind boost
+    potentials (accelerated MD), where F' = F (1 - d(boost)/dV). It returns
+    the boost energy to add to the bias total. Applied only by {!compute}
+    (not the RESPA class-split path). *)
+type transform = {
+  tr_name : string;
+  tr_apply : Pbc.t -> Vec3.t array -> Mdsp_ff.Bonded.accum -> float -> float;
+}
+
+type t
+
+val create :
+  Mdsp_ff.Topology.t ->
+  evaluator:Mdsp_ff.Pair_interactions.evaluator ->
+  longrange:longrange ->
+  nlist:Mdsp_space.Neighbor_list.t ->
+  t
+
+val topology : t -> Mdsp_ff.Topology.t
+val nlist : t -> Mdsp_space.Neighbor_list.t
+
+(** Replace the pair evaluator (FEP lambda switching, machine substitution). *)
+val set_evaluator : t -> Mdsp_ff.Pair_interactions.evaluator -> unit
+
+val add_bias : t -> bias -> unit
+
+(** Remove a bias by name; returns true if one was removed. *)
+val remove_bias : t -> string -> bool
+
+val biases : t -> string list
+
+(** Install or clear the force transform. *)
+val set_transform : t -> transform option -> unit
+
+(** [compute t box positions acc] refreshes the neighbor list if needed,
+    accumulates all forces and the virial into [acc] (which is reset first)
+    and returns the energy breakdown. *)
+val compute : t -> Pbc.t -> Vec3.t array -> Mdsp_ff.Bonded.accum -> energies
+
+(** Like {!compute} but restricted to a force class, for RESPA splitting:
+    [`Fast] = bonded + biases, [`Slow] = nonbonded (+ long-range). *)
+val compute_class :
+  t -> [ `Fast | `Slow ] -> Pbc.t -> Vec3.t array -> Mdsp_ff.Bonded.accum ->
+  energies

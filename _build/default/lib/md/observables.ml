@@ -1,0 +1,82 @@
+open Mdsp_util
+
+type channel = {
+  name : string;
+  f : Engine.t -> float;
+  mutable values : float list; (* reversed *)
+  mutable count : int;
+}
+
+type t = {
+  eng : Engine.t;
+  stride : int;
+  mutable channels : channel list; (* reversed registration order *)
+  hook_name : string;
+}
+
+let counter = ref 0
+
+let attach eng ~stride =
+  if stride <= 0 then invalid_arg "Observables.attach: stride must be positive";
+  incr counter;
+  let t =
+    {
+      eng;
+      stride;
+      channels = [];
+      hook_name = Printf.sprintf "observables_%d" !counter;
+    }
+  in
+  Engine.add_post_step eng ~name:t.hook_name (fun eng ->
+      if Engine.steps_done eng mod t.stride = 0 then
+        List.iter
+          (fun ch ->
+            ch.values <- ch.f eng :: ch.values;
+            ch.count <- ch.count + 1)
+          t.channels);
+  t
+
+let custom t ~name f =
+  if List.exists (fun c -> c.name = name) t.channels then
+    invalid_arg (Printf.sprintf "Observables.custom: duplicate channel %S" name);
+  t.channels <- { name; f; values = []; count = 0 } :: t.channels
+
+let temperature t = custom t ~name:"temperature" Engine.temperature
+let pressure t = custom t ~name:"pressure" Engine.pressure_atm
+let potential_energy t = custom t ~name:"potential" Engine.potential_energy
+let total_energy t = custom t ~name:"total" Engine.total_energy
+
+let series t name =
+  match List.find_opt (fun c -> c.name = name) t.channels with
+  | Some c -> Array.of_list (List.rev c.values)
+  | None -> raise Not_found
+
+type summary = {
+  name : string;
+  n : int;
+  mean : float;
+  stddev : float;
+  stderr : float;
+}
+
+let summaries t =
+  List.rev_map
+    (fun c ->
+      let xs = Array.of_list (List.rev c.values) in
+      let n = Array.length xs in
+      if n = 0 then
+        { name = c.name; n = 0; mean = nan; stddev = nan; stderr = nan }
+      else begin
+        let mean = Stats.mean xs in
+        let stddev = Stats.stddev xs in
+        (* Blocked standard error when we have enough data; otherwise the
+           naive (correlation-blind) one. *)
+        let stderr =
+          if n >= 40 then Stats.block_standard_error ~block:(n / 20) xs
+          else stddev /. sqrt (float_of_int (max 1 n))
+        in
+        { name = c.name; n; mean; stddev; stderr }
+      end)
+    t.channels
+
+let detach t = ignore (Engine.remove_post_step t.eng t.hook_name)

@@ -1,0 +1,40 @@
+(** Scalar-observable recording during a run.
+
+    Attach named samplers to an engine; each records a time series of a
+    scalar (built-ins: temperature, pressure, energies; or any custom
+    function of the engine) every [stride] steps via a post-step hook.
+    Summaries come back as mean / stddev / standard error with a
+    correlation-aware block estimate. *)
+
+type t
+
+(** [attach eng ~stride] registers the recorder on the engine. *)
+val attach : Engine.t -> stride:int -> t
+
+(** Built-in channels. *)
+val temperature : t -> unit
+
+val pressure : t -> unit
+val potential_energy : t -> unit
+val total_energy : t -> unit
+
+(** [custom t ~name f] records [f engine] each sampling step. *)
+val custom : t -> name:string -> (Engine.t -> float) -> unit
+
+(** Recorded series for a channel, in time order. Raises [Not_found] for an
+    unknown channel. *)
+val series : t -> string -> float array
+
+type summary = {
+  name : string;
+  n : int;
+  mean : float;
+  stddev : float;
+  stderr : float;  (** block-averaged standard error where possible *)
+}
+
+(** One summary per channel, in registration order. *)
+val summaries : t -> summary list
+
+(** Stop recording (removes the hook). *)
+val detach : t -> unit

@@ -1,0 +1,71 @@
+open Mdsp_util
+
+type t = {
+  positions : Vec3.t array;
+  velocities : Vec3.t array;
+  masses : float array;
+  mutable box : Pbc.t;
+  mutable time : float;
+}
+
+let create ~positions ~masses ~box =
+  let n = Array.length positions in
+  if Array.length masses <> n then
+    invalid_arg "State.create: positions/masses length mismatch";
+  {
+    positions = Array.copy positions;
+    velocities = Array.make n Vec3.zero;
+    masses = Array.copy masses;
+    box;
+    time = 0.;
+  }
+
+let n t = Array.length t.positions
+
+let kinetic_energy t =
+  let ke = ref 0. in
+  for i = 0 to n t - 1 do
+    ke := !ke +. (0.5 *. t.masses.(i) *. Vec3.norm2 t.velocities.(i))
+  done;
+  !ke
+
+let temperature t ~dof =
+  2. *. kinetic_energy t /. (float_of_int dof *. Units.k_b)
+
+let remove_com_velocity t =
+  let p = ref Vec3.zero and m = ref 0. in
+  for i = 0 to n t - 1 do
+    p := Vec3.add !p (Vec3.scale t.masses.(i) t.velocities.(i));
+    m := !m +. t.masses.(i)
+  done;
+  let v_com = Vec3.scale (1. /. !m) !p in
+  for i = 0 to n t - 1 do
+    t.velocities.(i) <- Vec3.sub t.velocities.(i) v_com
+  done
+
+let thermalize t rng ~temp =
+  for i = 0 to n t - 1 do
+    let sigma = sqrt (Units.k_b *. temp /. t.masses.(i)) in
+    t.velocities.(i) <- Vec3.scale sigma (Rng.gaussian_vec rng)
+  done;
+  remove_com_velocity t
+
+let scale_velocities t f =
+  for i = 0 to n t - 1 do
+    t.velocities.(i) <- Vec3.scale f t.velocities.(i)
+  done
+
+let copy t =
+  {
+    positions = Array.copy t.positions;
+    velocities = Array.copy t.velocities;
+    masses = Array.copy t.masses;
+    box = t.box;
+    time = t.time;
+  }
+
+let blit ~src ~dst =
+  Array.blit src.positions 0 dst.positions 0 (n src);
+  Array.blit src.velocities 0 dst.velocities 0 (n src);
+  dst.box <- src.box;
+  dst.time <- src.time

@@ -1,0 +1,43 @@
+(** Dynamic state of a simulation: positions, velocities, box, time.
+
+    Positions are wrapped lazily — the arrays may hold unwrapped coordinates;
+    all physics goes through minimum-image displacement, and wrapping only
+    happens on neighbor-list rebuilds. Internal units throughout (angstrom,
+    amu, internal time; see {!Mdsp_util.Units}). *)
+
+open Mdsp_util
+
+type t = {
+  positions : Vec3.t array;
+  velocities : Vec3.t array;
+  masses : float array;
+  mutable box : Pbc.t;
+  mutable time : float;  (** internal units *)
+}
+
+val create :
+  positions:Vec3.t array -> masses:float array -> box:Pbc.t -> t
+
+val n : t -> int
+
+(** Kinetic energy, kcal/mol. *)
+val kinetic_energy : t -> float
+
+(** Instantaneous temperature for the given number of degrees of freedom. *)
+val temperature : t -> dof:int -> float
+
+(** Draw velocities from the Maxwell–Boltzmann distribution at [temp] and
+    remove the center-of-mass drift. *)
+val thermalize : t -> Rng.t -> temp:float -> unit
+
+(** Remove center-of-mass velocity. *)
+val remove_com_velocity : t -> unit
+
+(** Rescale all velocities by a factor. *)
+val scale_velocities : t -> float -> unit
+
+(** Deep copy. *)
+val copy : t -> t
+
+(** Copy dynamic data of [src] into [dst] (arrays must match in length). *)
+val blit : src:t -> dst:t -> unit

@@ -1,0 +1,98 @@
+open Mdsp_util
+
+type xyz = { oc : out_channel; names : string array }
+
+let open_xyz path ~names =
+  let oc = open_out path in
+  { oc; names }
+
+let write_frame t box ~time_fs positions =
+  let n = Array.length positions in
+  if n <> Array.length t.names then
+    invalid_arg "Trajectory.write_frame: name/position count mismatch";
+  Printf.fprintf t.oc "%d\n" n;
+  let open Pbc in
+  Printf.fprintf t.oc
+    "Lattice=\"%.6f 0 0 0 %.6f 0 0 0 %.6f\" time_fs=%.4f\n" box.lx box.ly
+    box.lz time_fs;
+  Array.iteri
+    (fun i (p : Vec3.t) ->
+      let w = Pbc.wrap box p in
+      Printf.fprintf t.oc "%-4s %12.6f %12.6f %12.6f\n" t.names.(i) w.Vec3.x
+        w.Vec3.y w.Vec3.z)
+    positions
+
+let close_xyz t = close_out t.oc
+
+let read_xyz path =
+  let ic = open_in path in
+  let frames = ref [] in
+  (try
+     while true do
+       let n = int_of_string (String.trim (input_line ic)) in
+       let comment = input_line ic in
+       let pos =
+         Array.init n (fun _ ->
+             let line = input_line ic in
+             Scanf.sscanf line " %s %f %f %f" (fun _ x y z -> Vec3.make x y z))
+       in
+       frames := (comment, pos) :: !frames
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !frames
+
+module Checkpoint = struct
+  let save path (st : State.t) ~step =
+    let oc = open_out path in
+    let n = State.n st in
+    let open Pbc in
+    Printf.fprintf oc "mdsp-checkpoint 1\n";
+    Printf.fprintf oc "atoms %d\n" n;
+    Printf.fprintf oc "step %d\n" step;
+    Printf.fprintf oc "time %.17g\n" st.State.time;
+    Printf.fprintf oc "box %.17g %.17g %.17g\n" st.State.box.lx
+      st.State.box.ly st.State.box.lz;
+    for i = 0 to n - 1 do
+      let p = st.State.positions.(i) and v = st.State.velocities.(i) in
+      Printf.fprintf oc "%.17g %.17g %.17g %.17g %.17g %.17g %.17g\n"
+        st.State.masses.(i) p.Vec3.x p.Vec3.y p.Vec3.z v.Vec3.x v.Vec3.y
+        v.Vec3.z
+    done;
+    close_out oc
+
+  let load path =
+    let ic = open_in path in
+    let fail msg =
+      close_in ic;
+      failwith (Printf.sprintf "Checkpoint.load %s: %s" path msg)
+    in
+    let line () = try input_line ic with End_of_file -> fail "truncated" in
+    (try
+       let header = line () in
+       if header <> "mdsp-checkpoint 1" then fail "bad header";
+       let n = Scanf.sscanf (line ()) "atoms %d" Fun.id in
+       let step = Scanf.sscanf (line ()) "step %d" Fun.id in
+       let time = Scanf.sscanf (line ()) "time %f" Fun.id in
+       let lx, ly, lz =
+         Scanf.sscanf (line ()) "box %f %f %f" (fun a b c -> (a, b, c))
+       in
+       let masses = Array.make n 0. in
+       let positions = Array.make n Vec3.zero in
+       let velocities = Array.make n Vec3.zero in
+       for i = 0 to n - 1 do
+         Scanf.sscanf (line ()) " %f %f %f %f %f %f %f"
+           (fun m px py pz vx vy vz ->
+             masses.(i) <- m;
+             positions.(i) <- Vec3.make px py pz;
+             velocities.(i) <- Vec3.make vx vy vz)
+       done;
+       close_in ic;
+       let st = State.create ~positions ~masses ~box:(Pbc.make ~lx ~ly ~lz) in
+       Array.blit velocities 0 st.State.velocities 0 n;
+       st.State.time <- time;
+       (st, step)
+     with
+    | Scanf.Scan_failure m -> fail m
+    | Failure m -> fail m)
+end

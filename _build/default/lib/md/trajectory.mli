@@ -1,0 +1,33 @@
+(** Trajectory output (XYZ) and exact-restart checkpoints.
+
+    The XYZ writer produces the standard extended-XYZ-flavored text format
+    readable by common visualization tools. Checkpoints round-trip the full
+    dynamic state (positions, velocities, box, time) in a self-describing
+    text format stable across runs; restarting from a checkpoint is exact
+    up to the engine's RNG state, which the caller reseeds. *)
+
+open Mdsp_util
+
+(** An open XYZ trajectory file. *)
+type xyz
+
+(** [open_xyz path ~names] starts a trajectory with per-atom element/name
+    labels. *)
+val open_xyz : string -> names:string array -> xyz
+
+(** Append one frame (with the box and time recorded on the comment line). *)
+val write_frame : xyz -> Pbc.t -> time_fs:float -> Vec3.t array -> unit
+
+val close_xyz : xyz -> unit
+
+(** [read_xyz path] loads all frames as (comment, positions) pairs. *)
+val read_xyz : string -> (string * Vec3.t array) list
+
+module Checkpoint : sig
+  (** [save path state ~step] writes a restart file. *)
+  val save : string -> State.t -> step:int -> unit
+
+  (** [load path] returns the state and step count. Raises [Failure] on a
+      malformed file. *)
+  val load : string -> State.t * int
+end

@@ -1,0 +1,48 @@
+open Mdsp_util
+
+type t = {
+  sites : Mdsp_ff.Topology.virtual_site array;
+  is_site : bool array;
+}
+
+let create (topo : Mdsp_ff.Topology.t) =
+  let n = Mdsp_ff.Topology.n_atoms topo in
+  let is_site = Array.make n false in
+  Array.iter
+    (fun (v : Mdsp_ff.Topology.virtual_site) ->
+      is_site.(v.Mdsp_ff.Topology.vs) <- true)
+    topo.virtual_sites;
+  { sites = topo.virtual_sites; is_site }
+
+let count t = Array.length t.sites
+let is_site t i = t.is_site.(i)
+
+let place t box positions =
+  Array.iter
+    (fun (v : Mdsp_ff.Topology.virtual_site) ->
+      let anchor_idx, _ = v.vparents.(0) in
+      let anchor = positions.(anchor_idx) in
+      let acc = ref Vec3.zero in
+      Array.iter
+        (fun (p, w) ->
+          let d = Pbc.min_image box positions.(p) anchor in
+          acc := Vec3.axpy w d !acc)
+        v.vparents;
+      positions.(v.vs) <- Vec3.add anchor !acc)
+    t.sites
+
+let spread_forces t (acc : Mdsp_ff.Bonded.accum) =
+  Array.iter
+    (fun (v : Mdsp_ff.Topology.virtual_site) ->
+      let f = acc.forces.(v.vs) in
+      Array.iter
+        (fun (p, w) -> acc.forces.(p) <- Vec3.axpy w f acc.forces.(p))
+        v.vparents;
+      acc.forces.(v.vs) <- Vec3.zero)
+    t.sites
+
+let zero_velocities t velocities =
+  Array.iter
+    (fun (v : Mdsp_ff.Topology.virtual_site) ->
+      velocities.(v.Mdsp_ff.Topology.vs) <- Vec3.zero)
+    t.sites

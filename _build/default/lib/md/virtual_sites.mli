@@ -1,0 +1,32 @@
+(** Virtual interaction sites (massless, e.g. the TIP4P M site).
+
+    A virtual site's position is a fixed weighted combination of its parent
+    atoms; it carries charge and/or LJ parameters but no mass. The engine
+    calls {!place} after every position update and {!spread_forces} after
+    every force evaluation (transferring the site's force onto its parents
+    with the same weights — exact for linear constructions). Virtual sites
+    are skipped by integration. *)
+
+open Mdsp_util
+
+type t
+
+(** Compile the topology's virtual-site table. *)
+val create : Mdsp_ff.Topology.t -> t
+
+(** No virtual sites (no-op). *)
+val count : t -> int
+
+(** [is_site t i] is true if atom [i] is a virtual site. *)
+val is_site : t -> int -> bool
+
+(** Recompute site positions from their parents (minimum-image anchored at
+    the first parent, so molecules spanning the boundary stay intact). *)
+val place : t -> Pbc.t -> Vec3.t array -> unit
+
+(** Move each site's accumulated force onto its parents and zero the
+    site's entry. *)
+val spread_forces : t -> Mdsp_ff.Bonded.accum -> unit
+
+(** Zero the velocities of all sites (used after thermalization). *)
+val zero_velocities : t -> Vec3.t array -> unit

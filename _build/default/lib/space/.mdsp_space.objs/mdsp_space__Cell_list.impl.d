@@ -1,0 +1,1 @@
+lib/space/cell_list.ml: Array Mdsp_util Pbc Vec3

@@ -1,0 +1,1 @@
+lib/space/cell_list.mli: Mdsp_util Pbc Vec3

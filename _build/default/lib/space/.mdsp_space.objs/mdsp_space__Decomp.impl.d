@@ -1,0 +1,1 @@
+lib/space/decomp.ml: Array Float List Mdsp_util Pbc Vec3

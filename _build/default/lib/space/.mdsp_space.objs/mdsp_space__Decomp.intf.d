@@ -1,0 +1,1 @@
+lib/space/decomp.mli: Mdsp_util Pbc Vec3

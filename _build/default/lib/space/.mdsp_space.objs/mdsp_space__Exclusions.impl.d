@@ -1,0 +1,1 @@
+lib/space/exclusions.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/space/neighbor_list.ml: Array Cell_list Exclusions Mdsp_util Pbc Vec3

@@ -1,0 +1,1 @@
+lib/space/neighbor_list.mli: Exclusions Mdsp_util Pbc Vec3

@@ -1,0 +1,130 @@
+open Mdsp_util
+
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  n : int;  (** particle count *)
+  head : int array;  (** first particle in cell, -1 if empty *)
+  next : int array;  (** next particle in same cell, -1 at end *)
+  cell_of : int array;
+  degenerate : bool;  (** fewer than 3 cells along some axis *)
+}
+
+let build box positions ~cutoff =
+  if cutoff <= 0. then invalid_arg "Cell_list.build: cutoff must be positive";
+  let open Pbc in
+  let dims l = max 1 (int_of_float (l /. cutoff)) in
+  let nx = dims box.lx and ny = dims box.ly and nz = dims box.lz in
+  let n = Array.length positions in
+  let ncells = nx * ny * nz in
+  let head = Array.make ncells (-1) in
+  let next = Array.make n (-1) in
+  let cell_of = Array.make n 0 in
+  let clampi hi v = if v >= hi then hi - 1 else if v < 0 then 0 else v in
+  for i = 0 to n - 1 do
+    let f = Pbc.to_fractional box positions.(i) in
+    let cx = clampi nx (int_of_float (f.Vec3.x *. float_of_int nx)) in
+    let cy = clampi ny (int_of_float (f.Vec3.y *. float_of_int ny)) in
+    let cz = clampi nz (int_of_float (f.Vec3.z *. float_of_int nz)) in
+    let c = cx + (nx * (cy + (ny * cz))) in
+    cell_of.(i) <- c;
+    next.(i) <- head.(c);
+    head.(c) <- i
+  done;
+  { nx; ny; nz; n; head; next; cell_of; degenerate = nx < 3 || ny < 3 || nz < 3 }
+
+let dims t = (t.nx, t.ny, t.nz)
+let cell_of t i = t.cell_of.(i)
+
+(* The 13 half-space offsets: all (dx,dy,dz) with dz>0, or dz=0 && dy>0, or
+   dz=0 && dy=0 && dx>0. Together with intra-cell pairs this enumerates each
+   unordered cell pair once. *)
+let half_offsets =
+  [|
+    (1, 0, 0);
+    (-1, 1, 0); (0, 1, 0); (1, 1, 0);
+    (-1, -1, 1); (0, -1, 1); (1, -1, 1);
+    (-1, 0, 1); (0, 0, 1); (1, 0, 1);
+    (-1, 1, 1); (0, 1, 1); (1, 1, 1);
+  |]
+
+let iter_cell_pair t ca cb f =
+  (* All pairs (i in ca, j in cb), ca <> cb. *)
+  let i = ref t.head.(ca) in
+  while !i >= 0 do
+    let j = ref t.head.(cb) in
+    while !j >= 0 do
+      f !i !j;
+      j := t.next.(!j)
+    done;
+    i := t.next.(!i)
+  done
+
+let iter_intra t c f =
+  let i = ref t.head.(c) in
+  while !i >= 0 do
+    let j = ref t.next.(!i) in
+    while !j >= 0 do
+      f !i !j;
+      j := t.next.(!j)
+    done;
+    i := t.next.(!i)
+  done
+
+let iter_pairs t f =
+  if t.degenerate then
+    (* Too few cells for the offset scheme to avoid duplicates; fall back to
+       all-pairs, which is correct and only hits tiny systems. *)
+    for i = 0 to t.n - 1 do
+      for j = i + 1 to t.n - 1 do
+        f i j
+      done
+    done
+  else begin
+    let wrap v n = ((v mod n) + n) mod n in
+    for cz = 0 to t.nz - 1 do
+      for cy = 0 to t.ny - 1 do
+        for cx = 0 to t.nx - 1 do
+          let c = cx + (t.nx * (cy + (t.ny * cz))) in
+          iter_intra t c f;
+          Array.iter
+            (fun (dx, dy, dz) ->
+              let nx' = wrap (cx + dx) t.nx
+              and ny' = wrap (cy + dy) t.ny
+              and nz' = wrap (cz + dz) t.nz in
+              let c' = nx' + (t.nx * (ny' + (t.ny * nz'))) in
+              iter_cell_pair t c c' f)
+            half_offsets
+        done
+      done
+    done
+  end
+
+let iter_neighbors t i f =
+  if t.degenerate then
+    for j = 0 to t.n - 1 do
+      if j <> i then f j
+    done
+  else begin
+    let c = t.cell_of.(i) in
+    let cx = c mod t.nx in
+    let cy = c / t.nx mod t.ny in
+    let cz = c / (t.nx * t.ny) in
+    let wrap v n = ((v mod n) + n) mod n in
+    for dz = -1 to 1 do
+      for dy = -1 to 1 do
+        for dx = -1 to 1 do
+          let c' =
+            wrap (cx + dx) t.nx
+            + (t.nx * (wrap (cy + dy) t.ny + (t.ny * wrap (cz + dz) t.nz)))
+          in
+          let j = ref t.head.(c') in
+          while !j >= 0 do
+            if !j <> i then f !j;
+            j := t.next.(!j)
+          done
+        done
+      done
+    done
+  end

@@ -1,0 +1,32 @@
+(** Linked-cell spatial binning over an orthorhombic periodic box.
+
+    Particles are binned into cells of edge at least the interaction cutoff,
+    so all pairs within the cutoff are found by scanning each cell and its 26
+    periodic neighbors (half of them, for half-enumeration). *)
+
+open Mdsp_util
+
+type t
+
+(** [build box positions ~cutoff] bins the (wrapped) positions. The cell edge
+    is the smallest length >= cutoff that divides each box edge evenly; if a
+    box edge is shorter than [3 * cutoff] the structure still works but
+    degenerates toward all-pairs in that dimension. *)
+val build : Pbc.t -> Vec3.t array -> cutoff:float -> t
+
+(** Number of cells along each axis. *)
+val dims : t -> int * int * int
+
+(** [iter_pairs t f] calls [f i j] exactly once for every unordered pair of
+    distinct particles whose minimum-image distance may be within the cutoff
+    (i.e. all pairs in the same or neighboring cells, i < j not guaranteed,
+    but each unordered pair exactly once). *)
+val iter_pairs : t -> (int -> int -> unit) -> unit
+
+(** [iter_neighbors t i f] calls [f j] for each candidate neighbor [j <> i]
+    of particle [i] (both orders; a given unordered pair appears in both
+    particles' neighbor scans). *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** Cell index assigned to particle [i]. *)
+val cell_of : t -> int -> int

@@ -1,0 +1,122 @@
+open Mdsp_util
+
+type policy = Full_shell | Half_shell
+
+type t = {
+  box : Pbc.t;
+  px : int;
+  py : int;
+  pz : int;
+  cutoff : float;
+  policy : policy;
+}
+
+let create box ~nodes:(px, py, pz) ~cutoff ~policy =
+  if px <= 0 || py <= 0 || pz <= 0 then
+    invalid_arg "Decomp.create: node dims must be positive";
+  if cutoff <= 0. then invalid_arg "Decomp.create: cutoff must be positive";
+  { box; px; py; pz; cutoff; policy }
+
+let node_count t = t.px * t.py * t.pz
+let dims t = (t.px, t.py, t.pz)
+
+let coords t (v : Vec3.t) =
+  let f = Pbc.to_fractional t.box v in
+  let clamp hi x = if x >= hi then hi - 1 else if x < 0 then 0 else x in
+  let cx = clamp t.px (int_of_float (f.Vec3.x *. float_of_int t.px)) in
+  let cy = clamp t.py (int_of_float (f.Vec3.y *. float_of_int t.py)) in
+  let cz = clamp t.pz (int_of_float (f.Vec3.z *. float_of_int t.pz)) in
+  (cx, cy, cz)
+
+let owner t v =
+  let cx, cy, cz = coords t v in
+  cx + (t.px * (cy + (t.py * cz)))
+
+let assign t positions =
+  let buckets = Array.make (node_count t) [] in
+  Array.iteri
+    (fun i p ->
+      let o = owner t p in
+      buckets.(o) <- i :: buckets.(o))
+    positions;
+  Array.map (fun l -> Array.of_list (List.rev l)) buckets
+
+let home_volume t =
+  Pbc.volume t.box /. float_of_int (node_count t)
+
+(* Home box edge lengths. *)
+let edges t =
+  let open Pbc in
+  ( t.box.lx /. float_of_int t.px,
+    t.box.ly /. float_of_int t.py,
+    t.box.lz /. float_of_int t.pz )
+
+let import_volume t =
+  let hx, hy, hz = edges t in
+  let r = t.cutoff in
+  (* Volume of the region within r of a box of dims (hx,hy,hz), minus the
+     box itself: faces + quarter-cylinder edges + eighth-sphere corners. *)
+  let faces = 2. *. r *. ((hx *. hy) +. (hy *. hz) +. (hx *. hz)) in
+  let edges_v = Float.pi *. r *. r *. (hx +. hy +. hz) in
+  let corners = 4. /. 3. *. Float.pi *. (r ** 3.) in
+  let full = faces +. edges_v +. corners in
+  match t.policy with Full_shell -> full | Half_shell -> full /. 2.
+
+let import_counts t positions =
+  let n_nodes = node_count t in
+  let counts = Array.make n_nodes 0 in
+  let hx, hy, hz = edges t in
+  let r = t.cutoff in
+  (* For each particle, find all nodes whose home box it is within r of
+     (other than its owner); those nodes import it. Under Half_shell each
+     node imports only from its positive half-space neighborhood, halving
+     the count on average; we model that by counting ordered imports and
+     halving for Half_shell. *)
+  let reach_x = 1 + int_of_float (ceil (r /. hx)) in
+  let reach_y = 1 + int_of_float (ceil (r /. hy)) in
+  let reach_z = 1 + int_of_float (ceil (r /. hz)) in
+  let wrap v n = ((v mod n) + n) mod n in
+  Array.iter
+    (fun p ->
+      let cx, cy, cz = coords t p in
+      let own = cx + (t.px * (cy + (t.py * cz))) in
+      for dz = -reach_z to reach_z do
+        for dy = -reach_y to reach_y do
+          for dx = -reach_x to reach_x do
+            if not (dx = 0 && dy = 0 && dz = 0) then begin
+              let nx = wrap (cx + dx) t.px
+              and ny = wrap (cy + dy) t.py
+              and nz = wrap (cz + dz) t.pz in
+              let node = nx + (t.px * (ny + (t.py * nz))) in
+              if node <> own then begin
+                (* Distance from p to the neighbor's home box (min-image). *)
+                let box_lo_x = float_of_int nx *. hx in
+                let box_lo_y = float_of_int ny *. hy in
+                let box_lo_z = float_of_int nz *. hz in
+                let f = Pbc.wrap t.box p in
+                let axis_dist lo len l x =
+                  (* distance from x to interval [lo, lo+len] under period l *)
+                  let d1 = x -. (lo +. len) and d2 = lo -. x in
+                  let inside = x >= lo && x <= lo +. len in
+                  if inside then 0.
+                  else begin
+                    let d = Float.min (abs_float d1) (abs_float d2) in
+                    Float.min d (l -. Float.max (abs_float d1) (abs_float d2))
+                  end
+                in
+                let ddx = axis_dist box_lo_x hx t.box.Pbc.lx f.Vec3.x in
+                let ddy = axis_dist box_lo_y hy t.box.Pbc.ly f.Vec3.y in
+                let ddz = axis_dist box_lo_z hz t.box.Pbc.lz f.Vec3.z in
+                if (ddx *. ddx) +. (ddy *. ddy) +. (ddz *. ddz) <= r *. r then
+                  counts.(node) <- counts.(node) + 1
+              end
+            end
+          done
+        done
+      done)
+    positions;
+  match t.policy with
+  | Full_shell -> counts
+  | Half_shell -> Array.map (fun c -> (c + 1) / 2) counts
+
+let policy t = t.policy

@@ -1,0 +1,46 @@
+(** Spatial domain decomposition for the machine model.
+
+    The box is split into a grid of home boxes, one per node of the machine's
+    3D torus. Each node owns the particles in its home box and imports the
+    particles it needs from neighboring nodes. Two import policies are
+    modeled:
+
+    - [Full_shell]: import everything within the cutoff of the home box (each
+      pair computed twice, no pair-result communication);
+    - [Half_shell]: import only the half-space shell (each pair computed
+      once; forces for imported particles are communicated back).
+
+    The half-shell policy is what Anton-class machines use; the difference is
+    the A5 communication ablation. *)
+
+open Mdsp_util
+
+type policy = Full_shell | Half_shell
+
+type t
+
+(** [create box ~nodes ~cutoff ~policy] decomposes for a torus of dimensions
+    [nodes = (px, py, pz)]. *)
+val create : Pbc.t -> nodes:int * int * int -> cutoff:float -> policy:policy -> t
+
+val node_count : t -> int
+val dims : t -> int * int * int
+
+(** Node that owns a position. *)
+val owner : t -> Vec3.t -> int
+
+(** [assign t positions] returns [home.(node)] = indices owned by each node. *)
+val assign : t -> Vec3.t array -> int array array
+
+(** [import_counts t positions] returns, per node, the number of remote
+    particles the node must import under the configured policy. *)
+val import_counts : t -> Vec3.t array -> int array
+
+(** Volume of a single home box. *)
+val home_volume : t -> float
+
+(** Analytic import volume per node (for the performance model): the volume
+    of the import region around one home box under the policy. *)
+val import_volume : t -> float
+
+val policy : t -> policy

@@ -1,0 +1,113 @@
+open Mdsp_util
+
+type t = {
+  cutoff : float;
+  skin : float;
+  exclusions : Exclusions.t option;
+  mutable box : Pbc.t;
+  mutable ref_positions : Vec3.t array; (* snapshot at last rebuild *)
+  mutable is : int array;
+  mutable js : int array;
+  mutable npairs : int;
+  mutable rebuilds : int;
+}
+
+let do_build t positions =
+  let r = t.cutoff +. t.skin in
+  let r2 = r *. r in
+  let cl = Cell_list.build t.box positions ~cutoff:r in
+  let cap = ref (max 64 (Array.length t.is)) in
+  let is = ref (Array.make !cap 0) in
+  let js = ref (Array.make !cap 0) in
+  let n = ref 0 in
+  let push i j =
+    if !n >= !cap then begin
+      cap := !cap * 2;
+      let is' = Array.make !cap 0 and js' = Array.make !cap 0 in
+      Array.blit !is 0 is' 0 !n;
+      Array.blit !js 0 js' 0 !n;
+      is := is';
+      js := js'
+    end;
+    !is.(!n) <- (if i < j then i else j);
+    !js.(!n) <- (if i < j then j else i);
+    incr n
+  in
+  Cell_list.iter_pairs cl (fun i j ->
+      if Pbc.dist2 t.box positions.(i) positions.(j) <= r2 then begin
+        let skip =
+          match t.exclusions with
+          | Some ex -> Exclusions.excluded ex i j
+          | None -> false
+        in
+        if not skip then push i j
+      end);
+  t.is <- !is;
+  t.js <- !js;
+  t.npairs <- !n;
+  t.ref_positions <- Array.copy positions;
+  t.rebuilds <- t.rebuilds + 1
+
+let create ?exclusions ~cutoff ~skin box positions =
+  if cutoff <= 0. then invalid_arg "Neighbor_list.create: cutoff";
+  if skin < 0. then invalid_arg "Neighbor_list.create: skin";
+  let t =
+    {
+      cutoff;
+      skin;
+      exclusions;
+      box;
+      ref_positions = [||];
+      is = [||];
+      js = [||];
+      npairs = 0;
+      rebuilds = -1;
+    }
+  in
+  do_build t positions;
+  t
+
+let pairs t = Array.init t.npairs (fun k -> (t.is.(k), t.js.(k)))
+let length t = t.npairs
+
+let iter t f =
+  for k = 0 to t.npairs - 1 do
+    f t.is.(k) t.js.(k)
+  done
+
+let needs_rebuild t positions =
+  let limit2 = t.skin *. t.skin /. 4. in
+  let n = Array.length positions in
+  if n <> Array.length t.ref_positions then true
+  else begin
+    let moved = ref false in
+    let i = ref 0 in
+    while (not !moved) && !i < n do
+      if Pbc.dist2 t.box positions.(!i) t.ref_positions.(!i) > limit2 then
+        moved := true;
+      incr i
+    done;
+    !moved
+  end
+
+let rebuild ?box t positions =
+  (match box with Some b -> t.box <- b | None -> ());
+  do_build t positions;
+  t.rebuilds
+
+let maybe_rebuild ?box t positions =
+  let box_changed =
+    match box with
+    | Some b -> b <> t.box
+    | None -> false
+  in
+  if box_changed || needs_rebuild t positions then begin
+    ignore (rebuild ?box t positions);
+    true
+  end
+  else false
+
+let rebuild_count t = t.rebuilds
+let cutoff t = t.cutoff
+let skin t = t.skin
+let box t = t.box

@@ -1,0 +1,40 @@
+(** Verlet neighbor lists with a skin radius.
+
+    The list stores all non-excluded pairs within [cutoff + skin]; it stays
+    valid until some particle has moved more than [skin / 2] since the last
+    rebuild, at which point [maybe_rebuild] rebuilds it. This is the standard
+    trade-off the A3 ablation experiment sweeps. *)
+
+open Mdsp_util
+
+type t
+
+val create :
+  ?exclusions:Exclusions.t -> cutoff:float -> skin:float -> Pbc.t ->
+  Vec3.t array -> t
+
+(** Pairs currently in the list, as parallel arrays (i, j) with i < j. *)
+val pairs : t -> (int * int) array
+
+(** Number of stored pairs. *)
+val length : t -> int
+
+(** [iter t f] applies [f i j] to every stored pair. *)
+val iter : t -> (int -> int -> unit) -> unit
+
+(** True if some particle moved more than skin/2 since the last build. *)
+val needs_rebuild : t -> Vec3.t array -> bool
+
+(** Rebuild unconditionally for the given positions (and possibly new box,
+    for barostats). Returns the number of rebuilds performed so far. *)
+val rebuild : ?box:Pbc.t -> t -> Vec3.t array -> int
+
+(** Rebuild only if [needs_rebuild]; returns true if a rebuild happened. *)
+val maybe_rebuild : ?box:Pbc.t -> t -> Vec3.t array -> bool
+
+(** Total rebuild count (for the ablation bench). *)
+val rebuild_count : t -> int
+
+val cutoff : t -> float
+val skin : t -> float
+val box : t -> Pbc.t

@@ -1,0 +1,1 @@
+lib/util/fixed.ml: Array Float Int64

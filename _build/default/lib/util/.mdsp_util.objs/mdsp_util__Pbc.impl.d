@@ -1,0 +1,1 @@
+lib/util/pbc.ml: Float Format Vec3

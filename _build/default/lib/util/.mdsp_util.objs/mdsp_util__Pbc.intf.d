@@ -1,0 +1,1 @@
+lib/util/pbc.mli: Format Vec3

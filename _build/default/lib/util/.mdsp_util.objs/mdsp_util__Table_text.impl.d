@@ -1,0 +1,1 @@
+lib/util/table_text.ml: Array Buffer List Printf String

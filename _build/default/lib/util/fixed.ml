@@ -1,0 +1,56 @@
+type format = { frac_bits : int; total_bits : int }
+
+exception Overflow of float
+
+let format ~frac_bits ~total_bits =
+  if total_bits > 63 || total_bits < 2 then
+    invalid_arg "Fixed.format: total_bits must be in [2, 63]";
+  if frac_bits < 0 || frac_bits >= total_bits then
+    invalid_arg "Fixed.format: frac_bits must be in [0, total_bits)";
+  { frac_bits; total_bits }
+
+let position_format = { frac_bits = 26; total_bits = 32 }
+let force_format = { frac_bits = 22; total_bits = 48 }
+let scale fmt = ldexp 1. fmt.frac_bits
+let resolution fmt = ldexp 1. (-fmt.frac_bits)
+
+let max_raw fmt =
+  Int64.sub (Int64.shift_left 1L (fmt.total_bits - 1)) 1L
+
+let min_raw fmt = Int64.neg (Int64.shift_left 1L (fmt.total_bits - 1))
+let max_value fmt = Int64.to_float (max_raw fmt) /. scale fmt
+
+let of_float fmt x =
+  let r = Float.round (x *. scale fmt) in
+  if r >= Int64.to_float (max_raw fmt) then max_raw fmt
+  else if r <= Int64.to_float (min_raw fmt) then min_raw fmt
+  else Int64.of_float r
+
+let of_float_exn fmt x =
+  let r = Float.round (x *. scale fmt) in
+  if r > Int64.to_float (max_raw fmt) || r < Int64.to_float (min_raw fmt) then
+    raise (Overflow x)
+  else Int64.of_float r
+
+let to_float fmt v = Int64.to_float v /. scale fmt
+
+let clamp fmt v =
+  if Int64.compare v (max_raw fmt) > 0 then max_raw fmt
+  else if Int64.compare v (min_raw fmt) < 0 then min_raw fmt
+  else v
+
+let add fmt a b = clamp fmt (Int64.add a b)
+
+let mul fmt a b =
+  (* Widen through float for the high part; adequate for <= 48-bit formats
+     used here, and rounding matches the conversion path. *)
+  let p = Int64.to_float a *. Int64.to_float b /. scale fmt in
+  clamp fmt (Int64.of_float (Float.round p))
+
+let quantize fmt x = to_float fmt (of_float fmt x)
+let quantization_error fmt = 0.5 *. resolution fmt
+
+let sum fmt xs =
+  let acc = ref 0L in
+  Array.iter (fun x -> acc := add fmt !acc (of_float fmt x)) xs;
+  to_float fmt !acc

@@ -1,0 +1,58 @@
+(** Fixed-point arithmetic model of the special-purpose machine's datapaths.
+
+    Anton-class machines keep positions and accumulate forces in fixed point:
+    addition is exact and associative, which makes parallel force accumulation
+    bit-reproducible regardless of summation order — a property floating point
+    lacks. This module models a two's-complement signed fixed-point format
+    with a configurable number of fractional bits and total width, with
+    saturation on overflow.
+
+    Values are carried in an [int64]; formats up to 63 bits total are
+    supported. *)
+
+type format = {
+  frac_bits : int;  (** number of fractional bits *)
+  total_bits : int;  (** total width including sign, <= 63 *)
+}
+
+(** Raised by [of_float_exn] when the value cannot be represented. *)
+exception Overflow of float
+
+val format : frac_bits:int -> total_bits:int -> format
+
+(** Default position format: 32-bit, 26 fractional bits (box fractions). *)
+val position_format : format
+
+(** Default force-accumulation format: 48-bit, 22 fractional bits. *)
+val force_format : format
+
+(** Smallest representable increment. *)
+val resolution : format -> float
+
+(** Largest representable magnitude. *)
+val max_value : format -> float
+
+(** Round-to-nearest conversion, saturating at the format bounds. *)
+val of_float : format -> float -> int64
+
+(** Round-to-nearest conversion; raises {!Overflow} instead of saturating. *)
+val of_float_exn : format -> float -> int64
+
+val to_float : format -> int64 -> float
+
+(** Exact saturating addition of two fixed-point values of the same format. *)
+val add : format -> int64 -> int64 -> int64
+
+(** Fixed-point multiplication (result in the same format, rounded). *)
+val mul : format -> int64 -> int64 -> int64
+
+(** [quantize fmt x] is the float obtained by a round trip through the
+    format — the machine's view of [x]. *)
+val quantize : format -> float -> float
+
+(** Maximum absolute round-trip error of the format: half a resolution. *)
+val quantization_error : format -> float
+
+(** [sum fmt xs] converts each float, accumulates exactly in fixed point,
+    and converts back. The result is independent of array order. *)
+val sum : format -> float array -> float

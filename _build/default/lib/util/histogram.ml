@@ -1,0 +1,84 @@
+type t = {
+  lo : float;
+  hi : float;
+  nbins : int;
+  width : float;
+  counts : float array;
+  mutable total : float;
+  mutable oor : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  {
+    lo;
+    hi;
+    nbins = bins;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0.;
+    total = 0.;
+    oor = 0;
+  }
+
+let index t x =
+  if x < t.lo || x >= t.hi then None
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    Some (min i (t.nbins - 1))
+  end
+
+let add_weighted t x w =
+  match index t x with
+  | Some i ->
+      t.counts.(i) <- t.counts.(i) +. w;
+      t.total <- t.total +. w
+  | None -> t.oor <- t.oor + 1
+
+let add t x = add_weighted t x 1.
+let total t = t.total
+let out_of_range t = t.oor
+let bins t = t.nbins
+let counts t = Array.copy t.counts
+let center t i = t.lo +. ((float_of_int i +. 0.5) *. t.width)
+let bin_width t = t.width
+
+let density t =
+  let norm = t.total *. t.width in
+  if norm = 0. then Array.make t.nbins 0.
+  else Array.map (fun c -> c /. norm) t.counts
+
+module H2 = struct
+  type t = {
+    xlo : float;
+    xw : float;
+    xbins : int;
+    ylo : float;
+    yw : float;
+    ybins : int;
+    counts : float array array;
+  }
+
+  let create ~xlo ~xhi ~xbins ~ylo ~yhi ~ybins =
+    if xbins <= 0 || ybins <= 0 then invalid_arg "Histogram.H2.create: bins";
+    if xhi <= xlo || yhi <= ylo then invalid_arg "Histogram.H2.create: range";
+    {
+      xlo;
+      xw = (xhi -. xlo) /. float_of_int xbins;
+      xbins;
+      ylo;
+      yw = (yhi -. ylo) /. float_of_int ybins;
+      ybins;
+      counts = Array.make_matrix xbins ybins 0.;
+    }
+
+  let add t x y =
+    let i = int_of_float ((x -. t.xlo) /. t.xw) in
+    let j = int_of_float ((y -. t.ylo) /. t.yw) in
+    if i >= 0 && i < t.xbins && j >= 0 && j < t.ybins then
+      t.counts.(i).(j) <- t.counts.(i).(j) +. 1.
+
+  let counts t = Array.map Array.copy t.counts
+  let xcenter t i = t.xlo +. ((float_of_int i +. 0.5) *. t.xw)
+  let ycenter t j = t.ylo +. ((float_of_int j +. 0.5) *. t.yw)
+end

@@ -1,0 +1,41 @@
+(** Fixed-width 1D and 2D histograms used by WHAM, metadynamics analysis, and
+    temperature-distribution tests. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+val add : t -> float -> unit
+val add_weighted : t -> float -> float -> unit
+
+(** Number of in-range samples added (weights counted as their values in the
+    weighted case). *)
+val total : t -> float
+
+(** Samples that fell outside the range. *)
+val out_of_range : t -> int
+
+val bins : t -> int
+val counts : t -> float array
+
+(** Center coordinate of bin [i]. *)
+val center : t -> int -> float
+
+(** Bin index for [x], or [None] if outside the range. *)
+val index : t -> float -> int option
+
+(** Probability density normalized so that sum(density * width) = 1. *)
+val density : t -> float array
+
+val bin_width : t -> float
+
+module H2 : sig
+  type t
+
+  val create :
+    xlo:float -> xhi:float -> xbins:int -> ylo:float -> yhi:float -> ybins:int -> t
+
+  val add : t -> float -> float -> unit
+  val counts : t -> float array array
+  val xcenter : t -> int -> float
+  val ycenter : t -> int -> float
+end

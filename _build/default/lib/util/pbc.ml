@@ -1,0 +1,39 @@
+type t = { lx : float; ly : float; lz : float }
+
+let make ~lx ~ly ~lz =
+  if lx <= 0. || ly <= 0. || lz <= 0. then
+    invalid_arg "Pbc.make: edges must be positive";
+  { lx; ly; lz }
+
+let cubic l = make ~lx:l ~ly:l ~lz:l
+let volume b = b.lx *. b.ly *. b.lz
+let scale b f = make ~lx:(b.lx *. f) ~ly:(b.ly *. f) ~lz:(b.lz *. f)
+
+let wrap1 l x =
+  let x = Float.rem x l in
+  if x < 0. then x +. l else x
+
+let wrap b (v : Vec3.t) =
+  Vec3.make (wrap1 b.lx v.x) (wrap1 b.ly v.y) (wrap1 b.lz v.z)
+
+let mi1 l d = d -. (l *. Float.round (d /. l))
+
+let min_image b (a : Vec3.t) (c : Vec3.t) =
+  Vec3.make (mi1 b.lx (a.x -. c.x)) (mi1 b.ly (a.y -. c.y))
+    (mi1 b.lz (a.z -. c.z))
+
+let dist2 b a c =
+  let d = min_image b a c in
+  Vec3.norm2 d
+
+let dist b a c = sqrt (dist2 b a c)
+let min_edge b = Float.min b.lx (Float.min b.ly b.lz)
+
+let to_fractional b (v : Vec3.t) =
+  let w = wrap b v in
+  Vec3.make (w.x /. b.lx) (w.y /. b.ly) (w.z /. b.lz)
+
+let of_fractional b (f : Vec3.t) =
+  Vec3.make (f.x *. b.lx) (f.y *. b.ly) (f.z *. b.lz)
+
+let pp ppf b = Format.fprintf ppf "box(%g x %g x %g)" b.lx b.ly b.lz

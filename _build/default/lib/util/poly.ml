@@ -1,0 +1,90 @@
+type t = float array
+
+let eval c x =
+  let acc = ref 0. in
+  for i = Array.length c - 1 downto 0 do
+    acc := (!acc *. x) +. c.(i)
+  done;
+  !acc
+
+let derivative c =
+  let n = Array.length c in
+  if n <= 1 then [| 0. |]
+  else Array.init (n - 1) (fun i -> float_of_int (i + 1) *. c.(i + 1))
+
+let hermite_cubic ~x0 ~x1 ~f0 ~f1 ~d0 ~d1 =
+  let h = x1 -. x0 in
+  if h <= 0. then invalid_arg "Poly.hermite_cubic: x1 must exceed x0";
+  (* Standard Hermite basis in t = x - x0, t in [0, h]. *)
+  let c0 = f0 in
+  let c1 = d0 in
+  let c2 = ((3. *. (f1 -. f0) /. h) -. (2. *. d0) -. d1) /. h in
+  let c3 = ((2. *. (f0 -. f1) /. h) +. d0 +. d1) /. (h *. h) in
+  [| c0; c1; c2; c3 |]
+
+let solve a b =
+  let n = Array.length b in
+  let a = Array.map Array.copy a in
+  let b = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivot. *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float a.(r).(col) > abs_float a.(!pivot).(col) then pivot := r
+    done;
+    if abs_float a.(!pivot).(col) < 1e-300 then
+      failwith "Poly.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    for r = col + 1 to n - 1 do
+      let f = a.(r).(col) /. a.(col).(col) in
+      if f <> 0. then begin
+        for c = col to n - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done;
+        b.(r) <- b.(r) -. (f *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0. in
+  for r = n - 1 downto 0 do
+    let s = ref b.(r) in
+    for c = r + 1 to n - 1 do
+      s := !s -. (a.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !s /. a.(r).(r)
+  done;
+  x
+
+let least_squares ~degree xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Poly.least_squares: length mismatch";
+  let m = degree + 1 in
+  (* Normal equations A^T A c = A^T y with A the Vandermonde matrix. *)
+  let ata = Array.make_matrix m m 0. in
+  let aty = Array.make m 0. in
+  for k = 0 to n - 1 do
+    let pows = Array.make (2 * m) 1. in
+    for p = 1 to (2 * m) - 1 do
+      pows.(p) <- pows.(p - 1) *. xs.(k)
+    done;
+    for i = 0 to m - 1 do
+      for j = 0 to m - 1 do
+        ata.(i).(j) <- ata.(i).(j) +. pows.(i + j)
+      done;
+      aty.(i) <- aty.(i) +. (pows.(i) *. ys.(k))
+    done
+  done;
+  solve ata aty
+
+let chebyshev_nodes ~a ~b ~n =
+  if n < 1 then invalid_arg "Poly.chebyshev_nodes: n must be positive";
+  Array.init n (fun i ->
+      let theta = Float.pi *. (float_of_int (2 * i) +. 1.) /. float_of_int (2 * n) in
+      (0.5 *. (a +. b)) +. (0.5 *. (b -. a) *. cos theta))

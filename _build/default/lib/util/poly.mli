@@ -1,0 +1,31 @@
+(** Polynomial utilities for the interpolation-table compiler.
+
+    The table compiler fits piecewise cubic polynomials to radial functions;
+    this module provides cubic Hermite construction, Horner evaluation, and a
+    small dense linear solver for least-squares fits. *)
+
+(** Coefficients in increasing degree: c.(0) + c.(1) x + ... *)
+type t = float array
+
+(** Horner evaluation. *)
+val eval : t -> float -> float
+
+(** Derivative polynomial. *)
+val derivative : t -> t
+
+(** [hermite_cubic ~x0 ~x1 ~f0 ~f1 ~d0 ~d1] is the unique cubic matching
+    values [f0], [f1] and derivatives [d0], [d1] at [x0], [x1], expressed in
+    the *local* variable [t = x - x0]. *)
+val hermite_cubic :
+  x0:float -> x1:float -> f0:float -> f1:float -> d0:float -> d1:float -> t
+
+(** Gaussian elimination with partial pivoting; solves [a x = b] in place on
+    copies. Raises [Failure] on a singular system. *)
+val solve : float array array -> float array -> float array
+
+(** [least_squares ~degree xs ys] fits a polynomial of the given degree by
+    normal equations. *)
+val least_squares : degree:int -> float array -> float array -> t
+
+(** Chebyshev nodes of the first kind mapped onto [a, b]. *)
+val chebyshev_nodes : a:float -> b:float -> n:int -> float array

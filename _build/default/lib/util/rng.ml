@@ -1,0 +1,112 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable cached_gauss : float;
+  mutable has_gauss : bool;
+}
+
+(* splitmix64, used to expand a seed into the four state words; recommended
+   seeding procedure for the xoshiro family. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; cached_gauss = 0.; has_gauss = false }
+
+let copy t = { t with s0 = t.s0 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a child seed from the parent stream, then re-expand through
+     splitmix64 so parent and child decorrelate. *)
+  let seed = Int64.to_int (bits64 t) in
+  create (seed lxor 0x5851F42D)
+
+let uniform t =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform_in t a b = a +. ((b -. a) *. uniform t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for n << 2^63
+     but we reject to keep streams exactly uniform. *)
+  let bound = Int64.of_int n in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound in
+    if Int64.sub r v > Int64.sub Int64.max_int (Int64.sub bound 1L) then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let rec gaussian t =
+  if t.has_gauss then begin
+    t.has_gauss <- false;
+    t.cached_gauss
+  end
+  else begin
+    let u = (2. *. uniform t) -. 1. in
+    let v = (2. *. uniform t) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then gaussian t
+    else begin
+      let f = sqrt (-2. *. log s /. s) in
+      t.cached_gauss <- v *. f;
+      t.has_gauss <- true;
+      u *. f
+    end
+  end
+
+let gaussian_ms t ~mean ~sigma = mean +. (sigma *. gaussian t)
+
+let rec unit_vector t =
+  let v =
+    Vec3.make (uniform_in t (-1.) 1.) (uniform_in t (-1.) 1.)
+      (uniform_in t (-1.) 1.)
+  in
+  let n2 = Vec3.norm2 v in
+  if n2 > 1. || n2 < 1e-12 then unit_vector t
+  else Vec3.scale (1. /. sqrt n2) v
+
+let gaussian_vec t =
+  let x = gaussian t in
+  let y = gaussian t in
+  let z = gaussian t in
+  Vec3.make x y z
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained xoshiro256** generator. Every stochastic component of the
+    code base (Langevin thermostats, Monte-Carlo barostats, replica exchange,
+    workload builders) takes an explicit [Rng.t] so that simulations are
+    reproducible and independent streams can be split for parallel replicas. *)
+
+type t
+
+(** [create seed] builds a generator from a 64-bit seed via splitmix64. *)
+val create : int -> t
+
+(** Copy the generator state (the copy evolves independently). *)
+val copy : t -> t
+
+(** [split t] derives a statistically independent child stream and advances
+    the parent. Used to give each replica / domain its own stream. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val uniform : t -> float
+
+(** Uniform float in [a, b). *)
+val uniform_in : t -> float -> float -> float
+
+(** Uniform integer in [0, n). Raises [Invalid_argument] if [n <= 0]. *)
+val int : t -> int -> int
+
+(** Standard normal deviate (polar Box–Muller with caching). *)
+val gaussian : t -> float
+
+(** Normal deviate with given mean and standard deviation. *)
+val gaussian_ms : t -> mean:float -> sigma:float -> float
+
+(** Random unit vector, uniform on the sphere. *)
+val unit_vector : t -> Vec3.t
+
+(** Vector of three independent standard normal deviates. *)
+val gaussian_vec : t -> Vec3.t
+
+(** Fisher–Yates shuffle in place. *)
+val shuffle : t -> 'a array -> unit

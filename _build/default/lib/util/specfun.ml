@@ -1,0 +1,53 @@
+let erfc x =
+  (* Rational Chebyshev approximation; |error| <= 1.2e-7 everywhere. *)
+  let z = abs_float x in
+  let t = 1. /. (1. +. (0.5 *. z)) in
+  let poly =
+    -1.26551223
+    +. t
+       *. (1.00002368
+          +. t
+             *. (0.37409196
+                +. t
+                   *. (0.09678418
+                      +. t
+                         *. (-0.18628806
+                            +. t
+                               *. (0.27886807
+                                  +. t
+                                     *. (-1.13520398
+                                        +. t
+                                           *. (1.48851587
+                                              +. t
+                                                 *. (-0.82215223
+                                                    +. (t *. 0.17087277)))))))))
+  in
+  let ans = t *. exp ((-.z *. z) +. poly) in
+  if x >= 0. then ans else 2. -. ans
+
+let erf x = 1. -. erfc x
+
+let gamma_ln x =
+  if x <= 0. then invalid_arg "Specfun.gamma_ln: requires x > 0";
+  let cof =
+    [|
+      76.18009172947146;
+      -86.50532032941677;
+      24.01409824083091;
+      -1.231739572450155;
+      0.1208650973866179e-2;
+      -0.5395239384953e-5;
+    |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.;
+      ser := !ser +. (c /. !y))
+    cof;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+let sinc x = if abs_float x < 1e-8 then 1. -. (x *. x /. 6.) else sin x /. x

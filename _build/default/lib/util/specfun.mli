@@ -1,0 +1,15 @@
+(** Special functions needed by the force-field and long-range machinery. *)
+
+(** Complementary error function, absolute error below 1.2e-7 (Numerical
+    Recipes rational approximation, adequate for table generation where the
+    table-fit error dominates). *)
+val erfc : float -> float
+
+(** Error function, [erf x = 1 - erfc x]. *)
+val erf : float -> float
+
+(** [gamma_ln x] is log(Gamma(x)) for x > 0 (Lanczos). *)
+val gamma_ln : float -> float
+
+(** Modified sinc: sin(x)/x with the correct limit at 0. *)
+val sinc : float -> float

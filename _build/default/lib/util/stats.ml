@@ -1,0 +1,109 @@
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; lo = infinity; hi = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.lo
+  let max t = t.hi
+end
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let s = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    s /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let autocorrelation xs k =
+  let n = Array.length xs in
+  if k < 0 || k >= n then invalid_arg "Stats.autocorrelation: bad lag";
+  let m = mean xs in
+  let denom = ref 0. and num = ref 0. in
+  for i = 0 to n - 1 do
+    denom := !denom +. ((xs.(i) -. m) ** 2.)
+  done;
+  for i = 0 to n - 1 - k do
+    num := !num +. ((xs.(i) -. m) *. (xs.(i + k) -. m))
+  done;
+  if !denom = 0. then 0. else !num /. !denom
+
+let integrated_autocorrelation_time xs =
+  let n = Array.length xs in
+  if n < 4 then 1.
+  else begin
+    let tau = ref 0.5 in
+    let k = ref 1 in
+    let continue = ref true in
+    (* Sokal's adaptive window: stop once k >= 6 tau. *)
+    while !continue && !k < n / 2 do
+      tau := !tau +. autocorrelation xs !k;
+      if float_of_int !k >= 6. *. !tau then continue := false;
+      incr k
+    done;
+    Float.max 1. (2. *. !tau)
+  end
+
+let block_standard_error ~block xs =
+  let n = Array.length xs in
+  if block <= 0 || block > n then
+    invalid_arg "Stats.block_standard_error: bad block size";
+  let nb = n / block in
+  if nb < 2 then invalid_arg "Stats.block_standard_error: too few blocks";
+  let means =
+    Array.init nb (fun b ->
+        let s = ref 0. in
+        for i = b * block to ((b + 1) * block) - 1 do
+          s := !s +. xs.(i)
+        done;
+        !s /. float_of_int block)
+  in
+  stddev means /. sqrt (float_of_int nb)
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then
+    invalid_arg "Stats.linear_fit: need two arrays of equal length >= 2";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. in
+  for i = 0 to n - 1 do
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    sxx := !sxx +. ((xs.(i) -. mx) ** 2.)
+  done;
+  if !sxx = 0. then invalid_arg "Stats.linear_fit: degenerate x";
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+let max_relative_drift xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.max_relative_drift: empty";
+  let x0 = xs.(0) in
+  let scale = Float.max (abs_float x0) 1e-12 in
+  Array.fold_left (fun acc x -> Float.max acc (abs_float (x -. x0) /. scale)) 0. xs

@@ -1,0 +1,39 @@
+(** Online and batch statistics used by the analysis layer and the tests. *)
+
+(** Welford online accumulator for mean and variance. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** Unbiased sample variance; 0 for fewer than two samples. *)
+  val variance : t -> float
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+
+(** [autocorrelation xs k] is the lag-[k] normalized autocorrelation. *)
+val autocorrelation : float array -> int -> float
+
+(** Integrated autocorrelation time by windowed summation (Sokal window
+    [c = 6]). At least a handful of correlation times of data is required for
+    a meaningful answer. *)
+val integrated_autocorrelation_time : float array -> float
+
+(** Block-averaging standard error of the mean with the given block size. *)
+val block_standard_error : block:int -> float array -> float
+
+(** Simple linear regression; returns [(slope, intercept)]. *)
+val linear_fit : float array -> float array -> float * float
+
+(** Weighted histogram-free running drift: max |x_i - x_0| / |x_0|. *)
+val max_relative_drift : float array -> float

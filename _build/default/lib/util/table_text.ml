@@ -1,0 +1,72 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ~title ~columns =
+  if columns = [] then invalid_arg "Table_text.create: no columns";
+  {
+    title;
+    headers = Array.of_list (List.map fst columns);
+    aligns = Array.of_list (List.map snd columns);
+    rows = [];
+  }
+
+let row t cells =
+  let cells = Array.of_list cells in
+  if Array.length cells <> Array.length t.headers then
+    invalid_arg "Table_text.row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let cell_f ?(prec = 4) x = Printf.sprintf "%.*g" prec x
+let cell_i i = string_of_int i
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun r ->
+      Array.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) r)
+    rows;
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let line sep cells =
+    Buffer.add_string buf "| ";
+    Array.iteri
+      (fun i c ->
+        Buffer.add_string buf c;
+        if i < ncols - 1 then Buffer.add_string buf " | ")
+      cells;
+    Buffer.add_string buf " |";
+    Buffer.add_char buf '\n';
+    if sep then begin
+      Buffer.add_char buf '|';
+      Array.iter
+        (fun w ->
+          Buffer.add_string buf (String.make (w + 2) '-');
+          Buffer.add_char buf '|')
+        widths;
+      Buffer.add_char buf '\n'
+    end
+  in
+  line true (Array.mapi (fun i h -> pad Left widths.(i) h) t.headers);
+  List.iter
+    (fun r -> line false (Array.mapi (fun i c -> pad t.aligns.(i) widths.(i) c) r))
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

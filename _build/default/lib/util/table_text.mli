@@ -1,0 +1,23 @@
+(** ASCII table rendering for the benchmark harness. Every experiment prints
+    its rows through this module so the output matches a paper table. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title ~columns] starts a table. Each column is (header, align). *)
+val create : title:string -> columns:(string * align) list -> t
+
+(** Append a row; must have as many cells as there are columns. *)
+val row : t -> string list -> unit
+
+(** Convenience: format floats with [%g]-style precision. *)
+val cell_f : ?prec:int -> float -> string
+
+val cell_i : int -> string
+
+(** Render to a string, with a ruled header and the title on top. *)
+val render : t -> string
+
+(** Render directly to stdout. *)
+val print : t -> unit

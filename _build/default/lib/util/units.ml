@@ -1,0 +1,10 @@
+let k_b = 0.0019872041
+let coulomb = 332.0637
+let time_unit_fs = 48.88821
+let fs t = t /. time_unit_fs
+let to_fs t = t *. time_unit_fs
+let to_ns t = t *. time_unit_fs *. 1e-6
+
+(* 1 kcal/mol/A^3 = 68568.4 atm. *)
+let pressure_to_atm p = p *. 68568.4
+let kt temp = k_b *. temp

@@ -1,0 +1,35 @@
+(** Internal unit system and physical constants.
+
+    The code base uses the conventional MD "academic" unit system:
+    - length: angstrom (A)
+    - energy: kcal/mol
+    - mass: atomic mass unit (amu, g/mol)
+    - charge: elementary charge (e)
+    - temperature: kelvin
+
+    The derived time unit is then [t0 = sqrt(amu * A^2 / (kcal/mol))]
+    ≈ 48.8882 fs; all user-facing APIs take femtoseconds and convert. *)
+
+(** Boltzmann constant, kcal/(mol K). *)
+val k_b : float
+
+(** Coulomb constant e²/(4 pi eps0) in kcal·A/mol. *)
+val coulomb : float
+
+(** Internal time unit expressed in femtoseconds. *)
+val time_unit_fs : float
+
+(** Convert femtoseconds to internal time. *)
+val fs : float -> float
+
+(** Convert internal time to femtoseconds. *)
+val to_fs : float -> float
+
+(** Convert internal time to nanoseconds. *)
+val to_ns : float -> float
+
+(** Pressure conversion: internal (kcal/mol/A^3) to atmospheres. *)
+val pressure_to_atm : float -> float
+
+(** kT at the given temperature, kcal/mol. *)
+val kt : float -> float

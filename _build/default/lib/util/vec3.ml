@@ -1,0 +1,60 @@
+type t = { x : float; y : float; z : float }
+
+let zero = { x = 0.; y = 0.; z = 0. }
+let make x y z = { x; y; z }
+let of_tuple (x, y, z) = { x; y; z }
+let to_tuple { x; y; z } = (x, y, z)
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let neg a = { x = -.a.x; y = -.a.y; z = -.a.z }
+let scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+
+let axpy a x y =
+  { x = (a *. x.x) +. y.x; y = (a *. x.y) +. y.y; z = (a *. x.z) +. y.z }
+
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let cross a b =
+  {
+    x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x);
+  }
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y and dz = a.z -. b.z in
+  (dx *. dx) +. (dy *. dy) +. (dz *. dz)
+
+let dist a b = sqrt (dist2 a b)
+
+let normalize v =
+  let n = norm v in
+  if n = 0. then invalid_arg "Vec3.normalize: zero vector";
+  scale (1. /. n) v
+
+let mul a b = { x = a.x *. b.x; y = a.y *. b.y; z = a.z *. b.z }
+let map f a = { x = f a.x; y = f a.y; z = f a.z }
+let map2 f a b = { x = f a.x b.x; y = f a.y b.y; z = f a.z b.z }
+let inf_norm a = max (abs_float a.x) (max (abs_float a.y) (abs_float a.z))
+
+let angle a b =
+  let c = dot a b /. (norm a *. norm b) in
+  (* Clamp against round-off outside [-1, 1]. *)
+  acos (max (-1.) (min 1. c))
+
+let equal_eps ~eps a b =
+  abs_float (a.x -. b.x) <= eps
+  && abs_float (a.y -. b.y) <= eps
+  && abs_float (a.z -. b.z) <= eps
+
+let pp ppf { x; y; z } = Format.fprintf ppf "(%g, %g, %g)" x y z
+let to_string v = Format.asprintf "%a" pp v
+
+module Infix = struct
+  let ( +| ) = add
+  let ( -| ) = sub
+  let ( *| ) = scale
+end

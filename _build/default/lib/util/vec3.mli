@@ -1,0 +1,62 @@
+(** Three-dimensional vectors of floats.
+
+    The workhorse value type of the whole code base. Vectors are immutable
+    records; the compiler unboxes them in most hot paths. All angles are in
+    radians. *)
+
+type t = { x : float; y : float; z : float }
+
+val zero : t
+val make : float -> float -> float -> t
+val of_tuple : float * float * float -> t
+val to_tuple : t -> float * float * float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+
+(** [axpy a x y] is [a*x + y]. *)
+val axpy : float -> t -> t -> t
+
+val dot : t -> t -> float
+val cross : t -> t -> t
+val norm2 : t -> float
+val norm : t -> float
+
+(** [dist2 a b] is the squared Euclidean distance between [a] and [b]. *)
+val dist2 : t -> t -> float
+
+val dist : t -> t -> float
+
+(** [normalize v] is the unit vector along [v]. Raises [Invalid_argument] on
+    the zero vector. *)
+val normalize : t -> t
+
+(** Component-wise product. *)
+val mul : t -> t -> t
+
+(** Component-wise map. *)
+val map : (float -> float) -> t -> t
+
+(** Component-wise binary map. *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** Largest absolute component. *)
+val inf_norm : t -> float
+
+(** [angle a b] is the angle between the two vectors, in [0, pi]. *)
+val angle : t -> t -> float
+
+(** Approximate equality with absolute tolerance [eps] on each component. *)
+val equal_eps : eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Infix aliases: [a +| b], [a -| b], [s *| v]. *)
+module Infix : sig
+  val ( +| ) : t -> t -> t
+  val ( -| ) : t -> t -> t
+  val ( *| ) : float -> t -> t
+end

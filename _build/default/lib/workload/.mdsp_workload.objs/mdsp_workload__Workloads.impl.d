@@ -1,0 +1,1 @@
+lib/workload/workloads.ml: Array Float List Mdsp_ff Mdsp_md Mdsp_space Mdsp_util Pbc Printf Rng Vec3

@@ -1,0 +1,1 @@
+lib/workload/workloads.mli: Mdsp_ff Mdsp_md Mdsp_util Pbc Vec3

@@ -1,0 +1,86 @@
+(* Shared helpers for the test suites. *)
+
+open Mdsp_util
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_close ~rel msg expected actual =
+  let tol = Float.max (abs_float expected *. rel) 1e-12 in
+  if abs_float (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %g, got %g (rel tol %g)" msg expected actual
+      rel
+
+let check_true msg b = Alcotest.(check bool) msg true b
+
+(* Central-difference gradient of a scalar function of positions, for
+   validating analytic forces: returns -dE/dr_i, i.e. the force. *)
+let numeric_forces ~h energy positions =
+  Array.mapi
+    (fun i _ ->
+      let perturb axis delta =
+        let p = Array.map (fun v -> v) positions in
+        let v = p.(i) in
+        (p.(i) <-
+           (match axis with
+           | `X -> Vec3.make (v.Vec3.x +. delta) v.Vec3.y v.Vec3.z
+           | `Y -> Vec3.make v.Vec3.x (v.Vec3.y +. delta) v.Vec3.z
+           | `Z -> Vec3.make v.Vec3.x v.Vec3.y (v.Vec3.z +. delta)));
+        energy p
+      in
+      let d axis =
+        (perturb axis h -. perturb axis (-.h)) /. (2. *. h)
+      in
+      Vec3.make (-.d `X) (-.d `Y) (-.d `Z))
+    positions
+
+let max_vec_diff a b =
+  let worst = ref 0. in
+  Array.iteri (fun i v -> worst := Float.max !worst (Vec3.dist v b.(i))) a;
+  !worst
+
+(* A deterministic random configuration in a cubic box, with a minimum
+   separation to avoid singular overlaps. *)
+let random_positions ~seed ~n ~box_l ~min_dist =
+  let rng = Rng.create seed in
+  let box = Pbc.cubic box_l in
+  let acc = ref [] in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  while !count < n && !attempts < 100_000 do
+    incr attempts;
+    let p =
+      Vec3.make
+        (Rng.uniform_in rng 0. box_l)
+        (Rng.uniform_in rng 0. box_l)
+        (Rng.uniform_in rng 0. box_l)
+    in
+    let ok =
+      List.for_all (fun q -> Pbc.dist2 box p q >= min_dist *. min_dist) !acc
+    in
+    if ok then begin
+      acc := p :: !acc;
+      incr count
+    end
+  done;
+  if !count < n then failwith "random_positions: box too crowded";
+  (box, Array.of_list !acc)
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count gen prop)
+
+(* A small pre-equilibrated LJ engine for method tests. *)
+let lj_engine ?(n = 108) ?(temp = 120.) ?(seed = 42) ?(equil = 500) () =
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n () in
+  let cfg =
+    {
+      Mdsp_md.Engine.default_config with
+      dt_fs = 2.0;
+      temperature = temp;
+      thermostat = Mdsp_md.Engine.Langevin { gamma_fs = 0.02 };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed sys in
+  Mdsp_md.Engine.run eng equil;
+  eng

@@ -1,0 +1,310 @@
+(* Tests for Mdsp_analysis: WHAM and the free-energy estimators, on
+   synthetic data with analytic answers. *)
+
+open Mdsp_util
+open Mdsp_analysis
+open Testsupport
+
+(* --- WHAM on a harmonic potential --- *)
+
+(* True free energy F(x) = a x^2 at temperature T. Sampling window i has
+   bias k (x - c_i)^2; the biased distribution is Gaussian with
+   mean = k c_i / (a + k) and variance = kT / (2 (a + k)). *)
+let harmonic_windows ~temp ~a ~k ~centers ~samples_per ~seed =
+  let rng = Rng.create seed in
+  let kt = Units.kt temp in
+  List.map
+    (fun c ->
+      let mean = k *. c /. (a +. k) in
+      let sigma = sqrt (kt /. (2. *. (a +. k))) in
+      {
+        Wham.bias = (fun x -> k *. ((x -. c) ** 2.));
+        samples =
+          Array.init samples_per (fun _ -> Rng.gaussian_ms rng ~mean ~sigma);
+      })
+    (Array.to_list centers)
+
+let test_wham_recovers_harmonic () =
+  let temp = 300. and a = 2.0 and k = 8.0 in
+  let centers = Array.init 11 (fun i -> -2.5 +. (0.5 *. float_of_int i)) in
+  let windows =
+    harmonic_windows ~temp ~a ~k ~centers ~samples_per:20_000 ~seed:91
+  in
+  let p = Wham.solve ~temp ~lo:(-2.5) ~hi:2.5 ~bins:50 windows in
+  (* Compare recovered F to a x^2 (both shifted to min 0). *)
+  let worst = ref 0. in
+  Array.iteri
+    (fun b f ->
+      if not (Float.is_nan f) then begin
+        let x = p.Wham.centers.(b) in
+        if abs_float x < 2.0 then
+          worst := Float.max !worst (abs_float (f -. (a *. x *. x)))
+      end)
+    p.Wham.free_energy;
+  check_true
+    (Printf.sprintf "max |F - ax^2| = %.3f < 0.15 kcal/mol" !worst)
+    (!worst < 0.15)
+
+let test_wham_empty_bins_are_nan () =
+  let temp = 300. in
+  let windows =
+    [
+      {
+        Wham.bias = (fun _ -> 0.);
+        samples = Array.init 100 (fun i -> float_of_int i /. 100.);
+      };
+    ]
+  in
+  let p = Wham.solve ~temp ~lo:(-10.) ~hi:10. ~bins:40 windows in
+  check_true "unvisited bins are nan"
+    (Array.exists Float.is_nan p.Wham.free_energy);
+  check_true "visited bins are finite"
+    (Array.exists (fun f -> not (Float.is_nan f)) p.Wham.free_energy)
+
+let test_wham_rejects_no_windows () =
+  Alcotest.check_raises "no windows" (Invalid_argument "Wham.solve: no windows")
+    (fun () -> ignore (Wham.solve ~temp:300. ~lo:0. ~hi:1. ~bins:10 []))
+
+(* --- Free-energy estimators --- *)
+
+(* Gaussian work distribution: if dU ~ N(mu, sigma^2) then
+   dF = mu - beta sigma^2 / 2 exactly (Zwanzig). *)
+let test_exp_averaging_gaussian () =
+  let temp = 300. in
+  let kt = Units.kt temp in
+  let rng = Rng.create 92 in
+  let mu = 1.0 and sigma = 0.5 in
+  let du = Array.init 200_000 (fun _ -> Rng.gaussian_ms rng ~mean:mu ~sigma) in
+  let expected = mu -. (sigma *. sigma /. (2. *. kt)) in
+  check_close ~rel:0.05 "Zwanzig on Gaussian work" expected
+    (Free_energy.exp_averaging ~temp du)
+
+let test_bar_gaussian_symmetric () =
+  (* BAR on consistent Gaussian forward/backward work distributions:
+     sigma^2 = 2 kT lam, forward mean dF + lam, backward mean -(dF - lam). *)
+  let temp = 300. in
+  let kt = Units.kt temp in
+  let rng = Rng.create 93 in
+  let df_true = 0.8 in
+  let lam = 0.4 in
+  let sigma = sqrt (2. *. kt *. lam) in
+  let forward =
+    Array.init 100_000 (fun _ ->
+        Rng.gaussian_ms rng ~mean:(df_true +. lam) ~sigma)
+  in
+  let backward =
+    Array.init 100_000 (fun _ ->
+        Rng.gaussian_ms rng ~mean:(-.(df_true -. lam)) ~sigma)
+  in
+  check_close ~rel:0.05 "BAR recovers dF" df_true
+    (Free_energy.bar ~temp ~forward ~backward)
+
+let test_bar_agrees_with_exp_when_good_overlap () =
+  let temp = 300. in
+  let rng = Rng.create 94 in
+  let kt = Units.kt temp in
+  let lam = 0.2 in
+  let sigma = sqrt (2. *. kt *. lam) in
+  let df_true = -0.5 in
+  let forward =
+    Array.init 50_000 (fun _ -> Rng.gaussian_ms rng ~mean:(df_true +. lam) ~sigma)
+  in
+  let backward =
+    Array.init 50_000 (fun _ ->
+        Rng.gaussian_ms rng ~mean:(-.(df_true -. lam)) ~sigma)
+  in
+  let bar = Free_energy.bar ~temp ~forward ~backward in
+  let zw = Free_energy.exp_averaging ~temp forward in
+  check_close ~rel:0.1 "estimators agree" bar zw
+
+let test_jarzynski_gaussian () =
+  (* Gaussian work: dF = <W> - beta sigma^2/2; dissipation = beta sigma^2/2. *)
+  let temp = 300. in
+  let kt = Units.kt temp in
+  let rng = Rng.create 190 in
+  let mean = 2.0 and sigma = 0.6 in
+  let works =
+    Array.init 200_000 (fun _ -> Rng.gaussian_ms rng ~mean ~sigma)
+  in
+  let df, diss = Free_energy.jarzynski ~temp works in
+  check_close ~rel:0.05 "Jarzynski dF" (mean -. (sigma *. sigma /. (2. *. kt))) df;
+  check_close ~rel:0.1 "dissipation" (sigma *. sigma /. (2. *. kt)) diss
+
+let test_widom_estimator_ideal () =
+  (* All-zero insertion energies: mu_ex = 0 exactly. *)
+  check_float ~eps:1e-12 "ideal gas" 0.
+    (Free_energy.widom ~temp:300. (Array.make 1000 0.))
+
+let test_ti_trapezoid () =
+  (* Integral of dU/dl = 3 l^2 over [0,1] is 1; fine grid needed. *)
+  let points =
+    List.init 101 (fun i ->
+        let l = float_of_int i /. 100. in
+        (l, 3. *. l *. l))
+  in
+  check_close ~rel:1e-3 "TI quadrature" 1. (Free_energy.ti_trapezoid points);
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Free_energy.ti_trapezoid: need >= 2 points") (fun () ->
+      ignore (Free_energy.ti_trapezoid [ (0., 1.) ]))
+
+let test_ti_unsorted_input () =
+  let points = [ (1.0, 2.); (0.0, 2.); (0.5, 2.) ] in
+  check_close ~rel:1e-12 "constant integrand, unsorted" 2.
+    (Free_energy.ti_trapezoid points)
+
+(* --- Structure: radial distribution function --- *)
+
+let test_rdf_ideal_gas_is_flat () =
+  let rng = Rng.create 96 in
+  let box = Pbc.cubic 20. in
+  let sd = Structure.create ~r_max:9. ~bins:30 in
+  for _ = 1 to 40 do
+    let pos =
+      Array.init 200 (fun _ ->
+          Vec3.make
+            (Rng.uniform_in rng 0. 20.)
+            (Rng.uniform_in rng 0. 20.)
+            (Rng.uniform_in rng 0. 20.))
+    in
+    Structure.sample sd box pos ()
+  done;
+  Alcotest.(check int) "frames" 40 (Structure.frames sd);
+  (* Ideal gas: g(r) = 1 away from tiny r where statistics are poor. *)
+  Array.iter
+    (fun (r, g) ->
+      if r > 2. then check_close ~rel:0.15 "g = 1 for ideal gas" 1. g)
+    (Structure.g sd)
+
+let test_rdf_lattice_peak () =
+  (* Simple cubic lattice, spacing 2: strong peak at r = 2. *)
+  let side = 8 in
+  let box = Pbc.cubic (2. *. float_of_int side) in
+  let pos =
+    Array.init (side * side * side) (fun k ->
+        let x = k mod side and y = k / side mod side and z = k / (side * side) in
+        Vec3.make (2. *. float_of_int x) (2. *. float_of_int y)
+          (2. *. float_of_int z))
+  in
+  (* Keep r_max below the second shell at 2*sqrt(2) so the first shell is
+     the unique maximum (for a simple cubic lattice the first two delta
+     peaks of g(r) have equal height). *)
+  let sd = Structure.create ~r_max:2.6 ~bins:26 in
+  Structure.sample sd box pos ();
+  let r_peak, g_peak = Structure.first_peak ~r_min:1. sd in
+  check_close ~rel:0.05 "first peak at lattice spacing" 2. r_peak;
+  check_true "peak is sharp" (g_peak > 5.);
+  (* Coordination number through the first shell: 6 nearest neighbors. *)
+  check_close ~rel:0.1 "coordination 6" 6.
+    (Structure.coordination_number sd ~r_cut:2.5)
+
+let test_rdf_subset () =
+  let box = Pbc.cubic 10. in
+  (* Two interleaved species; subset selects only the first. *)
+  let pos = [| Vec3.make 1. 1. 1.; Vec3.make 3. 1. 1.; Vec3.make 5. 5. 5. |] in
+  let sd = Structure.create ~r_max:4. ~bins:16 in
+  Structure.sample sd box pos ~subset:[| 0; 1 |] ();
+  (* Only the 0-1 pair at r=2 contributes. *)
+  let total = Array.fold_left (fun a (_, g) -> a +. g) 0. (Structure.g sd) in
+  check_true "only subset pair counted" (total > 0.)
+
+let test_rdf_range_check () =
+  let box = Pbc.cubic 10. in
+  let sd = Structure.create ~r_max:9. ~bins:10 in
+  Alcotest.check_raises "r_max too large"
+    (Invalid_argument "Structure.sample: r_max exceeds half the box edge")
+    (fun () -> Structure.sample sd box [| Vec3.zero |] ())
+
+(* --- Transport --- *)
+
+let test_msd_ballistic () =
+  (* Constant velocity v: MSD(t) = |v|^2 t^2. *)
+  let n = 10 in
+  let tr = Transport.create ~n in
+  let rng = Rng.create 97 in
+  let vel = Array.init n (fun _ -> Rng.gaussian_vec rng) in
+  for k = 0 to 19 do
+    let t = float_of_int k *. 0.5 in
+    let pos = Array.map (fun v -> Vec3.scale t v) vel in
+    Transport.record tr ~time:t pos vel
+  done;
+  let v2 =
+    Array.fold_left (fun a v -> a +. Vec3.norm2 v) 0. vel /. float_of_int n
+  in
+  Array.iter
+    (fun (dt, m) -> check_close ~rel:1e-9 "ballistic MSD" (v2 *. dt *. dt) m)
+    (Transport.msd tr)
+
+let test_msd_diffusive_slope () =
+  (* Discrete random walk with step variance s^2 per unit time per
+     dimension: MSD = 3 s^2 t, so D = s^2 / 2. *)
+  let n = 400 in
+  let tr = Transport.create ~n in
+  let rng = Rng.create 98 in
+  let pos = Array.make n Vec3.zero in
+  let vel = Array.make n Vec3.zero in
+  let s = 0.3 in
+  for k = 0 to 199 do
+    Transport.record tr ~time:(float_of_int k) pos vel;
+    for i = 0 to n - 1 do
+      pos.(i) <- Vec3.add pos.(i) (Vec3.scale s (Rng.gaussian_vec rng))
+    done
+  done;
+  let d = Transport.diffusion_coefficient tr in
+  (* Overlapping time origins correlate the estimate; allow 15%. *)
+  check_close ~rel:0.15 "random-walk diffusion" (s *. s /. 2.) d
+
+let test_vacf_constant_velocity () =
+  let n = 5 in
+  let tr = Transport.create ~n in
+  let rng = Rng.create 99 in
+  let vel = Array.init n (fun _ -> Rng.gaussian_vec rng) in
+  for k = 0 to 9 do
+    Transport.record tr ~time:(float_of_int k) (Array.make n Vec3.zero) vel
+  done;
+  Array.iter
+    (fun (_, c) -> check_close ~rel:1e-12 "VACF of frozen velocities" 1. c)
+    (Transport.vacf tr)
+
+let test_d_unit_conversion () =
+  (* 1 A^2 per internal time unit -> cm^2/s. *)
+  let expected = 1e-16 /. (Units.time_unit_fs *. 1e-15) in
+  check_close ~rel:1e-12 "conversion" expected (Transport.d_cm2_s 1.)
+
+let () =
+  Alcotest.run "mdsp_analysis"
+    [
+      ( "wham",
+        [
+          Alcotest.test_case "recovers harmonic free energy" `Slow
+            test_wham_recovers_harmonic;
+          Alcotest.test_case "empty bins" `Quick test_wham_empty_bins_are_nan;
+          Alcotest.test_case "rejects empty" `Quick test_wham_rejects_no_windows;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "ideal gas flat" `Quick test_rdf_ideal_gas_is_flat;
+          Alcotest.test_case "lattice peak" `Quick test_rdf_lattice_peak;
+          Alcotest.test_case "subset" `Quick test_rdf_subset;
+          Alcotest.test_case "range check" `Quick test_rdf_range_check;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "ballistic MSD" `Quick test_msd_ballistic;
+          Alcotest.test_case "diffusive slope" `Quick test_msd_diffusive_slope;
+          Alcotest.test_case "VACF constant" `Quick test_vacf_constant_velocity;
+          Alcotest.test_case "unit conversion" `Quick test_d_unit_conversion;
+        ] );
+      ( "free_energy",
+        [
+          Alcotest.test_case "Zwanzig on Gaussian" `Quick
+            test_exp_averaging_gaussian;
+          Alcotest.test_case "BAR on Gaussian" `Quick test_bar_gaussian_symmetric;
+          Alcotest.test_case "BAR vs Zwanzig" `Quick
+            test_bar_agrees_with_exp_when_good_overlap;
+          Alcotest.test_case "Jarzynski on Gaussian" `Quick
+            test_jarzynski_gaussian;
+          Alcotest.test_case "Widom ideal" `Quick test_widom_estimator_ideal;
+          Alcotest.test_case "TI trapezoid" `Quick test_ti_trapezoid;
+          Alcotest.test_case "TI unsorted" `Quick test_ti_unsorted_input;
+        ] );
+    ]

@@ -1,0 +1,594 @@
+(* Tests for Mdsp_ff: nonbonded functional forms, bonded terms, topology
+   building, water geometry, and the pair evaluator. Forces are validated
+   against numerical gradients throughout. *)
+
+open Mdsp_util
+open Mdsp_ff
+open Testsupport
+
+(* Check that f_over_r equals -dU/dr / r by central differences on r. *)
+let check_form_force ?(rel = 1e-5) form r =
+  let h = r *. 1e-5 in
+  let e_at x = Nonbonded.energy form (x *. x) in
+  let du_dr = (e_at (r +. h) -. e_at (r -. h)) /. (2. *. h) in
+  let _, f_over_r = Nonbonded.eval form (r *. r) in
+  check_close ~rel "f_over_r = -dU/dr / r" (-.du_dr /. r) f_over_r
+
+let test_lj_minimum () =
+  let form = Nonbonded.Lennard_jones { epsilon = 0.5; sigma = 3. } in
+  (* Minimum at r = 2^(1/6) sigma with energy -epsilon. *)
+  let rmin = (2. ** (1. /. 6.)) *. 3. in
+  check_close ~rel:1e-9 "depth" (-0.5) (Nonbonded.energy form (rmin *. rmin));
+  let _, f = Nonbonded.eval form (rmin *. rmin) in
+  check_true "zero force at minimum" (abs_float f < 1e-9);
+  (* energy(sigma^2) = 0; compare shifted by 1 to dodge rel-vs-zero *)
+  check_close ~rel:1e-9 "zero crossing at sigma" 1.
+    (1. +. Nonbonded.energy form 9.)
+
+let test_forms_force_consistency () =
+  let forms =
+    [
+      Nonbonded.Lennard_jones { epsilon = 0.3; sigma = 3.2 };
+      Nonbonded.Buckingham { a = 1000.; b = 3.; c = 120. };
+      Nonbonded.Coulomb { qq = 33.2 };
+      Nonbonded.Coulomb_erfc { qq = -50.; beta = 0.35 };
+      Nonbonded.Gaussian_repulsion { height = 5.; width = 2. };
+      Nonbonded.Soft_core_lj
+        { epsilon = 0.3; sigma = 3.2; alpha = 0.5; lambda = 0.5 };
+      Nonbonded.Morse { d_e = 2.; a = 1.5; r0 = 3.0 };
+      Nonbonded.Yukawa { a = 100.; kappa = 0.5 };
+      Nonbonded.Lj_12_6_4 { epsilon = 0.3; sigma = 3.2; c4 = 50. };
+      Nonbonded.Sum
+        [
+          Nonbonded.Lennard_jones { epsilon = 0.2; sigma = 3. };
+          Nonbonded.Coulomb { qq = 10. };
+        ];
+    ]
+  in
+  List.iter
+    (fun form ->
+      List.iter (fun r -> check_form_force form r) [ 2.5; 3.5; 5.; 7. ])
+    forms
+
+let test_softcore_limits () =
+  (* lambda = 1 must recover plain LJ; lambda = 0 must vanish. *)
+  let eps = 0.4 and sigma = 3.1 in
+  let lj = Nonbonded.Lennard_jones { epsilon = eps; sigma } in
+  let sc l = Nonbonded.Soft_core_lj { epsilon = eps; sigma; alpha = 0.5; lambda = l } in
+  List.iter
+    (fun r2 ->
+      check_close ~rel:1e-9 "lambda=1 matches LJ" (Nonbonded.energy lj r2)
+        (Nonbonded.energy (sc 1.) r2);
+      check_float ~eps:1e-12 "lambda=0 vanishes" 0. (Nonbonded.energy (sc 0.) r2))
+    [ 6.; 12.; 30. ];
+  (* Soft core is finite at r = 0 for lambda < 1 (that is the point). *)
+  check_true "finite at r=0"
+    (Float.is_finite (Nonbonded.energy (sc 0.5) 1e-12))
+
+let test_truncation_shift_continuous () =
+  let form = Nonbonded.Lennard_jones { epsilon = 0.3; sigma = 3.2 } in
+  let cutoff = 8. in
+  let e_just_inside, _ =
+    Nonbonded.eval_truncated form ~cutoff ~trunc:Nonbonded.Shift
+      ((cutoff -. 1e-6) ** 2.)
+  in
+  check_true "shifted energy continuous at cutoff"
+    (abs_float e_just_inside < 1e-6)
+
+let test_truncation_switch () =
+  let form = Nonbonded.Lennard_jones { epsilon = 0.3; sigma = 3.2 } in
+  let cutoff = 8. and r_on = 6. in
+  let trunc = Nonbonded.Switch { r_on } in
+  (* Inside r_on: untouched. *)
+  let e_in, f_in = Nonbonded.eval_truncated form ~cutoff ~trunc 25. in
+  let e_raw, f_raw = Nonbonded.eval form 25. in
+  check_float ~eps:1e-12 "unswitched below r_on" e_raw e_in;
+  check_float ~eps:1e-12 "force unswitched below r_on" f_raw f_in;
+  (* Energy goes continuously to zero at the cutoff. *)
+  let e_end, _ =
+    Nonbonded.eval_truncated form ~cutoff ~trunc ((cutoff -. 1e-5) ** 2.)
+  in
+  check_true "switched to zero at cutoff" (abs_float e_end < 1e-6);
+  (* Force consistency within the switching region. *)
+  let r = 7. in
+  let h = 1e-6 in
+  let e_at x = fst (Nonbonded.eval_truncated form ~cutoff ~trunc (x *. x)) in
+  let du_dr = (e_at (r +. h) -. e_at (r -. h)) /. (2. *. h) in
+  let _, f_over_r = Nonbonded.eval_truncated form ~cutoff ~trunc (r *. r) in
+  check_close ~rel:1e-4 "switch region force" (-.du_dr /. r) f_over_r
+
+let test_morse_well () =
+  let form = Nonbonded.Morse { d_e = 2.5; a = 1.2; r0 = 3.0 } in
+  (* Minimum at r0 with depth -D_e and zero force. *)
+  check_close ~rel:1e-12 "depth" (-2.5) (Nonbonded.energy form 9.);
+  let _, f = Nonbonded.eval form 9. in
+  check_true "zero force at r0" (abs_float f < 1e-9);
+  (* Dissociation: energy -> 0 at large r. *)
+  check_true "dissociates" (abs_float (Nonbonded.energy form 10000.) < 1e-4)
+
+let test_yukawa_screening () =
+  let bare = Nonbonded.Coulomb { qq = 100. } in
+  let screened = Nonbonded.Yukawa { a = 100.; kappa = 0.3 } in
+  (* At short range they agree; at long range Yukawa decays faster. *)
+  check_close ~rel:0.05 "short range similar" (Nonbonded.energy bare 1.)
+    (Nonbonded.energy screened 1. /. exp (-0.3));
+  check_true "screened decays faster"
+    (Nonbonded.energy screened 100. < 0.2 *. Nonbonded.energy bare 100.)
+
+let test_lorentz_berthelot () =
+  match Nonbonded.lorentz_berthelot (0.2, 3.0) (0.8, 4.0) with
+  | Nonbonded.Lennard_jones { epsilon; sigma } ->
+      check_close ~rel:1e-12 "epsilon geometric" 0.4 epsilon;
+      check_close ~rel:1e-12 "sigma arithmetic" 3.5 sigma
+  | _ -> Alcotest.fail "expected LJ form"
+
+(* --- Topology --- *)
+
+let build_small_molecule () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0.1, 3.0) |];
+  let a0 = Topology.Builder.add_atom b ~mass:12. ~charge:0.1 ~type_id:0 ~name:"C1" in
+  let a1 = Topology.Builder.add_atom b ~mass:12. ~charge:(-0.1) ~type_id:0 ~name:"C2" in
+  let a2 = Topology.Builder.add_atom b ~mass:12. ~charge:0. ~type_id:0 ~name:"C3" in
+  let a3 = Topology.Builder.add_atom b ~mass:12. ~charge:0. ~type_id:0 ~name:"C4" in
+  Topology.Builder.add_bond b ~i:a0 ~j:a1 ~k:300. ~r0:1.5;
+  Topology.Builder.add_bond b ~i:a1 ~j:a2 ~k:300. ~r0:1.5;
+  Topology.Builder.add_bond b ~i:a2 ~j:a3 ~k:300. ~r0:1.5;
+  Topology.Builder.add_angle b ~i:a0 ~j:a1 ~k:a2 ~k_theta:50.
+    ~theta0:(110. *. Float.pi /. 180.);
+  Topology.Builder.add_angle b ~i:a1 ~j:a2 ~k:a3 ~k_theta:50.
+    ~theta0:(110. *. Float.pi /. 180.);
+  Topology.Builder.add_dihedral b ~i:a0 ~j:a1 ~k:a2 ~l:a3 ~k_phi:2. ~mult:3
+    ~phase:0.;
+  Topology.Builder.finish b
+
+let test_topology_builder () =
+  let topo = build_small_molecule () in
+  Alcotest.(check int) "atoms" 4 (Topology.n_atoms topo);
+  Alcotest.(check int) "bonds" 3 (Array.length topo.Topology.bonds);
+  Alcotest.(check int) "angles" 2 (Array.length topo.Topology.angles);
+  Alcotest.(check int) "dihedrals" 1 (Array.length topo.Topology.dihedrals);
+  (* through=3 on a 4-chain excludes all pairs. *)
+  check_true "1-4 excluded"
+    (Mdsp_space.Exclusions.excluded topo.Topology.exclusions 0 3);
+  Alcotest.(check int) "dof" (12 - 0 - 3) (Topology.dof topo)
+
+let test_topology_validation () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0.1, 3.0) |];
+  let a0 = Topology.Builder.add_atom b ~mass:12. ~charge:0. ~type_id:0 ~name:"X" in
+  Alcotest.check_raises "self bond" (Invalid_argument "Topology.add_bond: self bond")
+    (fun () -> Topology.Builder.add_bond b ~i:a0 ~j:a0 ~k:1. ~r0:1.);
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Topology.add_bond: atom index out of range") (fun () ->
+      Topology.Builder.add_bond b ~i:a0 ~j:5 ~k:1. ~r0:1.);
+  Alcotest.check_raises "bad mass"
+    (Invalid_argument "Topology.add_atom: mass must be positive") (fun () ->
+      ignore (Topology.Builder.add_atom b ~mass:0. ~charge:0. ~type_id:0 ~name:"Y"))
+
+let test_topology_type_id_check () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0.1, 3.0) |];
+  ignore (Topology.Builder.add_atom b ~mass:12. ~charge:0. ~type_id:3 ~name:"X");
+  Alcotest.check_raises "type id out of table"
+    (Invalid_argument "Topology.finish: atom type_id outside lj_types table")
+    (fun () -> ignore (Topology.Builder.finish b))
+
+(* --- Bonded forces vs numerical gradients --- *)
+
+let bonded_energy topo box positions =
+  let acc = Bonded.make_accum (Array.length positions) in
+  let eb, ea, ed = Bonded.all box topo positions acc in
+  eb +. ea +. ed
+
+let test_bonded_forces_match_numeric () =
+  let topo = build_small_molecule () in
+  let box = Pbc.cubic 30. in
+  (* A bent, twisted conformation exercising all terms. *)
+  let positions =
+    [|
+      Vec3.make 10. 10. 10.;
+      Vec3.make 11.5 10.2 10.1;
+      Vec3.make 12.3 11.4 10.8;
+      Vec3.make 13.1 11.2 12.2;
+    |]
+  in
+  let acc = Bonded.make_accum 4 in
+  ignore (Bonded.all box topo positions acc);
+  let numeric =
+    numeric_forces ~h:1e-5 (fun p -> bonded_energy topo box p) positions
+  in
+  check_true
+    (Printf.sprintf "bonded force error %.2e" (max_vec_diff acc.Bonded.forces numeric))
+    (max_vec_diff acc.Bonded.forces numeric < 1e-4)
+
+let test_bond_energy_value () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0., 1.) |];
+  let a0 = Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"A" in
+  let a1 = Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"B" in
+  Topology.Builder.add_bond b ~i:a0 ~j:a1 ~k:100. ~r0:1.0;
+  let topo = Topology.Builder.finish b in
+  let box = Pbc.cubic 10. in
+  let positions = [| Vec3.make 1. 1. 1.; Vec3.make 2.5 1. 1. |] in
+  let acc = Bonded.make_accum 2 in
+  let e = Bonded.bonds box topo positions acc in
+  (* k (r - r0)^2 = 100 * 0.25 *)
+  check_close ~rel:1e-12 "bond energy" 25. e;
+  (* Newton's third law. *)
+  check_true "forces oppose"
+    (Vec3.equal_eps ~eps:1e-9 acc.Bonded.forces.(0)
+       (Vec3.neg acc.Bonded.forces.(1)))
+
+let test_angle_energy_at_reference () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0., 1.) |];
+  let a0 = Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"A" in
+  let a1 = Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"B" in
+  let a2 = Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"C" in
+  Topology.Builder.add_angle b ~i:a0 ~j:a1 ~k:a2 ~k_theta:40.
+    ~theta0:(Float.pi /. 2.);
+  let topo = Topology.Builder.finish b in
+  let box = Pbc.cubic 20. in
+  (* Exactly 90 degrees: zero energy and forces. *)
+  let positions =
+    [| Vec3.make 2. 1. 1.; Vec3.make 1. 1. 1.; Vec3.make 1. 2. 1. |]
+  in
+  let acc = Bonded.make_accum 3 in
+  let e = Bonded.angles box topo positions acc in
+  check_true "zero energy at reference" (abs_float e < 1e-12);
+  Array.iter
+    (fun f -> check_true "zero force at reference" (Vec3.norm f < 1e-9))
+    acc.Bonded.forces
+
+let test_dihedral_energy_period () =
+  (* Periodic dihedral k (1 + cos(3 phi)): energy at phi=0 is 2k,
+     at phi=pi/3 it is 0. *)
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0., 1.) |];
+  for i = 0 to 3 do
+    ignore
+      (Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0
+         ~name:(string_of_int i))
+  done;
+  Topology.Builder.add_dihedral b ~i:0 ~j:1 ~k:2 ~l:3 ~k_phi:1.5 ~mult:3
+    ~phase:0.;
+  let topo = Topology.Builder.finish b in
+  let box = Pbc.cubic 20. in
+  let place phi =
+    (* Standard geometry: j at origin, k on x, i in xy plane; l rotated by
+       phi around the x axis from the +y direction. *)
+    [|
+      Vec3.make 9. 11. 10.;
+      Vec3.make 10. 10. 10.;
+      Vec3.make 11. 10. 10.;
+      Vec3.add (Vec3.make 12. 0. 0.)
+        (Vec3.make 0. (10. +. cos phi) (10. +. sin phi));
+    |]
+  in
+  let energy phi =
+    let acc = Bonded.make_accum 4 in
+    Bonded.dihedrals box topo (place phi) acc
+  in
+  check_close ~rel:1e-6 "cis maximum" 3. (energy 0.);
+  check_true "pi/3 minimum" (abs_float (energy (Float.pi /. 3.)) < 1e-9)
+
+let test_bonded_newton_third_law_random () =
+  let topo = build_small_molecule () in
+  let box = Pbc.cubic 25. in
+  let rng = Rng.create 77 in
+  for _ = 1 to 20 do
+    let positions =
+      Array.init 4 (fun i ->
+          Vec3.add
+            (Vec3.make (10. +. (1.4 *. float_of_int i)) 10. 10.)
+            (Vec3.scale 0.5 (Rng.gaussian_vec rng)))
+    in
+    let acc = Bonded.make_accum 4 in
+    ignore (Bonded.all box topo positions acc);
+    let total = Array.fold_left Vec3.add Vec3.zero acc.Bonded.forces in
+    check_true "forces sum to zero" (Vec3.norm total < 1e-8)
+  done
+
+let test_improper_forces_and_energy () =
+  (* A near-planar center: i-j-k-l with xi0 = 0 restores planarity. *)
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0., 1.) |];
+  for i = 0 to 3 do
+    ignore
+      (Topology.Builder.add_atom b ~mass:12. ~charge:0. ~type_id:0
+         ~name:(string_of_int i))
+  done;
+  Topology.Builder.add_improper b ~i:0 ~j:1 ~k:2 ~l:3 ~k_xi:20. ~xi0:0.;
+  let topo = Topology.Builder.finish b in
+  let box = Pbc.cubic 30. in
+  (* Perfectly planar: zero energy, zero force. *)
+  let planar =
+    [|
+      Vec3.make 9. 11. 10.; Vec3.make 10. 10. 10.;
+      Vec3.make 11. 10. 10.; Vec3.make 12. 11. 10.;
+    |]
+  in
+  let acc = Bonded.make_accum 4 in
+  let e = Bonded.impropers box topo planar acc in
+  check_true "planar zero energy" (abs_float e < 1e-12);
+  Array.iter
+    (fun f -> check_true "planar zero force" (Vec3.norm f < 1e-9))
+    acc.Bonded.forces;
+  (* Out-of-plane distortion: positive energy, forces match numerics. *)
+  let bent =
+    [|
+      Vec3.make 9. 11. 10.4; Vec3.make 10. 10. 10.;
+      Vec3.make 11. 10. 10.; Vec3.make 12. 11. 10.1;
+    |]
+  in
+  let acc2 = Bonded.make_accum 4 in
+  let e2 = Bonded.impropers box topo bent acc2 in
+  check_true "distorted positive" (e2 > 0.01);
+  let numeric =
+    numeric_forces ~h:1e-6
+      (fun p ->
+        let a = Bonded.make_accum 4 in
+        Bonded.impropers box topo p a)
+      bent
+  in
+  check_true "improper forces match numerics"
+    (max_vec_diff acc2.Bonded.forces numeric < 1e-4);
+  (* Included in the term count and the `all` total. *)
+  Alcotest.(check int) "term count" 1 (Bonded.term_count topo);
+  let acc3 = Bonded.make_accum 4 in
+  let _, _, ed = Bonded.all box topo bent acc3 in
+  check_close ~rel:1e-12 "folded into dihedral total" e2 ed
+
+let test_improper_angle_wrap () =
+  (* xi0 near pi: the difference must wrap, not jump by 2 pi. *)
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0., 1.) |];
+  for i = 0 to 3 do
+    ignore
+      (Topology.Builder.add_atom b ~mass:12. ~charge:0. ~type_id:0
+         ~name:(string_of_int i))
+  done;
+  Topology.Builder.add_improper b ~i:0 ~j:1 ~k:2 ~l:3 ~k_xi:10.
+    ~xi0:(Float.pi -. 0.05);
+  let topo = Topology.Builder.finish b in
+  let box = Pbc.cubic 30. in
+  (* Trans-like geometry: phi close to pi (or -pi); energy must be small,
+     not ~ (2 pi)^2 k. *)
+  let trans =
+    [|
+      Vec3.make 9. 11. 10.; Vec3.make 10. 10. 10.;
+      Vec3.make 11. 10. 10.; Vec3.make 12. 9. 10.;
+    |]
+  in
+  let acc = Bonded.make_accum 4 in
+  let e = Bonded.impropers box topo trans acc in
+  check_true (Printf.sprintf "wrapped energy small (%.3f)" e) (e < 1.)
+
+(* --- 1-4 scaled pairs --- *)
+
+let chain_topology_with_14 ~lj ~coul =
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0.2, 3.0) |];
+  for i = 0 to 3 do
+    ignore
+      (Topology.Builder.add_atom b ~mass:12.
+         ~charge:(if i = 0 then 0.3 else if i = 3 then -0.3 else 0.)
+         ~type_id:0
+         ~name:(string_of_int i))
+  done;
+  for i = 0 to 2 do
+    Topology.Builder.add_bond b ~i ~j:(i + 1) ~k:100. ~r0:1.5
+  done;
+  Topology.Builder.set_scale14 b ~lj ~coul;
+  Topology.Builder.finish b
+
+let test_pairs14_detected () =
+  let topo = chain_topology_with_14 ~lj:0.5 ~coul:0.8333 in
+  Alcotest.(check (array (pair int int))) "the single 1-4 pair" [| (0, 3) |]
+    topo.Topology.pairs14;
+  (* Still excluded from the nonbonded sum. *)
+  check_true "still excluded"
+    (Mdsp_space.Exclusions.excluded topo.Topology.exclusions 0 3)
+
+let test_pairs14_energy_scales () =
+  let box = Pbc.cubic 30. in
+  let positions =
+    [|
+      Vec3.make 10. 10. 10.; Vec3.make 11.5 10. 10.;
+      Vec3.make 12.5 11.1 10.; Vec3.make 14. 11.1 10.;
+    |]
+  in
+  let e scale_lj scale_coul =
+    let topo = chain_topology_with_14 ~lj:scale_lj ~coul:scale_coul in
+    let acc = Bonded.make_accum 4 in
+    Pair_interactions.compute_pairs14 topo ~cutoff:9. box positions acc
+  in
+  check_float ~eps:1e-12 "zero scales give zero" 0. (e 0. 0.);
+  (* Linear in each scale factor. *)
+  check_close ~rel:1e-9 "LJ part linear" (2. *. (e 0.5 0. )) (e 1.0 0.);
+  check_close ~rel:1e-9 "Coulomb part linear" (2. *. (e 0. 0.4)) (e 0. 0.8);
+  check_close ~rel:1e-9 "parts add" (e 0.5 0. +. e 0. 0.5) (e 0.5 0.5)
+
+let test_pairs14_forces_numeric () =
+  let topo = chain_topology_with_14 ~lj:0.5 ~coul:0.8333 in
+  let box = Pbc.cubic 30. in
+  let positions =
+    [|
+      Vec3.make 10. 10. 10.; Vec3.make 11.5 10.2 10.1;
+      Vec3.make 12.4 11.3 10.6; Vec3.make 13.9 11.2 11.4;
+    |]
+  in
+  let acc = Bonded.make_accum 4 in
+  ignore (Pair_interactions.compute_pairs14 topo ~cutoff:9. box positions acc);
+  let numeric =
+    numeric_forces ~h:1e-6
+      (fun p ->
+        let a = Bonded.make_accum 4 in
+        Pair_interactions.compute_pairs14 topo ~cutoff:9. box p a)
+      positions
+  in
+  check_true "1-4 forces match numerics"
+    (max_vec_diff acc.Bonded.forces numeric < 1e-4);
+  (* Middle atoms feel nothing from the 1-4 term. *)
+  check_true "only ends involved"
+    (Vec3.norm acc.Bonded.forces.(1) < 1e-12
+    && Vec3.norm acc.Bonded.forces.(2) < 1e-12)
+
+(* --- Water --- *)
+
+let test_water_geometry () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| Water.o_lj; (0., 1.) |];
+  let rng = Rng.create 5 in
+  let _, pos =
+    Water.add_molecule b ~o_type:0 ~h_type:1 ~center:(Vec3.make 5. 5. 5.)
+      ~orient:rng
+  in
+  let topo = Topology.Builder.finish b in
+  check_close ~rel:1e-9 "O-H1" Water.oh_dist (Vec3.dist pos.(0) pos.(1));
+  check_close ~rel:1e-9 "O-H2" Water.oh_dist (Vec3.dist pos.(0) pos.(2));
+  check_close ~rel:1e-9 "H-H" Water.hh_dist (Vec3.dist pos.(1) pos.(2));
+  Alcotest.(check int) "three constraints" 3 (Topology.n_constraints topo);
+  (* Neutral molecule. *)
+  let q = Array.fold_left ( +. ) 0. (Topology.charges topo) in
+  check_true "neutral" (abs_float q < 1e-12);
+  (* All intra-molecular pairs excluded. *)
+  check_true "O-H excluded"
+    (Mdsp_space.Exclusions.excluded topo.Topology.exclusions 0 1);
+  check_true "H-H excluded"
+    (Mdsp_space.Exclusions.excluded topo.Topology.exclusions 1 2)
+
+(* --- Pair evaluator --- *)
+
+let lj_pair_topology () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0.3, 3.0) |];
+  ignore (Topology.Builder.add_atom b ~mass:1. ~charge:0.5 ~type_id:0 ~name:"A");
+  ignore (Topology.Builder.add_atom b ~mass:1. ~charge:(-0.5) ~type_id:0 ~name:"B");
+  Topology.Builder.finish b
+
+let test_evaluator_coulomb_variants_force_consistency () =
+  let topo = lj_pair_topology () in
+  let cutoff = 8. in
+  List.iter
+    (fun elec ->
+      let ev =
+        Pair_interactions.of_topology topo ~cutoff ~trunc:Nonbonded.Shift ~elec
+      in
+      List.iter
+        (fun r ->
+          let h = 1e-6 in
+          let e x = fst (ev.Pair_interactions.eval 0 1 (x *. x)) in
+          let du_dr = (e (r +. h) -. e (r -. h)) /. (2. *. h) in
+          let _, f_over_r = ev.Pair_interactions.eval 0 1 (r *. r) in
+          check_close ~rel:1e-3 "evaluator force consistency" (-.du_dr /. r)
+            f_over_r)
+        [ 3.; 4.5; 6. ])
+    [
+      Pair_interactions.No_coulomb;
+      Pair_interactions.Cutoff_coulomb;
+      Pair_interactions.Reaction_field { epsilon_rf = 78.5 };
+      Pair_interactions.Ewald_real { beta = 0.35 };
+    ]
+
+let test_evaluator_zero_beyond_cutoff () =
+  let topo = lj_pair_topology () in
+  let ev =
+    Pair_interactions.of_topology topo ~cutoff:8. ~trunc:Nonbonded.Shift
+      ~elec:Pair_interactions.Cutoff_coulomb
+  in
+  let e, f = ev.Pair_interactions.eval 0 1 100. in
+  check_float ~eps:0. "zero energy" 0. e;
+  check_float ~eps:0. "zero force" 0. f
+
+let test_compute_all_pairs_matches_nlist () =
+  let box, positions = random_positions ~seed:51 ~n:60 ~box_l:14. ~min_dist:2.2 in
+  let b = Topology.Builder.create () in
+  Topology.Builder.set_lj_types b [| (0.25, 3.1) |];
+  for _ = 1 to 60 do
+    ignore (Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"X")
+  done;
+  let topo = Topology.Builder.finish b in
+  let ev =
+    Pair_interactions.of_topology topo ~cutoff:5. ~trunc:Nonbonded.Shift
+      ~elec:Pair_interactions.No_coulomb
+  in
+  let nl = Mdsp_space.Neighbor_list.create ~cutoff:5. ~skin:1. box positions in
+  let acc1 = Bonded.make_accum 60 in
+  let e1 = Pair_interactions.compute ev box nl positions acc1 in
+  let acc2 = Bonded.make_accum 60 in
+  let e2 = Pair_interactions.compute_all_pairs ev box positions acc2 in
+  check_close ~rel:1e-12 "energies equal" e2 e1;
+  check_true "forces equal" (max_vec_diff acc1.Bonded.forces acc2.Bonded.forces < 1e-10);
+  check_close ~rel:1e-9 "virials equal" acc2.Bonded.virial acc1.Bonded.virial
+
+let test_pair_virial_sign () =
+  (* Two atoms inside the repulsive wall: virial must be positive. *)
+  let topo = lj_pair_topology () in
+  let ev =
+    Pair_interactions.of_topology topo ~cutoff:8. ~trunc:Nonbonded.Shift
+      ~elec:Pair_interactions.No_coulomb
+  in
+  let box = Pbc.cubic 20. in
+  let positions = [| Vec3.make 5. 5. 5.; Vec3.make 7.5 5. 5. |] in
+  let acc = Bonded.make_accum 2 in
+  ignore (Pair_interactions.compute_all_pairs ev box positions acc);
+  check_true "repulsive virial positive" (acc.Bonded.virial > 0.)
+
+let () =
+  Alcotest.run "mdsp_ff"
+    [
+      ( "nonbonded",
+        [
+          Alcotest.test_case "LJ minimum" `Quick test_lj_minimum;
+          Alcotest.test_case "all forms force consistency" `Quick
+            test_forms_force_consistency;
+          Alcotest.test_case "soft-core limits" `Quick test_softcore_limits;
+          Alcotest.test_case "Morse well" `Quick test_morse_well;
+          Alcotest.test_case "Yukawa screening" `Quick test_yukawa_screening;
+          Alcotest.test_case "shift continuity" `Quick
+            test_truncation_shift_continuous;
+          Alcotest.test_case "switch truncation" `Quick test_truncation_switch;
+          Alcotest.test_case "Lorentz-Berthelot" `Quick test_lorentz_berthelot;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "builder" `Quick test_topology_builder;
+          Alcotest.test_case "validation" `Quick test_topology_validation;
+          Alcotest.test_case "type id check" `Quick test_topology_type_id_check;
+        ] );
+      ( "bonded",
+        [
+          Alcotest.test_case "forces match numeric gradient" `Quick
+            test_bonded_forces_match_numeric;
+          Alcotest.test_case "improper energy/forces" `Quick
+            test_improper_forces_and_energy;
+          Alcotest.test_case "improper angle wrap" `Quick
+            test_improper_angle_wrap;
+          Alcotest.test_case "bond energy value" `Quick test_bond_energy_value;
+          Alcotest.test_case "angle at reference" `Quick
+            test_angle_energy_at_reference;
+          Alcotest.test_case "dihedral periodicity" `Quick
+            test_dihedral_energy_period;
+          Alcotest.test_case "Newton's third law" `Quick
+            test_bonded_newton_third_law_random;
+        ] );
+      ( "pairs14",
+        [
+          Alcotest.test_case "detection" `Quick test_pairs14_detected;
+          Alcotest.test_case "scaling" `Quick test_pairs14_energy_scales;
+          Alcotest.test_case "forces" `Quick test_pairs14_forces_numeric;
+        ] );
+      ("water", [ Alcotest.test_case "geometry" `Quick test_water_geometry ]);
+      ( "pair_evaluator",
+        [
+          Alcotest.test_case "coulomb variants force consistency" `Quick
+            test_evaluator_coulomb_variants_force_consistency;
+          Alcotest.test_case "zero beyond cutoff" `Quick
+            test_evaluator_zero_beyond_cutoff;
+          Alcotest.test_case "all-pairs matches neighbor list" `Quick
+            test_compute_all_pairs_matches_nlist;
+          Alcotest.test_case "virial sign" `Quick test_pair_virial_sign;
+        ] );
+    ]

@@ -1,0 +1,330 @@
+(* Tests for the programmable-core kernel DSL: symbolic differentiation,
+   simplification, op counting, parameter handling, and the restraint
+   kernels built on it. *)
+
+open Mdsp_util
+open Mdsp_core
+open Mdsp_core.Kernel
+open Testsupport
+
+let params_fn bindings p =
+  match List.assoc_opt p bindings with
+  | Some v -> v
+  | None -> Alcotest.failf "unbound parameter %s" p
+
+let eval_at ?(params = []) ?(time = 0.) ?(vel = Vec3.zero) ?(aux = [||]) e pos =
+  eval_expr e ~params:(params_fn params) ~time ~pos ~vel ~aux
+
+(* Numeric partial derivative of an expression along x/y/z. *)
+let numeric_diff e axis pos =
+  let h = 1e-6 in
+  let shift d =
+    match axis with
+    | `X -> Vec3.make (pos.Vec3.x +. d) pos.Vec3.y pos.Vec3.z
+    | `Y -> Vec3.make pos.Vec3.x (pos.Vec3.y +. d) pos.Vec3.z
+    | `Z -> Vec3.make pos.Vec3.x pos.Vec3.y (pos.Vec3.z +. d)
+  in
+  (eval_at e (shift h) -. eval_at e (shift (-.h))) /. (2. *. h)
+
+let check_diff ?(rel = 1e-4) e pos =
+  List.iter
+    (fun axis ->
+      let analytic = eval_at (simplify (diff e axis)) pos in
+      let numeric = numeric_diff e axis pos in
+      let tol = Float.max (abs_float numeric *. rel) 1e-6 in
+      if abs_float (analytic -. numeric) > tol then
+        Alcotest.failf "derivative mismatch: analytic %g vs numeric %g"
+          analytic numeric)
+    [ `X; `Y; `Z ]
+
+let test_diff_polynomial () =
+  (* E = x^2 y + 3 z *)
+  let e = (sq X * Y) + (c 3. * Z) in
+  let pos = Vec3.make 2. 5. (-1.) in
+  check_diff e pos;
+  check_float ~eps:1e-12 "dE/dx = 2xy" 20. (eval_at (simplify (diff e `X)) pos);
+  check_float ~eps:1e-12 "dE/dz = 3" 3. (eval_at (simplify (diff e `Z)) pos)
+
+let test_diff_transcendentals () =
+  let exprs =
+    [
+      Exp (Neg (sq X));
+      Log (c 1. + sq X + sq Y);
+      Cos (X * Y);
+      Sin (X / (c 1. + sq Z));
+      Sqrt (c 1. + sq X + sq Y + sq Z);
+      Pow_int (c 1. + sq X, 3);
+    ]
+  in
+  let pos = Vec3.make 0.7 (-0.4) 1.2 in
+  List.iter (fun e -> check_diff e pos) exprs
+
+let test_diff_min_max_smoothed () =
+  (* Flat-bottom style expression: max(r - r0, 0)^2. *)
+  let r = Sqrt (sq X + sq Y + sq Z) in
+  let e = sq (Max (r - c 2., c 0.)) in
+  (* Outside the flat region. *)
+  check_diff e (Vec3.make 2.5 1. 0.5);
+  (* Well inside: derivative must be ~0. *)
+  let dx = simplify (diff e `X) in
+  check_true "flat inside"
+    (abs_float (eval_at dx (Vec3.make 0.5 0.3 0.2)) < 1e-6)
+
+let test_simplify_constant_folding () =
+  check_true "adds" (simplify (c 2. + c 3.) = Const 5.);
+  check_true "mul zero" (simplify (X * c 0.) = Const 0.);
+  check_true "mul one" (simplify (X * c 1.) = X);
+  check_true "add zero" (simplify (X + c 0.) = X);
+  check_true "pow zero" (simplify (Pow_int (X, 0)) = Const 1.);
+  check_true "neg neg" (simplify (Neg (Neg X)) = X);
+  check_true "nested" (simplify ((c 1. * X) + (c 0. * Y)) = X)
+
+let test_expr_ops_counts () =
+  Alcotest.(check int) "leaf" 0 (expr_ops X);
+  Alcotest.(check int) "one add" 1 (expr_ops (X + Y));
+  check_true "transcendental costs more" (expr_ops (Exp X) >= 4)
+
+let test_kernel_create_rejects_velocity () =
+  Alcotest.check_raises "velocity in energy"
+    (Invalid_argument "Kernel.create: energy must not reference velocities")
+    (fun () ->
+      ignore (create ~name:"bad" ~energy:(Vx * X) ~particles:[| 0 |] ~params:[]))
+
+let test_kernel_create_rejects_unbound_param () =
+  Alcotest.check_raises "unbound parameter"
+    (Invalid_argument "Kernel.create: unbound parameter \"k\"") (fun () ->
+      ignore
+        (create ~name:"bad" ~energy:(Param "k" * X) ~particles:[| 0 |]
+           ~params:[]))
+
+let test_kernel_params () =
+  let k =
+    create ~name:"t" ~energy:(Param "a" * X) ~particles:[| 0 |]
+      ~params:[ ("a", 2.) ]
+  in
+  check_float ~eps:0. "get" 2. (get_param k "a");
+  set_param k "a" 5.;
+  check_float ~eps:0. "set" 5. (get_param k "a");
+  Alcotest.check_raises "unknown set"
+    (Invalid_argument "Kernel.set_param: unknown parameter \"zz\"") (fun () ->
+      set_param k "zz" 0.)
+
+let test_kernel_bias_forces_match_numeric () =
+  (* Anisotropic quartic restraint through the full bias path. *)
+  let energy =
+    (c 0.5 * sq (X - Param "x0"))
+    + (c 0.25 * Pow_int (Y, 4))
+    + (c 2.0 * sq Z)
+  in
+  let k =
+    create ~name:"quartic" ~energy ~particles:[| 0; 2 |]
+      ~params:[ ("x0", 1.0) ]
+  in
+  let bias = Kernel.to_bias ~time:(fun () -> 0.) k in
+  let box = Pbc.cubic 20. in
+  let positions =
+    [| Vec3.make 11. 12. 9.5; Vec3.make 3. 3. 3.; Vec3.make 8.7 10.2 10.9 |]
+  in
+  let acc = Mdsp_ff.Bonded.make_accum 3 in
+  let e = bias.Mdsp_md.Force_calc.bias_compute box positions acc in
+  check_true "energy positive" (e > 0.);
+  let numeric =
+    numeric_forces ~h:1e-6
+      (fun p ->
+        let a = Mdsp_ff.Bonded.make_accum 3 in
+        bias.Mdsp_md.Force_calc.bias_compute box p a)
+      positions
+  in
+  check_true "bias forces match numeric"
+    (max_vec_diff acc.Mdsp_ff.Bonded.forces numeric < 1e-4);
+  (* Particle 1 is not in the kernel's set. *)
+  check_true "unlisted particle untouched"
+    (Vec3.norm acc.Mdsp_ff.Bonded.forces.(1) = 0.)
+
+let test_kernel_time_dependence () =
+  (* Moving restraint center via Time. *)
+  let energy = sq (X - (Param "v" * Time)) in
+  let k =
+    create ~name:"mover" ~energy ~particles:[| 0 |] ~params:[ ("v", 2.) ]
+  in
+  let now = ref 0. in
+  let bias = Kernel.to_bias ~time:(fun () -> !now) k in
+  let box = Pbc.cubic 20. in
+  let positions = [| Vec3.make 10. 10. 10. |] in
+  (* x relative to center = 0. *)
+  let acc = Mdsp_ff.Bonded.make_accum 1 in
+  let e0 = bias.Mdsp_md.Force_calc.bias_compute box positions acc in
+  check_float ~eps:1e-12 "at t=0 center is origin" 0. e0;
+  now := 1.5;
+  let acc2 = Mdsp_ff.Bonded.make_accum 1 in
+  let e1 = bias.Mdsp_md.Force_calc.bias_compute box positions acc2 in
+  check_close ~rel:1e-12 "center moved to v t = 3" 9. e1
+
+let test_kernel_aux_and_time_leaves () =
+  (* Aux and Time are constants under spatial differentiation. *)
+  let e = (Aux 0 * X) + (Time * Y) in
+  let dx = simplify (diff e `X) in
+  let v =
+    eval_expr dx
+      ~params:(fun _ -> 0.)
+      ~time:7.
+      ~pos:(Vec3.make 2. 3. 4.)
+      ~vel:Vec3.zero ~aux:[| 5. |]
+  in
+  check_float ~eps:1e-12 "d/dx = aux0" 5. v;
+  let dy = simplify (diff e `Y) in
+  let v2 =
+    eval_expr dy
+      ~params:(fun _ -> 0.)
+      ~time:7.
+      ~pos:(Vec3.make 2. 3. 4.)
+      ~vel:Vec3.zero ~aux:[| 5. |]
+  in
+  check_float ~eps:1e-12 "d/dy = time" 7. v2;
+  (* Out-of-range aux slots read as zero. *)
+  let v3 =
+    eval_expr (Aux 3)
+      ~params:(fun _ -> 0.)
+      ~time:0. ~pos:Vec3.zero ~vel:Vec3.zero ~aux:[| 1. |]
+  in
+  check_float ~eps:0. "missing aux is zero" 0. v3
+
+let test_negative_power () =
+  (* Pow_int with a negative exponent: x^-2. *)
+  let e = Pow_int (X, -2) in
+  let v =
+    eval_expr e
+      ~params:(fun _ -> 0.)
+      ~time:0.
+      ~pos:(Vec3.make 2. 0. 0.)
+      ~vel:Vec3.zero ~aux:[||]
+  in
+  check_close ~rel:1e-12 "x^-2" 0.25 v
+
+let test_ops_and_flex_cost () =
+  let k =
+    create ~name:"posre"
+      ~energy:(c 1.5 * (sq (X - c 0.) + sq (Y - c 0.) + sq (Z - c 0.)))
+      ~particles:(Array.init 10 Fun.id)
+      ~params:[]
+  in
+  check_true "ops positive" (ops_per_particle k > 0);
+  check_close ~rel:1e-12 "flex ops = ops * particles"
+    (float_of_int (Stdlib.( * ) (ops_per_particle k) 10))
+    (flex_ops k)
+
+(* --- Restraints built on the DSL --- *)
+
+let test_position_restraint () =
+  let kern =
+    Restraints.position ~name:"posre" ~particles:[| 0 |] ~k:3.
+      ~reference:(Vec3.make 1. 0. (-1.))
+  in
+  let bias = Kernel.to_bias ~time:(fun () -> 0.) kern in
+  let box = Pbc.cubic 20. in
+  (* Particle at center+(2,0,-1): displacement from ref = (1,0,0). *)
+  let positions = [| Vec3.make 12. 10. 9. |] in
+  let acc = Mdsp_ff.Bonded.make_accum 1 in
+  let e = bias.Mdsp_md.Force_calc.bias_compute box positions acc in
+  check_close ~rel:1e-9 "energy k dx^2" 3. e;
+  check_close ~rel:1e-9 "restoring force" (-6.)
+    acc.Mdsp_ff.Bonded.forces.(0).Vec3.x
+
+let test_flat_bottom_restraint () =
+  let kern =
+    Restraints.flat_bottom ~name:"fb" ~particles:[| 0 |] ~k:2. ~radius:3.
+  in
+  let bias = Kernel.to_bias ~time:(fun () -> 0.) kern in
+  let box = Pbc.cubic 20. in
+  (* Inside the bubble: no force, no energy. *)
+  let acc = Mdsp_ff.Bonded.make_accum 1 in
+  let e_in =
+    bias.Mdsp_md.Force_calc.bias_compute box [| Vec3.make 11. 10. 10. |] acc
+  in
+  check_true "inside free" (abs_float e_in < 1e-8);
+  check_true "inside no force" (Vec3.norm acc.Mdsp_ff.Bonded.forces.(0) < 1e-6);
+  (* Outside at r=5: E = k (r - r0)^2 = 2 * 4 = 8, force points inward. *)
+  let acc2 = Mdsp_ff.Bonded.make_accum 1 in
+  let e_out =
+    bias.Mdsp_md.Force_calc.bias_compute box [| Vec3.make 15. 10. 10. |] acc2
+  in
+  check_close ~rel:1e-6 "wall energy" 8. e_out;
+  check_true "wall pushes inward" (acc2.Mdsp_ff.Bonded.forces.(0).Vec3.x < 0.)
+
+let test_distance_restraint () =
+  let bias = Restraints.distance ~name:"dr" ~i:0 ~j:1 ~k:10. ~target:2. in
+  let box = Pbc.cubic 20. in
+  let positions = [| Vec3.make 10. 10. 10.; Vec3.make 13. 10. 10. |] in
+  let acc = Mdsp_ff.Bonded.make_accum 2 in
+  let e = bias.Mdsp_md.Force_calc.bias_compute box positions acc in
+  (* (3 - 2)^2 * 10 *)
+  check_close ~rel:1e-9 "energy" 10. e;
+  check_true "attractive"
+    (acc.Mdsp_ff.Bonded.forces.(0).Vec3.x > 0.
+    && acc.Mdsp_ff.Bonded.forces.(1).Vec3.x < 0.);
+  check_true "Newton pairwise"
+    (Vec3.equal_eps ~eps:1e-9 acc.Mdsp_ff.Bonded.forces.(0)
+       (Vec3.neg acc.Mdsp_ff.Bonded.forces.(1)))
+
+let prop_random_polynomials_differentiate =
+  (* Random polynomial energies in x, y, z: symbolic = numeric. *)
+  let gen =
+    QCheck.(
+      quad (float_range (-2.) 2.) (float_range (-2.) 2.) (float_range (-2.) 2.)
+        (int_range 1 3))
+  in
+  qtest "random polynomial derivatives" ~count:50 gen
+    (fun (a, b, cc, p) ->
+      let e =
+        (c a * Pow_int (X, p) * Y) + (c b * sq Y * Z) + (c cc * Pow_int (Z, p))
+      in
+      let pos = Vec3.make 0.9 (-1.1) 0.6 in
+      List.for_all
+        (fun axis ->
+          let analytic = eval_at (simplify (diff e axis)) pos in
+          let numeric = numeric_diff e axis pos in
+          abs_float (analytic -. numeric)
+          <= Float.max (1e-4 *. abs_float numeric) 1e-5)
+        [ `X; `Y; `Z ])
+
+let () =
+  Alcotest.run "mdsp_core_kernel"
+    [
+      ( "differentiation",
+        [
+          Alcotest.test_case "polynomial" `Quick test_diff_polynomial;
+          Alcotest.test_case "transcendentals" `Quick
+            test_diff_transcendentals;
+          Alcotest.test_case "min/max smoothing" `Quick
+            test_diff_min_max_smoothed;
+          prop_random_polynomials_differentiate;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "constant folding" `Quick
+            test_simplify_constant_folding;
+          Alcotest.test_case "op counting" `Quick test_expr_ops_counts;
+          Alcotest.test_case "rejects velocity" `Quick
+            test_kernel_create_rejects_velocity;
+          Alcotest.test_case "rejects unbound param" `Quick
+            test_kernel_create_rejects_unbound_param;
+          Alcotest.test_case "parameters" `Quick test_kernel_params;
+          Alcotest.test_case "flex cost" `Quick test_ops_and_flex_cost;
+          Alcotest.test_case "aux and time leaves" `Quick
+            test_kernel_aux_and_time_leaves;
+          Alcotest.test_case "negative power" `Quick test_negative_power;
+        ] );
+      ( "bias",
+        [
+          Alcotest.test_case "forces match numeric" `Quick
+            test_kernel_bias_forces_match_numeric;
+          Alcotest.test_case "time dependence" `Quick
+            test_kernel_time_dependence;
+        ] );
+      ( "restraints",
+        [
+          Alcotest.test_case "position" `Quick test_position_restraint;
+          Alcotest.test_case "flat bottom" `Quick test_flat_bottom_restraint;
+          Alcotest.test_case "distance" `Quick test_distance_restraint;
+        ] );
+    ]

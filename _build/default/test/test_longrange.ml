@@ -1,0 +1,338 @@
+(* Tests for Mdsp_longrange: FFT, classic Ewald (Madelung constants), and
+   the Gaussian-split-Ewald grid solver. *)
+
+open Mdsp_util
+open Mdsp_longrange
+open Testsupport
+
+(* --- FFT --- *)
+
+let test_fft_pow2_helpers () =
+  check_true "8 is pow2" (Fft.is_pow2 8);
+  check_true "12 is not" (not (Fft.is_pow2 12));
+  Alcotest.(check int) "next pow2" 16 (Fft.next_pow2 9);
+  Alcotest.(check int) "next pow2 exact" 8 (Fft.next_pow2 8)
+
+let test_fft_delta_function () =
+  (* FFT of a delta at 0 is all ones. *)
+  let n = 16 in
+  let re = Array.make n 0. and im = Array.make n 0. in
+  re.(0) <- 1.;
+  Fft.fft_1d ~sign:(-1) re im;
+  Array.iter (fun x -> check_float ~eps:1e-12 "re = 1" 1. x) re;
+  Array.iter (fun x -> check_float ~eps:1e-12 "im = 0" 0. x) im
+
+let test_fft_roundtrip () =
+  let n = 64 in
+  let rng = Rng.create 61 in
+  let re0 = Array.init n (fun _ -> Rng.gaussian rng) in
+  let im0 = Array.init n (fun _ -> Rng.gaussian rng) in
+  let re = Array.copy re0 and im = Array.copy im0 in
+  Fft.fft_1d ~sign:(-1) re im;
+  Fft.fft_1d ~sign:1 re im;
+  for i = 0 to n - 1 do
+    check_float ~eps:1e-9 "re roundtrip" re0.(i) (re.(i) /. float_of_int n);
+    check_float ~eps:1e-9 "im roundtrip" im0.(i) (im.(i) /. float_of_int n)
+  done
+
+let test_fft_parseval () =
+  let n = 128 in
+  let rng = Rng.create 62 in
+  let re = Array.init n (fun _ -> Rng.gaussian rng) in
+  let im = Array.make n 0. in
+  let time_energy =
+    Array.fold_left (fun a x -> a +. (x *. x)) 0. re
+  in
+  Fft.fft_1d ~sign:(-1) re im;
+  let freq_energy = ref 0. in
+  for i = 0 to n - 1 do
+    freq_energy := !freq_energy +. (re.(i) *. re.(i)) +. (im.(i) *. im.(i))
+  done;
+  check_close ~rel:1e-9 "Parseval" time_energy (!freq_energy /. float_of_int n)
+
+let test_fft_single_mode () =
+  (* cos(2 pi k0 x / n) has peaks at +-k0 only. *)
+  let n = 32 and k0 = 5 in
+  let re =
+    Array.init n (fun i ->
+        cos (2. *. Float.pi *. float_of_int (k0 * i) /. float_of_int n))
+  in
+  let im = Array.make n 0. in
+  Fft.fft_1d ~sign:(-1) re im;
+  for k = 0 to n - 1 do
+    let expected = if k = k0 || k = n - k0 then float_of_int n /. 2. else 0. in
+    check_float ~eps:1e-9 (Printf.sprintf "mode %d" k) expected re.(k)
+  done
+
+let test_fft_3d_roundtrip () =
+  let nx, ny, nz = (8, 4, 16) in
+  let total = nx * ny * nz in
+  let rng = Rng.create 63 in
+  let re0 = Array.init total (fun _ -> Rng.gaussian rng) in
+  let re = Array.copy re0 and im = Array.make total 0. in
+  Fft.fft_3d ~sign:(-1) ~nx ~ny ~nz re im;
+  Fft.fft_3d ~sign:1 ~nx ~ny ~nz re im;
+  let scale = 1. /. float_of_int total in
+  for i = 0 to total - 1 do
+    check_float ~eps:1e-9 "3d roundtrip" re0.(i) (re.(i) *. scale)
+  done
+
+let test_fft_rejects_non_pow2 () =
+  Alcotest.check_raises "length 12"
+    (Invalid_argument "Fft.fft_1d: length must be a power of 2") (fun () ->
+      Fft.fft_1d ~sign:(-1) (Array.make 12 0.) (Array.make 12 0.))
+
+(* --- Ewald --- *)
+
+(* Rock-salt (NaCl) structure: Madelung constant 1.747565. *)
+let nacl_system () =
+  let a = 2.0 in
+  let box = Pbc.cubic a in
+  let positions = ref [] and charges = ref [] in
+  for x = 0 to 1 do
+    for y = 0 to 1 do
+      for z = 0 to 1 do
+        positions :=
+          Vec3.make (float_of_int x) (float_of_int y) (float_of_int z)
+          :: !positions;
+        charges := (if (x + y + z) mod 2 = 0 then 1.0 else -1.0) :: !charges
+      done
+    done
+  done;
+  (box, Array.of_list !positions, Array.of_list !charges)
+
+let test_ewald_madelung_nacl () =
+  let box, pos, q = nacl_system () in
+  let ew = Ewald.create ~beta:2.5 ~kmax:12 box in
+  let e = Ewald.total_reference ew box q pos in
+  (* E_total = -N_pairs * M * C / r0 with 4 formula units and r0 = 1. *)
+  let madelung = -.e /. (Units.coulomb *. 4.0) in
+  check_close ~rel:2e-3 "NaCl Madelung constant" 1.747565 madelung
+
+let test_ewald_beta_independence () =
+  (* The total must not depend on the splitting parameter. *)
+  let box, pos, q = nacl_system () in
+  let e1 = Ewald.total_reference (Ewald.create ~beta:2.0 ~kmax:14 box) box q pos in
+  let e2 = Ewald.total_reference (Ewald.create ~beta:3.0 ~kmax:18 box) box q pos in
+  check_close ~rel:2e-3 "beta independence" e1 e2
+
+let test_ewald_cscl_madelung () =
+  (* CsCl structure: body-centered, Madelung constant 1.762675 (in units of
+     the nearest-neighbor distance sqrt(3)/2 a). *)
+  let box = Pbc.cubic 2.0 in
+  (* Two interpenetrating cubic lattices: + at corners, - at centers, for a
+     2x2x2 supercell of unit cells of edge 1. *)
+  let positions = ref [] and charges = ref [] in
+  for x = 0 to 1 do
+    for y = 0 to 1 do
+      for z = 0 to 1 do
+        positions :=
+          Vec3.make (float_of_int x) (float_of_int y) (float_of_int z)
+          :: !positions;
+        charges := 1.0 :: !charges;
+        positions :=
+          Vec3.make
+            (float_of_int x +. 0.5)
+            (float_of_int y +. 0.5)
+            (float_of_int z +. 0.5)
+          :: !positions;
+        charges := (-1.0) :: !charges
+      done
+    done
+  done;
+  let pos = Array.of_list !positions and q = Array.of_list !charges in
+  let ew = Ewald.create ~beta:2.5 ~kmax:12 box in
+  let e = Ewald.total_reference ew box q pos in
+  let r_nn = sqrt 3. /. 2. in
+  (* 8 formula units. *)
+  let madelung = -.e *. r_nn /. (Units.coulomb *. 8.0) in
+  check_close ~rel:2e-3 "CsCl Madelung constant" 1.762675 madelung
+
+let test_ewald_reciprocal_forces_numeric () =
+  let box = Pbc.cubic 10. in
+  let rng = Rng.create 64 in
+  let n = 8 in
+  let pos =
+    Array.init n (fun _ ->
+        Vec3.make
+          (Rng.uniform_in rng 0. 10.)
+          (Rng.uniform_in rng 0. 10.)
+          (Rng.uniform_in rng 0. 10.))
+  in
+  let q = Array.init n (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  let ew = Ewald.create ~beta:0.4 ~kmax:8 box in
+  let acc = Mdsp_ff.Bonded.make_accum n in
+  ignore (Ewald.reciprocal ew q pos acc);
+  let numeric =
+    numeric_forces ~h:1e-5
+      (fun p ->
+        let a = Mdsp_ff.Bonded.make_accum n in
+        Ewald.reciprocal ew q p a)
+      pos
+  in
+  check_true "reciprocal forces match numeric"
+    (max_vec_diff acc.Mdsp_ff.Bonded.forces numeric < 1e-4)
+
+let test_ewald_self_energy () =
+  let box = Pbc.cubic 10. in
+  let ew = Ewald.create ~beta:0.5 ~kmax:4 box in
+  let q = [| 1.; -1.; 2. |] in
+  check_close ~rel:1e-9 "self energy"
+    (-0.5 /. sqrt Float.pi *. 6. *. Units.coulomb)
+    (Ewald.self_energy ew q)
+
+let test_ewald_excluded_correction_forces () =
+  let box = Pbc.cubic 12. in
+  let pos = [| Vec3.make 5. 5. 5.; Vec3.make 6.1 5. 5.; Vec3.make 5. 7. 5. |] in
+  let q = [| 0.4; -0.4; 0.2 |] in
+  let ex = Mdsp_space.Exclusions.of_pairs ~n:3 [ (0, 1) ] in
+  let ew = Ewald.create ~beta:0.4 ~kmax:4 box in
+  let acc = Mdsp_ff.Bonded.make_accum 3 in
+  ignore (Ewald.excluded_correction ew box q pos ex acc);
+  let numeric =
+    numeric_forces ~h:1e-6
+      (fun p ->
+        let a = Mdsp_ff.Bonded.make_accum 3 in
+        Ewald.excluded_correction ew box q p ex a)
+      pos
+  in
+  check_true "excluded-correction forces match numeric"
+    (max_vec_diff acc.Mdsp_ff.Bonded.forces numeric < 1e-5);
+  (* Atom 2 is not in any excluded pair: zero force. *)
+  check_true "uninvolved atom untouched"
+    (Vec3.norm acc.Mdsp_ff.Bonded.forces.(2) < 1e-12)
+
+(* --- GSE --- *)
+
+let random_neutral_system seed n box_l =
+  let rng = Rng.create seed in
+  let box = Pbc.cubic box_l in
+  let pos =
+    Array.init n (fun _ ->
+        Vec3.make
+          (Rng.uniform_in rng 0. box_l)
+          (Rng.uniform_in rng 0. box_l)
+          (Rng.uniform_in rng 0. box_l))
+  in
+  let q = Array.init n (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  (box, pos, q)
+
+let test_gse_matches_ewald_energy () =
+  let box, pos, q = random_neutral_system 65 20 10. in
+  let beta = 0.35 in
+  let ew = Ewald.create ~beta ~kmax:14 box in
+  let acc1 = Mdsp_ff.Bonded.make_accum 20 in
+  let e_ref = Ewald.reciprocal ew q pos acc1 in
+  let gse = Gse.create ~beta ~grid:(32, 32, 32) box in
+  let acc2 = Mdsp_ff.Bonded.make_accum 20 in
+  let e_gse = Gse.reciprocal gse q pos acc2 in
+  check_close ~rel:2e-3 "reciprocal energy" e_ref e_gse
+
+let test_gse_matches_ewald_forces () =
+  let box, pos, q = random_neutral_system 66 20 10. in
+  let beta = 0.35 in
+  let ew = Ewald.create ~beta ~kmax:14 box in
+  let acc1 = Mdsp_ff.Bonded.make_accum 20 in
+  ignore (Ewald.reciprocal ew q pos acc1);
+  let gse = Gse.create ~beta ~grid:(32, 32, 32) box in
+  let acc2 = Mdsp_ff.Bonded.make_accum 20 in
+  ignore (Gse.reciprocal gse q pos acc2);
+  (* Typical force magnitude sets the error scale. *)
+  let rms = ref 0. in
+  Array.iter (fun f -> rms := !rms +. Vec3.norm2 f) acc1.Mdsp_ff.Bonded.forces;
+  let rms = sqrt (!rms /. 20.) in
+  let err =
+    max_vec_diff acc1.Mdsp_ff.Bonded.forces acc2.Mdsp_ff.Bonded.forces /. rms
+  in
+  check_true (Printf.sprintf "relative force error %.2e < 2%%" err) (err < 0.02)
+
+let test_gse_grid_refinement_improves () =
+  let box, pos, q = random_neutral_system 67 16 10. in
+  let beta = 0.35 in
+  let ew = Ewald.create ~beta ~kmax:14 box in
+  let acc = Mdsp_ff.Bonded.make_accum 16 in
+  let e_ref = Ewald.reciprocal ew q pos acc in
+  let err grid =
+    let gse = Gse.create ~beta ~grid box in
+    let a = Mdsp_ff.Bonded.make_accum 16 in
+    abs_float (Gse.reciprocal gse q pos a -. e_ref)
+  in
+  let e16 = err (16, 16, 16) and e32 = err (32, 32, 32) in
+  check_true
+    (Printf.sprintf "finer grid better: %.2e -> %.2e" e16 e32)
+    (e32 < e16)
+
+let test_gse_virial_matches_ewald () =
+  let box, pos, q = random_neutral_system 68 20 10. in
+  let beta = 0.35 in
+  let ew = Ewald.create ~beta ~kmax:14 box in
+  let acc1 = Mdsp_ff.Bonded.make_accum 20 in
+  ignore (Ewald.reciprocal ew q pos acc1);
+  let gse = Gse.create ~beta ~grid:(32, 32, 32) box in
+  let acc2 = Mdsp_ff.Bonded.make_accum 20 in
+  ignore (Gse.reciprocal gse q pos acc2);
+  check_close ~rel:5e-3 "reciprocal virial" acc1.Mdsp_ff.Bonded.virial
+    acc2.Mdsp_ff.Bonded.virial
+
+let test_gse_rejects_bad_config () =
+  let box = Pbc.cubic 10. in
+  Alcotest.check_raises "non-pow2 grid"
+    (Invalid_argument "Gse.create: grid dims must be powers of two") (fun () ->
+      ignore (Gse.create ~beta:0.3 ~grid:(12, 16, 16) box));
+  Alcotest.check_raises "sigma too large"
+    (Invalid_argument "Gse.create: sigma_s must be <= 1/(2 beta)") (fun () ->
+      ignore (Gse.create ~beta:0.3 ~grid:(16, 16, 16) ~sigma_s:2.0 box))
+
+let test_gse_chargeless_is_zero () =
+  let box = Pbc.cubic 10. in
+  let gse = Gse.create ~beta:0.35 ~grid:(16, 16, 16) box in
+  let pos = [| Vec3.make 1. 1. 1.; Vec3.make 5. 5. 5. |] in
+  let acc = Mdsp_ff.Bonded.make_accum 2 in
+  let e = Gse.reciprocal gse [| 0.; 0. |] pos acc in
+  check_float ~eps:0. "zero energy" 0. e;
+  Array.iter
+    (fun f -> check_true "zero forces" (Vec3.norm f = 0.))
+    acc.Mdsp_ff.Bonded.forces
+
+let () =
+  Alcotest.run "mdsp_longrange"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "pow2 helpers" `Quick test_fft_pow2_helpers;
+          Alcotest.test_case "delta function" `Quick test_fft_delta_function;
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "Parseval" `Quick test_fft_parseval;
+          Alcotest.test_case "single mode" `Quick test_fft_single_mode;
+          Alcotest.test_case "3d roundtrip" `Quick test_fft_3d_roundtrip;
+          Alcotest.test_case "rejects non-pow2" `Quick
+            test_fft_rejects_non_pow2;
+        ] );
+      ( "ewald",
+        [
+          Alcotest.test_case "NaCl Madelung" `Quick test_ewald_madelung_nacl;
+          Alcotest.test_case "beta independence" `Quick
+            test_ewald_beta_independence;
+          Alcotest.test_case "CsCl Madelung" `Quick test_ewald_cscl_madelung;
+          Alcotest.test_case "reciprocal forces numeric" `Quick
+            test_ewald_reciprocal_forces_numeric;
+          Alcotest.test_case "self energy" `Quick test_ewald_self_energy;
+          Alcotest.test_case "excluded correction forces" `Quick
+            test_ewald_excluded_correction_forces;
+        ] );
+      ( "gse",
+        [
+          Alcotest.test_case "matches Ewald energy" `Quick
+            test_gse_matches_ewald_energy;
+          Alcotest.test_case "matches Ewald forces" `Quick
+            test_gse_matches_ewald_forces;
+          Alcotest.test_case "grid refinement improves" `Quick
+            test_gse_grid_refinement_improves;
+          Alcotest.test_case "virial matches Ewald" `Quick
+            test_gse_virial_matches_ewald;
+          Alcotest.test_case "rejects bad config" `Quick
+            test_gse_rejects_bad_config;
+          Alcotest.test_case "chargeless zero" `Quick
+            test_gse_chargeless_is_zero;
+        ] );
+    ]

@@ -1,0 +1,701 @@
+(* Tests for Mdsp_md: state, constraints, force aggregation, integrators,
+   thermostats, barostats, RESPA. *)
+
+open Mdsp_util
+open Mdsp_md
+open Testsupport
+module E = Engine
+
+(* --- State --- *)
+
+let test_state_kinetic_temperature () =
+  let st =
+    State.create
+      ~positions:[| Vec3.zero; Vec3.make 1. 0. 0. |]
+      ~masses:[| 2.; 4. |] ~box:(Pbc.cubic 10.)
+  in
+  st.State.velocities.(0) <- Vec3.make 3. 0. 0.;
+  st.State.velocities.(1) <- Vec3.make 0. 1. 0.;
+  (* KE = 0.5*2*9 + 0.5*4*1 = 11 *)
+  check_float ~eps:1e-12 "kinetic" 11. (State.kinetic_energy st);
+  check_close ~rel:1e-9 "temperature" (22. /. (3. *. Units.k_b))
+    (State.temperature st ~dof:3)
+
+let test_state_thermalize_temperature () =
+  let n = 2000 in
+  let st =
+    State.create
+      ~positions:(Array.make n Vec3.zero)
+      ~masses:(Array.make n 12.) ~box:(Pbc.cubic 100.)
+  in
+  State.thermalize st (Rng.create 71) ~temp:300.;
+  let t = State.temperature st ~dof:((3 * n) - 3) in
+  check_close ~rel:0.05 "thermalized temperature" 300. t;
+  (* COM at rest. *)
+  let p = ref Vec3.zero in
+  Array.iteri
+    (fun i v -> p := Vec3.add !p (Vec3.scale st.State.masses.(i) v))
+    st.State.velocities;
+  check_true "zero total momentum" (Vec3.norm !p < 1e-9)
+
+let test_state_copy_blit () =
+  let st =
+    State.create
+      ~positions:[| Vec3.make 1. 2. 3. |]
+      ~masses:[| 1. |] ~box:(Pbc.cubic 5.)
+  in
+  let c = State.copy st in
+  c.State.positions.(0) <- Vec3.zero;
+  check_true "copy is deep"
+    (Vec3.equal_eps ~eps:0. st.State.positions.(0) (Vec3.make 1. 2. 3.));
+  State.blit ~src:c ~dst:st;
+  check_true "blit copies" (Vec3.norm st.State.positions.(0) = 0.)
+
+let test_scale_velocities () =
+  let st =
+    State.create ~positions:[| Vec3.zero |] ~masses:[| 1. |]
+      ~box:(Pbc.cubic 5.)
+  in
+  st.State.velocities.(0) <- Vec3.make 1. 2. 3.;
+  State.scale_velocities st 2.;
+  check_true "scaled"
+    (Vec3.equal_eps ~eps:1e-12 st.State.velocities.(0) (Vec3.make 2. 4. 6.))
+
+(* --- Constraints --- *)
+
+let water_topology () =
+  let b = Mdsp_ff.Topology.Builder.create () in
+  Mdsp_ff.Topology.Builder.set_lj_types b [| Mdsp_ff.Water.o_lj; (0., 1.) |];
+  let rng = Rng.create 72 in
+  let _, pos =
+    Mdsp_ff.Water.add_molecule b ~o_type:0 ~h_type:1
+      ~center:(Vec3.make 5. 5. 5.) ~orient:rng
+  in
+  (Mdsp_ff.Topology.Builder.finish b, pos)
+
+let test_shake_restores_constraints () =
+  let topo, pos = water_topology () in
+  let cons = Constraints.create topo in
+  let box = Pbc.cubic 10. in
+  let masses = Mdsp_ff.Topology.masses topo in
+  (* Distort the molecule and let SHAKE repair it using the undistorted
+     geometry as the reference. *)
+  let distorted = Array.copy pos in
+  distorted.(1) <- Vec3.add distorted.(1) (Vec3.make 0.1 (-0.05) 0.02);
+  distorted.(2) <- Vec3.add distorted.(2) (Vec3.make (-0.03) 0.08 0.01);
+  Constraints.shake cons box ~prev:pos distorted ~masses;
+  check_true "constraints satisfied"
+    (Constraints.max_violation cons box distorted < 1e-7)
+
+let test_rattle_removes_radial_velocity () =
+  let topo, pos = water_topology () in
+  let cons = Constraints.create topo in
+  let box = Pbc.cubic 10. in
+  let masses = Mdsp_ff.Topology.masses topo in
+  let rng = Rng.create 73 in
+  let vel = Array.init 3 (fun _ -> Rng.gaussian_vec rng) in
+  Constraints.rattle cons box pos vel ~masses;
+  (* After RATTLE, relative velocity along each constraint is zero. *)
+  List.iter
+    (fun (i, j, _) ->
+      let rij = Pbc.min_image box pos.(i) pos.(j) in
+      let vij = Vec3.sub vel.(i) vel.(j) in
+      check_true "no radial relative velocity"
+        (abs_float (Vec3.dot rij vij) < 1e-6))
+    [ (0, 1, ()); (0, 2, ()); (1, 2, ()) ]
+
+let test_constraints_none () =
+  Alcotest.(check int) "no constraints" 0 (Constraints.count Constraints.none)
+
+(* --- Engines on the LJ fluid --- *)
+
+let test_nve_energy_conservation () =
+  let eng = lj_engine ~n:108 ~equil:1000 () in
+  (* Switch to NVE by building a fresh engine at the equilibrated state. *)
+  let st = E.state eng in
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:108 () in
+  let sys = { sys with Mdsp_workload.Workloads.positions = Array.copy st.State.positions } in
+  let cfg = { E.default_config with dt_fs = 2.0; temperature = 120. } in
+  let nve = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  Array.blit st.State.velocities 0 (E.state nve).State.velocities 0 108;
+  E.refresh_forces nve;
+  let e0 = E.total_energy nve in
+  let worst = ref 0. in
+  for _ = 1 to 10 do
+    E.run nve 100;
+    worst :=
+      Float.max !worst (abs_float (E.total_energy nve -. e0) /. abs_float e0)
+  done;
+  check_true
+    (Printf.sprintf "NVE drift %.2e < 5e-4 over 2 ps" !worst)
+    (!worst < 5e-4)
+
+let test_nve_timestep_scaling () =
+  (* Velocity Verlet: energy error should drop ~4x when dt halves. *)
+  let drift dt_fs =
+    let eng = lj_engine ~n:64 ~equil:500 () in
+    let st = E.state eng in
+    let sys = Mdsp_workload.Workloads.lj_fluid ~n:64 () in
+    let sys = { sys with Mdsp_workload.Workloads.positions = Array.copy st.State.positions } in
+    let cfg = { E.default_config with dt_fs; temperature = 120. } in
+    let nve = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+    Array.blit st.State.velocities 0 (E.state nve).State.velocities 0 64;
+    E.refresh_forces nve;
+    let e0 = E.total_energy nve in
+    let acc = Stats.Online.create () in
+    for _ = 1 to 200 do
+      E.step nve;
+      Stats.Online.add acc (abs_float (E.total_energy nve -. e0))
+    done;
+    Stats.Online.mean acc
+  in
+  let d4 = drift 4.0 and d2 = drift 2.0 in
+  check_true
+    (Printf.sprintf "dt scaling: %.2e (4fs) vs %.2e (2fs)" d4 d2)
+    (d4 > 2. *. d2)
+
+let test_langevin_temperature () =
+  let eng = lj_engine ~n:108 ~temp:120. ~equil:2000 () in
+  let acc = Stats.Online.create () in
+  for _ = 1 to 2000 do
+    E.step eng;
+    Stats.Online.add acc (E.temperature eng)
+  done;
+  check_close ~rel:0.05 "Langevin mean temperature" 120. (Stats.Online.mean acc)
+
+let test_nose_hoover_temperature () =
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:108 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 2.0;
+      temperature = 120.;
+      thermostat = E.Nose_hoover { tau_fs = 50. };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  E.run eng 4000;
+  let acc = Stats.Online.create () in
+  for _ = 1 to 2000 do
+    E.step eng;
+    Stats.Online.add acc (E.temperature eng)
+  done;
+  check_close ~rel:0.05 "NHC mean temperature" 120. (Stats.Online.mean acc)
+
+let test_berendsen_temperature () =
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:108 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 2.0;
+      temperature = 150.;
+      thermostat = E.Berendsen { tau_fs = 100. };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  E.run eng 3000;
+  let acc = Stats.Online.create () in
+  for _ = 1 to 1500 do
+    E.step eng;
+    Stats.Online.add acc (E.temperature eng)
+  done;
+  check_close ~rel:0.05 "Berendsen mean temperature" 150. (Stats.Online.mean acc)
+
+let test_velocity_distribution_maxwell () =
+  (* Under a Langevin thermostat, velocity components should be Gaussian
+     with variance kT/m; pool across particles and time for statistics. *)
+  let eng = lj_engine ~n:64 ~temp:120. ~equil:2000 () in
+  let acc = Stats.Online.create () in
+  for _ = 1 to 100 do
+    E.run eng 25;
+    Array.iter
+      (fun v ->
+        Stats.Online.add acc v.Vec3.x;
+        Stats.Online.add acc v.Vec3.y;
+        Stats.Online.add acc v.Vec3.z)
+      (E.state eng).State.velocities
+  done;
+  let kt_over_m = Units.kt 120. /. 39.948 in
+  check_close ~rel:0.05 "velocity variance = kT/m" kt_over_m
+    (Stats.Online.variance acc);
+  check_true "mean near zero"
+    (abs_float (Stats.Online.mean acc) < 0.01 *. sqrt kt_over_m)
+
+let test_com_removal () =
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:64 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 2.0;
+      temperature = 120.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+      remove_com_interval = 10;
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  E.run eng 100;
+  let st = E.state eng in
+  let p = ref Vec3.zero in
+  Array.iteri
+    (fun i v -> p := Vec3.add !p (Vec3.scale st.State.masses.(i) v))
+    st.State.velocities;
+  check_true "momentum removed" (Vec3.norm !p < 1e-9)
+
+let test_post_step_hooks () =
+  let eng = lj_engine ~n:32 ~equil:10 () in
+  let count = ref 0 in
+  E.add_post_step eng ~name:"counter" (fun _ -> incr count);
+  E.run eng 25;
+  Alcotest.(check int) "hook ran each step" 25 !count;
+  check_true "hook removal" (E.remove_post_step eng "counter");
+  check_true "hook removal idempotent" (not (E.remove_post_step eng "counter"));
+  E.run eng 5;
+  Alcotest.(check int) "hook no longer runs" 25 !count
+
+let test_berendsen_barostat_relaxes_pressure () =
+  (* An over-compressed LJ fluid under a Berendsen barostat should expand
+     (volume grows) toward the target pressure. *)
+  let sys = Mdsp_workload.Workloads.lj_fluid ~rho_star:1.05 ~n:108 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 2.0;
+      temperature = 120.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+      barostat = E.Berendsen_baro { tau_fs = 500.; pressure_atm = 1. };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  let v0 = Pbc.volume (E.state eng).State.box in
+  let p0 = E.pressure_atm eng in
+  E.run eng 3000;
+  let v1 = Pbc.volume (E.state eng).State.box in
+  let p1 = E.pressure_atm eng in
+  check_true "initially over-pressurized" (p0 > 1000.);
+  check_true "volume expanded" (v1 > v0 *. 1.02);
+  check_true "pressure dropped" (p1 < p0 /. 2.)
+
+let test_mc_barostat_runs_and_relaxes () =
+  let sys = Mdsp_workload.Workloads.lj_fluid ~rho_star:1.05 ~n:64 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 2.0;
+      temperature = 120.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+      barostat =
+        E.Monte_carlo_baro { interval = 20; pressure_atm = 1.; max_dlnv = 0.02 };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  let v0 = Pbc.volume (E.state eng).State.box in
+  E.run eng 2000;
+  let v1 = Pbc.volume (E.state eng).State.box in
+  check_true "volume expanded under MC barostat" (v1 > v0)
+
+let test_respa_energy_and_agreement () =
+  (* RESPA with inner bonded steps should track the bead-chain dynamics
+     with stable energies. *)
+  let sys = Mdsp_workload.Workloads.bead_chain ~n_beads:8 ~n_total:64 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 2.0;
+      temperature = 120.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+      respa_inner = Some 4;
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  E.run eng 500;
+  check_true "RESPA run stays finite" (Float.is_finite (E.total_energy eng));
+  let t = E.temperature eng in
+  check_true
+    (Printf.sprintf "RESPA temperature sane (%.0f K)" t)
+    (t > 30. && t < 400.)
+
+let test_water_constrained_dynamics () =
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 1.0;
+      temperature = 300.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  E.run eng 500;
+  let st = E.state eng in
+  check_true "constraints hold during dynamics"
+    (Constraints.max_violation (E.constraints eng) st.State.box
+       st.State.positions
+    < 1e-6);
+  check_close ~rel:0.35 "water temperature within range" 300.
+    (E.temperature eng)
+
+let test_set_temperature_switches_target () =
+  let eng = lj_engine ~n:64 ~temp:100. ~equil:1500 () in
+  E.set_temperature eng 200.;
+  E.run eng 3000;
+  let acc = Stats.Online.create () in
+  for _ = 1 to 1500 do
+    E.step eng;
+    Stats.Online.add acc (E.temperature eng)
+  done;
+  check_close ~rel:0.08 "thermostat retargeted" 200. (Stats.Online.mean acc)
+
+let test_pressure_virial_ideal_gas_limit () =
+  (* A very dilute LJ gas should be close to ideal: P V = N k T. *)
+  let sys = Mdsp_workload.Workloads.lj_fluid ~rho_star:0.05 ~n:108 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 4.0;
+      temperature = 300.;
+      thermostat = E.Langevin { gamma_fs = 0.01 };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  E.run eng 2000;
+  let acc = Stats.Online.create () in
+  for _ = 1 to 4000 do
+    E.step eng;
+    Stats.Online.add acc (E.pressure_atm eng)
+  done;
+  let v = Pbc.volume (E.state eng).State.box in
+  let p_ideal =
+    Units.pressure_to_atm (108. *. Units.kt 300. /. v)
+  in
+  check_close ~rel:0.15 "dilute gas near ideal" p_ideal (Stats.Online.mean acc)
+
+(* --- Virtual sites --- *)
+
+let test_virtual_site_placement_and_spreading () =
+  (* A site at the midpoint of two parents. *)
+  let b = Mdsp_ff.Topology.Builder.create () in
+  Mdsp_ff.Topology.Builder.set_lj_types b [| (0., 1.) |];
+  let a0 = Mdsp_ff.Topology.Builder.add_atom b ~mass:10. ~charge:0. ~type_id:0 ~name:"A" in
+  let a1 = Mdsp_ff.Topology.Builder.add_atom b ~mass:10. ~charge:0. ~type_id:0 ~name:"B" in
+  let s = Mdsp_ff.Topology.Builder.add_atom b ~mass:1. ~charge:(-1.) ~type_id:0 ~name:"M" in
+  Mdsp_ff.Topology.Builder.add_virtual_site b ~site:s
+    ~parents:[| (a0, 0.5); (a1, 0.5) |];
+  let topo = Mdsp_ff.Topology.Builder.finish b in
+  check_true "is_virtual" (Mdsp_ff.Topology.is_virtual topo s);
+  check_true "not virtual" (not (Mdsp_ff.Topology.is_virtual topo a0));
+  Alcotest.(check int) "dof excludes site" (6 - 3) (Mdsp_ff.Topology.dof topo);
+  let vs = Virtual_sites.create topo in
+  let box = Pbc.cubic 10. in
+  let pos = [| Vec3.make 1. 1. 1.; Vec3.make 3. 1. 1.; Vec3.zero |] in
+  Virtual_sites.place vs box pos;
+  check_true "placed at midpoint"
+    (Vec3.equal_eps ~eps:1e-12 pos.(2) (Vec3.make 2. 1. 1.));
+  (* Force on the site spreads half-half onto parents. *)
+  let acc = Mdsp_ff.Bonded.make_accum 3 in
+  acc.Mdsp_ff.Bonded.forces.(2) <- Vec3.make 4. 0. 0.;
+  Virtual_sites.spread_forces vs acc;
+  check_true "site zeroed" (Vec3.norm acc.Mdsp_ff.Bonded.forces.(2) = 0.);
+  check_close ~rel:1e-12 "parent share" 2. acc.Mdsp_ff.Bonded.forces.(0).Vec3.x;
+  check_close ~rel:1e-12 "parent share" 2. acc.Mdsp_ff.Bonded.forces.(1).Vec3.x
+
+let test_virtual_site_pbc_placement () =
+  (* Parents straddling the periodic boundary: the site must follow the
+     molecule, not jump across the box. *)
+  let b = Mdsp_ff.Topology.Builder.create () in
+  Mdsp_ff.Topology.Builder.set_lj_types b [| (0., 1.) |];
+  let a0 = Mdsp_ff.Topology.Builder.add_atom b ~mass:10. ~charge:0. ~type_id:0 ~name:"A" in
+  let a1 = Mdsp_ff.Topology.Builder.add_atom b ~mass:10. ~charge:0. ~type_id:0 ~name:"B" in
+  let s = Mdsp_ff.Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"M" in
+  Mdsp_ff.Topology.Builder.add_virtual_site b ~site:s
+    ~parents:[| (a0, 0.5); (a1, 0.5) |];
+  let topo = Mdsp_ff.Topology.Builder.finish b in
+  let vs = Virtual_sites.create topo in
+  let box = Pbc.cubic 10. in
+  let pos = [| Vec3.make 9.8 0. 0.; Vec3.make 10.6 0. 0.; Vec3.zero |] in
+  Virtual_sites.place vs box pos;
+  check_close ~rel:1e-9 "follows the molecule across the boundary" 10.2
+    pos.(2).Vec3.x
+
+let test_virtual_site_validation () =
+  let b = Mdsp_ff.Topology.Builder.create () in
+  Mdsp_ff.Topology.Builder.set_lj_types b [| (0., 1.) |];
+  let a0 = Mdsp_ff.Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"A" in
+  let a1 = Mdsp_ff.Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"B" in
+  Alcotest.check_raises "weights must sum to 1"
+    (Invalid_argument "Topology.add_virtual_site: weights must sum to 1")
+    (fun () ->
+      Mdsp_ff.Topology.Builder.add_virtual_site b ~site:a0
+        ~parents:[| (a1, 0.5) |]
+      |> ignore);
+  Alcotest.check_raises "self parent"
+    (Invalid_argument "Topology.add_virtual_site: site cannot parent itself")
+    (fun () ->
+      Mdsp_ff.Topology.Builder.add_virtual_site b ~site:a0
+        ~parents:[| (a0, 1.0) |]
+      |> ignore)
+
+let test_tip4p_dynamics () =
+  let sys = Mdsp_workload.Workloads.water_box_tip4p ~n_side:3 () in
+  Alcotest.(check int) "27 virtual sites" 27
+    (Mdsp_ff.Topology.n_virtual_sites sys.Mdsp_workload.Workloads.topo);
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 1.0;
+      temperature = 300.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  E.run eng 800;
+  check_true "stays finite" (Float.is_finite (E.total_energy eng));
+  (* Every M site sits exactly 0.15 A from its oxygen throughout. *)
+  let st = E.state eng in
+  let p = st.State.positions in
+  for m = 0 to 26 do
+    let d = Pbc.dist st.State.box p.(4 * m) p.((4 * m) + 3) in
+    check_close ~rel:1e-6 "O-M distance held" Mdsp_ff.Water.Tip4p.om_dist d
+  done;
+  (* Virtual sites carry no velocity. *)
+  for m = 0 to 26 do
+    check_true "site velocity zero"
+      (Vec3.norm st.State.velocities.((4 * m) + 3) = 0.)
+  done
+
+(* --- Observables --- *)
+
+let test_observables_record_and_summarize () =
+  let eng = lj_engine ~n:64 ~temp:120. ~equil:500 () in
+  let obs = Observables.attach eng ~stride:5 in
+  Observables.temperature obs;
+  Observables.potential_energy obs;
+  Observables.custom obs ~name:"half_T" (fun e -> E.temperature e /. 2.);
+  E.run eng 500;
+  let temps = Observables.series obs "temperature" in
+  Alcotest.(check int) "100 samples" 100 (Array.length temps);
+  let halves = Observables.series obs "half_T" in
+  Array.iteri
+    (fun i h -> check_close ~rel:1e-12 "custom channel" (temps.(i) /. 2.) h)
+    halves;
+  let sums = Observables.summaries obs in
+  Alcotest.(check int) "three channels" 3 (List.length sums);
+  let t_sum = List.find (fun s -> s.Observables.name = "temperature") sums in
+  check_close ~rel:0.15 "mean temperature" 120. t_sum.Observables.mean;
+  check_true "stderr positive" (t_sum.Observables.stderr > 0.);
+  (* Detach stops recording. *)
+  Observables.detach obs;
+  E.run eng 50;
+  Alcotest.(check int) "no more samples" 100
+    (Array.length (Observables.series obs "temperature"))
+
+let test_observables_validation () =
+  let eng = lj_engine ~n:32 ~equil:10 () in
+  let obs = Observables.attach eng ~stride:5 in
+  Observables.temperature obs;
+  Alcotest.check_raises "duplicate channel"
+    (Invalid_argument "Observables.custom: duplicate channel \"temperature\"")
+    (fun () -> Observables.temperature obs);
+  (try
+     ignore (Observables.series obs "nope");
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ())
+
+(* --- Minimizer --- *)
+
+let test_minimize_reduces_energy () =
+  (* The bead chain starts with overlaps: minimization must drop the
+     potential energy dramatically and never increase it. *)
+  let sys = Mdsp_workload.Workloads.bead_chain ~n_beads:12 ~n_total:96 () in
+  let cfg = { E.default_config with dt_fs = 2.0; temperature = 120. } in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  let e0 = E.potential_energy eng in
+  E.minimize eng ~steps:50;
+  let e1 = E.potential_energy eng in
+  E.minimize eng ~steps:150;
+  let e2 = E.potential_energy eng in
+  check_true "first phase reduces" (e1 < e0);
+  check_true "monotone overall" (e2 <= e1 +. 1e-9);
+  check_true "large reduction" (e2 < e0 /. 2.)
+
+let test_minimize_respects_constraints () =
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+  let cfg = { E.default_config with dt_fs = 1.0; temperature = 300. } in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+  E.minimize eng ~steps:100;
+  let st = E.state eng in
+  check_true "constraints hold after minimization"
+    (Constraints.max_violation (E.constraints eng) st.State.box
+       st.State.positions
+    < 1e-6)
+
+(* --- Trajectory and checkpoints --- *)
+
+let test_xyz_roundtrip () =
+  let path = Filename.temp_file "mdsp_traj" ".xyz" in
+  let box = Pbc.cubic 10. in
+  let names = [| "AR"; "AR"; "OW" |] in
+  let t = Trajectory.open_xyz path ~names in
+  let f1 = [| Vec3.make 1. 2. 3.; Vec3.make 4. 5. 6.; Vec3.make 7. 8. 9. |] in
+  let f2 = [| Vec3.make 1.5 2. 3.; Vec3.make 4. 5.5 6.; Vec3.make 7. 8. 9.5 |] in
+  Trajectory.write_frame t box ~time_fs:0. f1;
+  Trajectory.write_frame t box ~time_fs:2. f2;
+  Trajectory.close_xyz t;
+  let frames = Trajectory.read_xyz path in
+  Sys.remove path;
+  Alcotest.(check int) "two frames" 2 (List.length frames);
+  let _, p1 = List.nth frames 0 in
+  let _, p2 = List.nth frames 1 in
+  check_true "frame 1" (max_vec_diff p1 f1 < 1e-5);
+  check_true "frame 2" (max_vec_diff p2 f2 < 1e-5)
+
+let test_xyz_wraps_positions () =
+  let path = Filename.temp_file "mdsp_traj" ".xyz" in
+  let box = Pbc.cubic 10. in
+  let t = Trajectory.open_xyz path ~names:[| "X" |] in
+  Trajectory.write_frame t box ~time_fs:0. [| Vec3.make 12. (-3.) 5. |];
+  Trajectory.close_xyz t;
+  let frames = Trajectory.read_xyz path in
+  Sys.remove path;
+  let _, p = List.hd frames in
+  check_true "wrapped into the box"
+    (Vec3.equal_eps ~eps:1e-5 p.(0) (Vec3.make 2. 7. 5.))
+
+let test_checkpoint_roundtrip () =
+  let eng = lj_engine ~n:32 ~equil:200 () in
+  let st = E.state eng in
+  let path = Filename.temp_file "mdsp_ckpt" ".txt" in
+  Trajectory.Checkpoint.save path st ~step:123;
+  let loaded, step = Trajectory.Checkpoint.load path in
+  Sys.remove path;
+  Alcotest.(check int) "step" 123 step;
+  check_true "positions exact" (max_vec_diff loaded.State.positions st.State.positions = 0.);
+  check_true "velocities exact"
+    (max_vec_diff loaded.State.velocities st.State.velocities = 0.);
+  check_float ~eps:0. "time exact" st.State.time loaded.State.time;
+  check_true "box exact" (loaded.State.box = st.State.box);
+  check_true "masses exact" (loaded.State.masses = st.State.masses)
+
+let test_checkpoint_restart_equivalence () =
+  (* NVE from a checkpoint must bitwise-track the original run. *)
+  let eng = lj_engine ~n:32 ~equil:300 () in
+  let st = E.state eng in
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:32 () in
+  let build positions velocities =
+    let sys = { sys with Mdsp_workload.Workloads.positions } in
+    let cfg = { E.default_config with dt_fs = 2.0; temperature = 120. } in
+    let e = Mdsp_workload.Workloads.make_engine ~config:cfg sys in
+    Array.blit velocities 0 (E.state e).State.velocities 0 32;
+    E.refresh_forces e;
+    e
+  in
+  let e1 = build (Array.copy st.State.positions) st.State.velocities in
+  (* Save, load, and build a second engine from the loaded state. *)
+  let path = Filename.temp_file "mdsp_ckpt" ".txt" in
+  Trajectory.Checkpoint.save path (E.state e1) ~step:0;
+  let loaded, _ = Trajectory.Checkpoint.load path in
+  Sys.remove path;
+  let e2 = build loaded.State.positions loaded.State.velocities in
+  E.run e1 100;
+  E.run e2 100;
+  check_true "restart is exact"
+    (max_vec_diff (E.state e1).State.positions (E.state e2).State.positions
+     = 0.)
+
+let test_checkpoint_rejects_garbage () =
+  let path = Filename.temp_file "mdsp_ckpt" ".txt" in
+  let oc = open_out path in
+  output_string oc "not a checkpoint\n";
+  close_out oc;
+  (try
+     ignore (Trajectory.Checkpoint.load path);
+     Alcotest.fail "expected failure"
+   with Failure _ -> ());
+  Sys.remove path
+
+let () =
+  Alcotest.run "mdsp_md"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "kinetic/temperature" `Quick
+            test_state_kinetic_temperature;
+          Alcotest.test_case "thermalize" `Quick
+            test_state_thermalize_temperature;
+          Alcotest.test_case "copy/blit" `Quick test_state_copy_blit;
+          Alcotest.test_case "scale velocities" `Quick test_scale_velocities;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "SHAKE restores" `Quick
+            test_shake_restores_constraints;
+          Alcotest.test_case "RATTLE projects velocities" `Quick
+            test_rattle_removes_radial_velocity;
+          Alcotest.test_case "none" `Quick test_constraints_none;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "NVE conservation" `Slow
+            test_nve_energy_conservation;
+          Alcotest.test_case "timestep scaling" `Slow test_nve_timestep_scaling;
+          Alcotest.test_case "RESPA stability" `Slow
+            test_respa_energy_and_agreement;
+          Alcotest.test_case "water constrained dynamics" `Slow
+            test_water_constrained_dynamics;
+        ] );
+      ( "thermostats",
+        [
+          Alcotest.test_case "Langevin" `Slow test_langevin_temperature;
+          Alcotest.test_case "Nose-Hoover" `Slow test_nose_hoover_temperature;
+          Alcotest.test_case "Berendsen" `Slow test_berendsen_temperature;
+          Alcotest.test_case "Maxwell velocities" `Slow
+            test_velocity_distribution_maxwell;
+          Alcotest.test_case "retarget temperature" `Slow
+            test_set_temperature_switches_target;
+        ] );
+      ( "barostats",
+        [
+          Alcotest.test_case "Berendsen relaxes pressure" `Slow
+            test_berendsen_barostat_relaxes_pressure;
+          Alcotest.test_case "MC barostat" `Slow test_mc_barostat_runs_and_relaxes;
+          Alcotest.test_case "ideal gas pressure" `Slow
+            test_pressure_virial_ideal_gas_limit;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "COM removal" `Quick test_com_removal;
+          Alcotest.test_case "post-step hooks" `Quick test_post_step_hooks;
+        ] );
+      ( "observables",
+        [
+          Alcotest.test_case "record and summarize" `Quick
+            test_observables_record_and_summarize;
+          Alcotest.test_case "validation" `Quick test_observables_validation;
+        ] );
+      ( "minimizer",
+        [
+          Alcotest.test_case "reduces energy" `Quick
+            test_minimize_reduces_energy;
+          Alcotest.test_case "respects constraints" `Quick
+            test_minimize_respects_constraints;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "xyz roundtrip" `Quick test_xyz_roundtrip;
+          Alcotest.test_case "xyz wraps" `Quick test_xyz_wraps_positions;
+          Alcotest.test_case "checkpoint roundtrip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "restart equivalence" `Quick
+            test_checkpoint_restart_equivalence;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_checkpoint_rejects_garbage;
+        ] );
+      ( "virtual_sites",
+        [
+          Alcotest.test_case "placement and spreading" `Quick
+            test_virtual_site_placement_and_spreading;
+          Alcotest.test_case "PBC placement" `Quick
+            test_virtual_site_pbc_placement;
+          Alcotest.test_case "validation" `Quick test_virtual_site_validation;
+          Alcotest.test_case "TIP4P dynamics" `Slow test_tip4p_dynamics;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Tests for the table compiler (Mdsp_core.Table): fitting arbitrary radial
+   forms into the pipelines' format, accuracy reporting, convergence. *)
+
+open Mdsp_ff
+open Mdsp_core
+open Testsupport
+
+let lj = Nonbonded.Lennard_jones { epsilon = 0.238; sigma = 3.405 }
+let cutoff = 9.0
+
+let test_of_form_shifts () =
+  let radial = Table.of_form lj ~cutoff in
+  let e_cut, _ = radial (cutoff *. cutoff -. 1e-9) in
+  check_true "shifted to zero at cutoff" (abs_float e_cut < 1e-9);
+  let unshifted = Table.of_form ~shift:false lj ~cutoff in
+  let e0, _ = unshifted 36. in
+  check_close ~rel:1e-12 "unshifted matches form" (Nonbonded.energy lj 36.) e0
+
+let test_compile_accuracy_improves_with_n () =
+  let radial = Table.of_form lj ~cutoff in
+  let err n =
+    let t = Table.compile ~r_min:2. ~r_cut:cutoff ~n ~quantize:false radial in
+    (Table.accuracy t radial ()).Table.max_rel_force
+  in
+  let e64 = err 64 and e256 = err 256 and e1024 = err 1024 in
+  check_true
+    (Printf.sprintf "monotone: %.1e > %.1e > %.1e" e64 e256 e1024)
+    (e64 > e256 && e256 > e1024);
+  (* Cubic Hermite converges like h^3-h^4: 4x intervals, >= 30x better. *)
+  check_true "fast convergence" (e64 /. e256 > 30.)
+
+let test_compile_quantization_floor () =
+  (* With quantization on, accuracy bottoms out near the coefficient
+     resolution instead of improving forever. *)
+  let radial = Table.of_form lj ~cutoff in
+  let err n quantize =
+    let t = Table.compile ~r_min:2. ~r_cut:cutoff ~n ~quantize radial in
+    (Table.accuracy t radial ()).Table.max_rel_force
+  in
+  let q4096 = err 4096 true and nq4096 = err 4096 false in
+  check_true "quantization dominates at high n" (q4096 > nq4096);
+  check_true "still accurate" (q4096 < 1e-5)
+
+let test_many_functional_forms_compile () =
+  (* The generality claim: diverse forms all fit with small error at the
+     same table width. *)
+  let forms =
+    [
+      ("lj", lj);
+      ("buckingham", Nonbonded.Buckingham { a = 40000.; b = 3.5; c = 300. });
+      ("gauss", Nonbonded.Gaussian_repulsion { height = 10.; width = 3. });
+      ( "softcore",
+        Nonbonded.Soft_core_lj
+          { epsilon = 0.238; sigma = 3.405; alpha = 0.5; lambda = 0.6 } );
+      ("erfc", Nonbonded.Coulomb_erfc { qq = 332.; beta = 0.35 });
+      ( "sum",
+        Nonbonded.Sum
+          [ lj; Nonbonded.Gaussian_repulsion { height = 2.; width = 4. } ] );
+    ]
+  in
+  List.iter
+    (fun (name, form) ->
+      let radial = Table.of_form form ~cutoff in
+      let t = Table.compile ~r_min:2. ~r_cut:cutoff ~n:1024 radial in
+      let rep = Table.accuracy t radial () in
+      check_true
+        (Printf.sprintf "%s: max rel force error %.2e < 1e-4" name
+           rep.Table.max_rel_force)
+        (rep.Table.max_rel_force < 1e-4))
+    forms
+
+let test_user_defined_radial () =
+  (* A fully custom potential: a double-exponential well. *)
+  let radial r2 =
+    let r = sqrt r2 in
+    let e = (3. *. exp (-.(r -. 4.) ** 2.)) -. (5. *. exp (-.((r -. 6.) ** 2.) /. 2.)) in
+    (* f_over_r = -de/dr / r *)
+    let de_dr =
+      (-6. *. (r -. 4.) *. exp (-.(r -. 4.) ** 2.))
+      +. (5. *. (r -. 6.) *. exp (-.((r -. 6.) ** 2.) /. 2.))
+    in
+    (e, -.de_dr /. r)
+  in
+  let t = Table.compile ~r_min:1. ~r_cut:cutoff ~n:1024 radial in
+  let rep = Table.accuracy t radial () in
+  check_true
+    (Printf.sprintf "custom form error %.2e" rep.Table.max_rel_force)
+    (rep.Table.max_rel_force < 1e-4)
+
+let test_width_for_accuracy () =
+  let radial = Table.of_form lj ~cutoff in
+  match Table.width_for_accuracy ~r_min:2. ~r_cut:cutoff ~target:1e-4 radial with
+  | None -> Alcotest.fail "no width found"
+  | Some n ->
+      check_true "power of two" (n land (n - 1) = 0);
+      let t = Table.compile ~r_min:2. ~r_cut:cutoff ~n radial in
+      check_true "meets target"
+        ((Table.accuracy t radial ()).Table.max_rel_force <= 1e-4);
+      (* Minimality: half the width must miss the target. *)
+      if n > 64 then begin
+        let t2 = Table.compile ~r_min:2. ~r_cut:cutoff ~n:(n / 2) radial in
+        check_true "half width misses"
+          ((Table.accuracy t2 radial ()).Table.max_rel_force > 1e-4)
+      end
+
+let test_table_c1_continuity () =
+  (* Hermite fitting: table values and derivatives agree at knots, so
+     evaluation just left/right of a knot boundary must be continuous. *)
+  let radial = Table.of_form lj ~cutoff in
+  let n = 256 in
+  let t = Table.compile ~r_min:2. ~r_cut:cutoff ~n ~quantize:false radial in
+  let s0 = 4.0 and s1 = cutoff *. cutoff in
+  let width = (s1 -. s0) /. float_of_int n in
+  for k = 1 to 5 do
+    let knot = s0 +. (float_of_int (k * 40) *. width) in
+    let e_l, f_l = Mdsp_machine.Interp_table.eval t (knot -. 1e-9) in
+    let e_r, f_r = Mdsp_machine.Interp_table.eval t (knot +. 1e-9) in
+    check_close ~rel:1e-6 "energy continuous" e_l e_r;
+    check_close ~rel:1e-5 "force continuous" f_l f_r
+  done
+
+let test_table_set_of_topology_shapes () =
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+  let ts =
+    Table.table_set_of_topology sys.Mdsp_workload.Workloads.topo ~cutoff
+      ~elec:(Mdsp_ff.Pair_interactions.Reaction_field { epsilon_rf = 78.5 })
+      ~n:512 ()
+  in
+  Alcotest.(check int) "2x2 LJ tables" 2 (Array.length ts.Mdsp_machine.Htis.lj);
+  check_true "electrostatic table present"
+    (ts.Mdsp_machine.Htis.electrostatic <> None);
+  let ts_nc =
+    Table.table_set_of_topology sys.Mdsp_workload.Workloads.topo ~cutoff
+      ~elec:Mdsp_ff.Pair_interactions.No_coulomb ~n:512 ()
+  in
+  check_true "no electrostatic table when chargeless"
+    (ts_nc.Mdsp_machine.Htis.electrostatic = None)
+
+let test_electrostatic_shape_table_accuracy () =
+  (* The shared qq-scaled shape table must reproduce erfc/r to high
+     accuracy. *)
+  let beta = 0.35 in
+  let shape r2 =
+    Nonbonded.eval (Nonbonded.Coulomb_erfc { qq = 1.; beta }) r2
+  in
+  let t = Table.compile ~r_min:0.8 ~r_cut:cutoff ~n:4096 shape in
+  let rep = Table.accuracy t shape () in
+  check_true
+    (Printf.sprintf "erfc shape error %.2e" rep.Table.max_rel_force)
+    (rep.Table.max_rel_force < 1e-4)
+
+let prop_compiled_tables_bounded_error =
+  qtest "random LJ parameters compile within tolerance" ~count:25
+    QCheck.(pair (float_range 0.05 1.0) (float_range 2.5 4.0))
+    (fun (epsilon, sigma) ->
+      let form = Nonbonded.Lennard_jones { epsilon; sigma } in
+      let radial = Table.of_form form ~cutoff in
+      let t = Table.compile ~r_min:(0.7 *. sigma) ~r_cut:cutoff ~n:2048 radial in
+      (Table.accuracy t radial ~samples:2000 ()).Table.max_rel_force < 1e-3)
+
+let () =
+  Alcotest.run "mdsp_core_table"
+    [
+      ( "compiler",
+        [
+          Alcotest.test_case "of_form shifting" `Quick test_of_form_shifts;
+          Alcotest.test_case "accuracy improves with width" `Quick
+            test_compile_accuracy_improves_with_n;
+          Alcotest.test_case "quantization floor" `Quick
+            test_compile_quantization_floor;
+          Alcotest.test_case "diverse forms compile" `Quick
+            test_many_functional_forms_compile;
+          Alcotest.test_case "user-defined radial" `Quick
+            test_user_defined_radial;
+          Alcotest.test_case "width_for_accuracy" `Quick
+            test_width_for_accuracy;
+          Alcotest.test_case "C1 continuity" `Quick test_table_c1_continuity;
+          prop_compiled_tables_bounded_error;
+        ] );
+      ( "table_sets",
+        [
+          Alcotest.test_case "topology table set" `Quick
+            test_table_set_of_topology_shapes;
+          Alcotest.test_case "electrostatic shape" `Quick
+            test_electrostatic_shape_table_accuracy;
+        ] );
+    ]
