@@ -37,6 +37,24 @@ let double_well_engine ?(temp = 300.) ?(seed = 42) () =
   in
   Mdsp_workload.Workloads.make_engine ~config:cfg ~seed sys
 
+(* Named scalar metrics collected during a run; `main --json FILE` dumps
+   them for BENCH_*.json trajectory tracking across PRs. *)
+let json_records : (string * float) list ref = ref []
+
+let record key value = json_records := (key, value) :: !json_records
+
+let write_json path =
+  let oc = open_out path in
+  let rows = List.rev !json_records in
+  let last = List.length rows - 1 in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %.9g%s\n" k v (if i = last then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
 (* Count barrier crossings of a 1D trace with hysteresis thresholds. *)
 let crossings ?(lo = -0.5) ?(hi = 0.5) trace =
   let n = ref 0 and side = ref 0 in

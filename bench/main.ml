@@ -35,12 +35,21 @@ let registry =
     ("a4", "ablation: RESPA inner steps", Exp_ablations.a4);
     ("a5", "ablation: import-region policy", Exp_ablations.a5);
     ("a6", "ablation: truncation scheme vs NVE drift", Exp_ablations.a6);
+    ("e21", "execution backends: measured resource breakdown", Exp_perf.e21);
     ("timing", "bechamel micro-benchmarks", Exp_timing.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (* --json FILE: after the run, dump every metric the experiments recorded
+     via Bench_common.record (timing trajectories across PRs). *)
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json, args = split_json [] args in
+  (match args with
   | [ "--list" ] ->
       List.iter (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc) registry
   | [] ->
@@ -56,4 +65,9 @@ let () =
           | None ->
               Printf.eprintf "unknown experiment %S (try --list)\n" id;
               exit 1)
-        ids
+        ids);
+  match json with
+  | None -> ()
+  | Some path ->
+      Bench_common.write_json path;
+      Printf.printf "timing metrics written to %s\n" path

@@ -56,6 +56,21 @@ let tables_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~docv:"N"
+        ~doc:
+          "Run the pair/bonded force phases on N OCaml domains (1 = serial, \
+           0 = one per recommended core).")
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Print the per-resource step-time breakdown after the run.")
+
 let xyz_arg =
   Arg.(
     value & opt (some string) None
@@ -96,11 +111,32 @@ let build_system name =
           ()
       else failwith (Printf.sprintf "unknown preset %S" name)
 
+let print_timings eng =
+  let tm = E.timings eng in
+  let per = Mdsp_md.Force_calc.timings_per_call tm in
+  let open Mdsp_md.Force_calc in
+  Printf.printf "per-step force-pipeline breakdown (%d evaluations):\n"
+    tm.calls;
+  Printf.printf "  pair (pipelines)    %10.3f us\n" (per.pair_s *. 1e6);
+  Printf.printf "  bonded (flex)       %10.3f us\n" (per.bonded_s *. 1e6);
+  Printf.printf "  bias (flex)         %10.3f us\n" (per.bias_s *. 1e6);
+  Printf.printf "  long-range          %10.3f us\n" (per.longrange_s *. 1e6);
+  Printf.printf "  neighbor rebuild    %10.3f us\n" (per.neighbor_s *. 1e6);
+  Printf.printf "  total               %10.3f us\n"
+    (timings_total per *. 1e6)
+
 let run_cmd =
   let doc = "Run molecular dynamics on a workload and report observables." in
-  let run preset steps temp dt thermostat use_tables seed xyz xyz_stride
-      checkpoint restart =
+  let run preset steps temp dt thermostat use_tables seed domains timings xyz
+      xyz_stride checkpoint restart =
     let sys = build_system preset in
+    let exec =
+      let module X = Mdsp_util.Exec in
+      match domains with
+      | 1 -> X.serial
+      | 0 -> X.create (X.Domains { n = X.recommended_domains () })
+      | n -> X.create (X.Domains { n })
+    in
     let thermostat =
       match thermostat with
       | `None -> E.No_thermostat
@@ -109,7 +145,11 @@ let run_cmd =
       | `Ber -> E.Berendsen { tau_fs = 100. }
     in
     let cfg = { E.default_config with dt_fs = dt; temperature = temp; thermostat } in
-    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed sys in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed ~exec sys in
+    (match Mdsp_util.Exec.backend exec with
+    | Mdsp_util.Exec.Serial -> ()
+    | Mdsp_util.Exec.Domains { n } ->
+        Printf.printf "execution backend: %d domains\n" n);
     (match restart with
     | None -> ()
     | Some path ->
@@ -192,18 +232,20 @@ let run_cmd =
       report ()
     done;
     Option.iter Mdsp_md.Trajectory.close_xyz traj;
+    if timings then print_timings eng;
     (match checkpoint with
     | None -> ()
     | Some path ->
         Mdsp_md.Trajectory.Checkpoint.save path (E.state eng)
           ~step:(E.steps_done eng);
-        Printf.printf "checkpoint written to %s\n" path)
+        Printf.printf "checkpoint written to %s\n" path);
+    Mdsp_util.Exec.shutdown exec
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ preset_arg $ steps_arg $ temp_arg $ dt_arg $ thermostat_arg
-      $ tables_arg $ seed_arg $ xyz_arg $ xyz_stride_arg $ checkpoint_arg
-      $ restart_arg)
+      $ tables_arg $ seed_arg $ domains_arg $ timings_arg $ xyz_arg
+      $ xyz_stride_arg $ checkpoint_arg $ restart_arg)
 
 (* --- model --- *)
 

@@ -10,60 +10,105 @@ let reset acc =
 
 let add_force acc i f = acc.forces.(i) <- Vec3.add acc.forces.(i) f
 
-let bonds box (topo : Topology.t) positions acc =
+(* --- per-slot scratch and deterministic reduction --- *)
+
+let make_slots ~slots n = Array.init slots (fun _ -> make_accum n)
+
+(* Fixed-shape pairwise tree over the slot contributions for one atom; the
+   order depends only on the slot count, so the reduced force is
+   deterministic regardless of which domain produced which partial. *)
+let rec tree_force slots i lo hi =
+  if hi - lo = 1 then slots.(lo).forces.(i)
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    Vec3.add (tree_force slots i lo mid) (tree_force slots i mid hi)
+  end
+
+let reduce_slots ?(exec = Exec.serial) ~into slots =
+  let nslots = Array.length slots in
+  if nslots = 1 then begin
+    let src = slots.(0) in
+    let n = Array.length into.forces in
+    for i = 0 to n - 1 do
+      into.forces.(i) <- Vec3.add into.forces.(i) src.forces.(i)
+    done;
+    into.virial <- into.virial +. src.virial
+  end
+  else if nslots > 1 then begin
+    let n = Array.length into.forces in
+    let bounds = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots exec) in
+    Exec.parallel_run exec (fun s ->
+        let lo, hi = bounds.(s) in
+        for i = lo to hi - 1 do
+          into.forces.(i) <-
+            Vec3.add into.forces.(i) (tree_force slots i 0 nslots)
+        done);
+    into.virial <-
+      into.virial +. Exec.sum_tree (Array.map (fun a -> a.virial) slots)
+  end
+
+(* --- bonded terms, over an index range so tiles can run in parallel --- *)
+
+let bonds_range box (topo : Topology.t) positions acc lo hi =
   let e = ref 0. in
-  Array.iter
-    (fun (b : Topology.bond) ->
-      let d = Pbc.min_image box positions.(b.i) positions.(b.j) in
-      let r = Vec3.norm d in
-      let dr = r -. b.r0 in
-      e := !e +. (b.k *. dr *. dr);
-      (* F_i = -dU/dr * d/r, with dU/dr = 2 k dr *)
-      let fmag = -2. *. b.k *. dr /. r in
-      let f = Vec3.scale fmag d in
-      add_force acc b.i f;
-      add_force acc b.j (Vec3.neg f);
-      acc.virial <- acc.virial +. Vec3.dot f d)
-    topo.bonds;
+  for t = lo to hi - 1 do
+    let b = topo.bonds.(t) in
+    let d = Pbc.min_image box positions.(b.i) positions.(b.j) in
+    let r = Vec3.norm d in
+    let dr = r -. b.r0 in
+    e := !e +. (b.k *. dr *. dr);
+    (* F_i = -dU/dr * d/r, with dU/dr = 2 k dr *)
+    let fmag = -2. *. b.k *. dr /. r in
+    let f = Vec3.scale fmag d in
+    add_force acc b.i f;
+    add_force acc b.j (Vec3.neg f);
+    acc.virial <- acc.virial +. Vec3.dot f d
+  done;
   !e
 
-let angles box (topo : Topology.t) positions acc =
+let bonds box topo positions acc =
+  bonds_range box topo positions acc 0 (Array.length topo.Topology.bonds)
+
+let angles_range box (topo : Topology.t) positions acc lo hi =
   let e = ref 0. in
-  Array.iter
-    (fun (a : Topology.angle) ->
-      (* Vectors from the central atom j to i and k. *)
-      let rij = Pbc.min_image box positions.(a.i) positions.(a.j) in
-      let rkj = Pbc.min_image box positions.(a.k) positions.(a.j) in
-      let nij = Vec3.norm rij and nkj = Vec3.norm rkj in
-      let cos_t =
-        Float.max (-1.) (Float.min 1. (Vec3.dot rij rkj /. (nij *. nkj)))
-      in
-      let theta = acos cos_t in
-      let dtheta = theta -. a.theta0 in
-      e := !e +. (a.k_theta *. dtheta *. dtheta);
-      let du_dtheta = 2. *. a.k_theta *. dtheta in
-      (* F_i = -dU/dr_i = (dU/dtheta / sin theta) * dcos(theta)/dr_i. Guard
-         collinear geometry where sin(theta) -> 0. *)
-      let sin_t = Float.max 1e-8 (sqrt (1. -. (cos_t *. cos_t))) in
-      let coeff = du_dtheta /. sin_t in
-      let fi =
-        Vec3.scale (coeff /. nij)
-          (Vec3.sub (Vec3.scale (1. /. nkj) rkj)
-             (Vec3.scale (cos_t /. nij) rij))
-      in
-      let fk =
-        Vec3.scale (coeff /. nkj)
-          (Vec3.sub (Vec3.scale (1. /. nij) rij)
-             (Vec3.scale (cos_t /. nkj) rkj))
-      in
-      let fj = Vec3.neg (Vec3.add fi fk) in
-      add_force acc a.i fi;
-      add_force acc a.j fj;
-      add_force acc a.k fk;
-      (* Virial with atom j as local origin; forces sum to zero. *)
-      acc.virial <- acc.virial +. Vec3.dot fi rij +. Vec3.dot fk rkj)
-    topo.angles;
+  for t = lo to hi - 1 do
+    let a = topo.angles.(t) in
+    (* Vectors from the central atom j to i and k. *)
+    let rij = Pbc.min_image box positions.(a.i) positions.(a.j) in
+    let rkj = Pbc.min_image box positions.(a.k) positions.(a.j) in
+    let nij = Vec3.norm rij and nkj = Vec3.norm rkj in
+    let cos_t =
+      Float.max (-1.) (Float.min 1. (Vec3.dot rij rkj /. (nij *. nkj)))
+    in
+    let theta = acos cos_t in
+    let dtheta = theta -. a.theta0 in
+    e := !e +. (a.k_theta *. dtheta *. dtheta);
+    let du_dtheta = 2. *. a.k_theta *. dtheta in
+    (* F_i = -dU/dr_i = (dU/dtheta / sin theta) * dcos(theta)/dr_i. Guard
+       collinear geometry where sin(theta) -> 0. *)
+    let sin_t = Float.max 1e-8 (sqrt (1. -. (cos_t *. cos_t))) in
+    let coeff = du_dtheta /. sin_t in
+    let fi =
+      Vec3.scale (coeff /. nij)
+        (Vec3.sub (Vec3.scale (1. /. nkj) rkj)
+           (Vec3.scale (cos_t /. nij) rij))
+    in
+    let fk =
+      Vec3.scale (coeff /. nkj)
+        (Vec3.sub (Vec3.scale (1. /. nij) rij)
+           (Vec3.scale (cos_t /. nkj) rkj))
+    in
+    let fj = Vec3.neg (Vec3.add fi fk) in
+    add_force acc a.i fi;
+    add_force acc a.j fj;
+    add_force acc a.k fk;
+    (* Virial with atom j as local origin; forces sum to zero. *)
+    acc.virial <- acc.virial +. Vec3.dot fi rij +. Vec3.dot fk rkj
+  done;
   !e
+
+let angles box topo positions acc =
+  angles_range box topo positions acc 0 (Array.length topo.Topology.angles)
 
 (* Shared torsion machinery: computes the dihedral angle phi of the atom
    quadruple (i, j, k, l) and applies the Blondel-Karplus gradients for a
@@ -109,20 +154,24 @@ let torsion box positions acc ~i ~j ~k ~l ~du_dphi_of =
     Some phi
   end
 
-let dihedrals box (topo : Topology.t) positions acc =
+let dihedrals_range box (topo : Topology.t) positions acc lo hi =
   let e = ref 0. in
-  Array.iter
-    (fun (d : Topology.dihedral) ->
-      match
-        torsion box positions acc ~i:d.i ~j:d.j ~k:d.k ~l:d.l
-          ~du_dphi_of:(fun phi ->
-            let arg = (float_of_int d.mult *. phi) -. d.phase in
-            e := !e +. (d.k_phi *. (1. +. cos arg));
-            -.d.k_phi *. float_of_int d.mult *. sin arg)
-      with
-      | Some _ | None -> ())
-    topo.dihedrals;
+  for t = lo to hi - 1 do
+    let d = topo.dihedrals.(t) in
+    match
+      torsion box positions acc ~i:d.i ~j:d.j ~k:d.k ~l:d.l
+        ~du_dphi_of:(fun phi ->
+          let arg = (float_of_int d.mult *. phi) -. d.phase in
+          e := !e +. (d.k_phi *. (1. +. cos arg));
+          -.d.k_phi *. float_of_int d.mult *. sin arg)
+    with
+    | Some _ | None -> ()
+  done;
   !e
+
+let dihedrals box topo positions acc =
+  dihedrals_range box topo positions acc 0
+    (Array.length topo.Topology.dihedrals)
 
 (* Wrap an angle difference into (-pi, pi]. *)
 let wrap_angle x =
@@ -132,22 +181,26 @@ let wrap_angle x =
   else if x <= -.Float.pi then x +. two_pi
   else x
 
-let impropers box (topo : Topology.t) positions acc =
+let impropers_range box (topo : Topology.t) positions acc lo hi =
   let e = ref 0. in
-  Array.iter
-    (fun (im : Topology.improper) ->
-      match
-        torsion box positions acc ~i:im.ii ~j:im.ij ~k:im.ik ~l:im.il
-          ~du_dphi_of:(fun phi ->
-            let dxi = wrap_angle (phi -. im.xi0) in
-            e := !e +. (im.k_xi *. dxi *. dxi);
-            2. *. im.k_xi *. dxi)
-      with
-      | Some _ | None -> ())
-    topo.impropers;
+  for t = lo to hi - 1 do
+    let im = topo.impropers.(t) in
+    match
+      torsion box positions acc ~i:im.ii ~j:im.ij ~k:im.ik ~l:im.il
+        ~du_dphi_of:(fun phi ->
+          let dxi = wrap_angle (phi -. im.xi0) in
+          e := !e +. (im.k_xi *. dxi *. dxi);
+          2. *. im.k_xi *. dxi)
+    with
+    | Some _ | None -> ()
+  done;
   !e
 
-let all box topo positions acc =
+let impropers box topo positions acc =
+  impropers_range box topo positions acc 0
+    (Array.length topo.Topology.impropers)
+
+let all_serial box topo positions acc =
   let eb = bonds box topo positions acc in
   let ea = angles box topo positions acc in
   let ed = dihedrals box topo positions acc +. impropers box topo positions acc in
@@ -156,3 +209,37 @@ let all box topo positions acc =
 let term_count (topo : Topology.t) =
   Array.length topo.bonds + Array.length topo.angles
   + Array.length topo.dihedrals + Array.length topo.impropers
+
+let all ?(exec = Exec.serial) ?slots box (topo : Topology.t) positions acc =
+  let ns = Exec.n_slots exec in
+  if ns = 1 || term_count topo = 0 then all_serial box topo positions acc
+  else begin
+    let slots =
+      match slots with
+      | Some s when Array.length s = ns -> s
+      | _ -> make_slots ~slots:ns (Array.length acc.forces)
+    in
+    let b_tiles = Exec.tile_bounds ~total:(Array.length topo.bonds) ~ntiles:ns in
+    let a_tiles = Exec.tile_bounds ~total:(Array.length topo.angles) ~ntiles:ns in
+    let d_tiles =
+      Exec.tile_bounds ~total:(Array.length topo.dihedrals) ~ntiles:ns
+    in
+    let i_tiles =
+      Exec.tile_bounds ~total:(Array.length topo.impropers) ~ntiles:ns
+    in
+    let eb = Array.make ns 0. and ea = Array.make ns 0. in
+    let ed = Array.make ns 0. in
+    Exec.parallel_run exec (fun s ->
+        let a = slots.(s) in
+        reset a;
+        let lo, hi = b_tiles.(s) in
+        eb.(s) <- bonds_range box topo positions a lo hi;
+        let lo, hi = a_tiles.(s) in
+        ea.(s) <- angles_range box topo positions a lo hi;
+        let lo, hi = d_tiles.(s) in
+        let e_d = dihedrals_range box topo positions a lo hi in
+        let lo, hi = i_tiles.(s) in
+        ed.(s) <- e_d +. impropers_range box topo positions a lo hi);
+    reduce_slots ~exec ~into:acc slots;
+    (Exec.sum_tree eb, Exec.sum_tree ea, Exec.sum_tree ed)
+  end

@@ -17,6 +17,17 @@ type accum = {
 val make_accum : int -> accum
 val reset : accum -> unit
 
+(** Per-slot scratch accumulators for domain-parallel evaluation: one
+    [accum] of size [n] per execution slot. *)
+val make_slots : slots:int -> int -> accum array
+
+(** [reduce_slots ?exec ~into slots] adds every slot's forces and virial
+    into [into] using a fixed-shape pairwise tree over the slots, so the
+    result is deterministic for a given slot count. The per-atom sums are
+    themselves parallelized over [exec] (disjoint atom tiles). Slot contents
+    are left untouched. *)
+val reduce_slots : ?exec:Exec.t -> into:accum -> accum array -> unit
+
 (** Evaluate all bonds; returns the total bond energy. *)
 val bonds : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float
 
@@ -29,8 +40,14 @@ val dihedrals : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float
 (** Evaluate all harmonic improper torsions. *)
 val impropers : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float
 
-(** All bonded terms. Returns (bond_e, angle_e, dihedral_e + improper_e). *)
-val all : Pbc.t -> Topology.t -> Vec3.t array -> accum -> float * float * float
+(** All bonded terms. Returns (bond_e, angle_e, dihedral_e + improper_e).
+    With a parallel [exec], each term array is cut into static contiguous
+    tiles, each slot accumulates into its own scratch accumulator (from
+    [slots], or freshly allocated when absent or mismatched), and the
+    partials are tree-reduced into [acc] deterministically. *)
+val all :
+  ?exec:Exec.t -> ?slots:accum array -> Pbc.t -> Topology.t -> Vec3.t array ->
+  accum -> float * float * float
 
 (** Count of bonded interactions, used by the machine performance model. *)
 val term_count : Topology.t -> int

@@ -74,53 +74,106 @@ let apply_pair evaluator box positions (acc : Bonded.accum) energy i j =
     acc.virial <- acc.virial +. Vec3.dot f d
   end
 
-let compute evaluator box nlist positions acc =
-  let energy = ref 0. in
-  Mdsp_space.Neighbor_list.iter nlist (fun i j ->
-      apply_pair evaluator box positions acc energy i j);
-  !energy
+(* Slot scratch for the parallel paths: reuse the caller's per-slot accums
+   when they match the executor width, else allocate fresh ones. *)
+let ensure_slots slots ~ns ~n =
+  match slots with
+  | Some s when Array.length s = ns -> s
+  | _ -> Bonded.make_slots ~slots:ns n
 
-let compute_pairs14 (topo : Topology.t) ~cutoff box positions
-    (acc : Bonded.accum) =
-  let energy = ref 0. in
-  if Array.length topo.pairs14 > 0
-     && (topo.scale14_lj > 0. || topo.scale14_coul > 0.)
-  then begin
+let compute ?(exec = Exec.serial) ?slots evaluator box nlist positions acc =
+  let ns = Exec.n_slots exec in
+  if ns = 1 then begin
+    let energy = ref 0. in
+    Mdsp_space.Neighbor_list.iter nlist (fun i j ->
+        apply_pair evaluator box positions acc energy i j);
+    !energy
+  end
+  else begin
+    let slots = ensure_slots slots ~ns ~n:(Array.length acc.Bonded.forces) in
+    let tiles = Mdsp_space.Neighbor_list.tiles nlist ~ntiles:ns in
+    let energies = Array.make ns 0. in
+    Exec.parallel_run exec (fun s ->
+        let a = slots.(s) in
+        Bonded.reset a;
+        let energy = ref 0. in
+        let lo, hi = tiles.(s) in
+        Mdsp_space.Neighbor_list.iter_range nlist lo hi (fun i j ->
+            apply_pair evaluator box positions a energy i j);
+        energies.(s) <- !energy);
+    Bonded.reduce_slots ~exec ~into:acc slots;
+    Exec.sum_tree energies
+  end
+
+let apply_pair14 (topo : Topology.t) ~charges ~types ~cutoff box positions
+    (acc : Bonded.accum) energy i j =
+  let d = Pbc.min_image box positions.(i) positions.(j) in
+  let r2 = Vec3.norm2 d in
+  if r2 < cutoff *. cutoff then begin
+    let lj =
+      Nonbonded.lorentz_berthelot topo.lj_types.(types.(i))
+        topo.lj_types.(types.(j))
+    in
+    let e_lj, f_lj =
+      Nonbonded.eval_truncated lj ~cutoff ~trunc:Nonbonded.Shift r2
+    in
+    let qq =
+      Units.coulomb *. charges.(i) *. charges.(j) *. topo.scale14_coul
+    in
+    let e_c, f_c =
+      if qq = 0. then (0., 0.)
+      else begin
+        let r = sqrt r2 in
+        ((qq /. r) -. (qq /. cutoff), qq /. (r2 *. r))
+      end
+    in
+    let e = (topo.scale14_lj *. e_lj) +. e_c in
+    let f_over_r = (topo.scale14_lj *. f_lj) +. f_c in
+    energy := !energy +. e;
+    let f = Vec3.scale f_over_r d in
+    acc.forces.(i) <- Vec3.add acc.forces.(i) f;
+    acc.forces.(j) <- Vec3.sub acc.forces.(j) f;
+    acc.virial <- acc.virial +. Vec3.dot f d
+  end
+
+let compute_pairs14 ?(exec = Exec.serial) ?slots (topo : Topology.t) ~cutoff
+    box positions (acc : Bonded.accum) =
+  let npairs = Array.length topo.pairs14 in
+  if npairs = 0 || (topo.scale14_lj <= 0. && topo.scale14_coul <= 0.) then 0.
+  else begin
     let charges = Topology.charges topo in
     let types = Array.map (fun (a : Topology.atom) -> a.type_id) topo.atoms in
-    Array.iter
-      (fun (i, j) ->
-        let d = Pbc.min_image box positions.(i) positions.(j) in
-        let r2 = Vec3.norm2 d in
-        if r2 < cutoff *. cutoff then begin
-          let lj =
-            Nonbonded.lorentz_berthelot topo.lj_types.(types.(i))
-              topo.lj_types.(types.(j))
-          in
-          let e_lj, f_lj =
-            Nonbonded.eval_truncated lj ~cutoff ~trunc:Nonbonded.Shift r2
-          in
-          let qq =
-            Units.coulomb *. charges.(i) *. charges.(j) *. topo.scale14_coul
-          in
-          let e_c, f_c =
-            if qq = 0. then (0., 0.)
-            else begin
-              let r = sqrt r2 in
-              ((qq /. r) -. (qq /. cutoff), qq /. (r2 *. r))
-            end
-          in
-          let e = (topo.scale14_lj *. e_lj) +. e_c in
-          let f_over_r = (topo.scale14_lj *. f_lj) +. f_c in
-          energy := !energy +. e;
-          let f = Vec3.scale f_over_r d in
-          acc.forces.(i) <- Vec3.add acc.forces.(i) f;
-          acc.forces.(j) <- Vec3.sub acc.forces.(j) f;
-          acc.virial <- acc.virial +. Vec3.dot f d
-        end)
-      topo.pairs14
-  end;
-  !energy
+    let ns = Exec.n_slots exec in
+    if ns = 1 then begin
+      let energy = ref 0. in
+      Array.iter
+        (fun (i, j) ->
+          apply_pair14 topo ~charges ~types ~cutoff box positions acc energy
+            i j)
+        topo.pairs14;
+      !energy
+    end
+    else begin
+      let slots =
+        ensure_slots slots ~ns ~n:(Array.length acc.Bonded.forces)
+      in
+      let tiles = Exec.tile_bounds ~total:npairs ~ntiles:ns in
+      let energies = Array.make ns 0. in
+      Exec.parallel_run exec (fun s ->
+          let a = slots.(s) in
+          Bonded.reset a;
+          let energy = ref 0. in
+          let lo, hi = tiles.(s) in
+          for k = lo to hi - 1 do
+            let i, j = topo.pairs14.(k) in
+            apply_pair14 topo ~charges ~types ~cutoff box positions a energy
+              i j
+          done;
+          energies.(s) <- !energy);
+      Bonded.reduce_slots ~exec ~into:acc slots;
+      Exec.sum_tree energies
+    end
+  end
 
 let compute_all_pairs ?exclusions evaluator box positions acc =
   let energy = ref 0. in

@@ -33,8 +33,14 @@ val of_topology :
   evaluator
 
 (** [compute eval box nlist positions acc] accumulates forces and virial for
-    all neighbor-list pairs and returns the potential energy. *)
+    all neighbor-list pairs and returns the potential energy. With a
+    parallel [exec], the pair list is cut into static contiguous tiles
+    ({!Mdsp_space.Neighbor_list.tiles}), each execution slot accumulates
+    into its own scratch accumulator (from [slots] when it matches the slot
+    count, else freshly allocated), and partial forces/virial/energy are
+    tree-reduced into [acc] deterministically. *)
 val compute :
+  ?exec:Exec.t -> ?slots:Bonded.accum array ->
   evaluator -> Pbc.t -> Mdsp_space.Neighbor_list.t -> Vec3.t array ->
   Bonded.accum -> float
 
@@ -42,8 +48,10 @@ val compute :
     Lorentz-Berthelot LJ scaled by [topo.scale14_lj] plus shifted-cutoff
     Coulomb scaled by [topo.scale14_coul]. Returns the energy; forces and
     virial go into the accumulator. On the machine these terms run with the
-    bonded work on the programmable cores. *)
+    bonded work on the programmable cores. Parallelizes over [exec] like
+    {!compute}, tiling the 1-4 pair array. *)
 val compute_pairs14 :
+  ?exec:Exec.t -> ?slots:Bonded.accum array ->
   Topology.t -> cutoff:float -> Pbc.t -> Vec3.t array -> Bonded.accum -> float
 
 (** All-pairs O(N^2) version used as a test oracle (ignores no pairs; applies

@@ -145,3 +145,38 @@ let ns_per_day cfg w =
   let b = step_time cfg w in
   let steps_per_day = 86400. /. b.step_s in
   steps_per_day *. w.dt_fs *. 1e-6
+
+(* --- model vs measurement ---
+
+   The live force pipeline records wall time per phase
+   (Mdsp_md.Force_calc.timings); each phase maps onto the machine resource
+   that would execute it: neighbor-list pairs + 1-4 terms -> pair
+   pipelines, bonded terms + biases -> programmable cores, the k-space /
+   grid phase -> long-range, neighbor rebuilds -> the import/communication
+   machinery. *)
+
+type resource_row = {
+  resource : string;
+  model_s : float;  (** analytic per-step seconds from {!step_time} *)
+  measured_s : float option;  (** measured per-step seconds, when mapped *)
+}
+
+let resource_rows b (tm : Mdsp_md.Force_calc.timings) =
+  let per = Mdsp_md.Force_calc.timings_per_call tm in
+  let m v = if tm.Mdsp_md.Force_calc.calls = 0 then None else Some v in
+  [
+    { resource = "pair pipelines"; model_s = b.htis_s; measured_s = m per.pair_s };
+    {
+      resource = "flex cores";
+      model_s = b.flex_s;
+      measured_s = m (per.bonded_s +. per.bias_s);
+    };
+    { resource = "long-range"; model_s = b.fft_s; measured_s = m per.longrange_s };
+    { resource = "network"; model_s = b.comm_s; measured_s = m per.neighbor_s };
+    { resource = "sync"; model_s = b.sync_s; measured_s = None };
+    {
+      resource = "step";
+      model_s = b.step_s;
+      measured_s = m (Mdsp_md.Force_calc.timings_total per);
+    };
+  ]

@@ -48,3 +48,21 @@ val ns_per_day : Config.t -> workload -> float
 
 (** Pairs within the cutoff per step (half counting), from density. *)
 val pair_count : workload -> float
+
+(** One line of the model-vs-measurement comparison: the analytic per-step
+    time {!step_time} assigns to a machine resource next to the measured
+    per-step wall time of the execution-backend phase that plays the same
+    role on the host ({!Mdsp_md.Force_calc.timings}). *)
+type resource_row = {
+  resource : string;
+  model_s : float;  (** analytic per-step seconds from {!step_time} *)
+  measured_s : float option;  (** measured per-step seconds, when mapped *)
+}
+
+(** [resource_rows breakdown timings] pairs each modeled resource with the
+    measured phase: pair pipelines <- pair + 1-4 phase, flex cores <-
+    bonded + bias, long-range <- k-space/grid, network <- neighbor
+    rebuilds. [sync] has no host analogue; [measured_s] is [None] there and
+    everywhere when [timings.calls = 0]. *)
+val resource_rows :
+  breakdown -> Mdsp_md.Force_calc.timings -> resource_row list

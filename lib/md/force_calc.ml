@@ -30,6 +30,44 @@ let zero_energies =
     bias = 0.;
   }
 
+type timings = {
+  mutable pair_s : float;
+  mutable bonded_s : float;
+  mutable longrange_s : float;
+  mutable bias_s : float;
+  mutable neighbor_s : float;
+  mutable calls : int;
+}
+
+let zero_timings () =
+  {
+    pair_s = 0.;
+    bonded_s = 0.;
+    longrange_s = 0.;
+    bias_s = 0.;
+    neighbor_s = 0.;
+    calls = 0;
+  }
+
+let timings_total tm =
+  tm.pair_s +. tm.bonded_s +. tm.longrange_s +. tm.bias_s +. tm.neighbor_s
+
+let timings_per_call tm =
+  if tm.calls = 0 then zero_timings ()
+  else begin
+    let c = float_of_int tm.calls in
+    {
+      pair_s = tm.pair_s /. c;
+      bonded_s = tm.bonded_s /. c;
+      longrange_s = tm.longrange_s /. c;
+      bias_s = tm.bias_s /. c;
+      neighbor_s = tm.neighbor_s /. c;
+      calls = tm.calls;
+    }
+  end
+
+let now () = Unix.gettimeofday ()
+
 type bias = {
   bias_name : string;
   bias_compute : Pbc.t -> Vec3.t array -> Mdsp_ff.Bonded.accum -> float;
@@ -45,37 +83,79 @@ type t = {
   mutable evaluator : Mdsp_ff.Pair_interactions.evaluator;
   longrange : longrange;
   nlist : Mdsp_space.Neighbor_list.t;
-  mutable biases : bias list;
+  (* Newest-first; every consumer restores registration order. *)
+  mutable biases_rev : bias list;
   mutable transform : transform option;
   charges : float array;
+  exec : Exec.t;
+  slots : Mdsp_ff.Bonded.accum array;
+  (* Cached handle for the GSE self/excluded corrections: those depend only
+     on beta (self) or on the box passed per call (excluded), so the handle
+     never goes stale even under a barostat. *)
+  mutable gse_ewald : Mdsp_longrange.Ewald.t option;
+  tm : timings;
 }
 
-let create topo ~evaluator ~longrange ~nlist =
+let create ?(exec = Exec.serial) topo ~evaluator ~longrange ~nlist =
+  let ns = Exec.n_slots exec in
   {
     topo;
     evaluator;
     longrange;
     nlist;
-    biases = [];
+    biases_rev = [];
     transform = None;
     charges = Mdsp_ff.Topology.charges topo;
+    exec;
+    slots =
+      (if ns > 1 then
+         Mdsp_ff.Bonded.make_slots ~slots:ns (Mdsp_ff.Topology.n_atoms topo)
+       else [||]);
+    gse_ewald = None;
+    tm = zero_timings ();
   }
 
 let topology t = t.topo
 let nlist t = t.nlist
+let exec t = t.exec
 let set_evaluator t e = t.evaluator <- e
-let add_bias t b = t.biases <- t.biases @ [ b ]
+let add_bias t b = t.biases_rev <- b :: t.biases_rev
 
 let remove_bias t name =
-  let before = List.length t.biases in
-  t.biases <- List.filter (fun b -> b.bias_name <> name) t.biases;
-  List.length t.biases < before
+  let before = List.length t.biases_rev in
+  t.biases_rev <- List.filter (fun b -> b.bias_name <> name) t.biases_rev;
+  List.length t.biases_rev < before
 
-let biases t = List.map (fun b -> b.bias_name) t.biases
+let biases t = List.rev_map (fun b -> b.bias_name) t.biases_rev
 let set_transform t tr = t.transform <- tr
 
+let timings t = { t.tm with calls = t.tm.calls }
+
+let reset_timings t =
+  t.tm.pair_s <- 0.;
+  t.tm.bonded_s <- 0.;
+  t.tm.longrange_s <- 0.;
+  t.tm.bias_s <- 0.;
+  t.tm.neighbor_s <- 0.;
+  t.tm.calls <- 0
+
 let compute_biases t box positions acc =
-  List.fold_left (fun e b -> e +. b.bias_compute box positions acc) 0. t.biases
+  List.fold_left
+    (fun e b -> e +. b.bias_compute box positions acc)
+    0.
+    (List.rev t.biases_rev)
+
+let gse_correction_handle t gse box =
+  match t.gse_ewald with
+  | Some ew -> ew
+  | None ->
+      (* Minimal k list: only the beta-dependent correction terms are used. *)
+      let ew =
+        Mdsp_longrange.Ewald.create ~beta:(Mdsp_longrange.Gse.beta gse)
+          ~kmax:1 box
+      in
+      t.gse_ewald <- Some ew;
+      ew
 
 let compute_longrange t box positions acc =
   match t.longrange with
@@ -90,12 +170,7 @@ let compute_longrange t box positions acc =
       (recip, corr)
   | Lr_gse gse ->
       let recip = Mdsp_longrange.Gse.reciprocal gse t.charges positions acc in
-      (* Self and excluded corrections depend only on beta; reuse Ewald's
-         via a throwaway handle with a minimal k list. *)
-      let ew =
-        Mdsp_longrange.Ewald.create ~beta:(Mdsp_longrange.Gse.beta gse)
-          ~kmax:1 box
-      in
+      let ew = gse_correction_handle t gse box in
       let corr =
         Mdsp_longrange.Ewald.self_energy ew t.charges
         +. Mdsp_longrange.Ewald.excluded_correction ew box t.charges positions
@@ -103,45 +178,88 @@ let compute_longrange t box positions acc =
       in
       (recip, corr)
 
+(* Timed phase helper: runs [f ()], charges the elapsed wall time to the
+   field selected by [add]. *)
+let timed add f =
+  let t0 = now () in
+  let r = f () in
+  add (now () -. t0);
+  r
+
 let compute t box positions acc =
   Mdsp_ff.Bonded.reset acc;
-  ignore (Mdsp_space.Neighbor_list.maybe_rebuild ~box t.nlist positions);
-  let bond, angle, dihedral = Mdsp_ff.Bonded.all box t.topo positions acc in
-  let pair14 =
-    Mdsp_ff.Pair_interactions.compute_pairs14 t.topo
-      ~cutoff:t.evaluator.Mdsp_ff.Pair_interactions.cutoff box positions acc
+  let tm = t.tm in
+  ignore
+    (timed (fun d -> tm.neighbor_s <- tm.neighbor_s +. d) (fun () ->
+         Mdsp_space.Neighbor_list.maybe_rebuild ~box t.nlist positions));
+  let bond, angle, dihedral =
+    timed (fun d -> tm.bonded_s <- tm.bonded_s +. d) (fun () ->
+        Mdsp_ff.Bonded.all ~exec:t.exec ~slots:t.slots box t.topo positions
+          acc)
   in
   let pair =
-    pair14
-    +. Mdsp_ff.Pair_interactions.compute t.evaluator box t.nlist positions acc
+    timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
+        let pair14 =
+          Mdsp_ff.Pair_interactions.compute_pairs14 ~exec:t.exec
+            ~slots:t.slots t.topo
+            ~cutoff:t.evaluator.Mdsp_ff.Pair_interactions.cutoff box positions
+            acc
+        in
+        pair14
+        +. Mdsp_ff.Pair_interactions.compute ~exec:t.exec ~slots:t.slots
+             t.evaluator box t.nlist positions acc)
   in
-  let recip, correction = compute_longrange t box positions acc in
-  let bias = compute_biases t box positions acc in
-  let e = { bond; angle; dihedral; pair; recip; correction; bias } in
-  match t.transform with
-  | None -> e
-  | Some tr ->
-      let boost = tr.tr_apply box positions acc (total e) in
-      { e with bias = e.bias +. boost }
+  let recip, correction =
+    timed (fun d -> tm.longrange_s <- tm.longrange_s +. d) (fun () ->
+        compute_longrange t box positions acc)
+  in
+  let e =
+    timed (fun d -> tm.bias_s <- tm.bias_s +. d) (fun () ->
+        let bias = compute_biases t box positions acc in
+        let e = { bond; angle; dihedral; pair; recip; correction; bias } in
+        match t.transform with
+        | None -> e
+        | Some tr ->
+            let boost = tr.tr_apply box positions acc (total e) in
+            { e with bias = e.bias +. boost })
+  in
+  tm.calls <- tm.calls + 1;
+  e
 
 let compute_class t cls box positions acc =
   Mdsp_ff.Bonded.reset acc;
+  let tm = t.tm in
   match cls with
   | `Fast ->
       let bond, angle, dihedral =
-        Mdsp_ff.Bonded.all box t.topo positions acc
+        timed (fun d -> tm.bonded_s <- tm.bonded_s +. d) (fun () ->
+            Mdsp_ff.Bonded.all ~exec:t.exec ~slots:t.slots box t.topo
+              positions acc)
       in
       let pair14 =
-        Mdsp_ff.Pair_interactions.compute_pairs14 t.topo
-          ~cutoff:t.evaluator.Mdsp_ff.Pair_interactions.cutoff box positions
-          acc
+        timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
+            Mdsp_ff.Pair_interactions.compute_pairs14 ~exec:t.exec
+              ~slots:t.slots t.topo
+              ~cutoff:t.evaluator.Mdsp_ff.Pair_interactions.cutoff box
+              positions acc)
       in
-      let bias = compute_biases t box positions acc in
+      let bias =
+        timed (fun d -> tm.bias_s <- tm.bias_s +. d) (fun () ->
+            compute_biases t box positions acc)
+      in
       { zero_energies with bond; angle; dihedral; pair = pair14; bias }
   | `Slow ->
-      ignore (Mdsp_space.Neighbor_list.maybe_rebuild ~box t.nlist positions);
+      ignore
+        (timed (fun d -> tm.neighbor_s <- tm.neighbor_s +. d) (fun () ->
+             Mdsp_space.Neighbor_list.maybe_rebuild ~box t.nlist positions));
       let pair =
-        Mdsp_ff.Pair_interactions.compute t.evaluator box t.nlist positions acc
+        timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
+            Mdsp_ff.Pair_interactions.compute ~exec:t.exec ~slots:t.slots
+              t.evaluator box t.nlist positions acc)
       in
-      let recip, correction = compute_longrange t box positions acc in
+      let recip, correction =
+        timed (fun d -> tm.longrange_s <- tm.longrange_s +. d) (fun () ->
+            compute_longrange t box positions acc)
+      in
+      tm.calls <- tm.calls + 1;
       { zero_energies with pair; recip; correction }

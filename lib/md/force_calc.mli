@@ -27,6 +27,30 @@ type energies = {
 val total : energies -> float
 val zero_energies : energies
 
+(** Cumulative wall-clock seconds spent in each force-pipeline phase — the
+    live analogue of the machine model's per-resource breakdown
+    ({!Mdsp_machine.Perf.breakdown}): [pair_s] is what the hardwired pair
+    pipelines would run (neighbor-list pairs + 1-4 terms), [bonded_s] and
+    [bias_s] the programmable-core work, [longrange_s] the grid/k-space
+    phase, [neighbor_s] the neighbor-list rebuilds. [calls] counts full
+    force evaluations ({!compute} and [`Slow] class passes). *)
+type timings = {
+  mutable pair_s : float;
+  mutable bonded_s : float;
+  mutable longrange_s : float;
+  mutable bias_s : float;
+  mutable neighbor_s : float;
+  mutable calls : int;
+}
+
+val zero_timings : unit -> timings
+
+(** Sum of all phase times. *)
+val timings_total : timings -> float
+
+(** Per-evaluation averages (divides each phase by [calls]). *)
+val timings_per_call : timings -> timings
+
 (** A bias sees the box and positions and adds forces into the accumulator,
     returning its energy. *)
 type bias = {
@@ -46,7 +70,12 @@ type transform = {
 
 type t
 
+(** [create ?exec topo ~evaluator ~longrange ~nlist] builds the calculator.
+    [exec] (default {!Mdsp_util.Exec.serial}) selects the execution backend
+    for the pair and bonded phases; per-slot scratch accumulators are sized
+    here and reused across steps. *)
 val create :
+  ?exec:Exec.t ->
   Mdsp_ff.Topology.t ->
   evaluator:Mdsp_ff.Pair_interactions.evaluator ->
   longrange:longrange ->
@@ -55,6 +84,15 @@ val create :
 
 val topology : t -> Mdsp_ff.Topology.t
 val nlist : t -> Mdsp_space.Neighbor_list.t
+
+(** The execution backend the calculator runs on. *)
+val exec : t -> Exec.t
+
+(** Snapshot of the cumulative phase timings since creation or the last
+    {!reset_timings}. *)
+val timings : t -> timings
+
+val reset_timings : t -> unit
 
 (** Replace the pair evaluator (FEP lambda switching, machine substitution). *)
 val set_evaluator : t -> Mdsp_ff.Pair_interactions.evaluator -> unit

@@ -75,6 +75,15 @@ let iter t f =
     f t.is.(k) t.js.(k)
   done
 
+let tiles t ~ntiles = Exec.tile_bounds ~total:t.npairs ~ntiles
+
+let iter_range t lo hi f =
+  if lo < 0 || hi > t.npairs || lo > hi then
+    invalid_arg "Neighbor_list.iter_range";
+  for k = lo to hi - 1 do
+    f t.is.(k) t.js.(k)
+  done
+
 let needs_rebuild t positions =
   let limit2 = t.skin *. t.skin /. 4. in
   let n = Array.length positions in

@@ -22,6 +22,16 @@ val length : t -> int
 (** [iter t f] applies [f i j] to every stored pair. *)
 val iter : t -> (int -> int -> unit) -> unit
 
+(** Tiled view of the pair list for static domain-parallel scheduling:
+    [tiles t ~ntiles] cuts the pairs into [ntiles] contiguous half-open
+    ranges of near-equal size (see {!Mdsp_util.Exec.tile_bounds}). The
+    ranges are only valid until the next rebuild. *)
+val tiles : t -> ntiles:int -> (int * int) array
+
+(** [iter_range t lo hi f] applies [f i j] to the stored pairs with indices
+    in [lo, hi) — one tile of {!tiles}. *)
+val iter_range : t -> int -> int -> (int -> int -> unit) -> unit
+
 (** True if some particle moved more than skin/2 since the last build. *)
 val needs_rebuild : t -> Vec3.t array -> bool
 

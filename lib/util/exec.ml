@@ -1,0 +1,162 @@
+type backend =
+  | Serial
+  | Domains of { n : int }
+
+(* Pool protocol: the caller installs a job and bumps [epoch]; each worker
+   runs the job for its own slot exactly once per epoch and decrements
+   [pending]. The caller participates as slot 0, then waits for
+   [pending = 0]. Workers park on [work] between jobs. *)
+type pool = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable epoch : int;
+  mutable pending : int;
+  mutable quit : bool;
+  mutable failure : exn option;
+  mutable workers : unit Domain.t list;
+}
+
+type t = { bk : backend; pool : pool option }
+
+let serial = { bk = Serial; pool = None }
+
+let backend t = t.bk
+let n_slots t = match t.bk with Serial -> 1 | Domains { n } -> max 1 n
+
+let worker_loop pool slot =
+  let last_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.quit) && pool.epoch = !last_epoch do
+      Condition.wait pool.work pool.mutex
+    done;
+    if pool.quit then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      last_epoch := pool.epoch;
+      let job = pool.job in
+      Mutex.unlock pool.mutex;
+      (match job with
+      | None -> ()
+      | Some f -> (
+          try f slot
+          with e ->
+            Mutex.lock pool.mutex;
+            if pool.failure = None then pool.failure <- Some e;
+            Mutex.unlock pool.mutex));
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.signal pool.finished;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let shutdown t =
+  match t.pool with
+  | None -> ()
+  | Some p ->
+      Mutex.lock p.mutex;
+      let workers = p.workers in
+      p.workers <- [];
+      p.quit <- true;
+      Condition.broadcast p.work;
+      Mutex.unlock p.mutex;
+      List.iter Domain.join workers
+
+let create = function
+  | Serial -> serial
+  | Domains { n } when n <= 1 -> { bk = Domains { n = 1 }; pool = None }
+  | Domains { n } ->
+      let pool =
+        {
+          size = n;
+          mutex = Mutex.create ();
+          work = Condition.create ();
+          finished = Condition.create ();
+          job = None;
+          epoch = 0;
+          pending = 0;
+          quit = false;
+          failure = None;
+          workers = [];
+        }
+      in
+      pool.workers <-
+        List.init (n - 1) (fun i ->
+            Domain.spawn (fun () -> worker_loop pool (i + 1)));
+      let t = { bk = Domains { n }; pool = Some pool } in
+      (* Workers otherwise block forever on [work] and keep the runtime from
+         exiting cleanly. *)
+      at_exit (fun () -> shutdown t);
+      t
+
+let parallel_run t f =
+  match t.pool with
+  | None -> f 0
+  | Some p ->
+      Mutex.lock p.mutex;
+      if p.quit then begin
+        Mutex.unlock p.mutex;
+        invalid_arg "Exec.parallel_run: pool is shut down"
+      end;
+      p.job <- Some f;
+      p.pending <- p.size - 1;
+      p.failure <- None;
+      p.epoch <- p.epoch + 1;
+      Condition.broadcast p.work;
+      Mutex.unlock p.mutex;
+      let main_failure = (try f 0; None with e -> Some e) in
+      Mutex.lock p.mutex;
+      while p.pending > 0 do
+        Condition.wait p.finished p.mutex
+      done;
+      p.job <- None;
+      let worker_failure = p.failure in
+      p.failure <- None;
+      Mutex.unlock p.mutex;
+      (match main_failure with Some e -> raise e | None -> ());
+      (match worker_failure with Some e -> raise e | None -> ())
+
+let tile_bounds ~total ~ntiles =
+  if total < 0 then invalid_arg "Exec.tile_bounds: total";
+  if ntiles < 1 then invalid_arg "Exec.tile_bounds: ntiles";
+  Array.init ntiles (fun k ->
+      (total * k / ntiles, total * (k + 1) / ntiles))
+
+let reduce_tree f a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Exec.reduce_tree: empty array";
+  let b = Array.copy a in
+  let stride = ref 1 in
+  while !stride < n do
+    let i = ref 0 in
+    while !i + !stride < n do
+      b.(!i) <- f b.(!i) b.(!i + !stride);
+      i := !i + (2 * !stride)
+    done;
+    stride := 2 * !stride
+  done;
+  b.(0)
+
+let sum_tree a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Exec.sum_tree: empty array";
+  let b = Array.copy a in
+  let stride = ref 1 in
+  while !stride < n do
+    let i = ref 0 in
+    while !i + !stride < n do
+      b.(!i) <- b.(!i) +. b.(!i + !stride);
+      i := !i + (2 * !stride)
+    done;
+    stride := 2 * !stride
+  done;
+  b.(0)
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())

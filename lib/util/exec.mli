@@ -1,0 +1,66 @@
+(** Execution backends: where force-pipeline work runs.
+
+    The special-purpose machine routes each force class onto a dedicated
+    resource (hardwired pair pipelines, programmable cores). On commodity
+    hardware the analogous seam is an execution backend: [Serial] runs
+    everything on the calling domain, [Domains] fans tiled work out over a
+    persistent pool of OCaml 5 domains.
+
+    Scheduling is static (no work stealing): a task index set is cut into
+    contiguous tiles, one per slot, and slot [s] always receives tile [s].
+    Combined with fixed-shape tree reductions ({!reduce_tree}), this makes
+    parallel runs bit-for-bit deterministic: two runs on the same pool size
+    produce identical floating-point results. Serial and parallel results
+    differ only by summation order (relative differences at rounding level).
+
+    A pool is cheap to keep around and is reused across steps; workers block
+    on a condition variable between jobs. Pools are shut down explicitly with
+    {!shutdown} or automatically at program exit. *)
+
+type backend =
+  | Serial  (** everything on the calling domain *)
+  | Domains of { n : int }
+      (** a persistent pool of [n] slots: the caller plus [n - 1] spawned
+          domains; [n <= 1] degrades to [Serial] behavior *)
+
+type t
+
+(** The shared serial executor (no pool, no spawned domains). *)
+val serial : t
+
+(** [create backend] builds an executor. For [Domains { n }] with [n >= 2]
+    this spawns [n - 1] worker domains that persist until {!shutdown} (or
+    program exit, via an [at_exit] hook). *)
+val create : backend -> t
+
+val backend : t -> backend
+
+(** Number of parallel slots: 1 for [Serial], [max 1 n] for [Domains]. *)
+val n_slots : t -> int
+
+(** [parallel_run t f] runs [f s] for every slot [s] in [0 .. n_slots - 1],
+    slot 0 on the calling domain, and returns when all slots finish. Slots
+    must write to disjoint state. Exceptions raised by any slot are re-raised
+    on the caller after the barrier. Serial executors just call [f 0]. *)
+val parallel_run : t -> (int -> unit) -> unit
+
+(** [tile_bounds ~total ~ntiles] statically partitions [0 .. total - 1] into
+    [ntiles] contiguous half-open ranges [(lo, hi)] whose sizes differ by at
+    most one. Empty ranges are possible when [total < ntiles]. *)
+val tile_bounds : total:int -> ntiles:int -> (int * int) array
+
+(** Fixed-shape pairwise tree reduction (stride doubling): the combination
+    order depends only on the array length, never on timing, so the result
+    is deterministic. Raises [Invalid_argument] on an empty array. *)
+val reduce_tree : ('a -> 'a -> 'a) -> 'a array -> 'a
+
+(** [reduce_tree ( +. )] specialized to floats without closure allocation. *)
+val sum_tree : float array -> float
+
+(** Stop the pool's workers and join them. Idempotent; [Serial] executors
+    are unaffected. Using {!parallel_run} after shutdown raises. *)
+val shutdown : t -> unit
+
+(** [Domain.recommended_domain_count], clamped to at least 1 — a sensible
+    default for [Domains { n }]. *)
+val recommended_domains : unit -> int

@@ -422,7 +422,7 @@ let presets =
   ]
 
 let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
-    ?(seed = 23) sys =
+    ?(seed = 23) ?(exec = Exec.serial) sys =
   let has_charges =
     Array.exists (fun (a : Mdsp_ff.Topology.atom) -> a.charge <> 0.)
       sys.topo.atoms
@@ -449,7 +449,7 @@ let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
       ~skin:1.0 sys.box sys.positions
   in
   let fc =
-    Mdsp_md.Force_calc.create sys.topo ~evaluator
+    Mdsp_md.Force_calc.create ~exec sys.topo ~evaluator
       ~longrange:Mdsp_md.Force_calc.Lr_none ~nlist
   in
   if sys.label = "double_well" then begin

@@ -95,11 +95,14 @@ val presets : preset list
 
 (** Assemble an engine with sensible defaults: cutoff 9 A (or less for small
     boxes), reaction-field electrostatics for charged systems, Verlet skin 1
-    A. [config] defaults to {!Mdsp_md.Engine.default_config}. *)
+    A. [config] defaults to {!Mdsp_md.Engine.default_config}; [exec]
+    (default serial) selects the execution backend the force pipeline runs
+    on. *)
 val make_engine :
   ?config:Mdsp_md.Engine.config ->
   ?cutoff:float ->
   ?elec:Mdsp_ff.Pair_interactions.electrostatics ->
   ?seed:int ->
+  ?exec:Exec.t ->
   system ->
   Mdsp_md.Engine.t

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build, every test suite (including the parallel
+# serial-vs-domains agreement suite), and a smoke run of the timing
+# experiment with its JSON dump. Run locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+
+# e21 exercises the Domains backend end to end and writes the phase
+# timings; keep it cheap but real.
+dune exec bench/main.exe -- e21 --json /tmp/mdsp-timings.json
+test -s /tmp/mdsp-timings.json
+echo "ci: OK"

@@ -1,0 +1,350 @@
+(* The execution-backend layer: Serial vs Domains agreement on energies,
+   forces, and virial; bit-level determinism of the static tiling + tree
+   reduction; and the per-resource step-timing instrumentation. *)
+
+open Mdsp_util
+open Testsupport
+module E = Mdsp_md.Engine
+module FC = Mdsp_md.Force_calc
+
+(* --- Exec primitives --- *)
+
+let test_tile_bounds () =
+  List.iter
+    (fun (total, ntiles) ->
+      let b = Exec.tile_bounds ~total ~ntiles in
+      check_true "tile count" (Array.length b = ntiles);
+      let covered = ref 0 in
+      Array.iteri
+        (fun k (lo, hi) ->
+          check_true "monotone" (lo <= hi);
+          if k > 0 then
+            check_true "contiguous" (lo = snd b.(k - 1));
+          covered := !covered + (hi - lo))
+        b;
+      check_true "covers all" (!covered = total);
+      let sizes = Array.map (fun (lo, hi) -> hi - lo) b in
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      check_true "balanced" (mx - mn <= 1))
+    [ (0, 1); (0, 4); (1, 4); (7, 3); (100, 7); (156944, 4) ]
+
+let test_reduce_tree () =
+  let a = Array.init 13 (fun i -> float_of_int (i + 1)) in
+  check_float ~eps:1e-12 "tree sum" 91. (Exec.reduce_tree ( +. ) a);
+  check_true "sum_tree matches reduce_tree"
+    (Exec.reduce_tree ( +. ) a = Exec.sum_tree a);
+  check_true "max via tree"
+    (Exec.reduce_tree max [| 3; 1; 4; 1; 5; 9; 2; 6 |] = 9)
+
+let test_parallel_run_covers_slots () =
+  let pool = Exec.create (Exec.Domains { n = 4 }) in
+  check_true "n_slots" (Exec.n_slots pool = 4);
+  let hits = Array.make 4 0 in
+  for _ = 1 to 5 do
+    Exec.parallel_run pool (fun s -> hits.(s) <- hits.(s) + 1)
+  done;
+  Exec.shutdown pool;
+  Array.iter (fun h -> check_true "each slot ran each job" (h = 5)) hits
+
+let test_parallel_run_propagates_exceptions () =
+  let pool = Exec.create (Exec.Domains { n = 3 }) in
+  let raised =
+    try
+      Exec.parallel_run pool (fun s -> if s = 2 then failwith "slot boom");
+      false
+    with Failure _ -> true
+  in
+  (* The pool must survive a failed job. *)
+  let hits = Array.make 3 false in
+  Exec.parallel_run pool (fun s -> hits.(s) <- true);
+  Exec.shutdown pool;
+  check_true "worker exception re-raised on caller" raised;
+  check_true "pool usable after failure" (Array.for_all Fun.id hits)
+
+(* --- a solvated box exercising every force class ---
+
+   Rigid water (SHAKE constraints), real-space Ewald pairs + reciprocal
+   Ewald long-range, plus a registered bias: the workload from the
+   integration suite, evaluated on both backends. *)
+
+let solvated_fc ~exec () =
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:4 () in
+  let open Mdsp_workload.Workloads in
+  let cutoff = 0.45 *. Pbc.min_edge sys.box in
+  let beta = 3.0 /. cutoff in
+  let evaluator =
+    Mdsp_ff.Pair_interactions.of_topology sys.topo ~cutoff
+      ~trunc:Mdsp_ff.Nonbonded.Shift
+      ~elec:(Mdsp_ff.Pair_interactions.Ewald_real { beta })
+  in
+  let nlist =
+    Mdsp_space.Neighbor_list.create
+      ~exclusions:sys.topo.Mdsp_ff.Topology.exclusions ~cutoff ~skin:1.
+      sys.box sys.positions
+  in
+  let ew = Mdsp_longrange.Ewald.create ~beta ~kmax:5 sys.box in
+  let fc =
+    FC.create ~exec sys.topo ~evaluator ~longrange:(FC.Lr_ewald ew) ~nlist
+  in
+  FC.add_bias fc
+    (Mdsp_workload.Workloads.double_well_bias ~barrier:1.0 ~half_width:4.0);
+  (sys, fc)
+
+let compute_once ~exec () =
+  let sys, fc = solvated_fc ~exec () in
+  let n = Mdsp_ff.Topology.n_atoms sys.Mdsp_workload.Workloads.topo in
+  let acc = Mdsp_ff.Bonded.make_accum n in
+  let e =
+    FC.compute fc sys.Mdsp_workload.Workloads.box
+      sys.Mdsp_workload.Workloads.positions acc
+  in
+  (e, acc)
+
+let rel_force_diff a b =
+  let fmax = ref 1e-30 and dmax = ref 0. in
+  Array.iteri
+    (fun i f ->
+      fmax := Float.max !fmax (Vec3.norm f);
+      dmax := Float.max !dmax (Vec3.dist f b.(i)))
+    a;
+  !dmax /. !fmax
+
+let test_serial_vs_domains_agree () =
+  let e_s, acc_s = compute_once ~exec:Exec.serial () in
+  let pool = Exec.create (Exec.Domains { n = 4 }) in
+  let e_p, acc_p = compute_once ~exec:pool () in
+  Exec.shutdown pool;
+  let open FC in
+  check_close ~rel:1e-10 "bond energy" e_s.bond e_p.bond;
+  check_close ~rel:1e-10 "pair energy" e_s.pair e_p.pair;
+  check_close ~rel:1e-10 "recip energy" e_s.recip e_p.recip;
+  check_close ~rel:1e-10 "correction" e_s.correction e_p.correction;
+  check_close ~rel:1e-10 "bias energy" e_s.bias e_p.bias;
+  check_close ~rel:1e-10 "total energy" (total e_s) (total e_p);
+  check_close ~rel:1e-10 "virial" acc_s.Mdsp_ff.Bonded.virial
+    acc_p.Mdsp_ff.Bonded.virial;
+  let rel =
+    rel_force_diff acc_s.Mdsp_ff.Bonded.forces acc_p.Mdsp_ff.Bonded.forces
+  in
+  check_true
+    (Printf.sprintf "forces agree (rel %.2e <= 1e-10)" rel)
+    (rel <= 1e-10)
+
+let test_bonded_workload_agrees () =
+  (* A charged bead chain: bonds, angles, dihedrals, 1-4 pairs and
+     reaction-field electrostatics through the parallel tiles. *)
+  let sys = Mdsp_workload.Workloads.bead_chain ~n_beads:16 ~n_total:256 () in
+  let compute exec =
+    let eng =
+      Mdsp_workload.Workloads.make_engine ~seed:5 ~exec sys
+    in
+    let acc = Mdsp_ff.Bonded.make_accum 256 in
+    let e =
+      FC.compute (E.force_calc eng) (E.state eng).Mdsp_md.State.box
+        (E.state eng).Mdsp_md.State.positions acc
+    in
+    (e, acc)
+  in
+  let e_s, acc_s = compute Exec.serial in
+  let pool = Exec.create (Exec.Domains { n = 3 }) in
+  let e_p, acc_p = compute pool in
+  Exec.shutdown pool;
+  let open FC in
+  check_close ~rel:1e-10 "bond" e_s.bond e_p.bond;
+  check_close ~rel:1e-10 "angle" e_s.angle e_p.angle;
+  check_close ~rel:1e-10 "dihedral" e_s.dihedral e_p.dihedral;
+  check_close ~rel:1e-10 "pair (incl. 1-4)" e_s.pair e_p.pair;
+  check_close ~rel:1e-10 "virial" acc_s.Mdsp_ff.Bonded.virial
+    acc_p.Mdsp_ff.Bonded.virial;
+  let rel =
+    rel_force_diff acc_s.Mdsp_ff.Bonded.forces acc_p.Mdsp_ff.Bonded.forces
+  in
+  check_true
+    (Printf.sprintf "forces agree (rel %.2e <= 1e-10)" rel)
+    (rel <= 1e-10)
+
+let test_respa_classes_agree () =
+  let run exec cls =
+    let sys, fc = solvated_fc ~exec () in
+    let n = Mdsp_ff.Topology.n_atoms sys.Mdsp_workload.Workloads.topo in
+    let acc = Mdsp_ff.Bonded.make_accum n in
+    let e =
+      FC.compute_class fc cls sys.Mdsp_workload.Workloads.box
+        sys.Mdsp_workload.Workloads.positions acc
+    in
+    (e, acc)
+  in
+  let pool = Exec.create (Exec.Domains { n = 4 }) in
+  List.iter
+    (fun cls ->
+      let e_s, acc_s = run Exec.serial cls in
+      let e_p, acc_p = run pool cls in
+      check_close ~rel:1e-10 "class energy" (FC.total e_s) (FC.total e_p);
+      let rel =
+        rel_force_diff acc_s.Mdsp_ff.Bonded.forces
+          acc_p.Mdsp_ff.Bonded.forces
+      in
+      check_true "class forces" (rel <= 1e-10))
+    [ `Fast; `Slow ];
+  Exec.shutdown pool
+
+(* --- determinism --- *)
+
+let test_parallel_determinism_single_eval () =
+  (* Two evaluations on two fresh pools of the same width must be
+     bit-for-bit identical: static tiles + fixed-shape tree reduction. *)
+  let run () =
+    let pool = Exec.create (Exec.Domains { n = 4 }) in
+    let r = compute_once ~exec:pool () in
+    Exec.shutdown pool;
+    r
+  in
+  let e1, acc1 = run () in
+  let e2, acc2 = run () in
+  check_true "energies bit-identical" (e1 = e2);
+  check_true "virial bit-identical"
+    (acc1.Mdsp_ff.Bonded.virial = acc2.Mdsp_ff.Bonded.virial);
+  let identical = ref true in
+  Array.iteri
+    (fun i f -> if f <> acc2.Mdsp_ff.Bonded.forces.(i) then identical := false)
+    acc1.Mdsp_ff.Bonded.forces;
+  check_true "forces bit-identical" !identical
+
+let test_parallel_determinism_trajectory () =
+  (* A full dynamical run (thermostat, constraints, rebuilds) repeated on a
+     parallel backend stays bit-identical. *)
+  let run () =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+    let pool = Exec.create (Exec.Domains { n = 4 }) in
+    let cfg =
+      {
+        E.default_config with
+        dt_fs = 1.0;
+        temperature = 300.;
+        thermostat = E.Langevin { gamma_fs = 0.02 };
+      }
+    in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:7 ~exec:pool sys in
+    E.run eng 25;
+    let st = E.state eng in
+    let pos = Array.copy st.Mdsp_md.State.positions in
+    Exec.shutdown pool;
+    (pos, E.total_energy eng)
+  in
+  let pos1, e1 = run () in
+  let pos2, e2 = run () in
+  check_true "trajectory energy bit-identical" (e1 = e2);
+  let identical = ref true in
+  Array.iteri (fun i p -> if p <> pos2.(i) then identical := false) pos1;
+  check_true "trajectory positions bit-identical" !identical
+
+let test_engine_backends_consistent () =
+  (* Short run: backends may differ only by rounding, which cannot grow far
+     in a few steps. *)
+  let run exec =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+    let eng = Mdsp_workload.Workloads.make_engine ~seed:9 ~exec sys in
+    E.run eng 5;
+    E.total_energy eng
+  in
+  let e_s = run Exec.serial in
+  let pool = Exec.create (Exec.Domains { n = 2 }) in
+  let e_p = run pool in
+  Exec.shutdown pool;
+  check_close ~rel:1e-6 "5-step total energy" e_s e_p
+
+(* --- timing instrumentation --- *)
+
+let test_step_timings_populated () =
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:256 () in
+  let eng = Mdsp_workload.Workloads.make_engine ~seed:3 sys in
+  E.reset_timings eng;
+  E.run eng 10;
+  let tm = E.timings eng in
+  let open FC in
+  check_true "one force evaluation per step" (tm.calls = 10);
+  check_true "pair time recorded" (tm.pair_s > 0.);
+  check_true "phases non-negative"
+    (tm.bonded_s >= 0. && tm.longrange_s >= 0. && tm.bias_s >= 0.
+    && tm.neighbor_s >= 0.);
+  let per = timings_per_call tm in
+  check_close ~rel:1e-9 "per-call scaling" (tm.pair_s /. 10.) per.pair_s;
+  check_true "total is the sum"
+    (abs_float
+       (timings_total tm
+       -. (tm.pair_s +. tm.bonded_s +. tm.longrange_s +. tm.bias_s
+          +. tm.neighbor_s))
+    < 1e-12);
+  E.reset_timings eng;
+  check_true "reset clears" ((E.timings eng).calls = 0)
+
+let test_resource_rows_mapping () =
+  let w =
+    Mdsp_machine.Perf.plain_workload ~n_atoms:1000 ~density:0.1 ~cutoff:9.
+      ~dt_fs:2.
+  in
+  let b = Mdsp_machine.Perf.step_time (Mdsp_machine.Config.anton_like ()) w in
+  let tm = FC.zero_timings () in
+  tm.FC.pair_s <- 2.0;
+  tm.FC.bonded_s <- 0.5;
+  tm.FC.bias_s <- 0.25;
+  tm.FC.calls <- 10;
+  let rows = Mdsp_machine.Perf.resource_rows b tm in
+  let find name =
+    List.find (fun r -> r.Mdsp_machine.Perf.resource = name) rows
+  in
+  (match (find "pair pipelines").Mdsp_machine.Perf.measured_s with
+  | Some v -> check_float ~eps:1e-12 "pair maps per-call" 0.2 v
+  | None -> Alcotest.fail "pair row unmapped");
+  (match (find "flex cores").Mdsp_machine.Perf.measured_s with
+  | Some v -> check_float ~eps:1e-12 "flex = bonded + bias" 0.075 v
+  | None -> Alcotest.fail "flex row unmapped");
+  check_true "sync has no host analogue"
+    ((find "sync").Mdsp_machine.Perf.measured_s = None);
+  (* Unmeasured timings map to nothing. *)
+  let rows0 = Mdsp_machine.Perf.resource_rows b (FC.zero_timings ()) in
+  check_true "no calls -> no measured columns"
+    (List.for_all
+       (fun r -> r.Mdsp_machine.Perf.measured_s = None)
+       rows0)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "tile_bounds static partition" `Quick
+            test_tile_bounds;
+          Alcotest.test_case "tree reduction" `Quick test_reduce_tree;
+          Alcotest.test_case "pool covers all slots" `Quick
+            test_parallel_run_covers_slots;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_parallel_run_propagates_exceptions;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "solvated box: serial vs domains" `Quick
+            test_serial_vs_domains_agree;
+          Alcotest.test_case "bonded chain: serial vs domains" `Quick
+            test_bonded_workload_agrees;
+          Alcotest.test_case "RESPA fast/slow classes" `Quick
+            test_respa_classes_agree;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "single evaluation bit-identical" `Quick
+            test_parallel_determinism_single_eval;
+          Alcotest.test_case "25-step trajectory bit-identical" `Quick
+            test_parallel_determinism_trajectory;
+          Alcotest.test_case "backends consistent over a short run" `Quick
+            test_engine_backends_consistent;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "per-resource step timings" `Quick
+            test_step_timings_populated;
+          Alcotest.test_case "model vs measured resource rows" `Quick
+            test_resource_rows_mapping;
+        ] );
+    ]
