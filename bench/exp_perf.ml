@@ -248,9 +248,79 @@ let e21 () =
   record "e21.step_serial_us" (timings_total ps *. 1e6);
   record (Printf.sprintf "e21.step_domains%d_us" ndomains)
     (timings_total pp *. 1e6);
-  (* The analytic machine model for the same workload, next to what we
-     actually measured on the host backend. *)
-  let w = Perf.of_system ~dt_fs:cfg.Mdsp_md.Engine.dt_fs sys.Mdsp_workload.Workloads.topo sys.Mdsp_workload.Workloads.box in
+  (* The GSE grid pipeline — the stage the machine backs with dedicated
+     long-range hardware: a charged water box with grid electrostatics,
+     serial vs domains, broken into spread/fft/convolve/gather. *)
+  let gse_grid = (16, 16, 16) in
+  let gse_steps = 6 in
+  let measure_gse exec =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:4 () in
+    let eng =
+      Mdsp_workload.Workloads.make_engine
+        ~config:
+          {
+            Mdsp_md.Engine.default_config with
+            dt_fs = 1.0;
+            temperature = 300.;
+            thermostat = Mdsp_md.Engine.Langevin { gamma_fs = 0.02 };
+          }
+        ~seed:42 ~exec ~gse_grid sys
+    in
+    Mdsp_md.Engine.run eng 2;
+    Mdsp_md.Engine.reset_timings eng;
+    Mdsp_md.Engine.run eng gse_steps;
+    (Mdsp_md.Engine.timings eng, sys)
+  in
+  let tm_gse_serial, gse_sys = measure_gse X.serial in
+  let pool = X.create (X.Domains { n = ndomains }) in
+  let tm_gse_par, _ = measure_gse pool in
+  X.shutdown pool;
+  let gs = FC.timings_per_call tm_gse_serial in
+  let gp = FC.timings_per_call tm_gse_par in
+  let gx, gy, gz = gse_grid in
+  let t_gse =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "GSE grid pipeline sub-phases, 192-atom water box, %dx%dx%d grid"
+           gx gy gz)
+      ~columns:
+        [
+          ("phase", T.Left);
+          ("serial (us)", T.Right);
+          (Printf.sprintf "%d domains (us)" ndomains, T.Right);
+          ("speedup", T.Right);
+        ]
+  in
+  let gse_phase ?key name a b =
+    T.row t_gse
+      [
+        name;
+        T.cell_f ~prec:1 (a *. 1e6);
+        T.cell_f ~prec:1 (b *. 1e6);
+        (if b > 0. then Printf.sprintf "%.2fx" (a /. b) else "-");
+      ];
+    match key with
+    | None -> ()
+    | Some key ->
+        record (Printf.sprintf "e21.lr_%s_serial_us" key) (a *. 1e6);
+        record
+          (Printf.sprintf "e21.lr_%s_domains%d_us" key ndomains)
+          (b *. 1e6)
+  in
+  gse_phase ~key:"spread" "spread" gs.lr_spread_s gp.lr_spread_s;
+  gse_phase ~key:"fft" "fft" gs.lr_fft_s gp.lr_fft_s;
+  gse_phase ~key:"convolve" "convolve" gs.lr_convolve_s gp.lr_convolve_s;
+  gse_phase ~key:"gather" "gather" gs.lr_gather_s gp.lr_gather_s;
+  gse_phase ~key:"total" "long-range total" gs.longrange_s gp.longrange_s;
+  T.print t_gse;
+  (* The analytic machine model for the grid workload, next to what we
+     actually measured on the host backend — sub-phase rows included on
+     both sides. *)
+  let w =
+    Perf.of_system ~dt_fs:1.0 ~fft_grid:gse_grid
+      gse_sys.Mdsp_workload.Workloads.topo gse_sys.Mdsp_workload.Workloads.box
+  in
   let b = Perf.step_time (Config.anton_like ()) w in
   let t2 =
     T.create ~title:"analytic 512-node model vs host measurement (per step)"
@@ -267,7 +337,7 @@ let e21 () =
           | Some m -> T.cell_f ~prec:1 (m *. 1e6)
           | None -> "-");
         ])
-    (Perf.resource_rows b tm_par);
+    (Perf.resource_rows b tm_gse_par);
   T.print t2;
   note "%s"
     (Printf.sprintf

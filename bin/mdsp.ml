@@ -71,6 +71,15 @@ let timings_arg =
     & info [ "timings" ]
         ~doc:"Print the per-resource step-time breakdown after the run.")
 
+let gse_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "gse" ] ~docv:"N"
+        ~doc:
+          "Grid electrostatics for charged systems: real-space Ewald pairs \
+           plus the GSE reciprocal solver on an NxNxN grid (N a power of \
+           two; 0 = off). All grid phases run on the --domains backend.")
+
 let xyz_arg =
   Arg.(
     value & opt (some string) None
@@ -121,14 +130,21 @@ let print_timings eng =
   Printf.printf "  bonded (flex)       %10.3f us\n" (per.bonded_s *. 1e6);
   Printf.printf "  bias (flex)         %10.3f us\n" (per.bias_s *. 1e6);
   Printf.printf "  long-range          %10.3f us\n" (per.longrange_s *. 1e6);
+  if per.lr_spread_s > 0. || per.lr_fft_s > 0. then begin
+    Printf.printf "    spread            %10.3f us\n" (per.lr_spread_s *. 1e6);
+    Printf.printf "    fft               %10.3f us\n" (per.lr_fft_s *. 1e6);
+    Printf.printf "    convolve          %10.3f us\n"
+      (per.lr_convolve_s *. 1e6);
+    Printf.printf "    gather            %10.3f us\n" (per.lr_gather_s *. 1e6)
+  end;
   Printf.printf "  neighbor rebuild    %10.3f us\n" (per.neighbor_s *. 1e6);
   Printf.printf "  total               %10.3f us\n"
     (timings_total per *. 1e6)
 
 let run_cmd =
   let doc = "Run molecular dynamics on a workload and report observables." in
-  let run preset steps temp dt thermostat use_tables seed domains timings xyz
-      xyz_stride checkpoint restart =
+  let run preset steps temp dt thermostat use_tables seed domains gse timings
+      xyz xyz_stride checkpoint restart =
     let sys = build_system preset in
     let exec =
       let module X = Mdsp_util.Exec in
@@ -137,6 +153,7 @@ let run_cmd =
       | 0 -> X.create (X.Domains { n = X.recommended_domains () })
       | n -> X.create (X.Domains { n })
     in
+    let gse_grid = if gse > 0 then Some (gse, gse, gse) else None in
     let thermostat =
       match thermostat with
       | `None -> E.No_thermostat
@@ -145,11 +162,18 @@ let run_cmd =
       | `Ber -> E.Berendsen { tau_fs = 100. }
     in
     let cfg = { E.default_config with dt_fs = dt; temperature = temp; thermostat } in
-    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed ~exec sys in
+    let eng =
+      Mdsp_workload.Workloads.make_engine ~config:cfg ?gse_grid ~seed ~exec
+        sys
+    in
     (match Mdsp_util.Exec.backend exec with
     | Mdsp_util.Exec.Serial -> ()
     | Mdsp_util.Exec.Domains { n } ->
         Printf.printf "execution backend: %d domains\n" n);
+    (match Mdsp_md.Force_calc.(longrange_kind (E.force_calc eng)) with
+    | `Gse (gx, gy, gz) ->
+        Printf.printf "long-range: GSE grid %dx%dx%d\n" gx gy gz
+    | _ -> ());
     (match restart with
     | None -> ()
     | Some path ->
@@ -244,7 +268,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ preset_arg $ steps_arg $ temp_arg $ dt_arg $ thermostat_arg
-      $ tables_arg $ seed_arg $ domains_arg $ timings_arg $ xyz_arg
+      $ tables_arg $ seed_arg $ domains_arg $ gse_arg $ timings_arg $ xyz_arg
       $ xyz_stride_arg $ checkpoint_arg $ restart_arg)
 
 (* --- model --- *)

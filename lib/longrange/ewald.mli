@@ -6,7 +6,22 @@
     reciprocal-space part (direct sum over k vectors), the self-energy
     correction, and the correction for excluded pairs. Exact up to the [kmax]
     truncation; used as the oracle the grid-based GSE solver is tested
-    against and to compute Madelung constants in the test suite. *)
+    against and to compute Madelung constants in the test suite.
+
+    {2 Units}
+
+    Positions and the box are in Angstrom, charges in elementary charge
+    units, [beta] in 1/Angstrom; energies are returned in kcal/mol and
+    forces accumulated in kcal/mol/Angstrom (the Coulomb constant is
+    applied internally, as everywhere in the force field).
+
+    {2 Execution and determinism}
+
+    This reference implementation is deliberately serial: every sum runs on
+    the calling domain in a fixed order, so results are bitwise reproducible
+    across runs and independent of any {!Mdsp_util.Exec} backend the rest of
+    the force pipeline uses. For the pool-parallel production solver, use
+    [Mdsp_longrange.Gse]. *)
 
 open Mdsp_util
 

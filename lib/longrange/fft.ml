@@ -1,3 +1,5 @@
+open Mdsp_util
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let next_pow2 n =
@@ -53,54 +55,66 @@ let fft_1d ~sign re im =
     mmax := istep
   done
 
-let fft_3d ~sign ~nx ~ny ~nz re im =
+(* The 3D transform is three sweeps of independent 1-D lines; each line is
+   read into a per-slot scratch buffer, transformed, and written back to a
+   disjoint region of the grid. Lines are statically tiled over the pool,
+   so the parallel result is bitwise identical to the serial one: every
+   line's arithmetic is untouched, only which domain runs it changes. *)
+let fft_3d ?(exec = Exec.serial) ~sign ~nx ~ny ~nz re im =
   let total = nx * ny * nz in
   if Array.length re <> total || Array.length im <> total then
     invalid_arg "Fft.fft_3d: array size mismatch";
   let idx x y z = x + (nx * (y + (ny * z))) in
-  (* Transform along x (contiguous). *)
-  let bx_re = Array.make nx 0. and bx_im = Array.make nx 0. in
-  for z = 0 to nz - 1 do
-    for y = 0 to ny - 1 do
-      let base = idx 0 y z in
-      Array.blit re base bx_re 0 nx;
-      Array.blit im base bx_im 0 nx;
-      fft_1d ~sign bx_re bx_im;
-      Array.blit bx_re 0 re base nx;
-      Array.blit bx_im 0 im base nx
-    done
-  done;
-  (* Along y. *)
-  let by_re = Array.make ny 0. and by_im = Array.make ny 0. in
-  for z = 0 to nz - 1 do
-    for x = 0 to nx - 1 do
-      for y = 0 to ny - 1 do
-        let k = idx x y z in
-        by_re.(y) <- re.(k);
-        by_im.(y) <- im.(k)
-      done;
-      fft_1d ~sign by_re by_im;
-      for y = 0 to ny - 1 do
-        let k = idx x y z in
-        re.(k) <- by_re.(y);
-        im.(k) <- by_im.(y)
-      done
-    done
-  done;
-  (* Along z. *)
-  let bz_re = Array.make nz 0. and bz_im = Array.make nz 0. in
-  for y = 0 to ny - 1 do
-    for x = 0 to nx - 1 do
-      for z = 0 to nz - 1 do
-        let k = idx x y z in
-        bz_re.(z) <- re.(k);
-        bz_im.(z) <- im.(k)
-      done;
-      fft_1d ~sign bz_re bz_im;
-      for z = 0 to nz - 1 do
-        let k = idx x y z in
-        re.(k) <- bz_re.(z);
-        im.(k) <- bz_im.(z)
-      done
-    done
-  done
+  let ns = Exec.n_slots exec in
+  (* Transform along x (contiguous): one line per (y, z). *)
+  let x_tiles = Exec.tile_bounds ~total:(ny * nz) ~ntiles:ns in
+  Exec.parallel_run exec (fun s ->
+      let bx_re = Array.make nx 0. and bx_im = Array.make nx 0. in
+      let lo, hi = x_tiles.(s) in
+      for l = lo to hi - 1 do
+        let z = l / ny and y = l mod ny in
+        let base = idx 0 y z in
+        Array.blit re base bx_re 0 nx;
+        Array.blit im base bx_im 0 nx;
+        fft_1d ~sign bx_re bx_im;
+        Array.blit bx_re 0 re base nx;
+        Array.blit bx_im 0 im base nx
+      done);
+  (* Along y: one strided line per (x, z). *)
+  let y_tiles = Exec.tile_bounds ~total:(nx * nz) ~ntiles:ns in
+  Exec.parallel_run exec (fun s ->
+      let by_re = Array.make ny 0. and by_im = Array.make ny 0. in
+      let lo, hi = y_tiles.(s) in
+      for l = lo to hi - 1 do
+        let z = l / nx and x = l mod nx in
+        for y = 0 to ny - 1 do
+          let k = idx x y z in
+          by_re.(y) <- re.(k);
+          by_im.(y) <- im.(k)
+        done;
+        fft_1d ~sign by_re by_im;
+        for y = 0 to ny - 1 do
+          let k = idx x y z in
+          re.(k) <- by_re.(y);
+          im.(k) <- by_im.(y)
+        done
+      done);
+  (* Along z: one strided line per (x, y). *)
+  let z_tiles = Exec.tile_bounds ~total:(nx * ny) ~ntiles:ns in
+  Exec.parallel_run exec (fun s ->
+      let bz_re = Array.make nz 0. and bz_im = Array.make nz 0. in
+      let lo, hi = z_tiles.(s) in
+      for l = lo to hi - 1 do
+        let y = l / nx and x = l mod nx in
+        for z = 0 to nz - 1 do
+          let k = idx x y z in
+          bz_re.(z) <- re.(k);
+          bz_im.(z) <- im.(k)
+        done;
+        fft_1d ~sign bz_re bz_im;
+        for z = 0 to nz - 1 do
+          let k = idx x y z in
+          re.(k) <- bz_re.(z);
+          im.(k) <- bz_im.(z)
+        done
+      done)

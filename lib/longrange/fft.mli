@@ -2,15 +2,30 @@
 
     Sufficient for the grid sizes used by the Gaussian-split-Ewald solver
     (all dimensions must be powers of two). Data layout: separate [re]/[im]
-    float arrays; the 3D transform uses row-major order with x fastest. *)
+    float arrays; the 3D transform uses row-major order with x fastest.
 
-(** In-place 1D FFT of length [n] (power of two). [sign] is -1 for the
-    forward transform, +1 for the inverse; the inverse is unscaled (caller
-    divides by n). *)
+    The 3D transform can run on an execution backend
+    ({!Mdsp_util.Exec.t}): each of its three sweeps consists of independent
+    1-D lines that are statically tiled over the pool slots. Because every
+    line's arithmetic is unchanged and lines write disjoint grid regions,
+    the parallel transform is {e bitwise identical} to the serial one —
+    unlike the tiled pair sums, no summation-order difference is
+    introduced here. *)
+
+open Mdsp_util
+
+(** [fft_1d ~sign re im] transforms one length-[n] line in place ([n] a
+    power of two). [sign] is [-1] for the forward transform, [+1] for the
+    inverse; the inverse is unscaled (caller divides by [n]). Always runs
+    on the calling domain. *)
 val fft_1d : sign:int -> float array -> float array -> unit
 
-(** [fft_3d ~sign ~nx ~ny ~nz re im] transforms in place; unscaled. *)
+(** [fft_3d ?exec ~sign ~nx ~ny ~nz re im] transforms in place; unscaled.
+    [exec] (default {!Mdsp_util.Exec.serial}) tiles the 1-D lines of each
+    of the three sweeps over the pool; results are bitwise independent of
+    the backend. Three pool barriers per call (one per sweep). *)
 val fft_3d :
+  ?exec:Exec.t ->
   sign:int -> nx:int -> ny:int -> nz:int -> float array -> float array -> unit
 
 (** True if [n] is a power of two (and positive). *)

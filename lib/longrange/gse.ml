@@ -10,7 +10,22 @@ type t = {
   box : Pbc.t;
   ghat : float array;  (** influence function, indexed like the grid *)
   k2s : float array;  (** squared wavevector per grid point *)
+  (* Per-slot scratch grids for domain-parallel charge spreading, sized
+     lazily to the executor actually used and reused across steps. *)
+  mutable scratch : float array array;
 }
+
+type phases = {
+  mutable spread_s : float;
+  mutable fft_s : float;
+  mutable convolve_s : float;
+  mutable gather_s : float;
+}
+
+let zero_phases () =
+  { spread_s = 0.; fft_s = 0.; convolve_s = 0.; gather_s = 0. }
+
+let phases_total p = p.spread_s +. p.fft_s +. p.convolve_s +. p.gather_s
 
 let create ~beta ~grid:(nx, ny, nz) ?sigma_s ?(support = 4.) box =
   if beta <= 0. then invalid_arg "Gse.create: beta must be positive";
@@ -30,7 +45,14 @@ let create ~beta ~grid:(nx, ny, nz) ?sigma_s ?(support = 4.) box =
     two_pi *. float_of_int m' /. l
   in
   (* Remaining k-space Gaussian after two real-space spreads of width
-     sigma: exp(-k^2 (1/(4 beta^2) - sigma^2)). *)
+     sigma: exp(-k^2 (1/(4 beta^2) - sigma^2)). The guard above keeps
+     [rem >= -1e-12]: for the default sigma = 1/(2 sqrt 2 beta) it is
+     exactly 1/(8 beta^2) > 0, and it reaches 0 only at the admissible
+     extreme sigma = 1/(2 beta). Floating-point rounding near that extreme
+     (the 1e-12 slack in the guard) can leave [rem] a hair negative, which
+     merely makes exp(-k^2 rem) marginally exceed 1 for large k — a bounded,
+     harmless perturbation of the influence function, not a blow-up, since
+     |rem| k^2 stays tiny for every representable grid wavevector. *)
   let rem = (1. /. (4. *. beta *. beta)) -. (sigma *. sigma) in
   let ghat = Array.make (nx * ny * nz) 0. in
   let k2s = Array.make (nx * ny * nz) 0. in
@@ -48,7 +70,7 @@ let create ~beta ~grid:(nx, ny, nz) ?sigma_s ?(support = 4.) box =
       done
     done
   done;
-  { beta_ = beta; sigma; support; nx; ny; nz; box; ghat; k2s }
+  { beta_ = beta; sigma; support; nx; ny; nz; box; ghat; k2s; scratch = [||] }
 
 let beta t = t.beta_
 let grid t = (t.nx, t.ny, t.nz)
@@ -67,9 +89,17 @@ let support_points t =
   let sx, sy, sz = support_cells t in
   ((2 * sx) + 1) * ((2 * sy) + 1) * ((2 * sz) + 1)
 
-(* Iterate over grid points within the spreading support of position p,
-   calling [f idx gauss dx dy dz] with the Gaussian weight and the
-   minimum-image displacement p - r_grid. *)
+(* Iterate over the grid points within the spreading support of position p,
+   calling [f idx gauss dx dy dz]. The position is first wrapped into the
+   primary box ([Pbc.wrap]) to find its home cell (cx, cy, cz); the stencil
+   then walks unwrapped neighbor coordinates cx+ox, ... whose *indices* are
+   reduced mod n into the periodic grid while the *displacement* is taken
+   against the unwrapped coordinate float_of_int (cx+ox) * dx. As long as
+   the support radius is below half the box (enforced in practice by any
+   sensible grid), that unwrapped neighbor is the nearest periodic image of
+   grid point (gx, gy, gz), so no additional minimum-image step is needed —
+   and the same weight is produced for a particle and its wrapped copy,
+   which is what makes spreading translation-consistent under PBC. *)
 let iter_support t (p : Vec3.t) f =
   let open Pbc in
   let dx = t.box.lx /. float_of_int t.nx in
@@ -105,62 +135,163 @@ let iter_support t (p : Vec3.t) f =
     done
   done
 
-let reciprocal t charges positions (acc : Mdsp_ff.Bonded.accum) =
+let now () = Unix.gettimeofday ()
+
+(* Charge [sel]'s phase bucket with the wall time of [f ()]. *)
+let timed phases sel f =
+  match phases with
+  | None -> f ()
+  | Some ph ->
+      let t0 = now () in
+      let r = f () in
+      sel ph (now () -. t0);
+      r
+
+(* Fixed-shape pairwise tree over the per-slot spread grids at one grid
+   point — same recursion shape as Bonded's per-atom force reduction, so
+   the combined charge density is deterministic regardless of which domain
+   produced which partial grid. *)
+let rec tree_cell grids g lo hi =
+  if hi - lo = 1 then grids.(lo).(g)
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    tree_cell grids g lo mid +. tree_cell grids g mid hi
+  end
+
+let scratch_grids t ns =
+  let total = t.nx * t.ny * t.nz in
+  if Array.length t.scratch <> ns
+     || (ns > 0 && Array.length t.scratch.(0) <> total)
+  then t.scratch <- Array.init ns (fun _ -> Array.make total 0.);
+  t.scratch
+
+(* 1. Spread charges. Serial: accumulate directly into [re] in particle
+   order (bitwise identical to the historical serial path). Parallel: each
+   slot spreads its contiguous particle tile into a private scratch grid,
+   then the grids are combined point-wise with the fixed-shape tree,
+   itself tiled over the pool. *)
+let spread ~exec t charges positions re =
   let n = Array.length positions in
+  let ns = Exec.n_slots exec in
+  if ns = 1 then
+    for i = 0 to n - 1 do
+      let q = charges.(i) in
+      if q <> 0. then
+        iter_support t positions.(i) (fun idx g _ _ _ ->
+            re.(idx) <- re.(idx) +. (q *. g))
+    done
+  else begin
+    let grids = scratch_grids t ns in
+    let p_tiles = Exec.tile_bounds ~total:n ~ntiles:ns in
+    Exec.parallel_run exec (fun s ->
+        let grid = grids.(s) in
+        Array.fill grid 0 (Array.length grid) 0.;
+        let lo, hi = p_tiles.(s) in
+        for i = lo to hi - 1 do
+          let q = charges.(i) in
+          if q <> 0. then
+            iter_support t positions.(i) (fun idx g _ _ _ ->
+                grid.(idx) <- grid.(idx) +. (q *. g))
+        done);
+    let total = t.nx * t.ny * t.nz in
+    let g_tiles = Exec.tile_bounds ~total ~ntiles:ns in
+    Exec.parallel_run exec (fun s ->
+        let lo, hi = g_tiles.(s) in
+        for g = lo to hi - 1 do
+          re.(g) <- tree_cell grids g 0 ns
+        done)
+  end
+
+let reciprocal ?(exec = Exec.serial) ?phases t charges positions
+    (acc : Mdsp_ff.Bonded.accum) =
+  let n = Array.length positions in
+  let ns = Exec.n_slots exec in
   let total = t.nx * t.ny * t.nz in
   let re = Array.make total 0. in
   let im = Array.make total 0. in
-  (* 1. Spread charges. *)
-  for i = 0 to n - 1 do
-    let q = charges.(i) in
-    if q <> 0. then
-      iter_support t positions.(i) (fun idx g _ _ _ ->
-          re.(idx) <- re.(idx) +. (q *. g))
-  done;
-  (* 2. Solve in k-space. *)
-  Fft.fft_3d ~sign:(-1) ~nx:t.nx ~ny:t.ny ~nz:t.nz re im;
+  (* 1. Spread charges onto the grid. *)
+  timed phases
+    (fun p d -> p.spread_s <- p.spread_s +. d)
+    (fun () -> spread ~exec t charges positions re);
+  (* 2. Forward transform to k-space. *)
+  timed phases
+    (fun p d -> p.fft_s <- p.fft_s +. d)
+    (fun () -> Fft.fft_3d ~exec ~sign:(-1) ~nx:t.nx ~ny:t.ny ~nz:t.nz re im);
   let vol = Pbc.volume t.box in
   let cell_vol = vol /. float_of_int total in
   (* Energy = 1/(2V) sum_k Ghat |rho_hat|^2 with rho_hat = cell_vol * DFT. *)
-  let energy = ref 0. in
-  let virial = ref 0. in
   let e_scale = cell_vol *. cell_vol /. (2. *. vol) *. Units.coulomb in
   let inv_2b2 = 1. /. (2. *. t.beta_ *. t.beta_) in
-  for k = 0 to total - 1 do
-    let s2 = (re.(k) *. re.(k)) +. (im.(k) *. im.(k)) in
-    let e_k = t.ghat.(k) *. s2 in
-    energy := !energy +. e_k;
-    (* The total k-space kernel equals Ewald's, so the reciprocal virial
-       takes the same per-mode form: W_k = E_k (1 - k^2 / (2 beta^2)). *)
-    virial := !virial +. (e_k *. (1. -. (t.k2s.(k) *. inv_2b2)));
-    re.(k) <- re.(k) *. t.ghat.(k);
-    im.(k) <- im.(k) *. t.ghat.(k)
-  done;
+  (* 3. Convolve: scale each mode by Ghat and accumulate per-slot energy
+     and virial partials over contiguous k tiles, combined with the
+     fixed-shape tree so the parallel sum is deterministic. *)
+  let energy, virial =
+    timed phases
+      (fun p d -> p.convolve_s <- p.convolve_s +. d)
+      (fun () ->
+        let e_slot = Array.make ns 0. and w_slot = Array.make ns 0. in
+        let k_tiles = Exec.tile_bounds ~total ~ntiles:ns in
+        Exec.parallel_run exec (fun s ->
+            let energy = ref 0. and virial = ref 0. in
+            let lo, hi = k_tiles.(s) in
+            for k = lo to hi - 1 do
+              let s2 = (re.(k) *. re.(k)) +. (im.(k) *. im.(k)) in
+              let e_k = t.ghat.(k) *. s2 in
+              energy := !energy +. e_k;
+              (* The total k-space kernel equals Ewald's, so the reciprocal
+                 virial takes the same per-mode form:
+                 W_k = E_k (1 - k^2 / (2 beta^2)). *)
+              virial := !virial +. (e_k *. (1. -. (t.k2s.(k) *. inv_2b2)));
+              re.(k) <- re.(k) *. t.ghat.(k);
+              im.(k) <- im.(k) *. t.ghat.(k)
+            done;
+            e_slot.(s) <- !energy;
+            w_slot.(s) <- !virial);
+        (Exec.sum_tree e_slot, Exec.sum_tree w_slot))
+  in
   acc.Mdsp_ff.Bonded.virial <-
-    acc.Mdsp_ff.Bonded.virial +. (!virial *. e_scale);
-  let energy = !energy *. e_scale in
-  (* 3. Back-transform to the potential grid: phi = (1/N) * IDFT scaled. *)
-  Fft.fft_3d ~sign:1 ~nx:t.nx ~ny:t.ny ~nz:t.nz re im;
+    acc.Mdsp_ff.Bonded.virial +. (virial *. e_scale);
+  let energy = energy *. e_scale in
+  (* 4. Back-transform to the potential grid: phi = (1/N) * IDFT scaled. *)
+  timed phases
+    (fun p d -> p.fft_s <- p.fft_s +. d)
+    (fun () -> Fft.fft_3d ~exec ~sign:1 ~nx:t.nx ~ny:t.ny ~nz:t.nz re im);
   let phi_scale = cell_vol /. vol in
   (* phi(r_g) = (cell_vol / V) * Finv[Ghat * F[rho]]_g  (= (1/N) * ... ). *)
-  for k = 0 to total - 1 do
-    re.(k) <- re.(k) *. phi_scale
-  done;
-  (* 4. Interpolate forces: F_i = q_i cell_vol / sigma^2 *
-        sum_g phi_g (r_i - r_g) gauss. *)
+  timed phases
+    (fun p d -> p.convolve_s <- p.convolve_s +. d)
+    (fun () ->
+      let g_tiles = Exec.tile_bounds ~total ~ntiles:ns in
+      Exec.parallel_run exec (fun s ->
+          let lo, hi = g_tiles.(s) in
+          for k = lo to hi - 1 do
+            re.(k) <- re.(k) *. phi_scale
+          done));
+  (* 5. Gather forces: F_i = q_i cell_vol / sigma^2 *
+        sum_g phi_g (r_i - r_g) gauss. Particles are tiled over the pool;
+     each slot writes only its own particles' force entries, so no scratch
+     accumulators or reduction are needed and the per-particle arithmetic
+     is identical to serial. *)
   let inv_s2 = 1. /. (t.sigma *. t.sigma) in
-  for i = 0 to n - 1 do
-    let q = charges.(i) in
-    if q <> 0. then begin
-      let fx = ref 0. and fy = ref 0. and fz = ref 0. in
-      iter_support t positions.(i) (fun idx g dx dy dz ->
-          let w = re.(idx) *. g in
-          fx := !fx +. (w *. dx);
-          fy := !fy +. (w *. dy);
-          fz := !fz +. (w *. dz));
-      let c = q *. cell_vol *. inv_s2 *. Units.coulomb in
-      acc.forces.(i) <-
-        Vec3.add acc.forces.(i) (Vec3.make (c *. !fx) (c *. !fy) (c *. !fz))
-    end
-  done;
+  timed phases
+    (fun p d -> p.gather_s <- p.gather_s +. d)
+    (fun () ->
+      let p_tiles = Exec.tile_bounds ~total:n ~ntiles:ns in
+      Exec.parallel_run exec (fun s ->
+          let lo, hi = p_tiles.(s) in
+          for i = lo to hi - 1 do
+            let q = charges.(i) in
+            if q <> 0. then begin
+              let fx = ref 0. and fy = ref 0. and fz = ref 0. in
+              iter_support t positions.(i) (fun idx g dx dy dz ->
+                  let w = re.(idx) *. g in
+                  fx := !fx +. (w *. dx);
+                  fy := !fy +. (w *. dy);
+                  fz := !fz +. (w *. dz));
+              let c = q *. cell_vol *. inv_s2 *. Units.coulomb in
+              acc.forces.(i) <-
+                Vec3.add acc.forces.(i)
+                  (Vec3.make (c *. !fx) (c *. !fy) (c *. !fz))
+            end
+          done));
   energy

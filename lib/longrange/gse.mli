@@ -1,14 +1,41 @@
 (** Gaussian-split Ewald (GSE)–style grid electrostatics.
 
-    This is the machine-friendly long-range solver: charges are spread onto
-    a regular grid with Gaussians, the Poisson equation is solved in k-space
-    by FFT with a modified influence function, and forces are interpolated
-    back with the gradient of the same Gaussians. Combined with the
-    real-space [erfc] term this reproduces classic Ewald up to controllable
-    grid/spreading error — which is what the E3 experiment quantifies.
-    The reciprocal scalar virial is accumulated (the total k-space kernel
-    equals Ewald's, so the same per-mode formula applies), enabling
-    constant-pressure runs with grid electrostatics.
+    This is the machine-friendly long-range solver — the stage the
+    special-purpose machine backs with dedicated hardware. Charges are
+    spread onto a regular grid with Gaussians of width [sigma_s], the
+    Poisson equation is solved in k-space by FFT with a modified influence
+    function, and forces are interpolated back with the gradient of the
+    same Gaussians. Combined with the real-space [erfc] pair term this
+    reproduces classic Ewald up to controllable grid/spreading error —
+    which is what the E3 experiment quantifies. The reciprocal scalar
+    virial is accumulated (the total k-space kernel equals Ewald's, so the
+    same per-mode formula applies), enabling constant-pressure runs with
+    grid electrostatics.
+
+    {2 Units}
+
+    Positions and box lengths are in Angstrom, charges in elementary
+    charges, [beta] in 1/Angstrom; energies returned in kcal/mol and forces
+    in kcal/mol/Angstrom (the Coulomb constant is applied internally via
+    {!Mdsp_util.Units.coulomb}).
+
+    {2 Execution and determinism}
+
+    Every stage of {!reciprocal} can run on an execution backend
+    ({!Mdsp_util.Exec.t}): charge spreading uses one private scratch grid
+    per pool slot combined by a fixed-shape tree reduction, the FFT sweeps
+    tile their independent 1-D lines over the pool, the k-space convolution
+    tiles grid points with tree-combined energy/virial partials, and force
+    gathering tiles particles (disjoint per-particle writes, no reduction).
+    Consequences:
+
+    - for a fixed slot count, parallel runs are {e bitwise reproducible}
+      (static tiles, fixed reduction shapes);
+    - serial and parallel results differ only by floating-point summation
+      order in the spread and convolve reductions — relative differences at
+      rounding level (the test suite enforces <= 1e-10);
+    - the serial path ([Exec.serial]) is bitwise identical to the
+      historical serial implementation.
 
     Grid dimensions must be powers of two. *)
 
@@ -16,21 +43,50 @@ open Mdsp_util
 
 type t
 
+(** Wall-clock seconds spent in each grid-pipeline stage of one or more
+    {!reciprocal} calls; both FFT passes charge [fft_s], the Ghat scaling,
+    energy/virial accumulation and potential-grid rescale charge
+    [convolve_s]. Fields are {e incremented} by each call, so a zeroed
+    record passed to a single call reads back that call's times. *)
+type phases = {
+  mutable spread_s : float;  (** charge spreading onto the grid *)
+  mutable fft_s : float;  (** forward + inverse 3D FFT *)
+  mutable convolve_s : float;  (** k-space scale-by-Ghat + energy/virial *)
+  mutable gather_s : float;  (** per-particle force interpolation *)
+}
+
+(** A fresh all-zero {!phases} record. *)
+val zero_phases : unit -> phases
+
+(** Sum of the four phase buckets. *)
+val phases_total : phases -> float
+
 (** [create ~beta ~grid:(nx, ny, nz) ?sigma_s ?support box]. [sigma_s]
     defaults to [1 / (2 sqrt 2 beta)] (must be <= 1/(2 beta)); [support] is
-    the spreading truncation radius in units of [sigma_s], default 4. *)
+    the spreading truncation radius in units of [sigma_s], default 4.
+    Precomputes the influence function; cost O(nx ny nz). *)
 val create :
   beta:float -> grid:int * int * int -> ?sigma_s:float -> ?support:float ->
   Pbc.t -> t
 
-(** [reciprocal t charges positions acc] adds reciprocal-space forces and
-    returns the reciprocal energy (self/excluded corrections not included —
-    use {!Ewald.self_energy} and {!Ewald.excluded_correction}, which depend
-    only on [beta]). *)
+(** [reciprocal ?exec ?phases t charges positions acc] adds
+    reciprocal-space forces and the reciprocal virial into [acc] and
+    returns the reciprocal energy in kcal/mol (self/excluded corrections
+    not included — use {!Ewald.self_energy} and
+    {!Ewald.excluded_correction}, which depend only on [beta]).
+
+    [exec] (default {!Mdsp_util.Exec.serial}) runs every stage — spread,
+    FFT, convolve, gather — on the pool as described above; [phases]
+    accumulates per-stage wall time when provided. Per-slot scratch grids
+    are cached inside [t] and reused across calls. *)
 val reciprocal :
+  ?exec:Exec.t -> ?phases:phases ->
   t -> float array -> Vec3.t array -> Mdsp_ff.Bonded.accum -> float
 
+(** The Ewald splitting parameter (1/Angstrom) this solver was built for. *)
 val beta : t -> float
+
+(** Grid dimensions [(nx, ny, nz)]. *)
 val grid : t -> int * int * int
 
 (** Number of grid points each charge spreads to (cost model input). *)

@@ -51,11 +51,22 @@ let ops_per_atom_integration = 40.
 let ops_per_constraint = 50.
 let ops_per_grid_point = 12. (* spreading + gather work per grid pt, amortized *)
 
+(* Partition of [ops_per_grid_point] across the grid-pipeline stages, used
+   only for the modeled sub-phase rows; their sum must equal the total so
+   the sub-model stays consistent with [fft_s]. *)
+let ops_spread = 5.
+let ops_convolve = 2.
+let ops_gather = 5.
+
 type breakdown = {
   htis_s : float;
   flex_s : float;
   comm_s : float;
   fft_s : float;
+  lr_spread_s : float;
+  lr_fft_s : float;
+  lr_convolve_s : float;
+  lr_gather_s : float;
   sync_s : float;
   step_s : float;
 }
@@ -112,9 +123,9 @@ let step_time cfg w =
        *. ceil (r /. Float.min hx (Float.min hy hz)))
   in
   (* --- long-range FFT --- *)
-  let fft_s =
+  let fft_s, lr_spread_s, lr_fft_s, lr_convolve_s, lr_gather_s =
     match w.fft_grid with
-    | None -> 0.
+    | None -> (0., 0., 0., 0., 0.)
     | Some (gx, gy, gz) ->
         let k = float_of_int (gx * gy * gz) in
         let compute =
@@ -129,7 +140,17 @@ let step_time cfg w =
           +. (2. *. float_of_int (Config.max_hops cfg)
              *. cfg.Config.hop_latency_ns *. 1e-9)
         in
-        compute +. transpose
+        (* Sub-phase attribution: the butterflies and transposes are the
+           FFT proper; ops_per_grid_point splits across spread, convolve
+           (scale by Ghat) and gather, so the four sum to [fft_s]. *)
+        let per_pt ops = k /. nodes *. ops /. flex_node_throughput in
+        ( compute +. transpose,
+          per_pt ops_spread,
+          (k /. nodes *. (Float.max 1. (log k /. log 2.) *. 2.)
+           /. flex_node_throughput)
+          +. transpose,
+          per_pt ops_convolve,
+          per_pt ops_gather )
   in
   (* --- synchronization --- *)
   let sync_s =
@@ -139,7 +160,18 @@ let step_time cfg w =
   (* The machine overlaps aggressively: a step is bounded by its slowest
      resource, plus the serial long-range phase and the barrier. *)
   let step_s = Float.max htis_s (Float.max flex_s comm_s) +. fft_s +. sync_s in
-  { htis_s; flex_s; comm_s; fft_s; sync_s; step_s }
+  {
+    htis_s;
+    flex_s;
+    comm_s;
+    fft_s;
+    lr_spread_s;
+    lr_fft_s;
+    lr_convolve_s;
+    lr_gather_s;
+    sync_s;
+    step_s;
+  }
 
 let ns_per_day cfg w =
   let b = step_time cfg w in
@@ -172,6 +204,24 @@ let resource_rows b (tm : Mdsp_md.Force_calc.timings) =
       measured_s = m (per.bonded_s +. per.bias_s);
     };
     { resource = "long-range"; model_s = b.fft_s; measured_s = m per.longrange_s };
+    (* GSE grid-pipeline sub-phases: a breakdown of the long-range row
+       (model and measurement both), indented in table output. *)
+    {
+      resource = "  spread";
+      model_s = b.lr_spread_s;
+      measured_s = m per.lr_spread_s;
+    };
+    { resource = "  fft"; model_s = b.lr_fft_s; measured_s = m per.lr_fft_s };
+    {
+      resource = "  convolve";
+      model_s = b.lr_convolve_s;
+      measured_s = m per.lr_convolve_s;
+    };
+    {
+      resource = "  gather";
+      model_s = b.lr_gather_s;
+      measured_s = m per.lr_gather_s;
+    };
     { resource = "network"; model_s = b.comm_s; measured_s = m per.neighbor_s };
     { resource = "sync"; model_s = b.sync_s; measured_s = None };
     {

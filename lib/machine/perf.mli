@@ -37,6 +37,10 @@ type breakdown = {
   flex_s : float;  (** programmable cores: bonded + integration + methods *)
   comm_s : float;  (** import/export + method communication *)
   fft_s : float;  (** long-range grid work incl. transposes *)
+  lr_spread_s : float;  (** long-range sub-phase: charge spreading *)
+  lr_fft_s : float;  (** long-range sub-phase: FFT passes + transposes *)
+  lr_convolve_s : float;  (** long-range sub-phase: k-space scale-by-Ghat *)
+  lr_gather_s : float;  (** long-range sub-phase: force interpolation *)
   sync_s : float;  (** global synchronization *)
   step_s : float;  (** resulting step time *)
 }
@@ -62,7 +66,10 @@ type resource_row = {
 (** [resource_rows breakdown timings] pairs each modeled resource with the
     measured phase: pair pipelines <- pair + 1-4 phase, flex cores <-
     bonded + bias, long-range <- k-space/grid, network <- neighbor
-    rebuilds. [sync] has no host analogue; [measured_s] is [None] there and
+    rebuilds. The long-range row is followed by four indented sub-rows
+    (spread / fft / convolve / gather) breaking down both the modeled and
+    the measured grid pipeline ({!Mdsp_md.Force_calc.timings} [lr_*]
+    fields). [sync] has no host analogue; [measured_s] is [None] there and
     everywhere when [timings.calls = 0]. *)
 val resource_rows :
   breakdown -> Mdsp_md.Force_calc.timings -> resource_row list

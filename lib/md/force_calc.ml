@@ -34,6 +34,10 @@ type timings = {
   mutable pair_s : float;
   mutable bonded_s : float;
   mutable longrange_s : float;
+  mutable lr_spread_s : float;
+  mutable lr_fft_s : float;
+  mutable lr_convolve_s : float;
+  mutable lr_gather_s : float;
   mutable bias_s : float;
   mutable neighbor_s : float;
   mutable calls : int;
@@ -44,6 +48,10 @@ let zero_timings () =
     pair_s = 0.;
     bonded_s = 0.;
     longrange_s = 0.;
+    lr_spread_s = 0.;
+    lr_fft_s = 0.;
+    lr_convolve_s = 0.;
+    lr_gather_s = 0.;
     bias_s = 0.;
     neighbor_s = 0.;
     calls = 0;
@@ -60,6 +68,10 @@ let timings_per_call tm =
       pair_s = tm.pair_s /. c;
       bonded_s = tm.bonded_s /. c;
       longrange_s = tm.longrange_s /. c;
+      lr_spread_s = tm.lr_spread_s /. c;
+      lr_fft_s = tm.lr_fft_s /. c;
+      lr_convolve_s = tm.lr_convolve_s /. c;
+      lr_gather_s = tm.lr_gather_s /. c;
       bias_s = tm.bias_s /. c;
       neighbor_s = tm.neighbor_s /. c;
       calls = tm.calls;
@@ -118,6 +130,12 @@ let create ?(exec = Exec.serial) topo ~evaluator ~longrange ~nlist =
 let topology t = t.topo
 let nlist t = t.nlist
 let exec t = t.exec
+
+let longrange_kind t =
+  match t.longrange with
+  | Lr_none -> `None
+  | Lr_ewald _ -> `Ewald
+  | Lr_gse gse -> `Gse (Mdsp_longrange.Gse.grid gse)
 let set_evaluator t e = t.evaluator <- e
 let add_bias t b = t.biases_rev <- b :: t.biases_rev
 
@@ -135,6 +153,10 @@ let reset_timings t =
   t.tm.pair_s <- 0.;
   t.tm.bonded_s <- 0.;
   t.tm.longrange_s <- 0.;
+  t.tm.lr_spread_s <- 0.;
+  t.tm.lr_fft_s <- 0.;
+  t.tm.lr_convolve_s <- 0.;
+  t.tm.lr_gather_s <- 0.;
   t.tm.bias_s <- 0.;
   t.tm.neighbor_s <- 0.;
   t.tm.calls <- 0
@@ -169,7 +191,16 @@ let compute_longrange t box positions acc =
       in
       (recip, corr)
   | Lr_gse gse ->
-      let recip = Mdsp_longrange.Gse.reciprocal gse t.charges positions acc in
+      let ph = Mdsp_longrange.Gse.zero_phases () in
+      let recip =
+        Mdsp_longrange.Gse.reciprocal ~exec:t.exec ~phases:ph gse t.charges
+          positions acc
+      in
+      let tm = t.tm in
+      tm.lr_spread_s <- tm.lr_spread_s +. ph.Mdsp_longrange.Gse.spread_s;
+      tm.lr_fft_s <- tm.lr_fft_s +. ph.Mdsp_longrange.Gse.fft_s;
+      tm.lr_convolve_s <- tm.lr_convolve_s +. ph.Mdsp_longrange.Gse.convolve_s;
+      tm.lr_gather_s <- tm.lr_gather_s +. ph.Mdsp_longrange.Gse.gather_s;
       let ew = gse_correction_handle t gse box in
       let corr =
         Mdsp_longrange.Ewald.self_energy ew t.charges

@@ -33,11 +33,23 @@ val zero_energies : energies
     pipelines would run (neighbor-list pairs + 1-4 terms), [bonded_s] and
     [bias_s] the programmable-core work, [longrange_s] the grid/k-space
     phase, [neighbor_s] the neighbor-list rebuilds. [calls] counts full
-    force evaluations ({!compute} and [`Slow] class passes). *)
+    force evaluations ({!compute} and [`Slow] class passes).
+
+    The [lr_*] fields split [longrange_s] into the GSE grid-pipeline
+    sub-phases (charge spreading, FFT passes, k-space convolution, force
+    gathering — see {!Mdsp_longrange.Gse.phases}); they are a breakdown,
+    not additional buckets, so {!timings_total} does not add them again.
+    Their sum is slightly below [longrange_s], whose remainder is the
+    Ewald self/excluded correction work. All four stay zero when the
+    long-range solver is [Lr_none] or direct [Lr_ewald]. *)
 type timings = {
   mutable pair_s : float;
   mutable bonded_s : float;
   mutable longrange_s : float;
+  mutable lr_spread_s : float;
+  mutable lr_fft_s : float;
+  mutable lr_convolve_s : float;
+  mutable lr_gather_s : float;
   mutable bias_s : float;
   mutable neighbor_s : float;
   mutable calls : int;
@@ -87,6 +99,11 @@ val nlist : t -> Mdsp_space.Neighbor_list.t
 
 (** The execution backend the calculator runs on. *)
 val exec : t -> Exec.t
+
+(** Which long-range solver is installed ([`Gse] carries its grid dims) —
+    lets front ends report the configuration without matching on
+    {!longrange}. *)
+val longrange_kind : t -> [ `None | `Ewald | `Gse of int * int * int ]
 
 (** Snapshot of the cumulative phase timings since creation or the last
     {!reset_timings}. *)

@@ -15,7 +15,18 @@
 
     A pool is cheap to keep around and is reused across steps; workers block
     on a condition variable between jobs. Pools are shut down explicitly with
-    {!shutdown} or automatically at program exit. *)
+    {!shutdown} or automatically at program exit.
+
+    Phases that run on the pool when an executor with [n >= 2] slots is
+    threaded through the engine ([mdsp run --domains N]): neighbor-list pair
+    sums and 1-4 pairs ([Mdsp_ff.Pair_interactions]), bonded terms
+    ([Mdsp_ff.Bonded.all]) and their slot reduction
+    ([Mdsp_ff.Bonded.reduce_slots]), and the whole GSE grid pipeline —
+    charge spreading over per-slot scratch grids, both 3D FFT passes (tiled
+    over independent 1-D lines), the k-space convolution, and the
+    per-particle force gather ([Mdsp_longrange.Gse.reciprocal],
+    [Mdsp_longrange.Fft.fft_3d]). Neighbor-list rebuilds, constraints,
+    integration and biases stay on the calling domain. *)
 
 type backend =
   | Serial  (** everything on the calling domain *)

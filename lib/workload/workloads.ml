@@ -422,7 +422,7 @@ let presets =
   ]
 
 let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
-    ?(seed = 23) ?(exec = Exec.serial) sys =
+    ?gse_grid ?(seed = 23) ?(exec = Exec.serial) sys =
   let has_charges =
     Array.exists (fun (a : Mdsp_ff.Topology.atom) -> a.charge <> 0.)
       sys.topo.atoms
@@ -432,13 +432,15 @@ let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
     | Some c -> c
     | None -> Float.min 9. (0.45 *. Pbc.min_edge sys.box)
   in
+  let use_gse = has_charges && gse_grid <> None in
+  let beta = 3.0 /. cutoff in
   let elec =
     match elec with
     | Some e -> e
     | None ->
-        if has_charges then
-          Mdsp_ff.Pair_interactions.Reaction_field { epsilon_rf = 78.5 }
-        else Mdsp_ff.Pair_interactions.No_coulomb
+        if not has_charges then Mdsp_ff.Pair_interactions.No_coulomb
+        else if use_gse then Mdsp_ff.Pair_interactions.Ewald_real { beta }
+        else Mdsp_ff.Pair_interactions.Reaction_field { epsilon_rf = 78.5 }
   in
   let evaluator =
     Mdsp_ff.Pair_interactions.of_topology sys.topo ~cutoff
@@ -448,9 +450,15 @@ let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
     Mdsp_space.Neighbor_list.create ~exclusions:sys.topo.exclusions ~cutoff
       ~skin:1.0 sys.box sys.positions
   in
+  let longrange =
+    match gse_grid with
+    | Some grid when has_charges ->
+        Mdsp_md.Force_calc.Lr_gse
+          (Mdsp_longrange.Gse.create ~beta ~grid sys.box)
+    | _ -> Mdsp_md.Force_calc.Lr_none
+  in
   let fc =
-    Mdsp_md.Force_calc.create ~exec sys.topo ~evaluator
-      ~longrange:Mdsp_md.Force_calc.Lr_none ~nlist
+    Mdsp_md.Force_calc.create ~exec sys.topo ~evaluator ~longrange ~nlist
   in
   if sys.label = "double_well" then begin
     let barrier, half_width = dw_defaults in

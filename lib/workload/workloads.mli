@@ -97,11 +97,18 @@ val presets : preset list
     boxes), reaction-field electrostatics for charged systems, Verlet skin 1
     A. [config] defaults to {!Mdsp_md.Engine.default_config}; [exec]
     (default serial) selects the execution backend the force pipeline runs
-    on. *)
+    on.
+
+    [gse_grid] switches a charged system to grid electrostatics: real-space
+    Ewald pairs ([Ewald_real], beta = 3/cutoff) plus the GSE reciprocal
+    solver on the given power-of-two grid, all phases of which run on
+    [exec]. Ignored for uncharged systems; an explicit [elec] still wins
+    for the pair part. *)
 val make_engine :
   ?config:Mdsp_md.Engine.config ->
   ?cutoff:float ->
   ?elec:Mdsp_ff.Pair_interactions.electrostatics ->
+  ?gse_grid:int * int * int ->
   ?seed:int ->
   ?exec:Exec.t ->
   system ->

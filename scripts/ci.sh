@@ -9,7 +9,26 @@ dune build @all
 dune runtest
 
 # e21 exercises the Domains backend end to end and writes the phase
-# timings; keep it cheap but real.
+# timings (including the GSE sub-phase keys); keep it cheap but real.
 dune exec bench/main.exe -- e21 --json /tmp/mdsp-timings.json
 test -s /tmp/mdsp-timings.json
+grep -q 'e21\.lr_spread_serial_us' /tmp/mdsp-timings.json
+
+# Documentation gate: the odoc comments in the .mli files must stay
+# well-formed. Gated on odoc being installed so the script still runs in
+# minimal local environments.
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "ci: odoc not installed, skipping dune build @doc"
+fi
+
+# Formatting gate, same pattern: only enforced where ocamlformat exists
+# AND the repo has committed to a profile via a .ocamlformat file.
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  dune build @fmt
+else
+  echo "ci: ocamlformat not configured, skipping dune build @fmt"
+fi
+
 echo "ci: OK"

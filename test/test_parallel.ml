@@ -254,6 +254,161 @@ let test_engine_backends_consistent () =
   Exec.shutdown pool;
   check_close ~rel:1e-6 "5-step total energy" e_s e_p
 
+(* --- the GSE grid pipeline on the pool ---
+
+   Charged solvated water with grid electrostatics: real-space Ewald pairs
+   plus the GSE reciprocal solver, every stage of which (spread / fft /
+   convolve / gather) is tiled over the Exec pool. *)
+
+let gse_grid = (16, 16, 16)
+
+let gse_engine ~exec () =
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 1.0;
+      temperature = 300.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+    }
+  in
+  Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:13 ~exec ~gse_grid
+    sys
+
+let gse_compute_once ~exec () =
+  let eng = gse_engine ~exec () in
+  let fc = E.force_calc eng in
+  (match FC.longrange_kind fc with
+  | `Gse g -> check_true "GSE solver installed" (g = gse_grid)
+  | _ -> Alcotest.fail "expected a GSE long-range solver");
+  let st = E.state eng in
+  let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
+  let e = FC.compute fc st.Mdsp_md.State.box st.Mdsp_md.State.positions acc in
+  (e, acc)
+
+let test_gse_serial_vs_domains_agree () =
+  let e_s, acc_s = gse_compute_once ~exec:Exec.serial () in
+  let pool = Exec.create (Exec.Domains { n = 4 }) in
+  let e_p, acc_p = gse_compute_once ~exec:pool () in
+  Exec.shutdown pool;
+  let open FC in
+  check_close ~rel:1e-10 "pair energy" e_s.pair e_p.pair;
+  check_close ~rel:1e-10 "GSE recip energy" e_s.recip e_p.recip;
+  check_close ~rel:1e-10 "correction" e_s.correction e_p.correction;
+  check_close ~rel:1e-10 "total energy" (total e_s) (total e_p);
+  check_close ~rel:1e-10 "virial" acc_s.Mdsp_ff.Bonded.virial
+    acc_p.Mdsp_ff.Bonded.virial;
+  let rel =
+    rel_force_diff acc_s.Mdsp_ff.Bonded.forces acc_p.Mdsp_ff.Bonded.forces
+  in
+  check_true
+    (Printf.sprintf "forces agree (rel %.2e <= 1e-10)" rel)
+    (rel <= 1e-10)
+
+let test_gse_reciprocal_backends () =
+  (* The grid phase in isolation: Gse.reciprocal on the serial backend vs
+     a pool, and two fresh pools against each other (bitwise). *)
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+  let open Mdsp_workload.Workloads in
+  let n = Mdsp_ff.Topology.n_atoms sys.topo in
+  let charges = Mdsp_ff.Topology.charges sys.topo in
+  let run exec =
+    let gse = Mdsp_longrange.Gse.create ~beta:0.4 ~grid:gse_grid sys.box in
+    let acc = Mdsp_ff.Bonded.make_accum n in
+    let ph = Mdsp_longrange.Gse.zero_phases () in
+    let e =
+      Mdsp_longrange.Gse.reciprocal ~exec ~phases:ph gse charges
+        sys.positions acc
+    in
+    (e, acc, ph)
+  in
+  let e_s, acc_s, _ = run Exec.serial in
+  let with_pool () =
+    let pool = Exec.create (Exec.Domains { n = 4 }) in
+    let r = run pool in
+    Exec.shutdown pool;
+    r
+  in
+  let e_p, acc_p, ph_p = with_pool () in
+  check_close ~rel:1e-10 "reciprocal energy" e_s e_p;
+  check_close ~rel:1e-10 "reciprocal virial" acc_s.Mdsp_ff.Bonded.virial
+    acc_p.Mdsp_ff.Bonded.virial;
+  let rel =
+    rel_force_diff acc_s.Mdsp_ff.Bonded.forces acc_p.Mdsp_ff.Bonded.forces
+  in
+  check_true "reciprocal forces (rel <= 1e-10)" (rel <= 1e-10);
+  check_true "phases were timed"
+    (Mdsp_longrange.Gse.phases_total ph_p > 0.);
+  let e_p2, acc_p2, _ = with_pool () in
+  check_true "grid-phase energy bit-identical" (e_p = e_p2);
+  check_true "grid-phase virial bit-identical"
+    (acc_p.Mdsp_ff.Bonded.virial = acc_p2.Mdsp_ff.Bonded.virial);
+  let identical = ref true in
+  Array.iteri
+    (fun i f ->
+      if f <> acc_p2.Mdsp_ff.Bonded.forces.(i) then identical := false)
+    acc_p.Mdsp_ff.Bonded.forces;
+  check_true "grid-phase forces bit-identical" !identical
+
+let test_gse_trajectory_determinism () =
+  (* A short dynamical GSE run (spread/fft/convolve/gather every step plus
+     rebuilds and the thermostat) repeated on fresh pools stays
+     bit-identical. *)
+  let run () =
+    let pool = Exec.create (Exec.Domains { n = 4 }) in
+    let eng = gse_engine ~exec:pool () in
+    E.run eng 10;
+    let pos = Array.copy (E.state eng).Mdsp_md.State.positions in
+    Exec.shutdown pool;
+    (pos, E.total_energy eng)
+  in
+  let pos1, e1 = run () in
+  let pos2, e2 = run () in
+  check_true "GSE trajectory energy bit-identical" (e1 = e2);
+  let identical = ref true in
+  Array.iteri (fun i p -> if p <> pos2.(i) then identical := false) pos1;
+  check_true "GSE trajectory positions bit-identical" !identical
+
+let test_gse_subphase_timings () =
+  let eng = gse_engine ~exec:Exec.serial () in
+  E.reset_timings eng;
+  E.run eng 5;
+  let tm = E.timings eng in
+  let open FC in
+  check_true "calls counted" (tm.calls = 5);
+  check_true "spread time recorded" (tm.lr_spread_s > 0.);
+  check_true "fft time recorded" (tm.lr_fft_s > 0.);
+  check_true "convolve time recorded" (tm.lr_convolve_s > 0.);
+  check_true "gather time recorded" (tm.lr_gather_s > 0.);
+  let sub =
+    tm.lr_spread_s +. tm.lr_fft_s +. tm.lr_convolve_s +. tm.lr_gather_s
+  in
+  (* The sub-phases partition the grid pipeline; the longrange bucket also
+     holds the Ewald self/excluded correction work on top. *)
+  check_true "sub-phases within the longrange bucket"
+    (sub <= tm.longrange_s +. 1e-9);
+  let per = timings_per_call tm in
+  check_close ~rel:1e-9 "per-call scaling of sub-phases"
+    (tm.lr_spread_s /. 5.) per.lr_spread_s;
+  (* timings_total must not double-count the breakdown. *)
+  check_true "total excludes the sub-phase breakdown"
+    (abs_float
+       (timings_total tm
+       -. (tm.pair_s +. tm.bonded_s +. tm.longrange_s +. tm.bias_s
+          +. tm.neighbor_s))
+    < 1e-12);
+  E.reset_timings eng;
+  check_true "reset clears sub-phases" ((E.timings eng).lr_spread_s = 0.);
+  (* A solver-free workload must leave the grid sub-phases untouched. *)
+  let plain =
+    Mdsp_workload.Workloads.make_engine ~seed:3
+      (Mdsp_workload.Workloads.lj_fluid ~n:64 ())
+  in
+  E.run plain 3;
+  check_true "no GSE -> no sub-phase time"
+    ((E.timings plain).lr_spread_s = 0.
+    && (E.timings plain).lr_fft_s = 0.)
+
 (* --- timing instrumentation --- *)
 
 let test_step_timings_populated () =
@@ -339,6 +494,17 @@ let () =
             test_parallel_determinism_trajectory;
           Alcotest.test_case "backends consistent over a short run" `Quick
             test_engine_backends_consistent;
+        ] );
+      ( "gse",
+        [
+          Alcotest.test_case "charged box: serial vs domains" `Quick
+            test_gse_serial_vs_domains_agree;
+          Alcotest.test_case "grid phase backends + bitwise repeat" `Quick
+            test_gse_reciprocal_backends;
+          Alcotest.test_case "10-step GSE trajectory bit-identical" `Quick
+            test_gse_trajectory_determinism;
+          Alcotest.test_case "sub-phase timing sanity" `Quick
+            test_gse_subphase_timings;
         ] );
       ( "timing",
         [
