@@ -36,6 +36,7 @@ let registry =
     ("a5", "ablation: import-region policy", Exp_ablations.a5);
     ("a6", "ablation: truncation scheme vs NVE drift", Exp_ablations.a6);
     ("e21", "execution backends: measured resource breakdown", Exp_perf.e21);
+    ("e22", "sharded REMD on the Exec pool vs sequential", Exp_ensemble.e22);
     ("timing", "bechamel micro-benchmarks", Exp_timing.run);
   ]
 

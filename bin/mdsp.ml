@@ -3,6 +3,7 @@
    Subcommands:
      mdsp presets                  list built-in workloads
      mdsp run ...                  run MD on a preset and report
+     mdsp ensemble ...             sharded replica-exchange on the Exec pool
      mdsp model ...                machine/cluster performance model
      mdsp table ...                compile a pair form and report accuracy *)
 
@@ -271,6 +272,124 @@ let run_cmd =
       $ tables_arg $ seed_arg $ domains_arg $ gse_arg $ timings_arg $ xyz_arg
       $ xyz_stride_arg $ checkpoint_arg $ restart_arg)
 
+(* --- ensemble --- *)
+
+let replicas_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "replicas" ] ~docv:"M" ~doc:"Replica (temperature rung) count.")
+
+let stride_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "stride" ] ~docv:"S" ~doc:"MD steps between exchange attempts.")
+
+let temp_min_arg =
+  Arg.(
+    value & opt float 120.
+    & info [ "temp-min" ] ~docv:"K" ~doc:"Bottom rung temperature (K).")
+
+let temp_max_arg =
+  Arg.(
+    value & opt float 160.
+    & info [ "temp-max" ] ~docv:"K" ~doc:"Top rung temperature (K).")
+
+let ens_checkpoint_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Write an exact ensemble checkpoint to FILE after the run.")
+
+let ens_resume_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume an interrupted ensemble from a checkpoint written by \
+           --checkpoint; the continued run reproduces the uninterrupted one \
+           bit for bit.")
+
+let ensemble_cmd =
+  let doc =
+    "Run temperature replica exchange with the replicas sharded across the \
+     execution pool (one engine per slot, exchange at the barrier) — \
+     bitwise identical to the sequential ladder for any --domains count."
+  in
+  let run preset steps replicas domains stride tmin tmax seed checkpoint
+      resume =
+    if replicas < 2 then failwith "ensemble: need --replicas >= 2";
+    if stride < 1 then failwith "ensemble: need --stride >= 1";
+    if not (tmax > tmin && tmin > 0.) then
+      failwith "ensemble: need 0 < --temp-min < --temp-max";
+    (* Geometric ladder: uniform acceptance across rungs wants constant
+       temperature ratios. *)
+    let temps =
+      Array.init replicas (fun i ->
+          tmin
+          *. ((tmax /. tmin)
+             ** (float_of_int i /. float_of_int (replicas - 1))))
+    in
+    let engines =
+      Array.mapi
+        (fun i temp ->
+          let sys = build_system preset in
+          let cfg =
+            {
+              E.default_config with
+              dt_fs = 2.0;
+              temperature = temp;
+              thermostat = E.Langevin { gamma_fs = 0.02 };
+            }
+          in
+          Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:(seed + i)
+            sys)
+        temps
+    in
+    let remd = Mdsp_core.Remd.create ~engines ~temps ~stride ~seed in
+    let exec =
+      let module X = Mdsp_util.Exec in
+      match domains with
+      | 1 -> X.serial
+      | 0 -> X.create (X.Domains { n = X.recommended_domains () })
+      | n -> X.create (X.Domains { n })
+    in
+    let ens = Mdsp_ensemble.Ensemble.create ~exec remd in
+    Printf.printf "%s ladder: %d replicas (%.0f-%.0f K) on %d slot(s), \
+                   exchange stride %d\n"
+      preset replicas tmin tmax
+      (Mdsp_ensemble.Shard.n_slots (Mdsp_ensemble.Ensemble.shard ens))
+      stride;
+    (match resume with
+    | None -> ()
+    | Some path ->
+        Mdsp_ensemble.Ensemble.resume_checkpoint ens path;
+        Printf.printf "resumed from %s (sweep %d)\n" path
+          (Mdsp_core.Remd.sweeps_done remd));
+    let sweeps = max 1 (steps / stride) in
+    Mdsp_ensemble.Ensemble.run ens ~sweeps;
+    print_string (Mdsp_ensemble.Ensemble.metrics_table ens);
+    let acc = Mdsp_core.Remd.acceptance remd in
+    Array.iteri
+      (fun i a ->
+        Printf.printf "exchange %.0fK <-> %.0fK: acceptance %.2f\n"
+          temps.(i)
+          temps.(i + 1)
+          a)
+      acc;
+    (match checkpoint with
+    | None -> ()
+    | Some path ->
+        Mdsp_ensemble.Ensemble.save_checkpoint ens path;
+        Printf.printf "ensemble checkpoint written to %s (sweep %d)\n" path
+          (Mdsp_core.Remd.sweeps_done remd));
+    Mdsp_util.Exec.shutdown exec
+  in
+  Cmd.v (Cmd.info "ensemble" ~doc)
+    Term.(
+      const run $ preset_arg $ steps_arg $ replicas_arg $ domains_arg
+      $ stride_arg $ temp_min_arg $ temp_max_arg $ seed_arg
+      $ ens_checkpoint_arg $ ens_resume_arg)
+
 (* --- model --- *)
 
 let atoms_arg =
@@ -402,6 +521,6 @@ let analyze_cmd =
 let main =
   let doc = "Molecular dynamics on a modeled special-purpose machine." in
   Cmd.group (Cmd.info "mdsp" ~version:"1.0.0" ~doc)
-    [ presets_cmd; run_cmd; model_cmd; table_cmd; analyze_cmd ]
+    [ presets_cmd; run_cmd; ensemble_cmd; model_cmd; table_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

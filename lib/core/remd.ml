@@ -4,7 +4,7 @@ type t = {
   engines : Mdsp_md.Engine.t array;
   temps : float array;
   stride : int;
-  rng : Rng.t;
+  exch_rngs : Rng.t array;  (** one dedicated stream per neighbor pair *)
   mutable sweep : int;
   attempts : int array;  (** per neighbor pair (i, i+1) *)
   accepts : int array;
@@ -14,14 +14,44 @@ type t = {
 
 let create ~engines ~temps ~stride ~seed =
   let m = Array.length engines in
-  if m < 2 || Array.length temps <> m then
-    invalid_arg "Remd.create: need matching engines and temps (>= 2)";
+  if Array.length temps <> m then
+    invalid_arg
+      (Printf.sprintf "Remd.create: %d engines but %d temperatures" m
+         (Array.length temps));
+  if m < 2 then invalid_arg "Remd.create: need at least two rungs";
+  if stride < 1 then invalid_arg "Remd.create: stride must be >= 1";
+  Array.iteri
+    (fun i temp ->
+      if temp <= 0. then
+        invalid_arg
+          (Printf.sprintf "Remd.create: temperature %d is non-positive (%g K)"
+             i temp);
+      if i > 0 && temp <= temps.(i - 1) then
+        invalid_arg
+          (Printf.sprintf
+             "Remd.create: ladder must increase strictly (rung %d: %g K <= %g \
+              K)"
+             i temp temps.(i - 1)))
+    temps;
+  Array.iteri
+    (fun i e ->
+      match (Mdsp_md.Engine.config e).Mdsp_md.Engine.thermostat with
+      | Mdsp_md.Engine.No_thermostat ->
+          invalid_arg
+            (Printf.sprintf
+               "Remd.create: engine %d has no thermostat to retarget" i)
+      | _ -> ())
+    engines;
   Array.iteri (fun i e -> Mdsp_md.Engine.set_temperature e temps.(i)) engines;
+  (* One child stream per neighbor pair, split off the seed in pair order:
+     pair i's k-th decision depends only on (seed, i, k), never on the other
+     pairs or on how replica stepping is interleaved. *)
+  let master = Rng.create seed in
   {
     engines;
     temps;
     stride;
-    rng = Rng.create seed;
+    exch_rngs = Array.init (m - 1) (fun _ -> Rng.split master);
     sweep = 0;
     attempts = Array.make (m - 1) 0;
     accepts = Array.make (m - 1) 0;
@@ -36,7 +66,10 @@ let attempt_pair t i =
   let beta_hi = 1. /. Units.kt t.temps.(i + 1) in
   let log_p = (beta_lo -. beta_hi) *. (u_lo -. u_hi) in
   t.attempts.(i) <- t.attempts.(i) + 1;
-  if log_p >= 0. || Rng.uniform t.rng < exp log_p then begin
+  (* Draw unconditionally so the stream position advances once per attempt
+     regardless of the criterion's short-circuit. *)
+  let u = Rng.uniform t.exch_rngs.(i) in
+  if log_p >= 0. || u < exp log_p then begin
     t.accepts.(i) <- t.accepts.(i) + 1;
     (* Swap configurations (positions + velocities), keeping each engine
        pinned to its rung; rescale velocities to the new temperature. *)
@@ -58,17 +91,20 @@ let attempt_pair t i =
     done
   end
 
+let exchange_sweep t =
+  (* Alternate even/odd neighbor pairs each sweep. *)
+  let start = t.sweep mod 2 in
+  let i = ref start in
+  while !i < Array.length t.engines - 1 do
+    attempt_pair t !i;
+    i := !i + 2
+  done;
+  t.sweep <- t.sweep + 1
+
 let run t ~sweeps =
   for _ = 1 to sweeps do
     Array.iter (fun e -> Mdsp_md.Engine.run e t.stride) t.engines;
-    (* Alternate even/odd neighbor pairs each sweep. *)
-    let start = t.sweep mod 2 in
-    let i = ref start in
-    while !i < Array.length t.engines - 1 do
-      attempt_pair t !i;
-      i := !i + 2
-    done;
-    t.sweep <- t.sweep + 1
+    exchange_sweep t
   done
 
 let acceptance t =
@@ -79,7 +115,45 @@ let acceptance t =
       else float_of_int t.accepts.(i) /. float_of_int t.attempts.(i))
 
 let engines t = t.engines
+let temps t = Array.copy t.temps
+let stride t = t.stride
+let sweeps_done t = t.sweep
+let attempts t = Array.copy t.attempts
+let accepts t = Array.copy t.accepts
 let replica_of_config t = Array.copy t.replica_of_config
+
+(* --- checkpointing of the exchange bookkeeping --- *)
+
+type snapshot = {
+  snap_sweep : int;
+  snap_attempts : int array;
+  snap_accepts : int array;
+  snap_config : int array;
+  snap_rngs : Rng.snapshot array;
+}
+
+let snapshot t =
+  {
+    snap_sweep = t.sweep;
+    snap_attempts = Array.copy t.attempts;
+    snap_accepts = Array.copy t.accepts;
+    snap_config = Array.copy t.replica_of_config;
+    snap_rngs = Array.map Rng.snapshot t.exch_rngs;
+  }
+
+let restore t s =
+  let m = Array.length t.engines in
+  if
+    Array.length s.snap_config <> m
+    || Array.length s.snap_attempts <> m - 1
+    || Array.length s.snap_accepts <> m - 1
+    || Array.length s.snap_rngs <> m - 1
+  then invalid_arg "Remd.restore: snapshot ladder size mismatch";
+  t.sweep <- s.snap_sweep;
+  Array.blit s.snap_attempts 0 t.attempts 0 (m - 1);
+  Array.blit s.snap_accepts 0 t.accepts 0 (m - 1);
+  Array.blit s.snap_config 0 t.replica_of_config 0 m;
+  Array.iteri (fun i sn -> Rng.restore t.exch_rngs.(i) sn) s.snap_rngs
 
 (* Machine mapping: each replica occupies a machine partition; an exchange
    is two scalar energies plus a decision broadcast, then a configuration

@@ -3,26 +3,87 @@
     Runs a ladder of engines, one per temperature rung; every [stride] steps
     neighboring rungs attempt a Metropolis configuration exchange
     (alternating even/odd pairs per sweep). Each engine must run a
-    thermostat. *)
+    thermostat.
+
+    {2 Exchange randomness and draw order}
+
+    {!create} splits one dedicated child stream off the seed per neighbor
+    pair, in pair order (pair 0 first). Every attempt of pair [(i, i+1)]
+    draws {e exactly one} uniform from stream [i], unconditionally — before
+    the Metropolis criterion is evaluated, even when [log_p >= 0] would
+    accept without looking at it. The k-th decision of a pair therefore
+    depends only on [(seed, i, k)] and the two replica energies: it is
+    independent of the other pairs' outcomes and of how replica stepping is
+    interleaved, which is what lets the sharded runner
+    ([Mdsp_ensemble.Ensemble]) reproduce the sequential {!run} bit for bit
+    while stepping replicas concurrently. *)
 
 type t
 
+(** [create ~engines ~temps ~stride ~seed] validates and assembles the
+    ladder, retargeting each engine's thermostat to its rung temperature.
+
+    Raises [Invalid_argument] when [engines] and [temps] lengths differ,
+    fewer than two rungs are given, [stride < 1], a temperature is
+    non-positive, the ladder is not strictly increasing, or an engine has no
+    thermostat to retarget. *)
 val create :
   engines:Mdsp_md.Engine.t array -> temps:float array -> stride:int ->
   seed:int -> t
 
 (** [run t ~sweeps] advances all replicas [sweeps * stride] steps with
-    exchange attempts between sweeps. *)
+    exchange attempts between sweeps, stepping the ladder sequentially on
+    the calling domain. *)
 val run : t -> sweeps:int -> unit
+
+(** [exchange_sweep t] performs the exchange attempts of the current sweep
+    (even pairs on even sweeps, odd pairs on odd sweeps) and advances the
+    sweep counter. {!run} calls this after stepping; the ensemble runner
+    calls it at the pool barrier — both paths see identical decisions (see
+    the draw-order contract above). *)
+val exchange_sweep : t -> unit
 
 (** Per-neighbor-pair acceptance rates. *)
 val acceptance : t -> float array
 
 val engines : t -> Mdsp_md.Engine.t array
 
+(** Copy of the rung temperatures (K), in ladder order. *)
+val temps : t -> float array
+
+(** Steps between exchange attempts. *)
+val stride : t -> int
+
+(** Completed exchange sweeps. *)
+val sweeps_done : t -> int
+
+(** Per-neighbor-pair attempt counts (copy). *)
+val attempts : t -> int array
+
+(** Per-neighbor-pair acceptance counts (copy). *)
+val accepts : t -> int array
+
 (** [replica_of_config t].(c) is the rung currently holding the
     configuration that started at rung [c] — diagnostics for ladder mixing. *)
 val replica_of_config : t -> int array
+
+(** The exchange bookkeeping (sweep counter, attempt/accept tallies,
+    configuration walk, per-pair RNG streams) as an immutable value. Engine
+    state is snapshotted separately ({!Mdsp_md.Engine.snapshot}); together
+    they make an exact ensemble checkpoint. *)
+type snapshot = {
+  snap_sweep : int;
+  snap_attempts : int array;
+  snap_accepts : int array;
+  snap_config : int array;
+  snap_rngs : Mdsp_util.Rng.snapshot array;
+}
+
+val snapshot : t -> snapshot
+
+(** Raises [Invalid_argument] if the snapshot was taken from a ladder of a
+    different size. *)
+val restore : t -> snapshot -> unit
 
 (** Extra communication charged per step by the machine mapping. *)
 val method_bytes_per_step : t -> n_atoms:int -> float

@@ -32,6 +32,7 @@ let create ?(wl_delta = 0.5) ~temps ~stride () =
   }
 
 let rung t = t.rung
+let stride t = t.stride
 let temperature t = t.temps.(t.rung)
 let visits t = Array.copy t.visits
 let weights t = Array.copy t.weights

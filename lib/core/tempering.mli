@@ -3,7 +3,14 @@
     instantaneous potential energy and adaptive (Wang–Landau) rung weights.
 
     The engine must run a thermostat whose target the method can switch
-    (any of Langevin / Berendsen / Nosé–Hoover). *)
+    (any of Langevin / Berendsen / Nosé–Hoover).
+
+    Randomness: all draws (the move direction on interior rungs and the
+    Metropolis uniform) come from the {e attached engine's} stream
+    ({!Mdsp_md.Engine.rng}), so a ladder walker is self-contained — an
+    ensemble of walkers on distinct engines can step concurrently
+    ([Mdsp_ensemble.Ensemble.run_tempering]) without any cross-replica RNG
+    coupling. *)
 
 type t
 
@@ -13,6 +20,10 @@ val create : ?wl_delta:float -> temps:float array -> stride:int -> unit -> t
 val attach : t -> Mdsp_md.Engine.t -> unit
 
 val rung : t -> int
+
+(** Steps between attempted rung moves. *)
+val stride : t -> int
+
 val temperature : t -> float
 val visits : t -> int array
 val weights : t -> float array

@@ -1,0 +1,199 @@
+open Mdsp_util
+module E = Mdsp_md.Engine
+module State = Mdsp_md.State
+module FC = Mdsp_md.Force_calc
+module Remd = Mdsp_core.Remd
+
+let header = "mdsp-ensemble-checkpoint 1"
+
+let write_rng oc (r : Rng.snapshot) =
+  Printf.fprintf oc "%Ld %Ld %Ld %Ld %.17g %d" r.Rng.sn_s0 r.Rng.sn_s1
+    r.Rng.sn_s2 r.Rng.sn_s3 r.Rng.sn_cached_gauss
+    (if r.Rng.sn_has_gauss then 1 else 0)
+
+let save path ~(remd : Remd.snapshot) ~(engines : E.snapshot array) =
+  let oc = open_out path in
+  Printf.fprintf oc "%s\n" header;
+  Printf.fprintf oc "replicas %d\n" (Array.length engines);
+  let npairs = Array.length remd.Remd.snap_attempts in
+  Printf.fprintf oc "remd sweep %d pairs %d\n" remd.Remd.snap_sweep npairs;
+  for i = 0 to npairs - 1 do
+    Printf.fprintf oc "pair %d %d " remd.Remd.snap_attempts.(i)
+      remd.Remd.snap_accepts.(i);
+    write_rng oc remd.Remd.snap_rngs.(i);
+    output_char oc '\n'
+  done;
+  output_string oc "config";
+  Array.iter (fun c -> Printf.fprintf oc " %d" c) remd.Remd.snap_config;
+  output_char oc '\n';
+  Array.iteri
+    (fun i (s : E.snapshot) ->
+      let st = s.E.snap_state in
+      let n = State.n st in
+      Printf.fprintf oc "replica %d\n" i;
+      Printf.fprintf oc "steps %d\n" s.E.snap_steps;
+      Printf.fprintf oc "temperature %.17g\n" s.E.snap_temperature;
+      output_string oc "rng ";
+      write_rng oc s.E.snap_rng;
+      output_char oc '\n';
+      (match s.E.snap_nhc with
+      | None -> output_string oc "nhc none\n"
+      | Some (v1, v2) -> Printf.fprintf oc "nhc %.17g %.17g\n" v1 v2);
+      let acc, tries = s.E.snap_mc_baro in
+      Printf.fprintf oc "mc_baro %d %d\n" acc tries;
+      let e = s.E.snap_energies in
+      Printf.fprintf oc
+        "energies %.17g %.17g %.17g %.17g %.17g %.17g %.17g\n" e.FC.bond
+        e.FC.angle e.FC.dihedral e.FC.pair e.FC.recip e.FC.correction
+        e.FC.bias;
+      Printf.fprintf oc "virial %.17g\n" s.E.snap_virial;
+      Printf.fprintf oc "atoms %d\n" n;
+      Printf.fprintf oc "box %.17g %.17g %.17g\n" st.State.box.Pbc.lx
+        st.State.box.Pbc.ly st.State.box.Pbc.lz;
+      Printf.fprintf oc "time %.17g\n" st.State.time;
+      Printf.fprintf oc "nlist_box %.17g %.17g %.17g\n"
+        s.E.snap_nlist_box.Pbc.lx s.E.snap_nlist_box.Pbc.ly
+        s.E.snap_nlist_box.Pbc.lz;
+      for a = 0 to n - 1 do
+        let p = st.State.positions.(a)
+        and v = st.State.velocities.(a)
+        and f = s.E.snap_forces.(a)
+        and r = s.E.snap_nlist_ref.(a) in
+        Printf.fprintf oc
+          "%.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g \
+           %.17g %.17g %.17g\n"
+          st.State.masses.(a) p.Vec3.x p.Vec3.y p.Vec3.z v.Vec3.x v.Vec3.y
+          v.Vec3.z f.Vec3.x f.Vec3.y f.Vec3.z r.Vec3.x r.Vec3.y r.Vec3.z
+      done)
+    engines;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let lineno = ref 0 in
+  let fail msg =
+    close_in ic;
+    failwith
+      (Printf.sprintf "Ensemble checkpoint %s, line %d: %s" path !lineno msg)
+  in
+  let line () =
+    incr lineno;
+    try input_line ic with End_of_file -> fail "truncated"
+  in
+  let scan fmt f =
+    let l = line () in
+    try Scanf.sscanf l fmt f
+    with Scanf.Scan_failure m | Failure m -> fail m
+  in
+  let read_rng s0 s1 s2 s3 g h =
+    {
+      Rng.sn_s0 = s0;
+      sn_s1 = s1;
+      sn_s2 = s2;
+      sn_s3 = s3;
+      sn_cached_gauss = g;
+      sn_has_gauss = h <> 0;
+    }
+  in
+  if line () <> header then fail "bad header";
+  let m = scan "replicas %d" Fun.id in
+  let sweep, npairs =
+    scan "remd sweep %d pairs %d" (fun a b -> (a, b))
+  in
+  let attempts = Array.make npairs 0 in
+  let accepts = Array.make npairs 0 in
+  let rngs = Array.make npairs (Rng.snapshot (Rng.create 0)) in
+  for i = 0 to npairs - 1 do
+    scan "pair %d %d %Ld %Ld %Ld %Ld %f %d"
+      (fun at ac s0 s1 s2 s3 g h ->
+        attempts.(i) <- at;
+        accepts.(i) <- ac;
+        rngs.(i) <- read_rng s0 s1 s2 s3 g h)
+  done;
+  let config =
+    let l = line () in
+    match String.split_on_char ' ' (String.trim l) with
+    | "config" :: rest -> (
+        try Array.of_list (List.map int_of_string rest)
+        with Failure m -> fail m)
+    | _ -> fail "expected config line"
+  in
+  let remd =
+    {
+      Remd.snap_sweep = sweep;
+      snap_attempts = attempts;
+      snap_accepts = accepts;
+      snap_config = config;
+      snap_rngs = rngs;
+    }
+  in
+  let engines =
+    Array.init m (fun i ->
+        let j = scan "replica %d" Fun.id in
+        if j <> i then fail (Printf.sprintf "expected replica %d" i);
+        let steps = scan "steps %d" Fun.id in
+        let temperature = scan "temperature %f" Fun.id in
+        let rng = scan "rng %Ld %Ld %Ld %Ld %f %d" read_rng in
+        let nhc =
+          let l = line () in
+          if l = "nhc none" then None
+          else
+            try Scanf.sscanf l "nhc %f %f" (fun a b -> Some (a, b))
+            with Scanf.Scan_failure m | Failure m -> fail m
+        in
+        let mc_baro = scan "mc_baro %d %d" (fun a b -> (a, b)) in
+        let energies =
+          scan "energies %f %f %f %f %f %f %f"
+            (fun bond angle dihedral pair recip correction bias ->
+              {
+                FC.bond;
+                angle;
+                dihedral;
+                pair;
+                recip;
+                correction;
+                bias;
+              })
+        in
+        let virial = scan "virial %f" Fun.id in
+        let n = scan "atoms %d" Fun.id in
+        let box =
+          scan "box %f %f %f" (fun lx ly lz -> Pbc.make ~lx ~ly ~lz)
+        in
+        let time = scan "time %f" Fun.id in
+        let nlist_box =
+          scan "nlist_box %f %f %f" (fun lx ly lz -> Pbc.make ~lx ~ly ~lz)
+        in
+        let masses = Array.make n 0. in
+        let positions = Array.make n Vec3.zero in
+        let velocities = Array.make n Vec3.zero in
+        let forces = Array.make n Vec3.zero in
+        let nlist_ref = Array.make n Vec3.zero in
+        for a = 0 to n - 1 do
+          scan " %f %f %f %f %f %f %f %f %f %f %f %f %f"
+            (fun ms px py pz vx vy vz fx fy fz rx ry rz ->
+              masses.(a) <- ms;
+              positions.(a) <- Vec3.make px py pz;
+              velocities.(a) <- Vec3.make vx vy vz;
+              forces.(a) <- Vec3.make fx fy fz;
+              nlist_ref.(a) <- Vec3.make rx ry rz)
+        done;
+        let st = State.create ~positions ~masses ~box in
+        Array.blit velocities 0 st.State.velocities 0 n;
+        st.State.time <- time;
+        {
+          E.snap_state = st;
+          snap_steps = steps;
+          snap_temperature = temperature;
+          snap_rng = rng;
+          snap_nhc = nhc;
+          snap_mc_baro = mc_baro;
+          snap_energies = energies;
+          snap_forces = forces;
+          snap_virial = virial;
+          snap_nlist_box = nlist_box;
+          snap_nlist_ref = nlist_ref;
+        })
+  in
+  close_in ic;
+  (remd, engines)

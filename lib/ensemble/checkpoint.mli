@@ -1,0 +1,25 @@
+(** Exact text checkpoints for a replica ensemble.
+
+    A checkpoint is the pair ({!Mdsp_core.Remd.snapshot}, one
+    {!Mdsp_md.Engine.snapshot} per replica): the exchange bookkeeping plus
+    everything each engine needs to continue bit-for-bit (state, in-flight
+    forces, RNG streams, thermostat internals, neighbor-list reference).
+
+    The format is line-oriented text. Floats are written with [%.17g],
+    which round-trips IEEE binary64 exactly, and the RNG words as decimal
+    [int64] — loading a checkpoint therefore reconstructs the snapshots
+    bit-identically, and a resumed ensemble replays the uninterrupted run
+    exactly ({!Ensemble.resume_checkpoint}). *)
+
+(** [save path ~remd ~engines] writes the checkpoint atomically-ish (a plain
+    rewrite of [path]; callers wanting durability should write to a temp
+    name and rename). *)
+val save :
+  string ->
+  remd:Mdsp_core.Remd.snapshot ->
+  engines:Mdsp_md.Engine.snapshot array ->
+  unit
+
+(** [load path] parses a checkpoint back into snapshots. Raises [Failure]
+    with a position message on a malformed file. *)
+val load : string -> Mdsp_core.Remd.snapshot * Mdsp_md.Engine.snapshot array

@@ -1,0 +1,49 @@
+(** Replica sharding over the {!Mdsp_util.Exec} pool.
+
+    A shard assigns [n_replicas] replicas to the executor's slots
+    round-robin (replica [r] lives on slot [r mod n_slots]) and steps every
+    replica of a slot sequentially inside one {!Mdsp_util.Exec.map_slots}
+    collective. The placement is a pure function of [(n_replicas,
+    n_slots)], so which replica runs where — and therefore the floating
+    point arithmetic each replica performs — never depends on timing: a
+    replica's trajectory is bitwise identical whether it is stepped here or
+    by a plain sequential loop, because replicas share no mutable state and
+    each engine carries its own RNG stream.
+
+    The shard also keeps per-replica accounting (steps advanced, wall
+    seconds spent stepping) that the ensemble drivers surface as metrics
+    tables. *)
+
+type t
+
+(** [create ~exec ~n_replicas] builds the placement. Raises
+    [Invalid_argument] when [n_replicas < 1]. More replicas than slots is
+    fine (slots multiplex); more slots than replicas leaves slots idle. *)
+val create : exec:Mdsp_util.Exec.t -> n_replicas:int -> t
+
+val n_replicas : t -> int
+val n_slots : t -> int
+
+(** The slot replica [r] is pinned to ([r mod n_slots]). *)
+val slot_of_replica : t -> int -> int
+
+(** Replicas assigned to a slot, in increasing index order (copy). *)
+val replicas_of_slot : t -> int -> int array
+
+(** [run_stride t f] runs [f r] once for every replica [r] — concurrently
+    across slots, sequentially (in increasing [r]) within a slot — and
+    returns after the pool barrier. [f r] must advance replica [r] and
+    return the number of steps it took (recorded in {!steps_done}).
+    Exceptions propagate to the caller after the barrier. *)
+val run_stride : t -> (int -> int) -> unit
+
+(** Completed {!run_stride} collectives. *)
+val strides_done : t -> int
+
+(** Per-replica cumulative steps advanced under {!run_stride} (copy). *)
+val steps_done : t -> int array
+
+(** Per-replica cumulative wall seconds spent inside [f] (copy). Wall time
+    is measured around each replica's own call, so on a multiplexed slot the
+    replicas split the slot's time rather than double-counting it. *)
+val wall_seconds : t -> float array

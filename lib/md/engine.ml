@@ -136,6 +136,66 @@ let refresh_forces t =
     Force_calc.compute t.fc t.st.State.box t.st.State.positions t.acc;
   Virtual_sites.spread_forces t.vsites t.acc
 
+(* --- snapshot / restore --- *)
+
+type snapshot = {
+  snap_state : State.t;
+  snap_steps : int;
+  snap_temperature : float;
+  snap_rng : Rng.snapshot;
+  snap_nhc : (float * float) option;
+  snap_mc_baro : int * int;
+  snap_energies : Force_calc.energies;
+  snap_forces : Vec3.t array;
+  snap_virial : float;
+  snap_nlist_box : Pbc.t;
+  snap_nlist_ref : Vec3.t array;
+}
+
+let snapshot t =
+  let nlist = Force_calc.nlist t.fc in
+  {
+    snap_state = State.copy t.st;
+    snap_steps = t.nsteps;
+    snap_temperature = t.cfg.temperature;
+    snap_rng = Rng.snapshot t.rng;
+    snap_nhc = Option.map (fun c -> (c.v1, c.v2)) t.nhc;
+    snap_mc_baro = (t.mc_baro_accept, t.mc_baro_try);
+    snap_energies = t.energies;
+    snap_forces = Array.copy t.acc.Mdsp_ff.Bonded.forces;
+    snap_virial = t.acc.Mdsp_ff.Bonded.virial;
+    snap_nlist_box = Mdsp_space.Neighbor_list.box nlist;
+    snap_nlist_ref = Mdsp_space.Neighbor_list.ref_positions nlist;
+  }
+
+let restore t s =
+  let n = State.n t.st in
+  if State.n s.snap_state <> n then
+    invalid_arg "Engine.restore: snapshot atom count mismatch";
+  State.blit ~src:s.snap_state ~dst:t.st;
+  t.nsteps <- s.snap_steps;
+  set_temperature t s.snap_temperature;
+  (match (t.nhc, s.snap_nhc) with
+  | Some c, Some (v1, v2) ->
+      c.v1 <- v1;
+      c.v2 <- v2
+  | _ -> ());
+  let acc, tries = s.snap_mc_baro in
+  t.mc_baro_accept <- acc;
+  t.mc_baro_try <- tries;
+  Rng.restore t.rng s.snap_rng;
+  (* Rebuild the neighbor list from the snapshot's reference positions so
+     the pair list (content and iteration order) and the skin displacement
+     tracking match the interrupted run, then reinstate the forces that were
+     in flight instead of recomputing them — the first half-kick after a
+     restore must use exactly the forces the uninterrupted run would. *)
+  ignore
+    (Mdsp_space.Neighbor_list.rebuild ~box:s.snap_nlist_box
+       (Force_calc.nlist t.fc) s.snap_nlist_ref);
+  Array.blit s.snap_forces 0 t.acc.Mdsp_ff.Bonded.forces 0 n;
+  t.acc.Mdsp_ff.Bonded.virial <- s.snap_virial;
+  t.energies <- s.snap_energies
+
 let add_post_step t ~name fn = t.hooks <- t.hooks @ [ (name, fn) ]
 
 let remove_post_step t name =

@@ -96,6 +96,37 @@ val run : t -> int -> unit
     external position edits, evaluator swaps, or bias changes). *)
 val refresh_forces : t -> unit
 
+(** Everything needed to continue a run bit-for-bit: a deep copy of the
+    dynamic {!State}, the step counter, the thermostat target and
+    Nosé–Hoover chain velocities, Monte-Carlo barostat counters, the
+    engine's RNG stream, the in-flight forces/energies/virial, and the
+    neighbor list's reference positions and box. Post-step hooks are not
+    captured — re-register them after {!restore}. *)
+type snapshot = {
+  snap_state : State.t;
+  snap_steps : int;
+  snap_temperature : float;
+  snap_rng : Rng.snapshot;
+  snap_nhc : (float * float) option;  (** chain velocities (v1, v2) *)
+  snap_mc_baro : int * int;  (** MC barostat (accepts, attempts) *)
+  snap_energies : Force_calc.energies;
+  snap_forces : Vec3.t array;
+  snap_virial : float;
+  snap_nlist_box : Pbc.t;
+  snap_nlist_ref : Vec3.t array;
+}
+
+val snapshot : t -> snapshot
+
+(** [restore t s] rewinds (or fast-forwards) [t] to the snapshot: continuing
+    with [step]/[run] afterwards reproduces the run the snapshot was taken
+    from exactly, step for step and bit for bit, because the forces in
+    flight and the neighbor-list reference are reinstated rather than
+    recomputed. [t] must have been built for the same system (atom count,
+    topology, thermostat/barostat configuration). Raises [Invalid_argument]
+    on an atom-count mismatch. *)
+val restore : t -> snapshot -> unit
+
 (** Register a callback run after every completed step. *)
 val add_post_step : t -> name:string -> (t -> unit) -> unit
 

@@ -64,6 +64,11 @@ let copy t =
     time = t.time;
   }
 
+let equal a b =
+  n a = n b && a.box = b.box && a.time = b.time
+  && a.positions = b.positions
+  && a.velocities = b.velocities
+
 let blit ~src ~dst =
   Array.blit src.positions 0 dst.positions 0 (n src);
   Array.blit src.velocities 0 dst.velocities 0 (n src);

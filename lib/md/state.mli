@@ -39,5 +39,10 @@ val scale_velocities : t -> float -> unit
 (** Deep copy. *)
 val copy : t -> t
 
+(** Bitwise equality of the dynamic data (positions, velocities, box, time;
+    masses excluded) — the predicate the determinism and restart-exactness
+    tests assert. *)
+val equal : t -> t -> bool
+
 (** Copy dynamic data of [src] into [dst] (arrays must match in length). *)
 val blit : src:t -> dst:t -> unit

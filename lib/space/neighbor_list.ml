@@ -117,6 +117,7 @@ let maybe_rebuild ?box t positions =
   else false
 
 let rebuild_count t = t.rebuilds
+let ref_positions t = Array.copy t.ref_positions
 let cutoff t = t.cutoff
 let skin t = t.skin
 let box t = t.box

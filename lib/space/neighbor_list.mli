@@ -45,6 +45,12 @@ val maybe_rebuild : ?box:Pbc.t -> t -> Vec3.t array -> bool
 (** Total rebuild count (for the ablation bench). *)
 val rebuild_count : t -> int
 
+(** Copy of the positions the list was last built from. Checkpoints record
+    these so a restart can {!rebuild} from the same reference and reproduce
+    both the pair list (content and order) and the displacement tracking of
+    the interrupted run exactly. *)
+val ref_positions : t -> Vec3.t array
+
 val cutoff : t -> float
 val skin : t -> float
 val box : t -> Pbc.t

@@ -123,6 +123,16 @@ let parallel_run t f =
       (match main_failure with Some e -> raise e | None -> ());
       (match worker_failure with Some e -> raise e | None -> ())
 
+let map_slots t f =
+  let n = n_slots t in
+  let out = Array.make n None in
+  parallel_run t (fun s -> out.(s) <- Some (f s));
+  Array.map
+    (function
+      | Some v -> v
+      | None -> invalid_arg "Exec.map_slots: a slot produced no value")
+    out
+
 let tile_bounds ~total ~ntiles =
   if total < 0 then invalid_arg "Exec.tile_bounds: total";
   if ntiles < 1 then invalid_arg "Exec.tile_bounds: ntiles";

@@ -55,6 +55,12 @@ val n_slots : t -> int
     on the caller after the barrier. Serial executors just call [f 0]. *)
 val parallel_run : t -> (int -> unit) -> unit
 
+(** [map_slots t f] runs [f s] on every slot (like {!parallel_run}, with the
+    same barrier) and returns the results as a slot-indexed array — the
+    collective primitive the ensemble layer schedules replicas with. The
+    array order depends only on the slot count, never on timing. *)
+val map_slots : t -> (int -> 'a) -> 'a array
+
 (** [tile_bounds ~total ~ntiles] statically partitions [0 .. total - 1] into
     [ntiles] contiguous half-open ranges [(lo, hi)] whose sizes differ by at
     most one. Empty ranges are possible when [total < ntiles]. *)

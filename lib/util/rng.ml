@@ -42,6 +42,33 @@ let bits64 t =
   t.s3 <- rotl t.s3 45;
   result
 
+type snapshot = {
+  sn_s0 : int64;
+  sn_s1 : int64;
+  sn_s2 : int64;
+  sn_s3 : int64;
+  sn_cached_gauss : float;
+  sn_has_gauss : bool;
+}
+
+let snapshot t =
+  {
+    sn_s0 = t.s0;
+    sn_s1 = t.s1;
+    sn_s2 = t.s2;
+    sn_s3 = t.s3;
+    sn_cached_gauss = t.cached_gauss;
+    sn_has_gauss = t.has_gauss;
+  }
+
+let restore t s =
+  t.s0 <- s.sn_s0;
+  t.s1 <- s.sn_s1;
+  t.s2 <- s.sn_s2;
+  t.s3 <- s.sn_s3;
+  t.cached_gauss <- s.sn_cached_gauss;
+  t.has_gauss <- s.sn_has_gauss
+
 let split t =
   (* Derive a child seed from the parent stream, then re-expand through
      splitmix64 so parent and child decorrelate. *)

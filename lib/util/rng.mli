@@ -17,6 +17,23 @@ val copy : t -> t
     the parent. Used to give each replica / domain its own stream. *)
 val split : t -> t
 
+(** The complete generator state — the four xoshiro words plus the Box–Muller
+    cache — as an immutable value for checkpointing. Restoring a snapshot
+    makes the stream continue bit-for-bit where the snapshot was taken. *)
+type snapshot = {
+  sn_s0 : int64;
+  sn_s1 : int64;
+  sn_s2 : int64;
+  sn_s3 : int64;
+  sn_cached_gauss : float;
+  sn_has_gauss : bool;
+}
+
+val snapshot : t -> snapshot
+
+(** [restore t s] overwrites [t]'s state with the snapshot [s]. *)
+val restore : t -> snapshot -> unit
+
 (** Next raw 64-bit value. *)
 val bits64 : t -> int64
 

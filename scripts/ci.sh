@@ -14,6 +14,15 @@ dune exec bench/main.exe -- e21 --json /tmp/mdsp-timings.json
 test -s /tmp/mdsp-timings.json
 grep -q 'e21\.lr_spread_serial_us' /tmp/mdsp-timings.json
 
+# Ensemble smoke: the sharded-REMD CLI path end to end, then e22 with its
+# JSON dump — e22 also asserts sharded ≡ sequential bitwise internally.
+dune exec bin/mdsp.exe -- ensemble --replicas 4 --domains 2 --steps 50
+dune exec bench/main.exe -- e22 --json /tmp/e22.json
+test -s /tmp/e22.json
+grep -q 'e22\.identical' /tmp/e22.json
+grep -q 'e22\.shard_sweeps_per_s' /tmp/e22.json
+grep -q 'e22\.exchange_bytes_per_step' /tmp/e22.json
+
 # Documentation gate: the odoc comments in the .mli files must stay
 # well-formed. Gated on odoc being installed so the script still runs in
 # minimal local environments.

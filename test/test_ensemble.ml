@@ -1,0 +1,384 @@
+(* The ensemble orchestration subsystem: sharded REMD must be bitwise
+   identical to the sequential Remd.run path for any slot count, a
+   checkpoint -> restore -> continue must equal the uninterrupted run
+   exactly, tempering walkers must be interleaving-independent, and
+   Remd.create must reject malformed ladders up front. *)
+
+open Mdsp_util
+open Testsupport
+module E = Mdsp_md.Engine
+module State = Mdsp_md.State
+module Remd = Mdsp_core.Remd
+module Tempering = Mdsp_core.Tempering
+module Shard = Mdsp_ensemble.Shard
+module Ensemble = Mdsp_ensemble.Ensemble
+
+(* --- fixtures --- *)
+
+let temps = [| 120.; 132.; 145.; 160. |]
+
+(* A fresh, deterministically-seeded REMD ladder of small LJ replicas.
+   Reconstructing with the same seeds gives bit-identical engines, which is
+   what lets us compare the sequential and sharded runners. *)
+let make_ladder ?(stride = 10) () =
+  let engines =
+    Array.mapi
+      (fun i temp ->
+        let sys = Mdsp_workload.Workloads.lj_fluid ~n:64 () in
+        let cfg =
+          {
+            E.default_config with
+            dt_fs = 2.0;
+            temperature = temp;
+            thermostat = E.Langevin { gamma_fs = 0.02 };
+          }
+        in
+        Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:(300 + i) sys)
+      temps
+  in
+  Remd.create ~engines ~temps ~stride ~seed:11
+
+let assert_ladders_identical msg a b =
+  let ea = Remd.engines a and eb = Remd.engines b in
+  check_true (msg ^ ": replica count") (Array.length ea = Array.length eb);
+  Array.iteri
+    (fun i e ->
+      check_true
+        (Printf.sprintf "%s: replica %d state bitwise" msg i)
+        (State.equal (E.state e) (E.state eb.(i)));
+      check_true
+        (Printf.sprintf "%s: replica %d potential energy bitwise" msg i)
+        (E.potential_energy e = E.potential_energy eb.(i));
+      check_true
+        (Printf.sprintf "%s: replica %d step counter" msg i)
+        (E.steps_done e = E.steps_done eb.(i)))
+    ea;
+  check_true (msg ^ ": replica_of_config")
+    (Remd.replica_of_config a = Remd.replica_of_config b);
+  check_true (msg ^ ": attempts") (Remd.attempts a = Remd.attempts b);
+  check_true (msg ^ ": accepts") (Remd.accepts a = Remd.accepts b);
+  check_true (msg ^ ": sweep counter")
+    (Remd.sweeps_done a = Remd.sweeps_done b)
+
+(* --- Remd.create validation --- *)
+
+let expect_invalid msg f =
+  let raised = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_true msg raised
+
+let two_engines ?(thermostat = E.Langevin { gamma_fs = 0.02 }) () =
+  Array.init 2 (fun i ->
+      let sys = Mdsp_workload.Workloads.lj_fluid ~n:32 () in
+      let cfg = { E.default_config with thermostat } in
+      Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:(50 + i) sys)
+
+let test_create_validation () =
+  expect_invalid "length mismatch" (fun () ->
+      Remd.create ~engines:(two_engines ()) ~temps:[| 300. |] ~stride:10
+        ~seed:1);
+  expect_invalid "single rung" (fun () ->
+      Remd.create
+        ~engines:(Array.sub (two_engines ()) 0 1)
+        ~temps:[| 300. |] ~stride:10 ~seed:1);
+  expect_invalid "non-positive temperature" (fun () ->
+      Remd.create ~engines:(two_engines ()) ~temps:[| -10.; 300. |]
+        ~stride:10 ~seed:1);
+  expect_invalid "non-increasing ladder" (fun () ->
+      Remd.create ~engines:(two_engines ()) ~temps:[| 300.; 300. |]
+        ~stride:10 ~seed:1);
+  expect_invalid "stride < 1" (fun () ->
+      Remd.create ~engines:(two_engines ()) ~temps:[| 300.; 330. |] ~stride:0
+        ~seed:1);
+  expect_invalid "engine without thermostat" (fun () ->
+      Remd.create
+        ~engines:(two_engines ~thermostat:E.No_thermostat ())
+        ~temps:[| 300.; 330. |] ~stride:10 ~seed:1);
+  (* A well-formed ladder still assembles. *)
+  ignore
+    (Remd.create ~engines:(two_engines ()) ~temps:[| 300.; 330. |] ~stride:10
+       ~seed:1)
+
+(* --- shard placement and accounting --- *)
+
+let test_shard_placement () =
+  let pool = Exec.create (Exec.Domains { n = 2 }) in
+  let sh = Shard.create ~exec:pool ~n_replicas:5 in
+  check_true "n_replicas" (Shard.n_replicas sh = 5);
+  check_true "n_slots" (Shard.n_slots sh = 2);
+  check_true "round-robin placement"
+    (Array.init 5 (Shard.slot_of_replica sh) = [| 0; 1; 0; 1; 0 |]);
+  check_true "slot 0 replicas" (Shard.replicas_of_slot sh 0 = [| 0; 2; 4 |]);
+  check_true "slot 1 replicas" (Shard.replicas_of_slot sh 1 = [| 1; 3 |]);
+  let hits = Array.make 5 0 in
+  for _ = 1 to 3 do
+    Shard.run_stride sh (fun r ->
+        hits.(r) <- hits.(r) + 1;
+        7)
+  done;
+  Exec.shutdown pool;
+  check_true "every replica ran every stride"
+    (Array.for_all (fun h -> h = 3) hits);
+  check_true "strides counted" (Shard.strides_done sh = 3);
+  check_true "steps accumulated"
+    (Array.for_all (fun s -> s = 21) (Shard.steps_done sh));
+  check_true "wall clock non-negative"
+    (Array.for_all (fun w -> w >= 0.) (Shard.wall_seconds sh));
+  (* Out of replicas: spare slots stay idle. *)
+  let pool4 = Exec.create (Exec.Domains { n = 4 }) in
+  let sh2 = Shard.create ~exec:pool4 ~n_replicas:2 in
+  check_true "idle slot has no replicas"
+    (Shard.replicas_of_slot sh2 2 = [||]);
+  Shard.run_stride sh2 (fun _ -> 1);
+  Exec.shutdown pool4;
+  check_true "two replicas stepped" (Shard.steps_done sh2 = [| 1; 1 |])
+
+(* --- sharded vs sequential bitwise identity --- *)
+
+let test_sharded_matches_sequential () =
+  let sweeps = 8 in
+  let seq = make_ladder () in
+  Remd.run seq ~sweeps;
+  List.iter
+    (fun slots ->
+      let pool = Exec.create (Exec.Domains { n = slots }) in
+      let ladder = make_ladder () in
+      let ens = Ensemble.create ~exec:pool ladder in
+      Ensemble.run ens ~sweeps;
+      Exec.shutdown pool;
+      assert_ladders_identical
+        (Printf.sprintf "%d slot(s) vs sequential" slots)
+        seq ladder;
+      (* Every replica advanced sweeps * stride steps under the runner. *)
+      check_true "shard accounting"
+        (Array.for_all
+           (fun s -> s = sweeps * Remd.stride ladder)
+           (Shard.steps_done (Ensemble.shard ens))))
+    [ 1; 2; 4 ]
+
+let test_metrics_populated () =
+  let pool = Exec.create (Exec.Domains { n = 2 }) in
+  let ens = Ensemble.create ~exec:pool (make_ladder ()) in
+  Ensemble.run ens ~sweeps:4;
+  let ms = Ensemble.metrics ens in
+  Exec.shutdown pool;
+  check_true "one row per replica" (List.length ms = Array.length temps);
+  List.iteri
+    (fun i (m : Ensemble.replica_metrics) ->
+      check_true "replica index" (m.Ensemble.replica = i);
+      check_true "slot matches placement" (m.Ensemble.slot = i mod 2);
+      check_float ~eps:1e-12 "rung temperature" temps.(i) m.Ensemble.temp;
+      check_true "steps counted" (m.Ensemble.steps = 4 * 10);
+      check_true "wall time recorded" (m.Ensemble.wall_s > 0.);
+      check_true "config tracked"
+        (m.Ensemble.config_at >= 0
+        && m.Ensemble.config_at < Array.length temps))
+    ms;
+  let rendered = Ensemble.metrics_table ens in
+  check_true "table mentions every replica"
+    (String.length rendered > 0)
+
+(* --- checkpoint / restore --- *)
+
+let test_checkpoint_roundtrip_exact () =
+  (* Uninterrupted reference. *)
+  let whole = make_ladder () in
+  Remd.run whole ~sweeps:10;
+  (* Interrupted run: 4 sweeps, checkpoint to disk, resume into a FRESH
+     ladder (same constructor), 6 more sweeps — must land exactly where the
+     uninterrupted run did. *)
+  let first = make_ladder () in
+  let pool = Exec.create (Exec.Domains { n = 2 }) in
+  let ens1 = Ensemble.create ~exec:pool first in
+  Ensemble.run ens1 ~sweeps:4;
+  let path = Filename.temp_file "mdsp_ensemble" ".ckpt" in
+  Ensemble.save_checkpoint ens1 path;
+  let resumed = make_ladder () in
+  let ens2 = Ensemble.create ~exec:pool resumed in
+  (* Desynchronize the fresh ladder first to prove restore really rewinds. *)
+  Ensemble.run ens2 ~sweeps:1;
+  Ensemble.resume_checkpoint ens2 path;
+  check_true "sweep counter restored" (Remd.sweeps_done resumed = 4);
+  Ensemble.run ens2 ~sweeps:6;
+  Exec.shutdown pool;
+  Sys.remove path;
+  assert_ladders_identical "checkpointed continuation vs uninterrupted"
+    whole resumed
+
+let test_checkpoint_file_exact () =
+  (* The text format itself round-trips snapshots bit-for-bit. *)
+  let ladder = make_ladder () in
+  Remd.run ladder ~sweeps:3;
+  let remd_snap = Remd.snapshot ladder in
+  let engine_snaps = Array.map E.snapshot (Remd.engines ladder) in
+  let path = Filename.temp_file "mdsp_ensemble" ".ckpt" in
+  Mdsp_ensemble.Checkpoint.save path ~remd:remd_snap ~engines:engine_snaps;
+  let remd_back, engines_back = Mdsp_ensemble.Checkpoint.load path in
+  Sys.remove path;
+  check_true "remd sweep" (remd_back.Remd.snap_sweep = remd_snap.Remd.snap_sweep);
+  check_true "remd attempts"
+    (remd_back.Remd.snap_attempts = remd_snap.Remd.snap_attempts);
+  check_true "remd rng streams"
+    (remd_back.Remd.snap_rngs = remd_snap.Remd.snap_rngs);
+  check_true "remd config walk"
+    (remd_back.Remd.snap_config = remd_snap.Remd.snap_config);
+  Array.iteri
+    (fun i (s : E.snapshot) ->
+      let b = engines_back.(i) in
+      check_true "state" (State.equal s.E.snap_state b.E.snap_state);
+      check_true "masses"
+        (s.E.snap_state.State.masses = b.E.snap_state.State.masses);
+      check_true "steps" (s.E.snap_steps = b.E.snap_steps);
+      check_true "temperature" (s.E.snap_temperature = b.E.snap_temperature);
+      check_true "rng" (s.E.snap_rng = b.E.snap_rng);
+      check_true "nhc" (s.E.snap_nhc = b.E.snap_nhc);
+      check_true "mc_baro" (s.E.snap_mc_baro = b.E.snap_mc_baro);
+      check_true "energies" (s.E.snap_energies = b.E.snap_energies);
+      check_true "forces" (s.E.snap_forces = b.E.snap_forces);
+      check_true "virial" (s.E.snap_virial = b.E.snap_virial);
+      check_true "nlist box" (s.E.snap_nlist_box = b.E.snap_nlist_box);
+      check_true "nlist reference"
+        (s.E.snap_nlist_ref = b.E.snap_nlist_ref))
+    engine_snaps
+
+let test_engine_snapshot_restore () =
+  (* Engine-level restart exactness on a constrained, thermostatted system
+     (water: SHAKE + Langevin RNG draws + neighbor rebuilds). *)
+  let make () =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:2 () in
+    let cfg =
+      {
+        E.default_config with
+        dt_fs = 1.0;
+        temperature = 300.;
+        thermostat = E.Langevin { gamma_fs = 0.02 };
+      }
+    in
+    Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:7 sys
+  in
+  let eng = make () in
+  E.run eng 10;
+  let snap = E.snapshot eng in
+  E.run eng 15;
+  let ref_state = State.copy (E.state eng) in
+  let ref_pe = E.potential_energy eng in
+  E.restore eng snap;
+  check_true "rewound step counter" (E.steps_done eng = 10);
+  E.run eng 15;
+  check_true "restart reproduces the state bitwise"
+    (State.equal (E.state eng) ref_state);
+  check_true "restart reproduces the energy bitwise"
+    (E.potential_energy eng = ref_pe);
+  (* Restoring into a fresh engine for the same system works too. *)
+  let eng2 = make () in
+  E.restore eng2 snap;
+  E.run eng2 15;
+  check_true "fresh engine + snapshot reproduces the state bitwise"
+    (State.equal (E.state eng2) ref_state)
+
+(* --- tempering walkers --- *)
+
+let make_walker_fleet () =
+  let n_walkers = 3 in
+  let wtemps = [| 120.; 135.; 150. |] in
+  let engines =
+    Array.init n_walkers (fun i ->
+        let sys = Mdsp_workload.Workloads.lj_fluid ~n:32 () in
+        let cfg =
+          {
+            E.default_config with
+            dt_fs = 2.0;
+            temperature = wtemps.(0);
+            thermostat = E.Langevin { gamma_fs = 0.02 };
+          }
+        in
+        Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:(80 + i) sys)
+  in
+  let ladders =
+    Array.init n_walkers (fun _ ->
+        Tempering.create ~temps:wtemps ~stride:5 ())
+  in
+  (engines, ladders)
+
+let test_tempering_walkers () =
+  let strides = 40 in
+  (* Sequential reference: walkers stepped one after another. *)
+  let seq_engines, seq_ladders = make_walker_fleet () in
+  Array.iteri (fun i l -> Tempering.attach l seq_engines.(i)) seq_ladders;
+  for _ = 1 to strides do
+    Array.iteri
+      (fun i e -> E.run e (Tempering.stride seq_ladders.(i)))
+      seq_engines
+  done;
+  (* Concurrent walkers on a pool. *)
+  let engines, ladders = make_walker_fleet () in
+  let pool = Exec.create (Exec.Domains { n = 2 }) in
+  let w = Ensemble.create_tempering ~exec:pool ~engines ~ladders in
+  Ensemble.run_tempering w ~strides;
+  Exec.shutdown pool;
+  Array.iteri
+    (fun i e ->
+      check_true
+        (Printf.sprintf "walker %d state bitwise" i)
+        (State.equal (E.state e) (E.state seq_engines.(i)));
+      check_true
+        (Printf.sprintf "walker %d rung" i)
+        (Tempering.rung ladders.(i) = Tempering.rung seq_ladders.(i));
+      check_true
+        (Printf.sprintf "walker %d visits" i)
+        (Tempering.visits ladders.(i) = Tempering.visits seq_ladders.(i)))
+    engines;
+  (* The ladder actually walks: every walker logged visits, and the fleet
+     together reached more than one rung. *)
+  let occ = Ensemble.occupancy w in
+  Array.iter
+    (fun visits ->
+      check_true "walker visited rungs"
+        (Array.fold_left ( + ) 0 visits > 0))
+    occ;
+  let rungs_reached =
+    Array.fold_left
+      (fun acc visits ->
+        acc + (if Array.exists (fun v -> v > 0) visits then 1 else 0))
+      0 occ
+  in
+  check_true "all walkers sampled" (rungs_reached = Array.length occ);
+  check_true "walker accounting"
+    (Array.for_all
+       (fun s -> s = strides * 5)
+       (Shard.steps_done (Ensemble.walker_shard w)))
+
+let () =
+  Alcotest.run "ensemble"
+    [
+      ( "remd",
+        [
+          Alcotest.test_case "create validation" `Quick
+            test_create_validation;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "placement and accounting" `Quick
+            test_shard_placement;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "sharded = sequential (1/2/4 slots)" `Quick
+            test_sharded_matches_sequential;
+          Alcotest.test_case "per-replica metrics" `Quick
+            test_metrics_populated;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "resume continues exactly" `Quick
+            test_checkpoint_roundtrip_exact;
+          Alcotest.test_case "text format round-trips bitwise" `Quick
+            test_checkpoint_file_exact;
+          Alcotest.test_case "engine snapshot/restore" `Quick
+            test_engine_snapshot_restore;
+        ] );
+      ( "tempering",
+        [
+          Alcotest.test_case "concurrent walkers = sequential" `Quick
+            test_tempering_walkers;
+        ] );
+    ]
