@@ -74,7 +74,7 @@ let test_table_compile =
          ignore (Mdsp_core.Table.compile ~r_min:2. ~r_cut:9. ~n:1024 radial)))
 
 let test_kernel_eval =
-  let open Mdsp_core.Kernel in
+  let open! Mdsp_core.Kernel in
   let kern =
     create ~name:"posre"
       ~energy:(c 1.5 * (sq (X - c 1.) + sq Y + sq Z))

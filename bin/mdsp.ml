@@ -5,9 +5,10 @@
      mdsp run ...                  run MD on a preset and report
      mdsp ensemble ...             sharded replica-exchange on the Exec pool
      mdsp model ...                machine/cluster performance model
-     mdsp table ...                compile a pair form and report accuracy *)
+     mdsp table ...                compile a pair form and report accuracy
+     mdsp check ...                verify kernels, tables, parallel phases *)
 
-open Cmdliner
+open! Cmdliner
 module E = Mdsp_md.Engine
 
 (* --- presets --- *)
@@ -35,12 +36,13 @@ let steps_arg =
   Arg.(value & opt int 2000 & info [ "n"; "steps" ] ~docv:"STEPS" ~doc:"MD steps.")
 
 let temp_arg =
-  Arg.(
-    value & opt float 300.
-    & info [ "t"; "temperature" ] ~docv:"K" ~doc:"Target temperature (K).")
+  let open! Arg in
+  value & opt float 300.
+  & info [ "t"; "temperature" ] ~docv:"K" ~doc:"Target temperature (K)."
 
 let dt_arg =
-  Arg.(value & opt float 2.0 & info [ "dt" ] ~docv:"FS" ~doc:"Time step (fs).")
+  let open! Arg in
+  value & opt float 2.0 & info [ "dt" ] ~docv:"FS" ~doc:"Time step (fs)."
 
 let thermostat_arg =
   Arg.(
@@ -285,14 +287,14 @@ let stride_arg =
     & info [ "stride" ] ~docv:"S" ~doc:"MD steps between exchange attempts.")
 
 let temp_min_arg =
-  Arg.(
-    value & opt float 120.
-    & info [ "temp-min" ] ~docv:"K" ~doc:"Bottom rung temperature (K).")
+  let open! Arg in
+  value & opt float 120.
+  & info [ "temp-min" ] ~docv:"K" ~doc:"Bottom rung temperature (K)."
 
 let temp_max_arg =
-  Arg.(
-    value & opt float 160.
-    & info [ "temp-max" ] ~docv:"K" ~doc:"Top rung temperature (K).")
+  let open! Arg in
+  value & opt float 160.
+  & info [ "temp-max" ] ~docv:"K" ~doc:"Top rung temperature (K)."
 
 let ens_checkpoint_arg =
   Arg.(
@@ -475,6 +477,58 @@ let table_cmd =
   in
   Cmd.v (Cmd.info "table" ~doc) Term.(const run $ form_arg $ width_arg)
 
+(* --- check --- *)
+
+let check_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the per-check verdicts as a flat JSON object.")
+
+let seed_hazard_arg =
+  Arg.(
+    value & flag
+    & info [ "seed-hazard" ]
+        ~doc:
+          "Additionally check a deliberately hazardous kernel; the command \
+           must then fail (a self-test of the analyzer).")
+
+let slots_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4 ]
+    & info [ "slots" ] ~docv:"N,..."
+        ~doc:"Slot counts for the race-sanitized parallel phase sweep.")
+
+let check_cmd =
+  let doc =
+    "Verify the built-in kernels, compiled tables and parallel phases."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the static-verification passes: interval analysis of every \
+         built-in kernel's energy and force expressions over its declared \
+         input bounds, domain / fit / quantization checks of every compiled \
+         interpolation table, and a write-set race sanitization sweep of \
+         all parallel force phases. Exits non-zero if any check fails.";
+    ]
+  in
+  let run json seed_hazard slots =
+    let s = Mdsp_verify.Check.run ~seed_hazard ~slots () in
+    Format.printf "%a" Mdsp_verify.Check.pp_summary s;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Mdsp_verify.Check.to_json s);
+        close_out oc);
+    if not (Mdsp_verify.Check.ok s) then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc ~man)
+    Term.(const run $ check_json_arg $ seed_hazard_arg $ slots_arg)
+
 (* --- analyze --- *)
 
 let traj_arg =
@@ -483,7 +537,8 @@ let traj_arg =
     & info [ "xyz" ] ~docv:"FILE" ~doc:"XYZ trajectory to analyze.")
 
 let rmax_arg =
-  Arg.(value & opt float 8. & info [ "r-max" ] ~docv:"A" ~doc:"g(r) range.")
+  let open! Arg in
+  value & opt float 8. & info [ "r-max" ] ~docv:"A" ~doc:"g(r) range."
 
 let bins_arg =
   Arg.(value & opt int 40 & info [ "bins" ] ~docv:"N" ~doc:"Histogram bins.")
@@ -521,6 +576,14 @@ let analyze_cmd =
 let main =
   let doc = "Molecular dynamics on a modeled special-purpose machine." in
   Cmd.group (Cmd.info "mdsp" ~version:"1.0.0" ~doc)
-    [ presets_cmd; run_cmd; ensemble_cmd; model_cmd; table_cmd; analyze_cmd ]
+    [
+      presets_cmd;
+      run_cmd;
+      ensemble_cmd;
+      model_cmd;
+      table_cmd;
+      check_cmd;
+      analyze_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

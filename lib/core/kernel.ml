@@ -181,7 +181,7 @@ let rec simplify e =
   | e -> e
 
 let rec expr_ops e =
-  let open Stdlib in
+  let open! Stdlib in
   match e with
   | Const _ | Param _ | Time | X | Y | Z | Vx | Vy | Vz | Aux _ -> 0
   | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
@@ -268,6 +268,55 @@ let get_param t key =
   | Some v -> v
   | None ->
       invalid_arg (Printf.sprintf "Kernel.get_param: unknown parameter %S" key)
+
+let energy_expr t = t.energy
+let force_exprs t = (t.dx, t.dy, t.dz)
+
+let params t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.params []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Infix pretty-printer; [prec] is the binding strength of the context
+   (1 additive, 2 multiplicative, 3 prefix minus, 4 power). *)
+let rec pp_prec prec fmt e =
+  let open Format in
+  let wrap p doc = if p < prec then fprintf fmt "(%t)" doc else doc fmt in
+  match e with
+  | Const v ->
+      if v < 0. then wrap 3 (fun f -> fprintf f "%g" v)
+      else fprintf fmt "%g" v
+  | Param p -> pp_print_string fmt p
+  | Time -> pp_print_string fmt "t"
+  | X -> pp_print_string fmt "x"
+  | Y -> pp_print_string fmt "y"
+  | Z -> pp_print_string fmt "z"
+  | Vx -> pp_print_string fmt "vx"
+  | Vy -> pp_print_string fmt "vy"
+  | Vz -> pp_print_string fmt "vz"
+  | Aux i -> fprintf fmt "aux[%d]" i
+  | Add (a, b) ->
+      wrap 1 (fun f -> fprintf f "%a + %a" (pp_prec 1) a (pp_prec 1) b)
+  | Sub (a, b) ->
+      wrap 1 (fun f -> fprintf f "%a - %a" (pp_prec 1) a (pp_prec 2) b)
+  | Mul (a, b) ->
+      wrap 2 (fun f -> fprintf f "%a * %a" (pp_prec 2) a (pp_prec 2) b)
+  | Div (a, b) ->
+      wrap 2 (fun f -> fprintf f "%a / %a" (pp_prec 2) a (pp_prec 3) b)
+  | Neg a -> wrap 3 (fun f -> fprintf f "-%a" (pp_prec 4) a)
+  | Pow_int (a, n) ->
+      wrap 4 (fun f -> fprintf f "%a^%d" (pp_prec 5) a n)
+  | Sqrt a -> fprintf fmt "sqrt(%a)" (pp_prec 0) a
+  | Exp a -> fprintf fmt "exp(%a)" (pp_prec 0) a
+  | Log a -> fprintf fmt "log(%a)" (pp_prec 0) a
+  | Cos a -> fprintf fmt "cos(%a)" (pp_prec 0) a
+  | Sin a -> fprintf fmt "sin(%a)" (pp_prec 0) a
+  | Min (a, b) ->
+      fprintf fmt "min(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Max (a, b) ->
+      fprintf fmt "max(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+
+let pp_expr fmt e = pp_prec 0 fmt e
+let expr_to_string e = Format.asprintf "%a" pp_expr e
 
 let ops_per_particle t = t.ops
 let flex_ops t = float_of_int (Stdlib.( * ) t.ops (Array.length t.particles))

@@ -72,6 +72,26 @@ val ops_per_particle : t -> int
 (** Flexible-subsystem ops per step contributed by this kernel. *)
 val flex_ops : t -> float
 
+(** The compiled (simplified) energy expression — the verification layer's
+    input. *)
+val energy_expr : t -> expr
+
+(** The three simplified symbolic gradients (dE/dx, dE/dy, dE/dz) the force
+    path evaluates — where [Div]/[Sqrt] hazards introduced by {!diff}
+    actually live. *)
+val force_exprs : t -> expr * expr * expr
+
+(** Current parameter bindings, sorted by name. *)
+val params : t -> (string * float) list
+
+(** Pretty-print an expression in conventional infix form, e.g.
+    [k * (x - x0)^2] — used by hazard reports to show the offending
+    subexpression. *)
+val pp_expr : Format.formatter -> expr -> unit
+
+(** [pp_expr] rendered to a string. *)
+val expr_to_string : expr -> string
+
 (** Symbolic derivative (exposed for tests). *)
 val diff : expr -> [ `X | `Y | `Z ] -> expr
 

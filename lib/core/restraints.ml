@@ -5,7 +5,7 @@ open Mdsp_util
    points are too. *)
 let position ~name ~particles ~k ~reference =
   let label = name in
-  let open Kernel in
+  let open! Kernel in
   let e =
     (c k * sq (X - Param "x0"))
     + (c k * sq (Y - Param "y0"))
@@ -23,7 +23,7 @@ let position ~name ~particles ~k ~reference =
    outside: k * max(0, r - r0)^2 with r relative to the box center. *)
 let flat_bottom ~name ~particles ~k ~radius =
   let label = name in
-  let open Kernel in
+  let open! Kernel in
   let r = Sqrt (sq X + sq Y + sq Z) in
   let excess = Max (r - Param "r0", c 0.) in
   Kernel.create ~name:label

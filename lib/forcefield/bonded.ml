@@ -39,6 +39,10 @@ let reduce_slots ?(exec = Exec.serial) ~into slots =
     let bounds = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots exec) in
     Exec.parallel_run exec (fun s ->
         let lo, hi = bounds.(s) in
+        (* This phase writes the *shared* accumulator, so the declared
+           resource is the atom index space itself. *)
+        Exec.declare_write ~slot:s ~resource:"bonded.reduce" ~total:n ~lo ~hi
+          exec;
         for i = lo to hi - 1 do
           into.forces.(i) <-
             Vec3.add into.forces.(i) (tree_force slots i 0 nslots)
@@ -232,6 +236,14 @@ let all ?(exec = Exec.serial) ?slots box (topo : Topology.t) positions acc =
     Exec.parallel_run exec (fun s ->
         let a = slots.(s) in
         reset a;
+        let declare resource tiles total =
+          let lo, hi = tiles in
+          Exec.declare_write ~slot:s ~resource ~total ~lo ~hi exec
+        in
+        declare "bonded.bonds" b_tiles.(s) (Array.length topo.bonds);
+        declare "bonded.angles" a_tiles.(s) (Array.length topo.angles);
+        declare "bonded.dihedrals" d_tiles.(s) (Array.length topo.dihedrals);
+        declare "bonded.impropers" i_tiles.(s) (Array.length topo.impropers);
         let lo, hi = b_tiles.(s) in
         eb.(s) <- bonds_range box topo positions a lo hi;
         let lo, hi = a_tiles.(s) in

@@ -92,12 +92,14 @@ let compute ?(exec = Exec.serial) ?slots evaluator box nlist positions acc =
   else begin
     let slots = ensure_slots slots ~ns ~n:(Array.length acc.Bonded.forces) in
     let tiles = Mdsp_space.Neighbor_list.tiles nlist ~ntiles:ns in
+    let total = snd tiles.(ns - 1) in
     let energies = Array.make ns 0. in
     Exec.parallel_run exec (fun s ->
         let a = slots.(s) in
         Bonded.reset a;
         let energy = ref 0. in
         let lo, hi = tiles.(s) in
+        Exec.declare_write ~slot:s ~resource:"pair.tiles" ~total ~lo ~hi exec;
         Mdsp_space.Neighbor_list.iter_range nlist lo hi (fun i j ->
             apply_pair evaluator box positions a energy i j);
         energies.(s) <- !energy);
@@ -164,6 +166,8 @@ let compute_pairs14 ?(exec = Exec.serial) ?slots (topo : Topology.t) ~cutoff
           Bonded.reset a;
           let energy = ref 0. in
           let lo, hi = tiles.(s) in
+          Exec.declare_write ~slot:s ~resource:"pair.pairs14" ~total:npairs
+            ~lo ~hi exec;
           for k = lo to hi - 1 do
             let i, j = topo.pairs14.(k) in
             apply_pair14 topo ~charges ~types ~cutoff box positions a energy

@@ -71,6 +71,10 @@ let fft_3d ?(exec = Exec.serial) ~sign ~nx ~ny ~nz re im =
   Exec.parallel_run exec (fun s ->
       let bx_re = Array.make nx 0. and bx_im = Array.make nx 0. in
       let lo, hi = x_tiles.(s) in
+      (* Each sweep's racing surface is its line-index space — strided
+         element ranges interleave across slots, line indices don't. *)
+      Exec.declare_write ~slot:s ~resource:"fft.x_lines" ~total:(ny * nz)
+        ~lo ~hi exec;
       for l = lo to hi - 1 do
         let z = l / ny and y = l mod ny in
         let base = idx 0 y z in
@@ -85,6 +89,8 @@ let fft_3d ?(exec = Exec.serial) ~sign ~nx ~ny ~nz re im =
   Exec.parallel_run exec (fun s ->
       let by_re = Array.make ny 0. and by_im = Array.make ny 0. in
       let lo, hi = y_tiles.(s) in
+      Exec.declare_write ~slot:s ~resource:"fft.y_lines" ~total:(nx * nz)
+        ~lo ~hi exec;
       for l = lo to hi - 1 do
         let z = l / nx and x = l mod nx in
         for y = 0 to ny - 1 do
@@ -104,6 +110,8 @@ let fft_3d ?(exec = Exec.serial) ~sign ~nx ~ny ~nz re im =
   Exec.parallel_run exec (fun s ->
       let bz_re = Array.make nz 0. and bz_im = Array.make nz 0. in
       let lo, hi = z_tiles.(s) in
+      Exec.declare_write ~slot:s ~resource:"fft.z_lines" ~total:(nx * ny)
+        ~lo ~hi exec;
       for l = lo to hi - 1 do
         let y = l / nx and x = l mod nx in
         for z = 0 to nz - 1 do

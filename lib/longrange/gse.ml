@@ -187,6 +187,10 @@ let spread ~exec t charges positions re =
         let grid = grids.(s) in
         Array.fill grid 0 (Array.length grid) 0.;
         let lo, hi = p_tiles.(s) in
+        (* Each slot spreads a particle tile into its private scratch grid;
+           the racing surface is the particle partition. *)
+        Exec.declare_write ~slot:s ~resource:"gse.spread" ~total:n ~lo ~hi
+          exec;
         for i = lo to hi - 1 do
           let q = charges.(i) in
           if q <> 0. then
@@ -197,6 +201,8 @@ let spread ~exec t charges positions re =
     let g_tiles = Exec.tile_bounds ~total ~ntiles:ns in
     Exec.parallel_run exec (fun s ->
         let lo, hi = g_tiles.(s) in
+        Exec.declare_write ~slot:s ~resource:"gse.grid_combine" ~total ~lo
+          ~hi exec;
         for g = lo to hi - 1 do
           re.(g) <- tree_cell grids g 0 ns
         done)
@@ -234,6 +240,8 @@ let reciprocal ?(exec = Exec.serial) ?phases t charges positions
         Exec.parallel_run exec (fun s ->
             let energy = ref 0. and virial = ref 0. in
             let lo, hi = k_tiles.(s) in
+            Exec.declare_write ~slot:s ~resource:"gse.convolve" ~total ~lo
+              ~hi exec;
             for k = lo to hi - 1 do
               let s2 = (re.(k) *. re.(k)) +. (im.(k) *. im.(k)) in
               let e_k = t.ghat.(k) *. s2 in
@@ -264,6 +272,8 @@ let reciprocal ?(exec = Exec.serial) ?phases t charges positions
       let g_tiles = Exec.tile_bounds ~total ~ntiles:ns in
       Exec.parallel_run exec (fun s ->
           let lo, hi = g_tiles.(s) in
+          Exec.declare_write ~slot:s ~resource:"gse.phi_scale" ~total ~lo
+            ~hi exec;
           for k = lo to hi - 1 do
             re.(k) <- re.(k) *. phi_scale
           done));
@@ -279,6 +289,8 @@ let reciprocal ?(exec = Exec.serial) ?phases t charges positions
       let p_tiles = Exec.tile_bounds ~total:n ~ntiles:ns in
       Exec.parallel_run exec (fun s ->
           let lo, hi = p_tiles.(s) in
+          Exec.declare_write ~slot:s ~resource:"gse.gather" ~total:n ~lo ~hi
+            exec;
           for i = lo to hi - 1 do
             let q = charges.(i) in
             if q <> 0. then begin

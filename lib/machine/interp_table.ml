@@ -75,6 +75,12 @@ let eval t r2 =
     (horner t.e_coeffs, horner t.f_coeffs)
   end
 
+let coeff_blocks t =
+  Array.init t.n (fun i ->
+      Array.init 8 (fun d ->
+          if d < 4 then t.e_coeffs.((4 * i) + d)
+          else t.f_coeffs.((4 * i) + d - 4)))
+
 let sram_bytes t =
   (* 8 coefficients x 26-bit mantissa (stored as 32-bit words) + shared
      exponent per interval. *)

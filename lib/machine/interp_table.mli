@@ -44,3 +44,8 @@ val eval : t -> float -> float * float
 (** Bytes of SRAM the table occupies (8 coefficients per interval at the
     coefficient width) — a resource-model input. *)
 val sram_bytes : t -> int
+
+(** Per-interval coefficient blocks as stored ([n] rows of 8: the four
+    energy then the four [f_over_r] coefficients, increasing degree) —
+    exposed for the verification layer's quantization audit. *)
+val coeff_blocks : t -> float array array

@@ -19,12 +19,150 @@ type pool = {
   mutable workers : unit Domain.t list;
 }
 
-type t = { bk : backend; pool : pool option }
+exception Race of string
 
-let serial = { bk = Serial; pool = None }
+(* Write-set sanitizer state: slot [s] appends only to [decls.(s)], so the
+   buffers need no locking; the caller drains them after the barrier (the
+   pool mutex orders the writes before the read). Each entry is
+   (resource, lo, hi, total). *)
+type sanitizer = {
+  decls : (string * int * int * int option) list array;
+}
+
+type t = { bk : backend; pool : pool option; san : sanitizer option }
+
+let serial = { bk = Serial; pool = None; san = None }
 
 let backend t = t.bk
 let n_slots t = match t.bk with Serial -> 1 | Domains { n } -> max 1 n
+
+let sanitizing t = t.san <> None
+
+let declare_write ~slot ~resource ?total ~lo ~hi t =
+  match t.san with
+  | None -> ()
+  | Some s ->
+      if slot < 0 || slot >= Array.length s.decls then
+        raise
+          (Race
+             (Printf.sprintf
+                "Exec sanitizer: resource %S: slot %d out of range [0, %d)"
+                resource slot (Array.length s.decls)));
+      if lo < 0 || hi < lo then
+        raise
+          (Race
+             (Printf.sprintf
+                "Exec sanitizer: resource %S: slot %d declared a malformed \
+                 range [%d, %d)"
+                resource slot lo hi));
+      s.decls.(slot) <- (resource, lo, hi, total) :: s.decls.(slot)
+
+(* Barrier-time validation: per resource, ranges from different slots must
+   be pairwise disjoint, and when any slot declared the resource's extent
+   the union must cover [0, total) exactly. The scan sorts ranges by [lo]
+   and walks them carrying the furthest-reaching range seen so far; after
+   sorting, any cross-slot conflict shows up against that carried range. *)
+let check_write_sets san =
+  let by_resource : (string, (int * int * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let totals : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun slot ds ->
+      List.iter
+        (fun (res, lo, hi, total) ->
+          (match total with
+          | None -> ()
+          | Some tot -> (
+              match Hashtbl.find_opt totals res with
+              | Some (tot', slot') when tot' <> tot ->
+                  raise
+                    (Race
+                       (Printf.sprintf
+                          "Exec sanitizer: resource %S: slot %d declares \
+                           extent %d but slot %d declared %d"
+                          res slot tot slot' tot'))
+              | Some _ -> ()
+              | None -> Hashtbl.replace totals res (tot, slot)));
+          if hi > lo then begin
+            let cell =
+              match Hashtbl.find_opt by_resource res with
+              | Some l -> l
+              | None ->
+                  let l = ref [] in
+                  Hashtbl.replace by_resource res l;
+                  l
+            in
+            cell := (slot, lo, hi) :: !cell
+          end)
+        ds)
+    san.decls;
+  Hashtbl.iter
+    (fun res ranges ->
+      let sorted =
+        List.sort
+          (fun (_, lo1, _) (_, lo2, _) -> compare lo1 lo2)
+          !ranges
+      in
+      let rec scan active = function
+        | [] -> ()
+        | (slot, lo, hi) :: rest ->
+            (match active with
+            | Some (slot0, lo0, hi0) when lo < hi0 && slot0 <> slot ->
+                raise
+                  (Race
+                     (Printf.sprintf
+                        "Exec sanitizer: resource %S: slot %d writes \
+                         [%d, %d) overlapping slot %d's [%d, %d)"
+                        res slot lo hi slot0 lo0 hi0))
+            | _ -> ());
+            let active =
+              match active with
+              | Some (_, _, hi0) when hi0 >= hi -> active
+              | _ -> Some (slot, lo, hi)
+            in
+            scan active rest
+      in
+      scan None sorted;
+      match Hashtbl.find_opt totals res with
+      | None -> ()
+      | Some (total, _) ->
+          let covered =
+            List.fold_left
+              (fun reached (slot, lo, hi) ->
+                if lo > reached then
+                  raise
+                    (Race
+                       (Printf.sprintf
+                          "Exec sanitizer: resource %S: no slot writes \
+                           [%d, %d) of the declared extent %d"
+                          res reached lo total));
+                if hi > total then
+                  raise
+                    (Race
+                       (Printf.sprintf
+                          "Exec sanitizer: resource %S: slot %d writes \
+                           [%d, %d) beyond the declared extent %d"
+                          res slot lo hi total));
+                max reached hi)
+              0 sorted
+          in
+          if covered <> total then
+            raise
+              (Race
+                 (Printf.sprintf
+                    "Exec sanitizer: resource %S: declared writes cover \
+                     only [0, %d) of the declared extent %d"
+                    res covered total)))
+    by_resource
+
+let reset_write_sets t =
+  match t.san with
+  | None -> ()
+  | Some s -> Array.fill s.decls 0 (Array.length s.decls) []
+
+let validate_write_sets t =
+  match t.san with None -> () | Some s -> check_write_sets s
 
 let worker_loop pool slot =
   let last_epoch = ref 0 in
@@ -69,9 +207,12 @@ let shutdown t =
       Mutex.unlock p.mutex;
       List.iter Domain.join workers
 
-let create = function
-  | Serial -> serial
-  | Domains { n } when n <= 1 -> { bk = Domains { n = 1 }; pool = None }
+let create ?(sanitize = false) bk =
+  let san n = if sanitize then Some { decls = Array.make n [] } else None in
+  match bk with
+  | Serial -> if sanitize then { serial with san = san 1 } else serial
+  | Domains { n } when n <= 1 ->
+      { bk = Domains { n = 1 }; pool = None; san = san 1 }
   | Domains { n } ->
       let pool =
         {
@@ -90,15 +231,18 @@ let create = function
       pool.workers <-
         List.init (n - 1) (fun i ->
             Domain.spawn (fun () -> worker_loop pool (i + 1)));
-      let t = { bk = Domains { n }; pool = Some pool } in
+      let t = { bk = Domains { n }; pool = Some pool; san = san n } in
       (* Workers otherwise block forever on [work] and keep the runtime from
          exiting cleanly. *)
       at_exit (fun () -> shutdown t);
       t
 
 let parallel_run t f =
+  reset_write_sets t;
   match t.pool with
-  | None -> f 0
+  | None ->
+      f 0;
+      validate_write_sets t
   | Some p ->
       Mutex.lock p.mutex;
       if p.quit then begin
@@ -121,12 +265,18 @@ let parallel_run t f =
       p.failure <- None;
       Mutex.unlock p.mutex;
       (match main_failure with Some e -> raise e | None -> ());
-      (match worker_failure with Some e -> raise e | None -> ())
+      (match worker_failure with Some e -> raise e | None -> ());
+      (* Only a barrier that every slot completed can be audited; a failed
+         job leaves the declarations incomplete and has already raised. *)
+      validate_write_sets t
 
 let map_slots t f =
   let n = n_slots t in
   let out = Array.make n None in
-  parallel_run t (fun s -> out.(s) <- Some (f s));
+  parallel_run t (fun s ->
+      out.(s) <- Some (f s);
+      declare_write ~slot:s ~resource:"exec.map_slots" ~total:n ~lo:s
+        ~hi:(s + 1) t);
   Array.map
     (function
       | Some v -> v

@@ -36,13 +36,50 @@ type backend =
 
 type t
 
-(** The shared serial executor (no pool, no spawned domains). *)
+(** The shared serial executor (no pool, no spawned domains, no
+    sanitizer). *)
 val serial : t
 
-(** [create backend] builds an executor. For [Domains { n }] with [n >= 2]
-    this spawns [n - 1] worker domains that persist until {!shutdown} (or
-    program exit, via an [at_exit] hook). *)
-val create : backend -> t
+(** Raised by the write-set sanitizer (see {!create} and {!declare_write})
+    at the barrier when a parallel schedule is unsound: two slots declared
+    overlapping writes to the same resource, a declared range falls outside
+    the resource, slots disagree about a resource's extent, or the declared
+    ranges fail to cover a resource whose full extent was announced. The
+    message names the resource, the slots involved and the offending index
+    range. *)
+exception Race of string
+
+(** [create ?sanitize backend] builds an executor. For [Domains { n }] with
+    [n >= 2] this spawns [n - 1] worker domains that persist until
+    {!shutdown} (or program exit, via an [at_exit] hook).
+
+    With [sanitize:true] (default false) the executor runs in instrumented
+    mode: slot bodies passed to {!parallel_run} may register the index
+    ranges they write via {!declare_write}, and after every barrier the
+    executor asserts that, per resource, ranges from different slots are
+    pairwise disjoint and (when an extent was declared) that they cover it
+    completely — turning a silent determinism violation into an immediate,
+    attributed {!Race}. Sanitizing costs a per-barrier scan of the declared
+    ranges (not of the data), so it is cheap enough for tests and
+    verification runs but off by default in production. *)
+val create : ?sanitize:bool -> backend -> t
+
+(** True if the executor was created with [sanitize:true]. *)
+val sanitizing : t -> bool
+
+(** [declare_write ~slot ~resource ?total ~lo ~hi t] registers, from inside
+    a {!parallel_run} slot body, that slot [slot] writes the half-open index
+    range [lo, hi) of the named [resource] during the current parallel
+    region. [total], when given, declares the resource's full extent
+    [0, total): after the barrier the union of all declared ranges must
+    equal it exactly (no gaps, nothing out of bounds). No-op on executors
+    built without [sanitize:true], so phases declare unconditionally.
+
+    Each slot must only declare its own writes ([slot] is the index the
+    slot body received); declarations are buffered per slot without
+    locking and validated on the caller after the barrier. *)
+val declare_write :
+  slot:int -> resource:string -> ?total:int -> lo:int -> hi:int -> t -> unit
 
 val backend : t -> backend
 

@@ -1,0 +1,234 @@
+open Mdsp_core
+module K = Kernel
+
+(* Kernel inputs are bounded by a box comfortably larger than any
+   registered workload's: a proof over this env covers the shipped runs. *)
+let kernel_box = Mdsp_util.Pbc.cubic 24.
+
+(* The double-well workload biases, re-expressed in the kernel DSL with the
+   parameter values the workloads use — so the interval pass covers the
+   biases even though Workloads implements them as plain closures. *)
+let dsl_double_well_x () =
+  let open! K in
+  create ~name:"double_well_x"
+    ~energy:
+      ((Param "barrier" * sq (sq (X / Param "half_width") - c 1.))
+      + (Param "k_yz" * (sq Y + sq Z)))
+    ~particles:[| 0 |]
+    ~params:[ ("barrier", 1.0); ("half_width", 4.0); ("k_yz", 1.0) ]
+
+let dsl_double_well_2d () =
+  let open! K in
+  let xa = X / Param "half_width" in
+  let dy = Y - (Param "bow" * (c 1. - sq xa)) in
+  create ~name:"double_well_2d"
+    ~energy:
+      ((Param "barrier" * sq (sq xa - c 1.))
+      + (Param "ky" * sq dy)
+      + (Param "kz" * sq Z))
+    ~particles:[| 0 |]
+    ~params:
+      [
+        ("barrier", 1.0);
+        ("half_width", 4.0);
+        ("bow", 2.0);
+        ("ky", 1.0);
+        ("kz", 2.0);
+      ]
+
+let builtin_kernels () =
+  [
+    Restraints.position ~name:"position_restraint" ~particles:[| 0 |] ~k:10.
+      ~reference:(Mdsp_util.Vec3.make 1. 2. 3.);
+    Restraints.flat_bottom ~name:"flat_bottom" ~particles:[| 0 |] ~k:5.
+      ~radius:8.;
+    dsl_double_well_x ();
+    dsl_double_well_2d ();
+  ]
+
+let hazardous_kernel () =
+  let open! K in
+  create ~name:"seeded_hazard"
+    ~energy:((Param "a" / X) + Log X)
+    ~particles:[| 0 |]
+    ~params:[ ("a", 1.0) ]
+
+(* --- table registry --- *)
+
+type table_entry = {
+  t_name : string;
+  min_separation : float option;
+  max_rel_force : float option;
+  table : Mdsp_machine.Interp_table.t;
+  radial : Table.radial;
+}
+
+(* The four analytic forms the CLI compiles ([mdsp table]), at the CLI's
+   default domain. *)
+let cli_tables () =
+  let mk t_name form =
+    let radial = Table.of_form form ~cutoff:9. in
+    {
+      t_name;
+      min_separation = Some 2.5;
+      max_rel_force = None;
+      table = Table.compile ~r_min:2. ~r_cut:9. ~n:1024 radial;
+      radial;
+    }
+  in
+  [
+    mk "lj" (Mdsp_ff.Nonbonded.Lennard_jones { epsilon = 0.238; sigma = 3.405 });
+    mk "buckingham"
+      (Mdsp_ff.Nonbonded.Buckingham { a = 40000.; b = 3.5; c = 300. });
+    mk "gaussian"
+      (Mdsp_ff.Nonbonded.Gaussian_repulsion { height = 10.; width = 3. });
+    mk "erfc" (Mdsp_ff.Nonbonded.Coulomb_erfc { qq = 332.; beta = 0.35 });
+  ]
+
+(* The reaction-field shape Table.table_set_of_topology compiles for the
+   electrostatic table (unit charge product; the pipeline multiplies by
+   q_i q_j). *)
+let rf_radial ~epsilon_rf ~cutoff r2 =
+  let krf =
+    (epsilon_rf -. 1.) /. ((2. *. epsilon_rf) +. 1.) /. (cutoff ** 3.)
+  in
+  let crf = (1. /. cutoff) +. (krf *. cutoff *. cutoff) in
+  let r = sqrt r2 in
+  ((1. /. r) +. (krf *. r2) -. crf, (1. /. (r2 *. r)) -. (2. *. krf))
+
+(* The water pipeline's full table set ([mdsp run --tables]): one LJ table
+   per type pair plus the shared reaction-field shape, compiled through the
+   real table_set_of_topology path. Closest nonbonded approach in rigid
+   water is the intermolecular hydrogen bond at ~1.6 A; 1.5 A is the
+   margin the r_min check enforces. *)
+let water_tables () =
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:2 () in
+  let topo = sys.Mdsp_workload.Workloads.topo in
+  let cutoff = 9. and n = 2048 in
+  let epsilon_rf = 78.5 in
+  let elec = Mdsp_ff.Pair_interactions.Reaction_field { epsilon_rf } in
+  let set = Table.table_set_of_topology topo ~cutoff ~elec ~n () in
+  let lj_types = topo.Mdsp_ff.Topology.lj_types in
+  let ntypes = Array.length lj_types in
+  let ljs = ref [] in
+  for i = ntypes - 1 downto 0 do
+    for j = ntypes - 1 downto i do
+      let form =
+        Mdsp_ff.Nonbonded.lorentz_berthelot lj_types.(i) lj_types.(j)
+      in
+      ljs :=
+        {
+          t_name = Printf.sprintf "water.lj_%d%d" i j;
+          min_separation = Some 1.5;
+          max_rel_force = None;
+          table = set.Mdsp_machine.Htis.lj.(i).(j);
+          radial = Table.of_form form ~cutoff;
+        }
+        :: !ljs
+    done
+  done;
+  let elec_entry =
+    match set.Mdsp_machine.Htis.electrostatic with
+    | None -> []
+    | Some table ->
+        [
+          {
+            t_name = "water.elec_rf";
+            min_separation = Some 1.5;
+            max_rel_force = None;
+            table;
+            radial = rf_radial ~epsilon_rf ~cutoff;
+          };
+        ]
+  in
+  !ljs @ elec_entry
+
+let builtin_tables () = cli_tables () @ water_tables ()
+
+(* --- the registry run --- *)
+
+type sanitize_result = {
+  slots : int;
+  phases : string list;
+  failure : string option;
+}
+
+type summary = {
+  kernels : Kernel_check.report list;
+  tables : Table_check.report list;
+  sanitize : sanitize_result list;
+}
+
+let check_one_kernel k =
+  let env = Kernel_check.env ~box:kernel_box (K.params k) in
+  Kernel_check.check_kernel ~env k
+
+let check_one_table e =
+  Table_check.check ~name:e.t_name ?min_separation:e.min_separation
+    ?max_rel_force:e.max_rel_force ~table:e.table ~radial:e.radial ()
+
+let sanitize_at slots =
+  match Phase_check.run_phases ~slots with
+  | phases -> { slots; phases; failure = None }
+  | exception Mdsp_util.Exec.Race msg ->
+      { slots; phases = []; failure = Some msg }
+
+let run ?(seed_hazard = false) ?(slots = [ 1; 2; 4 ]) () =
+  let ks = builtin_kernels () in
+  let ks = if seed_hazard then ks @ [ hazardous_kernel () ] else ks in
+  {
+    kernels = List.map check_one_kernel ks;
+    tables = List.map check_one_table (builtin_tables ());
+    sanitize = List.map sanitize_at slots;
+  }
+
+let ok s =
+  List.for_all Kernel_check.report_ok s.kernels
+  && List.for_all Table_check.report_ok s.tables
+  && List.for_all (fun r -> r.failure = None) s.sanitize
+
+let pp_summary fmt s =
+  Format.fprintf fmt "@[<v>";
+  List.iter (Kernel_check.pp_report fmt) s.kernels;
+  List.iter (Table_check.pp_report fmt) s.tables;
+  List.iter
+    (fun r ->
+      match r.failure with
+      | None ->
+          Format.fprintf fmt
+            "sanitize (%d slot%s): %d parallel phases race-free@," r.slots
+            (if r.slots = 1 then "" else "s")
+            (List.length r.phases)
+      | Some msg ->
+          Format.fprintf fmt "sanitize (%d slots): RACE@,  %s@," r.slots msg)
+    s.sanitize;
+  Format.fprintf fmt "verify: %s@]@."
+    (if ok s then "all checks passed" else "FAILED")
+
+let to_json s =
+  let rows =
+    (("verify.ok", ok s)
+     ::
+     List.map
+       (fun (r : Kernel_check.report) ->
+         ("kernel." ^ r.Kernel_check.kernel, Kernel_check.report_ok r))
+       s.kernels)
+    @ List.map
+        (fun (r : Table_check.report) ->
+          ("table." ^ r.Table_check.table, Table_check.report_ok r))
+        s.tables
+    @ List.map
+        (fun r ->
+          (Printf.sprintf "sanitize.slots%d" r.slots, r.failure = None))
+        s.sanitize
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  %S: %d" k (if v then 1 else 0)))
+    rows;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

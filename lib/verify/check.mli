@@ -1,0 +1,48 @@
+(** The verification registry: every built-in kernel, workload bias and
+    compiled table, plus the race-sanitized parallel phases, checked in one
+    call — the engine behind [mdsp check] and the CI gate.
+
+    The registry is deliberately closed-world: it enumerates the kernels the
+    restraint layer ships, the workload biases re-expressed in the kernel
+    DSL, and the interpolation tables the CLI and the water pipeline
+    compile. Adding a kernel or table to the code base means adding it here,
+    so the gate keeps proving the whole surface. *)
+
+(** Outcome of one sanitized phase sweep at a given slot count. *)
+type sanitize_result = {
+  slots : int;
+  phases : string list;  (** phase labels exercised (empty on failure) *)
+  failure : string option;  (** the {!Mdsp_util.Exec.Race} message, if any *)
+}
+
+type summary = {
+  kernels : Kernel_check.report list;
+  tables : Table_check.report list;
+  sanitize : sanitize_result list;
+}
+
+(** The built-in kernel surface: the restraint kernels and the double-well
+    workload biases re-expressed in the kernel DSL (same functional forms
+    and parameter values as [Mdsp_workload.Workloads]). *)
+val builtin_kernels : unit -> Mdsp_core.Kernel.t list
+
+(** A kernel that must fail verification — [1/x] plus [log x] over a box
+    whose coordinate interval spans zero. Used by [mdsp check --seed-hazard]
+    and the tests to prove the analyzer cannot be green by accident. *)
+val hazardous_kernel : unit -> Mdsp_core.Kernel.t
+
+(** [run ?seed_hazard ?slots ()] checks every registered kernel (interval
+    pass over energy and gradients), every registered table (domain /
+    fit / quantization pass), and drives the sanitized parallel phases at
+    each slot count in [slots] (default [[1; 2; 4]]). [seed_hazard]
+    (default false) additionally runs {!hazardous_kernel}, whose report is
+    included and makes the summary fail. *)
+val run : ?seed_hazard:bool -> ?slots:int list -> unit -> summary
+
+val ok : summary -> bool
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Flat JSON object in the bench-metrics style: ["verify.ok"] plus one
+    0/1 verdict per ["kernel.<name>"], ["table.<name>"] and
+    ["sanitize.slots<n>"] key. *)
+val to_json : summary -> string

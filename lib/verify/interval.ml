@@ -1,0 +1,81 @@
+type t = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then top
+  else if lo <= hi then { lo; hi }
+  else { lo = hi; hi = lo }
+
+let point v = make v v
+let contains t v = t.lo <= v && v <= t.hi
+let contains_zero t = contains t 0.
+let is_finite t = Float.is_finite t.lo && Float.is_finite t.hi
+let hull a b = make (Float.min a.lo b.lo) (Float.max a.hi b.hi)
+
+let add a b = make (a.lo +. b.lo) (a.hi +. b.hi)
+let neg a = make (-.a.hi) (-.a.lo)
+let sub a b = add a (neg b)
+
+(* Bound product with the interval convention 0 * inf = 0: a zero bound is
+   an attained finite value, not a limit, so it annihilates. *)
+let bmul x y = if x = 0. || y = 0. then 0. else x *. y
+
+let mul a b =
+  let p1 = bmul a.lo b.lo and p2 = bmul a.lo b.hi in
+  let p3 = bmul a.hi b.lo and p4 = bmul a.hi b.hi in
+  make
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+
+let inv b =
+  if contains_zero b then top else make (1. /. b.hi) (1. /. b.lo)
+
+let div a b = if contains_zero b then top else mul a (inv b)
+
+let rec pow_int a n =
+  if n = 0 then point 1.
+  else if n < 0 then div (point 1.) (pow_int a (-n))
+  else begin
+    let pl = a.lo ** float_of_int n and ph = a.hi ** float_of_int n in
+    if n land 1 = 1 || a.lo >= 0. then make pl ph
+    else if a.hi <= 0. then make ph pl
+    else make 0. (Float.max pl ph)
+  end
+
+let sqrt_ a =
+  let lo = if a.lo <= 0. then 0. else sqrt a.lo in
+  let hi = if a.hi <= 0. then 0. else sqrt a.hi in
+  make lo hi
+
+let exp_ a = make (exp a.lo) (exp a.hi)
+
+let log_ a =
+  if a.hi <= 0. then top
+  else
+    make (if a.lo <= 0. then neg_infinity else log a.lo) (log a.hi)
+
+(* cos over [lo, hi]: endpoint values, widened to +-1 wherever a multiple
+   of pi falls inside the interval. Unbounded or >= 2pi wide intervals get
+   the full range. *)
+let cos_ a =
+  let two_pi = 2. *. Float.pi in
+  if (not (is_finite a)) || a.hi -. a.lo >= two_pi then make (-1.) 1.
+  else begin
+    let cl = cos a.lo and ch = cos a.hi in
+    let lo = ref (Float.min cl ch) and hi = ref (Float.max cl ch) in
+    let k = ref (Float.ceil (a.lo /. Float.pi)) in
+    while !k <= Float.floor (a.hi /. Float.pi) do
+      if Float.rem !k 2. = 0. then hi := 1. else lo := -1.;
+      k := !k +. 1.
+    done;
+    make !lo !hi
+  end
+
+let sin_ a = cos_ (sub a (point (Float.pi /. 2.)))
+
+let min_ a b = make (Float.min a.lo b.lo) (Float.min a.hi b.hi)
+let max_ a b = make (Float.max a.lo b.lo) (Float.max a.hi b.hi)
+
+let pp fmt t = Format.fprintf fmt "[%g, %g]" t.lo t.hi
+let to_string t = Format.asprintf "%a" pp t

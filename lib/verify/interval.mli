@@ -1,0 +1,64 @@
+(** Interval arithmetic over the extended reals — the abstract domain the
+    kernel analyzer interprets {!Mdsp_core.Kernel.expr} in.
+
+    An interval [{ lo; hi }] with [lo <= hi] over-approximates the set of
+    values a subexpression can take; bounds may be infinite. Every
+    operation is *sound*: the result interval contains every value the
+    concrete operation can produce on inputs drawn from the operand
+    intervals (NaN-producing inputs widen the result to {!top} rather than
+    poisoning it). Partial operations ([div] by an interval containing
+    zero, [sqrt]/[log] reaching outside their domain) return a sound
+    over-approximation of the *defined* part; flagging the domain violation
+    itself is the analyzer's job ({!Kernel_check}). *)
+
+type t = private { lo : float; hi : float }
+
+(** [make lo hi] normalizes: swaps inverted bounds, maps NaN bounds to
+    {!top}. *)
+val make : float -> float -> t
+
+(** The degenerate interval [v, v]. *)
+val point : float -> t
+
+(** The whole extended real line. *)
+val top : t
+
+val contains : t -> float -> bool
+val contains_zero : t -> bool
+
+(** Both bounds finite. *)
+val is_finite : t -> bool
+
+(** Smallest interval containing both arguments. *)
+val hull : t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+(** [div a b] is {!top} when [b] contains zero (the analyzer reports the
+    hazard); otherwise the exact interval quotient. *)
+val div : t -> t -> t
+
+(** Tight integer power: even exponents fold the sign ([pow_int [-2,1] 2 =
+    [0,4]]), odd exponents are monotone, negative exponents go through
+    {!div}. *)
+val pow_int : t -> int -> t
+
+(** Square root of the non-negative part of the interval ([0,0] if the
+    interval is entirely negative). *)
+val sqrt_ : t -> t
+
+val exp_ : t -> t
+
+(** Logarithm of the positive part; {!top} if nothing is positive. *)
+val log_ : t -> t
+
+val cos_ : t -> t
+val sin_ : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,169 @@
+open Mdsp_core
+module I = Interval
+
+type env = {
+  x : I.t;
+  y : I.t;
+  z : I.t;
+  vx : I.t;
+  vy : I.t;
+  vz : I.t;
+  time : I.t;
+  param : string -> I.t;
+  aux : int -> I.t;
+}
+
+let env ?box ?(coord = I.make (-1e3) 1e3) ?(vel = I.make (-1e6) 1e6)
+    ?(time = I.make 0. 1e9) ?(aux = I.make (-1e6) 1e6) ?(ranges = [])
+    params =
+  let x, y, z =
+    match box with
+    | Some b ->
+        let open Mdsp_util.Pbc in
+        (* Kernel coordinates are minimum-image displacements from the box
+           center, so each axis spans half a box edge either way. *)
+        ( I.make (-.b.lx /. 2.) (b.lx /. 2.),
+          I.make (-.b.ly /. 2.) (b.ly /. 2.),
+          I.make (-.b.lz /. 2.) (b.lz /. 2.) )
+    | None -> (coord, coord, coord)
+  in
+  let param name =
+    match List.assoc_opt name ranges with
+    | Some r -> r
+    | None -> (
+        match List.assoc_opt name params with
+        | Some v -> I.point v
+        | None -> I.top)
+  in
+  { x; y; z; vx = vel; vy = vel; vz = vel; time; param; aux = (fun _ -> aux) }
+
+type hazard =
+  | Div_by_zero of Kernel.expr * I.t
+  | Sqrt_domain of Kernel.expr * I.t
+  | Log_domain of Kernel.expr * I.t
+  | Exp_overflow of Kernel.expr * I.t
+  | Non_finite_constant of Kernel.expr
+
+let pp_hazard fmt = function
+  | Div_by_zero (e, iv) ->
+      Format.fprintf fmt "division by zero: denominator %a ranges over %a"
+        Kernel.pp_expr e I.pp iv
+  | Sqrt_domain (e, iv) ->
+      Format.fprintf fmt "sqrt of a negative value: %a ranges over %a"
+        Kernel.pp_expr e I.pp iv
+  | Log_domain (e, iv) ->
+      Format.fprintf fmt "log of a non-positive value: %a ranges over %a"
+        Kernel.pp_expr e I.pp iv
+  | Exp_overflow (e, iv) ->
+      Format.fprintf fmt "exp overflow: %a ranges over %a" Kernel.pp_expr e
+        I.pp iv
+  | Non_finite_constant e ->
+      Format.fprintf fmt "constant subexpression folds to %a" Kernel.pp_expr
+        e
+
+let hazard_message h = Format.asprintf "%a" pp_hazard h
+
+(* exp arguments above this overflow a double to infinity. *)
+let exp_max_arg = log Float.max_float
+
+let analyze env e =
+  let hazards = ref [] in
+  let flag h =
+    let msg = hazard_message h in
+    if not (List.exists (fun h' -> hazard_message h' = msg) !hazards) then
+      hazards := h :: !hazards
+  in
+  let rec go (e : Kernel.expr) =
+    match e with
+    | Const v ->
+        if not (Float.is_finite v) then flag (Non_finite_constant e);
+        I.point v
+    | Param p -> env.param p
+    | Time -> env.time
+    | X -> env.x
+    | Y -> env.y
+    | Z -> env.z
+    | Vx -> env.vx
+    | Vy -> env.vy
+    | Vz -> env.vz
+    | Aux i -> env.aux i
+    | Add (a, b) -> I.add (go a) (go b)
+    | Sub (a, b) -> I.sub (go a) (go b)
+    | Mul (a, b) when a = b ->
+        (* x * x is a square: the naive interval product of [-l, h] with
+           itself dips negative (the classic dependency problem), which
+           would flag sqrt((e - r0)^2 + eps) guards as unsound. *)
+        I.pow_int (go a) 2
+    | Mul (a, b) -> I.mul (go a) (go b)
+    | Div (a, b) ->
+        let ia = go a and ib = go b in
+        if I.contains_zero ib then flag (Div_by_zero (b, ib));
+        I.div ia ib
+    | Neg a -> I.neg (go a)
+    | Pow_int (a, n) ->
+        let ia = go a in
+        if n < 0 && I.contains_zero ia then flag (Div_by_zero (a, ia));
+        I.pow_int ia n
+    | Sqrt a ->
+        let ia = go a in
+        if ia.I.lo < 0. then flag (Sqrt_domain (a, ia));
+        I.sqrt_ ia
+    | Exp a ->
+        let ia = go a in
+        if ia.I.hi > exp_max_arg then flag (Exp_overflow (a, ia));
+        I.exp_ ia
+    | Log a ->
+        let ia = go a in
+        if ia.I.lo <= 0. then flag (Log_domain (a, ia));
+        I.log_ ia
+    | Cos a -> I.cos_ (go a)
+    | Sin a -> I.sin_ (go a)
+    | Min (a, b) -> I.min_ (go a) (go b)
+    | Max (a, b) -> I.max_ (go a) (go b)
+  in
+  let range = go e in
+  (range, List.rev !hazards)
+
+type expr_report = {
+  label : string;
+  expr : Kernel.expr;
+  range : I.t;
+  hazards : hazard list;
+}
+
+type report = { kernel : string; exprs : expr_report list }
+
+let check_expr env label expr =
+  let range, hazards = analyze env expr in
+  { label; expr; range; hazards }
+
+let check_kernel ~env:e k =
+  let dx, dy, dz = Kernel.force_exprs k in
+  {
+    kernel = Kernel.name k;
+    exprs =
+      [
+        check_expr e "energy" (Kernel.energy_expr k);
+        check_expr e "dE/dx" dx;
+        check_expr e "dE/dy" dy;
+        check_expr e "dE/dz" dz;
+      ];
+  }
+
+let report_ok r = List.for_all (fun er -> er.hazards = []) r.exprs
+
+let report_hazards r =
+  List.concat_map (fun er -> List.map (fun h -> (er.label, h)) er.hazards)
+    r.exprs
+
+let pp_report fmt r =
+  Format.fprintf fmt "kernel %S: %s@," r.kernel
+    (if report_ok r then "safe over the declared bounds" else "HAZARDOUS");
+  List.iter
+    (fun er ->
+      Format.fprintf fmt "  %-6s in %a" er.label I.pp er.range;
+      List.iter
+        (fun h -> Format.fprintf fmt "@,    hazard: %a" pp_hazard h)
+        er.hazards;
+      Format.fprintf fmt "@,")
+    r.exprs

@@ -1,0 +1,85 @@
+(** Abstract interpretation of kernel expressions over intervals — the
+    first verification pass.
+
+    The kernel DSL ({!Mdsp_core.Kernel}) happily compiles [Div], [Sqrt],
+    [Log] and [Exp] expressions whose symbolic derivatives can blow up at
+    runtime. Given box bounds, parameter ranges, a time horizon and aux
+    bounds, this pass bounds every subexpression of the energy *and of its
+    three symbolic derivatives* (the force path is where hazards introduced
+    by {!Mdsp_core.Kernel.diff} live) and reports:
+
+    - each [Div] whose denominator interval contains zero (including
+      negative [Pow_int] with a zero-containing base),
+    - [Sqrt] over an interval reaching below zero and [Log] over an
+      interval reaching [<= 0],
+    - [Exp] whose argument can overflow to infinity,
+    - constant subexpressions that fold to NaN or infinity,
+
+    each with the offending subexpression pretty-printed. A report with no
+    hazards is a proof: no evaluation of the kernel inside the declared
+    bounds can divide by zero, leave a domain, or overflow. *)
+
+open Mdsp_core
+
+(** Value bounds for every kernel input. *)
+type env = {
+  x : Interval.t;
+  y : Interval.t;
+  z : Interval.t;  (** position relative to the box center *)
+  vx : Interval.t;
+  vy : Interval.t;
+  vz : Interval.t;
+  time : Interval.t;  (** simulation time horizon, internal units *)
+  param : string -> Interval.t;
+  aux : int -> Interval.t;
+}
+
+(** [env ?box ?coord ?vel ?time ?aux ?ranges params] bounds kernel inputs:
+    coordinates span [+-l/2] of [box] when given, else [coord] (default
+    [+-1e3] A); [time] defaults to [[0, 1e9]] internal units; [aux] and
+    [vel] default to [+-1e6]. Parameters take their range from [ranges]
+    when listed there, else the point interval at their binding in
+    [params] (pass a range for any parameter the run will move, e.g. a
+    steered-restraint center). *)
+val env :
+  ?box:Mdsp_util.Pbc.t ->
+  ?coord:Interval.t ->
+  ?vel:Interval.t ->
+  ?time:Interval.t ->
+  ?aux:Interval.t ->
+  ?ranges:(string * Interval.t) list ->
+  (string * float) list ->
+  env
+
+type hazard =
+  | Div_by_zero of Kernel.expr * Interval.t
+      (** denominator (or negative-power base) and its interval *)
+  | Sqrt_domain of Kernel.expr * Interval.t
+  | Log_domain of Kernel.expr * Interval.t
+  | Exp_overflow of Kernel.expr * Interval.t
+  | Non_finite_constant of Kernel.expr
+
+val pp_hazard : Format.formatter -> hazard -> unit
+val hazard_message : hazard -> string
+
+(** [analyze env e] is the interval bounding [e] over [env], plus every
+    hazard encountered (deduplicated by message). *)
+val analyze : env -> Kernel.expr -> Interval.t * hazard list
+
+(** Per-expression result: the energy or one gradient. *)
+type expr_report = {
+  label : string;  (** ["energy"], ["dE/dx"], ... *)
+  expr : Kernel.expr;
+  range : Interval.t;
+  hazards : hazard list;
+}
+
+type report = { kernel : string; exprs : expr_report list }
+
+(** Analyze a compiled kernel: its energy expression and all three force
+    gradients. *)
+val check_kernel : env:env -> Kernel.t -> report
+
+val report_ok : report -> bool
+val report_hazards : report -> (string * hazard) list
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,63 @@
+open Mdsp_util
+module E = Mdsp_md.Engine
+module FC = Mdsp_md.Force_calc
+module W = Mdsp_workload.Workloads
+
+(* One force evaluation of a solvated water box with the GSE grid solver:
+   exercises pair tiles, bonded tiles, the per-atom reduction, and every
+   grid-pipeline phase (spread / FFT sweeps / convolve / phi scale /
+   gather). *)
+let gse_box ~exec () =
+  let eng = W.make_engine ~seed:13 ~exec ~gse_grid:(16, 16, 16)
+      (W.water_box ~n_side:3 ())
+  in
+  let st = E.state eng in
+  let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
+  ignore
+    (FC.compute (E.force_calc eng) st.Mdsp_md.State.box
+       st.Mdsp_md.State.positions acc)
+
+(* A charged bead chain: bond / angle / dihedral tiles, 1-4 pair tiles and
+   reaction-field pair tiles. *)
+let bead_chain ~exec () =
+  let eng =
+    W.make_engine ~seed:5 ~exec (W.bead_chain ~n_beads:16 ~n_total:256 ())
+  in
+  let st = E.state eng in
+  let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
+  ignore
+    (FC.compute (E.force_calc eng) st.Mdsp_md.State.box
+       st.Mdsp_md.State.positions acc)
+
+(* Must track the [Exec.declare_write] resource names in the force stack. *)
+let phase_labels =
+  [
+    "pair.tiles";
+    "pair.pairs14";
+    "bonded.bonds";
+    "bonded.angles";
+    "bonded.dihedrals";
+    "bonded.impropers";
+    "bonded.reduce";
+    "gse.spread";
+    "gse.grid_combine";
+    "gse.convolve";
+    "gse.phi_scale";
+    "gse.gather";
+    "fft.x_lines";
+    "fft.y_lines";
+    "fft.z_lines";
+  ]
+
+let run_phases ~slots =
+  if slots < 1 then invalid_arg "Phase_check.run_phases: slots must be >= 1";
+  let exec =
+    if slots = 1 then Exec.create ~sanitize:true Exec.Serial
+    else Exec.create ~sanitize:true (Exec.Domains { n = slots })
+  in
+  Fun.protect
+    ~finally:(fun () -> Exec.shutdown exec)
+    (fun () ->
+      gse_box ~exec ();
+      bead_chain ~exec ());
+  phase_labels

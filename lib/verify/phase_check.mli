@@ -1,0 +1,21 @@
+(** Exec race sanitization driver — the third verification pass.
+
+    Runs representative workloads through every parallel phase in the force
+    stack — pair tiles, 1-4 pairs, bonded tiles, per-atom reduction, the GSE
+    grid pipeline (spread / FFT sweeps / convolve / phi scale / gather) —
+    on a pool created with [Exec.create ~sanitize:true]. In that mode each
+    slot declares the index ranges it writes and every barrier asserts
+    pairwise disjointness across slots and full coverage of each declared
+    resource; any violation raises {!Mdsp_util.Exec.Race} naming the
+    resource and the offending slots.
+
+    A clean run is evidence that the static tiling really partitions the
+    work: no two slots can race on an output cell, at this slot count, on
+    these phases. *)
+
+(** [run_phases ~slots] drives a solvated water box with grid (GSE)
+    electrostatics plus a charged bead chain (bonds, angles, dihedrals,
+    1-4 pairs, reaction-field) through full force evaluations on a
+    sanitizing pool of [slots] domains. Returns the phase labels exercised.
+    Raises {!Mdsp_util.Exec.Race} on any write-set violation. *)
+val run_phases : slots:int -> string list

@@ -1,0 +1,135 @@
+module It = Mdsp_machine.Interp_table
+module Table = Mdsp_core.Table
+module Fixed = Mdsp_util.Fixed
+
+type report = {
+  table : string;
+  n : int;
+  source_finite : bool;
+  fit : Table.error_report;
+  fit_ok : bool;
+  r_min_ok : bool;
+  quant_ok : bool;
+  messages : string list;
+}
+
+let default_max_rel_force = 5e-3
+let samples = 4096
+
+(* Sample the analytic radial densely over the table domain; a single
+   non-finite energy or f_over_r value means the Hermite fit interpolated
+   garbage somewhere. *)
+let source_finite_on table radial =
+  let r_min2 = It.r_min table *. It.r_min table in
+  let r_cut2 = It.r_cut table *. It.r_cut table in
+  let bad = ref None in
+  for i = 0 to samples - 1 do
+    if !bad = None then begin
+      let r2 =
+        r_min2
+        +. ((r_cut2 -. r_min2) *. float_of_int i /. float_of_int (samples - 1))
+      in
+      let e, f = radial r2 in
+      if not (Float.is_finite e && Float.is_finite f) then bad := Some r2
+    end
+  done;
+  !bad
+
+(* Re-derive each block's shared power-of-two exponent exactly as
+   Interp_table.quantize_block does and prove every mantissa fits the
+   coefficient format without saturating: of_float_exn raises where
+   of_float would silently clamp. *)
+let quantization_failure table =
+  let fmt = It.coeff_format in
+  let bad = ref None in
+  Array.iteri
+    (fun i block ->
+      if !bad = None then begin
+        let m =
+          Array.fold_left (fun a c -> Float.max a (abs_float c)) 0. block
+        in
+        if not (Float.is_finite m) then
+          bad := Some (i, "non-finite coefficient")
+        else if m > 0. then begin
+          let scale = ldexp 1. (snd (frexp m)) in
+          Array.iter
+            (fun c ->
+              if !bad = None then
+                try ignore (Fixed.of_float_exn fmt (c /. scale))
+                with Fixed.Overflow v ->
+                  bad :=
+                    Some
+                      ( i,
+                        Printf.sprintf "mantissa %g saturates the %d-bit format"
+                          v fmt.Fixed.total_bits ))
+            block
+        end
+      end)
+    (It.coeff_blocks table);
+  !bad
+
+let check ~name ?min_separation ?(max_rel_force = default_max_rel_force)
+    ~table ~radial () =
+  let messages = ref [] in
+  let fail msg = messages := msg :: !messages in
+  let source_finite =
+    match source_finite_on table radial with
+    | None -> true
+    | Some r2 ->
+        fail
+          (Printf.sprintf
+             "source form is non-finite at r = %g A (inside [r_min, r_cut])"
+             (sqrt r2));
+        false
+  in
+  let fit = Table.accuracy table radial ~samples () in
+  let fit_ok =
+    (* A non-finite source makes the error report meaningless; only judge
+       the fit when the source itself is sound. *)
+    source_finite && Float.is_finite fit.Table.max_rel_force
+    && fit.Table.max_rel_force <= max_rel_force
+  in
+  if source_finite && not fit_ok then
+    fail
+      (Printf.sprintf
+         "fit error: max relative force error %.3g exceeds the %.3g bound"
+         fit.Table.max_rel_force max_rel_force);
+  let r_min_ok =
+    match min_separation with
+    | None -> true
+    | Some s ->
+        let ok = It.r_min table <= s in
+        if not ok then
+          fail
+            (Printf.sprintf
+               "r_min = %g A is above the workload's minimum separation %g A: \
+                the below-range clamp can fire on a physical pair"
+               (It.r_min table) s);
+        ok
+  in
+  let quant_ok =
+    match quantization_failure table with
+    | None -> true
+    | Some (i, why) ->
+        fail (Printf.sprintf "quantization: interval %d: %s" i why);
+        false
+  in
+  {
+    table = name;
+    n = It.n_intervals table;
+    source_finite;
+    fit;
+    fit_ok;
+    r_min_ok;
+    quant_ok;
+    messages = List.rev !messages;
+  }
+
+let report_ok r = r.messages = []
+
+let pp_report fmt r =
+  Format.fprintf fmt "table %S (%d intervals): %s@," r.table r.n
+    (if report_ok r then "sound on its domain" else "UNSOUND");
+  Format.fprintf fmt "  max rel force err %.3g, rms %.3g over %d samples@,"
+    r.fit.Table.max_rel_force r.fit.Table.rms_force r.fit.Table.samples;
+  List.iter (fun m -> Format.fprintf fmt "  problem: %s@," m) r.messages

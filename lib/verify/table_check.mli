@@ -1,0 +1,45 @@
+(** Table-domain proofs — the second verification pass.
+
+    A compiled {!Mdsp_machine.Interp_table} only behaves like the source
+    functional form if four properties hold over its whole domain
+    [[r_min^2, r_cut^2]]; this pass checks each and reports them together:
+
+    - {b finiteness}: the source radial is finite everywhere the pipeline
+      can sample it (a pole inside the domain makes the Hermite fit, and
+      then the forces, garbage);
+    - {b fit error}: the maximum relative force error of the fit stays
+      below a bound (defaults to the accuracy class the E1/E2 experiments
+      establish for production widths);
+    - {b r_min margin}: [r_min] sits at or below the workload's minimum
+      physical separation, so the hardware's below-range clamp can never
+      fire on a physical pair;
+    - {b quantization headroom}: every stored coefficient block survives
+      the fixed-point round trip without saturating
+      ({!Mdsp_machine.Interp_table.coeff_format}). *)
+
+type report = {
+  table : string;
+  n : int;  (** interval count *)
+  source_finite : bool;
+  fit : Mdsp_core.Table.error_report;
+  fit_ok : bool;
+  r_min_ok : bool;
+  quant_ok : bool;
+  messages : string list;  (** one per failed property *)
+}
+
+(** [check ~name ?min_separation ?max_rel_force ~table ~radial ()] runs all
+    four properties. [min_separation] (A) enables the r_min margin check;
+    [max_rel_force] (default [5e-3]) bounds the fit's maximum relative
+    force error. *)
+val check :
+  name:string ->
+  ?min_separation:float ->
+  ?max_rel_force:float ->
+  table:Mdsp_machine.Interp_table.t ->
+  radial:Mdsp_core.Table.radial ->
+  unit ->
+  report
+
+val report_ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

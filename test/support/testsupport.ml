@@ -3,7 +3,7 @@
 open Mdsp_util
 
 let check_float ?(eps = 1e-9) msg expected actual =
-  Alcotest.(check (float eps)) msg expected actual
+  Alcotest.check (Alcotest.float eps) msg expected actual
 
 let check_close ~rel msg expected actual =
   let tol = Float.max (abs_float expected *. rel) 1e-12 in

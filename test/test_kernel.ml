@@ -4,7 +4,7 @@
 
 open Mdsp_util
 open Mdsp_core
-open Mdsp_core.Kernel
+open! Mdsp_core.Kernel
 open Testsupport
 
 let params_fn bindings p =

@@ -373,7 +373,7 @@ let test_tempering_freeze () =
   Tempering.freeze_adaption st;
   let w = Tempering.weights st in
   E.run eng 2000;
-  Alcotest.(check (array (float 1e-12)))
+  Alcotest.check Alcotest.(array (Alcotest.float 1e-12))
     "weights frozen" w (Tempering.weights st)
 
 let test_tempering_validation () =

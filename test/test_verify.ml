@@ -1,0 +1,412 @@
+(* The verification layer: interval arithmetic soundness, the kernel
+   interval analyzer (hazardous and safe kernels), the table-domain
+   checker, the Exec write-set race sanitizer, and the mdsp-check
+   registry end to end. *)
+
+open Testsupport
+module I = Mdsp_verify.Interval
+module KC = Mdsp_verify.Kernel_check
+module TC = Mdsp_verify.Table_check
+module Check = Mdsp_verify.Check
+module K = Mdsp_core.Kernel
+module Exec = Mdsp_util.Exec
+
+let iv lo hi = I.make lo hi
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_iv msg expected actual =
+  if actual.I.lo <> expected.I.lo || actual.I.hi <> expected.I.hi then
+    Alcotest.failf "%s: expected %s, got %s" msg (I.to_string expected)
+      (I.to_string actual)
+
+(* --- interval arithmetic --- *)
+
+let test_interval_construction () =
+  check_iv "swapped bounds normalize" (iv 1. 2.) (I.make 2. 1.);
+  check_iv "nan widens to top" I.top (I.make Float.nan 1.);
+  check_true "contains endpoint" (I.contains (iv 1. 2.) 2.);
+  check_true "top contains everything" (I.contains I.top 1e308);
+  check_true "contains_zero" (I.contains_zero (iv (-1.) 1.));
+  check_true "positive misses zero" (not (I.contains_zero (iv 0.5 1.)));
+  check_true "finite" (I.is_finite (iv (-3.) 7.));
+  check_true "top not finite" (not (I.is_finite I.top));
+  check_iv "hull" (iv (-1.) 5.) (I.hull (iv (-1.) 2.) (iv 3. 5.))
+
+let test_interval_monotone_ops () =
+  check_iv "add" (iv 3. 7.) (I.add (iv 1. 2.) (iv 2. 5.));
+  check_iv "sub" (iv (-4.) 0.) (I.sub (iv 1. 2.) (iv 2. 5.));
+  check_iv "neg" (iv (-2.) (-1.)) (I.neg (iv 1. 2.));
+  check_iv "mul positive" (iv 2. 10.) (I.mul (iv 1. 2.) (iv 2. 5.));
+  check_iv "mul mixed" (iv (-10.) 10.) (I.mul (iv (-2.) 2.) (iv 2. 5.));
+  check_iv "sqrt" (iv 2. 3.) (I.sqrt_ (iv 4. 9.));
+  check_iv "sqrt clips negatives" (iv 0. 2.) (I.sqrt_ (iv (-1.) 4.));
+  check_iv "exp" (iv 1. (exp 1.)) (I.exp_ (iv 0. 1.));
+  check_iv "log" (iv 0. (log 2.)) (I.log_ (iv 1. 2.));
+  check_true "log of zero-reaching is unbounded below"
+    ((I.log_ (iv 0. 2.)).I.lo = neg_infinity);
+  check_iv "log of nothing positive" I.top (I.log_ (iv (-2.) (-1.)));
+  check_iv "min" (iv (-1.) 2.) (I.min_ (iv (-1.) 2.) (iv 0. 5.));
+  check_iv "max" (iv 0. 5.) (I.max_ (iv (-1.) 2.) (iv 0. 5.))
+
+let test_interval_division () =
+  check_iv "positive divisor" (iv 1. 4.) (I.div (iv 2. 4.) (iv 1. 2.));
+  check_iv "negative divisor" (iv (-4.) (-1.)) (I.div (iv 2. 4.) (iv (-2.) (-1.)));
+  check_iv "divisor spanning zero is top" I.top (I.div (iv 2. 4.) (iv (-1.) 1.));
+  check_iv "divisor touching zero is top" I.top (I.div (iv 2. 4.) (iv 0. 1.));
+  (* The 0 * inf bound convention must not leak infinities into products
+     of finite intervals with [0, 0]. *)
+  check_iv "zero times top" (iv 0. 0.) (I.mul (I.point 0.) I.top)
+
+let test_interval_pow_sign () =
+  check_iv "square folds sign" (iv 0. 9.) (I.pow_int (iv (-3.) 2.) 2);
+  check_iv "square positive" (iv 4. 9.) (I.pow_int (iv 2. 3.) 2);
+  check_iv "square negative" (iv 1. 9.) (I.pow_int (iv (-3.) (-1.)) 2);
+  check_iv "cube keeps sign" (iv (-27.) 8.) (I.pow_int (iv (-3.) 2.) 3);
+  check_iv "zeroth power" (iv 1. 1.) (I.pow_int (iv (-3.) 2.) 0);
+  check_iv "inverse square" (iv 0.25 1.) (I.pow_int (iv 1. 2.) (-2));
+  check_iv "negative power over zero is top" I.top
+    (I.pow_int (iv (-1.) 2.) (-1))
+
+let test_interval_trig () =
+  let width_ok name a =
+    check_true (name ^ " within [-1,1]") (a.I.lo >= -1. && a.I.hi <= 1.)
+  in
+  width_ok "cos" (I.cos_ (iv 0. 1.));
+  check_iv "cos through pi dips to -1" (iv (-1.) (cos 2.))
+    (I.cos_ (iv 2. 4.));
+  check_iv "cos over a full period" (iv (-1.) 1.) (I.cos_ (iv 0. 7.));
+  check_iv "unbounded angle" (iv (-1.) 1.) (I.cos_ I.top);
+  check_true "sin of [0, pi/2] hits 1"
+    ((I.sin_ (iv 0. (Float.pi /. 2.))).I.hi >= 1. -. 1e-12);
+  width_ok "sin" (I.sin_ (iv 0.2 0.9))
+
+(* Soundness property: for x drawn inside the operand interval, the
+   concrete result lies inside the interval result. *)
+let interval_gen =
+  QCheck.(
+    map
+      (fun (a, b) -> (I.make a b, a, b))
+      (pair (float_range (-50.) 50.) (float_range (-50.) 50.)))
+
+let pick_inside (lo, hi) t = lo +. (t *. (hi -. lo))
+
+let prop_unary_sound =
+  qtest "unary interval ops are sound" ~count:500
+    QCheck.(pair interval_gen (float_range 0. 1.))
+    (fun ((a, lo, hi), t) ->
+      let x = pick_inside (lo, hi) t in
+      let sound f fi =
+        let y = f x in
+        Float.is_nan y || I.contains (fi a) y
+      in
+      sound (fun x -> -.x) I.neg
+      && sound sqrt I.sqrt_ && sound exp I.exp_ && sound log I.log_
+      && sound cos I.cos_ && sound sin I.sin_
+      && List.for_all
+           (fun n -> sound (fun x -> x ** float_of_int n)
+                (fun a -> I.pow_int a n))
+           [ -3; -2; -1; 0; 1; 2; 3; 4 ])
+
+let prop_binary_sound =
+  qtest "binary interval ops are sound" ~count:500
+    QCheck.(triple interval_gen interval_gen (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun ((a, alo, ahi), (b, blo, bhi), (s, t)) ->
+      let x = pick_inside (alo, ahi) s and y = pick_inside (blo, bhi) t in
+      let sound f fi =
+        let r = f x y in
+        Float.is_nan r || I.contains (fi a b) r
+      in
+      sound ( +. ) I.add && sound ( -. ) I.sub && sound ( *. ) I.mul
+      && sound ( /. ) I.div && sound Float.min I.min_
+      && sound Float.max I.max_)
+
+(* --- the kernel analyzer --- *)
+
+let box = Mdsp_util.Pbc.cubic 20.
+
+let analyze_kernel k =
+  KC.check_kernel ~env:(KC.env ~box (K.params k)) k
+
+let test_hazardous_kernel_flagged () =
+  let r = analyze_kernel (Check.hazardous_kernel ()) in
+  check_true "flagged" (not (KC.report_ok r));
+  let hs = KC.report_hazards r in
+  check_true "division hazard found"
+    (List.exists
+       (fun (_, h) -> match h with KC.Div_by_zero _ -> true | _ -> false)
+       hs);
+  check_true "log hazard found"
+    (List.exists
+       (fun (_, h) -> match h with KC.Log_domain _ -> true | _ -> false)
+       hs);
+  (* The report must pretty-print the offending denominator. *)
+  check_true "offending subexpression printed"
+    (List.exists
+       (fun (_, h) ->
+         match h with
+         | KC.Div_by_zero (e, _) -> K.expr_to_string e = "x"
+         | _ -> false)
+       hs)
+
+let test_safe_kernels_prove_clean () =
+  (* The shipped kernels are the regression proofs: the epsilon guards
+     Kernel.diff inserts must be recognized as positive. *)
+  List.iter
+    (fun k ->
+      let r = analyze_kernel k in
+      if not (KC.report_ok r) then
+        Alcotest.failf "kernel %s flagged:@ %s" (K.name k)
+          (Format.asprintf "%a" KC.pp_report r))
+    (Check.builtin_kernels ())
+
+let test_square_dependency_precision () =
+  (* x * x evaluated as a square, not as a naive product of [-l, h] with
+     itself — the fix that lets the flat-bottom sqrt guard verify. *)
+  let e = K.(Sub (Mul (X, X), Const 1e-16)) in
+  let env = KC.env ~box [] in
+  let range, hazards = KC.analyze env e in
+  check_true "no hazards" (hazards = []);
+  check_true "square nonnegative" (range.I.lo >= -1e-16);
+  let range2, _ = KC.analyze env K.(Sqrt (Add (Mul (X, X), Const 1e-16))) in
+  check_true "sqrt of guarded square is positive" (range2.I.lo > 0.)
+
+let test_exp_overflow_flagged () =
+  let e = K.Exp K.(Mul (Const 1e6, X)) in
+  let _, hazards = KC.analyze (KC.env ~box []) e in
+  check_true "exp overflow flagged"
+    (List.exists
+       (function KC.Exp_overflow _ -> true | _ -> false)
+       hazards)
+
+let test_pp_expr_precedence () =
+  let s = K.expr_to_string K.(Mul (Add (X, Const 1.), Pow_int (Y, 2))) in
+  check_true (Printf.sprintf "infix with parens: %s" s)
+    (s = "(x + 1) * y^2")
+
+(* --- the table checker --- *)
+
+let lj_radial =
+  Mdsp_core.Table.of_form
+    (Mdsp_ff.Nonbonded.Lennard_jones { epsilon = 0.238; sigma = 3.405 })
+    ~cutoff:9.
+
+let test_table_sound () =
+  let table = Mdsp_core.Table.compile ~r_min:2. ~r_cut:9. ~n:1024 lj_radial in
+  let r = TC.check ~name:"lj" ~min_separation:2.5 ~table ~radial:lj_radial () in
+  check_true "sound" (TC.report_ok r);
+  check_true "fit bounded" r.TC.fit_ok;
+  check_true "quantization clean" r.TC.quant_ok
+
+let test_table_rmin_margin () =
+  let table = Mdsp_core.Table.compile ~r_min:2. ~r_cut:9. ~n:1024 lj_radial in
+  let r =
+    TC.check ~name:"lj" ~min_separation:1.5 ~table ~radial:lj_radial ()
+  in
+  check_true "r_min above the physical minimum is flagged"
+    ((not r.TC.r_min_ok) && not (TC.report_ok r))
+
+let test_table_fit_bound () =
+  (* Four intervals cannot fit r^-12 over [2, 9]: the fit gate must trip. *)
+  let table = Mdsp_core.Table.compile ~r_min:2. ~r_cut:9. ~n:4 lj_radial in
+  let r = TC.check ~name:"lj-coarse" ~table ~radial:lj_radial () in
+  check_true "coarse fit flagged" ((not r.TC.fit_ok) && not (TC.report_ok r))
+
+let test_table_source_finite () =
+  (* log(r^2 - 25) is NaN over most of [2, 5): the source sweep must see
+     it even though the knots happen to produce numbers. *)
+  let radial r2 = (Float.log (r2 -. 25.), 0.) in
+  let table = Mdsp_core.Table.compile ~r_min:2. ~r_cut:9. ~n:64 radial in
+  let r = TC.check ~name:"log-pole" ~table ~radial () in
+  check_true "non-finite source flagged" (not r.TC.source_finite)
+
+let test_table_quantization_audit () =
+  (* A non-finite coefficient smuggled past quantize:false must be caught
+     by the audit. *)
+  let coeffs bad =
+    Array.init 4 (fun i ->
+        Array.init 4 (fun d ->
+            if bad && i = 2 && d = 3 then infinity else 1e-3))
+  in
+  let table =
+    Mdsp_machine.Interp_table.make ~r_min:2. ~r_cut:9. ~n:4 ~quantize:false
+      ~energy_coeffs:(coeffs true) ~force_coeffs:(coeffs false)
+  in
+  let radial _ = (1e-3, 1e-3) in
+  let r = TC.check ~name:"inf-coeff" ~table ~radial () in
+  check_true "non-finite coefficient flagged" (not r.TC.quant_ok)
+
+(* --- the write-set sanitizer --- *)
+
+let with_pool ?(sanitize = true) n f =
+  let pool = Exec.create ~sanitize (Exec.Domains { n }) in
+  Fun.protect ~finally:(fun () -> Exec.shutdown pool) (fun () -> f pool)
+
+let test_sanitizer_overlap_raises () =
+  with_pool 2 (fun pool ->
+      let raised =
+        try
+          (* Both slots claim [0, 10): a deliberate race. *)
+          Exec.parallel_run pool (fun s ->
+              Exec.declare_write ~slot:s ~resource:"overlap" ~lo:0 ~hi:10
+                pool);
+          false
+        with Exec.Race msg ->
+          check_true "message names the resource"
+            (contains_sub ~sub:"overlap" msg);
+          true
+      in
+      check_true "overlap raised" raised;
+      (* The pool must survive and validate a clean schedule afterwards. *)
+      let tiles = Exec.tile_bounds ~total:10 ~ntiles:2 in
+      Exec.parallel_run pool (fun s ->
+          let lo, hi = tiles.(s) in
+          Exec.declare_write ~slot:s ~resource:"clean" ~total:10 ~lo ~hi pool))
+
+let test_sanitizer_coverage_gap_raises () =
+  with_pool 2 (fun pool ->
+      let raised =
+        try
+          Exec.parallel_run pool (fun s ->
+              (* Slot 1's tile is missing: [5, 10) of the extent is never
+                 written. *)
+              if s = 0 then
+                Exec.declare_write ~slot:0 ~resource:"gap" ~total:10 ~lo:0
+                  ~hi:5 pool);
+          false
+        with Exec.Race _ -> true
+      in
+      check_true "coverage gap raised" raised)
+
+let test_sanitizer_extent_mismatch_raises () =
+  with_pool 2 (fun pool ->
+      let raised =
+        try
+          Exec.parallel_run pool (fun s ->
+              Exec.declare_write ~slot:s ~resource:"extent"
+                ~total:(10 + s) ~lo:(5 * s) ~hi:(5 * (s + 1)) pool);
+          false
+        with Exec.Race _ -> true
+      in
+      check_true "extent disagreement raised" raised)
+
+let test_sanitizer_off_is_noop () =
+  with_pool ~sanitize:false 2 (fun pool ->
+      check_true "not sanitizing" (not (Exec.sanitizing pool));
+      (* The same deliberate overlap is ignored without the sanitizer. *)
+      Exec.parallel_run pool (fun s ->
+          Exec.declare_write ~slot:s ~resource:"overlap" ~lo:0 ~hi:10 pool))
+
+let test_sanitizer_same_slot_overlap_ok () =
+  with_pool 2 (fun pool ->
+      (* A slot may revisit its own range (e.g. two passes over one tile). *)
+      Exec.parallel_run pool (fun s ->
+          let lo = 10 * s in
+          Exec.declare_write ~slot:s ~resource:"revisit" ~lo ~hi:(lo + 10)
+            pool;
+          Exec.declare_write ~slot:s ~resource:"revisit" ~lo ~hi:(lo + 5)
+            pool))
+
+let test_map_slots_sanitized () =
+  with_pool 3 (fun pool ->
+      let r = Exec.map_slots pool (fun s -> s * s) in
+      check_true "map_slots declares cleanly" (r = [| 0; 1; 4 |]))
+
+let test_phases_race_free () =
+  (* Every declared parallel phase in the force stack, at 1 / 2 / 4
+     slots. *)
+  List.iter
+    (fun slots ->
+      let phases = Mdsp_verify.Phase_check.run_phases ~slots in
+      check_true
+        (Printf.sprintf "phases checked at %d slots" slots)
+        (List.length phases >= 15))
+    [ 1; 2; 4 ]
+
+(* --- the registry --- *)
+
+let test_registry_end_to_end () =
+  let s = Check.run ~seed_hazard:true ~slots:[ 2 ] () in
+  check_true "seeded summary fails" (not (Check.ok s));
+  check_true "only the seeded kernel fails"
+    (List.for_all
+       (fun (r : KC.report) ->
+         KC.report_ok r = (r.KC.kernel <> "seeded_hazard"))
+       s.Check.kernels);
+  check_true "all tables sound"
+    (List.for_all TC.report_ok s.Check.tables);
+  check_true "sanitizer clean"
+    (List.for_all (fun r -> r.Check.failure = None) s.Check.sanitize);
+  let json = Check.to_json s in
+  let has sub = contains_sub ~sub json in
+  check_true "json verdict keys"
+    (has "\"verify.ok\": 0"
+    && has "\"kernel.seeded_hazard\": 0"
+    && has "\"kernel.flat_bottom\": 1"
+    && has "\"table.lj\": 1"
+    && has "\"sanitize.slots2\": 1")
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "construction and predicates" `Quick
+            test_interval_construction;
+          Alcotest.test_case "monotone ops" `Quick test_interval_monotone_ops;
+          Alcotest.test_case "division spanning zero" `Quick
+            test_interval_division;
+          Alcotest.test_case "pow_int sign handling" `Quick
+            test_interval_pow_sign;
+          Alcotest.test_case "trig widening" `Quick test_interval_trig;
+          prop_unary_sound;
+          prop_binary_sound;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "hazardous kernel flagged" `Quick
+            test_hazardous_kernel_flagged;
+          Alcotest.test_case "shipped kernels prove clean" `Quick
+            test_safe_kernels_prove_clean;
+          Alcotest.test_case "x*x is a square" `Quick
+            test_square_dependency_precision;
+          Alcotest.test_case "exp overflow flagged" `Quick
+            test_exp_overflow_flagged;
+          Alcotest.test_case "expression pretty-printer" `Quick
+            test_pp_expr_precedence;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "sound table passes" `Quick test_table_sound;
+          Alcotest.test_case "r_min margin" `Quick test_table_rmin_margin;
+          Alcotest.test_case "fit error bound" `Quick test_table_fit_bound;
+          Alcotest.test_case "source finiteness sweep" `Quick
+            test_table_source_finite;
+          Alcotest.test_case "quantization audit" `Quick
+            test_table_quantization_audit;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "cross-slot overlap raises" `Quick
+            test_sanitizer_overlap_raises;
+          Alcotest.test_case "coverage gap raises" `Quick
+            test_sanitizer_coverage_gap_raises;
+          Alcotest.test_case "extent mismatch raises" `Quick
+            test_sanitizer_extent_mismatch_raises;
+          Alcotest.test_case "off by default" `Quick test_sanitizer_off_is_noop;
+          Alcotest.test_case "same-slot revisits allowed" `Quick
+            test_sanitizer_same_slot_overlap_ok;
+          Alcotest.test_case "map_slots declares" `Quick
+            test_map_slots_sanitized;
+          Alcotest.test_case "force phases race-free at 1/2/4 slots" `Quick
+            test_phases_race_free;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "seeded run end to end" `Quick
+            test_registry_end_to_end;
+        ] );
+    ]
