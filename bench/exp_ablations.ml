@@ -107,7 +107,7 @@ let a2 () =
   List.iter
     (fun frac ->
       let format = Fixed.format ~frac_bits:frac ~total_bits:48 in
-      let f, _ =
+      let r =
         Mdsp_machine.Htis.compute_forces ~format ts ~types ~charges ~cutoff
           sys.box nlist sys.positions
       in
@@ -115,7 +115,7 @@ let a2 () =
       Array.iteri
         (fun i v ->
           worst := Float.max !worst (Vec3.dist v acc.Mdsp_ff.Bonded.forces.(i)))
-        f;
+        r.Mdsp_machine.Htis.forces;
       T.row t
         [
           T.cell_i frac;

@@ -111,6 +111,7 @@ let e3 () =
           ("max rel force err", T.Right);
           ("energy rel err", T.Right);
           ("bitwise deterministic", T.Right);
+          ("saturations", T.Right);
         ]
   in
   let check sys elec =
@@ -146,22 +147,27 @@ let e3 () =
         ~exclusions:sys.topo.Mdsp_ff.Topology.exclusions ~cutoff:rc ~skin:1.
         sys.box sys.positions
     in
-    let f0, e0 =
+    let r0 =
       Mdsp_machine.Htis.compute_forces ts ~types ~charges ~cutoff:rc sys.box
         nlist sys.positions
     in
     let rng = Rng.create 4 in
     let np = Mdsp_space.Neighbor_list.length nlist in
     let det = ref true in
+    let sats = ref r0.Mdsp_machine.Htis.saturations in
     for _ = 1 to 3 do
       let perm = Array.init np Fun.id in
       Rng.shuffle rng perm;
-      let f, e =
+      let r =
         Mdsp_machine.Htis.compute_forces ~perm ts ~types ~charges ~cutoff:rc
           sys.box nlist sys.positions
       in
-      if e <> e0 then det := false;
-      Array.iteri (fun i v -> if v <> f0.(i) then det := false) f
+      if r.Mdsp_machine.Htis.energy <> r0.Mdsp_machine.Htis.energy then
+        det := false;
+      sats := !sats + r.Mdsp_machine.Htis.saturations;
+      Array.iteri
+        (fun i v -> if v <> r0.Mdsp_machine.Htis.forces.(i) then det := false)
+        r.Mdsp_machine.Htis.forces
     done;
     T.row t
       [
@@ -170,6 +176,7 @@ let e3 () =
         T.cell_f ~prec:2 ferr;
         T.cell_f ~prec:2 eerr;
         (if !det then "yes" else "NO");
+        T.cell_i !sats;
       ]
   in
   check
@@ -194,7 +201,7 @@ let e3 () =
   let nlist =
     Mdsp_space.Neighbor_list.create ~cutoff:rc ~skin:1. sys.box sys.positions
   in
-  let f1, e1 =
+  let r1 =
     Mdsp_machine.Htis.compute_forces ts ~types ~charges ~cutoff:rc sys.box
       nlist sys.positions
   in
@@ -205,9 +212,11 @@ let e3 () =
         Mdsp_machine.Machine_sim.compute ~nodes ts ~types ~charges ~cutoff:rc
           sys.box nlist sys.positions
       in
-      if r.Mdsp_machine.Machine_sim.energy <> e1 then all_equal := false;
+      if r.Mdsp_machine.Machine_sim.energy <> r1.Mdsp_machine.Htis.energy then
+        all_equal := false;
       Array.iteri
-        (fun i v -> if v <> f1.(i) then all_equal := false)
+        (fun i v ->
+          if v <> r1.Mdsp_machine.Htis.forces.(i) then all_equal := false)
         r.Mdsp_machine.Machine_sim.forces)
     [ (1, 1, 1); (2, 2, 2); (4, 4, 4); (8, 8, 8) ];
   note

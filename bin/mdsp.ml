@@ -500,9 +500,27 @@ let slots_arg =
     & info [ "slots" ] ~docv:"N,..."
         ~doc:"Slot counts for the race-sanitized parallel phase sweep.")
 
+let datapath_arg =
+  Arg.(
+    value & flag
+    & info [ "datapath" ]
+        ~doc:
+          "Print the full fixed-point datapath certificates (per-accumulator \
+           worst cases, limits and margins) instead of only the per-format \
+           verdict lines of the summary.")
+
+let seed_narrow_arg =
+  Arg.(
+    value & flag
+    & info [ "seed-narrow" ]
+        ~doc:
+          "Additionally certify each datapath envelope against a \
+           deliberately narrowed force format; the command must then fail \
+           (a self-test of the certifier).")
+
 let check_cmd =
   let doc =
-    "Verify the built-in kernels, compiled tables and parallel phases."
+    "Verify the built-in kernels, tables, parallel phases and datapaths."
   in
   let man =
     [
@@ -511,13 +529,22 @@ let check_cmd =
         "Runs the static-verification passes: interval analysis of every \
          built-in kernel's energy and force expressions over its declared \
          input bounds, domain / fit / quantization checks of every compiled \
-         interpolation table, and a write-set race sanitization sweep of \
-         all parallel force phases. Exits non-zero if any check fails.";
+         interpolation table, a write-set race sanitization sweep of all \
+         parallel force phases, and the fixed-point datapath certifier, \
+         which proves every machine accumulator (pair conversion, per-atom \
+         force, node partials and reduction tree, whole-system energy, \
+         positions, coefficient Horner steps) cannot saturate under the \
+         registered workload envelopes. Exits non-zero if any check fails.";
     ]
   in
-  let run json seed_hazard slots =
-    let s = Mdsp_verify.Check.run ~seed_hazard ~slots () in
+  let run json seed_hazard slots datapath seed_narrow =
+    let s = Mdsp_verify.Check.run ~seed_hazard ~seed_narrow ~slots () in
     Format.printf "%a" Mdsp_verify.Check.pp_summary s;
+    if datapath then
+      List.iter
+        (fun r ->
+          Format.printf "@[<v>%a@]@." Mdsp_verify.Fixed_check.pp_report r)
+        s.Mdsp_verify.Check.datapath;
     (match json with
     | None -> ()
     | Some path ->
@@ -527,7 +554,9 @@ let check_cmd =
     if not (Mdsp_verify.Check.ok s) then exit 1
   in
   Cmd.v (Cmd.info "check" ~doc ~man)
-    Term.(const run $ check_json_arg $ seed_hazard_arg $ slots_arg)
+    Term.(
+      const run $ check_json_arg $ seed_hazard_arg $ slots_arg $ datapath_arg
+      $ seed_narrow_arg)
 
 (* --- analyze --- *)
 

@@ -42,7 +42,7 @@ let compile ~r_min ~r_cut ~n ?(quantize = true) f =
           ~d0:g_d.(i) ~d1:g_d.(i + 1))
   in
   Mdsp_machine.Interp_table.make ~r_min ~r_cut ~n ~quantize ~energy_coeffs
-    ~force_coeffs
+    ~force_coeffs ()
 
 type error_report = {
   max_abs_energy : float;

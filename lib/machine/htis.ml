@@ -23,15 +23,34 @@ let evaluator ts ~types ~charges ~cutoff =
     cutoff;
   }
 
+type result = {
+  forces : Vec3.t array;
+  energy : float;
+  saturations : int;
+}
+
+let formats_used ?(format = Fixed.force_format) () = (format, Fixed.widen format)
+
 let compute_forces ?perm ?(format = Fixed.force_format) ts ~types ~charges
     ~cutoff box nlist positions =
   let n = Array.length positions in
-  let fmt = format in
+  let fmt, efmt = formats_used ~format () in
   (* Per-atom, per-component fixed-point accumulators. *)
   let fx = Array.make n 0L in
   let fy = Array.make n 0L in
   let fz = Array.make n 0L in
   let e_acc = ref 0L in
+  let sats = ref 0 in
+  let conv f x =
+    let v, s = Fixed.of_float_checked f x in
+    if s then incr sats;
+    v
+  in
+  let acc f a b =
+    let v, s = Fixed.add_checked f a b in
+    if s then incr sats;
+    v
+  in
   let pairs = Mdsp_space.Neighbor_list.pairs nlist in
   let order =
     match perm with
@@ -51,16 +70,16 @@ let compute_forces ?perm ?(format = Fixed.force_format) ts ~types ~charges
         let e, f_over_r = eval_pair ts types charges i j r2 in
         (* The pipeline emits the pair force; accumulation is exact fixed
            point, hence order-independent. *)
-        let gx = Fixed.of_float fmt (f_over_r *. d.Vec3.x) in
-        let gy = Fixed.of_float fmt (f_over_r *. d.Vec3.y) in
-        let gz = Fixed.of_float fmt (f_over_r *. d.Vec3.z) in
-        fx.(i) <- Fixed.add fmt fx.(i) gx;
-        fy.(i) <- Fixed.add fmt fy.(i) gy;
-        fz.(i) <- Fixed.add fmt fz.(i) gz;
-        fx.(j) <- Fixed.add fmt fx.(j) (Int64.neg gx);
-        fy.(j) <- Fixed.add fmt fy.(j) (Int64.neg gy);
-        fz.(j) <- Fixed.add fmt fz.(j) (Int64.neg gz);
-        e_acc := Fixed.add fmt !e_acc (Fixed.of_float fmt e)
+        let gx = conv fmt (f_over_r *. d.Vec3.x) in
+        let gy = conv fmt (f_over_r *. d.Vec3.y) in
+        let gz = conv fmt (f_over_r *. d.Vec3.z) in
+        fx.(i) <- acc fmt fx.(i) gx;
+        fy.(i) <- acc fmt fy.(i) gy;
+        fz.(i) <- acc fmt fz.(i) gz;
+        fx.(j) <- acc fmt fx.(j) (Int64.neg gx);
+        fy.(j) <- acc fmt fy.(j) (Int64.neg gy);
+        fz.(j) <- acc fmt fz.(j) (Int64.neg gz);
+        e_acc := acc efmt !e_acc (conv efmt e)
       end)
     order;
   let forces =
@@ -70,7 +89,7 @@ let compute_forces ?perm ?(format = Fixed.force_format) ts ~types ~charges
           (Fixed.to_float fmt fy.(i))
           (Fixed.to_float fmt fz.(i)))
   in
-  (forces, Fixed.to_float fmt !e_acc)
+  { forces; energy = Fixed.to_float efmt !e_acc; saturations = !sats }
 
 let cycles cfg ~pairs =
   float_of_int pairs

@@ -22,14 +22,31 @@ val evaluator :
   table_set -> types:int array -> charges:float array ->
   cutoff:float -> Mdsp_ff.Pair_interactions.evaluator
 
+type result = {
+  forces : Vec3.t array;
+  energy : float;
+  saturations : int;
+      (** number of fixed-point conversions or additions that clamped —
+          zero on any run the datapath certifier proved safe *)
+}
+
+(** The (force, energy) accumulation formats a run with [?format] uses:
+    forces accumulate per atom in [format] itself, the whole-system energy
+    in [Fixed.widen format]. The datapath certifier calls this so its
+    verdicts cover exactly the formats the runtime executes. *)
+val formats_used :
+  ?format:Mdsp_util.Fixed.format -> unit ->
+  Mdsp_util.Fixed.format * Mdsp_util.Fixed.format
+
 (** [compute_forces ?perm ?format ts ~types ~charges ~cutoff box nlist
     positions] evaluates all neighbor-list pairs in the order given by
     [perm] (a permutation of pair indices; identity if omitted) and
     accumulates each force component in [format] (default
     {!Mdsp_util.Fixed.force_format}; exposed for the accumulation-width
-    ablation). Returns (forces, energy). Because fixed-point addition is
-    exact, the forces are bitwise identical for every [perm] — the
-    determinism property. *)
+    ablation) and the energy in [Fixed.widen format]. Because fixed-point
+    addition is exact, the forces are bitwise identical for every [perm] —
+    the determinism property. [result.saturations] counts every silent
+    clamp the run hit. *)
 val compute_forces :
   ?perm:int array ->
   ?format:Mdsp_util.Fixed.format ->
@@ -40,7 +57,7 @@ val compute_forces :
   Pbc.t ->
   Mdsp_space.Neighbor_list.t ->
   Vec3.t array ->
-  Vec3.t array * float
+  result
 
 (** Pipeline cycles to process [pairs] pair interactions on one node. *)
 val cycles : Config.t -> pairs:int -> float

@@ -15,22 +15,22 @@ type t = {
   e_coeffs : float array;
   f_coeffs : float array;
   quantized : bool;
+  cfmt : Fixed.format; (* mantissa format the blocks were quantized to *)
 }
 
 (* Block quantization: scale the interval's 8 coefficients by the largest
    magnitude (rounded up to a power of two, like a shared exponent), then
    round each to the mantissa grid. *)
-let quantize_block coeffs =
+let quantize_block cfmt coeffs =
   let m = Array.fold_left (fun a c -> Float.max a (abs_float c)) 0. coeffs in
   if m = 0. then coeffs
   else begin
     let scale = ldexp 1. (snd (frexp m)) in
-    Array.map
-      (fun c -> Fixed.quantize coeff_format (c /. scale) *. scale)
-      coeffs
+    Array.map (fun c -> Fixed.quantize cfmt (c /. scale) *. scale) coeffs
   end
 
-let make ~r_min ~r_cut ~n ~quantize ~energy_coeffs ~force_coeffs =
+let make ?(coeff_format = coeff_format) ~r_min ~r_cut ~n ~quantize
+    ~energy_coeffs ~force_coeffs () =
   if n <= 0 then invalid_arg "Interp_table.make: n must be positive";
   if r_cut <= r_min || r_min < 0. then
     invalid_arg "Interp_table.make: need 0 <= r_min < r_cut";
@@ -45,19 +45,22 @@ let make ~r_min ~r_cut ~n ~quantize ~energy_coeffs ~force_coeffs =
     if Array.length ec <> 4 || Array.length fc <> 4 then
       invalid_arg "Interp_table.make: each interval needs 4 coefficients";
     let block = Array.append ec fc in
-    let block = if quantize then quantize_block block else block in
+    let block = if quantize then quantize_block coeff_format block else block in
     for d = 0 to 3 do
       e_coeffs.((4 * i) + d) <- block.(d);
       f_coeffs.((4 * i) + d) <- block.(4 + d)
     done
   done;
   { r_min; r_cut; n; width; r_min2; r_cut2; e_coeffs; f_coeffs;
-    quantized = quantize }
+    quantized = quantize; cfmt = coeff_format }
 
 let n_intervals t = t.n
 let r_min t = t.r_min
 let r_cut t = t.r_cut
 let quantized t = t.quantized
+let width t = t.width
+let domain2 t = (t.r_min2, t.r_cut2)
+let format_of t = t.cfmt
 
 let eval t r2 =
   if r2 >= t.r_cut2 then (0., 0.)
@@ -82,6 +85,8 @@ let coeff_blocks t =
           else t.f_coeffs.((4 * i) + d - 4)))
 
 let sram_bytes t =
-  (* 8 coefficients x 26-bit mantissa (stored as 32-bit words) + shared
-     exponent per interval. *)
-  t.n * ((8 * 4) + 1)
+  (* 8 coefficients per interval, each mantissa stored in whole bytes
+     (the default 26-bit format occupies 32-bit words), plus the shared
+     block exponent. *)
+  let word = ((t.cfmt.Fixed.total_bits + 7) / 8 + 3) / 4 * 4 in
+  t.n * ((8 * word) + 1)

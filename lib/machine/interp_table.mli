@@ -14,27 +14,43 @@
 
 type t
 
-(** Coefficient fixed-point format used on quantization. *)
+(** Default coefficient fixed-point format: a 26-bit signed mantissa with
+    24 fractional bits (the per-interval block exponent restores scale). *)
 val coeff_format : Mdsp_util.Fixed.format
 
-(** [make ~r_min ~r_cut ~n ~quantize ~energy_coeffs ~force_coeffs] builds a
-    table from per-interval cubic coefficients (in the local variable
-    [u = r2 - knot_i], increasing degree). [quantize] applies block
-    fixed-point quantization to model the hardware datapath; the compiler
+(** [make ?coeff_format ~r_min ~r_cut ~n ~quantize ~energy_coeffs
+    ~force_coeffs ()] builds a table from per-interval cubic coefficients
+    (in the local variable [u = r2 - knot_i], increasing degree).
+    [quantize] applies block fixed-point quantization in [coeff_format]
+    (default {!coeff_format}) to model the hardware datapath; the compiler
     turns it off to measure pure interpolation error. *)
 val make :
+  ?coeff_format:Mdsp_util.Fixed.format ->
   r_min:float ->
   r_cut:float ->
   n:int ->
   quantize:bool ->
   energy_coeffs:float array array ->
   force_coeffs:float array array ->
+  unit ->
   t
 
 val n_intervals : t -> int
 val r_min : t -> float
 val r_cut : t -> float
 val quantized : t -> bool
+
+(** Interval width in r^2 units — with {!domain2}, the static envelope of
+    the Horner local variable [u in [0, width]] the certifier bounds. *)
+val width : t -> float
+
+(** The table's domain in squared distance, [(r_min^2, r_cut^2)]. *)
+val domain2 : t -> float * float
+
+(** The mantissa format this table's blocks were quantized to (the value
+    of [?coeff_format] at {!make} time, whether or not [quantize] was
+    set). *)
+val format_of : t -> Mdsp_util.Fixed.format
 
 (** [eval t r2] is [(energy, f_over_r)]; zero beyond [r_cut^2], and clamped
     to the first interval below [r_min^2] (the hardware saturates there; the

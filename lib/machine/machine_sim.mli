@@ -15,11 +15,21 @@ type result = {
   forces : Vec3.t array;
   energy : float;
   pairs_per_node : int array;  (** load distribution diagnostic *)
+  saturations : int;
+      (** fixed-point conversions/additions that clamped across all nodes
+          and reduction levels — zero on certifier-proved workloads *)
 }
+
+(** Number of levels in the fixed-shape binary reduction tree that
+    combines node partials ([ceil log2] of the node count) — the static
+    envelope the datapath certifier bounds per level. *)
+val reduction_depth : nodes:int * int * int -> int
 
 (** [compute ?format ~nodes ts ~types ~charges ~cutoff box nlist positions]
     runs the decomposed computation on a simulated torus of dimensions
-    [nodes]. *)
+    [nodes]. Forces accumulate per node in [format], the energy in
+    [Fixed.widen format]; node partials combine in a fixed-shape binary
+    tree ({!reduction_depth} levels). *)
 val compute :
   ?format:Fixed.format ->
   nodes:int * int * int ->

@@ -11,6 +11,12 @@ let format ~frac_bits ~total_bits =
 
 let position_format = { frac_bits = 26; total_bits = 32 }
 let force_format = { frac_bits = 22; total_bits = 48 }
+let accumulator_widening = 10
+
+let widen fmt =
+  { fmt with total_bits = min 63 (fmt.total_bits + accumulator_widening) }
+
+let energy_format = widen force_format
 let scale fmt = ldexp 1. fmt.frac_bits
 let resolution fmt = ldexp 1. (-fmt.frac_bits)
 
@@ -20,11 +26,13 @@ let max_raw fmt =
 let min_raw fmt = Int64.neg (Int64.shift_left 1L (fmt.total_bits - 1))
 let max_value fmt = Int64.to_float (max_raw fmt) /. scale fmt
 
-let of_float fmt x =
+let of_float_checked fmt x =
   let r = Float.round (x *. scale fmt) in
-  if r >= Int64.to_float (max_raw fmt) then max_raw fmt
-  else if r <= Int64.to_float (min_raw fmt) then min_raw fmt
-  else Int64.of_float r
+  if r >= Int64.to_float (max_raw fmt) then (max_raw fmt, r > Int64.to_float (max_raw fmt))
+  else if r <= Int64.to_float (min_raw fmt) then (min_raw fmt, r < Int64.to_float (min_raw fmt))
+  else (Int64.of_float r, false)
+
+let of_float fmt x = fst (of_float_checked fmt x)
 
 let of_float_exn fmt x =
   let r = Float.round (x *. scale fmt) in
@@ -39,13 +47,24 @@ let clamp fmt v =
   else if Int64.compare v (min_raw fmt) < 0 then min_raw fmt
   else v
 
-let add fmt a b = clamp fmt (Int64.add a b)
+let add_checked fmt a b =
+  (* Operands are in range, so the int64 sum cannot wrap (total_bits <= 63);
+     the clamp is the saturation event itself. *)
+  let s = Int64.add a b in
+  let c = clamp fmt s in
+  (c, not (Int64.equal c s))
 
-let mul fmt a b =
+let add fmt a b = fst (add_checked fmt a b)
+
+let mul_checked fmt a b =
   (* Widen through float for the high part; adequate for <= 48-bit formats
      used here, and rounding matches the conversion path. *)
-  let p = Int64.to_float a *. Int64.to_float b /. scale fmt in
-  clamp fmt (Int64.of_float (Float.round p))
+  let p = Float.round (Int64.to_float a *. Int64.to_float b /. scale fmt) in
+  if p >= Int64.to_float (max_raw fmt) then (max_raw fmt, p > Int64.to_float (max_raw fmt))
+  else if p <= Int64.to_float (min_raw fmt) then (min_raw fmt, p < Int64.to_float (min_raw fmt))
+  else (Int64.of_float p, false)
+
+let mul fmt a b = fst (mul_checked fmt a b)
 
 let quantize fmt x = to_float fmt (of_float fmt x)
 let quantization_error fmt = 0.5 *. resolution fmt

@@ -26,6 +26,21 @@ val position_format : format
 (** Default force-accumulation format: 48-bit, 22 fractional bits. *)
 val force_format : format
 
+(** Extra integer bits a whole-system scalar accumulator (energy, virial)
+    gets over the per-atom force format — see {!widen}. *)
+val accumulator_widening : int
+
+(** [widen fmt] is [fmt] with {!accumulator_widening} more total bits
+    (same resolution, capped at 63). Whole-system scalars sum over every
+    pair rather than one atom's neighbors, so their worst case is larger
+    by a factor of the atom count; the widened format absorbs it. *)
+val widen : format -> format
+
+(** [widen force_format]: the energy-accumulation format (58-bit, 22
+    fractional bits). Same resolution as {!force_format}, so quantization
+    behavior is unchanged — only the saturation point moves. *)
+val energy_format : format
+
 (** Smallest representable increment. *)
 val resolution : format -> float
 
@@ -35,6 +50,10 @@ val max_value : format -> float
 (** Round-to-nearest conversion, saturating at the format bounds. *)
 val of_float : format -> float -> int64
 
+(** Like {!of_float}, but also reports whether the value was clamped —
+    the silent-saturation event the datapath certifier reasons about. *)
+val of_float_checked : format -> float -> int64 * bool
+
 (** Round-to-nearest conversion; raises {!Overflow} instead of saturating. *)
 val of_float_exn : format -> float -> int64
 
@@ -43,8 +62,14 @@ val to_float : format -> int64 -> float
 (** Exact saturating addition of two fixed-point values of the same format. *)
 val add : format -> int64 -> int64 -> int64
 
+(** {!add} that also reports whether the sum saturated. *)
+val add_checked : format -> int64 -> int64 -> int64 * bool
+
 (** Fixed-point multiplication (result in the same format, rounded). *)
 val mul : format -> int64 -> int64 -> int64
+
+(** {!mul} that also reports whether the product saturated. *)
+val mul_checked : format -> int64 -> int64 -> int64 * bool
 
 (** [quantize fmt x] is the float obtained by a round trip through the
     format — the machine's view of [x]. *)

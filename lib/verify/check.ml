@@ -145,6 +145,47 @@ let water_tables () =
 
 let builtin_tables () = cli_tables () @ water_tables ()
 
+(* --- datapath envelopes --- *)
+
+(* Static envelope of the water pipeline, matching water_tables above: the
+   same topology, cutoff and table resolution, so the certificate covers
+   exactly what [mdsp run --tables] executes. max_pairs_per_atom is the
+   trivial static budget (every other atom); the shell capacities inside
+   Fixed_check tighten it per radius. *)
+let water_envelope () =
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:2 () in
+  let topo = sys.Mdsp_workload.Workloads.topo in
+  let cutoff = 9. and n = 2048 in
+  let elec = Mdsp_ff.Pair_interactions.Reaction_field { epsilon_rf = 78.5 } in
+  let tables = Table.table_set_of_topology topo ~cutoff ~elec ~n () in
+  let n_atoms = Mdsp_ff.Topology.n_atoms topo in
+  let max_abs_charge =
+    Array.fold_left
+      (fun a q -> Float.max a (abs_float q))
+      0.
+      (Mdsp_ff.Topology.charges topo)
+  in
+  {
+    Fixed_check.env_name = "water";
+    n_atoms;
+    max_pairs_per_atom = n_atoms - 1;
+    min_separation = 1.5;
+    max_abs_charge;
+    cutoff;
+    nodes = (2, 2, 2);
+    tables;
+    position_extent = 1.0;
+  }
+
+let builtin_envelopes () = [ water_envelope () ]
+
+(* A deliberately narrowed force format that the certifier must reject:
+   same resolution, not enough integer bits for the per-atom accumulator.
+   [mdsp check --seed-narrow] and CI use it to prove the certifier cannot
+   be green by accident. *)
+let narrow_format =
+  { Mdsp_util.Fixed.force_format with Mdsp_util.Fixed.total_bits = 32 }
+
 (* --- the registry run --- *)
 
 type sanitize_result = {
@@ -157,6 +198,7 @@ type summary = {
   kernels : Kernel_check.report list;
   tables : Table_check.report list;
   sanitize : sanitize_result list;
+  datapath : Fixed_check.report list;
 }
 
 let check_one_kernel k =
@@ -173,19 +215,39 @@ let sanitize_at slots =
   | exception Mdsp_util.Exec.Race msg ->
       { slots; phases = []; failure = Some msg }
 
-let run ?(seed_hazard = false) ?(slots = [ 1; 2; 4 ]) () =
+let run ?(seed_hazard = false) ?(seed_narrow = false) ?(slots = [ 1; 2; 4 ])
+    () =
   let ks = builtin_kernels () in
   let ks = if seed_hazard then ks @ [ hazardous_kernel () ] else ks in
+  let envs = builtin_envelopes () in
+  let datapath = List.map (fun e -> Fixed_check.certify e) envs in
+  let datapath =
+    if seed_narrow then
+      datapath
+      @ List.map
+          (fun e ->
+            let r = Fixed_check.certify ~format:narrow_format e in
+            {
+              r with
+              Fixed_check.workload =
+                Printf.sprintf "%s[narrow%d]" r.Fixed_check.workload
+                  narrow_format.Mdsp_util.Fixed.total_bits;
+            })
+          envs
+    else datapath
+  in
   {
     kernels = List.map check_one_kernel ks;
     tables = List.map check_one_table (builtin_tables ());
     sanitize = List.map sanitize_at slots;
+    datapath;
   }
 
 let ok s =
   List.for_all Kernel_check.report_ok s.kernels
   && List.for_all Table_check.report_ok s.tables
   && List.for_all (fun r -> r.failure = None) s.sanitize
+  && List.for_all Fixed_check.proved s.datapath
 
 let pp_summary fmt s =
   Format.fprintf fmt "@[<v>";
@@ -202,6 +264,7 @@ let pp_summary fmt s =
       | Some msg ->
           Format.fprintf fmt "sanitize (%d slots): RACE@,  %s@," r.slots msg)
     s.sanitize;
+  List.iter (Fixed_check.pp_verdict fmt) s.datapath;
   Format.fprintf fmt "verify: %s@]@."
     (if ok s then "all checks passed" else "FAILED")
 
@@ -221,6 +284,16 @@ let to_json s =
         (fun r ->
           (Printf.sprintf "sanitize.slots%d" r.slots, r.failure = None))
         s.sanitize
+    @ List.concat_map
+        (fun (r : Fixed_check.report) ->
+          let w = r.Fixed_check.workload in
+          ("datapath." ^ w ^ ".ok", Fixed_check.proved r)
+          :: List.map
+               (fun name ->
+                 ( Printf.sprintf "datapath.%s.%s" w name,
+                   Fixed_check.format_ok r name ))
+               (Fixed_check.format_names r))
+        s.datapath
   in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "{\n";

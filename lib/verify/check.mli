@@ -19,6 +19,7 @@ type summary = {
   kernels : Kernel_check.report list;
   tables : Table_check.report list;
   sanitize : sanitize_result list;
+  datapath : Fixed_check.report list;
 }
 
 (** The built-in kernel surface: the restraint kernels and the double-well
@@ -31,18 +32,34 @@ val builtin_kernels : unit -> Mdsp_core.Kernel.t list
     and the tests to prove the analyzer cannot be green by accident. *)
 val hazardous_kernel : unit -> Mdsp_core.Kernel.t
 
-(** [run ?seed_hazard ?slots ()] checks every registered kernel (interval
-    pass over energy and gradients), every registered table (domain /
-    fit / quantization pass), and drives the sanitized parallel phases at
-    each slot count in [slots] (default [[1; 2; 4]]). [seed_hazard]
-    (default false) additionally runs {!hazardous_kernel}, whose report is
-    included and makes the summary fail. *)
-val run : ?seed_hazard:bool -> ?slots:int list -> unit -> summary
+(** The built-in datapath envelopes the certifier proves — currently the
+    water pipeline (same topology, cutoff and tables as the
+    ["water.*"] table entries). *)
+val builtin_envelopes : unit -> Fixed_check.envelope list
+
+(** A force format at the default resolution but too narrow for the water
+    per-atom accumulator; certifying against it must fail. Used by
+    [mdsp check --seed-narrow] and CI to prove the certifier cannot be
+    green by accident. *)
+val narrow_format : Mdsp_util.Fixed.format
+
+(** [run ?seed_hazard ?seed_narrow ?slots ()] checks every registered
+    kernel (interval pass over energy and gradients), every registered
+    table (domain / fit / quantization pass), certifies every registered
+    datapath envelope (fixed-point saturation pass), and drives the
+    sanitized parallel phases at each slot count in [slots] (default
+    [[1; 2; 4]]). [seed_hazard] (default false) additionally runs
+    {!hazardous_kernel}; [seed_narrow] (default false) additionally
+    certifies each envelope against {!narrow_format} — either seeded
+    report is included in the summary and makes it fail. *)
+val run :
+  ?seed_hazard:bool -> ?seed_narrow:bool -> ?slots:int list -> unit -> summary
 
 val ok : summary -> bool
 val pp_summary : Format.formatter -> summary -> unit
 
 (** Flat JSON object in the bench-metrics style: ["verify.ok"] plus one
-    0/1 verdict per ["kernel.<name>"], ["table.<name>"] and
-    ["sanitize.slots<n>"] key. *)
+    0/1 verdict per ["kernel.<name>"], ["table.<name>"],
+    ["sanitize.slots<n>"], ["datapath.<workload>.ok"] and
+    ["datapath.<workload>.<format>"] key. *)
 val to_json : summary -> string

@@ -1,0 +1,405 @@
+module Fixed = Mdsp_util.Fixed
+module Units = Mdsp_util.Units
+module It = Mdsp_machine.Interp_table
+module Htis = Mdsp_machine.Htis
+module Msim = Mdsp_machine.Machine_sim
+module FI = Fixed_interval
+
+type envelope = {
+  env_name : string;
+  n_atoms : int;
+  max_pairs_per_atom : int;
+  min_separation : float;
+  max_abs_charge : float;
+  cutoff : float;
+  nodes : int * int * int;
+  tables : Htis.table_set;
+  position_extent : float;
+}
+
+type acc_report = {
+  acc : string;
+  format_name : string;
+  fmt : Fixed.format;
+  worst : float;
+  limit : float;
+  margin_bits : float;
+  pair_bound : int;
+  min_safe_bits : int option;
+  safe : bool;
+  detail : string option;
+}
+
+type report = { workload : string; accs : acc_report list }
+
+let mag (iv : Interval.t) =
+  Float.max (abs_float iv.Interval.lo) (abs_float iv.Interval.hi)
+
+(* --- sound per-interval output bounds of a compiled table --- *)
+
+(* |energy| and |f_over_r| bounds per interval, from an interval-Horner
+   pass over the stored (already block-quantized) coefficients with the
+   local variable u ranging over the whole interval [0, width]. *)
+type profile = {
+  p_n : int;
+  p_r_min2 : float;
+  p_r_cut2 : float;
+  p_width : float;
+  e_abs : float array;
+  f_abs : float array;
+}
+
+let horner_range ~u c0 c1 c2 c3 =
+  let open Interval in
+  let s = add (point c2) (mul u (point c3)) in
+  let s = add (point c1) (mul u s) in
+  add (point c0) (mul u s)
+
+let profile_of_table table =
+  let n = It.n_intervals table in
+  let r_min2, r_cut2 = It.domain2 table in
+  let width = It.width table in
+  let u = Interval.make 0. width in
+  let blocks = It.coeff_blocks table in
+  let e_abs = Array.make n 0. and f_abs = Array.make n 0. in
+  Array.iteri
+    (fun i b ->
+      e_abs.(i) <- mag (horner_range ~u b.(0) b.(1) b.(2) b.(3));
+      f_abs.(i) <- mag (horner_range ~u b.(4) b.(5) b.(6) b.(7)))
+    blocks;
+  { p_n = n; p_r_min2 = r_min2; p_r_cut2 = r_cut2; p_width = width; e_abs; f_abs }
+
+(* Bound (|e|, |f_over_r|) of a profiled table over r2 in [a, b). Beyond
+   r_cut2 the pipeline emits zero; below r_min2 it clamps to the first
+   knot, which interval 0's bound covers. Index fuzz rounds outward, so a
+   shell can only pick up an extra neighboring interval — sound. *)
+let profile_bounds p a b =
+  if a >= p.p_r_cut2 then (0., 0.)
+  else begin
+    let b = Float.min b p.p_r_cut2 in
+    let idx x = int_of_float ((x -. p.p_r_min2) /. p.p_width) in
+    let i_lo = if a <= p.p_r_min2 then 0 else min (p.p_n - 1) (max 0 (idx a)) in
+    let i_hi = min (p.p_n - 1) (max 0 (idx b)) in
+    let e = ref 0. and f = ref 0. in
+    for i = i_lo to i_hi do
+      e := Float.max !e p.e_abs.(i);
+      f := Float.max !f p.f_abs.(i)
+    done;
+    (!e, !f)
+  end
+
+(* --- radial shells with packing capacities --- *)
+
+(* Atoms pairwise separated by at least s: spheres of radius s/2 around
+   the neighbors (and the center) pack disjointly into the ball of radius
+   r + s/2, so an atom has at most (2r/s + 1)^3 - 1 neighbors within r.
+   The per-shell capacity is what makes the accumulator bounds realistic:
+   only a couple of dozen pairs can sit at the steep close-contact end of
+   a table at once, so the worst case is far below
+   pairs_per_atom * max |force|. *)
+let packing_cap ~min_separation r =
+  let x = (2. *. r /. min_separation) +. 1. in
+  max 0 (int_of_float (x *. x *. x) - 1)
+
+type shell = {
+  sh_r2_hi : float;
+  sh_cap : int; (* cumulative: max pairs of one atom within sqrt r2_hi *)
+  sh_g : float; (* per-pair |force component| bound on the shell *)
+  sh_e : float; (* per-pair |energy| bound on the shell *)
+}
+
+let shells_of_envelope env =
+  let ts = env.tables in
+  let lo2 = env.min_separation *. env.min_separation in
+  let hi2 = env.cutoff *. env.cutoff in
+  let profiles_lj = Array.map (Array.map profile_of_table) ts.Htis.lj in
+  let profile_es = Option.map profile_of_table ts.Htis.electrostatic in
+  let knots = ref [ lo2; hi2 ] in
+  let add_knots p =
+    for i = 0 to p.p_n do
+      let k = p.p_r_min2 +. (float_of_int i *. p.p_width) in
+      if k > lo2 && k < hi2 then knots := k :: !knots
+    done
+  in
+  Array.iter (Array.iter add_knots) profiles_lj;
+  Option.iter add_knots profile_es;
+  let knots = Array.of_list (List.sort_uniq compare !knots) in
+  let qq = Units.coulomb *. env.max_abs_charge *. env.max_abs_charge in
+  let ntypes = Array.length ts.Htis.lj in
+  Array.init
+    (Array.length knots - 1)
+    (fun k ->
+      let a = knots.(k) and b = knots.(k + 1) in
+      let es_e, es_f =
+        match profile_es with
+        | None -> (0., 0.)
+        | Some p -> profile_bounds p a b
+      in
+      let e_w = ref 0. and f_w = ref 0. in
+      for ti = 0 to ntypes - 1 do
+        for tj = ti to ntypes - 1 do
+          let lj_e, lj_f = profile_bounds profiles_lj.(ti).(tj) a b in
+          e_w := Float.max !e_w (lj_e +. (qq *. es_e));
+          f_w := Float.max !f_w (lj_f +. (qq *. es_f))
+        done
+      done;
+      let r_hi = sqrt b in
+      {
+        sh_r2_hi = b;
+        sh_cap =
+          min env.max_pairs_per_atom
+            (packing_cap ~min_separation:env.min_separation r_hi);
+        (* per-component force: |f_over_r * d_x| <= |f_over_r| * r *)
+        sh_g = !f_w *. r_hi;
+        sh_e = !e_w;
+      })
+
+(* Maximize sum n_k w_k subject to the cumulative capacities: for every
+   shell k, the pairs at or inside it number at most cap_k. Capacities are
+   nondecreasing in r, so the feasible set is a polymatroid and the greedy
+   assignment in decreasing-weight order attains the exact maximum — a
+   sound (and tight) worst case. *)
+let worst_sum shells weight =
+  let s = Array.length shells in
+  let w = Array.init s (fun i -> weight shells.(i)) in
+  let order = Array.init s Fun.id in
+  Array.sort (fun a b -> compare w.(b) w.(a)) order;
+  let prefix = Array.make s 0 in
+  let total_w = ref 0. and total_n = ref 0 in
+  Array.iter
+    (fun k ->
+      let slack = ref max_int in
+      for j = k to s - 1 do
+        slack := min !slack (shells.(j).sh_cap - prefix.(j))
+      done;
+      let add = max 0 !slack in
+      if add > 0 then begin
+        for j = k to s - 1 do
+          prefix.(j) <- prefix.(j) + add
+        done;
+        total_w := !total_w +. (float_of_int add *. w.(k));
+        total_n := !total_n + add
+      end)
+    order;
+  (!total_w, !total_n)
+
+(* --- Horner-step certificate for the coefficient mantissa datapath --- *)
+
+(* Re-derive each reachable block's mantissas (coefficients over the
+   shared power-of-two exponent, as quantize_block stores them) and bound
+   every intermediate of the pipeline's Horner evaluation
+   s3 = c3; s_k = c_k + u s_{k+1} with u in [0, width]. *)
+let horner_step_worst table ~lo2 ~hi2 =
+  let n = It.n_intervals table in
+  let r_min2, r_cut2 = It.domain2 table in
+  let width = It.width table in
+  if lo2 >= r_cut2 then None
+  else begin
+    let idx x = int_of_float ((x -. r_min2) /. width) in
+    let i_lo = if lo2 <= r_min2 then 0 else min (n - 1) (max 0 (idx lo2)) in
+    let i_hi = min (n - 1) (max 0 (idx (Float.min hi2 r_cut2))) in
+    let u = Interval.make 0. width in
+    let worst = ref 0. and where = ref "" in
+    let blocks = It.coeff_blocks table in
+    for i = i_lo to i_hi do
+      let b = blocks.(i) in
+      let m = Array.fold_left (fun a c -> Float.max a (abs_float c)) 0. b in
+      if m > 0. && Float.is_finite m then begin
+        let scale = ldexp 1. (snd (frexp m)) in
+        let step base label =
+          let c d = b.(base + d) /. scale in
+          let s = ref (Interval.point (c 3)) in
+          for d = 2 downto 0 do
+            s := Interval.add (Interval.point (c d)) (Interval.mul u !s);
+            if mag !s > !worst then begin
+              worst := mag !s;
+              where := Printf.sprintf "interval %d, %s step s%d" i label d
+            end
+          done
+        in
+        (* s3 itself is a stored mantissa, <= 1 by construction. *)
+        step 0 "energy";
+        step 4 "force"
+      end
+    done;
+    Some (!worst, !where)
+  end
+
+(* --- the certificate --- *)
+
+let acc_entry ~acc ~format_name ~fmt ~pair_bound ?detail elt =
+  {
+    acc;
+    format_name;
+    fmt;
+    worst = FI.worst_magnitude elt;
+    limit = Fixed.max_value fmt;
+    margin_bits = FI.margin_bits fmt elt;
+    pair_bound;
+    min_safe_bits = FI.min_safe_total_bits fmt elt;
+    safe = FI.fits fmt elt;
+    detail;
+  }
+
+let certify ?format env =
+  let fmt, efmt = Htis.formats_used ?format () in
+  let qerr = Fixed.quantization_error fmt in
+  let shells = shells_of_envelope env in
+  let g_max = Array.fold_left (fun a s -> Float.max a s.sh_g) 0. shells in
+  let g_sum, g_pairs = worst_sum shells (fun s -> s.sh_g) in
+  let e_sum, e_pairs = worst_sum shells (fun s -> s.sh_e) in
+  (* Whole-system pair count: every atom's neighbor budget, halved because
+     each pair has two endpoints. *)
+  let total_pairs = (env.n_atoms * e_pairs + 1) / 2 in
+  let force_elt =
+    { (FI.of_magnitude g_sum) with FI.err = float_of_int g_pairs *. qerr }
+  in
+  let energy_elt =
+    {
+      (FI.of_magnitude (float_of_int env.n_atoms *. e_sum /. 2.)) with
+      FI.err = float_of_int total_pairs *. Fixed.quantization_error efmt;
+    }
+  in
+  let depth = Msim.reduction_depth ~nodes:env.nodes in
+  let force_rows =
+    [
+      acc_entry ~acc:"pair force component (conversion)"
+        ~format_name:"force_format" ~fmt ~pair_bound:1
+        (FI.quantize fmt (FI.of_magnitude g_max));
+      acc_entry ~acc:"HTIS per-atom component accumulator"
+        ~format_name:"force_format" ~fmt ~pair_bound:g_pairs force_elt;
+      acc_entry ~acc:"machine-sim node partial" ~format_name:"force_format"
+        ~fmt ~pair_bound:g_pairs force_elt;
+      acc_entry ~acc:"machine-sim torus reduction" ~format_name:"force_format"
+        ~fmt ~pair_bound:g_pairs
+        ~detail:
+          (Printf.sprintf "%d level%s over %d node partials; disjoint pair \
+                           sets keep every level within the per-atom bound"
+             depth
+             (if depth = 1 then "" else "s")
+             (let x, y, z = env.nodes in
+              x * y * z))
+        force_elt;
+    ]
+  in
+  let energy_rows =
+    [
+      acc_entry ~acc:"HTIS energy accumulator" ~format_name:"energy_format"
+        ~fmt:efmt ~pair_bound:total_pairs energy_elt;
+      acc_entry ~acc:"machine-sim energy reduction"
+        ~format_name:"energy_format" ~fmt:efmt ~pair_bound:total_pairs
+        ~detail:(Printf.sprintf "%d reduction levels" depth)
+        energy_elt;
+    ]
+  in
+  let pf = Fixed.position_format in
+  let position_rows =
+    [
+      acc_entry ~acc:"position coordinate (box fraction)"
+        ~format_name:"position_format" ~fmt:pf ~pair_bound:0
+        (FI.quantize pf (FI.of_magnitude env.position_extent));
+      acc_entry ~acc:"min-image displacement" ~format_name:"position_format"
+        ~fmt:pf ~pair_bound:0
+        (FI.quantize pf
+           (FI.quantize pf (FI.of_magnitude (env.position_extent /. 2.))));
+    ]
+  in
+  (* Coefficient datapath: the worst Horner intermediate over every table
+     in the set, in mantissa units. *)
+  let lo2 = env.min_separation *. env.min_separation in
+  let hi2 = env.cutoff *. env.cutoff in
+  let coeff_row =
+    let worst = ref None in
+    let consider name table =
+      match horner_step_worst table ~lo2 ~hi2 with
+      | None -> ()
+      | Some (w, where) ->
+          let margin =
+            FI.margin_bits (It.format_of table) (FI.of_magnitude w)
+          in
+          (match !worst with
+          | Some (_, _, _, m) when m <= margin -> ()
+          | _ -> worst := Some (name, table, where, margin))
+    in
+    let ts = env.tables in
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j t -> if j >= i then consider (Printf.sprintf "lj[%d][%d]" i j) t)
+          row)
+      ts.Htis.lj;
+    Option.iter (consider "electrostatic") ts.Htis.electrostatic;
+    match !worst with
+    | None -> []
+    | Some (name, table, where, _) ->
+        let w, _ = Option.get (horner_step_worst table ~lo2 ~hi2) in
+        [
+          acc_entry ~acc:"coefficient Horner step (mantissa)"
+            ~format_name:"coeff_format" ~fmt:(It.format_of table) ~pair_bound:0
+            ~detail:(Printf.sprintf "table %s, %s" name where)
+            (FI.of_magnitude w);
+        ]
+  in
+  {
+    workload = env.env_name;
+    accs = force_rows @ energy_rows @ position_rows @ coeff_row;
+  }
+
+let proved r = List.for_all (fun a -> a.safe) r.accs
+
+let format_names r =
+  List.fold_left
+    (fun acc a -> if List.mem a.format_name acc then acc else acc @ [ a.format_name ])
+    [] r.accs
+
+let format_ok r name =
+  List.for_all (fun a -> a.format_name <> name || a.safe) r.accs
+
+let format_margin r name =
+  List.fold_left
+    (fun m a -> if a.format_name = name then Float.min m a.margin_bits else m)
+    infinity r.accs
+
+let pp_acc ppf a =
+  Format.fprintf ppf "  %-38s worst %11.5g  limit %11.5g  margin %6.2f bits"
+    a.acc a.worst a.limit a.margin_bits;
+  if a.pair_bound > 0 then Format.fprintf ppf "  [%d pairs]" a.pair_bound;
+  if not a.safe then begin
+    match a.min_safe_bits with
+    | Some tb -> Format.fprintf ppf "  SATURABLE: needs total_bits >= %d" tb
+    | None -> Format.fprintf ppf "  SATURABLE: no width up to 63 bits suffices"
+  end;
+  (match a.detail with
+  | Some d -> Format.fprintf ppf "@,      (%s)" d
+  | None -> ());
+  Format.fprintf ppf "@,"
+
+let pp_verdict ppf r =
+  let fmt_verdict name =
+    if format_ok r name then
+      Printf.sprintf "%s %.2f bits" name (format_margin r name)
+    else
+      let bad =
+        List.filter (fun a -> a.format_name = name && not a.safe) r.accs
+      in
+      Printf.sprintf "%s SATURABLE (%s)" name
+        (String.concat "; " (List.map (fun a -> a.acc) bad))
+  in
+  Format.fprintf ppf "datapath %S: %s@,  margins: %s@," r.workload
+    (if proved r then "proved safe" else "SATURATION POSSIBLE")
+    (String.concat ", " (List.map fmt_verdict (format_names r)))
+
+let pp_report ppf r =
+  Format.fprintf ppf "datapath certificate for %S: %s@," r.workload
+    (if proved r then "proved safe" else "SATURATION POSSIBLE");
+  List.iter
+    (fun name ->
+      let rows = List.filter (fun a -> a.format_name = name) r.accs in
+      let f = (List.hd rows).fmt in
+      Format.fprintf ppf " %s (%d bits, %d fractional): %s@," name
+        f.Fixed.total_bits f.Fixed.frac_bits
+        (if format_ok r name then
+           Printf.sprintf "proved safe, margin %.2f bits" (format_margin r name)
+         else "SATURATION POSSIBLE");
+      List.iter (pp_acc ppf) rows)
+    (format_names r)

@@ -1,0 +1,100 @@
+(** Fixed-point datapath certifier: prove the machine model cannot
+    saturate.
+
+    Given a workload's static envelope — atom count, neighbor budget,
+    minimum physical separation, charge extrema, and the compiled table
+    set — this module propagates {!Fixed_interval} elements through every
+    accumulator of the fixed-point force pipeline and certifies, per
+    format, that no input within the envelope can drive the datapath to
+    its representable maximum:
+
+    - the per-pair force-component conversion and the HTIS per-atom
+      accumulator in [force_format];
+    - each {!Mdsp_machine.Machine_sim} node partial and every level of
+      its fixed-shape reduction tree;
+    - the whole-system energy accumulator in the widened
+      [Fixed.energy_format];
+    - position coordinates and min-image displacements in
+      [position_format];
+    - every Horner intermediate of per-block coefficient evaluation in
+      the table's own mantissa format.
+
+    The accumulator bounds are not the naive [pairs * max |force|]: atoms
+    separated by at least [min_separation] obey a sphere-packing capacity
+    per radial shell, so only a handful of pairs can sit at the steep
+    close-contact end of a table at once. The certifier maximizes the
+    accumulated sum over all shell occupancies consistent with those
+    capacities (the greedy assignment is exact on this polymatroid),
+    which is what makes default formats provable at realistic margins.
+
+    A format verdict is either {e proved safe} (with its margin in bits)
+    or {e saturation possible} (with the offending accumulator, the pair
+    count realizing the bound, and the minimal [total_bits] that would be
+    safe). *)
+
+type envelope = {
+  env_name : string;  (** workload label for reports *)
+  n_atoms : int;
+  max_pairs_per_atom : int;
+      (** static neighbor-list budget: pairs any one atom can appear in *)
+  min_separation : float;
+      (** certified minimum inter-atom distance, in angstroms; restricts
+          the reachable table domain and caps shell occupancies *)
+  max_abs_charge : float;  (** bound on |q_i|, in elementary charges *)
+  cutoff : float;  (** interaction cutoff, in angstroms *)
+  nodes : int * int * int;  (** machine-sim torus the reduction runs on *)
+  tables : Mdsp_machine.Htis.table_set;  (** the compiled tables *)
+  position_extent : float;
+      (** bound on |coordinate| in box fractions (1.0 for wrapped
+          positions) *)
+}
+
+type acc_report = {
+  acc : string;  (** which accumulator / datapath stage *)
+  format_name : string;
+      (** "force_format" | "energy_format" | "position_format" |
+          "coeff_format" *)
+  fmt : Mdsp_util.Fixed.format;
+  worst : float;  (** certified worst-case |value| + error bound *)
+  limit : float;  (** the format's representable maximum *)
+  margin_bits : float;  (** [log2 (limit / worst)]; negative = saturable *)
+  pair_bound : int;
+      (** number of pair terms realizing the bound (0 when not
+          pair-driven) *)
+  min_safe_bits : int option;
+      (** smallest safe [total_bits] at the same resolution *)
+  safe : bool;
+  detail : string option;
+}
+
+type report = { workload : string; accs : acc_report list }
+
+(** [certify ?format env] runs the abstract interpretation over the whole
+    datapath. [?format] is the force accumulation format the runtime
+    would use (default {!Mdsp_util.Fixed.force_format}); the energy rows
+    use [Fixed.widen format], exactly as {!Mdsp_machine.Htis.formats_used}
+    reports — so narrowing [format] here predicts what a narrowed runtime
+    run will do. *)
+val certify : ?format:Mdsp_util.Fixed.format -> envelope -> report
+
+(** Every accumulator proved safe. *)
+val proved : report -> bool
+
+(** Distinct format names, in report order. *)
+val format_names : report -> string list
+
+(** All accumulators of the named format proved safe. *)
+val format_ok : report -> string -> bool
+
+(** Minimum margin over the named format's accumulators ([infinity] if the
+    report has none). *)
+val format_margin : report -> string -> float
+
+(** One-line-per-format verdict with margins — what [Check.pp_summary]
+    prints. Composes inside an open vertical box. *)
+val pp_verdict : Format.formatter -> report -> unit
+
+(** The full certificate: every accumulator row with its worst case, limit,
+    margin and (when saturable) minimal safe width — what
+    [mdsp check --datapath] prints. Composes inside an open vertical box. *)
+val pp_report : Format.formatter -> report -> unit

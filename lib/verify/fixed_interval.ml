@@ -1,0 +1,53 @@
+module Fixed = Mdsp_util.Fixed
+
+type t = { value : Interval.t; err : float }
+
+let exact value = { value; err = 0. }
+let of_magnitude m = { value = Interval.make (-.(abs_float m)) (abs_float m); err = 0. }
+
+let mag (iv : Interval.t) =
+  Float.max (abs_float iv.Interval.lo) (abs_float iv.Interval.hi)
+
+let quantize fmt t = { t with err = t.err +. Fixed.quantization_error fmt }
+let add a b = { value = Interval.add a.value b.value; err = a.err +. b.err }
+let neg a = { value = Interval.neg a.value; err = a.err }
+
+let mul fmt a b =
+  (* |a'b' - ab| <= |a| eb + |b| ea + ea eb, plus the product's own
+     round-to-nearest step in [fmt]. *)
+  let value = Interval.mul a.value b.value in
+  let err =
+    (mag a.value *. b.err)
+    +. (mag b.value *. a.err)
+    +. (a.err *. b.err)
+    +. Fixed.quantization_error fmt
+  in
+  { value; err }
+
+let repeat_add ~count t =
+  if count < 0 then invalid_arg "Fixed_interval.repeat_add: negative count";
+  let c = float_of_int count in
+  {
+    value = Interval.mul (Interval.point c) t.value;
+    err = c *. t.err;
+  }
+
+let worst_magnitude t = mag t.value +. t.err
+let fits fmt t = worst_magnitude t <= Fixed.max_value fmt
+
+let margin_bits fmt t =
+  let w = worst_magnitude t in
+  if w <= 0. then infinity else Float.log2 (Fixed.max_value fmt /. w)
+
+let min_safe_total_bits fmt t =
+  let w = worst_magnitude t in
+  let rec go tb =
+    if tb > 63 then None
+    else if w <= Fixed.max_value (Fixed.format ~frac_bits:fmt.Fixed.frac_bits ~total_bits:tb)
+    then Some tb
+    else go (tb + 1)
+  in
+  go (max 2 (fmt.Fixed.frac_bits + 1))
+
+let pp ppf t =
+  Format.fprintf ppf "%a (+/- %g quantization)" Interval.pp t.value t.err

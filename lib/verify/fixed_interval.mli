@@ -1,0 +1,63 @@
+(** Abstract domain for fixed-point datapaths: a value interval paired
+    with an accumulated quantization-error bound.
+
+    The machine converts each real-arithmetic term to fixed point
+    (round-to-nearest, half-a-resolution error) and then accumulates
+    {e exactly}; an element [{ value; err }] over-approximates both the
+    real value a signal can take ([value], in physical units) and how far
+    the fixed-point representation can have drifted from it ([err]).
+    Saturation analysis asks whether [|value| + err] can reach the
+    format's representable maximum — the error bound matters because a
+    datapath at the edge of its range can be pushed over it by rounding
+    alone.
+
+    Soundness mirrors {!Interval}: every operation's result contains every
+    (fixed-point value, error) pair reachable from operands drawn from the
+    operand elements. *)
+
+type t = {
+  value : Interval.t;  (** bounds of the ideal real value, physical units *)
+  err : float;  (** bound on |fixed-point value - ideal value| *)
+}
+
+(** An exactly-known real quantity (no fixed-point error yet). *)
+val exact : Interval.t -> t
+
+(** [of_magnitude m] is the symmetric element [[-|m|, |m|]] with no error. *)
+val of_magnitude : float -> t
+
+(** One round-to-nearest conversion into [fmt]: adds half a resolution to
+    the error bound. Fixed-point {e addition} is exact, so conversion and
+    multiplication are the only error sources. *)
+val quantize : Mdsp_util.Fixed.format -> t -> t
+
+(** Exact fixed-point addition: values add, error bounds add. *)
+val add : t -> t -> t
+
+val neg : t -> t
+
+(** Fixed-point product rounded into [fmt]: propagates both operands'
+    errors through the product and adds the rounding step. *)
+val mul : Mdsp_util.Fixed.format -> t -> t -> t
+
+(** [repeat_add ~count t] bounds an accumulator fed [count] terms each
+    drawn from [t] — the per-atom force and whole-system energy
+    accumulators. *)
+val repeat_add : count:int -> t -> t
+
+(** [mag value + err]: the magnitude the fixed-point signal can reach. *)
+val worst_magnitude : t -> float
+
+(** True when the worst-case magnitude is representable in [fmt] — the
+    accumulator provably cannot saturate. *)
+val fits : Mdsp_util.Fixed.format -> t -> bool
+
+(** [log2 (max_value fmt / worst_magnitude t)]: headroom in bits; negative
+    when saturation is possible, infinite for an identically-zero signal. *)
+val margin_bits : Mdsp_util.Fixed.format -> t -> float
+
+(** Smallest [total_bits] (same fractional bits) that would make the
+    element fit, or [None] if even 63 bits cannot hold it. *)
+val min_safe_total_bits : Mdsp_util.Fixed.format -> t -> int option
+
+val pp : Format.formatter -> t -> unit

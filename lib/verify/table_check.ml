@@ -37,10 +37,10 @@ let source_finite_on table radial =
 
 (* Re-derive each block's shared power-of-two exponent exactly as
    Interp_table.quantize_block does and prove every mantissa fits the
-   coefficient format without saturating: of_float_exn raises where
-   of_float would silently clamp. *)
+   table's own coefficient format without saturating: of_float_exn raises
+   where of_float would silently clamp. *)
 let quantization_failure table =
-  let fmt = It.coeff_format in
+  let fmt = It.format_of table in
   let bad = ref None in
   Array.iteri
     (fun i block ->

@@ -15,19 +15,34 @@ test -s /tmp/mdsp-timings.json
 grep -q 'e21\.lr_spread_serial_us' /tmp/mdsp-timings.json
 
 # Verification gate: interval-analyze every built-in kernel, check every
-# compiled table's domain/fit/quantization, and race-sanitize all parallel
-# phases at 1/2/4 slots. Must exit 0 on a clean tree with per-check JSON
+# compiled table's domain/fit/quantization, race-sanitize all parallel
+# phases at 1/2/4 slots, and certify the fixed-point datapaths for the
+# registered envelopes. Must exit 0 on a clean tree with per-check JSON
 # verdicts; --seed-hazard must fail (the analyzer self-test).
-dune exec bin/mdsp.exe -- check --json /tmp/mdsp-verify.json
+dune exec bin/mdsp.exe -- check --datapath --json /tmp/mdsp-verify.json
 test -s /tmp/mdsp-verify.json
 grep -q '"verify\.ok": 1' /tmp/mdsp-verify.json
 grep -q '"kernel\.flat_bottom": 1' /tmp/mdsp-verify.json
 grep -q '"table\.lj": 1' /tmp/mdsp-verify.json
 grep -q '"sanitize\.slots4": 1' /tmp/mdsp-verify.json
+grep -q '"datapath\.water\.ok": 1' /tmp/mdsp-verify.json
+grep -q '"datapath\.water\.force_format": 1' /tmp/mdsp-verify.json
+grep -q '"datapath\.water\.coeff_format": 1' /tmp/mdsp-verify.json
 if dune exec bin/mdsp.exe -- check --seed-hazard --slots 1 >/dev/null 2>&1; then
   echo "ci: mdsp check --seed-hazard unexpectedly passed" >&2
   exit 1
 fi
+
+# Datapath certifier self-test: a deliberately narrowed force format must
+# be rejected, with the offending accumulators named in the JSON verdicts.
+if dune exec bin/mdsp.exe -- check --seed-narrow --slots 1 \
+    --json /tmp/mdsp-verify-narrow.json >/dev/null 2>&1; then
+  echo "ci: mdsp check --seed-narrow unexpectedly passed" >&2
+  exit 1
+fi
+grep -q '"datapath\.water\[narrow32\]\.ok": 0' /tmp/mdsp-verify-narrow.json
+grep -q '"datapath\.water\[narrow32\]\.force_format": 0' /tmp/mdsp-verify-narrow.json
+grep -q '"datapath\.water\.ok": 1' /tmp/mdsp-verify-narrow.json
 
 # Ensemble smoke: the sharded-REMD CLI path end to end, then e22 with its
 # JSON dump — e22 also asserts sharded ≡ sequential bitwise internally.

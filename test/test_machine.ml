@@ -24,7 +24,7 @@ let linear_table ~quantize =
         [| 2. *. base; 2.; 0.; 0. |])
   in
   Interp_table.make ~r_min ~r_cut ~n ~quantize ~energy_coeffs:e_coeffs
-    ~force_coeffs:f_coeffs
+    ~force_coeffs:f_coeffs ()
 
 let test_interp_table_exact_polynomial () =
   let t = linear_table ~quantize:false in
@@ -59,13 +59,13 @@ let test_interp_table_validation () =
     (Invalid_argument "Interp_table.make: n must be positive") (fun () ->
       ignore
         (Interp_table.make ~r_min:1. ~r_cut:2. ~n:0 ~quantize:false
-           ~energy_coeffs:[||] ~force_coeffs:[||]));
+           ~energy_coeffs:[||] ~force_coeffs:[||] ()));
   Alcotest.check_raises "bad range"
     (Invalid_argument "Interp_table.make: need 0 <= r_min < r_cut") (fun () ->
       ignore
         (Interp_table.make ~r_min:3. ~r_cut:2. ~n:1 ~quantize:false
            ~energy_coeffs:[| [| 0.; 0.; 0.; 0. |] |]
-           ~force_coeffs:[| [| 0.; 0.; 0.; 0. |] |]))
+           ~force_coeffs:[| [| 0.; 0.; 0.; 0. |] |] ()))
 
 let test_interp_table_sram () =
   let t = linear_table ~quantize:true in
@@ -126,21 +126,23 @@ let test_htis_determinism_under_permutation () =
   let box = sys.Mdsp_workload.Workloads.box in
   let pos = sys.Mdsp_workload.Workloads.positions in
   let nlist = Mdsp_space.Neighbor_list.create ~cutoff ~skin:1. box pos in
-  let f0, e0 = Htis.compute_forces ts ~types ~charges ~cutoff box nlist pos in
+  let r0 = Htis.compute_forces ts ~types ~charges ~cutoff box nlist pos in
+  Alcotest.(check int) "no silent saturation" 0 r0.Htis.saturations;
   let np = Mdsp_space.Neighbor_list.length nlist in
   let rng = Rng.create 81 in
   for _ = 1 to 5 do
     let perm = Array.init np Fun.id in
     Rng.shuffle rng perm;
-    let f, e =
+    let r =
       Htis.compute_forces ~perm ts ~types ~charges ~cutoff box nlist pos
     in
-    check_true "energy bitwise equal" (e = e0);
+    check_true "energy bitwise equal" (r.Htis.energy = r0.Htis.energy);
+    Alcotest.(check int) "no silent saturation" 0 r.Htis.saturations;
     Array.iteri
       (fun i v ->
-        if v <> f0.(i) then
+        if v <> r0.Htis.forces.(i) then
           Alcotest.failf "force %d differs under permutation" i)
-      f
+      r.Htis.forces
   done
 
 let test_htis_float_accumulation_is_order_dependent () =
@@ -225,17 +227,18 @@ let test_machine_sim_parallel_determinism () =
   let pos = sys.Mdsp_workload.Workloads.positions in
   let nlist = Mdsp_space.Neighbor_list.create ~cutoff ~skin:1. box pos in
   (* Single-stream reference. *)
-  let f1, e1 = Htis.compute_forces ts ~types ~charges ~cutoff box nlist pos in
+  let r1 = Htis.compute_forces ts ~types ~charges ~cutoff box nlist pos in
   (* Decomposed across several torus sizes: bitwise identical. *)
   List.iter
     (fun nodes ->
       let r =
         Machine_sim.compute ~nodes ts ~types ~charges ~cutoff box nlist pos
       in
-      check_true "energy bitwise equal" (r.Machine_sim.energy = e1);
+      check_true "energy bitwise equal" (r.Machine_sim.energy = r1.Htis.energy);
+      Alcotest.(check int) "no silent saturation" 0 r.Machine_sim.saturations;
       Array.iteri
         (fun i v ->
-          if v <> f1.(i) then
+          if v <> r1.Htis.forces.(i) then
             Alcotest.failf "parallel forces differ at atom %d" i)
         r.Machine_sim.forces;
       check_true "pair conservation"
@@ -265,15 +268,16 @@ let prop_machine_sim_any_nodes =
       let box = sys.Mdsp_workload.Workloads.box in
       let pos = sys.Mdsp_workload.Workloads.positions in
       let nlist = Mdsp_space.Neighbor_list.create ~cutoff ~skin:1. box pos in
-      let f1, e1 =
+      let r1 =
         Htis.compute_forces ts ~types ~charges ~cutoff box nlist pos
       in
       let r =
         Machine_sim.compute ~nodes:(px, py, pz) ts ~types ~charges ~cutoff box
           nlist pos
       in
-      r.Machine_sim.energy = e1
-      && Array.for_all2 ( = ) r.Machine_sim.forces f1)
+      r.Machine_sim.energy = r1.Htis.energy
+      && r.Machine_sim.saturations = 0
+      && Array.for_all2 ( = ) r.Machine_sim.forces r1.Htis.forces)
 
 let test_table_sram_budget () =
   let cfg = Config.anton_like () in

@@ -240,6 +240,71 @@ let test_fixed_bad_format () =
     (Invalid_argument "Fixed.format: total_bits must be in [2, 63]")
     (fun () -> ignore (Fixed.format ~frac_bits:10 ~total_bits:64))
 
+(* Random formats with 4-24 fractional and 4-20 integer bits — wide enough
+   to be useful, narrow enough that the saturating paths get exercised. *)
+let fixed_fmt_gen =
+  QCheck.(
+    map
+      (fun (frac, extra) -> Fixed.format ~frac_bits:frac ~total_bits:(frac + extra))
+      (pair (int_range 4 24) (int_range 4 20)))
+
+let prop_fixed_roundtrip_error =
+  qtest "round-trip error is at most the quantization error"
+    QCheck.(pair fixed_fmt_gen (float_range (-1000.) 1000.))
+    (fun (fmt, x) ->
+      (* out-of-range values clamp (covered by the saturation property) *)
+      abs_float x >= Fixed.max_value fmt
+      || abs_float (Fixed.quantize fmt x -. x)
+         <= Fixed.quantization_error fmt +. 1e-12)
+
+let prop_fixed_of_float_saturates =
+  qtest "of_float clamps out-of-range values to the format extremes"
+    QCheck.(pair fixed_fmt_gen (float_range 1.5 1e6))
+    (fun (fmt, mult) ->
+      let m = Fixed.max_value fmt in
+      let hi, sat_hi = Fixed.of_float_checked fmt (m *. mult) in
+      let lo, sat_lo = Fixed.of_float_checked fmt (-.m *. mult) in
+      sat_hi && sat_lo
+      && Fixed.to_float fmt hi = m
+      && Fixed.to_float fmt lo <= -.m
+      && not (snd (Fixed.of_float_checked fmt (m /. 2.))))
+
+let prop_fixed_sum_order_independent =
+  qtest "fixed sum is independent of accumulation order"
+    QCheck.(pair (list_of_size (Gen.int_range 0 64) (float_range (-50.) 50.))
+              (int_range 0 1000))
+    (fun (xs, seed) ->
+      let fmt = Fixed.force_format in
+      let a = Array.of_list xs in
+      let b = Array.copy a in
+      Rng.shuffle (Rng.create seed) b;
+      Fixed.sum fmt a = Fixed.sum fmt b)
+
+let prop_fixed_add_monotone =
+  (* Saturating addition keeps order: clamping both ends of the range
+     cannot swap a <= b. The narrow format makes the clamp actually fire. *)
+  qtest "saturating add is monotone under clamping"
+    QCheck.(triple (float_range (-1e5) 1e5) (float_range (-1e5) 1e5)
+              (float_range (-1e5) 1e5))
+    (fun (c, a, b) ->
+      let fmt = Fixed.format ~frac_bits:8 ~total_bits:20 in
+      let a, b = if a <= b then (a, b) else (b, a) in
+      let qc = Fixed.of_float fmt c in
+      let r1 = Fixed.add fmt qc (Fixed.of_float fmt a) in
+      let r2 = Fixed.add fmt qc (Fixed.of_float fmt b) in
+      Int64.compare r1 r2 <= 0)
+
+let prop_fixed_add_checked_flag =
+  qtest "add_checked flags exactly the unrepresentable sums"
+    QCheck.(pair (float_range (-5e3) 5e3) (float_range (-5e3) 5e3))
+    (fun (a, b) ->
+      let fmt = Fixed.format ~frac_bits:8 ~total_bits:20 in
+      let qa = Fixed.of_float fmt a and qb = Fixed.of_float fmt b in
+      let s, sat = Fixed.add_checked fmt qa qb in
+      let exact = Fixed.to_float fmt qa +. Fixed.to_float fmt qb in
+      if sat then abs_float exact > Fixed.max_value fmt
+      else Fixed.to_float fmt s = exact)
+
 (* --- Poly --- *)
 
 let test_poly_eval () =
@@ -469,6 +534,11 @@ let () =
             test_fixed_sum_order_independent;
           Alcotest.test_case "bad format" `Quick test_fixed_bad_format;
           prop_fixed_add_exact;
+          prop_fixed_roundtrip_error;
+          prop_fixed_of_float_saturates;
+          prop_fixed_sum_order_independent;
+          prop_fixed_add_monotone;
+          prop_fixed_add_checked_flag;
         ] );
       ( "poly",
         [

@@ -233,7 +233,7 @@ let test_table_quantization_audit () =
   in
   let table =
     Mdsp_machine.Interp_table.make ~r_min:2. ~r_cut:9. ~n:4 ~quantize:false
-      ~energy_coeffs:(coeffs true) ~force_coeffs:(coeffs false)
+      ~energy_coeffs:(coeffs true) ~force_coeffs:(coeffs false) ()
   in
   let radial _ = (1e-3, 1e-3) in
   let r = TC.check ~name:"inf-coeff" ~table ~radial () in
@@ -328,8 +328,125 @@ let test_phases_race_free () =
 
 (* --- the registry --- *)
 
+(* --- fixed-point datapath certifier --- *)
+
+module FC = Mdsp_verify.Fixed_check
+module FI = Mdsp_verify.Fixed_interval
+module Fixed = Mdsp_util.Fixed
+
+let water_env = lazy (List.hd (Check.builtin_envelopes ()))
+
+let test_fixed_interval_domain () =
+  let fmt = Mdsp_util.Fixed.format ~frac_bits:10 ~total_bits:24 in
+  let qerr = Fixed.quantization_error fmt in
+  let a = FI.quantize fmt (FI.of_magnitude 3.) in
+  check_float "quantize adds half a resolution" qerr a.FI.err;
+  let s = FI.add a a in
+  check_float "errors add through addition" (2. *. qerr) s.FI.err;
+  let r = FI.repeat_add ~count:100 a in
+  check_true "repeat_add scales value and error"
+    (FI.worst_magnitude r >= 300. && r.FI.err = 100. *. qerr);
+  check_true "fits the 24-bit format" (FI.fits fmt r);
+  check_true "positive margin" (FI.margin_bits fmt r > 0.);
+  let m = FI.of_magnitude 100. in
+  match FI.min_safe_total_bits fmt m with
+  | None -> Alcotest.fail "expected a finite safe width"
+  | Some tb ->
+      check_true "reported width fits"
+        (FI.fits (Fixed.format ~frac_bits:10 ~total_bits:tb) m);
+      check_true "one bit fewer does not"
+        (tb <= 11
+        || not (FI.fits (Fixed.format ~frac_bits:10 ~total_bits:(tb - 1)) m))
+
+let test_datapath_water_proved () =
+  let r = FC.certify (Lazy.force water_env) in
+  check_true "water datapath proved safe" (FC.proved r);
+  List.iter
+    (fun name ->
+      check_true (name ^ " proved") (FC.format_ok r name);
+      check_true
+        (Printf.sprintf "%s margin %.2f >= 1 bit" name (FC.format_margin r name))
+        (FC.format_margin r name >= 1.))
+    (FC.format_names r);
+  check_true "certificate covers all four formats"
+    (List.sort compare (FC.format_names r)
+    = List.sort compare
+        [ "force_format"; "energy_format"; "position_format"; "coeff_format" ]);
+  check_true "every accumulator row has a finite worst case"
+    (List.for_all
+       (fun a -> Float.is_finite a.FC.worst && a.FC.worst >= 0.)
+       r.FC.accs)
+
+let test_datapath_narrow_flagged () =
+  let env = Lazy.force water_env in
+  let r = FC.certify ~format:Check.narrow_format env in
+  check_true "narrow format rejected" (not (FC.proved r));
+  check_true "force format flagged" (not (FC.format_ok r "force_format"));
+  check_true "position datapath unaffected by the force narrowing"
+    (FC.format_ok r "position_format");
+  let acc =
+    List.find
+      (fun a -> a.FC.acc = "HTIS per-atom component accumulator")
+      r.FC.accs
+  in
+  check_true "per-atom accumulator row unsafe" (not acc.FC.safe);
+  check_true "negative margin" (acc.FC.margin_bits < 0.);
+  (* the verdict is actionable: the reported minimal width really is
+     minimal — certifying at that width clears the row, one bit fewer
+     does not *)
+  match acc.FC.min_safe_bits with
+  | None -> Alcotest.fail "expected a minimal safe width"
+  | Some bits ->
+      check_true "minimal width at most the default 48" (bits <= 48);
+      let row_at tb =
+        let f = { Check.narrow_format with Fixed.total_bits = tb } in
+        let r = FC.certify ~format:f env in
+        List.find (fun a -> a.FC.acc = acc.FC.acc) r.FC.accs
+      in
+      check_true "reported width is safe" (row_at bits).FC.safe;
+      check_true "one bit fewer is not" (not (row_at (bits - 1)).FC.safe)
+
+let test_datapath_runtime_cross_check () =
+  let env = Lazy.force water_env in
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:2 () in
+  let topo = sys.Mdsp_workload.Workloads.topo in
+  let types =
+    Array.map
+      (fun (a : Mdsp_ff.Topology.atom) -> a.Mdsp_ff.Topology.type_id)
+      topo.Mdsp_ff.Topology.atoms
+  in
+  let charges = Mdsp_ff.Topology.charges topo in
+  let box = sys.Mdsp_workload.Workloads.box in
+  let pos = sys.Mdsp_workload.Workloads.positions in
+  let cutoff = env.FC.cutoff in
+  let nlist = Mdsp_space.Neighbor_list.create ~cutoff ~skin:1. box pos in
+  let run format =
+    Mdsp_machine.Htis.compute_forces ~format env.FC.tables ~types ~charges
+      ~cutoff box nlist pos
+  in
+  (* The certified direction: the format the certifier proves safe runs
+     with a clean saturation counter, on both execution paths. *)
+  check_true "default format proved" (FC.proved (FC.certify env));
+  let r = run Fixed.force_format in
+  Alcotest.(check int) "proved-safe run is clean" 0 r.Mdsp_machine.Htis.saturations;
+  let rm =
+    Mdsp_machine.Machine_sim.compute ~nodes:env.FC.nodes env.FC.tables ~types
+      ~charges ~cutoff box nlist pos
+  in
+  Alcotest.(check int) "proved-safe machine-sim run is clean" 0
+    rm.Mdsp_machine.Machine_sim.saturations;
+  (* The other direction: a format the certifier rejects — narrow enough
+     that the real configuration (not just the adversarial worst case)
+     overflows — must trip the runtime counter. *)
+  let tiny = { Fixed.force_format with Fixed.total_bits = 26 } in
+  check_true "certifier rejects the tiny format"
+    (not (FC.proved (FC.certify ~format:tiny env)));
+  let r = run tiny in
+  check_true "tiny-format run actually saturates"
+    (r.Mdsp_machine.Htis.saturations > 0)
+
 let test_registry_end_to_end () =
-  let s = Check.run ~seed_hazard:true ~slots:[ 2 ] () in
+  let s = Check.run ~seed_hazard:true ~seed_narrow:true ~slots:[ 2 ] () in
   check_true "seeded summary fails" (not (Check.ok s));
   check_true "only the seeded kernel fails"
     (List.for_all
@@ -340,6 +457,11 @@ let test_registry_end_to_end () =
     (List.for_all TC.report_ok s.Check.tables);
   check_true "sanitizer clean"
     (List.for_all (fun r -> r.Check.failure = None) s.Check.sanitize);
+  check_true "only the narrowed datapath fails"
+    (List.for_all
+       (fun (r : FC.report) ->
+         FC.proved r = (r.FC.workload = "water"))
+       s.Check.datapath);
   let json = Check.to_json s in
   let has sub = contains_sub ~sub json in
   check_true "json verdict keys"
@@ -347,7 +469,11 @@ let test_registry_end_to_end () =
     && has "\"kernel.seeded_hazard\": 0"
     && has "\"kernel.flat_bottom\": 1"
     && has "\"table.lj\": 1"
-    && has "\"sanitize.slots2\": 1")
+    && has "\"sanitize.slots2\": 1"
+    && has "\"datapath.water.ok\": 1"
+    && has "\"datapath.water.force_format\": 1"
+    && has "\"datapath.water[narrow32].ok\": 0"
+    && has "\"datapath.water[narrow32].force_format\": 0")
 
 let () =
   Alcotest.run "verify"
@@ -403,6 +529,17 @@ let () =
             test_map_slots_sanitized;
           Alcotest.test_case "force phases race-free at 1/2/4 slots" `Quick
             test_phases_race_free;
+        ] );
+      ( "datapath",
+        [
+          Alcotest.test_case "fixed-interval abstract domain" `Quick
+            test_fixed_interval_domain;
+          Alcotest.test_case "water datapath proved safe" `Quick
+            test_datapath_water_proved;
+          Alcotest.test_case "narrowed format flagged with minimal width"
+            `Quick test_datapath_narrow_flagged;
+          Alcotest.test_case "static verdicts match runtime saturation"
+            `Quick test_datapath_runtime_cross_check;
         ] );
       ( "registry",
         [
