@@ -184,21 +184,29 @@ let e21 () =
       thermostat = Mdsp_md.Engine.Langevin { gamma_fs = 0.02 };
     }
   in
-  let measure exec =
-    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:42 ~exec sys in
+  let measure ?(soa = false) exec =
+    let eng =
+      Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:42 ~exec ~soa sys
+    in
     Mdsp_md.Engine.run eng 2;
     (* measure from a warm neighbor list *)
     Mdsp_md.Engine.reset_timings eng;
+    let w0 = Gc.minor_words () in
     Mdsp_md.Engine.run eng steps;
+    let w1 = Gc.minor_words () in
     let pairs =
       Mdsp_space.Neighbor_list.length
         (FC.nlist (Mdsp_md.Engine.force_calc eng))
     in
-    (Mdsp_md.Engine.timings eng, pairs)
+    (Mdsp_md.Engine.timings eng, pairs, (w1 -. w0) /. float_of_int steps)
   in
-  let tm_serial, npairs = measure X.serial in
+  let tm_serial, npairs, words_boxed = measure X.serial in
   let pool = X.create (X.Domains { n = ndomains }) in
-  let tm_par, _ = measure pool in
+  let tm_par, _, _ = measure pool in
+  X.shutdown pool;
+  let tm_soa, _, words_soa = measure ~soa:true X.serial in
+  let pool = X.create (X.Domains { n = ndomains }) in
+  let tm_soa_par, _, _ = measure ~soa:true pool in
   X.shutdown pool;
   let ps = FC.timings_per_call tm_serial and pp = FC.timings_per_call tm_par in
   let t =
@@ -229,8 +237,46 @@ let e21 () =
   phase "bonded (flex)" ps.bonded_s pp.bonded_s;
   phase "long-range" ps.longrange_s pp.longrange_s;
   phase "neighbor rebuild" ps.neighbor_s pp.neighbor_s;
+  phase "  nbuild (tiled)" ps.nbuild_s pp.nbuild_s;
   phase "total" (timings_total ps) (timings_total pp);
   T.print t;
+  (* The flat (SoA) hot path against the boxed reference kernels on the
+     same workload: bitwise-identical results (test_parallel proves it),
+     so any pair-phase delta is pure data-layout/allocation effect. The
+     serial SoA pair window is Gc-metered and must not allocate. *)
+  let ss = FC.timings_per_call tm_soa and sp = FC.timings_per_call tm_soa_par in
+  let t_soa =
+    T.create
+      ~title:"flat (SoA) hot path vs boxed kernels, same workload"
+      ~columns:
+        [
+          ("phase", T.Left);
+          ("boxed serial (us)", T.Right);
+          ("SoA serial (us)", T.Right);
+          ("SoA speedup", T.Right);
+          (Printf.sprintf "SoA %d domains (us)" ndomains, T.Right);
+        ]
+  in
+  let soa_phase name a b c =
+    T.row t_soa
+      [
+        name;
+        T.cell_f ~prec:1 (a *. 1e6);
+        T.cell_f ~prec:1 (b *. 1e6);
+        (if b > 0. then Printf.sprintf "%.2fx" (a /. b) else "-");
+        T.cell_f ~prec:1 (c *. 1e6);
+      ]
+  in
+  soa_phase "pair (pipelines)" ps.pair_s ss.pair_s sp.pair_s;
+  soa_phase "bonded (flex)" ps.bonded_s ss.bonded_s sp.bonded_s;
+  soa_phase "total" (timings_total ps) (timings_total ss)
+    (timings_total sp);
+  T.print t_soa;
+  let soa_pair_words = ss.pair_words in
+  note
+    "allocation: %.0f minor words/step boxed vs %.0f SoA (pair window: %.0f\n\
+     words/step — the flat loops allocate nothing once warm).\n"
+    words_boxed words_soa soa_pair_words;
   let pair_speedup = ps.pair_s /. Float.max 1e-12 pp.pair_s in
   let cores = X.recommended_domains () in
   if cores < ndomains then
@@ -248,6 +294,15 @@ let e21 () =
   record "e21.step_serial_us" (timings_total ps *. 1e6);
   record (Printf.sprintf "e21.step_domains%d_us" ndomains)
     (timings_total pp *. 1e6);
+  record "e21.nbuild_serial_us" (ps.nbuild_s *. 1e6);
+  record "e21.pair_soa_serial_us" (ss.pair_s *. 1e6);
+  record
+    (Printf.sprintf "e21.pair_soa_domains%d_us" ndomains)
+    (sp.pair_s *. 1e6);
+  record "e21.soa_pair_speedup" (ps.pair_s /. Float.max 1e-12 ss.pair_s);
+  record "e21.soa_pair_minor_words_per_step" soa_pair_words;
+  record "e21.step_minor_words_boxed" words_boxed;
+  record "e21.step_minor_words_soa" words_soa;
   (* The GSE grid pipeline — the stage the machine backs with dedicated
      long-range hardware: a charged water box with grid electrostatics,
      serial vs domains, broken into spread/fft/convolve/gather. *)

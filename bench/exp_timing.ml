@@ -51,6 +51,36 @@ let test_pair_table =
               sys.Mdsp_workload.Workloads.box nlist
               sys.Mdsp_workload.Workloads.positions acc)))
 
+let soa_setup =
+  lazy
+    (let sys, _, _, nlist = Lazy.force lj_setup in
+     let cutoff = 8.0 in
+     let pp =
+       match
+         Mdsp_md.Soa_kernels.pair_params_of_topology
+           sys.Mdsp_workload.Workloads.topo ~cutoff
+           ~trunc:Mdsp_ff.Nonbonded.Shift
+           ~elec:Mdsp_ff.Pair_interactions.No_coulomb
+       with
+       | Some pp -> pp
+       | None -> assert false
+     in
+     let store = Mdsp_md.Soa.create ~box:sys.Mdsp_workload.Workloads.box 500 in
+     Mdsp_md.Soa.load_positions store sys.Mdsp_workload.Workloads.positions;
+     let is, js = Mdsp_space.Neighbor_list.raw_pairs nlist in
+     let np = Mdsp_space.Neighbor_list.length nlist in
+     let sc = Mdsp_md.Soa_kernels.make_scratch () in
+     (sys, pp, store, is, js, np, sc))
+
+let test_pair_soa =
+  Test.make ~name:"pair forces: flat SoA kernel (LJ-500)"
+    (Staged.stage (fun () ->
+         let sys, pp, store, is, js, np, sc = Lazy.force soa_setup in
+         Mdsp_md.Soa.clear_forces store;
+         Mdsp_md.Soa_kernels.reset_scratch sc;
+         Mdsp_md.Soa_kernels.pair_range pp sys.Mdsp_workload.Workloads.box
+           store ~is ~js 0 np sc))
+
 let test_neighbor_rebuild =
   Test.make ~name:"neighbor-list rebuild (LJ-500)"
     (Staged.stage (fun () ->
@@ -119,6 +149,7 @@ let run () =
     [
       test_pair_analytic;
       test_pair_table;
+      test_pair_soa;
       test_neighbor_rebuild;
       test_fft;
       test_table_compile;

@@ -83,6 +83,16 @@ let gse_arg =
            plus the GSE reciprocal solver on an NxNxN grid (N a power of \
            two; 0 = off). All grid phases run on the --domains backend.")
 
+let soa_arg =
+  Arg.(
+    value & flag
+    & info [ "soa" ]
+        ~doc:
+          "Run the bonded/1-4/pair force phases on the flat \
+           structure-of-arrays fast path (bitwise identical to the boxed \
+           reference kernels; ignored when --tables replaces the \
+           evaluator).")
+
 let xyz_arg =
   Arg.(
     value & opt (some string) None
@@ -141,13 +151,18 @@ let print_timings eng =
     Printf.printf "    gather            %10.3f us\n" (per.lr_gather_s *. 1e6)
   end;
   Printf.printf "  neighbor rebuild    %10.3f us\n" (per.neighbor_s *. 1e6);
+  if per.nbuild_s > 0. then
+    Printf.printf "    nbuild            %10.3f us\n" (per.nbuild_s *. 1e6);
   Printf.printf "  total               %10.3f us\n"
-    (timings_total per *. 1e6)
+    (timings_total per *. 1e6);
+  (* The Gc meter only wraps the serial SoA pair window. *)
+  if E.soa_active eng then
+    Printf.printf "  pair alloc          %10.1f words/step\n" per.pair_words
 
 let run_cmd =
   let doc = "Run molecular dynamics on a workload and report observables." in
-  let run preset steps temp dt thermostat use_tables seed domains gse timings
-      xyz xyz_stride checkpoint restart =
+  let run preset steps temp dt thermostat use_tables seed domains gse soa
+      timings xyz xyz_stride checkpoint restart =
     let sys = build_system preset in
     let exec =
       let module X = Mdsp_util.Exec in
@@ -167,12 +182,13 @@ let run_cmd =
     let cfg = { E.default_config with dt_fs = dt; temperature = temp; thermostat } in
     let eng =
       Mdsp_workload.Workloads.make_engine ~config:cfg ?gse_grid ~seed ~exec
-        sys
+        ~soa sys
     in
     (match Mdsp_util.Exec.backend exec with
     | Mdsp_util.Exec.Serial -> ()
     | Mdsp_util.Exec.Domains { n } ->
         Printf.printf "execution backend: %d domains\n" n);
+    if E.soa_active eng then print_endline "data layout: flat (SoA) hot path";
     (match Mdsp_md.Force_calc.(longrange_kind (E.force_calc eng)) with
     | `Gse (gx, gy, gz) ->
         Printf.printf "long-range: GSE grid %dx%dx%d\n" gx gy gz
@@ -271,8 +287,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ preset_arg $ steps_arg $ temp_arg $ dt_arg $ thermostat_arg
-      $ tables_arg $ seed_arg $ domains_arg $ gse_arg $ timings_arg $ xyz_arg
-      $ xyz_stride_arg $ checkpoint_arg $ restart_arg)
+      $ tables_arg $ seed_arg $ domains_arg $ gse_arg $ soa_arg $ timings_arg
+      $ xyz_arg $ xyz_stride_arg $ checkpoint_arg $ restart_arg)
 
 (* --- ensemble --- *)
 

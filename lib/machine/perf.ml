@@ -223,6 +223,9 @@ let resource_rows b (tm : Mdsp_md.Force_calc.timings) =
       measured_s = m per.lr_gather_s;
     };
     { resource = "network"; model_s = b.comm_s; measured_s = m per.neighbor_s };
+    (* Neighbor-list sub-phase: the tiled cell-list + pair-list build slice
+       of the network row (import/export walks dominate the remainder). *)
+    { resource = "  nbuild"; model_s = b.comm_s; measured_s = m per.nbuild_s };
     { resource = "sync"; model_s = b.sync_s; measured_s = None };
     {
       resource = "step";

@@ -103,6 +103,7 @@ let state t = t.st
 let force_calc t = t.fc
 let timings t = Force_calc.timings t.fc
 let reset_timings t = Force_calc.reset_timings t.fc
+let soa_active t = Force_calc.soa_active t.fc
 let config t = t.cfg
 let rng t = t.rng
 let steps_done t = t.nsteps

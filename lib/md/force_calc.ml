@@ -40,6 +40,8 @@ type timings = {
   mutable lr_gather_s : float;
   mutable bias_s : float;
   mutable neighbor_s : float;
+  mutable nbuild_s : float;
+  mutable pair_words : float;
   mutable calls : int;
 }
 
@@ -54,6 +56,8 @@ let zero_timings () =
     lr_gather_s = 0.;
     bias_s = 0.;
     neighbor_s = 0.;
+    nbuild_s = 0.;
+    pair_words = 0.;
     calls = 0;
   }
 
@@ -74,6 +78,8 @@ let timings_per_call tm =
       lr_gather_s = tm.lr_gather_s /. c;
       bias_s = tm.bias_s /. c;
       neighbor_s = tm.neighbor_s /. c;
+      nbuild_s = tm.nbuild_s /. c;
+      pair_words = tm.pair_words /. c;
       calls = tm.calls;
     }
   end
@@ -90,6 +96,58 @@ type transform = {
   tr_apply : Pbc.t -> Vec3.t array -> Mdsp_ff.Bonded.accum -> float -> float;
 }
 
+module K = Soa_kernels
+
+(* SoA fast-path context: the flat particle store, the flattened pair
+   parameters, and the per-slot scratch for the parallel phases. Slot
+   stores share the position columns with [store] (only their force
+   columns are private), so one load serves every phase. *)
+type soa_ctx = {
+  params : K.pair_params;
+  store : Soa.t;
+  sc : K.scratch;
+  slot_stores : Soa.t array;
+  slot_fx : Soa.fa array;
+  slot_fy : Soa.fa array;
+  slot_fz : Soa.fa array;
+  slot_sc : K.scratch array;
+  (* Per-phase slot outputs, preallocated; every slot overwrites its entry
+     before any read, matching the boxed path's fresh arrays bit for bit. *)
+  slot_energy : float array;
+  slot_virial : float array;
+  eb : float array;
+  ea : float array;
+  ed : float array;
+}
+
+let make_soa_ctx ~ns params natoms =
+  let store = Soa.create natoms in
+  let nslots = if ns > 1 then ns else 0 in
+  let slot_stores =
+    Array.init nslots (fun _ ->
+        {
+          store with
+          Soa.fx = Soa.make_fa natoms;
+          Soa.fy = Soa.make_fa natoms;
+          Soa.fz = Soa.make_fa natoms;
+        })
+  in
+  {
+    params;
+    store;
+    sc = K.make_scratch ();
+    slot_stores;
+    slot_fx = Array.map (fun s -> s.Soa.fx) slot_stores;
+    slot_fy = Array.map (fun s -> s.Soa.fy) slot_stores;
+    slot_fz = Array.map (fun s -> s.Soa.fz) slot_stores;
+    slot_sc = Array.init nslots (fun _ -> K.make_scratch ());
+    slot_energy = Array.make (max nslots 1) 0.;
+    slot_virial = Array.make (max nslots 1) 0.;
+    eb = Array.make (max nslots 1) 0.;
+    ea = Array.make (max nslots 1) 0.;
+    ed = Array.make (max nslots 1) 0.;
+  }
+
 type t = {
   topo : Mdsp_ff.Topology.t;
   mutable evaluator : Mdsp_ff.Pair_interactions.evaluator;
@@ -105,11 +163,13 @@ type t = {
      on beta (self) or on the box passed per call (excluded), so the handle
      never goes stale even under a barostat. *)
   mutable gse_ewald : Mdsp_longrange.Ewald.t option;
+  mutable soa : soa_ctx option;
   tm : timings;
 }
 
-let create ?(exec = Exec.serial) topo ~evaluator ~longrange ~nlist =
+let create ?(exec = Exec.serial) ?soa topo ~evaluator ~longrange ~nlist =
   let ns = Exec.n_slots exec in
+  let natoms = Mdsp_ff.Topology.n_atoms topo in
   {
     topo;
     evaluator;
@@ -120,10 +180,12 @@ let create ?(exec = Exec.serial) topo ~evaluator ~longrange ~nlist =
     charges = Mdsp_ff.Topology.charges topo;
     exec;
     slots =
-      (if ns > 1 then
-         Mdsp_ff.Bonded.make_slots ~slots:ns (Mdsp_ff.Topology.n_atoms topo)
-       else [||]);
+      (if ns > 1 then Mdsp_ff.Bonded.make_slots ~slots:ns natoms else [||]);
     gse_ewald = None;
+    soa =
+      (match soa with
+      | None -> None
+      | Some params -> Some (make_soa_ctx ~ns params natoms));
     tm = zero_timings ();
   }
 
@@ -136,7 +198,13 @@ let longrange_kind t =
   | Lr_none -> `None
   | Lr_ewald _ -> `Ewald
   | Lr_gse gse -> `Gse (Mdsp_longrange.Gse.grid gse)
-let set_evaluator t e = t.evaluator <- e
+(* A replaced evaluator (tables, FEP lambdas, custom forms) has no flat
+   specialization, so swapping it drops the SoA fast path back to boxed. *)
+let set_evaluator t e =
+  t.evaluator <- e;
+  t.soa <- None
+
+let soa_active t = match t.soa with Some _ -> true | None -> false
 let add_bias t b = t.biases_rev <- b :: t.biases_rev
 
 let remove_bias t name =
@@ -159,6 +227,8 @@ let reset_timings t =
   t.tm.lr_gather_s <- 0.;
   t.tm.bias_s <- 0.;
   t.tm.neighbor_s <- 0.;
+  t.tm.nbuild_s <- 0.;
+  t.tm.pair_words <- 0.;
   t.tm.calls <- 0
 
 let compute_biases t box positions acc =
@@ -217,12 +287,223 @@ let timed add f =
   add (now () -. t0);
   r
 
-let compute t box positions acc =
-  Mdsp_ff.Bonded.reset acc;
+(* Neighbor refresh, charged to [neighbor_s]; the slice actually spent
+   inside the tiled list build (the [nbuild] sub-phase) is the delta of the
+   list's own cumulative build clock. *)
+let rebuild_timed t box positions =
   let tm = t.tm in
+  let nb0 = Mdsp_space.Neighbor_list.build_seconds t.nlist in
   ignore
     (timed (fun d -> tm.neighbor_s <- tm.neighbor_s +. d) (fun () ->
          Mdsp_space.Neighbor_list.maybe_rebuild ~box t.nlist positions));
+  tm.nbuild_s <-
+    tm.nbuild_s +. (Mdsp_space.Neighbor_list.build_seconds t.nlist -. nb0)
+
+(* --- SoA fast path -------------------------------------------------- *)
+
+(* Phase mirror of Bonded.all on the flat store: same serial/parallel
+   split, same per-term tilings, declares and reduction, so both the
+   sanitizer view and the accumulated bits match the boxed path. *)
+let soa_bonded t ctx box =
+  let topo = t.topo in
+  let ns = Exec.n_slots t.exec in
+  let store = ctx.store in
+  let sc = ctx.sc in
+  let nb = Array.length topo.Mdsp_ff.Topology.bonds in
+  let na = Array.length topo.Mdsp_ff.Topology.angles in
+  let nd = Array.length topo.Mdsp_ff.Topology.dihedrals in
+  let ni = Array.length topo.Mdsp_ff.Topology.impropers in
+  if ns = 1 || Mdsp_ff.Bonded.term_count topo = 0 then begin
+    sc.K.energy <- 0.;
+    K.bonds_range box topo store 0 nb sc;
+    let eb = sc.K.energy in
+    sc.K.energy <- 0.;
+    K.angles_range box topo store 0 na sc;
+    let ea = sc.K.energy in
+    sc.K.energy <- 0.;
+    K.dihedrals_range box topo store 0 nd sc;
+    let e_d = sc.K.energy in
+    sc.K.energy <- 0.;
+    K.impropers_range box topo store 0 ni sc;
+    (eb, ea, e_d +. sc.K.energy)
+  end
+  else begin
+    let b_tiles = Exec.tile_bounds ~total:nb ~ntiles:ns in
+    let a_tiles = Exec.tile_bounds ~total:na ~ntiles:ns in
+    let d_tiles = Exec.tile_bounds ~total:nd ~ntiles:ns in
+    let i_tiles = Exec.tile_bounds ~total:ni ~ntiles:ns in
+    let eb = ctx.eb and ea = ctx.ea and ed = ctx.ed in
+    Exec.parallel_run t.exec (fun s ->
+        let sst = ctx.slot_stores.(s) in
+        Soa.clear_forces sst;
+        let ssc = ctx.slot_sc.(s) in
+        K.reset_scratch ssc;
+        let declare resource tiles total =
+          let lo, hi = tiles in
+          Exec.declare_write ~slot:s ~resource ~total ~lo ~hi t.exec
+        in
+        declare "bonded.bonds" b_tiles.(s) nb;
+        declare "bonded.angles" a_tiles.(s) na;
+        declare "bonded.dihedrals" d_tiles.(s) nd;
+        declare "bonded.impropers" i_tiles.(s) ni;
+        let lo, hi = b_tiles.(s) in
+        ssc.K.energy <- 0.;
+        K.bonds_range box topo sst lo hi ssc;
+        eb.(s) <- ssc.K.energy;
+        let lo, hi = a_tiles.(s) in
+        ssc.K.energy <- 0.;
+        K.angles_range box topo sst lo hi ssc;
+        ea.(s) <- ssc.K.energy;
+        let lo, hi = d_tiles.(s) in
+        ssc.K.energy <- 0.;
+        K.dihedrals_range box topo sst lo hi ssc;
+        let e_d = ssc.K.energy in
+        let lo, hi = i_tiles.(s) in
+        ssc.K.energy <- 0.;
+        K.impropers_range box topo sst lo hi ssc;
+        ed.(s) <- e_d +. ssc.K.energy;
+        ctx.slot_virial.(s) <- ssc.K.virial);
+    K.reduce_slots ~exec:t.exec ~into:store ~slot_fx:ctx.slot_fx
+      ~slot_fy:ctx.slot_fy ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial
+      sc;
+    (Exec.sum_tree eb, Exec.sum_tree ea, Exec.sum_tree ed)
+  end
+
+(* Parallel 1-4 phase, mirror of Pair_interactions.compute_pairs14 (ns > 1
+   path). The skip condition matches the boxed one exactly. *)
+let soa_pairs14_par t ctx box =
+  let params = ctx.params in
+  if not (K.pairs14_active params) then 0.
+  else begin
+    let np = K.pairs14_count params in
+    let ns = Exec.n_slots t.exec in
+    let tiles = Exec.tile_bounds ~total:np ~ntiles:ns in
+    let energies = ctx.slot_energy in
+    Exec.parallel_run t.exec (fun s ->
+        let sst = ctx.slot_stores.(s) in
+        Soa.clear_forces sst;
+        let ssc = ctx.slot_sc.(s) in
+        K.reset_scratch ssc;
+        let lo, hi = tiles.(s) in
+        Exec.declare_write ~slot:s ~resource:"pair.pairs14" ~total:np ~lo ~hi
+          t.exec;
+        K.pairs14_range params box sst lo hi ssc;
+        energies.(s) <- ssc.K.energy;
+        ctx.slot_virial.(s) <- ssc.K.virial);
+    K.reduce_slots ~exec:t.exec ~into:ctx.store ~slot_fx:ctx.slot_fx
+      ~slot_fy:ctx.slot_fy ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial
+      ctx.sc;
+    Exec.sum_tree energies
+  end
+
+(* Parallel pair phase, mirror of Pair_interactions.compute (ns > 1). *)
+let soa_pair_par t ctx box =
+  let ns = Exec.n_slots t.exec in
+  let is, js = Mdsp_space.Neighbor_list.raw_pairs t.nlist in
+  let tiles = Mdsp_space.Neighbor_list.tiles t.nlist ~ntiles:ns in
+  let total = snd tiles.(ns - 1) in
+  let energies = ctx.slot_energy in
+  Exec.parallel_run t.exec (fun s ->
+      let sst = ctx.slot_stores.(s) in
+      Soa.clear_forces sst;
+      let ssc = ctx.slot_sc.(s) in
+      K.reset_scratch ssc;
+      let lo, hi = tiles.(s) in
+      Exec.declare_write ~slot:s ~resource:"pair.tiles" ~total ~lo ~hi t.exec;
+      K.pair_range ctx.params box sst ~is ~js lo hi ssc;
+      energies.(s) <- ssc.K.energy;
+      ctx.slot_virial.(s) <- ssc.K.virial);
+  K.reduce_slots ~exec:t.exec ~into:ctx.store ~slot_fx:ctx.slot_fx
+    ~slot_fy:ctx.slot_fy ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial
+    ctx.sc;
+  Exec.sum_tree energies
+
+(* Serial 1-4 + pair kernels with the minor-heap probe around them: the
+   window contains only unit-returning kernel calls and float-record field
+   traffic, so the LJ pair loop measures exactly zero words. Everything
+   that allocates (raw array fetch, result boxing, the timing fields) sits
+   outside the [w0, w1] window. *)
+let soa_pair_serial t ctx box ~with14 =
+  let tm = t.tm in
+  let store = ctx.store in
+  let sc = ctx.sc in
+  let params = ctx.params in
+  let is, js = Mdsp_space.Neighbor_list.raw_pairs t.nlist in
+  let npairs = Mdsp_space.Neighbor_list.length t.nlist in
+  let active14 = with14 && K.pairs14_active params in
+  let np14 = K.pairs14_count params in
+  let w0 = Gc.minor_words () in
+  sc.K.energy <- 0.;
+  if active14 then K.pairs14_range params box store 0 np14 sc;
+  let pair14 = sc.K.energy in
+  sc.K.energy <- 0.;
+  K.pair_range params box store ~is ~js 0 npairs sc;
+  let w1 = Gc.minor_words () in
+  let p = pair14 +. sc.K.energy in
+  tm.pair_words <- tm.pair_words +. (w1 -. w0);
+  p
+
+(* Load positions into the flat store and reset its accumulators; charged
+   to whichever phase runs first on the SoA path. *)
+let soa_load ctx box positions =
+  let store = ctx.store in
+  store.Soa.box <- box;
+  Soa.load_positions store positions;
+  Soa.clear_forces store;
+  K.reset_scratch ctx.sc
+
+(* Flush the flat force sums and the virial into the boxed accumulator.
+   Plain overwrite: the kernels accumulated in the boxed order, so this
+   reproduces the boxed accumulator bits at the phase boundary. The
+   longrange / bias phases then keep adding into [acc] exactly as before —
+   this is the gather/spread synchronization point. *)
+let soa_flush ctx acc =
+  Soa.scatter_forces ctx.store acc;
+  acc.Mdsp_ff.Bonded.virial <- ctx.sc.K.virial
+
+let compute_soa t ctx box positions acc =
+  Mdsp_ff.Bonded.reset acc;
+  let tm = t.tm in
+  rebuild_timed t box positions;
+  let bond, angle, dihedral =
+    timed (fun d -> tm.bonded_s <- tm.bonded_s +. d) (fun () ->
+        soa_load ctx box positions;
+        soa_bonded t ctx box)
+  in
+  let pair =
+    timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
+        let p =
+          if Exec.n_slots t.exec = 1 then
+            soa_pair_serial t ctx box ~with14:true
+          else begin
+            let pair14 = soa_pairs14_par t ctx box in
+            pair14 +. soa_pair_par t ctx box
+          end
+        in
+        soa_flush ctx acc;
+        p)
+  in
+  let recip, correction =
+    timed (fun d -> tm.longrange_s <- tm.longrange_s +. d) (fun () ->
+        compute_longrange t box positions acc)
+  in
+  let e =
+    timed (fun d -> tm.bias_s <- tm.bias_s +. d) (fun () ->
+        let bias = compute_biases t box positions acc in
+        let e = { bond; angle; dihedral; pair; recip; correction; bias } in
+        match t.transform with
+        | None -> e
+        | Some tr ->
+            let boost = tr.tr_apply box positions acc (total e) in
+            { e with bias = e.bias +. boost })
+  in
+  tm.calls <- tm.calls + 1;
+  e
+
+let compute_boxed t box positions acc =
+  Mdsp_ff.Bonded.reset acc;
+  let tm = t.tm in
+  rebuild_timed t box positions;
   let bond, angle, dihedral =
     timed (fun d -> tm.bonded_s <- tm.bonded_s +. d) (fun () ->
         Mdsp_ff.Bonded.all ~exec:t.exec ~slots:t.slots box t.topo positions
@@ -257,7 +538,68 @@ let compute t box positions acc =
   tm.calls <- tm.calls + 1;
   e
 
-let compute_class t cls box positions acc =
+let compute t box positions acc =
+  match t.soa with
+  | Some ctx -> compute_soa t ctx box positions acc
+  | None -> compute_boxed t box positions acc
+
+(* RESPA class split on the flat store, mirroring the boxed branches. *)
+let compute_class_soa t ctx cls box positions acc =
+  Mdsp_ff.Bonded.reset acc;
+  let tm = t.tm in
+  match cls with
+  | `Fast ->
+      let bond, angle, dihedral =
+        timed (fun d -> tm.bonded_s <- tm.bonded_s +. d) (fun () ->
+            soa_load ctx box positions;
+            soa_bonded t ctx box)
+      in
+      let pair14 =
+        timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
+            let p =
+              if Exec.n_slots t.exec = 1 then begin
+                let params = ctx.params in
+                let sc = ctx.sc in
+                if K.pairs14_active params then begin
+                  sc.K.energy <- 0.;
+                  K.pairs14_range params box ctx.store 0
+                    (K.pairs14_count params) sc;
+                  sc.K.energy
+                end
+                else 0.
+              end
+              else soa_pairs14_par t ctx box
+            in
+            soa_flush ctx acc;
+            p)
+      in
+      let bias =
+        timed (fun d -> tm.bias_s <- tm.bias_s +. d) (fun () ->
+            compute_biases t box positions acc)
+      in
+      { zero_energies with bond; angle; dihedral; pair = pair14; bias }
+  | `Slow ->
+      rebuild_timed t box positions;
+      let pair =
+        timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
+            soa_load ctx box positions;
+            let p =
+              if Exec.n_slots t.exec = 1 then
+                soa_pair_serial t ctx box ~with14:false
+              else soa_pair_par t ctx box
+            in
+            soa_flush ctx acc;
+            p)
+      in
+      let recip, correction =
+        timed (fun d -> tm.longrange_s <- tm.longrange_s +. d) (fun () ->
+            compute_longrange t box positions acc)
+      in
+      tm.calls <- tm.calls + 1;
+      { zero_energies with pair; recip; correction }
+
+(* Dispatch added below, after the boxed class-split body. *)
+let compute_class_boxed t cls box positions acc =
   Mdsp_ff.Bonded.reset acc;
   let tm = t.tm in
   match cls with
@@ -280,9 +622,7 @@ let compute_class t cls box positions acc =
       in
       { zero_energies with bond; angle; dihedral; pair = pair14; bias }
   | `Slow ->
-      ignore
-        (timed (fun d -> tm.neighbor_s <- tm.neighbor_s +. d) (fun () ->
-             Mdsp_space.Neighbor_list.maybe_rebuild ~box t.nlist positions));
+      rebuild_timed t box positions;
       let pair =
         timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
             Mdsp_ff.Pair_interactions.compute ~exec:t.exec ~slots:t.slots
@@ -294,3 +634,8 @@ let compute_class t cls box positions acc =
       in
       tm.calls <- tm.calls + 1;
       { zero_energies with pair; recip; correction }
+
+let compute_class t cls box positions acc =
+  match t.soa with
+  | Some ctx -> compute_class_soa t ctx cls box positions acc
+  | None -> compute_class_boxed t cls box positions acc

@@ -41,7 +41,16 @@ val zero_energies : energies
     not additional buckets, so {!timings_total} does not add them again.
     Their sum is slightly below [longrange_s], whose remainder is the
     Ewald self/excluded correction work. All four stay zero when the
-    long-range solver is [Lr_none] or direct [Lr_ewald]. *)
+    long-range solver is [Lr_none] or direct [Lr_ewald].
+
+    [nbuild_s] is the slice of [neighbor_s] actually spent inside the tiled
+    cell-list + pair-list build (a sub-phase, not an additional bucket, so
+    {!timings_total} does not add it). [pair_words] is not a time at all:
+    it is the cumulative minor-heap allocation (in words, from
+    [Gc.minor_words]) of the short-range pair kernels — on the serial SoA
+    path the LJ pair loop is allocation-free and this stays exactly 0,
+    which [bench e21] asserts. On the boxed path it counts the closure and
+    box traffic of the reference kernels. *)
 type timings = {
   mutable pair_s : float;
   mutable bonded_s : float;
@@ -52,6 +61,8 @@ type timings = {
   mutable lr_gather_s : float;
   mutable bias_s : float;
   mutable neighbor_s : float;
+  mutable nbuild_s : float;
+  mutable pair_words : float;
   mutable calls : int;
 }
 
@@ -82,12 +93,23 @@ type transform = {
 
 type t
 
-(** [create ?exec topo ~evaluator ~longrange ~nlist] builds the calculator.
-    [exec] (default {!Mdsp_util.Exec.serial}) selects the execution backend
-    for the pair and bonded phases; per-slot scratch accumulators are sized
-    here and reused across steps. *)
+(** [create ?exec ?soa topo ~evaluator ~longrange ~nlist] builds the
+    calculator. [exec] (default {!Mdsp_util.Exec.serial}) selects the
+    execution backend for the pair and bonded phases; per-slot scratch
+    accumulators are sized here and reused across steps.
+
+    [soa] installs the flat (structure-of-arrays) fast path: the bonded,
+    1-4 and short-range pair phases then run the {!Soa_kernels} batched
+    loops over a {!Soa} store instead of the boxed reference kernels. The
+    flat parameters must describe the same (topology, cutoff, truncation,
+    electrostatics) as [evaluator] — build them with
+    {!Soa_kernels.pair_params_of_topology} at the same call site. Results
+    are bitwise identical to the boxed path; long-range, biases and
+    transforms always stay boxed (the store syncs back at the pair-phase
+    boundary). *)
 val create :
   ?exec:Exec.t ->
+  ?soa:Soa_kernels.pair_params ->
   Mdsp_ff.Topology.t ->
   evaluator:Mdsp_ff.Pair_interactions.evaluator ->
   longrange:longrange ->
@@ -111,8 +133,15 @@ val timings : t -> timings
 
 val reset_timings : t -> unit
 
-(** Replace the pair evaluator (FEP lambda switching, machine substitution). *)
+(** Replace the pair evaluator (FEP lambda switching, machine
+    substitution). This also disables the SoA fast path if one was
+    installed: a swapped-in evaluator has no flat specialization, so the
+    calculator falls back to the boxed reference kernels. *)
 val set_evaluator : t -> Mdsp_ff.Pair_interactions.evaluator -> unit
+
+(** Whether the flat (SoA) fast path is currently driving the bonded and
+    pair phases. *)
+val soa_active : t -> bool
 
 val add_bias : t -> bias -> unit
 

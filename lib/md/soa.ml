@@ -1,0 +1,99 @@
+open Mdsp_util
+
+type fa = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  n : int;
+  x : fa;
+  y : fa;
+  z : fa;
+  vx : fa;
+  vy : fa;
+  vz : fa;
+  fx : fa;
+  fy : fa;
+  fz : fa;
+  masses : float array;
+  mutable box : Pbc.t;
+  mutable time : float;
+}
+
+let make_fa n =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0.;
+  a
+
+let create ?(box = Pbc.cubic 1.) n =
+  if n < 0 then invalid_arg "Soa.create: negative size";
+  {
+    n;
+    x = make_fa n;
+    y = make_fa n;
+    z = make_fa n;
+    vx = make_fa n;
+    vy = make_fa n;
+    vz = make_fa n;
+    fx = make_fa n;
+    fy = make_fa n;
+    fz = make_fa n;
+    masses = Array.make n 0.;
+    box;
+    time = 0.;
+  }
+
+let n t = t.n
+
+let load_positions t (positions : Vec3.t array) =
+  if Array.length positions <> t.n then
+    invalid_arg "Soa.load_positions: length mismatch";
+  for i = 0 to t.n - 1 do
+    let p = positions.(i) in
+    t.x.{i} <- p.Vec3.x;
+    t.y.{i} <- p.Vec3.y;
+    t.z.{i} <- p.Vec3.z
+  done
+
+let load_velocities t (velocities : Vec3.t array) =
+  if Array.length velocities <> t.n then
+    invalid_arg "Soa.load_velocities: length mismatch";
+  for i = 0 to t.n - 1 do
+    let v = velocities.(i) in
+    t.vx.{i} <- v.Vec3.x;
+    t.vy.{i} <- v.Vec3.y;
+    t.vz.{i} <- v.Vec3.z
+  done
+
+let clear_forces t =
+  Bigarray.Array1.fill t.fx 0.;
+  Bigarray.Array1.fill t.fy 0.;
+  Bigarray.Array1.fill t.fz 0.
+
+(* Overwrite (not add): the SoA kernels accumulate the bonded + 1-4 + pair
+   force sums in the flat arrays in exactly the boxed accumulation order, so
+   writing them into a freshly reset accumulator reproduces the boxed
+   accumulator state bit for bit at the phase boundary. *)
+let scatter_forces t (acc : Mdsp_ff.Bonded.accum) =
+  if Array.length acc.Mdsp_ff.Bonded.forces <> t.n then
+    invalid_arg "Soa.scatter_forces: length mismatch";
+  let forces = acc.Mdsp_ff.Bonded.forces in
+  for i = 0 to t.n - 1 do
+    forces.(i) <- Vec3.make t.fx.{i} t.fy.{i} t.fz.{i}
+  done
+
+let of_state (st : State.t) =
+  let m = State.n st in
+  let t = create ~box:st.State.box m in
+  load_positions t st.State.positions;
+  load_velocities t st.State.velocities;
+  Array.blit st.State.masses 0 t.masses 0 m;
+  t.time <- st.State.time;
+  t
+
+let to_state t =
+  let positions = Array.init t.n (fun i -> Vec3.make t.x.{i} t.y.{i} t.z.{i}) in
+  let st = State.create ~positions ~masses:t.masses ~box:t.box in
+  for i = 0 to t.n - 1 do
+    st.State.velocities.(i) <- Vec3.make t.vx.{i} t.vy.{i} t.vz.{i}
+  done;
+  st.State.time <- t.time;
+  st

@@ -1,0 +1,60 @@
+(** Flat (structure-of-arrays) particle store for the hot path.
+
+    The boxed {!State.t} ([Vec3.t array]) stays the checkpoint and ensemble
+    representation; this module holds the same data as unboxed
+    [(float, float64_elt, c_layout) Bigarray.Array1.t] columns, which the
+    tiled pair/bonded kernels ({!Soa_kernels}) walk without allocating.
+    Synchronization between the two domains is explicit — load at a phase
+    entry, scatter at a phase exit — and {!of_state}/{!to_state} round-trip
+    exactly (every copy is a plain float move, no arithmetic). *)
+
+open Mdsp_util
+
+(** 1-D unboxed float column. *)
+type fa = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  n : int;
+  x : fa;
+  y : fa;
+  z : fa;  (** positions *)
+  vx : fa;
+  vy : fa;
+  vz : fa;  (** velocities *)
+  fx : fa;
+  fy : fa;
+  fz : fa;  (** force accumulator *)
+  masses : float array;
+  mutable box : Pbc.t;
+  mutable time : float;
+}
+
+(** [create ?box n] allocates zeroed columns for [n] particles. *)
+val create : ?box:Pbc.t -> int -> t
+
+(** A fresh zeroed column of length [n] — scratch for per-slot force
+    accumulators that share a store's position columns. *)
+val make_fa : int -> fa
+
+val n : t -> int
+
+(** Copy boxed positions into the flat columns (exact float moves). *)
+val load_positions : t -> Vec3.t array -> unit
+
+val load_velocities : t -> Vec3.t array -> unit
+
+(** Zero the force columns. *)
+val clear_forces : t -> unit
+
+(** Overwrite the accumulator's forces with the flat force columns. The
+    kernels accumulate in the boxed order, so scattering into a freshly
+    reset accumulator reproduces the boxed accumulator bit for bit. *)
+val scatter_forces : t -> Mdsp_ff.Bonded.accum -> unit
+
+(** Exact flat snapshot of a state (positions, velocities, masses, box,
+    time). *)
+val of_state : State.t -> t
+
+(** Inverse of {!of_state}: [to_state (of_state st)] equals [st]
+    bit for bit (forces are scratch and not part of the state). *)
+val to_state : t -> State.t

@@ -1,0 +1,583 @@
+open Mdsp_util
+module Topology = Mdsp_ff.Topology
+module Nonbonded = Mdsp_ff.Nonbonded
+module Pair_interactions = Mdsp_ff.Pair_interactions
+
+(* Every kernel in this file is an expression-for-expression mirror of the
+   boxed path (Pair_interactions / Bonded / Nonbonded): same parse trees,
+   same association, same guards, same accumulation order. That is the whole
+   contract — SoA results must be bitwise identical to the boxed results, so
+   nothing here is "mathematically equal", it is operation-equal. Keep it
+   that way when editing: check the boxed source first. *)
+
+type scratch = { mutable energy : float; mutable virial : float }
+
+let make_scratch () = { energy = 0.; virial = 0. }
+
+let reset_scratch s =
+  s.energy <- 0.;
+  s.virial <- 0.
+
+(* ------------------------------------------------------------------ *)
+(* Pair parameters: the analytic evaluator flattened into arrays.      *)
+(* ------------------------------------------------------------------ *)
+
+type elec_kind =
+  | Ek_none
+  | Ek_cutoff
+  | Ek_rf of { krf : float; crf : float }
+  | Ek_ewald of { beta : float }
+
+type pair_params = {
+  cutoff : float;
+  rc2 : float;
+  ntypes : int;
+  type_of : int array;
+  (* Per type pair (flattened ntypes x ntypes), Lorentz-Berthelot combined:
+     [eps4] = 4 eps, [eps24] = 24 eps, [sig2] = sigma^2 — exactly the
+     subexpressions the boxed LJ eval computes per pair, hoisted. *)
+  eps4 : float array;
+  eps24 : float array;
+  sig2 : float array;
+  shift : float array;  (* energy shift at the cutoff; 0 for Truncate *)
+  shift14 : float array;  (* 1-4 terms always use Shift truncation *)
+  q : float array;
+  cq : float array;  (* Units.coulomb *. q, the boxed qq prefix *)
+  elec : elec_kind;
+  p14i : int array;
+  p14j : int array;
+  scale14_lj : float;
+  scale14_coul : float;
+}
+
+(* Switch truncation keeps the boxed evaluator (no flat specialization);
+   table/custom evaluators never reach this builder. *)
+let pair_params_of_topology (topo : Topology.t) ~cutoff
+    ~(trunc : Nonbonded.truncation) ~(elec : Pair_interactions.electrostatics)
+    =
+  match trunc with
+  | Switch _ -> None
+  | (Truncate | Shift) as trunc ->
+      let ntypes = Array.length topo.lj_types in
+      let type_of =
+        Array.map (fun (a : Topology.atom) -> a.type_id) topo.atoms
+      in
+      let nt2 = ntypes * ntypes in
+      let eps4 = Array.make nt2 0. in
+      let eps24 = Array.make nt2 0. in
+      let sig2 = Array.make nt2 0. in
+      let shift = Array.make nt2 0. in
+      let shift14 = Array.make nt2 0. in
+      for ti = 0 to ntypes - 1 do
+        for tj = 0 to ntypes - 1 do
+          let k = (ti * ntypes) + tj in
+          let lj =
+            Nonbonded.lorentz_berthelot topo.lj_types.(ti) topo.lj_types.(tj)
+          in
+          (match lj with
+          | Nonbonded.Lennard_jones { epsilon; sigma } ->
+              eps4.(k) <- 4. *. epsilon;
+              eps24.(k) <- 24. *. epsilon;
+              sig2.(k) <- sigma *. sigma
+          | _ -> assert false);
+          (* shift_at is pure, so hoisting it out of the pair loop keeps the
+             exact bits the boxed path subtracts per pair. *)
+          (match trunc with
+          | Nonbonded.Shift -> shift.(k) <- Nonbonded.shift_at lj cutoff
+          | _ -> ());
+          shift14.(k) <- Nonbonded.shift_at lj cutoff
+        done
+      done;
+      let q = Topology.charges topo in
+      let cq = Array.map (fun qi -> Units.coulomb *. qi) q in
+      let elec =
+        match elec with
+        | Pair_interactions.No_coulomb -> Ek_none
+        | Pair_interactions.Cutoff_coulomb -> Ek_cutoff
+        | Pair_interactions.Reaction_field { epsilon_rf } ->
+            (* Same krf/crf arithmetic as Pair_interactions.of_topology. *)
+            let k =
+              (epsilon_rf -. 1.)
+              /. ((2. *. epsilon_rf) +. 1.)
+              /. (cutoff *. cutoff *. cutoff)
+            in
+            Ek_rf { krf = k; crf = (1. /. cutoff) +. (k *. cutoff *. cutoff) }
+        | Pair_interactions.Ewald_real { beta } -> Ek_ewald { beta }
+      in
+      let np14 = Array.length topo.pairs14 in
+      let p14i = Array.make np14 0 and p14j = Array.make np14 0 in
+      Array.iteri
+        (fun k (i, j) ->
+          p14i.(k) <- i;
+          p14j.(k) <- j)
+        topo.pairs14;
+      Some
+        {
+          cutoff;
+          rc2 = cutoff *. cutoff;
+          ntypes;
+          type_of;
+          eps4;
+          eps24;
+          sig2;
+          shift;
+          shift14;
+          q;
+          cq;
+          elec;
+          p14i;
+          p14j;
+          scale14_lj = topo.scale14_lj;
+          scale14_coul = topo.scale14_coul;
+        }
+
+(* Same constant expression as Nonbonded.two_over_sqrt_pi (not exported). *)
+let two_over_sqrt_pi = 2. /. sqrt Float.pi
+
+(* ------------------------------------------------------------------ *)
+(* Pair kernels: one specialized allocation-free loop per elec kind.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each loop body mirrors Pair_interactions.apply_pair + the evaluator:
+   min_image via Pbc.mi1 components, norm2 left-associated, the r2 < rc2
+   gate, LJ with the hoisted type-pair constants, the qq = 0 gate, then
+   energy / force add-sub / virial in the boxed order. The literal [+. 0.]
+   in the LJ-only path is the boxed [e_lj +. e_c] with e_c = 0 — do not
+   "simplify" it away (it normalizes -0. exactly like the boxed path). *)
+
+let pair_range_none pp (box : Pbc.t) (s : Soa.t) ~(is : int array)
+    ~(js : int array) lo hi (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  let lx = box.Pbc.lx and ly = box.Pbc.ly and lz = box.Pbc.lz in
+  let rc2 = pp.rc2 and ntypes = pp.ntypes in
+  let type_of = pp.type_of in
+  let eps4 = pp.eps4 and eps24 = pp.eps24 in
+  let sig2 = pp.sig2 and shift = pp.shift in
+  for k = lo to hi - 1 do
+    let i = is.(k) and j = js.(k) in
+    let dx0 = x.{i} -. x.{j} in
+    let dy0 = y.{i} -. y.{j} in
+    let dz0 = z.{i} -. z.{j} in
+    let dx = dx0 -. (lx *. Float.round (dx0 /. lx)) in
+    let dy = dy0 -. (ly *. Float.round (dy0 /. ly)) in
+    let dz = dz0 -. (lz *. Float.round (dz0 /. lz)) in
+    let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+    if r2 < rc2 then begin
+      let tij = (type_of.(i) * ntypes) + type_of.(j) in
+      let sr2 = sig2.(tij) /. r2 in
+      let sr6 = sr2 *. sr2 *. sr2 in
+      let sr12 = sr6 *. sr6 in
+      let e_lj = (eps4.(tij) *. (sr12 -. sr6)) -. shift.(tij) in
+      let f_lj = eps24.(tij) *. ((2. *. sr12) -. sr6) /. r2 in
+      let e = e_lj +. 0. in
+      let fr = f_lj +. 0. in
+      sc.energy <- sc.energy +. e;
+      let gx = fr *. dx and gy = fr *. dy and gz = fr *. dz in
+      fx.{i} <- fx.{i} +. gx;
+      fy.{i} <- fy.{i} +. gy;
+      fz.{i} <- fz.{i} +. gz;
+      fx.{j} <- fx.{j} -. gx;
+      fy.{j} <- fy.{j} -. gy;
+      fz.{j} <- fz.{j} -. gz;
+      sc.virial <- sc.virial +. ((gx *. dx) +. (gy *. dy) +. (gz *. dz))
+    end
+  done
+
+let pair_range_cutoff pp (box : Pbc.t) (s : Soa.t) ~(is : int array)
+    ~(js : int array) lo hi (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  let lx = box.Pbc.lx and ly = box.Pbc.ly and lz = box.Pbc.lz in
+  let rc2 = pp.rc2 and ntypes = pp.ntypes and cutoff = pp.cutoff in
+  let type_of = pp.type_of in
+  let eps4 = pp.eps4 and eps24 = pp.eps24 in
+  let sig2 = pp.sig2 and shift = pp.shift in
+  let q = pp.q and cq = pp.cq in
+  for k = lo to hi - 1 do
+    let i = is.(k) and j = js.(k) in
+    let dx0 = x.{i} -. x.{j} in
+    let dy0 = y.{i} -. y.{j} in
+    let dz0 = z.{i} -. z.{j} in
+    let dx = dx0 -. (lx *. Float.round (dx0 /. lx)) in
+    let dy = dy0 -. (ly *. Float.round (dy0 /. ly)) in
+    let dz = dz0 -. (lz *. Float.round (dz0 /. lz)) in
+    let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+    if r2 < rc2 then begin
+      let tij = (type_of.(i) * ntypes) + type_of.(j) in
+      let sr2 = sig2.(tij) /. r2 in
+      let sr6 = sr2 *. sr2 *. sr2 in
+      let sr12 = sr6 *. sr6 in
+      let e_lj = (eps4.(tij) *. (sr12 -. sr6)) -. shift.(tij) in
+      let f_lj = eps24.(tij) *. ((2. *. sr12) -. sr6) /. r2 in
+      let qq = cq.(i) *. q.(j) in
+      let r = sqrt r2 in
+      let e_c = if qq = 0. then 0. else (qq /. r) -. (qq /. cutoff) in
+      let f_c = if qq = 0. then 0. else qq /. (r2 *. r) in
+      let e = e_lj +. e_c in
+      let fr = f_lj +. f_c in
+      sc.energy <- sc.energy +. e;
+      let gx = fr *. dx and gy = fr *. dy and gz = fr *. dz in
+      fx.{i} <- fx.{i} +. gx;
+      fy.{i} <- fy.{i} +. gy;
+      fz.{i} <- fz.{i} +. gz;
+      fx.{j} <- fx.{j} -. gx;
+      fy.{j} <- fy.{j} -. gy;
+      fz.{j} <- fz.{j} -. gz;
+      sc.virial <- sc.virial +. ((gx *. dx) +. (gy *. dy) +. (gz *. dz))
+    end
+  done
+
+let pair_range_rf pp ~krf ~crf (box : Pbc.t) (s : Soa.t) ~(is : int array)
+    ~(js : int array) lo hi (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  let lx = box.Pbc.lx and ly = box.Pbc.ly and lz = box.Pbc.lz in
+  let rc2 = pp.rc2 and ntypes = pp.ntypes in
+  let type_of = pp.type_of in
+  let eps4 = pp.eps4 and eps24 = pp.eps24 in
+  let sig2 = pp.sig2 and shift = pp.shift in
+  let q = pp.q and cq = pp.cq in
+  for k = lo to hi - 1 do
+    let i = is.(k) and j = js.(k) in
+    let dx0 = x.{i} -. x.{j} in
+    let dy0 = y.{i} -. y.{j} in
+    let dz0 = z.{i} -. z.{j} in
+    let dx = dx0 -. (lx *. Float.round (dx0 /. lx)) in
+    let dy = dy0 -. (ly *. Float.round (dy0 /. ly)) in
+    let dz = dz0 -. (lz *. Float.round (dz0 /. lz)) in
+    let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+    if r2 < rc2 then begin
+      let tij = (type_of.(i) * ntypes) + type_of.(j) in
+      let sr2 = sig2.(tij) /. r2 in
+      let sr6 = sr2 *. sr2 *. sr2 in
+      let sr12 = sr6 *. sr6 in
+      let e_lj = (eps4.(tij) *. (sr12 -. sr6)) -. shift.(tij) in
+      let f_lj = eps24.(tij) *. ((2. *. sr12) -. sr6) /. r2 in
+      let qq = cq.(i) *. q.(j) in
+      let r = sqrt r2 in
+      let e_c =
+        if qq = 0. then 0.
+        else (qq /. r) +. (qq *. krf *. r2) -. (qq *. crf)
+      in
+      let f_c =
+        if qq = 0. then 0. else (qq /. (r2 *. r)) -. (2. *. qq *. krf)
+      in
+      let e = e_lj +. e_c in
+      let fr = f_lj +. f_c in
+      sc.energy <- sc.energy +. e;
+      let gx = fr *. dx and gy = fr *. dy and gz = fr *. dz in
+      fx.{i} <- fx.{i} +. gx;
+      fy.{i} <- fy.{i} +. gy;
+      fz.{i} <- fz.{i} +. gz;
+      fx.{j} <- fx.{j} -. gx;
+      fy.{j} <- fy.{j} -. gy;
+      fz.{j} <- fz.{j} -. gz;
+      sc.virial <- sc.virial +. ((gx *. dx) +. (gy *. dy) +. (gz *. dz))
+    end
+  done
+
+let pair_range_ewald pp ~beta (box : Pbc.t) (s : Soa.t) ~(is : int array)
+    ~(js : int array) lo hi (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  let lx = box.Pbc.lx and ly = box.Pbc.ly and lz = box.Pbc.lz in
+  let rc2 = pp.rc2 and ntypes = pp.ntypes in
+  let type_of = pp.type_of in
+  let eps4 = pp.eps4 and eps24 = pp.eps24 in
+  let sig2 = pp.sig2 and shift = pp.shift in
+  let q = pp.q and cq = pp.cq in
+  for k = lo to hi - 1 do
+    let i = is.(k) and j = js.(k) in
+    let dx0 = x.{i} -. x.{j} in
+    let dy0 = y.{i} -. y.{j} in
+    let dz0 = z.{i} -. z.{j} in
+    let dx = dx0 -. (lx *. Float.round (dx0 /. lx)) in
+    let dy = dy0 -. (ly *. Float.round (dy0 /. ly)) in
+    let dz = dz0 -. (lz *. Float.round (dz0 /. lz)) in
+    let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+    if r2 < rc2 then begin
+      let tij = (type_of.(i) * ntypes) + type_of.(j) in
+      let sr2 = sig2.(tij) /. r2 in
+      let sr6 = sr2 *. sr2 *. sr2 in
+      let sr12 = sr6 *. sr6 in
+      let e_lj = (eps4.(tij) *. (sr12 -. sr6)) -. shift.(tij) in
+      let f_lj = eps24.(tij) *. ((2. *. sr12) -. sr6) /. r2 in
+      let qq = cq.(i) *. q.(j) in
+      let r = sqrt r2 in
+      let erfc_br = Specfun.erfc (beta *. r) in
+      let gauss = two_over_sqrt_pi *. beta *. exp (-.beta *. beta *. r2) in
+      let e_c = if qq = 0. then 0. else qq *. erfc_br /. r in
+      let f_c =
+        if qq = 0. then 0. else qq *. ((erfc_br /. r) +. gauss) /. r2
+      in
+      let e = e_lj +. e_c in
+      let fr = f_lj +. f_c in
+      sc.energy <- sc.energy +. e;
+      let gx = fr *. dx and gy = fr *. dy and gz = fr *. dz in
+      fx.{i} <- fx.{i} +. gx;
+      fy.{i} <- fy.{i} +. gy;
+      fz.{i} <- fz.{i} +. gz;
+      fx.{j} <- fx.{j} -. gx;
+      fy.{j} <- fy.{j} -. gy;
+      fz.{j} <- fz.{j} -. gz;
+      sc.virial <- sc.virial +. ((gx *. dx) +. (gy *. dy) +. (gz *. dz))
+    end
+  done
+
+let pair_range pp box s ~is ~js lo hi sc =
+  match pp.elec with
+  | Ek_none -> pair_range_none pp box s ~is ~js lo hi sc
+  | Ek_cutoff -> pair_range_cutoff pp box s ~is ~js lo hi sc
+  | Ek_rf { krf; crf } -> pair_range_rf pp ~krf ~crf box s ~is ~js lo hi sc
+  | Ek_ewald { beta } -> pair_range_ewald pp ~beta box s ~is ~js lo hi sc
+
+(* ------------------------------------------------------------------ *)
+(* 1-4 pairs: Shift-truncated LJ + cutoff Coulomb, both scaled.        *)
+(* ------------------------------------------------------------------ *)
+
+let pairs14_count pp = Array.length pp.p14i
+
+let pairs14_active pp =
+  pairs14_count pp > 0 && not (pp.scale14_lj <= 0. && pp.scale14_coul <= 0.)
+
+let pairs14_range pp (box : Pbc.t) (s : Soa.t) lo hi (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  let lx = box.Pbc.lx and ly = box.Pbc.ly and lz = box.Pbc.lz in
+  let rc2 = pp.rc2 and ntypes = pp.ntypes and cutoff = pp.cutoff in
+  let type_of = pp.type_of in
+  let eps4 = pp.eps4 and eps24 = pp.eps24 in
+  let sig2 = pp.sig2 and shift14 = pp.shift14 in
+  let q = pp.q and cq = pp.cq in
+  let s14l = pp.scale14_lj and s14c = pp.scale14_coul in
+  let p14i = pp.p14i and p14j = pp.p14j in
+  for k = lo to hi - 1 do
+    let i = p14i.(k) and j = p14j.(k) in
+    let dx0 = x.{i} -. x.{j} in
+    let dy0 = y.{i} -. y.{j} in
+    let dz0 = z.{i} -. z.{j} in
+    let dx = dx0 -. (lx *. Float.round (dx0 /. lx)) in
+    let dy = dy0 -. (ly *. Float.round (dy0 /. ly)) in
+    let dz = dz0 -. (lz *. Float.round (dz0 /. lz)) in
+    let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+    if r2 < rc2 then begin
+      let tij = (type_of.(i) * ntypes) + type_of.(j) in
+      let sr2 = sig2.(tij) /. r2 in
+      let sr6 = sr2 *. sr2 *. sr2 in
+      let sr12 = sr6 *. sr6 in
+      let e_lj = (eps4.(tij) *. (sr12 -. sr6)) -. shift14.(tij) in
+      let f_lj = eps24.(tij) *. ((2. *. sr12) -. sr6) /. r2 in
+      let qq = (cq.(i) *. q.(j)) *. s14c in
+      let r = sqrt r2 in
+      let e_c = if qq = 0. then 0. else (qq /. r) -. (qq /. cutoff) in
+      let f_c = if qq = 0. then 0. else qq /. (r2 *. r) in
+      let e = (s14l *. e_lj) +. e_c in
+      let fr = (s14l *. f_lj) +. f_c in
+      sc.energy <- sc.energy +. e;
+      let gx = fr *. dx and gy = fr *. dy and gz = fr *. dz in
+      fx.{i} <- fx.{i} +. gx;
+      fy.{i} <- fy.{i} +. gy;
+      fz.{i} <- fz.{i} +. gz;
+      fx.{j} <- fx.{j} -. gx;
+      fy.{j} <- fy.{j} -. gy;
+      fz.{j} <- fz.{j} -. gz;
+      sc.virial <- sc.virial +. ((gx *. dx) +. (gy *. dy) +. (gz *. dz))
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bonded terms over flat columns (mirrors of Bonded.*_range).         *)
+(* ------------------------------------------------------------------ *)
+
+(* The bonded kernels use Vec3 internally exactly like Bonded does — they
+   are not allocation-gated (term counts are tiny next to the pair list) and
+   reusing the Vec3/Pbc ops verbatim is what guarantees the bitwise match.
+   Only the loads and the force stores go through the flat columns. *)
+
+let bonds_range (box : Pbc.t) (topo : Topology.t) (s : Soa.t) lo hi
+    (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  for t = lo to hi - 1 do
+    let b = topo.bonds.(t) in
+    let i = b.Topology.i and j = b.Topology.j in
+    let pi = Vec3.make x.{i} y.{i} z.{i} in
+    let pj = Vec3.make x.{j} y.{j} z.{j} in
+    let d = Pbc.min_image box pi pj in
+    let r = Vec3.norm d in
+    let dr = r -. b.Topology.r0 in
+    sc.energy <- sc.energy +. (b.Topology.k *. dr *. dr);
+    let fmag = -2. *. b.Topology.k *. dr /. r in
+    let f = Vec3.scale fmag d in
+    fx.{i} <- fx.{i} +. f.Vec3.x;
+    fy.{i} <- fy.{i} +. f.Vec3.y;
+    fz.{i} <- fz.{i} +. f.Vec3.z;
+    let nf = Vec3.neg f in
+    fx.{j} <- fx.{j} +. nf.Vec3.x;
+    fy.{j} <- fy.{j} +. nf.Vec3.y;
+    fz.{j} <- fz.{j} +. nf.Vec3.z;
+    sc.virial <- sc.virial +. Vec3.dot f d
+  done
+
+let angles_range (box : Pbc.t) (topo : Topology.t) (s : Soa.t) lo hi
+    (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  let add i (f : Vec3.t) =
+    fx.{i} <- fx.{i} +. f.Vec3.x;
+    fy.{i} <- fy.{i} +. f.Vec3.y;
+    fz.{i} <- fz.{i} +. f.Vec3.z
+  in
+  for t = lo to hi - 1 do
+    let a = topo.angles.(t) in
+    let ai = a.Topology.i and aj = a.Topology.j and ak = a.Topology.k in
+    let pi = Vec3.make x.{ai} y.{ai} z.{ai} in
+    let pj = Vec3.make x.{aj} y.{aj} z.{aj} in
+    let pk = Vec3.make x.{ak} y.{ak} z.{ak} in
+    let rij = Pbc.min_image box pi pj in
+    let rkj = Pbc.min_image box pk pj in
+    let nij = Vec3.norm rij and nkj = Vec3.norm rkj in
+    let cos_t =
+      Float.max (-1.) (Float.min 1. (Vec3.dot rij rkj /. (nij *. nkj)))
+    in
+    let theta = acos cos_t in
+    let dtheta = theta -. a.Topology.theta0 in
+    sc.energy <- sc.energy +. (a.Topology.k_theta *. dtheta *. dtheta);
+    let du_dtheta = 2. *. a.Topology.k_theta *. dtheta in
+    let sin_t = Float.max 1e-8 (sqrt (1. -. (cos_t *. cos_t))) in
+    let coeff = du_dtheta /. sin_t in
+    let fi =
+      Vec3.scale (coeff /. nij)
+        (Vec3.sub (Vec3.scale (1. /. nkj) rkj) (Vec3.scale (cos_t /. nij) rij))
+    in
+    let fk =
+      Vec3.scale (coeff /. nkj)
+        (Vec3.sub (Vec3.scale (1. /. nij) rij) (Vec3.scale (cos_t /. nkj) rkj))
+    in
+    let fj = Vec3.neg (Vec3.add fi fk) in
+    add ai fi;
+    add aj fj;
+    add ak fk;
+    sc.virial <- sc.virial +. Vec3.dot fi rij +. Vec3.dot fk rkj
+  done
+
+(* Blondel-Karplus torsion gradients, mirroring Bonded.torsion. *)
+let torsion (box : Pbc.t) x y z fx fy fz ~i ~j ~k ~l ~du_dphi_of
+    (sc : scratch) =
+  let add a (f : Vec3.t) =
+    Bigarray.Array1.set fx a (Bigarray.Array1.get fx a +. f.Vec3.x);
+    Bigarray.Array1.set fy a (Bigarray.Array1.get fy a +. f.Vec3.y);
+    Bigarray.Array1.set fz a (Bigarray.Array1.get fz a +. f.Vec3.z)
+  in
+  let pos a = Vec3.make (Bigarray.Array1.get x a) (Bigarray.Array1.get y a)
+      (Bigarray.Array1.get z a)
+  in
+  let pi = pos i and pj = pos j and pk = pos k and pl = pos l in
+  let b1 = Pbc.min_image box pj pi in
+  let b2 = Pbc.min_image box pk pj in
+  let b3 = Pbc.min_image box pl pk in
+  let n1 = Vec3.cross b1 b2 in
+  let n2 = Vec3.cross b2 b3 in
+  let n1n = Vec3.norm n1 and n2n = Vec3.norm n2 in
+  if n1n <= 1e-10 || n2n <= 1e-10 then ()
+  else begin
+    let b2n = Vec3.norm b2 in
+    let m1 = Vec3.cross n1 (Vec3.scale (1. /. b2n) b2) in
+    let xc = Vec3.dot n1 n2 /. (n1n *. n2n) in
+    let yc = Vec3.dot m1 n2 /. (n1n *. n2n) in
+    let phi = atan2 yc xc in
+    let du_dphi = du_dphi_of phi in
+    let fi = Vec3.scale (-.du_dphi *. b2n /. (n1n *. n1n)) n1 in
+    let fl = Vec3.scale (du_dphi *. b2n /. (n2n *. n2n)) n2 in
+    let p = -.(Vec3.dot b1 b2) /. (b2n *. b2n) in
+    let q = -.(Vec3.dot b3 b2) /. (b2n *. b2n) in
+    let sv = Vec3.sub (Vec3.scale p fi) (Vec3.scale q fl) in
+    let fj = Vec3.sub sv fi in
+    let fk = Vec3.neg (Vec3.add sv fl) in
+    add i fi;
+    add j fj;
+    add k fk;
+    add l fl;
+    let rij = Vec3.neg b1 in
+    let rkj = b2 in
+    let rlj = Vec3.add b2 b3 in
+    sc.virial <-
+      sc.virial +. Vec3.dot fi rij +. Vec3.dot fk rkj +. Vec3.dot fl rlj
+  end
+
+let dihedrals_range (box : Pbc.t) (topo : Topology.t) (s : Soa.t) lo hi
+    (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  for t = lo to hi - 1 do
+    let d = topo.dihedrals.(t) in
+    torsion box x y z fx fy fz ~i:d.Topology.i ~j:d.Topology.j
+      ~k:d.Topology.k ~l:d.Topology.l sc ~du_dphi_of:(fun phi ->
+        let arg = (float_of_int d.Topology.mult *. phi) -. d.Topology.phase in
+        sc.energy <- sc.energy +. (d.Topology.k_phi *. (1. +. cos arg));
+        -.d.Topology.k_phi *. float_of_int d.Topology.mult *. sin arg)
+  done
+
+(* Same wrap as Bonded.wrap_angle (module-internal there). *)
+let wrap_angle v =
+  let two_pi = 2. *. Float.pi in
+  let v = Float.rem v two_pi in
+  if v > Float.pi then v -. two_pi
+  else if v <= -.Float.pi then v +. two_pi
+  else v
+
+let impropers_range (box : Pbc.t) (topo : Topology.t) (s : Soa.t) lo hi
+    (sc : scratch) =
+  let x = s.Soa.x and y = s.Soa.y and z = s.Soa.z in
+  let fx = s.Soa.fx and fy = s.Soa.fy and fz = s.Soa.fz in
+  for t = lo to hi - 1 do
+    let im = topo.impropers.(t) in
+    torsion box x y z fx fy fz ~i:im.Topology.ii ~j:im.Topology.ij
+      ~k:im.Topology.ik ~l:im.Topology.il sc ~du_dphi_of:(fun phi ->
+        let dxi = wrap_angle (phi -. im.Topology.xi0) in
+        sc.energy <- sc.energy +. (im.Topology.k_xi *. dxi *. dxi);
+        2. *. im.Topology.k_xi *. dxi)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic slot reduction (mirror of Bonded.reduce_slots).       *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed-shape pairwise tree over one column, per atom — the same shape as
+   Bonded.tree_force applied componentwise. *)
+let rec tree_col (cols : Soa.fa array) i lo hi =
+  if hi - lo = 1 then cols.(lo).{i}
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    tree_col cols i lo mid +. tree_col cols i mid hi
+  end
+
+let reduce_slots ~exec ~(into : Soa.t) ~(slot_fx : Soa.fa array)
+    ~(slot_fy : Soa.fa array) ~(slot_fz : Soa.fa array)
+    ~(slot_virial : float array) (sc : scratch) =
+  let nslots = Array.length slot_fx in
+  let ifx = into.Soa.fx and ify = into.Soa.fy and ifz = into.Soa.fz in
+  let n = into.Soa.n in
+  if nslots = 1 then begin
+    let sx = slot_fx.(0) and sy = slot_fy.(0) and sz = slot_fz.(0) in
+    for i = 0 to n - 1 do
+      ifx.{i} <- ifx.{i} +. sx.{i};
+      ify.{i} <- ify.{i} +. sy.{i};
+      ifz.{i} <- ifz.{i} +. sz.{i}
+    done;
+    sc.virial <- sc.virial +. slot_virial.(0)
+  end
+  else if nslots > 1 then begin
+    let bounds = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots exec) in
+    Exec.parallel_run exec (fun s ->
+        let lo, hi = bounds.(s) in
+        Exec.declare_write ~slot:s ~resource:"bonded.reduce" ~total:n ~lo ~hi
+          exec;
+        for i = lo to hi - 1 do
+          ifx.{i} <- ifx.{i} +. tree_col slot_fx i 0 nslots;
+          ify.{i} <- ify.{i} +. tree_col slot_fy i 0 nslots;
+          ifz.{i} <- ifz.{i} +. tree_col slot_fz i 0 nslots
+        done);
+    sc.virial <- sc.virial +. Exec.sum_tree slot_virial
+  end

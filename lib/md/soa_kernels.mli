@@ -1,0 +1,96 @@
+(** Flat (SoA) force kernels: batched per-tile loops over {!Soa} columns.
+
+    Each kernel is an expression-for-expression mirror of the boxed path
+    ({!Mdsp_ff.Pair_interactions}, {!Mdsp_ff.Bonded},
+    {!Mdsp_ff.Nonbonded}): same parse trees, same guards, same accumulation
+    order, so the results are bitwise identical to the boxed results — not
+    merely close. The pair loops additionally allocate nothing on the minor
+    heap per pair (no closures, no boxed floats, no tuples), which
+    [bench e21] asserts.
+
+    Kernels accumulate energy and virial into a caller-owned {!scratch} and
+    forces into flat columns; the caller (Force_calc) owns phase ordering,
+    per-slot column management and the energy bookkeeping between terms. *)
+
+open Mdsp_util
+
+(** All-float mutable accumulator: field updates never allocate. *)
+type scratch = { mutable energy : float; mutable virial : float }
+
+val make_scratch : unit -> scratch
+val reset_scratch : scratch -> unit
+
+(** Analytic pair evaluator flattened into arrays: per-type-pair LJ
+    constants (Lorentz-Berthelot precombined, shifts included), per-atom
+    charges with the Coulomb prefactor folded in, 1-4 index arrays, and the
+    electrostatics kind. Built once per (topology, cutoff, trunc, elec). *)
+type pair_params
+
+(** [pair_params_of_topology topo ~cutoff ~trunc ~elec] flattens the
+    analytic evaluator. Returns [None] for [Switch] truncation (the boxed
+    evaluator stays authoritative there); table and custom evaluators never
+    have a flat form. *)
+val pair_params_of_topology :
+  Mdsp_ff.Topology.t ->
+  cutoff:float ->
+  trunc:Mdsp_ff.Nonbonded.truncation ->
+  elec:Mdsp_ff.Pair_interactions.electrostatics ->
+  pair_params option
+
+(** [pair_range pp box s ~is ~js lo hi sc] runs the nonbonded pair kernel
+    over pair-list entries [lo, hi) of the flat index arrays [is]/[js]
+    (from {!Mdsp_space.Neighbor_list.raw_pairs}), reading positions from and
+    accumulating forces into [s]'s columns. Allocation-free. *)
+val pair_range :
+  pair_params ->
+  Pbc.t ->
+  Soa.t ->
+  is:int array ->
+  js:int array ->
+  int ->
+  int ->
+  scratch ->
+  unit
+
+(** Number of 1-4 pairs in the parameter set. *)
+val pairs14_count : pair_params -> int
+
+(** Mirrors the boxed skip condition: some 1-4 pairs exist and at least one
+    of the two 1-4 scale factors is positive. *)
+val pairs14_active : pair_params -> bool
+
+(** [pairs14_range pp box s lo hi sc] runs the scaled 1-4 kernel over
+    entries [lo, hi) of the topology's 1-4 pair list. *)
+val pairs14_range : pair_params -> Pbc.t -> Soa.t -> int -> int -> scratch -> unit
+
+(** Bonded terms over index ranges of the topology's term arrays, exactly
+    like [Bonded.*_range] but on flat columns. Energies accumulate into
+    [sc.energy] (zero it between terms to recover per-term energies),
+    virials into [sc.virial]. *)
+
+val bonds_range :
+  Pbc.t -> Mdsp_ff.Topology.t -> Soa.t -> int -> int -> scratch -> unit
+
+val angles_range :
+  Pbc.t -> Mdsp_ff.Topology.t -> Soa.t -> int -> int -> scratch -> unit
+
+val dihedrals_range :
+  Pbc.t -> Mdsp_ff.Topology.t -> Soa.t -> int -> int -> scratch -> unit
+
+val impropers_range :
+  Pbc.t -> Mdsp_ff.Topology.t -> Soa.t -> int -> int -> scratch -> unit
+
+(** [reduce_slots ~exec ~into ~slot_fx ~slot_fy ~slot_fz ~slot_virial sc]
+    merges per-slot force columns into [into]'s force columns with the same
+    fixed-shape pairwise tree as [Bonded.reduce_slots] (resource
+    ["bonded.reduce"]), and adds the tree-summed slot virials to
+    [sc.virial]. *)
+val reduce_slots :
+  exec:Exec.t ->
+  into:Soa.t ->
+  slot_fx:Soa.fa array ->
+  slot_fy:Soa.fa array ->
+  slot_fz:Soa.fa array ->
+  slot_virial:float array ->
+  scratch ->
+  unit

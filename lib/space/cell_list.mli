@@ -1,21 +1,48 @@
-(** Linked-cell spatial binning over an orthorhombic periodic box.
+(** Spatial binning over an orthorhombic periodic box, stored compressed
+    (CSR): particles are counting-sorted by cell, so each cell is a
+    contiguous slice of one flat index array — the layout the SoA force
+    kernels and the tiled neighbor-list rebuild consume directly.
 
     Particles are binned into cells of edge at least the interaction cutoff,
     so all pairs within the cutoff are found by scanning each cell and its 26
-    periodic neighbors (half of them, for half-enumeration). *)
+    periodic neighbors (half of them, for half-enumeration). Binning uses
+    floored division and a positive modulo, so coordinates outside the
+    primary box (constraint drift, chain random walks) land in the correct
+    periodic cell instead of being clamped to a boundary cell. *)
 
 open Mdsp_util
 
 type t
 
-(** [build box positions ~cutoff] bins the (wrapped) positions. The cell edge
-    is the smallest length >= cutoff that divides each box edge evenly; if a
-    box edge is shorter than [3 * cutoff] the structure still works but
-    degenerates toward all-pairs in that dimension. *)
-val build : Pbc.t -> Vec3.t array -> cutoff:float -> t
+(** [build ?exec box positions ~cutoff] bins the positions (wrapped or not).
+    The cell edge is the smallest length >= cutoff that divides each box
+    edge evenly; if a box edge is shorter than [3 * cutoff] the structure
+    still works but degenerates toward all-pairs in that dimension.
+
+    The per-atom bin phase runs tiled on [exec] (default serial) and
+    declares its write-set (resource ["cell.bin"]) for the race sanitizer.
+    The result is a pure function of [box], [positions] and [cutoff] —
+    identical for any executor or slot count. *)
+val build : ?exec:Exec.t -> Pbc.t -> Vec3.t array -> cutoff:float -> t
 
 (** Number of cells along each axis. *)
 val dims : t -> int * int * int
+
+(** True if some axis has fewer than 3 cells, forcing the all-pairs
+    fallback. *)
+val degenerate : t -> bool
+
+(** Number of tiling units for {!iter_range_pairs}: the cell count, or the
+    particle count for degenerate boxes. Every unordered candidate pair is
+    owned by exactly one unit, so a partition of [0, tile_units t) into
+    ranges partitions the pair enumeration. *)
+val tile_units : t -> int
+
+(** [iter_range_pairs t lo hi f] calls [f i j] exactly once for every
+    candidate pair owned by a unit in [lo, hi) — the tile primitive the
+    parallel neighbor-list rebuild is built on. [iter_range_pairs t 0
+    (tile_units t)] enumerates every pair exactly once. *)
+val iter_range_pairs : t -> int -> int -> (int -> int -> unit) -> unit
 
 (** [iter_pairs t f] calls [f i j] exactly once for every unordered pair of
     distinct particles whose minimum-image distance may be within the cutoff

@@ -4,51 +4,93 @@ type t = {
   cutoff : float;
   skin : float;
   exclusions : Exclusions.t option;
+  exec : Exec.t;
   mutable box : Pbc.t;
   mutable ref_positions : Vec3.t array; (* snapshot at last rebuild *)
   mutable is : int array;
   mutable js : int array;
   mutable npairs : int;
   mutable rebuilds : int;
+  mutable build_s : float; (* cumulative wall time spent in do_build *)
 }
 
+(* The pair generation is cut into a fixed number of tiles — contiguous
+   ranges of Cell_list tiling units — chosen independently of the executor
+   width. Each tile fills its own buffer; buffers are concatenated in tile
+   order. The resulting pair list is therefore a pure function of the
+   positions: bitwise identical whether the build ran serial or on 1, 2 or
+   4 pool slots (slots just own contiguous tile ranges). *)
+let max_build_tiles = 64
+
+(* One tile's growable pair buffer. *)
+type buf = { mutable bi : int array; mutable bj : int array; mutable cnt : int }
+
+let buf_push b i j =
+  let cap = Array.length b.bi in
+  if b.cnt >= cap then begin
+    let cap' = max 64 (cap * 2) in
+    let bi' = Array.make cap' 0 and bj' = Array.make cap' 0 in
+    Array.blit b.bi 0 bi' 0 b.cnt;
+    Array.blit b.bj 0 bj' 0 b.cnt;
+    b.bi <- bi';
+    b.bj <- bj'
+  end;
+  b.bi.(b.cnt) <- (if i < j then i else j);
+  b.bj.(b.cnt) <- (if i < j then j else i);
+  b.cnt <- b.cnt + 1
+
 let do_build t positions =
+  let t0 = Unix.gettimeofday () in
   let r = t.cutoff +. t.skin in
   let r2 = r *. r in
-  let cl = Cell_list.build t.box positions ~cutoff:r in
-  let cap = ref (max 64 (Array.length t.is)) in
-  let is = ref (Array.make !cap 0) in
-  let js = ref (Array.make !cap 0) in
-  let n = ref 0 in
-  let push i j =
-    if !n >= !cap then begin
-      cap := !cap * 2;
-      let is' = Array.make !cap 0 and js' = Array.make !cap 0 in
-      Array.blit !is 0 is' 0 !n;
-      Array.blit !js 0 js' 0 !n;
-      is := is';
-      js := js'
-    end;
-    !is.(!n) <- (if i < j then i else j);
-    !js.(!n) <- (if i < j then j else i);
-    incr n
+  let exec = t.exec in
+  let cl = Cell_list.build ~exec t.box positions ~cutoff:r in
+  let units = Cell_list.tile_units cl in
+  let ntiles = max 1 (min units max_build_tiles) in
+  let tile_ranges = Exec.tile_bounds ~total:units ~ntiles in
+  let bufs =
+    Array.init ntiles (fun _ -> { bi = [||]; bj = [||]; cnt = 0 })
   in
-  Cell_list.iter_pairs cl (fun i j ->
-      if Pbc.dist2 t.box positions.(i) positions.(j) <= r2 then begin
-        let skip =
-          match t.exclusions with
-          | Some ex -> Exclusions.excluded ex i j
-          | None -> false
-        in
-        if not skip then push i j
-      end);
-  t.is <- !is;
-  t.js <- !js;
-  t.npairs <- !n;
+  let ns = Exec.n_slots exec in
+  let slot_tiles = Exec.tile_bounds ~total:ntiles ~ntiles:ns in
+  Exec.parallel_run exec (fun s ->
+      let tlo, thi = slot_tiles.(s) in
+      (* Each slot owns a contiguous run of tile buffers. *)
+      Exec.declare_write ~slot:s ~resource:"nlist.tiles" ~total:ntiles
+        ~lo:tlo ~hi:thi exec;
+      for tile = tlo to thi - 1 do
+        let b = bufs.(tile) in
+        let lo, hi = tile_ranges.(tile) in
+        Cell_list.iter_range_pairs cl lo hi (fun i j ->
+            if Pbc.dist2 t.box positions.(i) positions.(j) <= r2 then begin
+              let skip =
+                match t.exclusions with
+                | Some ex -> Exclusions.excluded ex i j
+                | None -> false
+              in
+              if not skip then buf_push b i j
+            end)
+      done);
+  (* Concatenate in tile order (serial: a handful of blits). *)
+  let total = Array.fold_left (fun a b -> a + b.cnt) 0 bufs in
+  if Array.length t.is < total then begin
+    let cap = max 64 total in
+    t.is <- Array.make cap 0;
+    t.js <- Array.make cap 0
+  end;
+  let off = ref 0 in
+  Array.iter
+    (fun b ->
+      Array.blit b.bi 0 t.is !off b.cnt;
+      Array.blit b.bj 0 t.js !off b.cnt;
+      off := !off + b.cnt)
+    bufs;
+  t.npairs <- total;
   t.ref_positions <- Array.copy positions;
-  t.rebuilds <- t.rebuilds + 1
+  t.rebuilds <- t.rebuilds + 1;
+  t.build_s <- t.build_s +. (Unix.gettimeofday () -. t0)
 
-let create ?exclusions ~cutoff ~skin box positions =
+let create ?exclusions ?(exec = Exec.serial) ~cutoff ~skin box positions =
   if cutoff <= 0. then invalid_arg "Neighbor_list.create: cutoff";
   if skin < 0. then invalid_arg "Neighbor_list.create: skin";
   let t =
@@ -56,12 +98,14 @@ let create ?exclusions ~cutoff ~skin box positions =
       cutoff;
       skin;
       exclusions;
+      exec;
       box;
       ref_positions = [||];
       is = [||];
       js = [||];
       npairs = 0;
       rebuilds = -1;
+      build_s = 0.;
     }
   in
   do_build t positions;
@@ -69,6 +113,7 @@ let create ?exclusions ~cutoff ~skin box positions =
 
 let pairs t = Array.init t.npairs (fun k -> (t.is.(k), t.js.(k)))
 let length t = t.npairs
+let raw_pairs t = (t.is, t.js)
 
 let iter t f =
   for k = 0 to t.npairs - 1 do
@@ -117,6 +162,7 @@ let maybe_rebuild ?box t positions =
   else false
 
 let rebuild_count t = t.rebuilds
+let build_seconds t = t.build_s
 let ref_positions t = Array.copy t.ref_positions
 let cutoff t = t.cutoff
 let skin t = t.skin

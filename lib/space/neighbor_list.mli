@@ -3,21 +3,41 @@
     The list stores all non-excluded pairs within [cutoff + skin]; it stays
     valid until some particle has moved more than [skin / 2] since the last
     rebuild, at which point [maybe_rebuild] rebuilds it. This is the standard
-    trade-off the A3 ablation experiment sweeps. *)
+    trade-off the A3 ablation experiment sweeps.
+
+    The rebuild is a tiled cluster-pair build: bin (CSR counting sort in
+    {!Cell_list}), then per-tile candidate-pair generation with the cutoff
+    and exclusion filters, each tile filling its own buffer, concatenated in
+    tile order. The tile count is fixed (independent of the executor width),
+    so the stored pair list is a pure function of the positions — bitwise
+    identical across serial and any pool size — while the work runs as a
+    sanitized parallel [Exec] phase (resources ["cell.bin"] and
+    ["nlist.tiles"]). *)
 
 open Mdsp_util
+
+(** [create ?exclusions ?exec ~cutoff ~skin box positions] builds the list.
+    [exec] (default serial) is the executor every rebuild runs on; the pair
+    list content does not depend on it. *)
 
 type t
 
 val create :
-  ?exclusions:Exclusions.t -> cutoff:float -> skin:float -> Pbc.t ->
-  Vec3.t array -> t
+  ?exclusions:Exclusions.t -> ?exec:Exec.t -> cutoff:float -> skin:float ->
+  Pbc.t -> Vec3.t array -> t
 
 (** Pairs currently in the list, as parallel arrays (i, j) with i < j. *)
 val pairs : t -> (int * int) array
 
 (** Number of stored pairs. *)
 val length : t -> int
+
+(** The underlying flat index arrays ([i]s and [j]s, parallel, i < j; only
+    indices below {!length} are meaningful). Shared with the list and
+    invalidated by the next rebuild; read-only by convention. The SoA pair
+    kernels iterate these directly so their inner loop stays closure- and
+    allocation-free. *)
+val raw_pairs : t -> int array * int array
 
 (** [iter t f] applies [f i j] to every stored pair. *)
 val iter : t -> (int -> int -> unit) -> unit
@@ -44,6 +64,10 @@ val maybe_rebuild : ?box:Pbc.t -> t -> Vec3.t array -> bool
 
 (** Total rebuild count (for the ablation bench). *)
 val rebuild_count : t -> int
+
+(** Cumulative wall-clock seconds spent inside rebuilds since creation —
+    the [nbuild] sub-phase surfaced by [Force_calc.timings]. *)
+val build_seconds : t -> float
 
 (** Copy of the positions the list was last built from. Checkpoints record
     these so a restart can {!rebuild} from the same reference and reproduce

@@ -177,7 +177,79 @@ let water_envelope () =
     position_extent = 1.0;
   }
 
-let builtin_envelopes () = [ water_envelope () ]
+(* Macromolecule-scale envelopes: the neighbor budget is not the trivial
+   [n_atoms - 1] (useless at 10^4 atoms) but is pinned by the runtime's own
+   tiled cell-list build — construct the Verlet list on the generated
+   coordinates at the engine's cutoff/skin and take the maximum per-atom
+   degree, with headroom (x1.25 + 8) for density fluctuations during
+   dynamics. *)
+let measured_pair_budget ?(cutoff = 9.) ?(skin = 1.) sys =
+  let open Mdsp_workload.Workloads in
+  let n = Mdsp_ff.Topology.n_atoms sys.topo in
+  let nl =
+    Mdsp_space.Neighbor_list.create ~cutoff ~skin sys.box sys.positions
+  in
+  let deg = Array.make n 0 in
+  Mdsp_space.Neighbor_list.iter nl (fun i j ->
+      deg.(i) <- deg.(i) + 1;
+      deg.(j) <- deg.(j) + 1);
+  let max_deg = Array.fold_left max 0 deg in
+  max_deg + (max_deg / 4) + 8
+
+let max_abs_charge_of topo =
+  Array.fold_left
+    (fun a q -> Float.max a (abs_float q))
+    0.
+    (Mdsp_ff.Topology.charges topo)
+
+(* A large solvated water box (13^3 molecules, 6591 atoms) — the same
+   pipeline as [water_envelope] at macromolecule scale, where the measured
+   neighbor budget (not the atom count) is what keeps the per-atom
+   accumulator provable. *)
+let water6k_envelope () =
+  let sys = Mdsp_workload.Workloads.water_box ~n_side:13 () in
+  let topo = sys.Mdsp_workload.Workloads.topo in
+  let cutoff = 9. and n = 2048 in
+  let elec = Mdsp_ff.Pair_interactions.Reaction_field { epsilon_rf = 78.5 } in
+  let tables = Table.table_set_of_topology topo ~cutoff ~elec ~n () in
+  {
+    Fixed_check.env_name = "water6k";
+    n_atoms = Mdsp_ff.Topology.n_atoms topo;
+    max_pairs_per_atom = measured_pair_budget ~cutoff sys;
+    min_separation = 1.5;
+    max_abs_charge = max_abs_charge_of topo;
+    cutoff;
+    nodes = (4, 4, 4);
+    tables;
+    position_extent = 1.0;
+  }
+
+(* A 10^4-atom bead-chain polymer in LJ solvent with reaction-field
+   electrostatics. Closest approaches are LJ-core limited (solvent is
+   placed >= 3 A from the chain; bead/solvent sigmas are 4.0/3.4 A), so
+   2.5 A is the certified floor. *)
+let chain10k_envelope () =
+  let sys =
+    Mdsp_workload.Workloads.bead_chain ~n_beads:256 ~n_total:10_000 ()
+  in
+  let topo = sys.Mdsp_workload.Workloads.topo in
+  let cutoff = 9. and n = 2048 in
+  let elec = Mdsp_ff.Pair_interactions.Reaction_field { epsilon_rf = 78.5 } in
+  let tables = Table.table_set_of_topology topo ~cutoff ~elec ~n () in
+  {
+    Fixed_check.env_name = "chain10k";
+    n_atoms = Mdsp_ff.Topology.n_atoms topo;
+    max_pairs_per_atom = measured_pair_budget ~cutoff sys;
+    min_separation = 2.5;
+    max_abs_charge = max_abs_charge_of topo;
+    cutoff;
+    nodes = (4, 4, 4);
+    tables;
+    position_extent = 1.0;
+  }
+
+let builtin_envelopes () =
+  [ water_envelope (); water6k_envelope (); chain10k_envelope () ]
 
 (* A deliberately narrowed force format that the certifier must reject:
    same resolution, not enough integer bits for the per-atom accumulator.

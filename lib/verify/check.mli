@@ -32,9 +32,13 @@ val builtin_kernels : unit -> Mdsp_core.Kernel.t list
     and the tests to prove the analyzer cannot be green by accident. *)
 val hazardous_kernel : unit -> Mdsp_core.Kernel.t
 
-(** The built-in datapath envelopes the certifier proves — currently the
-    water pipeline (same topology, cutoff and tables as the
-    ["water.*"] table entries). *)
+(** The built-in datapath envelopes the certifier proves: the small water
+    pipeline (same topology, cutoff and tables as the ["water.*"] table
+    entries, first in the list), a 6591-atom water box and a 10^4-atom
+    bead-chain polymer in LJ solvent. The macromolecule-scale envelopes pin
+    [max_pairs_per_atom] by building the runtime's tiled Verlet list on the
+    generated coordinates and taking the maximum per-atom degree (plus
+    headroom), rather than the trivial [n_atoms - 1] budget. *)
 val builtin_envelopes : unit -> Fixed_check.envelope list
 
 (** A force format at the default resolution but too narrow for the water

@@ -29,9 +29,28 @@ let bead_chain ~exec () =
     (FC.compute (E.force_calc eng) st.Mdsp_md.State.box
        st.Mdsp_md.State.positions acc)
 
+(* The same bead chain on the flat (SoA) hot path: the SoA pair, 1-4,
+   bonded and per-atom-reduction phases declare their own write-sets over
+   the flat force columns; a neighbor rebuild is forced so the tiled
+   cell-list bin + pair-list build phases run under the sanitizer too. *)
+let bead_chain_soa ~exec () =
+  let eng =
+    W.make_engine ~seed:5 ~exec ~soa:true
+      (W.bead_chain ~n_beads:16 ~n_total:256 ())
+  in
+  let st = E.state eng in
+  let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
+  let fc = E.force_calc eng in
+  ignore (FC.compute fc st.Mdsp_md.State.box st.Mdsp_md.State.positions acc);
+  ignore
+    (Mdsp_space.Neighbor_list.rebuild (FC.nlist fc)
+       st.Mdsp_md.State.positions)
+
 (* Must track the [Exec.declare_write] resource names in the force stack. *)
 let phase_labels =
   [
+    "cell.bin";
+    "nlist.tiles";
     "pair.tiles";
     "pair.pairs14";
     "bonded.bonds";
@@ -59,5 +78,6 @@ let run_phases ~slots =
     ~finally:(fun () -> Exec.shutdown exec)
     (fun () ->
       gse_box ~exec ();
-      bead_chain ~exec ());
+      bead_chain ~exec ();
+      bead_chain_soa ~exec ());
   phase_labels

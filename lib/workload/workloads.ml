@@ -422,7 +422,7 @@ let presets =
   ]
 
 let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
-    ?gse_grid ?(seed = 23) ?(exec = Exec.serial) sys =
+    ?gse_grid ?(seed = 23) ?(exec = Exec.serial) ?(soa = false) sys =
   let has_charges =
     Array.exists (fun (a : Mdsp_ff.Topology.atom) -> a.charge <> 0.)
       sys.topo.atoms
@@ -447,8 +447,8 @@ let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
       ~trunc:Mdsp_ff.Nonbonded.Shift ~elec
   in
   let nlist =
-    Mdsp_space.Neighbor_list.create ~exclusions:sys.topo.exclusions ~cutoff
-      ~skin:1.0 sys.box sys.positions
+    Mdsp_space.Neighbor_list.create ~exclusions:sys.topo.exclusions ~exec
+      ~cutoff ~skin:1.0 sys.box sys.positions
   in
   let longrange =
     match gse_grid with
@@ -457,8 +457,15 @@ let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
           (Mdsp_longrange.Gse.create ~beta ~grid sys.box)
     | _ -> Mdsp_md.Force_calc.Lr_none
   in
+  let soa_params =
+    if soa then
+      Mdsp_md.Soa_kernels.pair_params_of_topology sys.topo ~cutoff
+        ~trunc:Mdsp_ff.Nonbonded.Shift ~elec
+    else None
+  in
   let fc =
-    Mdsp_md.Force_calc.create ~exec sys.topo ~evaluator ~longrange ~nlist
+    Mdsp_md.Force_calc.create ~exec ?soa:soa_params sys.topo ~evaluator
+      ~longrange ~nlist
   in
   if sys.label = "double_well" then begin
     let barrier, half_width = dw_defaults in

@@ -103,7 +103,12 @@ val presets : preset list
     Ewald pairs ([Ewald_real], beta = 3/cutoff) plus the GSE reciprocal
     solver on the given power-of-two grid, all phases of which run on
     [exec]. Ignored for uncharged systems; an explicit [elec] still wins
-    for the pair part. *)
+    for the pair part.
+
+    [soa] (default false) installs the flat structure-of-arrays fast path
+    for the bonded/1-4/pair phases ({!Mdsp_md.Soa_kernels}); results are
+    bitwise identical to the boxed reference kernels. The neighbor list
+    always runs its tiled rebuild on [exec] regardless. *)
 val make_engine :
   ?config:Mdsp_md.Engine.config ->
   ?cutoff:float ->
@@ -111,5 +116,6 @@ val make_engine :
   ?gse_grid:int * int * int ->
   ?seed:int ->
   ?exec:Exec.t ->
+  ?soa:bool ->
   system ->
   Mdsp_md.Engine.t

@@ -10,9 +10,24 @@ dune runtest
 
 # e21 exercises the Domains backend end to end and writes the phase
 # timings (including the GSE sub-phase keys); keep it cheap but real.
+# It also runs the same workload on both data layouts (boxed and flat
+# SoA — bitwise-identical results, enforced by test_parallel).
 dune exec bench/main.exe -- e21 --json /tmp/mdsp-timings.json
 test -s /tmp/mdsp-timings.json
 grep -q 'e21\.lr_spread_serial_us' /tmp/mdsp-timings.json
+grep -q 'e21\.pair_soa_serial_us' /tmp/mdsp-timings.json
+
+# The SoA hot path must not be slower than the boxed kernels on the pair
+# phase, and the Gc-metered serial SoA pair window must allocate exactly
+# zero minor words per step.
+awk -F': ' '
+  /"e21\.soa_pair_speedup"/ {
+    v = $2; gsub(/,/, "", v); found = 1
+    if (v + 0 < 1.0) { print "ci: SoA pair phase slower than boxed (speedup " v ")"; exit 1 }
+  }
+  END { if (!found) { print "ci: e21.soa_pair_speedup missing"; exit 1 } }
+' /tmp/mdsp-timings.json
+grep -Eq '"e21\.soa_pair_minor_words_per_step": 0(,|$)' /tmp/mdsp-timings.json
 
 # Verification gate: interval-analyze every built-in kernel, check every
 # compiled table's domain/fit/quantization, race-sanitize all parallel
@@ -28,6 +43,8 @@ grep -q '"sanitize\.slots4": 1' /tmp/mdsp-verify.json
 grep -q '"datapath\.water\.ok": 1' /tmp/mdsp-verify.json
 grep -q '"datapath\.water\.force_format": 1' /tmp/mdsp-verify.json
 grep -q '"datapath\.water\.coeff_format": 1' /tmp/mdsp-verify.json
+grep -q '"datapath\.water6k\.ok": 1' /tmp/mdsp-verify.json
+grep -q '"datapath\.chain10k\.ok": 1' /tmp/mdsp-verify.json
 if dune exec bin/mdsp.exe -- check --seed-hazard --slots 1 >/dev/null 2>&1; then
   echo "ci: mdsp check --seed-hazard unexpectedly passed" >&2
   exit 1

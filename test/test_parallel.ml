@@ -409,6 +409,191 @@ let test_gse_subphase_timings () =
     ((E.timings plain).lr_spread_s = 0.
     && (E.timings plain).lr_fft_s = 0.)
 
+(* --- the flat (SoA) hot path ---
+
+   The Soa_kernels pair/bonded loops are expression-for-expression mirrors
+   of the boxed reference kernels, so the SoA path must agree with the
+   boxed path *bitwise* — energies, every force component and the virial —
+   on every seed workload, serially and on a pool. *)
+
+let soa_systems () =
+  [
+    ("lj fluid", Mdsp_workload.Workloads.lj_fluid ~n:256 ());
+    ("water box", Mdsp_workload.Workloads.water_box ~n_side:3 ());
+    ( "bead chain",
+      Mdsp_workload.Workloads.bead_chain ~n_beads:16 ~n_total:256 () );
+  ]
+
+let compute_sys ?gse_grid ~exec ~soa sys =
+  let eng =
+    Mdsp_workload.Workloads.make_engine ?gse_grid ~seed:5 ~exec ~soa sys
+  in
+  check_true "soa flag surfaced" (E.soa_active eng = soa);
+  let st = E.state eng in
+  let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
+  let e =
+    FC.compute (E.force_calc eng) st.Mdsp_md.State.box
+      st.Mdsp_md.State.positions acc
+  in
+  (e, acc)
+
+let check_bitwise name (e_a, acc_a) (e_b, acc_b) =
+  check_true (name ^ ": energies bit-identical") (e_a = e_b);
+  check_true
+    (name ^ ": virial bit-identical")
+    (acc_a.Mdsp_ff.Bonded.virial = acc_b.Mdsp_ff.Bonded.virial);
+  let identical = ref true in
+  Array.iteri
+    (fun i f ->
+      if f <> acc_b.Mdsp_ff.Bonded.forces.(i) then identical := false)
+    acc_a.Mdsp_ff.Bonded.forces;
+  check_true (name ^ ": forces bit-identical") !identical
+
+let test_soa_matches_boxed_serial () =
+  List.iter
+    (fun (name, sys) ->
+      check_bitwise name
+        (compute_sys ~exec:Exec.serial ~soa:false sys)
+        (compute_sys ~exec:Exec.serial ~soa:true sys))
+    (soa_systems ())
+
+let test_soa_matches_boxed_domains () =
+  (* The SoA parallel phases mirror the boxed tile decomposition and
+     reduction tree shape, so agreement holds bitwise on a pool too. *)
+  let pool = Exec.create (Exec.Domains { n = 3 }) in
+  List.iter
+    (fun (name, sys) ->
+      check_bitwise name
+        (compute_sys ~exec:pool ~soa:false sys)
+        (compute_sys ~exec:pool ~soa:true sys))
+    (soa_systems ());
+  Exec.shutdown pool
+
+let test_soa_matches_boxed_gse () =
+  (* Ewald real-space pairs + GSE reciprocal: the SoA pair kernel covers
+     the erfc path; the grid phase stays boxed on both sides. *)
+  let sys () = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+  check_bitwise "gse water (serial)"
+    (compute_sys ~gse_grid:(16, 16, 16) ~exec:Exec.serial ~soa:false (sys ()))
+    (compute_sys ~gse_grid:(16, 16, 16) ~exec:Exec.serial ~soa:true (sys ()));
+  let pool = Exec.create (Exec.Domains { n = 4 }) in
+  check_bitwise "gse water (domains)"
+    (compute_sys ~gse_grid:(16, 16, 16) ~exec:pool ~soa:false (sys ()))
+    (compute_sys ~gse_grid:(16, 16, 16) ~exec:pool ~soa:true (sys ()));
+  Exec.shutdown pool
+
+let test_soa_respa_classes_match () =
+  let sys = Mdsp_workload.Workloads.bead_chain ~n_beads:16 ~n_total:256 () in
+  let run soa cls =
+    let eng =
+      Mdsp_workload.Workloads.make_engine ~seed:5 ~exec:Exec.serial ~soa sys
+    in
+    let st = E.state eng in
+    let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
+    let e =
+      FC.compute_class (E.force_calc eng) cls st.Mdsp_md.State.box
+        st.Mdsp_md.State.positions acc
+    in
+    (e, acc)
+  in
+  List.iter
+    (fun (name, cls) ->
+      check_bitwise name (run false cls) (run true cls))
+    [ ("fast class", `Fast); ("slow class", `Slow) ]
+
+let test_soa_trajectory_matches_boxed () =
+  (* Bitwise force identity implies bitwise trajectory identity: same
+     seed, same thermostat noise stream, 25 steps with rebuilds and
+     constraints. *)
+  let run soa =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+    let cfg =
+      {
+        E.default_config with
+        dt_fs = 1.0;
+        temperature = 300.;
+        thermostat = E.Langevin { gamma_fs = 0.02 };
+      }
+    in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:7 ~soa sys in
+    E.run eng 25;
+    (Array.copy (E.state eng).Mdsp_md.State.positions, E.total_energy eng)
+  in
+  let pos_b, e_b = run false in
+  let pos_s, e_s = run true in
+  check_true "trajectory energy bit-identical" (e_b = e_s);
+  let identical = ref true in
+  Array.iteri (fun i p -> if p <> pos_s.(i) then identical := false) pos_b;
+  check_true "trajectory positions bit-identical" !identical
+
+let test_soa_parallel_determinism () =
+  let run () =
+    let pool = Exec.create (Exec.Domains { n = 4 }) in
+    let r =
+      compute_sys ~exec:pool ~soa:true
+        (Mdsp_workload.Workloads.water_box ~n_side:3 ())
+    in
+    Exec.shutdown pool;
+    r
+  in
+  check_bitwise "fresh pools" (run ()) (run ())
+
+let test_soa_pair_loop_zero_alloc () =
+  (* The serial SoA pair window is measured with Gc.minor_words: the flat
+     loops must not allocate at all once warm. *)
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:500 () in
+  let eng = Mdsp_workload.Workloads.make_engine ~seed:3 ~soa:true sys in
+  check_true "soa active" (E.soa_active eng);
+  E.run eng 2;
+  E.reset_timings eng;
+  E.run eng 10;
+  let tm = E.timings eng in
+  check_true "10 evaluations measured" (tm.FC.calls = 10);
+  check_true
+    (Printf.sprintf "pair loop allocates zero minor words (got %.1f)"
+       tm.FC.pair_words)
+    (tm.FC.pair_words = 0.)
+
+let test_soa_phases_race_free () =
+  (* The SoA parallel phases under the write-set sanitizer at 2 and 4
+     slots: pair tiles, 1-4 pairs, the four bonded terms, the per-atom
+     reduction, plus the cell-list bin and pair-list build phases. *)
+  List.iter
+    (fun slots ->
+      let exec = Exec.create ~sanitize:true (Exec.Domains { n = slots }) in
+      Fun.protect
+        ~finally:(fun () -> Exec.shutdown exec)
+        (fun () ->
+          ignore
+            (compute_sys ~exec ~soa:true
+               (Mdsp_workload.Workloads.bead_chain ~n_beads:16 ~n_total:256
+                  ()));
+          ignore
+            (compute_sys ~gse_grid:(16, 16, 16) ~exec ~soa:true
+               (Mdsp_workload.Workloads.water_box ~n_side:3 ()))))
+    [ 2; 4 ]
+
+let test_nbuild_subphase_timed () =
+  let sys = Mdsp_workload.Workloads.lj_fluid ~n:256 () in
+  let cfg =
+    {
+      E.default_config with
+      dt_fs = 2.0;
+      temperature = 120.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+    }
+  in
+  let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:3 sys in
+  E.reset_timings eng;
+  E.run eng 40;
+  let tm = E.timings eng in
+  let rebuilt =
+    Mdsp_space.Neighbor_list.rebuild_count (FC.nlist (E.force_calc eng)) > 0
+  in
+  check_true "nbuild within the neighbor bucket"
+    (tm.FC.nbuild_s >= 0. && tm.FC.nbuild_s <= tm.FC.neighbor_s +. 1e-9);
+  if rebuilt then check_true "rebuilds were timed" (tm.FC.nbuild_s > 0.)
+
 (* --- timing instrumentation --- *)
 
 let test_step_timings_populated () =
@@ -457,6 +642,17 @@ let test_resource_rows_mapping () =
   | None -> Alcotest.fail "flex row unmapped");
   check_true "sync has no host analogue"
     ((find "sync").Mdsp_machine.Perf.measured_s = None);
+  (* The neighbor-build sub-phase row maps timings.nbuild_s. *)
+  tm.FC.nbuild_s <- 1.0;
+  let rows' = Mdsp_machine.Perf.resource_rows b tm in
+  (match
+     (List.find
+        (fun r -> r.Mdsp_machine.Perf.resource = "  nbuild")
+        rows')
+       .Mdsp_machine.Perf.measured_s
+   with
+  | Some v -> check_float ~eps:1e-12 "nbuild maps per-call" 0.1 v
+  | None -> Alcotest.fail "nbuild row unmapped");
   (* Unmeasured timings map to nothing. *)
   let rows0 = Mdsp_machine.Perf.resource_rows b (FC.zero_timings ()) in
   check_true "no calls -> no measured columns"
@@ -506,10 +702,31 @@ let () =
           Alcotest.test_case "sub-phase timing sanity" `Quick
             test_gse_subphase_timings;
         ] );
+      ( "soa",
+        [
+          Alcotest.test_case "SoA = boxed bitwise (serial)" `Quick
+            test_soa_matches_boxed_serial;
+          Alcotest.test_case "SoA = boxed bitwise (domains)" `Quick
+            test_soa_matches_boxed_domains;
+          Alcotest.test_case "SoA = boxed bitwise (GSE/Ewald)" `Quick
+            test_soa_matches_boxed_gse;
+          Alcotest.test_case "RESPA fast/slow classes bitwise" `Quick
+            test_soa_respa_classes_match;
+          Alcotest.test_case "25-step trajectory bitwise" `Quick
+            test_soa_trajectory_matches_boxed;
+          Alcotest.test_case "parallel SoA deterministic" `Quick
+            test_soa_parallel_determinism;
+          Alcotest.test_case "pair loop allocation-free" `Quick
+            test_soa_pair_loop_zero_alloc;
+          Alcotest.test_case "sanitized SoA phases race-free" `Quick
+            test_soa_phases_race_free;
+        ] );
       ( "timing",
         [
           Alcotest.test_case "per-resource step timings" `Quick
             test_step_timings_populated;
+          Alcotest.test_case "nbuild sub-phase" `Quick
+            test_nbuild_subphase_timed;
           Alcotest.test_case "model vs measured resource rows" `Quick
             test_resource_rows_mapping;
         ] );

@@ -73,6 +73,57 @@ let prop_cell_list_counts_match =
         (fun p -> Hashtbl.mem candidates p)
         (brute_force_pairs box positions cutoff))
 
+let test_cell_list_out_of_box_coordinates () =
+  (* Atoms just outside the primary box (negative coordinates and beyond
+     +L). Binning must use floored division/modulo so these land in the
+     wrapped cell: with truncating [mod], an atom at -0.3 would bin to cell
+     0 instead of cell nx-1 and its pairs across the face would be lost. *)
+  let box_l = 18.0 and cutoff = 4.0 in
+  let box, positions =
+    random_positions ~seed:24 ~n:150 ~box_l ~min_dist:0.8
+  in
+  (* Push a band of atoms just below 0 and another just above L, and
+     translate a third band by whole box lengths. *)
+  Array.iteri
+    (fun i p ->
+      let open Vec3 in
+      if i mod 5 = 0 then positions.(i) <- make (p.x -. box_l) p.y p.z
+      else if i mod 5 = 1 then
+        positions.(i) <- make p.x (p.y +. box_l) (p.z -. (2. *. box_l))
+      else if i mod 5 = 2 then
+        positions.(i) <- make (p.x -. (Float.min p.x 0.4) -. 0.05) p.y p.z)
+    positions;
+  let cl = Cell_list.build box positions ~cutoff in
+  let seen = Hashtbl.create 1024 in
+  Cell_list.iter_pairs cl (fun i j ->
+      let key = norm_pair (i, j) in
+      if Hashtbl.mem seen key then
+        Alcotest.failf "pair (%d,%d) enumerated twice" i j;
+      Hashtbl.add seen key ());
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem seen p) then
+        Alcotest.failf "missing pair (%d,%d) with out-of-box coordinates"
+          (fst p) (snd p))
+    (brute_force_pairs box positions cutoff)
+
+let test_cell_list_parallel_bin_matches_serial () =
+  let box, positions =
+    random_positions ~seed:25 ~n:200 ~box_l:20. ~min_dist:0.7
+  in
+  let cutoff = 4.0 in
+  let serial = Cell_list.build box positions ~cutoff in
+  let pool = Exec.create (Exec.Domains { n = 4 }) in
+  let parallel = Cell_list.build ~exec:pool box positions ~cutoff in
+  Exec.shutdown pool;
+  let collect cl =
+    let acc = ref [] in
+    Cell_list.iter_pairs cl (fun i j -> acc := norm_pair (i, j) :: !acc);
+    List.sort compare !acc
+  in
+  check_true "parallel binning yields the identical candidate set"
+    (collect serial = collect parallel)
+
 (* --- Exclusions --- *)
 
 let test_exclusions_of_pairs () =
@@ -188,6 +239,65 @@ let prop_neighbor_list_skin_sweep =
         (fun p -> Hashtbl.mem stored p)
         (brute_force_pairs box positions cutoff))
 
+let test_neighbor_list_parallel_rebuild_identical () =
+  (* The tiled rebuild uses a fixed tile count, so the stored pair list —
+     content *and order* — is a pure function of the positions, bitwise
+     identical across executor widths. *)
+  let box, positions =
+    random_positions ~seed:37 ~n:300 ~box_l:20. ~min_dist:0.7
+  in
+  let build exec =
+    let nl =
+      Neighbor_list.create ~exec ~cutoff:4. ~skin:1. box positions
+    in
+    let moved =
+      Array.map (fun p -> Vec3.add p (Vec3.make 0.9 0.4 (-0.7))) positions
+    in
+    ignore (Neighbor_list.rebuild nl moved);
+    let is, js = Neighbor_list.raw_pairs nl in
+    let n = Neighbor_list.length nl in
+    (Array.sub is 0 n, Array.sub js 0 n)
+  in
+  let ref_is, ref_js = build Exec.serial in
+  check_true "serial rebuild found pairs" (Array.length ref_is > 0);
+  List.iter
+    (fun slots ->
+      let pool = Exec.create (Exec.Domains { n = slots }) in
+      let is, js = build pool in
+      Exec.shutdown pool;
+      check_true
+        (Printf.sprintf "%d-slot rebuild identical to serial" slots)
+        (is = ref_is && js = ref_js))
+    [ 2; 4 ]
+
+let test_neighbor_list_parallel_rebuild_race_free () =
+  (* The rebuild's parallel phases ("cell.bin", "nlist.tiles") under the
+     write-set sanitizer: any overlapping write raises Exec.Race. *)
+  let box, positions =
+    random_positions ~seed:38 ~n:200 ~box_l:18. ~min_dist:0.7
+  in
+  let exec = Exec.create ~sanitize:true (Exec.Domains { n = 4 }) in
+  Fun.protect
+    ~finally:(fun () -> Exec.shutdown exec)
+    (fun () ->
+      let nl = Neighbor_list.create ~exec ~cutoff:4. ~skin:1. box positions in
+      let moved =
+        Array.map (fun p -> Vec3.add p (Vec3.make 0.8 0. 0.)) positions
+      in
+      ignore (Neighbor_list.rebuild nl moved);
+      check_true "sanitized rebuild completed" (Neighbor_list.length nl > 0))
+
+let test_neighbor_list_build_seconds () =
+  let box, positions =
+    random_positions ~seed:39 ~n:100 ~box_l:14. ~min_dist:0.8
+  in
+  let nl = Neighbor_list.create ~cutoff:3.5 ~skin:1. box positions in
+  let t0 = Neighbor_list.build_seconds nl in
+  check_true "creation time accounted" (t0 >= 0.);
+  ignore (Neighbor_list.rebuild nl positions);
+  check_true "rebuild time accumulates"
+    (Neighbor_list.build_seconds nl >= t0)
+
 (* --- Decomp --- *)
 
 let test_decomp_assign_partitions () =
@@ -245,6 +355,10 @@ let () =
             test_cell_list_degenerate_small_box;
           Alcotest.test_case "per-particle neighbors" `Quick
             test_cell_list_neighbors_include_all;
+          Alcotest.test_case "floored binning outside the box" `Quick
+            test_cell_list_out_of_box_coordinates;
+          Alcotest.test_case "parallel binning matches serial" `Quick
+            test_cell_list_parallel_bin_matches_serial;
           prop_cell_list_counts_match;
         ] );
       ( "exclusions",
@@ -269,6 +383,12 @@ let () =
           Alcotest.test_case "maybe_rebuild counting" `Quick
             test_neighbor_list_maybe_rebuild_counts;
           Alcotest.test_case "box change" `Quick test_neighbor_list_box_change;
+          Alcotest.test_case "parallel rebuild bitwise at 1/2/4 slots" `Quick
+            test_neighbor_list_parallel_rebuild_identical;
+          Alcotest.test_case "sanitized parallel rebuild race-free" `Quick
+            test_neighbor_list_parallel_rebuild_race_free;
+          Alcotest.test_case "build time accounting" `Quick
+            test_neighbor_list_build_seconds;
           prop_neighbor_list_skin_sweep;
         ] );
       ( "decomp",

@@ -457,11 +457,16 @@ let test_registry_end_to_end () =
     (List.for_all TC.report_ok s.Check.tables);
   check_true "sanitizer clean"
     (List.for_all (fun r -> r.Check.failure = None) s.Check.sanitize);
-  check_true "only the narrowed datapath fails"
+  check_true "only the narrowed datapaths fail"
     (List.for_all
        (fun (r : FC.report) ->
-         FC.proved r = (r.FC.workload = "water"))
+         FC.proved r = not (contains_sub ~sub:"[narrow" r.FC.workload))
        s.Check.datapath);
+  check_true "all three envelopes in the registry"
+    (List.exists (fun (r : FC.report) -> r.FC.workload = "water6k")
+       s.Check.datapath
+    && List.exists (fun (r : FC.report) -> r.FC.workload = "chain10k")
+         s.Check.datapath);
   let json = Check.to_json s in
   let has sub = contains_sub ~sub json in
   check_true "json verdict keys"
