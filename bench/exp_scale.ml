@@ -1,0 +1,105 @@
+(* E23: multi-node strong scaling from real decomposition frames.
+
+   For each workload and torus size, run the midpoint decomposition
+   (Mdsp_machine.Decomp) on the actual coordinates, price the resulting
+   import / force-return / grid-transpose traffic on the torus
+   (Comm_model), and feed the wire times into the performance model
+   (Perf.step_time_decomposed). The table shows where communication
+   overtakes computation as per-node work shrinks; the exactly-once
+   pair-assignment check runs on every frame against the single-node
+   cell list. *)
+
+open Bench_common
+module W = Mdsp_workload.Workloads
+module Config = Mdsp_machine.Config
+module Perf = Mdsp_machine.Perf
+module Decomp = Mdsp_machine.Decomp
+module Comm_model = Mdsp_machine.Comm_model
+
+let node_grids = [ (2, 2, 2); (4, 4, 4); (8, 8, 4); (8, 8, 8) ]
+
+let limiting (b : Perf.breakdown) =
+  if b.Perf.htis_s >= b.Perf.flex_s && b.Perf.htis_s >= b.Perf.comm_s then
+    "pair"
+  else if b.Perf.flex_s >= b.Perf.comm_s then "flex"
+  else "comm"
+
+let scale_one ~label ~grid (sys : W.system) =
+  let cutoff = 9.0 in
+  let w =
+    { (Perf.of_system ~fft_grid:grid sys.W.topo sys.W.box) with Perf.cutoff }
+  in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf "%s (%d atoms): nodes vs compute / comm" label
+           (Array.length sys.W.positions))
+      ~columns:
+        [
+          ("nodes", T.Right);
+          ("home max", T.Right);
+          ("import max", T.Right);
+          ("pairs/node max", T.Right);
+          ("compute us", T.Right);
+          ("comm us", T.Right);
+          ("step us", T.Right);
+          ("ns/day", T.Right);
+          ("limit", T.Left);
+        ]
+  in
+  let all_once = ref true in
+  List.iter
+    (fun nodes ->
+      let d = Decomp.create sys.W.box ~nodes ~cutoff in
+      let stats = Decomp.analyze d sys.W.positions in
+      all_once := !all_once && stats.Decomp.pair_once_ok;
+      let cfg = Config.anton_like ~nodes () in
+      let comm = Comm_model.of_stats cfg ~grid stats in
+      let b = Perf.step_time_decomposed cfg w ~comm in
+      let ns_day = Perf.ns_per_day_decomposed cfg w ~comm in
+      let nn = Decomp.node_count d in
+      let compute_s = Float.max b.Perf.htis_s b.Perf.flex_s in
+      let home_max = Array.fold_left max 0 stats.Decomp.home_atoms in
+      let import_max = Array.fold_left max 0 stats.Decomp.import_atoms in
+      let key k = Printf.sprintf "e23.%s.n%d.%s" label nn k in
+      record (key "compute_s") compute_s;
+      record (key "comm_s") b.Perf.comm_s;
+      record (key "step_s") b.Perf.step_s;
+      record (key "ns_day") ns_day;
+      record (key "pairs_node_max")
+        (float_of_int (Decomp.max_pairs_per_node stats));
+      record (key "pair_once") (if stats.Decomp.pair_once_ok then 1. else 0.);
+      T.row t
+        [
+          T.cell_i nn;
+          T.cell_i home_max;
+          T.cell_i import_max;
+          T.cell_i (Decomp.max_pairs_per_node stats);
+          T.cell_f ~prec:3 (compute_s *. 1e6);
+          T.cell_f ~prec:3 (b.Perf.comm_s *. 1e6);
+          T.cell_f ~prec:3 (b.Perf.step_s *. 1e6);
+          T.cell_f ~prec:2 ns_day;
+          limiting b;
+        ])
+    node_grids;
+  T.print t;
+  !all_once
+
+let e23 () =
+  section "E23" "Multi-node strong scaling: decomposition + torus network";
+  let ok_water =
+    scale_one ~label:"water6k" ~grid:(32, 32, 32) (W.water_box ~n_side:13 ())
+  in
+  let ok_chain =
+    scale_one ~label:"chain10k" ~grid:(32, 32, 32)
+      (W.bead_chain ~n_beads:256 ~n_total:10_000 ())
+  in
+  let ok = ok_water && ok_chain in
+  record "e23.pair_once_ok" (if ok then 1. else 0.);
+  note
+    "Every frame's midpoint pair assignment reproduced the single-node\n\
+     cell-list count with zero residency violations: %s.\n\
+     Compute shrinks ~linearly with nodes while the comm term is dominated\n\
+     by per-node import depth (cutoff/2 shell), which shrinks much slower —\n\
+     the limiting term flips from compute to comm as nodes grow.\n"
+    (if ok then "ok" else "FAILED")

@@ -37,6 +37,7 @@ let registry =
     ("a6", "ablation: truncation scheme vs NVE drift", Exp_ablations.a6);
     ("e21", "execution backends: measured resource breakdown", Exp_perf.e21);
     ("e22", "sharded REMD on the Exec pool vs sequential", Exp_ensemble.e22);
+    ("e23", "multi-node strong scaling: decomposition + torus comm", Exp_scale.e23);
     ("timing", "bechamel micro-benchmarks", Exp_timing.run);
   ]
 

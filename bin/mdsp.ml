@@ -5,6 +5,7 @@
      mdsp run ...                  run MD on a preset and report
      mdsp ensemble ...             sharded replica-exchange on the Exec pool
      mdsp model ...                machine/cluster performance model
+     mdsp project ...              multi-node decomposition + torus network
      mdsp table ...                compile a pair form and report accuracy
      mdsp check ...                verify kernels, tables, parallel phases *)
 
@@ -452,6 +453,105 @@ let model_cmd =
   in
   Cmd.v (Cmd.info "model" ~doc) Term.(const run $ atoms_arg $ nodes_arg)
 
+(* --- project --- *)
+
+let project_steps_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "steps" ] ~docv:"N"
+        ~doc:"MD steps for the measured --timings run.")
+
+let project_cmd =
+  let module M = Mdsp_machine in
+  let module WL = Mdsp_workload.Workloads in
+  let doc =
+    "Project multi-node performance: decompose a workload over a torus, \
+     price the per-step network traffic, and report the resulting step-time \
+     breakdown and ns/day."
+  in
+  let run preset nodes gse domains timings steps =
+    let sys = build_system preset in
+    let exec =
+      let module X = Mdsp_util.Exec in
+      match domains with
+      | 1 -> X.serial
+      | 0 -> X.create (X.Domains { n = X.recommended_domains () })
+      | n -> X.create (X.Domains { n })
+    in
+    let cutoff = Float.min 9.0 (Mdsp_util.Pbc.min_edge sys.WL.box /. 2.) in
+    let d = M.Decomp.create sys.WL.box ~nodes ~cutoff in
+    let stats = M.Decomp.analyze ~exec d sys.WL.positions in
+    let cfg = M.Config.anton_like ~nodes () in
+    let grid = if gse > 0 then Some (gse, gse, gse) else None in
+    let comm = M.Comm_model.of_stats cfg ?grid stats in
+    let w =
+      { (M.Perf.of_system ?fft_grid:grid sys.WL.topo sys.WL.box) with
+        M.Perf.cutoff }
+    in
+    let b = M.Perf.step_time_decomposed cfg w ~comm in
+    let px, py, pz = nodes in
+    let nn = M.Decomp.node_count d in
+    let imax a = Array.fold_left max 0 a in
+    let isum a = Array.fold_left ( + ) 0 a in
+    Printf.printf "decomposition %dx%dx%d (%d nodes), %s (%d atoms), cutoff %.2f A:\n"
+      px py pz nn sys.WL.label stats.M.Decomp.n_atoms cutoff;
+    Printf.printf "  home atoms   max %6d   mean %8.1f\n"
+      (imax stats.M.Decomp.home_atoms)
+      (float_of_int stats.M.Decomp.n_atoms /. float_of_int nn);
+    Printf.printf "  import atoms max %6d   mean %8.1f\n"
+      (imax stats.M.Decomp.import_atoms)
+      (float_of_int (isum stats.M.Decomp.import_atoms) /. float_of_int nn);
+    Printf.printf "  pairs/node   max %6d   (total %d)\n"
+      (M.Decomp.max_pairs_per_node stats)
+      stats.M.Decomp.n_pairs;
+    Printf.printf "  exactly-once pair assignment: %s\n"
+      (if stats.M.Decomp.pair_once_ok then
+         "ok (matches single-node cell list, 0 residency violations)"
+       else
+         Printf.sprintf "FAILED (%d vs %d pairs, %d residency violations)"
+           stats.M.Decomp.n_pairs stats.M.Decomp.singlenode_pairs
+           stats.M.Decomp.residency_violations);
+    Printf.printf "per-step torus traffic:\n";
+    List.iter
+      (fun (p : M.Comm_model.phase) ->
+        Printf.printf
+          "  %-16s %6d msgs  %11.0f bytes  hops <= %2d (avg %.2f)  %8.3f us\n"
+          p.M.Comm_model.label p.M.Comm_model.messages p.M.Comm_model.bytes
+          p.M.Comm_model.max_hops p.M.Comm_model.avg_hops
+          (p.M.Comm_model.time_s *. 1e6))
+      (M.Comm_model.phases comm);
+    Printf.printf "step-time breakdown:\n";
+    Printf.printf "  pipelines   %8.3f us\n" (b.M.Perf.htis_s *. 1e6);
+    Printf.printf "  flex cores  %8.3f us\n" (b.M.Perf.flex_s *. 1e6);
+    Printf.printf "  network     %8.3f us\n" (b.M.Perf.comm_s *. 1e6);
+    Printf.printf "  long-range  %8.3f us\n" (b.M.Perf.fft_s *. 1e6);
+    Printf.printf "  sync        %8.3f us\n" (b.M.Perf.sync_s *. 1e6);
+    Printf.printf "  step        %8.3f us  ->  %.0f ns/day\n"
+      (b.M.Perf.step_s *. 1e6)
+      (M.Perf.ns_per_day_decomposed cfg w ~comm);
+    if timings then begin
+      let eng = WL.make_engine ?gse_grid:grid ~exec sys in
+      E.run eng steps;
+      let tm = E.timings eng in
+      Printf.printf
+        "model vs measured (per step, %d evaluations, torus phases have no \
+         host analogue):\n"
+        tm.Mdsp_md.Force_calc.calls;
+      List.iter
+        (fun (r : M.Perf.resource_row) ->
+          Printf.printf "  %-18s %10.3f us  %s\n" r.M.Perf.resource
+            (r.M.Perf.model_s *. 1e6)
+            (match r.M.Perf.measured_s with
+            | Some v -> Printf.sprintf "%10.3f us" (v *. 1e6)
+            | None -> "        --"))
+        (M.Perf.resource_rows ~comm b tm)
+    end
+  in
+  Cmd.v (Cmd.info "project" ~doc)
+    Term.(
+      const run $ preset_arg $ nodes_arg $ gse_arg $ domains_arg $ timings_arg
+      $ project_steps_arg)
+
 (* --- table --- *)
 
 let form_arg =
@@ -626,6 +726,7 @@ let main =
       run_cmd;
       ensemble_cmd;
       model_cmd;
+      project_cmd;
       table_cmd;
       check_cmd;
       analyze_cmd;

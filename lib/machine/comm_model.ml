@@ -1,0 +1,122 @@
+type phase = {
+  label : string;
+  messages : int;
+  bytes : float;
+  sent_bytes : float array;
+  recv_bytes : float array;
+  max_node_bytes : float;
+  max_hops : int;
+  avg_hops : float;
+  time_s : float;
+}
+
+type step = {
+  import : phase;
+  force_return : phase;
+  transpose : phase option;
+  total_s : float;
+}
+
+let phases s =
+  [ s.import; s.force_return ]
+  @ match s.transpose with None -> [] | Some p -> [ p ]
+
+let inject_bw cfg =
+  cfg.Config.link_gb_s *. 1e9 *. float_of_int cfg.Config.links_per_node
+
+let phase_time cfg ~max_node_bytes ~max_hops =
+  (max_node_bytes /. inject_bw cfg)
+  +. (float_of_int max_hops *. cfg.Config.hop_latency_ns *. 1e-9)
+
+(* Price the directed import edges; [reverse] swaps the roles of every
+   (dst, src) edge, which is exactly the force-return phase — same byte
+   volume by construction. *)
+let edge_phase cfg torus ~label ~reverse (stats : Decomp.stats) =
+  let nn = Torus.node_count torus in
+  let bytes_per_atom = float_of_int cfg.Config.bytes_per_atom in
+  let sent = Array.make nn 0. and recv = Array.make nn 0. in
+  let total = ref 0. and hop_bytes = ref 0. in
+  let max_hops = ref 0 and messages = ref 0 in
+  Array.iter
+    (fun (dst, src, atoms) ->
+      let dst, src = if reverse then (src, dst) else (dst, src) in
+      let b = float_of_int atoms *. bytes_per_atom in
+      sent.(src) <- sent.(src) +. b;
+      recv.(dst) <- recv.(dst) +. b;
+      total := !total +. b;
+      let h = Torus.hops torus src dst in
+      if h > !max_hops then max_hops := h;
+      hop_bytes := !hop_bytes +. (b *. float_of_int h);
+      incr messages)
+    stats.Decomp.imports;
+  let max_node_bytes = ref 0. in
+  for v = 0 to nn - 1 do
+    max_node_bytes := Float.max !max_node_bytes (Float.max sent.(v) recv.(v))
+  done;
+  {
+    label;
+    messages = !messages;
+    bytes = !total;
+    sent_bytes = sent;
+    recv_bytes = recv;
+    max_node_bytes = !max_node_bytes;
+    max_hops = !max_hops;
+    avg_hops = (if !total > 0. then !hop_bytes /. !total else 0.);
+    time_s = phase_time cfg ~max_node_bytes:!max_node_bytes ~max_hops:!max_hops;
+  }
+
+(* Mean wrap-around distance between distinct positions on a ring of [n]. *)
+let mean_ring n =
+  if n <= 1 then 0.
+  else begin
+    let s = ref 0 in
+    for d = 1 to n - 1 do
+      s := !s + min d (n - d)
+    done;
+    float_of_int !s /. float_of_int (n - 1)
+  end
+
+(* The distributed FFT exchanges the node-local grid slab once per
+   decomposed axis (row pass along x, column pass along y): an all-to-all
+   within each torus line of [grid_points / nodes] complex (16-byte)
+   values per node per pass. Axes of extent 1 need no pass. *)
+let transpose_phase cfg torus ~grid:(gx, gy, gz) =
+  let nx, ny, _ = Torus.dims torus in
+  let nn = Torus.node_count torus in
+  let k = float_of_int (gx * gy * gz) in
+  let passes = List.filter (fun n -> n > 1) [ nx; ny ] in
+  let per_node =
+    k /. float_of_int nn *. 16. *. float_of_int (List.length passes)
+  in
+  let max_hops = List.fold_left (fun a n -> a + (n / 2)) 0 passes in
+  let avg_hops =
+    match passes with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun a n -> a +. mean_ring n) 0. passes
+        /. float_of_int (List.length passes)
+  in
+  {
+    label = "grid transpose";
+    messages = nn * List.fold_left (fun a n -> a + (n - 1)) 0 passes;
+    bytes = per_node *. float_of_int nn;
+    sent_bytes = Array.make nn per_node;
+    recv_bytes = Array.make nn per_node;
+    max_node_bytes = per_node;
+    max_hops;
+    avg_hops;
+    time_s = phase_time cfg ~max_node_bytes:per_node ~max_hops;
+  }
+
+let of_stats cfg ?grid (stats : Decomp.stats) =
+  let torus = Torus.create stats.Decomp.nodes in
+  let import = edge_phase cfg torus ~label:"position import" ~reverse:false stats in
+  let force_return =
+    edge_phase cfg torus ~label:"force return" ~reverse:true stats
+  in
+  let transpose = Option.map (fun grid -> transpose_phase cfg torus ~grid) grid in
+  let total_s =
+    import.time_s +. force_return.time_s
+    +. match transpose with None -> 0. | Some p -> p.time_s
+  in
+  { import; force_return; transpose; total_s }

@@ -1,0 +1,57 @@
+(** Per-step 3D-torus communication model.
+
+    Converts one frame's {!Decomp.stats} into the three per-step traffic
+    phases of the multi-node machine and their wire times under a
+    machine's link parameters ({!Config.t}: [link_gb_s] per link and
+    direction, [links_per_node] usable for injection, [hop_latency_ns]
+    per traversed link, [bytes_per_atom] payload):
+
+    - {e position import}: each node sends its home atoms that fall in a
+      neighbor's import region ([stats.imports] edges, [src -> dst]);
+    - {e force return}: the same edges reversed — one force record per
+      imported atom travels back ([dst -> src]), so its byte volume
+      equals the import phase's exactly (conservation);
+    - {e grid transpose} (optional): the two all-to-all row/column passes
+      of the distributed long-range FFT, [grid_points / nodes] complex
+      (16-byte) values per node per pass.
+
+    Units: [bytes] are bytes on the wire per step, [time_s] seconds,
+    hops are link traversals. A phase's time is the busiest node's
+    injection/ejection serialization ([max_node_bytes] over the
+    aggregate link bandwidth) plus the worst-case hop latency — links
+    are modeled as contention-free beyond the endpoint serialization.
+
+    Everything here is arithmetic on {!Decomp.stats}; it inherits that
+    record's determinism (identical for any executor or slot count). *)
+
+type phase = {
+  label : string;
+  messages : int;  (** distinct point-to-point transfers per step *)
+  bytes : float;  (** total bytes on the network per step *)
+  sent_bytes : float array;  (** per source rank: bytes injected *)
+  recv_bytes : float array;  (** per destination rank: bytes ejected *)
+  max_node_bytes : float;
+      (** busiest node: max over ranks of max (sent, received) *)
+  max_hops : int;  (** longest route used, in link traversals *)
+  avg_hops : float;  (** byte-weighted mean route length *)
+  time_s : float;  (** modeled phase time, seconds *)
+}
+
+type step = {
+  import : phase;  (** position import, [src -> dst] *)
+  force_return : phase;  (** force return, [dst -> src] *)
+  transpose : phase option;  (** FFT transposes, when a grid is given *)
+  total_s : float;  (** sum of the phase times, seconds *)
+}
+
+(** The phases of a step in order (import, force return, transpose when
+    present). *)
+val phases : step -> phase list
+
+(** [of_stats cfg ?grid stats] prices one decomposition frame on the
+    machine [cfg]. The torus dimensions come from [stats] (so a 64-node
+    decomposition is priced on a 64-node torus even if [cfg.nodes]
+    differs); [cfg] supplies only the link parameters. [grid], when
+    given, adds the long-range transpose phase for an FFT of that many
+    points distributed over the decomposition's nodes. *)
+val of_stats : Config.t -> ?grid:int * int * int -> Decomp.stats -> step

@@ -71,6 +71,22 @@ type breakdown = {
   step_s : float;
 }
 
+(* Analytic estimate of the two all-to-all FFT transpose passes; the
+   decomposed path replaces exactly this term with a priced
+   Comm_model.transpose phase. *)
+let transpose_time cfg w =
+  match w.fft_grid with
+  | None -> 0.
+  | Some (gx, gy, gz) ->
+      let nodes = float_of_int (Config.node_count cfg) in
+      let inject_bw =
+        cfg.Config.link_gb_s *. 1e9 *. float_of_int cfg.Config.links_per_node
+      in
+      let transpose_bytes = float_of_int (gx * gy * gz) /. nodes *. 16. *. 2. in
+      (transpose_bytes /. inject_bw)
+      +. (2. *. float_of_int (Config.max_hops cfg)
+         *. cfg.Config.hop_latency_ns *. 1e-9)
+
 let step_time cfg w =
   let nodes = float_of_int (Config.node_count cfg) in
   let clock_hz = cfg.Config.clock_ghz *. 1e9 in
@@ -134,12 +150,7 @@ let step_time cfg w =
           /. flex_node_throughput
         in
         (* Two all-to-all transpose passes of the (complex) grid. *)
-        let transpose_bytes = k /. nodes *. 16. *. 2. in
-        let transpose =
-          (transpose_bytes /. inject_bw)
-          +. (2. *. float_of_int (Config.max_hops cfg)
-             *. cfg.Config.hop_latency_ns *. 1e-9)
-        in
+        let transpose = transpose_time cfg w in
         (* Sub-phase attribution: the butterflies and transposes are the
            FFT proper; ops_per_grid_point splits across spread, convolve
            (scale by Ghat) and gather, so the four sum to [fft_s]. *)
@@ -178,6 +189,40 @@ let ns_per_day cfg w =
   let steps_per_day = 86400. /. b.step_s in
   steps_per_day *. w.dt_fs *. 1e-6
 
+(* --- decomposition-driven variant ---
+
+   Same compute terms as [step_time], but the network terms come from a
+   priced Comm_model.step (real per-node import/force-return traffic and
+   hop distances from a Decomp frame) instead of the analytic half-shell
+   volume: comm_s becomes the import + force-return wire times (plus the
+   method bytes), and the FFT's analytic transpose estimate is replaced by
+   the priced transpose phase when one is present. *)
+
+let step_time_decomposed cfg w ~(comm : Comm_model.step) =
+  let b = step_time cfg w in
+  let nodes = float_of_int (Config.node_count cfg) in
+  let inject_bw =
+    cfg.Config.link_gb_s *. 1e9 *. float_of_int cfg.Config.links_per_node
+  in
+  let comm_s =
+    comm.Comm_model.import.Comm_model.time_s
+    +. comm.Comm_model.force_return.Comm_model.time_s
+    +. (w.method_bytes_per_step /. nodes /. inject_bw)
+  in
+  let fft_s, lr_fft_s =
+    match comm.Comm_model.transpose with
+    | Some tp when w.fft_grid <> None ->
+        let delta = tp.Comm_model.time_s -. transpose_time cfg w in
+        (b.fft_s +. delta, b.lr_fft_s +. delta)
+    | _ -> (b.fft_s, b.lr_fft_s)
+  in
+  let step_s = Float.max b.htis_s (Float.max b.flex_s comm_s) +. fft_s +. b.sync_s in
+  { b with comm_s; fft_s; lr_fft_s; step_s }
+
+let ns_per_day_decomposed cfg w ~comm =
+  let b = step_time_decomposed cfg w ~comm in
+  86400. /. b.step_s *. w.dt_fs *. 1e-6
+
 (* --- model vs measurement ---
 
    The live force pipeline records wall time per phase
@@ -193,9 +238,25 @@ type resource_row = {
   measured_s : float option;  (** measured per-step seconds, when mapped *)
 }
 
-let resource_rows b (tm : Mdsp_md.Force_calc.timings) =
+let resource_rows ?comm b (tm : Mdsp_md.Force_calc.timings) =
   let per = Mdsp_md.Force_calc.timings_per_call tm in
   let m v = if tm.Mdsp_md.Force_calc.calls = 0 then None else Some v in
+  (* Torus-phase sub-rows of the network row, present when a priced
+     Comm_model.step is supplied. Wire times have no host analogue, so
+     [measured_s] stays [None]. *)
+  let comm_rows =
+    match comm with
+    | None -> []
+    | Some (c : Comm_model.step) ->
+        List.map
+          (fun (p : Comm_model.phase) ->
+            {
+              resource = "  " ^ p.Comm_model.label;
+              model_s = p.Comm_model.time_s;
+              measured_s = None;
+            })
+          (Comm_model.phases c)
+  in
   [
     { resource = "pair pipelines"; model_s = b.htis_s; measured_s = m per.pair_s };
     {
@@ -226,10 +287,13 @@ let resource_rows b (tm : Mdsp_md.Force_calc.timings) =
     (* Neighbor-list sub-phase: the tiled cell-list + pair-list build slice
        of the network row (import/export walks dominate the remainder). *)
     { resource = "  nbuild"; model_s = b.comm_s; measured_s = m per.nbuild_s };
-    { resource = "sync"; model_s = b.sync_s; measured_s = None };
-    {
-      resource = "step";
-      model_s = b.step_s;
-      measured_s = m (Mdsp_md.Force_calc.timings_total per);
-    };
   ]
+  @ comm_rows
+  @ [
+      { resource = "sync"; model_s = b.sync_s; measured_s = None };
+      {
+        resource = "step";
+        model_s = b.step_s;
+        measured_s = m (Mdsp_md.Force_calc.timings_total per);
+      };
+    ]

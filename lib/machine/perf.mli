@@ -50,6 +50,20 @@ val step_time : Config.t -> workload -> breakdown
 (** Nanoseconds of simulated time per wall-clock day. *)
 val ns_per_day : Config.t -> workload -> float
 
+(** [step_time_decomposed cfg w ~comm] is {!step_time} with the network
+    terms taken from a priced {!Comm_model.step} (a real decomposition
+    frame's import/force-return wire times and, when present, its
+    transpose phase replacing the analytic transpose estimate) instead of
+    the analytic half-shell import volume. [cfg.nodes] should match the
+    node grid [comm] was priced on for the compute terms to be
+    consistent. *)
+val step_time_decomposed :
+  Config.t -> workload -> comm:Comm_model.step -> breakdown
+
+(** ns/day from {!step_time_decomposed}. *)
+val ns_per_day_decomposed :
+  Config.t -> workload -> comm:Comm_model.step -> float
+
 (** Pairs within the cutoff per step (half counting), from density. *)
 val pair_count : workload -> float
 
@@ -70,6 +84,12 @@ type resource_row = {
     (spread / fft / convolve / gather) breaking down both the modeled and
     the measured grid pipeline ({!Mdsp_md.Force_calc.timings} [lr_*]
     fields). [sync] has no host analogue; [measured_s] is [None] there and
-    everywhere when [timings.calls = 0]. *)
+    everywhere when [timings.calls = 0].
+
+    [?comm] appends the priced torus phases (import / force return /
+    grid transpose, from {!Comm_model.phases}) as indented sub-rows of
+    the network row; wire times have no host analogue, so their
+    [measured_s] is [None]. *)
 val resource_rows :
+  ?comm:Comm_model.step ->
   breakdown -> Mdsp_md.Force_calc.timings -> resource_row list

@@ -1,0 +1,29 @@
+type t = { nx : int; ny : int; nz : int }
+
+let create (nx, ny, nz) =
+  if nx <= 0 || ny <= 0 || nz <= 0 then
+    invalid_arg "Torus.create: dimensions must be positive";
+  { nx; ny; nz }
+
+let dims t = (t.nx, t.ny, t.nz)
+let node_count t = t.nx * t.ny * t.nz
+
+let wrap v n = ((v mod n) + n) mod n
+
+let rank t (x, y, z) =
+  let x = wrap x t.nx and y = wrap y t.ny and z = wrap z t.nz in
+  x + (t.nx * (y + (t.ny * z)))
+
+let coords t r =
+  if r < 0 || r >= node_count t then invalid_arg "Torus.coords: rank out of range";
+  (r mod t.nx, r / t.nx mod t.ny, r / (t.nx * t.ny))
+
+let axis_hops n a b =
+  let d = wrap (a - b) n in
+  min d (n - d)
+
+let hops t a b =
+  let ax, ay, az = coords t a and bx, by, bz = coords t b in
+  axis_hops t.nx ax bx + axis_hops t.ny ay by + axis_hops t.nz az bz
+
+let diameter t = (t.nx / 2) + (t.ny / 2) + (t.nz / 2)

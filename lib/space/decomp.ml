@@ -1,6 +1,6 @@
 open Mdsp_util
 
-type policy = Full_shell | Half_shell
+type policy = Full_shell | Half_shell | Midpoint
 
 type t = {
   box : Pbc.t;
@@ -51,22 +51,34 @@ let edges t =
     t.box.ly /. float_of_int t.py,
     t.box.lz /. float_of_int t.pz )
 
-let import_volume t =
-  let hx, hy, hz = edges t in
-  let r = t.cutoff in
-  (* Volume of the region within r of a box of dims (hx,hy,hz), minus the
-     box itself: faces + quarter-cylinder edges + eighth-sphere corners. *)
+(* Volume of the region within r of a box of dims (hx,hy,hz), minus the
+   box itself: faces + quarter-cylinder edges + eighth-sphere corners. *)
+let shell_volume (hx, hy, hz) r =
   let faces = 2. *. r *. ((hx *. hy) +. (hy *. hz) +. (hx *. hz)) in
   let edges_v = Float.pi *. r *. r *. (hx +. hy +. hz) in
   let corners = 4. /. 3. *. Float.pi *. (r ** 3.) in
-  let full = faces +. edges_v +. corners in
-  match t.policy with Full_shell -> full | Half_shell -> full /. 2.
+  faces +. edges_v +. corners
+
+let import_volume t =
+  let e = edges t in
+  match t.policy with
+  | Full_shell -> shell_volume e t.cutoff
+  | Half_shell -> shell_volume e t.cutoff /. 2.
+  | Midpoint ->
+      (* Neutral-territory: a pair is computed where its midpoint lives,
+         so a node needs only the atoms within cutoff/2 of its home box —
+         a full shell of half the depth. *)
+      shell_volume e (t.cutoff /. 2.)
 
 let import_counts t positions =
   let n_nodes = node_count t in
   let counts = Array.make n_nodes 0 in
   let hx, hy, hz = edges t in
-  let r = t.cutoff in
+  let r =
+    match t.policy with
+    | Midpoint -> t.cutoff /. 2.
+    | Full_shell | Half_shell -> t.cutoff
+  in
   (* For each particle, find all nodes whose home box it is within r of
      (other than its owner); those nodes import it. Under Half_shell each
      node imports only from its positive half-space neighborhood, halving
@@ -116,7 +128,7 @@ let import_counts t positions =
       done)
     positions;
   match t.policy with
-  | Full_shell -> counts
+  | Full_shell | Midpoint -> counts
   | Half_shell -> Array.map (fun c -> (c + 1) / 2) counts
 
 let policy t = t.policy

@@ -2,20 +2,28 @@
 
     The box is split into a grid of home boxes, one per node of the machine's
     3D torus. Each node owns the particles in its home box and imports the
-    particles it needs from neighboring nodes. Two import policies are
+    particles it needs from neighboring nodes. Three import policies are
     modeled:
 
     - [Full_shell]: import everything within the cutoff of the home box (each
       pair computed twice, no pair-result communication);
     - [Half_shell]: import only the half-space shell (each pair computed
-      once; forces for imported particles are communicated back).
+      once; forces for imported particles are communicated back);
+    - [Midpoint]: neutral-territory — a pair is computed on the node owning
+      its minimum-image midpoint, so only particles within [cutoff / 2] of
+      the home box are imported (a full shell of half the depth, the
+      smallest region of the three when home boxes are small against the
+      cutoff; forces are returned like [Half_shell]).
 
-    The half-shell policy is what Anton-class machines use; the difference is
-    the A5 communication ablation. *)
+    Half-shell-class methods are what Anton-class machines use; the policy
+    difference is the A5 communication ablation. The [Midpoint] region is
+    also exactly the import region [Mdsp_machine.Decomp] realizes
+    atom-by-atom in the multi-node machine model; this module keeps the
+    analytic/counting view of it for the performance model. *)
 
 open Mdsp_util
 
-type policy = Full_shell | Half_shell
+type policy = Full_shell | Half_shell | Midpoint
 
 type t
 

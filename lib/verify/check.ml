@@ -169,6 +169,10 @@ let water_envelope () =
     Fixed_check.env_name = "water";
     n_atoms;
     max_pairs_per_atom = n_atoms - 1;
+    (* The box is too small against the cutoff to decompose (the midpoint
+       rule needs cutoff <= min_edge / 2), so the per-node budget stays
+       the trivial whole-system pair count. *)
+    max_pairs_per_node = n_atoms * (n_atoms - 1) / 2;
     min_separation = 1.5;
     max_abs_charge;
     cutoff;
@@ -196,6 +200,17 @@ let measured_pair_budget ?(cutoff = 9.) ?(skin = 1.) sys =
   let max_deg = Array.fold_left max 0 deg in
   max_deg + (max_deg / 4) + 8
 
+(* Per-node pair budget, pinned the same way: run the real midpoint
+   decomposition (Mdsp_machine.Decomp) on the generated coordinates at the
+   envelope's torus dims and take the busiest node's assigned pair count,
+   with headroom (x1.25 + 64) for density fluctuations during dynamics. *)
+let measured_node_pair_budget ?(cutoff = 9.) ~nodes sys =
+  let open Mdsp_workload.Workloads in
+  let d = Mdsp_machine.Decomp.create sys.box ~nodes ~cutoff in
+  let stats = Mdsp_machine.Decomp.analyze d sys.positions in
+  let m = Mdsp_machine.Decomp.max_pairs_per_node stats in
+  m + (m / 4) + 64
+
 let max_abs_charge_of topo =
   Array.fold_left
     (fun a q -> Float.max a (abs_float q))
@@ -216,6 +231,7 @@ let water6k_envelope () =
     Fixed_check.env_name = "water6k";
     n_atoms = Mdsp_ff.Topology.n_atoms topo;
     max_pairs_per_atom = measured_pair_budget ~cutoff sys;
+    max_pairs_per_node = measured_node_pair_budget ~cutoff ~nodes:(4, 4, 4) sys;
     min_separation = 1.5;
     max_abs_charge = max_abs_charge_of topo;
     cutoff;
@@ -240,6 +256,7 @@ let chain10k_envelope () =
     Fixed_check.env_name = "chain10k";
     n_atoms = Mdsp_ff.Topology.n_atoms topo;
     max_pairs_per_atom = measured_pair_budget ~cutoff sys;
+    max_pairs_per_node = measured_node_pair_budget ~cutoff ~nodes:(4, 4, 4) sys;
     min_separation = 2.5;
     max_abs_charge = max_abs_charge_of topo;
     cutoff;

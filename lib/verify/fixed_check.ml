@@ -9,6 +9,7 @@ type envelope = {
   env_name : string;
   n_atoms : int;
   max_pairs_per_atom : int;
+  max_pairs_per_node : int;
   min_separation : float;
   max_abs_charge : float;
   cutoff : float;
@@ -282,10 +283,33 @@ let certify ?format env =
         force_elt;
     ]
   in
+  (* One node's energy partial under the midpoint decomposition: at most
+     [max_pairs_per_node] pair terms land on any node, each bounded by the
+     single steepest shell; a subset of same-sign worst-case terms can
+     never exceed the whole-system bound either, so take the min. *)
+  let e_max = Array.fold_left (fun a s -> Float.max a s.sh_e) 0. shells in
+  let node_pairs = min env.max_pairs_per_node total_pairs in
+  let node_energy_elt =
+    {
+      (FI.of_magnitude
+         (Float.min
+            (float_of_int env.n_atoms *. e_sum /. 2.)
+            (float_of_int node_pairs *. e_max)))
+      with
+      FI.err = float_of_int node_pairs *. Fixed.quantization_error efmt;
+    }
+  in
   let energy_rows =
     [
       acc_entry ~acc:"HTIS energy accumulator" ~format_name:"energy_format"
         ~fmt:efmt ~pair_bound:total_pairs energy_elt;
+      acc_entry ~acc:"machine-sim node energy partial"
+        ~format_name:"energy_format" ~fmt:efmt ~pair_bound:node_pairs
+        ~detail:
+          (Printf.sprintf
+             "midpoint decomposition pins <= %d pairs on any one node"
+             env.max_pairs_per_node)
+        node_energy_elt;
       acc_entry ~acc:"machine-sim energy reduction"
         ~format_name:"energy_format" ~fmt:efmt ~pair_bound:total_pairs
         ~detail:(Printf.sprintf "%d reduction levels" depth)

@@ -37,6 +37,10 @@ type envelope = {
   n_atoms : int;
   max_pairs_per_atom : int;
       (** static neighbor-list budget: pairs any one atom can appear in *)
+  max_pairs_per_node : int;
+      (** static per-node budget: pairs the midpoint decomposition can
+          assign to any one torus node ({!Mdsp_machine.Decomp}); bounds
+          the node energy partial before the torus reduction *)
   min_separation : float;
       (** certified minimum inter-atom distance, in angstroms; restricts
           the reachable table domain and caps shell occupancies *)

@@ -46,6 +46,18 @@ let bead_chain_soa ~exec () =
     (Mdsp_space.Neighbor_list.rebuild (FC.nlist fc)
        st.Mdsp_md.State.positions)
 
+(* One multi-node decomposition frame of a small water box: the per-atom
+   owner scan, the per-atom resident-set scan and the tiled midpoint pair
+   assignment each declare their write-sets; the cell-list build inside
+   declares cell.bin. The cutoff obeys the midpoint rule's
+   cutoff <= min_edge / 2 bound for this ~9.3 A box. *)
+let decomp_frame ~exec () =
+  let sys = W.water_box ~n_side:3 () in
+  let d =
+    Mdsp_machine.Decomp.create sys.W.box ~nodes:(2, 2, 2) ~cutoff:4.5
+  in
+  ignore (Mdsp_machine.Decomp.analyze ~exec d sys.W.positions)
+
 (* Must track the [Exec.declare_write] resource names in the force stack. *)
 let phase_labels =
   [
@@ -66,6 +78,9 @@ let phase_labels =
     "fft.x_lines";
     "fft.y_lines";
     "fft.z_lines";
+    "decomp.owner";
+    "decomp.resident";
+    "decomp.pairs";
   ]
 
 let run_phases ~slots =
@@ -79,5 +94,6 @@ let run_phases ~slots =
     (fun () ->
       gse_box ~exec ();
       bead_chain ~exec ();
-      bead_chain_soa ~exec ());
+      bead_chain_soa ~exec ();
+      decomp_frame ~exec ());
   phase_labels

@@ -419,6 +419,11 @@ let presets =
       atoms = 2048;
       build = (fun () -> bead_chain ~n_beads:64 ~n_total:2048 ());
     };
+    {
+      name = "chain10k";
+      atoms = 10000;
+      build = (fun () -> bead_chain ~n_beads:256 ~n_total:10_000 ());
+    };
   ]
 
 let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec

@@ -70,6 +70,19 @@ grep -q 'e22\.identical' /tmp/e22.json
 grep -q 'e22\.shard_sweeps_per_s' /tmp/e22.json
 grep -q 'e22\.exchange_bytes_per_step' /tmp/e22.json
 
+# Multi-node smoke: e23 decomposes water6k/chain10k coordinates over
+# 8..512-node tori, prices the torus traffic, and must report the
+# exactly-once pair assignment verified against the single-node cell
+# list on every frame, with finite comm times; the project CLI must
+# reach the same verdict end to end.
+dune exec bench/main.exe -- e23 --json /tmp/e23.json
+test -s /tmp/e23.json
+grep -q '"e23\.pair_once_ok": 1' /tmp/e23.json
+grep -Eq '"e23\.water6k\.n8\.comm_s": [0-9]' /tmp/e23.json
+grep -Eq '"e23\.water6k\.n512\.ns_day": [0-9]' /tmp/e23.json
+dune exec bin/mdsp.exe -- project -p water6k --nodes 2,2,2 \
+  | grep -q 'exactly-once pair assignment: ok'
+
 # Documentation gate: the odoc comments in the .mli files must stay
 # well-formed. Gated on odoc being installed so the script still runs in
 # minimal local environments.

@@ -330,6 +330,113 @@ let test_machine_beats_cluster_by_orders_of_magnitude () =
     (Printf.sprintf "speedup %.0fx in [10, 1000]" ratio)
     (ratio > 10. && ratio < 1000.)
 
+(* --- Multi-node decomposition + torus network --- *)
+
+let decomp_frame ?(seed = 7) ?(n = 90) () =
+  random_positions ~seed ~n ~box_l:12.0 ~min_dist:1.0
+
+let test_decomp_exactly_once_vs_brute () =
+  let box, pos = decomp_frame () in
+  List.iter
+    (fun nodes ->
+      let d = Decomp.create box ~nodes ~cutoff:4.0 in
+      let stats = Decomp.analyze d pos in
+      let brute = Decomp.brute_pairs d pos in
+      Alcotest.(check int) "assigned = brute force" brute stats.Decomp.n_pairs;
+      Alcotest.(check int)
+        "cell list = brute force" brute stats.Decomp.singlenode_pairs;
+      Alcotest.(check int)
+        "no residency violations" 0 stats.Decomp.residency_violations;
+      check_true "pair_once_ok" stats.Decomp.pair_once_ok;
+      check_true "per-node counts sum to total"
+        (Array.fold_left ( + ) 0 stats.Decomp.pairs_per_node
+        = stats.Decomp.n_pairs))
+    [ (1, 1, 1); (2, 2, 2); (3, 2, 1); (4, 4, 4) ]
+
+let test_torus_wraparound () =
+  Alcotest.(check int) "ring of 8: 0 to 7 is 1 hop" 1 (Torus.axis_hops 8 0 7);
+  Alcotest.(check int) "ring of 8: 1 to 5 is 4 hops" 4 (Torus.axis_hops 8 1 5);
+  Alcotest.(check int) "ring of 1 has no hops" 0 (Torus.axis_hops 1 0 5);
+  let t = Torus.create (4, 4, 4) in
+  Alcotest.(check int) "diameter of 4x4x4" 6 (Torus.diameter t);
+  (* Opposite corners wrap: one hop per axis, not three. *)
+  Alcotest.(check int)
+    "corner wrap" 3
+    (Torus.hops t (Torus.rank t (0, 0, 0)) (Torus.rank t (3, 3, 3)))
+
+let prop_torus_hops =
+  qtest "torus hops symmetric, bounded by diameter, zero iff equal"
+    ~count:200
+    QCheck.(
+      pair
+        (triple (int_range 1 6) (int_range 1 6) (int_range 1 6))
+        (pair (int_range 0 1000) (int_range 0 1000)))
+    (fun (dims, (i, j)) ->
+      let t = Torus.create dims in
+      let nn = Torus.node_count t in
+      let a = i mod nn and b = j mod nn in
+      let h = Torus.hops t a b in
+      h = Torus.hops t b a
+      && h = 0 = (a = b)
+      && h <= Torus.diameter t
+      && Torus.rank t (Torus.coords t a) = a)
+
+let test_comm_volume_conservation () =
+  let box, pos = decomp_frame () in
+  let d = Decomp.create box ~nodes:(3, 2, 2) ~cutoff:4.0 in
+  let stats = Decomp.analyze d pos in
+  let cfg = Config.anton_like ~nodes:(3, 2, 2) () in
+  let step = Comm_model.of_stats cfg ~grid:(16, 16, 16) stats in
+  let sum = Array.fold_left ( +. ) 0. in
+  check_true "import traffic nonzero" (step.Comm_model.import.Comm_model.bytes > 0.);
+  List.iter
+    (fun (p : Comm_model.phase) ->
+      check_close ~rel:1e-12
+        (p.Comm_model.label ^ ": bytes sent = total")
+        p.Comm_model.bytes (sum p.Comm_model.sent_bytes);
+      check_close ~rel:1e-12
+        (p.Comm_model.label ^ ": bytes received = total")
+        p.Comm_model.bytes (sum p.Comm_model.recv_bytes);
+      check_true
+        (p.Comm_model.label ^ ": finite non-negative time")
+        (Float.is_finite p.Comm_model.time_s && p.Comm_model.time_s >= 0.))
+    (Comm_model.phases step);
+  check_close ~rel:1e-12 "force return mirrors import"
+    step.Comm_model.import.Comm_model.bytes
+    step.Comm_model.force_return.Comm_model.bytes
+
+let test_decomp_determinism_slots () =
+  let box, pos = decomp_frame ~n:120 () in
+  let d = Decomp.create box ~nodes:(2, 2, 2) ~cutoff:4.0 in
+  let runs =
+    List.map
+      (fun slots ->
+        let exec =
+          if slots = 1 then Exec.create ~sanitize:true Exec.Serial
+          else Exec.create ~sanitize:true (Exec.Domains { n = slots })
+        in
+        Fun.protect
+          ~finally:(fun () -> Exec.shutdown exec)
+          (fun () -> Decomp.analyze ~exec d pos))
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | [] -> assert false
+  | r1 :: rest ->
+      check_true "reference frame checks out" r1.Decomp.pair_once_ok;
+      List.iteri
+        (fun k r ->
+          let tag = Printf.sprintf "%d slots" (1 lsl (k + 1)) in
+          check_true (tag ^ ": owners equal")
+            (r.Decomp.owner_of_atom = r1.Decomp.owner_of_atom);
+          check_true (tag ^ ": pairs per node equal")
+            (r.Decomp.pairs_per_node = r1.Decomp.pairs_per_node);
+          check_true (tag ^ ": import edges equal")
+            (r.Decomp.imports = r1.Decomp.imports);
+          Alcotest.(check int)
+            (tag ^ ": total pairs") r1.Decomp.n_pairs r.Decomp.n_pairs)
+        rest
+
 let () =
   Alcotest.run "mdsp_machine"
     [
@@ -384,5 +491,16 @@ let () =
             test_perf_breakdown_components_sum;
           Alcotest.test_case "machine vs cluster" `Quick
             test_machine_beats_cluster_by_orders_of_magnitude;
+        ] );
+      ( "multi_node",
+        [
+          Alcotest.test_case "exactly-once vs brute force" `Quick
+            test_decomp_exactly_once_vs_brute;
+          Alcotest.test_case "torus wraparound" `Quick test_torus_wraparound;
+          prop_torus_hops;
+          Alcotest.test_case "comm volume conservation" `Quick
+            test_comm_volume_conservation;
+          Alcotest.test_case "determinism at 1/2/4 slots" `Quick
+            test_decomp_determinism_slots;
         ] );
     ]
