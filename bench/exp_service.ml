@@ -1,0 +1,168 @@
+(* E24: the simulation job service under synthetic many-client load.
+
+   A burst of clients each spool a couple of small jobs; the scheduler
+   drains the queue in round-robin slices at 1/2/4 pool slots with a
+   quantum small enough that every job is preempted to its checkpoint
+   several times. Reports service throughput (jobs/hour) and turnaround
+   percentiles, and checks the tentpole invariant: every preempted job's
+   final checkpoint and result record are byte-identical to an
+   uninterrupted run of the same spec, at every slot count. *)
+
+open Bench_common
+module Job = Mdsp_service.Job
+module Queue = Mdsp_service.Queue
+module Scheduler = Mdsp_service.Scheduler
+
+let n_clients = 16
+let jobs_per_client = 2
+let job_steps = 160
+let quantum = 40 (* 4 slices per job: 3 preemptions before the final one *)
+
+let specs =
+  List.concat_map
+    (fun client ->
+      List.init jobs_per_client (fun k ->
+          {
+            Job.label = Printf.sprintf "client%02d-%d" client k;
+            preset = "lj64";
+            steps = job_steps;
+            dt_fs = 2.0;
+            temperature = 120.;
+            seed = (100 * client) + k;
+            kind = Job.Single;
+          }))
+    (List.init n_clients Fun.id)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let percentile p sorted =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* Drain the queue at [slots], returning (wall seconds, sorted turnaround
+   times, per-job (ckpt bytes, result line)). All jobs arrive at t0 — the
+   burst — so turnaround is simply each job's completion stamp. *)
+let run_at ~slots =
+  let dir = Mdsp_util.Atomic_file.fresh_dir ~prefix:"mdsp_e24" () in
+  let queue = Queue.create ~dir in
+  let entries =
+    List.map
+      (fun spec ->
+        match Queue.submit queue spec with
+        | Ok e -> e
+        | Error m -> failwith ("e24 submit: " ^ m))
+      specs
+  in
+  let exec =
+    if slots = 1 then Mdsp_util.Exec.serial
+    else Mdsp_util.Exec.create (Mdsp_util.Exec.Domains { n = slots })
+  in
+  let sched = Scheduler.create ~quantum ~exec queue in
+  let t0 = Unix.gettimeofday () in
+  let finished = Hashtbl.create 64 in
+  let rec drain () =
+    let advanced = Scheduler.run_slice sched in
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun (e : Queue.entry) ->
+        if e.Queue.status = Queue.Done && not (Hashtbl.mem finished e.Queue.id)
+        then Hashtbl.add finished e.Queue.id (now -. t0))
+      entries;
+    if advanced > 0 then drain ()
+  in
+  drain ();
+  let wall = Unix.gettimeofday () -. t0 in
+  Mdsp_util.Exec.shutdown exec;
+  let turnarounds =
+    Array.of_list
+      (List.map (fun (e : Queue.entry) -> Hashtbl.find finished e.Queue.id)
+         entries)
+  in
+  Array.sort compare turnarounds;
+  let outputs =
+    List.map
+      (fun (e : Queue.entry) ->
+        ( read_file (Queue.ckpt_path queue e),
+          Option.get (Queue.read_result queue e.Queue.id) ))
+      entries
+  in
+  rm_rf dir;
+  (wall, turnarounds, outputs)
+
+let e24 () =
+  section "E24" "Job service under many-client load";
+  let n_jobs = List.length specs in
+  note "%d clients x %d jobs: %d lj64 jobs of %d steps, quantum %d\n"
+    n_clients jobs_per_client n_jobs job_steps quantum;
+  record "e24.clients" (float_of_int n_clients);
+  record "e24.jobs" (float_of_int n_jobs);
+  (* The no-preemption reference for every spec, once. *)
+  let reference =
+    List.map
+      (fun spec ->
+        let ckpt = Filename.temp_file "mdsp_e24_ref" ".ckpt" in
+        ignore (Scheduler.uninterrupted spec ~ckpt);
+        let bytes = read_file ckpt in
+        Sys.remove ckpt;
+        bytes)
+      specs
+  in
+  let t =
+    T.create ~title:"service throughput vs pool slots"
+      ~columns:
+        [
+          ("slots", T.Right);
+          ("wall s", T.Right);
+          ("jobs/hour", T.Right);
+          ("p50 turnaround s", T.Right);
+          ("p95 turnaround s", T.Right);
+          ("identity", T.Left);
+        ]
+  in
+  let baseline = ref [] in
+  let all_identical = ref true in
+  List.iter
+    (fun slots ->
+      let wall, turnarounds, outputs = run_at ~slots in
+      let identical =
+        List.for_all2
+          (fun ref_ckpt (ckpt, _) -> ckpt = ref_ckpt)
+          reference outputs
+        && (!baseline = [] || !baseline = outputs)
+      in
+      if !baseline = [] then baseline := outputs;
+      if not identical then all_identical := false;
+      let jph = float_of_int n_jobs /. wall *. 3600. in
+      let p50 = percentile 0.50 turnarounds in
+      let p95 = percentile 0.95 turnarounds in
+      record (Printf.sprintf "e24.slots%d.jobs_per_hour" slots) jph;
+      record (Printf.sprintf "e24.slots%d.p50_turnaround_s" slots) p50;
+      record (Printf.sprintf "e24.slots%d.p95_turnaround_s" slots) p95;
+      T.row t
+        [
+          T.cell_i slots;
+          Printf.sprintf "%.2f" wall;
+          Printf.sprintf "%.0f" jph;
+          Printf.sprintf "%.3f" p50;
+          Printf.sprintf "%.3f" p95;
+          (if identical then "bitwise" else "MISMATCH");
+        ])
+    [ 1; 2; 4 ];
+  print_string (T.render t);
+  record "e24.identity" (if !all_identical then 1. else 0.);
+  note
+    "(pool slots beyond the %d recommended domain(s) oversubscribe the \
+     machine; throughput then measures preemption overhead, not scaling)\n"
+    (Mdsp_util.Exec.recommended_domains ());
+  note
+    "identity: final checkpoints vs uninterrupted reference, and result \
+     records across slot counts — %s\n"
+    (if !all_identical then "all bitwise identical" else "MISMATCH")

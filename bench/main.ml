@@ -38,6 +38,7 @@ let registry =
     ("e21", "execution backends: measured resource breakdown", Exp_perf.e21);
     ("e22", "sharded REMD on the Exec pool vs sequential", Exp_ensemble.e22);
     ("e23", "multi-node strong scaling: decomposition + torus comm", Exp_scale.e23);
+    ("e24", "job service under many-client load", Exp_service.e24);
     ("timing", "bechamel micro-benchmarks", Exp_timing.run);
   ]
 

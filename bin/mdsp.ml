@@ -7,7 +7,10 @@
      mdsp model ...                machine/cluster performance model
      mdsp project ...              multi-node decomposition + torus network
      mdsp table ...                compile a pair form and report accuracy
-     mdsp check ...                verify kernels, tables, parallel phases *)
+     mdsp check ...                verify kernels, tables, parallel phases
+     mdsp serve ...                JSON-lines job service over stdin/stdout
+     mdsp submit ...               spool a job into a serve directory
+     mdsp jobs ...                 list a spool directory, check hygiene *)
 
 open! Cmdliner
 module E = Mdsp_md.Engine
@@ -116,23 +119,16 @@ let restart_arg =
     & info [ "restart" ] ~docv:"FILE"
         ~doc:"Resume positions/velocities/box/time from a checkpoint.")
 
-let build_system name =
-  match
-    List.find_opt
-      (fun p -> p.Mdsp_workload.Workloads.name = name)
-      Mdsp_workload.Workloads.presets
-  with
-  | Some p -> p.Mdsp_workload.Workloads.build ()
-  | None ->
-      if String.length name > 2 && String.sub name 0 2 = "lj" then
-        Mdsp_workload.Workloads.lj_fluid
-          ~n:(int_of_string (String.sub name 2 (String.length name - 2)))
-          ()
-      else if String.length name > 5 && String.sub name 0 5 = "water" then
-        Mdsp_workload.Workloads.water_box
-          ~n_side:(int_of_string (String.sub name 5 (String.length name - 5)))
-          ()
-      else failwith (Printf.sprintf "unknown preset %S" name)
+let build_system name = Mdsp_workload.Workloads.of_name name
+
+(* Turn Failure — unknown preset, missing/truncated/mismatched checkpoint,
+   malformed job spec — into a one-line diagnostic and a nonzero exit
+   instead of a raw exception backtrace. *)
+let or_die f =
+  try f () with
+  | Failure msg | Sys_error msg ->
+      Printf.eprintf "mdsp: %s\n" msg;
+      exit 1
 
 let print_timings eng =
   let tm = E.timings eng in
@@ -164,6 +160,7 @@ let run_cmd =
   let doc = "Run molecular dynamics on a workload and report observables." in
   let run preset steps temp dt thermostat use_tables seed domains gse soa
       timings xyz xyz_stride checkpoint restart =
+   or_die @@ fun () ->
     let sys = build_system preset in
     let exec =
       let module X = Mdsp_util.Exec in
@@ -197,8 +194,15 @@ let run_cmd =
     (match restart with
     | None -> ()
     | Some path ->
-        let loaded, step = Mdsp_md.Trajectory.Checkpoint.load path in
+        let loaded, step =
+          Mdsp_md.Trajectory.Checkpoint.load ~expect_preset:preset path
+        in
         let st = E.state eng in
+        if Mdsp_md.State.n loaded <> Mdsp_md.State.n st then
+          failwith
+            (Printf.sprintf
+               "restart %s: checkpoint has %d atoms but preset %s has %d"
+               path (Mdsp_md.State.n loaded) preset (Mdsp_md.State.n st));
         Array.blit loaded.Mdsp_md.State.positions 0 st.Mdsp_md.State.positions
           0 (Mdsp_md.State.n st);
         Array.blit loaded.Mdsp_md.State.velocities 0
@@ -280,7 +284,7 @@ let run_cmd =
     (match checkpoint with
     | None -> ()
     | Some path ->
-        Mdsp_md.Trajectory.Checkpoint.save path (E.state eng)
+        Mdsp_md.Trajectory.Checkpoint.save ~preset path (E.state eng)
           ~step:(E.steps_done eng);
         Printf.printf "checkpoint written to %s\n" path);
     Mdsp_util.Exec.shutdown exec
@@ -336,6 +340,7 @@ let ensemble_cmd =
   in
   let run preset steps replicas domains stride tmin tmax seed checkpoint
       resume =
+   or_die @@ fun () ->
     if replicas < 2 then failwith "ensemble: need --replicas >= 2";
     if stride < 1 then failwith "ensemble: need --stride >= 1";
     if not (tmax > tmin && tmin > 0.) then
@@ -381,7 +386,8 @@ let ensemble_cmd =
     (match resume with
     | None -> ()
     | Some path ->
-        Mdsp_ensemble.Ensemble.resume_checkpoint ens path;
+        Mdsp_ensemble.Ensemble.resume_checkpoint ~expect_preset:preset ens
+          path;
         Printf.printf "resumed from %s (sweep %d)\n" path
           (Mdsp_core.Remd.sweeps_done remd));
     let sweeps = max 1 (steps / stride) in
@@ -398,7 +404,7 @@ let ensemble_cmd =
     (match checkpoint with
     | None -> ()
     | Some path ->
-        Mdsp_ensemble.Ensemble.save_checkpoint ens path;
+        Mdsp_ensemble.Ensemble.save_checkpoint ~preset ens path;
         Printf.printf "ensemble checkpoint written to %s (sweep %d)\n" path
           (Mdsp_core.Remd.sweeps_done remd));
     Mdsp_util.Exec.shutdown exec
@@ -408,6 +414,127 @@ let ensemble_cmd =
       const run $ preset_arg $ steps_arg $ replicas_arg $ domains_arg
       $ stride_arg $ temp_min_arg $ temp_max_arg $ seed_arg
       $ ens_checkpoint_arg $ ens_resume_arg)
+
+(* --- service: serve / submit / jobs --- *)
+
+let spool_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Job spool directory.")
+
+let slots_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "slots" ] ~docv:"N"
+        ~doc:"Scheduler pool slots (jobs advanced concurrently per slice).")
+
+let quantum_arg =
+  Arg.(
+    value
+    & opt int Mdsp_service.Scheduler.default_quantum
+    & info [ "quantum" ] ~docv:"STEPS"
+        ~doc:"MD steps a job runs per slice before preempting to a checkpoint.")
+
+let serve_cmd =
+  let doc =
+    "Serve simulation jobs: JSON-lines requests on stdin, responses on \
+     stdout (see Protocol in lib/service). Jobs persist in --dir and \
+     survive restarts."
+  in
+  let run dir slots quantum =
+    or_die @@ fun () ->
+    Mdsp_service.Server.serve ~quantum ~slots ~dir ~input:Unix.stdin
+      ~output:stdout ()
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ spool_arg $ slots_arg $ quantum_arg)
+
+let label_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "label" ] ~docv:"TEXT" ~doc:"Free-form job label (one line).")
+
+let submit_replicas_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "replicas" ] ~docv:"M"
+        ~doc:"Make the job an REMD ladder of M replicas (0 = single run).")
+
+let porcelain_arg =
+  Arg.(
+    value & flag
+    & info [ "porcelain" ] ~doc:"Print only the job id (for scripts).")
+
+let submit_cmd =
+  let doc = "Spool a job into a serve directory (no server required)." in
+  let run dir preset steps temp dt seed label replicas tmin tmax stride
+      porcelain =
+    or_die @@ fun () ->
+    let kind =
+      if replicas = 0 then Mdsp_service.Job.Single
+      else
+        Mdsp_service.Job.Remd
+          { replicas; temp_min = tmin; temp_max = tmax; stride }
+    in
+    let spec =
+      {
+        Mdsp_service.Job.label;
+        preset;
+        steps;
+        dt_fs = dt;
+        temperature = temp;
+        seed;
+        kind;
+      }
+    in
+    let queue = Mdsp_service.Queue.create ~dir in
+    match Mdsp_service.Queue.submit queue spec with
+    | Error msg -> failwith ("submit: " ^ msg)
+    | Ok e ->
+        if porcelain then print_endline e.Mdsp_service.Queue.id
+        else
+          Printf.printf "%s %s (%s)\n" e.Mdsp_service.Queue.id
+            (Mdsp_service.Queue.status_to_string e.Mdsp_service.Queue.status)
+            (Mdsp_service.Job.describe spec)
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ spool_arg $ preset_arg $ steps_arg $ temp_arg $ dt_arg
+      $ seed_arg $ label_arg $ submit_replicas_arg $ temp_min_arg
+      $ temp_max_arg $ stride_arg $ porcelain_arg)
+
+let jobs_check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Also scan for spool orphans (leftover .tmp staging files, \
+           records without a .job spec); exit 1 if any.")
+
+let jobs_cmd =
+  let doc = "List the jobs in a spool directory." in
+  let run dir check =
+    or_die @@ fun () ->
+    let queue = Mdsp_service.Queue.create ~dir in
+    Printf.printf "%-18s %-8s %10s %10s  %s\n" "id" "status" "done" "total"
+      "label";
+    List.iter
+      (fun (e : Mdsp_service.Queue.entry) ->
+        Printf.printf "%-18s %-8s %10d %10d  %s\n" e.Mdsp_service.Queue.id
+          (Mdsp_service.Queue.status_to_string e.Mdsp_service.Queue.status)
+          e.Mdsp_service.Queue.steps_done
+          e.Mdsp_service.Queue.spec.Mdsp_service.Job.steps
+          e.Mdsp_service.Queue.spec.Mdsp_service.Job.label)
+      (Mdsp_service.Queue.entries queue);
+    if check then begin
+      let orphans = Mdsp_service.Queue.orphans ~dir in
+      List.iter (fun o -> Printf.printf "orphan: %s\n" o) orphans;
+      if orphans <> [] then exit 1;
+      print_endline "spool clean: no orphans"
+    end
+  in
+  Cmd.v (Cmd.info "jobs" ~doc) Term.(const run $ spool_arg $ jobs_check_arg)
 
 (* --- model --- *)
 
@@ -730,6 +857,9 @@ let main =
       table_cmd;
       check_cmd;
       analyze_cmd;
+      serve_cmd;
+      submit_cmd;
+      jobs_cmd;
     ]
 
 let () = exit (Cmd.eval main)

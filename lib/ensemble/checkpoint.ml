@@ -4,72 +4,89 @@ module State = Mdsp_md.State
 module FC = Mdsp_md.Force_calc
 module Remd = Mdsp_core.Remd
 
-let header = "mdsp-ensemble-checkpoint 1"
+(* Version 2 adds a provenance line ("preset <name>", "-" when unrecorded)
+   and makes the exchange section optional ("remd none"), so the same
+   format checkpoints both REMD ladders and single-engine service jobs.
+   Version 1 files (no preset line, exchange section mandatory) still
+   load. *)
+let header_v2 = "mdsp-ensemble-checkpoint 2"
+let header_v1 = "mdsp-ensemble-checkpoint 1"
 
 let write_rng oc (r : Rng.snapshot) =
   Printf.fprintf oc "%Ld %Ld %Ld %Ld %.17g %d" r.Rng.sn_s0 r.Rng.sn_s1
     r.Rng.sn_s2 r.Rng.sn_s3 r.Rng.sn_cached_gauss
     (if r.Rng.sn_has_gauss then 1 else 0)
 
-let save path ~(remd : Remd.snapshot) ~(engines : E.snapshot array) =
-  let oc = open_out path in
-  Printf.fprintf oc "%s\n" header;
-  Printf.fprintf oc "replicas %d\n" (Array.length engines);
-  let npairs = Array.length remd.Remd.snap_attempts in
-  Printf.fprintf oc "remd sweep %d pairs %d\n" remd.Remd.snap_sweep npairs;
-  for i = 0 to npairs - 1 do
-    Printf.fprintf oc "pair %d %d " remd.Remd.snap_attempts.(i)
-      remd.Remd.snap_accepts.(i);
-    write_rng oc remd.Remd.snap_rngs.(i);
-    output_char oc '\n'
-  done;
-  output_string oc "config";
-  Array.iter (fun c -> Printf.fprintf oc " %d" c) remd.Remd.snap_config;
-  output_char oc '\n';
-  Array.iteri
-    (fun i (s : E.snapshot) ->
-      let st = s.E.snap_state in
-      let n = State.n st in
-      Printf.fprintf oc "replica %d\n" i;
-      Printf.fprintf oc "steps %d\n" s.E.snap_steps;
-      Printf.fprintf oc "temperature %.17g\n" s.E.snap_temperature;
-      output_string oc "rng ";
-      write_rng oc s.E.snap_rng;
-      output_char oc '\n';
-      (match s.E.snap_nhc with
-      | None -> output_string oc "nhc none\n"
-      | Some (v1, v2) -> Printf.fprintf oc "nhc %.17g %.17g\n" v1 v2);
-      let acc, tries = s.E.snap_mc_baro in
-      Printf.fprintf oc "mc_baro %d %d\n" acc tries;
-      let e = s.E.snap_energies in
-      Printf.fprintf oc
-        "energies %.17g %.17g %.17g %.17g %.17g %.17g %.17g\n" e.FC.bond
-        e.FC.angle e.FC.dihedral e.FC.pair e.FC.recip e.FC.correction
-        e.FC.bias;
-      Printf.fprintf oc "virial %.17g\n" s.E.snap_virial;
-      Printf.fprintf oc "atoms %d\n" n;
-      Printf.fprintf oc "box %.17g %.17g %.17g\n" st.State.box.Pbc.lx
-        st.State.box.Pbc.ly st.State.box.Pbc.lz;
-      Printf.fprintf oc "time %.17g\n" st.State.time;
-      Printf.fprintf oc "nlist_box %.17g %.17g %.17g\n"
-        s.E.snap_nlist_box.Pbc.lx s.E.snap_nlist_box.Pbc.ly
-        s.E.snap_nlist_box.Pbc.lz;
-      for a = 0 to n - 1 do
-        let p = st.State.positions.(a)
-        and v = st.State.velocities.(a)
-        and f = s.E.snap_forces.(a)
-        and r = s.E.snap_nlist_ref.(a) in
-        Printf.fprintf oc
-          "%.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g \
-           %.17g %.17g %.17g\n"
-          st.State.masses.(a) p.Vec3.x p.Vec3.y p.Vec3.z v.Vec3.x v.Vec3.y
-          v.Vec3.z f.Vec3.x f.Vec3.y f.Vec3.z r.Vec3.x r.Vec3.y r.Vec3.z
-      done)
-    engines;
-  close_out oc
+let save ?preset path ?remd ~(engines : E.snapshot array) () =
+  Atomic_file.write path (fun oc ->
+      Printf.fprintf oc "%s\n" header_v2;
+      Printf.fprintf oc "preset %s\n"
+        (match preset with Some p when p <> "" -> p | _ -> "-");
+      Printf.fprintf oc "replicas %d\n" (Array.length engines);
+      (match remd with
+      | None -> output_string oc "remd none\n"
+      | Some (remd : Remd.snapshot) ->
+          let npairs = Array.length remd.Remd.snap_attempts in
+          Printf.fprintf oc "remd sweep %d pairs %d\n" remd.Remd.snap_sweep
+            npairs;
+          for i = 0 to npairs - 1 do
+            Printf.fprintf oc "pair %d %d " remd.Remd.snap_attempts.(i)
+              remd.Remd.snap_accepts.(i);
+            write_rng oc remd.Remd.snap_rngs.(i);
+            output_char oc '\n'
+          done;
+          output_string oc "config";
+          Array.iter (fun c -> Printf.fprintf oc " %d" c) remd.Remd.snap_config;
+          output_char oc '\n');
+      Array.iteri
+        (fun i (s : E.snapshot) ->
+          let st = s.E.snap_state in
+          let n = State.n st in
+          Printf.fprintf oc "replica %d\n" i;
+          Printf.fprintf oc "steps %d\n" s.E.snap_steps;
+          Printf.fprintf oc "temperature %.17g\n" s.E.snap_temperature;
+          output_string oc "rng ";
+          write_rng oc s.E.snap_rng;
+          output_char oc '\n';
+          (match s.E.snap_nhc with
+          | None -> output_string oc "nhc none\n"
+          | Some (v1, v2) -> Printf.fprintf oc "nhc %.17g %.17g\n" v1 v2);
+          let acc, tries = s.E.snap_mc_baro in
+          Printf.fprintf oc "mc_baro %d %d\n" acc tries;
+          let e = s.E.snap_energies in
+          Printf.fprintf oc
+            "energies %.17g %.17g %.17g %.17g %.17g %.17g %.17g\n" e.FC.bond
+            e.FC.angle e.FC.dihedral e.FC.pair e.FC.recip e.FC.correction
+            e.FC.bias;
+          Printf.fprintf oc "virial %.17g\n" s.E.snap_virial;
+          Printf.fprintf oc "atoms %d\n" n;
+          Printf.fprintf oc "box %.17g %.17g %.17g\n" st.State.box.Pbc.lx
+            st.State.box.Pbc.ly st.State.box.Pbc.lz;
+          Printf.fprintf oc "time %.17g\n" st.State.time;
+          Printf.fprintf oc "nlist_box %.17g %.17g %.17g\n"
+            s.E.snap_nlist_box.Pbc.lx s.E.snap_nlist_box.Pbc.ly
+            s.E.snap_nlist_box.Pbc.lz;
+          for a = 0 to n - 1 do
+            let p = st.State.positions.(a)
+            and v = st.State.velocities.(a)
+            and f = s.E.snap_forces.(a)
+            and r = s.E.snap_nlist_ref.(a) in
+            Printf.fprintf oc
+              "%.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g \
+               %.17g %.17g %.17g\n"
+              st.State.masses.(a) p.Vec3.x p.Vec3.y p.Vec3.z v.Vec3.x
+              v.Vec3.y v.Vec3.z f.Vec3.x f.Vec3.y f.Vec3.z r.Vec3.x r.Vec3.y
+              r.Vec3.z
+          done)
+        engines)
 
-let load path =
-  let ic = open_in path in
+let load ?expect_preset ?expect_replicas path =
+  let ic =
+    try open_in path
+    with Sys_error m ->
+      failwith
+        (Printf.sprintf "Ensemble checkpoint %s: cannot open (%s)" path m)
+  in
   let lineno = ref 0 in
   let fail msg =
     close_in ic;
@@ -78,7 +95,8 @@ let load path =
   in
   let line () =
     incr lineno;
-    try input_line ic with End_of_file -> fail "truncated"
+    try input_line ic
+    with End_of_file -> fail "truncated (unexpected end of file)"
   in
   let scan fmt f =
     let l = line () in
@@ -95,37 +113,64 @@ let load path =
       sn_has_gauss = h <> 0;
     }
   in
-  if line () <> header then fail "bad header";
+  let version =
+    match line () with
+    | h when h = header_v2 -> 2
+    | h when h = header_v1 -> 1
+    | _ -> fail "bad header (not an mdsp ensemble checkpoint)"
+  in
+  let preset =
+    if version < 2 then None
+    else
+      match scan "preset %s" Fun.id with "-" -> None | p -> Some p
+  in
+  (match (expect_preset, preset) with
+  | Some want, Some got when want <> got ->
+      fail
+        (Printf.sprintf "checkpoint was written for preset %S, not %S" got
+           want)
+  | _ -> ());
   let m = scan "replicas %d" Fun.id in
-  let sweep, npairs =
-    scan "remd sweep %d pairs %d" (fun a b -> (a, b))
-  in
-  let attempts = Array.make npairs 0 in
-  let accepts = Array.make npairs 0 in
-  let rngs = Array.make npairs (Rng.snapshot (Rng.create 0)) in
-  for i = 0 to npairs - 1 do
-    scan "pair %d %d %Ld %Ld %Ld %Ld %f %d"
-      (fun at ac s0 s1 s2 s3 g h ->
-        attempts.(i) <- at;
-        accepts.(i) <- ac;
-        rngs.(i) <- read_rng s0 s1 s2 s3 g h)
-  done;
-  let config =
-    let l = line () in
-    match String.split_on_char ' ' (String.trim l) with
-    | "config" :: rest -> (
-        try Array.of_list (List.map int_of_string rest)
-        with Failure m -> fail m)
-    | _ -> fail "expected config line"
-  in
+  (match expect_replicas with
+  | Some want when want <> m ->
+      fail
+        (Printf.sprintf "checkpoint holds %d replicas but the ladder has %d"
+           m want)
+  | _ -> ());
   let remd =
-    {
-      Remd.snap_sweep = sweep;
-      snap_attempts = attempts;
-      snap_accepts = accepts;
-      snap_config = config;
-      snap_rngs = rngs;
-    }
+    let l = line () in
+    if version >= 2 && l = "remd none" then None
+    else
+      let sweep, npairs =
+        try Scanf.sscanf l "remd sweep %d pairs %d" (fun a b -> (a, b))
+        with Scanf.Scan_failure m | Failure m -> fail m
+      in
+      let attempts = Array.make npairs 0 in
+      let accepts = Array.make npairs 0 in
+      let rngs = Array.make npairs (Rng.snapshot (Rng.create 0)) in
+      for i = 0 to npairs - 1 do
+        scan "pair %d %d %Ld %Ld %Ld %Ld %f %d"
+          (fun at ac s0 s1 s2 s3 g h ->
+            attempts.(i) <- at;
+            accepts.(i) <- ac;
+            rngs.(i) <- read_rng s0 s1 s2 s3 g h)
+      done;
+      let config =
+        let l = line () in
+        match String.split_on_char ' ' (String.trim l) with
+        | "config" :: rest -> (
+            try Array.of_list (List.map int_of_string rest)
+            with Failure m -> fail m)
+        | _ -> fail "expected config line"
+      in
+      Some
+        {
+          Remd.snap_sweep = sweep;
+          snap_attempts = attempts;
+          snap_accepts = accepts;
+          snap_config = config;
+          snap_rngs = rngs;
+        }
   in
   let engines =
     Array.init m (fun i ->

@@ -1,25 +1,39 @@
 (** Exact text checkpoints for a replica ensemble.
 
-    A checkpoint is the pair ({!Mdsp_core.Remd.snapshot}, one
-    {!Mdsp_md.Engine.snapshot} per replica): the exchange bookkeeping plus
-    everything each engine needs to continue bit-for-bit (state, in-flight
-    forces, RNG streams, thermostat internals, neighbor-list reference).
+    A checkpoint is an optional {!Mdsp_core.Remd.snapshot} (the exchange
+    bookkeeping — absent for single-engine jobs) plus one
+    {!Mdsp_md.Engine.snapshot} per replica: everything each engine needs to
+    continue bit-for-bit (state, in-flight forces, RNG streams, thermostat
+    internals, neighbor-list reference).
 
-    The format is line-oriented text. Floats are written with [%.17g],
-    which round-trips IEEE binary64 exactly, and the RNG words as decimal
-    [int64] — loading a checkpoint therefore reconstructs the snapshots
-    bit-identically, and a resumed ensemble replays the uninterrupted run
-    exactly ({!Ensemble.resume_checkpoint}). *)
+    The format is line-oriented text, version 2: a header, a [preset]
+    provenance line ("-" when unrecorded), the replica count, then either
+    "remd none" or the exchange section, then the replicas. Floats are
+    written with [%.17g], which round-trips IEEE binary64 exactly, and the
+    RNG words as decimal [int64] — loading a checkpoint therefore
+    reconstructs the snapshots bit-identically, and a resumed ensemble
+    replays the uninterrupted run exactly
+    ({!Ensemble.resume_checkpoint}). Version 1 files (no preset line,
+    exchange section mandatory) still load. *)
 
-(** [save path ~remd ~engines] writes the checkpoint atomically-ish (a plain
-    rewrite of [path]; callers wanting durability should write to a temp
-    name and rename). *)
+(** [save ?preset path ?remd ~engines ()] writes the checkpoint
+    crash-safely: staged to [path ^ ".tmp"] and renamed into place, so an
+    interrupt mid-write never destroys an existing checkpoint. *)
 val save :
+  ?preset:string ->
   string ->
-  remd:Mdsp_core.Remd.snapshot ->
+  ?remd:Mdsp_core.Remd.snapshot ->
   engines:Mdsp_md.Engine.snapshot array ->
+  unit ->
   unit
 
-(** [load path] parses a checkpoint back into snapshots. Raises [Failure]
-    with a position message on a malformed file. *)
-val load : string -> Mdsp_core.Remd.snapshot * Mdsp_md.Engine.snapshot array
+(** [load ?expect_preset ?expect_replicas path] parses a checkpoint back
+    into snapshots. Raises [Failure] with a descriptive message (file and
+    line) when the file is missing, truncated, or malformed; when
+    [expect_preset] disagrees with a recorded preset; or when
+    [expect_replicas] disagrees with the replica count. *)
+val load :
+  ?expect_preset:string ->
+  ?expect_replicas:int ->
+  string ->
+  Mdsp_core.Remd.snapshot option * Mdsp_md.Engine.snapshot array

@@ -29,15 +29,19 @@ val run : t -> sweeps:int -> unit
 (** {2 Checkpoint / restart} *)
 
 (** Write the full ensemble state (every engine's snapshot plus the
-    exchange bookkeeping) to a text checkpoint. *)
-val save_checkpoint : t -> string -> unit
+    exchange bookkeeping) to a text checkpoint, crash-safely (staged to a
+    temp name, renamed into place). [preset] records the workload the
+    ladder was built from; {!resume_checkpoint} can verify it. *)
+val save_checkpoint : ?preset:string -> t -> string -> unit
 
 (** Restore a checkpoint written by {!save_checkpoint} into an ensemble
     built for the same system and ladder: engines and exchange bookkeeping
     rewind to the saved point, and continuing with {!run} reproduces the
-    uninterrupted run exactly. Raises [Invalid_argument] on a replica-count
-    mismatch, [Failure] on a malformed file. *)
-val resume_checkpoint : t -> string -> unit
+    uninterrupted run exactly. Raises [Failure] with a descriptive message
+    on a missing, truncated, or malformed file, a replica-count mismatch,
+    or — when both [expect_preset] and the recorded preset are present — a
+    workload mismatch. *)
+val resume_checkpoint : ?expect_preset:string -> t -> string -> unit
 
 (** {2 Per-replica metrics} *)
 

@@ -24,10 +24,15 @@ val close_xyz : xyz -> unit
 val read_xyz : string -> (string * Vec3.t array) list
 
 module Checkpoint : sig
-  (** [save path state ~step] writes a restart file. *)
-  val save : string -> State.t -> step:int -> unit
+  (** [save ?preset path state ~step] writes a restart file crash-safely
+      (staged to [path ^ ".tmp"], then renamed into place, so an interrupt
+      mid-write never destroys an existing checkpoint). [preset] records
+      which workload the state came from; {!load} can verify it. *)
+  val save : ?preset:string -> string -> State.t -> step:int -> unit
 
-  (** [load path] returns the state and step count. Raises [Failure] on a
-      malformed file. *)
-  val load : string -> State.t * int
+  (** [load ?expect_preset path] returns the state and step count. Raises
+      [Failure] with a descriptive message when the file is missing,
+      truncated, malformed, or — when both [expect_preset] and the file's
+      recorded preset are present — written for a different workload. *)
+  val load : ?expect_preset:string -> string -> State.t * int
 end

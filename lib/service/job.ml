@@ -1,0 +1,117 @@
+type kind =
+  | Single
+  | Remd of {
+      replicas : int;
+      temp_min : float;
+      temp_max : float;
+      stride : int;
+    }
+
+type spec = {
+  label : string;
+  preset : string;
+  steps : int;
+  dt_fs : float;
+  temperature : float;
+  seed : int;
+  kind : kind;
+}
+
+let validate spec =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if String.contains spec.label '\n' then err "label must be a single line"
+  else if spec.preset = "" || String.exists (fun c -> c = ' ' || c = '\n') spec.preset
+  then err "preset must be a non-empty word"
+  else if spec.steps < 1 then err "steps must be >= 1"
+  else if not (spec.dt_fs > 0.) then err "dt must be positive"
+  else if not (spec.temperature > 0.) then err "temperature must be positive"
+  else
+    match spec.kind with
+    | Single -> Ok ()
+    | Remd r ->
+        if r.replicas < 2 then err "remd needs >= 2 replicas"
+        else if not (r.temp_max > r.temp_min && r.temp_min > 0.) then
+          err "remd needs 0 < temp_min < temp_max"
+        else if r.stride < 1 then err "remd needs stride >= 1"
+        else Ok ()
+
+let encode spec =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "mdsp-job 1\n";
+  Printf.bprintf b "label %s\n" spec.label;
+  Printf.bprintf b "preset %s\n" spec.preset;
+  Printf.bprintf b "steps %d\n" spec.steps;
+  Printf.bprintf b "dt %.17g\n" spec.dt_fs;
+  Printf.bprintf b "temperature %.17g\n" spec.temperature;
+  Printf.bprintf b "seed %d\n" spec.seed;
+  (match spec.kind with
+  | Single -> Buffer.add_string b "kind single\n"
+  | Remd r ->
+      Printf.bprintf b "kind remd %d %.17g %.17g %d\n" r.replicas r.temp_min
+        r.temp_max r.stride);
+  Buffer.contents b
+
+let decode text =
+  let lines = String.split_on_char '\n' text in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let strip_prefix prefix l =
+    let np = String.length prefix in
+    if String.length l >= np && String.sub l 0 np = prefix then
+      Some (String.sub l np (String.length l - np))
+    else None
+  in
+  match lines with
+  | "mdsp-job 1" :: label_l :: preset_l :: steps_l :: dt_l :: temp_l
+    :: seed_l :: kind_l :: _ -> (
+      let ( let* ) = Result.bind in
+      let field prefix l conv =
+        match strip_prefix (prefix ^ " ") l with
+        | None -> err "expected %S line" prefix
+        | Some v -> (
+            match conv v with
+            | Some x -> Ok x
+            | None -> err "bad %s value %S" prefix v)
+      in
+      let* label = field "label" label_l Option.some in
+      let* preset = field "preset" preset_l Option.some in
+      let* steps = field "steps" steps_l int_of_string_opt in
+      let* dt_fs = field "dt" dt_l float_of_string_opt in
+      let* temperature = field "temperature" temp_l float_of_string_opt in
+      let* seed = field "seed" seed_l int_of_string_opt in
+      let* kind =
+        match strip_prefix "kind " kind_l with
+        | Some "single" -> Ok Single
+        | Some k -> (
+            match
+              Scanf.sscanf_opt k "remd %d %f %f %d"
+                (fun replicas temp_min temp_max stride ->
+                  Remd { replicas; temp_min; temp_max; stride })
+            with
+            | Some r -> Ok r
+            | None -> err "bad kind %S" k)
+        | None -> err "expected %S line" "kind"
+      in
+      let spec = { label; preset; steps; dt_fs; temperature; seed; kind } in
+      let* () = validate spec in
+      Ok spec)
+  | header :: _ when header <> "mdsp-job 1" ->
+      err "bad header %S (not an mdsp job)" header
+  | _ -> err "truncated job description"
+
+(* FNV-1a 64 over the canonical encoding: the id is a pure function of the
+   spec, so re-submitting the same job is idempotent by construction. *)
+let id spec =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    (encode spec);
+  Printf.sprintf "j%016Lx" !h
+
+let describe spec =
+  match spec.kind with
+  | Single -> Printf.sprintf "%s %d steps" spec.preset spec.steps
+  | Remd r ->
+      Printf.sprintf "%s %d steps, %d-replica ladder %.0f-%.0f K" spec.preset
+        spec.steps r.replicas r.temp_min r.temp_max

@@ -1,0 +1,45 @@
+(** Typed simulation job descriptions.
+
+    A job is either a single MD run or an REMD ladder over a named workload
+    preset, with a step budget, timestep, target temperature and seed. Jobs
+    carry a deterministic identity: {!id} hashes the canonical text
+    encoding (FNV-1a 64), so the same spec always maps to the same id and
+    re-submission is idempotent. The text codec ({!encode} / {!decode}) is
+    what the {!Queue} spools to disk. *)
+
+type kind =
+  | Single
+  | Remd of {
+      replicas : int;
+      temp_min : float;  (** K, bottom rung *)
+      temp_max : float;  (** K, top rung *)
+      stride : int;  (** steps between exchange attempts *)
+    }
+
+type spec = {
+  label : string;  (** free-form, single line *)
+  preset : string;  (** workload name, resolved by [Workloads.of_name] *)
+  steps : int;  (** total MD step budget *)
+  dt_fs : float;
+  temperature : float;  (** K (REMD jobs use the ladder instead) *)
+  seed : int;
+  kind : kind;
+}
+
+(** Syntactic validity (budgets positive, ladder ordered, label a single
+    line). Whether [preset] names a real workload is only known at run
+    time; an unknown preset fails the job, not the submission. *)
+val validate : spec -> (unit, string) result
+
+(** Canonical line-oriented text form, ["mdsp-job 1"] header. Floats use
+    [%.17g] so [decode (encode s) = Ok s] exactly. *)
+val encode : spec -> string
+
+(** Parse and {!validate}. *)
+val decode : string -> (spec, string) result
+
+(** Deterministic job id, ["j%016x"]-style. *)
+val id : spec -> string
+
+(** One-line human summary for listings. *)
+val describe : spec -> string

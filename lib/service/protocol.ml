@@ -1,0 +1,257 @@
+open Mdsp_util
+
+type request =
+  | Submit of Job.spec
+  | Status of string
+  | Result of string
+  | Cancel of string
+  | Jobs
+  | Shutdown
+
+type job_view = {
+  v_id : string;
+  v_label : string;
+  v_status : string;
+  v_steps_done : int;
+  v_steps_total : int;
+}
+
+type response =
+  | Submitted of job_view
+  | Job_status of job_view
+  | Job_result of { r_id : string; observables : (string * float) list }
+  | Cancelled of string
+  | Job_list of job_view list
+  | Bye
+  | Error of string
+
+let view_of_entry (e : Queue.entry) =
+  {
+    v_id = e.Queue.id;
+    v_label = e.Queue.spec.Job.label;
+    v_status = Queue.status_to_string e.Queue.status;
+    v_steps_done = e.Queue.steps_done;
+    v_steps_total = e.Queue.spec.Job.steps;
+  }
+
+(* --- encoding --- *)
+
+let num_i n = Json.Num (float_of_int n)
+
+let spec_to_json (s : Job.spec) =
+  let base =
+    [
+      ("label", Json.Str s.Job.label);
+      ("preset", Json.Str s.Job.preset);
+      ("steps", num_i s.Job.steps);
+      ("dt", Json.Num s.Job.dt_fs);
+      ("temperature", Json.Num s.Job.temperature);
+      ("seed", num_i s.Job.seed);
+    ]
+  in
+  match s.Job.kind with
+  | Job.Single -> Json.Obj (base @ [ ("kind", Json.Str "single") ])
+  | Job.Remd r ->
+      Json.Obj
+        (base
+        @ [
+            ("kind", Json.Str "remd");
+            ("replicas", num_i r.replicas);
+            ("temp_min", Json.Num r.temp_min);
+            ("temp_max", Json.Num r.temp_max);
+            ("stride", num_i r.stride);
+          ])
+
+let view_to_json v =
+  Json.Obj
+    [
+      ("id", Json.Str v.v_id);
+      ("label", Json.Str v.v_label);
+      ("status", Json.Str v.v_status);
+      ("steps_done", num_i v.v_steps_done);
+      ("steps_total", num_i v.v_steps_total);
+    ]
+
+let encode_request = function
+  | Submit spec ->
+      Json.to_string
+        (Json.Obj [ ("op", Json.Str "submit"); ("spec", spec_to_json spec) ])
+  | Status id ->
+      Json.to_string (Json.Obj [ ("op", Json.Str "status"); ("id", Json.Str id) ])
+  | Result id ->
+      Json.to_string (Json.Obj [ ("op", Json.Str "result"); ("id", Json.Str id) ])
+  | Cancel id ->
+      Json.to_string (Json.Obj [ ("op", Json.Str "cancel"); ("id", Json.Str id) ])
+  | Jobs -> Json.to_string (Json.Obj [ ("op", Json.Str "jobs") ])
+  | Shutdown -> Json.to_string (Json.Obj [ ("op", Json.Str "shutdown") ])
+
+let encode_response = function
+  | Submitted v ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("ok", Json.Bool true);
+             ("op", Json.Str "submit");
+             ("job", view_to_json v);
+           ])
+  | Job_status v ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("ok", Json.Bool true);
+             ("op", Json.Str "status");
+             ("job", view_to_json v);
+           ])
+  | Job_result { r_id; observables } ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("ok", Json.Bool true);
+             ("op", Json.Str "result");
+             ("id", Json.Str r_id);
+             ( "observables",
+               Json.Obj
+                 (List.map (fun (k, v) -> (k, Json.Num v)) observables) );
+           ])
+  | Cancelled id ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("ok", Json.Bool true);
+             ("op", Json.Str "cancel");
+             ("id", Json.Str id);
+           ])
+  | Job_list vs ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("ok", Json.Bool true);
+             ("op", Json.Str "jobs");
+             ("jobs", Json.Arr (List.map view_to_json vs));
+           ])
+  | Bye ->
+      Json.to_string
+        (Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str "shutdown") ])
+  | Error msg ->
+      Json.to_string
+        (Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
+
+(* --- decoding --- *)
+
+let ( let* ) = Result.bind
+
+let need what conv j name =
+  match Option.bind (Json.field name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or bad %S field (%s)" name what)
+
+let spec_of_json j =
+  let str = need "string" Json.to_str j in
+  let int = need "integer" Json.to_int j in
+  let num = need "number" Json.to_num j in
+  let* label = str "label" in
+  let* preset = str "preset" in
+  let* steps = int "steps" in
+  let* dt_fs = num "dt" in
+  let* temperature = num "temperature" in
+  let* seed = int "seed" in
+  let* kind =
+    match str "kind" with
+    | Ok "single" -> Ok Job.Single
+    | Ok "remd" ->
+        let* replicas = int "replicas" in
+        let* temp_min = num "temp_min" in
+        let* temp_max = num "temp_max" in
+        let* stride = int "stride" in
+        Ok (Job.Remd { replicas; temp_min; temp_max; stride })
+    | Ok k -> Error (Printf.sprintf "unknown kind %S" k)
+    | Error _ as e -> e
+  in
+  let spec = { Job.label; preset; steps; dt_fs; temperature; seed; kind } in
+  let* () = Job.validate spec in
+  Ok spec
+
+let view_of_json j =
+  let str = need "string" Json.to_str j in
+  let int = need "integer" Json.to_int j in
+  let* v_id = str "id" in
+  let* v_label = str "label" in
+  let* v_status = str "status" in
+  let* v_steps_done = int "steps_done" in
+  let* v_steps_total = int "steps_total" in
+  Ok { v_id; v_label; v_status; v_steps_done; v_steps_total }
+
+let decode_request line =
+  let* j = Json.of_string line in
+  let* op = need "string" Json.to_str j "op" in
+  match op with
+  | "submit" -> (
+      match Json.field "spec" j with
+      | None -> Error "submit needs a \"spec\" object"
+      | Some sj ->
+          let* spec = spec_of_json sj in
+          Ok (Submit spec))
+  | "status" ->
+      let* id = need "string" Json.to_str j "id" in
+      Ok (Status id)
+  | "result" ->
+      let* id = need "string" Json.to_str j "id" in
+      Ok (Result id)
+  | "cancel" ->
+      let* id = need "string" Json.to_str j "id" in
+      Ok (Cancel id)
+  | "jobs" -> Ok Jobs
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let decode_response line =
+  let* j = Json.of_string line in
+  match Json.field "ok" j with
+  | Some (Json.Bool false) ->
+      let* msg = need "string" Json.to_str j "error" in
+      Ok (Error msg)
+  | Some (Json.Bool true) -> (
+      let* op = need "string" Json.to_str j "op" in
+      match op with
+      | "submit" | "status" -> (
+          match Json.field "job" j with
+          | None -> Result.Error "missing \"job\" field"
+          | Some vj ->
+              let* v = view_of_json vj in
+              Ok (if op = "submit" then Submitted v else Job_status v))
+      | "result" -> (
+          let* r_id = need "string" Json.to_str j "id" in
+          match Json.field "observables" j with
+          | Some (Json.Obj kvs) ->
+              let* observables =
+                List.fold_right
+                  (fun (k, v) acc ->
+                    let* acc = acc in
+                    match Json.to_num v with
+                    | Some f -> Ok ((k, f) :: acc)
+                    | None ->
+                        Result.Error
+                          (Printf.sprintf "observable %S is not a number" k))
+                  kvs (Ok [])
+              in
+              Ok (Job_result { r_id; observables })
+          | _ -> Result.Error "missing \"observables\" object")
+      | "cancel" ->
+          let* id = need "string" Json.to_str j "id" in
+          Ok (Cancelled id)
+      | "jobs" -> (
+          match Json.field "jobs" j with
+          | Some (Json.Arr vs) ->
+              let* views =
+                List.fold_right
+                  (fun vj acc ->
+                    let* acc = acc in
+                    let* v = view_of_json vj in
+                    Ok (v :: acc))
+                  vs (Ok [])
+              in
+              Ok (Job_list views)
+          | _ -> Result.Error "missing \"jobs\" array")
+      | "shutdown" -> Ok Bye
+      | op -> Result.Error (Printf.sprintf "unknown op %S" op))
+  | _ -> Result.Error "missing \"ok\" field"

@@ -1,0 +1,54 @@
+(** The `mdsp serve` wire protocol: JSON lines over stdin/stdout.
+
+    One request per input line, one response per output line. Requests
+    carry an ["op"] field; responses carry ["ok"] (with ["error"] on
+    failure). Both directions have total codecs — [decode (encode x) =
+    Ok x] for every value, the property the protocol fuzz test pins —
+    and every number round-trips bit-exactly ({!Mdsp_util.Json}).
+
+    Grammar (one line each):
+    {v
+    -> {"op":"submit","spec":{"label":..,"preset":..,"steps":N,"dt":F,
+        "temperature":F,"seed":N,"kind":"single"}}
+       (REMD: "kind":"remd","replicas":N,"temp_min":F,"temp_max":F,"stride":N)
+    -> {"op":"status","id":ID} | {"op":"result","id":ID}
+       | {"op":"cancel","id":ID} | {"op":"jobs"} | {"op":"shutdown"}
+    <- {"ok":true,"op":"submit","job":VIEW} (likewise "status")
+    <- {"ok":true,"op":"result","id":ID,"observables":{K:F,..}}
+    <- {"ok":true,"op":"cancel","id":ID}
+    <- {"ok":true,"op":"jobs","jobs":[VIEW,..]}
+    <- {"ok":true,"op":"shutdown"}
+    <- {"ok":false,"error":MSG}
+    VIEW = {"id":ID,"label":..,"status":..,"steps_done":N,"steps_total":N}
+    v} *)
+
+type request =
+  | Submit of Job.spec
+  | Status of string
+  | Result of string  (** blocks until the job is terminal *)
+  | Cancel of string
+  | Jobs
+  | Shutdown
+
+type job_view = {
+  v_id : string;
+  v_label : string;
+  v_status : string;
+  v_steps_done : int;
+  v_steps_total : int;
+}
+
+type response =
+  | Submitted of job_view
+  | Job_status of job_view
+  | Job_result of { r_id : string; observables : (string * float) list }
+  | Cancelled of string
+  | Job_list of job_view list
+  | Bye
+  | Error of string
+
+val view_of_entry : Queue.entry -> job_view
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

@@ -1,0 +1,226 @@
+open Mdsp_util
+
+type status = Pending | Running | Paused | Done | Failed of string
+
+type entry = {
+  id : string;
+  spec : Job.spec;
+  mutable seq : int;
+  mutable status : status;
+  mutable steps_done : int;
+}
+
+type t = { dir : string; mutable entries : entry list; mutable next_seq : int }
+
+let status_to_string = function
+  | Pending -> "pending"
+  | Running -> "running"
+  | Paused -> "paused"
+  | Done -> "done"
+  | Failed _ -> "failed"
+
+let job_path t id = Filename.concat t.dir (id ^ ".job")
+let state_path t id = Filename.concat t.dir (id ^ ".state")
+let ckpt_path t e = Filename.concat t.dir (e.id ^ ".ckpt")
+let result_path t e = Filename.concat t.dir (e.id ^ ".result")
+
+(* Every state transition lands on disk through the same atomic write the
+   checkpoints use: a crash between any two transitions leaves the previous
+   record intact, never a torn one. *)
+let persist t e =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "mdsp-job-state 1\n";
+  Printf.bprintf b "id %s\n" e.id;
+  Printf.bprintf b "seq %d\n" e.seq;
+  Printf.bprintf b "status %s\n" (status_to_string e.status);
+  Printf.bprintf b "steps_done %d\n" e.steps_done;
+  (match e.status with
+  | Failed msg ->
+      Printf.bprintf b "error %s\n"
+        (String.map (fun c -> if c = '\n' then ' ' else c) msg)
+  | _ -> ());
+  Atomic_file.write_string (state_path t e.id) (Buffer.contents b)
+
+let read_state path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let lines = List.rev !lines in
+  let strip prefix l =
+    let np = String.length prefix in
+    if String.length l >= np && String.sub l 0 np = prefix then
+      Some (String.sub l np (String.length l - np))
+    else None
+  in
+  match lines with
+  | header :: rest when header = "mdsp-job-state 1" ->
+      let find prefix =
+        List.find_map (strip (prefix ^ " ")) rest
+      in
+      let ( let* ) = Option.bind in
+      let* id = find "id" in
+      let* seq = Option.bind (find "seq") int_of_string_opt in
+      let* status_word = find "status" in
+      let* steps_done = Option.bind (find "steps_done") int_of_string_opt in
+      let* status =
+        match status_word with
+        | "pending" -> Some Pending
+        | "running" -> Some Running
+        | "paused" -> Some Paused
+        | "done" -> Some Done
+        | "failed" ->
+            Some (Failed (Option.value ~default:"unknown" (find "error")))
+        | _ -> None
+      in
+      Some (id, seq, status, steps_done)
+  | _ -> None
+
+let sort_entries t =
+  t.entries <-
+    List.sort (fun a b -> compare a.seq b.seq) t.entries
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let create ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+  if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Queue.create: %s is not a directory" dir);
+  let t = { dir; entries = []; next_seq = 0 } in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".job" then begin
+        let id = Filename.chop_suffix f ".job" in
+        match Job.decode (read_file (job_path t id)) with
+        | Error _ -> () (* corrupt spool file: surfaced by [orphans] *)
+        | Ok spec ->
+            let e = { id; spec; seq = 0; status = Pending; steps_done = 0 } in
+            (let sp = state_path t id in
+             if Sys.file_exists sp then
+               match read_state sp with
+               | Some (sid, seq, status, steps_done) when sid = id ->
+                   e.seq <- seq;
+                   e.status <- status;
+                   e.steps_done <- steps_done
+               | _ -> ());
+            (* Restart recovery: a job the previous server died holding is
+               requeued — from its checkpoint when one landed, from scratch
+               otherwise. *)
+            (match e.status with
+            | Running ->
+                e.status <-
+                  (if Sys.file_exists (ckpt_path t e) then Paused
+                   else Pending);
+                persist t e
+            | _ -> ());
+            t.entries <- e :: t.entries;
+            if e.seq >= t.next_seq then t.next_seq <- e.seq + 1
+      end)
+    (Sys.readdir dir);
+  sort_entries t;
+  t
+
+let dir t = t.dir
+let entries t = t.entries
+let find t id = List.find_opt (fun e -> e.id = id) t.entries
+
+let submit t spec =
+  match Job.validate spec with
+  | Error m -> Error m
+  | Ok () -> (
+      let id = Job.id spec in
+      match find t id with
+      | Some e -> Ok e
+      | None ->
+          let e =
+            { id; spec; seq = t.next_seq; status = Pending; steps_done = 0 }
+          in
+          t.next_seq <- t.next_seq + 1;
+          Atomic_file.write_string (job_path t id) (Job.encode spec);
+          persist t e;
+          t.entries <- t.entries @ [ e ];
+          Ok e)
+
+let runnable t =
+  List.filter
+    (fun e -> match e.status with Pending | Paused -> true | _ -> false)
+    t.entries
+
+let take_batch t n =
+  let rec take k = function
+    | e :: rest when k > 0 -> e :: take (k - 1) rest
+    | _ -> []
+  in
+  take n (runnable t)
+
+(* Send a preempted job to the back of the line: bumping [seq] (persisted)
+   is what makes the scheduler's batching round-robin rather than
+   head-of-line. *)
+let requeue t e =
+  e.seq <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  persist t e;
+  sort_entries t
+
+let set_status t e status =
+  e.status <- status;
+  persist t e
+
+let record_progress t e ~steps_done =
+  e.steps_done <- steps_done;
+  persist t e
+
+let cancel t id =
+  match find t id with
+  | None -> Error (Printf.sprintf "no such job %s" id)
+  | Some e -> (
+      match e.status with
+      | Done -> Error (Printf.sprintf "job %s already completed" id)
+      | Failed _ -> Error (Printf.sprintf "job %s already terminal" id)
+      | Pending | Running | Paused ->
+          set_status t e (Failed "cancelled");
+          Ok e)
+
+let write_result t e line = Atomic_file.write_string (result_path t e) line
+
+let read_result t id =
+  let path = Filename.concat t.dir (id ^ ".result") in
+  if Sys.file_exists path then Some (String.trim (read_file path)) else None
+
+let orphans ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    let files = Array.to_list (Sys.readdir dir) in
+    let has_job id = List.mem (id ^ ".job") files in
+    List.filter_map
+      (fun f ->
+        if Filename.check_suffix f Atomic_file.tmp_suffix then
+          Some (f ^ ": leftover staging file")
+        else
+          let owned suffix =
+            if Filename.check_suffix f suffix then
+              Some (Filename.chop_suffix f suffix)
+            else None
+          in
+          match
+            List.find_map owned [ ".state"; ".ckpt"; ".result" ]
+          with
+          | Some id when not (has_job id) ->
+              Some (f ^ ": no matching .job spec")
+          | Some _ -> None
+          | None ->
+              if Filename.check_suffix f ".job" then
+                match Job.decode (read_file (Filename.concat dir f)) with
+                | Ok _ -> None
+                | Error m -> Some (f ^ ": unreadable (" ^ m ^ ")")
+              else Some (f ^ ": unexpected file"))
+      files

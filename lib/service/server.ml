@@ -1,0 +1,161 @@
+open Mdsp_util
+
+(* The input side reads raw bytes through [Unix.read] (never a buffered
+   [in_channel], which cannot be mixed with [Unix.select]): the serve loop
+   polls for complete request lines between scheduler slices, so a slow
+   client never stalls the jobs and a burst of requests is answered
+   between two quanta. *)
+type reader = {
+  fd : Unix.file_descr;
+  chunk : bytes;
+  mutable pending : string;
+  mutable eof : bool;
+}
+
+let make_reader fd =
+  { fd; chunk = Bytes.create 4096; pending = ""; eof = false }
+
+let split_lines r =
+  let rec go acc =
+    match String.index_opt r.pending '\n' with
+    | None -> List.rev acc
+    | Some i ->
+        let line = String.sub r.pending 0 i in
+        r.pending <-
+          String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+        go (line :: acc)
+  in
+  go []
+
+let poll_lines r ~timeout =
+  if r.eof then []
+  else
+    match Unix.select [ r.fd ] [] [] timeout with
+    | [], _, _ -> []
+    | _ -> (
+        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 ->
+            r.eof <- true;
+            (* A final unterminated line still counts as a request. *)
+            if r.pending = "" then []
+            else begin
+              let line = r.pending in
+              r.pending <- "";
+              [ line ]
+            end
+        | n ->
+            r.pending <- r.pending ^ Bytes.sub_string r.chunk 0 n;
+            split_lines r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> [])
+
+let result_response queue id =
+  match Queue.read_result queue id with
+  | None -> Protocol.Error (Printf.sprintf "job %s has no result record" id)
+  | Some line -> (
+      match
+        Result.bind (Json.of_string line) (fun j ->
+            match Json.field "observables" j with
+            | Some (Json.Obj kvs) ->
+                Ok
+                  (List.filter_map
+                     (fun (k, v) ->
+                       Option.map (fun f -> (k, f)) (Json.to_num v))
+                     kvs)
+            | _ -> Error "no observables")
+      with
+      | Ok observables -> Protocol.Job_result { r_id = id; observables }
+      | Error _ ->
+          Protocol.Error (Printf.sprintf "job %s: corrupt result record" id))
+
+let serve ?quantum ?(slots = 1) ~dir ~input ~output () =
+  let queue = Queue.create ~dir in
+  let exec =
+    if slots <= 1 then Exec.serial
+    else Exec.create (Exec.Domains { n = slots })
+  in
+  let sched = Scheduler.create ?quantum ~exec queue in
+  let reader = make_reader input in
+  (* Result requests for unfinished jobs park here (arrival order) and are
+     answered as the jobs turn terminal. *)
+  let waiters = ref [] in
+  let stop = ref false in
+  let respond resp =
+    output_string output (Protocol.encode_response resp);
+    output_char output '\n';
+    flush output
+  in
+  let handle line =
+    if String.trim line <> "" then
+      match Protocol.decode_request line with
+      | Error msg -> respond (Protocol.Error ("bad request: " ^ msg))
+      | Ok (Protocol.Submit spec) -> (
+          match Queue.submit queue spec with
+          | Ok e -> respond (Protocol.Submitted (Protocol.view_of_entry e))
+          | Error msg -> respond (Protocol.Error ("submit: " ^ msg)))
+      | Ok (Protocol.Status id) -> (
+          match Queue.find queue id with
+          | Some e -> respond (Protocol.Job_status (Protocol.view_of_entry e))
+          | None -> respond (Protocol.Error (Printf.sprintf "no such job %s" id)))
+      | Ok (Protocol.Result id) -> (
+          match Queue.find queue id with
+          | None -> respond (Protocol.Error (Printf.sprintf "no such job %s" id))
+          | Some e -> (
+              match e.Queue.status with
+              | Queue.Done -> respond (result_response queue id)
+              | Queue.Failed msg ->
+                  respond
+                    (Protocol.Error (Printf.sprintf "job %s failed: %s" id msg))
+              | _ -> waiters := !waiters @ [ id ]))
+      | Ok (Protocol.Cancel id) -> (
+          match Queue.cancel queue id with
+          | Ok e -> respond (Protocol.Cancelled e.Queue.id)
+          | Error msg -> respond (Protocol.Error msg))
+      | Ok Protocol.Jobs ->
+          respond
+            (Protocol.Job_list
+               (List.map Protocol.view_of_entry (Queue.entries queue)))
+      | Ok Protocol.Shutdown ->
+          respond Protocol.Bye;
+          stop := true
+  in
+  let serve_ready_waiters () =
+    waiters :=
+      List.filter
+        (fun id ->
+          match Queue.find queue id with
+          | Some { Queue.status = Queue.Done; _ } ->
+              respond (result_response queue id);
+              false
+          | Some { Queue.status = Queue.Failed msg; _ } ->
+              respond
+                (Protocol.Error (Printf.sprintf "job %s failed: %s" id msg));
+              false
+          | _ -> true)
+        !waiters
+  in
+  let rec loop () =
+    serve_ready_waiters ();
+    if not !stop then begin
+      let busy = Queue.runnable queue <> [] in
+      let timeout = if busy then 0. else 0.05 in
+      List.iter handle (poll_lines reader ~timeout);
+      if not !stop then begin
+        let advanced = Scheduler.run_slice sched in
+        (* EOF drains: finish everything already accepted, then exit. *)
+        if advanced = 0 && reader.eof && !waiters = [] then ()
+        else loop ()
+      end
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Shutdown abandons parked Result waits; the queue itself persists
+         and the jobs resume on the next serve. *)
+      List.iter
+        (fun id ->
+          respond
+            (Protocol.Error (Printf.sprintf "job %s: server shutting down" id)))
+        !waiters;
+      waiters := [];
+      Exec.shutdown exec)
+    loop

@@ -1,0 +1,23 @@
+(** The `mdsp serve` request loop.
+
+    [serve ~dir ~input ~output ()] opens the spool directory as a
+    {!Queue} (recovering any jobs a previous server left running), builds
+    a {!Scheduler} on [slots] pool slots, and interleaves two activities
+    until told to stop: draining complete JSON request lines from [input]
+    (non-blocking — raw [Unix.read] under [Unix.select]) and running
+    scheduler slices. Responses go to [output], one line each, flushed.
+
+    [Result] requests for unfinished jobs park until the job turns
+    terminal. End of input means "no more requests": the server finishes
+    every job already accepted, answers parked waits, and returns. A
+    [shutdown] request returns immediately instead — in-flight jobs stay
+    checkpointed in the spool and resume on the next serve; parked waits
+    are answered with an error. *)
+val serve :
+  ?quantum:int ->
+  ?slots:int ->
+  dir:string ->
+  input:Unix.file_descr ->
+  output:out_channel ->
+  unit ->
+  unit

@@ -1,0 +1,26 @@
+(* Crash-safe file replacement: write the full content to a sibling
+   temporary name, then rename into place. POSIX rename is atomic within a
+   filesystem, so readers observe either the old file or the complete new
+   one — never a torn write. *)
+
+let tmp_suffix = ".tmp"
+
+let write path f =
+  let tmp = path ^ tmp_suffix in
+  let oc = open_out tmp in
+  (match f oc with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+let write_string path s = write path (fun oc -> output_string oc s)
+
+let fresh_dir ?(prefix = "mdsp") () =
+  (* temp_file reserves a unique name; recycle it as a directory. *)
+  let path = Filename.temp_file prefix ".dir" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path

@@ -1,0 +1,24 @@
+(** Crash-safe file replacement.
+
+    [write path f] runs [f] on an output channel bound to [path ^ ".tmp"]
+    and renames the finished file over [path]. A crash (or an exception
+    from [f]) while writing leaves the previous contents of [path] intact;
+    the rename is atomic on POSIX filesystems, so no reader ever sees a
+    partially written file. Checkpoints and the job-queue state records are
+    all written through this helper. *)
+
+(** Suffix of the staging file (".tmp"); directory scans treat leftovers
+    carrying it as crash debris, never as live records. *)
+val tmp_suffix : string
+
+(** [write path f] writes atomically via [f]; on exception the staging file
+    is removed and the exception re-raised. *)
+val write : string -> (out_channel -> unit) -> unit
+
+(** [write_string path s] is [write] of a fixed payload. *)
+val write_string : string -> string -> unit
+
+(** [fresh_dir ()] creates (and returns the path of) a new unique
+    directory under the system temp dir — spool directories for tests,
+    benchmarks and the sanitizer sweep. *)
+val fresh_dir : ?prefix:string -> unit -> string

@@ -1,0 +1,34 @@
+(** Minimal JSON values for the service protocol's one-line records.
+
+    [to_string] emits a single line (no newlines, no pretty-printing);
+    [of_string] parses it back. Numbers are printed with enough digits
+    ([%.17g], integers as [%.0f]) that [of_string (to_string v)]
+    reconstructs every finite float bit for bit — the round-trip property
+    the protocol relies on for exact observables. Strings are byte strings:
+    bytes [>= 0x20] pass through verbatim (so UTF-8 survives), control
+    characters and ["\\\""] are escaped. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** One-line rendering. *)
+val to_string : t -> string
+
+(** Parse a complete JSON value; [Error msg] carries the byte offset of the
+    first problem. Rejects trailing garbage. *)
+val of_string : string -> (t, string) result
+
+(** [field name v] looks up an object member ([None] on non-objects and
+    missing keys). *)
+val field : string -> t -> t option
+
+val to_str : t -> string option
+val to_num : t -> float option
+
+(** [to_int] succeeds only on integral numbers small enough to be exact. *)
+val to_int : t -> int option

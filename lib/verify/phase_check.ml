@@ -58,6 +58,36 @@ let decomp_frame ~exec () =
   in
   ignore (Mdsp_machine.Decomp.analyze ~exec d sys.W.positions)
 
+(* A few tiny jobs through the service scheduler: every slice advances one
+   job per slot inside [Exec.map_slots], and each slot declares its
+   per-job write-set (resource "service.jobs") — so the sanitizer audits
+   scheduler batches exactly like force-pipeline phases. The quantum is
+   smaller than the budgets, forcing checkpoint preemption mid-sweep. *)
+let service_slice ~exec () =
+  let dir = Atomic_file.fresh_dir ~prefix:"mdsp_phase_service" () in
+  let queue = Mdsp_service.Queue.create ~dir in
+  let sched = Mdsp_service.Scheduler.create ~quantum:20 ~exec queue in
+  List.iter
+    (fun seed ->
+      match
+        Mdsp_service.Queue.submit queue
+          {
+            Mdsp_service.Job.label = Printf.sprintf "phase-%d" seed;
+            preset = "lj32";
+            steps = 50;
+            dt_fs = 2.0;
+            temperature = 120.;
+            seed;
+            kind = Mdsp_service.Job.Single;
+          }
+      with
+      | Ok _ -> ()
+      | Error m -> failwith ("Phase_check.service_slice: " ^ m))
+    [ 1; 2; 3 ];
+  Mdsp_service.Scheduler.drain sched;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
 (* Must track the [Exec.declare_write] resource names in the force stack. *)
 let phase_labels =
   [
@@ -81,6 +111,7 @@ let phase_labels =
     "decomp.owner";
     "decomp.resident";
     "decomp.pairs";
+    "service.jobs";
   ]
 
 let run_phases ~slots =
@@ -95,5 +126,6 @@ let run_phases ~slots =
       gse_box ~exec ();
       bead_chain ~exec ();
       bead_chain_soa ~exec ();
-      decomp_frame ~exec ());
+      decomp_frame ~exec ();
+      service_slice ~exec ());
   phase_labels

@@ -15,7 +15,8 @@
 
 (** [run_phases ~slots] drives a solvated water box with grid (GSE)
     electrostatics plus a charged bead chain (bonds, angles, dihedrals,
-    1-4 pairs, reaction-field) through full force evaluations on a
-    sanitizing pool of [slots] domains. Returns the phase labels exercised.
-    Raises {!Mdsp_util.Exec.Race} on any write-set violation. *)
+    1-4 pairs, reaction-field) through full force evaluations, plus a batch
+    of preempted service jobs through the {!Mdsp_service.Scheduler} slice
+    loop, on a sanitizing pool of [slots] domains. Returns the phase labels
+    exercised. Raises {!Mdsp_util.Exec.Race} on any write-set violation. *)
 val run_phases : slots:int -> string list

@@ -426,6 +426,27 @@ let presets =
     };
   ]
 
+let of_name name =
+  match List.find_opt (fun p -> p.name = name) presets with
+  | Some p -> p.build ()
+  | None ->
+      let numeric_suffix prefix =
+        let np = String.length prefix in
+        if
+          String.length name > np
+          && String.sub name 0 np = prefix
+        then int_of_string_opt (String.sub name np (String.length name - np))
+        else None
+      in
+      (match (numeric_suffix "lj", numeric_suffix "water") with
+      | Some n, _ when n > 0 -> lj_fluid ~n ()
+      | _, Some s when s > 0 -> water_box ~n_side:s ()
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "unknown preset %S (see `mdsp presets', or lj<N> / water<S>)"
+               name))
+
 let make_engine ?(config = Mdsp_md.Engine.default_config) ?cutoff ?elec
     ?gse_grid ?(seed = 23) ?(exec = Exec.serial) ?(soa = false) sys =
   let has_charges =

@@ -93,6 +93,13 @@ type preset = { name : string; atoms : int; build : unit -> system }
 
 val presets : preset list
 
+(** [of_name s] builds the preset named [s], or parses the parametric
+    families [lj<N>] (N atoms) and [water<S>] (S molecules per box edge).
+    Raises [Failure] with a descriptive message on an unknown name — the
+    single place preset spellings are resolved, shared by the CLI and the
+    job service. *)
+val of_name : string -> system
+
 (** Assemble an engine with sensible defaults: cutoff 9 A (or less for small
     boxes), reaction-field electrostatics for charged systems, Verlet skin 1
     A. [config] defaults to {!Mdsp_md.Engine.default_config}; [exec]

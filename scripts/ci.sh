@@ -83,6 +83,37 @@ grep -Eq '"e23\.water6k\.n512\.ns_day": [0-9]' /tmp/e23.json
 dune exec bin/mdsp.exe -- project -p water6k --nodes 2,2,2 \
   | grep -q 'exactly-once pair assignment: ok'
 
+# Service smoke: spool a job, pipe a status + blocking result request
+# through `mdsp serve` (EOF drains the queue, so the server finishes the
+# job before exiting), and verify the job completed, the result carries
+# observables, and the spool directory has no orphans (leftover .tmp
+# staging files or records without a .job spec).
+SPOOL="$(mktemp -d /tmp/mdsp-spool.XXXXXX)"
+JOB_ID="$(dune exec bin/mdsp.exe -- submit --dir "$SPOOL" -p lj64 \
+  --steps 120 -t 120 --porcelain)"
+printf '{"op":"status","id":"%s"}\n{"op":"result","id":"%s"}\n' \
+  "$JOB_ID" "$JOB_ID" \
+  | dune exec bin/mdsp.exe -- serve --dir "$SPOOL" --quantum 40 \
+  > /tmp/mdsp-serve.out
+grep -q '"ok":true,"op":"status"' /tmp/mdsp-serve.out
+grep -q '"ok":true,"op":"result"' /tmp/mdsp-serve.out
+grep -q '"e_total":' /tmp/mdsp-serve.out
+dune exec bin/mdsp.exe -- jobs --dir "$SPOOL" | grep -q "^$JOB_ID  *done"
+dune exec bin/mdsp.exe -- jobs --dir "$SPOOL" --check \
+  | grep -q 'spool clean: no orphans'
+rm -rf "$SPOOL"
+
+# e24 drives the scheduler under a 16-client burst at 1/2/4 slots; every
+# preempted job must end bitwise identical to its uninterrupted reference
+# (e24.identity 1), and the throughput/turnaround keys must be present.
+dune exec bench/main.exe -- e24 --json /tmp/e24.json
+test -s /tmp/e24.json
+grep -q '"e24\.identity": 1' /tmp/e24.json
+grep -Eq '"e24\.slots1\.jobs_per_hour": [0-9]' /tmp/e24.json
+grep -Eq '"e24\.slots2\.jobs_per_hour": [0-9]' /tmp/e24.json
+grep -Eq '"e24\.slots4\.jobs_per_hour": [0-9]' /tmp/e24.json
+grep -Eq '"e24\.slots4\.p95_turnaround_s": [0-9]' /tmp/e24.json
+
 # Documentation gate: the odoc comments in the .mli files must stay
 # well-formed. Gated on odoc being installed so the script still runs in
 # minimal local environments.

@@ -211,9 +211,14 @@ let test_checkpoint_file_exact () =
   let remd_snap = Remd.snapshot ladder in
   let engine_snaps = Array.map E.snapshot (Remd.engines ladder) in
   let path = Filename.temp_file "mdsp_ensemble" ".ckpt" in
-  Mdsp_ensemble.Checkpoint.save path ~remd:remd_snap ~engines:engine_snaps;
+  Mdsp_ensemble.Checkpoint.save path ~remd:remd_snap ~engines:engine_snaps ();
   let remd_back, engines_back = Mdsp_ensemble.Checkpoint.load path in
   Sys.remove path;
+  let remd_back =
+    match remd_back with
+    | Some s -> s
+    | None -> Alcotest.fail "checkpoint lost its exchange section"
+  in
   check_true "remd sweep" (remd_back.Remd.snap_sweep = remd_snap.Remd.snap_sweep);
   check_true "remd attempts"
     (remd_back.Remd.snap_attempts = remd_snap.Remd.snap_attempts);

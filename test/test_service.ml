@@ -1,0 +1,456 @@
+(* The simulation job service: job/protocol codecs must round-trip
+   exactly (qcheck fuzz), the spool queue must survive restarts, a job
+   preempted repeatedly — including across a simulated server restart —
+   must end bitwise identical to an uninterrupted run at 1/2/4 slots, the
+   serve loop must answer malformed requests with errors instead of dying,
+   and the checkpoint loaders must fail with clear messages on missing /
+   truncated / mismatched files. *)
+
+open Mdsp_util
+open Testsupport
+module Job = Mdsp_service.Job
+module Q = Mdsp_service.Queue
+module Sch = Mdsp_service.Scheduler
+module P = Mdsp_service.Protocol
+module Server = Mdsp_service.Server
+
+(* --- helpers --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let lj_spec ?(label = "t") ?(steps = 120) ?(seed = 7) () =
+  {
+    Job.label;
+    preset = "lj64";
+    steps;
+    dt_fs = 2.0;
+    temperature = 120.;
+    seed;
+    kind = Job.Single;
+  }
+
+let contains ~needle hay =
+  let nn = String.length needle and nh = String.length hay in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let fails_with needle f =
+  match f () with
+  | _ -> Alcotest.failf "expected Failure mentioning %S" needle
+  | exception Failure msg ->
+      if not (contains ~needle msg) then
+        Alcotest.failf "Failure %S does not mention %S" msg needle
+
+(* --- job codec --- *)
+
+let test_job_codec_basic () =
+  let single = lj_spec ~label:"a label with spaces" () in
+  let remd =
+    {
+      single with
+      Job.kind =
+        Job.Remd { replicas = 4; temp_min = 120.; temp_max = 160.; stride = 25 };
+    }
+  in
+  List.iter
+    (fun spec ->
+      match Job.decode (Job.encode spec) with
+      | Ok back -> check_true "round trip" (back = spec)
+      | Error m -> Alcotest.failf "decode failed: %s" m)
+    [ single; remd ];
+  check_true "deterministic id" (Job.id single = Job.id single);
+  check_true "kind changes id" (Job.id single <> Job.id remd);
+  check_true "id shape"
+    (String.length (Job.id single) = 17 && (Job.id single).[0] = 'j')
+
+let test_job_decode_errors () =
+  let bad l =
+    match Job.decode l with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "decoded %S" l
+  in
+  bad "";
+  bad "not a job\n";
+  bad "mdsp-job 1\nlabel x\n";
+  (* a validation failure, not just a parse failure *)
+  bad
+    (String.concat "\n"
+       [
+         "mdsp-job 1"; "label x"; "preset lj64"; "steps 0"; "dt 2";
+         "temperature 120"; "seed 1"; "kind single"; "";
+       ])
+
+let spec_arb =
+  let label_gen =
+    QCheck.Gen.(
+      string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 16))
+  in
+  QCheck.map
+    (fun ((label, preset, steps, seed), (dt, temp, is_remd, (replicas, stride)))
+       ->
+      let kind =
+        if is_remd then
+          Job.Remd
+            { replicas; temp_min = temp; temp_max = temp +. 25.; stride }
+        else Job.Single
+      in
+      { Job.label; preset; steps; dt_fs = dt; temperature = temp; seed; kind })
+    QCheck.(
+      pair
+        (quad
+           (make ~print:(Printf.sprintf "%S") label_gen)
+           (oneofl [ "lj64"; "lj1k"; "water6k"; "chain2k" ])
+           (int_range 1 100_000) (int_range 0 9999))
+        (quad (float_range 0.5 4.0) (float_range 50. 400.) bool
+           (pair (int_range 2 8) (int_range 1 50))))
+
+let job_codec_fuzz =
+  qtest "job codec round-trips" ~count:300 spec_arb (fun spec ->
+      Job.decode (Job.encode spec) = Ok spec
+      && Job.id spec = Job.id spec)
+
+(* --- json --- *)
+
+let json_float_fuzz =
+  qtest "json numbers round-trip bitwise" ~count:300
+    QCheck.(float_range (-1e12) 1e12)
+    (fun f -> Json.of_string (Json.to_string (Json.Num f)) = Ok (Json.Num f))
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parsed %S" s)
+    [ "{"; "[1,]"; "1 2"; "\"unterminated"; "{\"a\" 1}"; "nul" ]
+
+(* --- protocol codec --- *)
+
+let request_arb =
+  QCheck.map
+    (fun (sel, spec, id) ->
+      match sel with
+      | 0 -> P.Submit spec
+      | 1 -> P.Status id
+      | 2 -> P.Result id
+      | 3 -> P.Cancel id
+      | 4 -> P.Jobs
+      | _ -> P.Shutdown)
+    QCheck.(
+      triple (int_range 0 5) spec_arb
+        (oneofl [ "j0000000000000000"; "jdeadbeef12345678"; "x" ]))
+
+let view_arb =
+  QCheck.map
+    (fun ((id, label), (status, d, t)) ->
+      {
+        P.v_id = id;
+        v_label = label;
+        v_status = status;
+        v_steps_done = d;
+        v_steps_total = t;
+      })
+    QCheck.(
+      pair
+        (pair (oneofl [ "j1"; "j2" ]) (oneofl [ ""; "a label"; "x\"y" ]))
+        (triple
+           (oneofl [ "pending"; "running"; "paused"; "done"; "failed" ])
+           (int_range 0 1000) (int_range 0 1000)))
+
+let response_arb =
+  QCheck.map
+    (fun (sel, v, vs, (id, msg, obs)) ->
+      match sel with
+      | 0 -> P.Submitted v
+      | 1 -> P.Job_status v
+      | 2 -> P.Job_result { r_id = id; observables = obs }
+      | 3 -> P.Cancelled id
+      | 4 -> P.Job_list vs
+      | 5 -> P.Bye
+      | _ -> P.Error msg
+    )
+    QCheck.(
+      quad (int_range 0 6) view_arb (list_of_size (Gen.int_range 0 4) view_arb)
+        (triple (oneofl [ "j1"; "j2" ])
+           (oneofl [ "boom"; "no such job"; "quote \" backslash \\" ])
+           (list_of_size (Gen.int_range 0 4)
+              (pair
+                 (oneofl [ "steps"; "e_total"; "temperature" ])
+                 (float_range (-1e6) 1e6)))))
+
+let request_codec_fuzz =
+  qtest "request codec round-trips" ~count:300 request_arb (fun r ->
+      P.decode_request (P.encode_request r) = Ok r)
+
+let response_codec_fuzz =
+  qtest "response codec round-trips" ~count:300 response_arb (fun r ->
+      P.decode_response (P.encode_response r) = Ok r)
+
+let test_malformed_requests () =
+  List.iter
+    (fun line ->
+      match P.decode_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" line)
+    [
+      "not json";
+      "{}";
+      "{\"op\":\"frobnicate\"}";
+      "{\"op\":\"status\"}";
+      "{\"op\":\"submit\",\"spec\":{\"label\":\"x\"}}";
+      "{\"op\":\"submit\",\"spec\":{\"label\":\"x\",\"preset\":\"lj64\",\
+       \"steps\":0,\"dt\":2,\"temperature\":120,\"seed\":1,\
+       \"kind\":\"single\"}}";
+    ]
+
+(* --- queue persistence across restart --- *)
+
+let test_queue_restart () =
+  let dir = Atomic_file.fresh_dir ~prefix:"mdsp_test_q" () in
+  let a = lj_spec ~label:"a" ~seed:11 () in
+  let b = lj_spec ~label:"b" ~seed:12 () in
+  let q1 = Q.create ~dir in
+  let ea = Result.get_ok (Q.submit q1 a) in
+  let _ = Result.get_ok (Q.submit q1 b) in
+  check_true "idempotent resubmit"
+    (Q.submit q1 a = Ok ea && List.length (Q.entries q1) = 2);
+  let sched = Sch.create ~quantum:40 ~exec:Exec.serial q1 in
+  check_true "one job advanced" (Sch.run_slice sched = 1);
+  check_true "a paused at quantum"
+    (ea.Q.status = Q.Paused && ea.Q.steps_done = 40);
+  (* Simulated restart: reload everything from the spool. *)
+  let q2 = Q.create ~dir in
+  let ea2 = Option.get (Q.find q2 (Job.id a)) in
+  let eb2 = Option.get (Q.find q2 (Job.id b)) in
+  check_true "a recovered paused"
+    (ea2.Q.status = Q.Paused && ea2.Q.steps_done = 40);
+  check_true "b recovered pending" (eb2.Q.status = Q.Pending);
+  check_true "round robin: b before a" (eb2.Q.seq < ea2.Q.seq);
+  (* A job caught mid-run by a crash: Running demotes to Paused when its
+     checkpoint landed, Pending when it never got one. *)
+  Q.set_status q2 ea2 Q.Running;
+  Q.set_status q2 eb2 Q.Running;
+  let q3 = Q.create ~dir in
+  check_true "running+ckpt -> paused"
+    ((Option.get (Q.find q3 (Job.id a))).Q.status = Q.Paused);
+  check_true "running without ckpt -> pending"
+    ((Option.get (Q.find q3 (Job.id b))).Q.status = Q.Pending);
+  let sched3 = Sch.create ~quantum:40 ~exec:Exec.serial q3 in
+  Sch.drain sched3;
+  List.iter
+    (fun (e : Q.entry) -> check_true "drained to done" (e.Q.status = Q.Done))
+    (Q.entries q3);
+  check_true "no orphans" (Q.orphans ~dir = []);
+  rm_rf dir
+
+(* --- preempted = uninterrupted, bitwise, at 1/2/4 slots --- *)
+
+let identity_specs =
+  [ lj_spec ~label:"i1" ~seed:21 (); lj_spec ~label:"i2" ~seed:22 ();
+    lj_spec ~label:"i3" ~seed:23 () ]
+
+let test_preemption_identity () =
+  (* steps 120, quantum 40: every job is preempted twice before its final
+     slice. Mid-drain the queue and scheduler are rebuilt from the spool —
+     a simulated server restart — so at least one resume goes through the
+     checkpoint file. *)
+  let refs =
+    List.map
+      (fun spec ->
+        let ckpt = Filename.temp_file "mdsp_test_ref" ".ckpt" in
+        let obs = Sch.uninterrupted spec ~ckpt in
+        let bytes = read_file ckpt in
+        Sys.remove ckpt;
+        (spec, bytes, obs))
+      identity_specs
+  in
+  let baseline = ref None in
+  List.iter
+    (fun slots ->
+      let dir = Atomic_file.fresh_dir ~prefix:"mdsp_test_id" () in
+      let exec =
+        if slots = 1 then Exec.serial
+        else Exec.create (Exec.Domains { n = slots })
+      in
+      let q1 = Q.create ~dir in
+      List.iter
+        (fun s -> ignore (Result.get_ok (Q.submit q1 s)))
+        identity_specs;
+      let s1 = Sch.create ~quantum:40 ~exec q1 in
+      ignore (Sch.run_slice s1);
+      ignore (Sch.run_slice s1);
+      (* server restart: fresh queue + scheduler, instances rebuilt from
+         the preemption checkpoints *)
+      let q2 = Q.create ~dir in
+      let s2 = Sch.create ~quantum:40 ~exec q2 in
+      Sch.drain s2;
+      let outputs =
+        List.map
+          (fun (spec, ref_bytes, _) ->
+            let e = Option.get (Q.find q2 (Job.id spec)) in
+            check_true
+              (Printf.sprintf "%s done at %d slots" e.Q.id slots)
+              (e.Q.status = Q.Done);
+            let ckpt = read_file (Q.ckpt_path q2 e) in
+            check_true
+              (Printf.sprintf "ckpt bitwise at %d slots" slots)
+              (ckpt = ref_bytes);
+            Option.get (Q.read_result q2 e.Q.id))
+          refs
+      in
+      (match !baseline with
+      | None -> baseline := Some outputs
+      | Some base ->
+          check_true
+            (Printf.sprintf "results identical across slot counts (%d)" slots)
+            (base = outputs));
+      Exec.shutdown exec;
+      rm_rf dir)
+    [ 1; 2; 4 ]
+
+let test_unknown_preset_fails_job () =
+  let dir = Atomic_file.fresh_dir ~prefix:"mdsp_test_bad" () in
+  let q = Q.create ~dir in
+  let e =
+    Result.get_ok (Q.submit q { (lj_spec ()) with Job.preset = "nosuch" })
+  in
+  let sched = Sch.create ~quantum:40 ~exec:Exec.serial q in
+  Sch.drain sched;
+  (match e.Q.status with
+  | Q.Failed msg -> check_true "mentions preset" (String.length msg > 0)
+  | _ -> Alcotest.fail "unknown preset should fail the job");
+  rm_rf dir
+
+(* --- serve loop end to end --- *)
+
+let test_serve_end_to_end () =
+  let dir = Atomic_file.fresh_dir ~prefix:"mdsp_test_serve" () in
+  let spec = lj_spec ~label:"served" ~steps:90 ~seed:31 () in
+  let id = Job.id spec in
+  let script =
+    String.concat "\n"
+      [
+        P.encode_request (P.Submit spec);
+        "this is not json";
+        P.encode_request (P.Status id);
+        P.encode_request (P.Result id);
+      ]
+    ^ "\n"
+  in
+  let in_path = Filename.temp_file "mdsp_serve" ".in" in
+  let oc = open_out in_path in
+  output_string oc script;
+  close_out oc;
+  let out_path = Filename.temp_file "mdsp_serve" ".out" in
+  let input = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+  let output = open_out out_path in
+  Server.serve ~quantum:30 ~dir ~input ~output ();
+  Unix.close input;
+  close_out output;
+  let responses =
+    String.split_on_char '\n' (String.trim (read_file out_path))
+    |> List.map (fun l -> Result.get_ok (P.decode_response l))
+  in
+  (match responses with
+  | [ P.Submitted v; P.Error err; P.Job_status _; P.Job_result r ] ->
+      check_true "submitted id" (v.P.v_id = id);
+      check_true "malformed line rejected"
+        (String.length err > 0);
+      check_true "result id" (r.r_id = id);
+      check_true "observed steps" (List.assoc "steps" r.observables = 90.)
+  | rs -> Alcotest.failf "unexpected response sequence (%d)" (List.length rs));
+  check_true "spool clean after serve" (Q.orphans ~dir = []);
+  Sys.remove in_path;
+  Sys.remove out_path;
+  rm_rf dir
+
+(* --- checkpoint error paths --- *)
+
+let test_checkpoint_errors () =
+  let module T = Mdsp_md.Trajectory.Checkpoint in
+  fails_with "cannot open" (fun () -> T.load "/nonexistent/ckpt");
+  let tmp = Filename.temp_file "mdsp_test_ck" ".ckpt" in
+  let write s =
+    let oc = open_out tmp in
+    output_string oc s;
+    close_out oc
+  in
+  write "garbage\n";
+  fails_with "bad header" (fun () -> T.load tmp);
+  write "mdsp-checkpoint 2\npreset lj64\n";
+  fails_with "truncated" (fun () -> T.load tmp);
+  (* preset guard, through a real save *)
+  let eng = lj_engine ~n:32 ~equil:10 () in
+  T.save ~preset:"lj32" tmp (Mdsp_md.Engine.state eng) ~step:10;
+  check_true "no staging leftover"
+    (not (Sys.file_exists (tmp ^ Atomic_file.tmp_suffix)));
+  fails_with "preset" (fun () -> T.load ~expect_preset:"water6k" tmp);
+  let st, step = T.load ~expect_preset:"lj32" tmp in
+  check_true "matching preset loads"
+    (step = 10 && Mdsp_md.State.n st = 32);
+  (* ensemble checkpoint: replica-count and preset guards *)
+  let module EC = Mdsp_ensemble.Checkpoint in
+  let snap = Mdsp_md.Engine.snapshot eng in
+  EC.save ~preset:"lj32" tmp ~engines:[| snap |] ();
+  check_true "ensemble save atomic"
+    (not (Sys.file_exists (tmp ^ Atomic_file.tmp_suffix)));
+  fails_with "replicas" (fun () -> EC.load ~expect_replicas:4 tmp);
+  fails_with "preset" (fun () -> EC.load ~expect_preset:"water6k" tmp);
+  (let remd, engines = EC.load ~expect_replicas:1 ~expect_preset:"lj32" tmp in
+   check_true "single-engine checkpoint has no exchange section"
+     (remd = None && Array.length engines = 1));
+  fails_with "cannot open" (fun () -> EC.load "/nonexistent/ckpt");
+  Sys.remove tmp
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "job",
+        [
+          Alcotest.test_case "codec basics" `Quick test_job_codec_basic;
+          Alcotest.test_case "decode errors" `Quick test_job_decode_errors;
+          job_codec_fuzz;
+        ] );
+      ( "json",
+        [
+          json_float_fuzz;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+        ] );
+      ( "protocol",
+        [
+          request_codec_fuzz;
+          response_codec_fuzz;
+          Alcotest.test_case "malformed requests" `Quick
+            test_malformed_requests;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "persistence across restart" `Quick
+            test_queue_restart;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "preempted = uninterrupted (1/2/4 slots)"
+            `Quick test_preemption_identity;
+          Alcotest.test_case "unknown preset fails the job" `Quick
+            test_unknown_preset_fails_job;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "end to end over a scripted fd" `Quick
+            test_serve_end_to_end;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "clear errors, atomic writes" `Quick
+            test_checkpoint_errors;
+        ] );
+    ]
