@@ -238,6 +238,7 @@ let e21 () =
   phase "long-range" ps.longrange_s pp.longrange_s;
   phase "neighbor rebuild" ps.neighbor_s pp.neighbor_s;
   phase "  nbuild (tiled)" ps.nbuild_s pp.nbuild_s;
+  phase "integrate (kick/drift)" ps.integrate_s pp.integrate_s;
   phase "total" (timings_total ps) (timings_total pp);
   T.print t;
   (* The flat (SoA) hot path against the boxed reference kernels on the
@@ -295,6 +296,12 @@ let e21 () =
   record (Printf.sprintf "e21.step_domains%d_us" ndomains)
     (timings_total pp *. 1e6);
   record "e21.nbuild_serial_us" (ps.nbuild_s *. 1e6);
+  record "e21.integrate_serial_us" (ps.integrate_s *. 1e6);
+  record
+    (Printf.sprintf "e21.integrate_domains%d_us" ndomains)
+    (pp.integrate_s *. 1e6);
+  record "e21.integrate_speedup"
+    (ps.integrate_s /. Float.max 1e-12 pp.integrate_s);
   record "e21.pair_soa_serial_us" (ss.pair_s *. 1e6);
   record
     (Printf.sprintf "e21.pair_soa_domains%d_us" ndomains)

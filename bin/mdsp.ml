@@ -150,6 +150,7 @@ let print_timings eng =
   Printf.printf "  neighbor rebuild    %10.3f us\n" (per.neighbor_s *. 1e6);
   if per.nbuild_s > 0. then
     Printf.printf "    nbuild            %10.3f us\n" (per.nbuild_s *. 1e6);
+  Printf.printf "  integrate           %10.3f us\n" (per.integrate_s *. 1e6);
   Printf.printf "  total               %10.3f us\n"
     (timings_total per *. 1e6);
   (* The Gc meter only wraps the serial SoA pair window. *)
@@ -761,6 +762,34 @@ let seed_narrow_arg =
            deliberately narrowed force format; the command must then fail \
            (a self-test of the certifier).")
 
+let phases_arg =
+  Arg.(
+    value & flag
+    & info [ "phases" ]
+        ~doc:
+          "Additionally run the phase-dataflow analysis: record every \
+           parallel phase's read/write footprint through the sanitizer, \
+           derive the static happens-before graph, and require full phase \
+           coverage, acyclicity and an identical graph at every slot count.")
+
+let seed_race_arg =
+  Arg.(
+    value & flag
+    & info [ "seed-race" ]
+        ~doc:
+          "Additionally drive a deliberately racy phase (tiled writes under \
+           a whole-array read) through the dataflow sweep; the command must \
+           then fail (a self-test of the conflict matrix). Implies \
+           $(b,--phases).")
+
+let dot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:
+          "Write the happens-before graph of the last slot count as a \
+           Graphviz DOT file (deterministic output). Implies $(b,--phases).")
+
 let check_cmd =
   let doc =
     "Verify the built-in kernels, tables, parallel phases and datapaths."
@@ -777,17 +806,36 @@ let check_cmd =
          which proves every machine accumulator (pair conversion, per-atom \
          force, node partials and reduction tree, whole-system energy, \
          positions, coefficient Horner steps) cannot saturate under the \
-         registered workload envelopes. Exits non-zero if any check fails.";
+         registered workload envelopes. With $(b,--phases), also records \
+         every parallel phase's declared read/write footprint and certifies \
+         the static happens-before graph: full coverage of the expected \
+         phase set, acyclicity, and an identical graph shape at every slot \
+         count. Exits non-zero if any check fails.";
     ]
   in
-  let run json seed_hazard slots datapath seed_narrow =
-    let s = Mdsp_verify.Check.run ~seed_hazard ~seed_narrow ~slots () in
+  let run json seed_hazard slots datapath seed_narrow phases seed_race dot =
+    let phases = phases || seed_race || dot <> None in
+    let s =
+      Mdsp_verify.Check.run ~seed_hazard ~seed_narrow ~seed_race ~phases
+        ~slots ()
+    in
     Format.printf "%a" Mdsp_verify.Check.pp_summary s;
     if datapath then
       List.iter
         (fun r ->
           Format.printf "@[<v>%a@]@." Mdsp_verify.Fixed_check.pp_report r)
         s.Mdsp_verify.Check.datapath;
+    (match (dot, s.Mdsp_verify.Check.phases) with
+    | None, _ -> ()
+    | Some _, (None | Some { Mdsp_verify.Dataflow.df_graphs = []; _ }) ->
+        prerr_endline "mdsp check: no dataflow graph recorded, no DOT written"
+    | Some path, Some { Mdsp_verify.Dataflow.df_graphs = gs; _ } ->
+        let g = List.nth gs (List.length gs - 1) in
+        let oc = open_out path in
+        output_string oc (Mdsp_verify.Dataflow.dot g);
+        close_out oc;
+        Printf.printf "dataflow graph (%d slots) written to %s\n"
+          g.Mdsp_verify.Dataflow.g_slots path);
     (match json with
     | None -> ()
     | Some path ->
@@ -799,7 +847,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc ~man)
     Term.(
       const run $ check_json_arg $ seed_hazard_arg $ slots_arg $ datapath_arg
-      $ seed_narrow_arg)
+      $ seed_narrow_arg $ phases_arg $ seed_race_arg $ dot_arg)
 
 (* --- analyze --- *)
 

@@ -24,9 +24,10 @@ let rec tree_force slots i lo hi =
     Vec3.add (tree_force slots i lo mid) (tree_force slots i mid hi)
   end
 
-let reduce_slots ?(exec = Exec.serial) ~into slots =
+let reduce_slots ?(exec = Exec.serial) ?(phase = "bonded.reduce")
+    ?(reads = []) ~into slots =
   let nslots = Array.length slots in
-  if nslots = 1 then begin
+  if nslots = 1 && not (Exec.sanitizing exec) then begin
     let src = slots.(0) in
     let n = Array.length into.forces in
     for i = 0 to n - 1 do
@@ -34,15 +35,24 @@ let reduce_slots ?(exec = Exec.serial) ~into slots =
     done;
     into.virial <- into.virial +. src.virial
   end
-  else if nslots > 1 then begin
+  else if nslots >= 1 then begin
     let n = Array.length into.forces in
     let bounds = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots exec) in
-    Exec.parallel_run exec (fun s ->
+    Exec.parallel_run ~phase exec (fun s ->
         let lo, hi = bounds.(s) in
         (* This phase writes the *shared* accumulator, so the declared
-           resource is the atom index space itself. *)
+           resource is the atom index space itself. It reads every slot's
+           partials — [reads] names the iteration-space resources the
+           producing phase declared — and read-modifies its own tile of
+           the accumulator. *)
         Exec.declare_write ~slot:s ~resource:"bonded.reduce" ~total:n ~lo ~hi
           exec;
+        Exec.declare_read ~slot:s ~resource:"bonded.reduce" ~total:n ~lo ~hi
+          exec;
+        List.iter
+          (fun (resource, total) ->
+            Exec.declare_read ~slot:s ~resource ~lo:0 ~hi:total exec)
+          reads;
         for i = lo to hi - 1 do
           into.forces.(i) <-
             Vec3.add into.forces.(i) (tree_force slots i 0 nslots)
@@ -216,7 +226,8 @@ let term_count (topo : Topology.t) =
 
 let all ?(exec = Exec.serial) ?slots box (topo : Topology.t) positions acc =
   let ns = Exec.n_slots exec in
-  if ns = 1 || term_count topo = 0 then all_serial box topo positions acc
+  if (ns = 1 && not (Exec.sanitizing exec)) || term_count topo = 0 then
+    all_serial box topo positions acc
   else begin
     let slots =
       match slots with
@@ -233,13 +244,18 @@ let all ?(exec = Exec.serial) ?slots box (topo : Topology.t) positions acc =
     in
     let eb = Array.make ns 0. and ea = Array.make ns 0. in
     let ed = Array.make ns 0. in
-    Exec.parallel_run exec (fun s ->
+    let natoms = Array.length positions in
+    Exec.parallel_run ~phase:"bonded" exec (fun s ->
         let a = slots.(s) in
         reset a;
         let declare resource tiles total =
           let lo, hi = tiles in
           Exec.declare_write ~slot:s ~resource ~total ~lo ~hi exec
         in
+        (* Bond endpoints are arbitrary atom indices, so every slot reads
+           the whole position array. *)
+        Exec.declare_read ~slot:s ~resource:"state.positions" ~lo:0
+          ~hi:natoms exec;
         declare "bonded.bonds" b_tiles.(s) (Array.length topo.bonds);
         declare "bonded.angles" a_tiles.(s) (Array.length topo.angles);
         declare "bonded.dihedrals" d_tiles.(s) (Array.length topo.dihedrals);
@@ -252,6 +268,14 @@ let all ?(exec = Exec.serial) ?slots box (topo : Topology.t) positions acc =
         let e_d = dihedrals_range box topo positions a lo hi in
         let lo, hi = i_tiles.(s) in
         ed.(s) <- e_d +. impropers_range box topo positions a lo hi);
-    reduce_slots ~exec ~into:acc slots;
+    reduce_slots ~exec
+      ~reads:
+        [
+          ("bonded.bonds", Array.length topo.bonds);
+          ("bonded.angles", Array.length topo.angles);
+          ("bonded.dihedrals", Array.length topo.dihedrals);
+          ("bonded.impropers", Array.length topo.impropers);
+        ]
+      ~into:acc slots;
     (Exec.sum_tree eb, Exec.sum_tree ea, Exec.sum_tree ed)
   end

@@ -83,7 +83,7 @@ let ensure_slots slots ~ns ~n =
 
 let compute ?(exec = Exec.serial) ?slots evaluator box nlist positions acc =
   let ns = Exec.n_slots exec in
-  if ns = 1 then begin
+  if ns = 1 && not (Exec.sanitizing exec) then begin
     let energy = ref 0. in
     Mdsp_space.Neighbor_list.iter nlist (fun i j ->
         apply_pair evaluator box positions acc energy i j);
@@ -93,17 +93,24 @@ let compute ?(exec = Exec.serial) ?slots evaluator box nlist positions acc =
     let slots = ensure_slots slots ~ns ~n:(Array.length acc.Bonded.forces) in
     let tiles = Mdsp_space.Neighbor_list.tiles nlist ~ntiles:ns in
     let total = snd tiles.(ns - 1) in
+    let natoms = Array.length positions in
     let energies = Array.make ns 0. in
-    Exec.parallel_run exec (fun s ->
+    Exec.parallel_run ~phase:"pair" exec (fun s ->
         let a = slots.(s) in
         Bonded.reset a;
         let energy = ref 0. in
         let lo, hi = tiles.(s) in
         Exec.declare_write ~slot:s ~resource:"pair.tiles" ~total ~lo ~hi exec;
+        (* Each slot reads its own pair range of the neighbor list and, via
+           the pair indices, arbitrary positions. *)
+        Exec.declare_read ~slot:s ~resource:"nlist.pairs" ~total ~lo ~hi exec;
+        Exec.declare_read ~slot:s ~resource:"state.positions" ~lo:0
+          ~hi:natoms exec;
         Mdsp_space.Neighbor_list.iter_range nlist lo hi (fun i j ->
             apply_pair evaluator box positions a energy i j);
         energies.(s) <- !energy);
-    Bonded.reduce_slots ~exec ~into:acc slots;
+    Bonded.reduce_slots ~exec ~reads:[ ("pair.tiles", total) ] ~into:acc
+      slots;
     Exec.sum_tree energies
   end
 
@@ -146,7 +153,7 @@ let compute_pairs14 ?(exec = Exec.serial) ?slots (topo : Topology.t) ~cutoff
     let charges = Topology.charges topo in
     let types = Array.map (fun (a : Topology.atom) -> a.type_id) topo.atoms in
     let ns = Exec.n_slots exec in
-    if ns = 1 then begin
+    if ns = 1 && not (Exec.sanitizing exec) then begin
       let energy = ref 0. in
       Array.iter
         (fun (i, j) ->
@@ -160,21 +167,25 @@ let compute_pairs14 ?(exec = Exec.serial) ?slots (topo : Topology.t) ~cutoff
         ensure_slots slots ~ns ~n:(Array.length acc.Bonded.forces)
       in
       let tiles = Exec.tile_bounds ~total:npairs ~ntiles:ns in
+      let natoms = Array.length positions in
       let energies = Array.make ns 0. in
-      Exec.parallel_run exec (fun s ->
+      Exec.parallel_run ~phase:"pair14" exec (fun s ->
           let a = slots.(s) in
           Bonded.reset a;
           let energy = ref 0. in
           let lo, hi = tiles.(s) in
           Exec.declare_write ~slot:s ~resource:"pair.pairs14" ~total:npairs
             ~lo ~hi exec;
+          Exec.declare_read ~slot:s ~resource:"state.positions" ~lo:0
+            ~hi:natoms exec;
           for k = lo to hi - 1 do
             let i, j = topo.pairs14.(k) in
             apply_pair14 topo ~charges ~types ~cutoff box positions a energy
               i j
           done;
           energies.(s) <- !energy);
-      Bonded.reduce_slots ~exec ~into:acc slots;
+      Bonded.reduce_slots ~exec ~reads:[ ("pair.pairs14", npairs) ] ~into:acc
+        slots;
       Exec.sum_tree energies
     end
   end

@@ -173,7 +173,7 @@ let scratch_grids t ns =
 let spread ~exec t charges positions re =
   let n = Array.length positions in
   let ns = Exec.n_slots exec in
-  if ns = 1 then
+  if ns = 1 && not (Exec.sanitizing exec) then
     for i = 0 to n - 1 do
       let q = charges.(i) in
       if q <> 0. then
@@ -183,7 +183,7 @@ let spread ~exec t charges positions re =
   else begin
     let grids = scratch_grids t ns in
     let p_tiles = Exec.tile_bounds ~total:n ~ntiles:ns in
-    Exec.parallel_run exec (fun s ->
+    Exec.parallel_run ~phase:"gse.spread" exec (fun s ->
         let grid = grids.(s) in
         Array.fill grid 0 (Array.length grid) 0.;
         let lo, hi = p_tiles.(s) in
@@ -191,6 +191,7 @@ let spread ~exec t charges positions re =
            the racing surface is the particle partition. *)
         Exec.declare_write ~slot:s ~resource:"gse.spread" ~total:n ~lo ~hi
           exec;
+        Exec.declare_read ~slot:s ~resource:"state.positions" ~lo ~hi exec;
         for i = lo to hi - 1 do
           let q = charges.(i) in
           if q <> 0. then
@@ -199,10 +200,13 @@ let spread ~exec t charges positions re =
         done);
     let total = t.nx * t.ny * t.nz in
     let g_tiles = Exec.tile_bounds ~total ~ntiles:ns in
-    Exec.parallel_run exec (fun s ->
+    Exec.parallel_run ~phase:"gse.combine" exec (fun s ->
         let lo, hi = g_tiles.(s) in
         Exec.declare_write ~slot:s ~resource:"gse.grid_combine" ~total ~lo
           ~hi exec;
+        (* The tree combine reads every slot's partial grid, i.e. the whole
+           particle footprint the spread phase declared. *)
+        Exec.declare_read ~slot:s ~resource:"gse.spread" ~lo:0 ~hi:n exec;
         for g = lo to hi - 1 do
           re.(g) <- tree_cell grids g 0 ns
         done)
@@ -237,10 +241,12 @@ let reciprocal ?(exec = Exec.serial) ?phases t charges positions
       (fun () ->
         let e_slot = Array.make ns 0. and w_slot = Array.make ns 0. in
         let k_tiles = Exec.tile_bounds ~total ~ntiles:ns in
-        Exec.parallel_run exec (fun s ->
+        Exec.parallel_run ~phase:"gse.convolve" exec (fun s ->
             let energy = ref 0. and virial = ref 0. in
             let lo, hi = k_tiles.(s) in
             Exec.declare_write ~slot:s ~resource:"gse.convolve" ~total ~lo
+              ~hi exec;
+            Exec.declare_read ~slot:s ~resource:"gse.convolve" ~total ~lo
               ~hi exec;
             for k = lo to hi - 1 do
               let s2 = (re.(k) *. re.(k)) +. (im.(k) *. im.(k)) in
@@ -270,9 +276,11 @@ let reciprocal ?(exec = Exec.serial) ?phases t charges positions
     (fun p d -> p.convolve_s <- p.convolve_s +. d)
     (fun () ->
       let g_tiles = Exec.tile_bounds ~total ~ntiles:ns in
-      Exec.parallel_run exec (fun s ->
+      Exec.parallel_run ~phase:"gse.phi_scale" exec (fun s ->
           let lo, hi = g_tiles.(s) in
           Exec.declare_write ~slot:s ~resource:"gse.phi_scale" ~total ~lo
+            ~hi exec;
+          Exec.declare_read ~slot:s ~resource:"gse.phi_scale" ~total ~lo
             ~hi exec;
           for k = lo to hi - 1 do
             re.(k) <- re.(k) *. phi_scale
@@ -287,9 +295,19 @@ let reciprocal ?(exec = Exec.serial) ?phases t charges positions
     (fun p d -> p.gather_s <- p.gather_s +. d)
     (fun () ->
       let p_tiles = Exec.tile_bounds ~total:n ~ntiles:ns in
-      Exec.parallel_run exec (fun s ->
+      Exec.parallel_run ~phase:"gse.gather" exec (fun s ->
           let lo, hi = p_tiles.(s) in
           Exec.declare_write ~slot:s ~resource:"gse.gather" ~total:n ~lo ~hi
+            exec;
+          (* Accumulates into the slot's own force entries (same-slot
+             read-modify-write). *)
+          Exec.declare_read ~slot:s ~resource:"gse.gather" ~total:n ~lo ~hi
+            exec;
+          (* The support stencil strides the whole potential grid and the
+             slot reads its own particles' positions. *)
+          Exec.declare_read ~slot:s ~resource:"gse.grid" ~lo:0 ~hi:total
+            exec;
+          Exec.declare_read ~slot:s ~resource:"state.positions" ~lo ~hi
             exec;
           for i = lo to hi - 1 do
             let q = charges.(i) in

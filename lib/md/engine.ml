@@ -55,7 +55,10 @@ type t = {
   mutable hooks : (string * (t -> unit)) list;
   mutable mc_baro_accept : int;
   mutable mc_baro_try : int;
+  mutable serial_integrator : bool;
 }
+
+let now () = Unix.gettimeofday ()
 
 let make_nhc ~dof ~temperature ~tau =
   let kt = Units.kt temperature in
@@ -85,6 +88,7 @@ let create ?(seed = 7) topo fc st cfg =
       hooks = [];
       mc_baro_accept = 0;
       mc_baro_try = 0;
+      serial_integrator = false;
     }
   in
   (match cfg.thermostat with
@@ -101,6 +105,7 @@ let create ?(seed = 7) topo fc st cfg =
 
 let state t = t.st
 let force_calc t = t.fc
+let set_serial_integrator t b = t.serial_integrator <- b
 let timings t = Force_calc.timings t.fc
 let reset_timings t = Force_calc.reset_timings t.fc
 let soa_active t = Force_calc.soa_active t.fc
@@ -251,23 +256,76 @@ let langevin_o t gamma dt =
 
 (* --- integrator pieces --- *)
 
-let kick t (acc : Mdsp_ff.Bonded.accum) dt =
+(* The kick and drift sweeps are per-atom independent (no reductions), so
+   the tiled parallel sweeps below are bitwise identical to the serial
+   loops at every slot count — the identity the [test_parallel] suite
+   certifies against the [serial_integrator] reference, which forces the
+   serial loops while the force phases keep their executor. Masses and the
+   virtual-site table are immutable parameters and need no read
+   declaration. *)
+let integrator_exec t =
+  if t.serial_integrator then Exec.serial else Force_calc.exec t.fc
+
+let kick ?(phase = "integrate.kick1") t (acc : Mdsp_ff.Bonded.accum) dt =
+  let t0 = now () in
   let v = t.st.State.velocities and m = t.st.State.masses in
-  for i = 0 to State.n t.st - 1 do
-    if not (Virtual_sites.is_site t.vsites i) then
-      v.(i) <- Vec3.axpy (dt /. m.(i)) acc.forces.(i) v.(i)
-  done
+  let n = State.n t.st in
+  let exec = integrator_exec t in
+  if Exec.n_slots exec = 1 && not (Exec.sanitizing exec) then
+    for i = 0 to n - 1 do
+      if not (Virtual_sites.is_site t.vsites i) then
+        v.(i) <- Vec3.axpy (dt /. m.(i)) acc.forces.(i) v.(i)
+    done
+  else begin
+    let forces = acc.Mdsp_ff.Bonded.forces in
+    let tiles = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots exec) in
+    Exec.parallel_run ~phase exec (fun s ->
+        let lo, hi = tiles.(s) in
+        Exec.declare_read ~slot:s ~resource:"state.forces" ~lo ~hi exec;
+        Exec.declare_read ~slot:s ~resource:"state.velocities" ~lo ~hi exec;
+        Exec.declare_write ~slot:s ~resource:"state.velocities" ~total:n ~lo
+          ~hi exec;
+        for i = lo to hi - 1 do
+          if not (Virtual_sites.is_site t.vsites i) then
+            v.(i) <- Vec3.axpy (dt /. m.(i)) forces.(i) v.(i)
+        done)
+  end;
+  Force_calc.add_integrate_s t.fc (now () -. t0)
 
 (* Drift positions by dt, apply SHAKE, and fold the constraint displacement
-   back into velocities. *)
+   back into velocities. Only the position sweep (with its prev-position
+   save) is a parallel phase; SHAKE, the velocity fold and virtual-site
+   placement stay on the calling domain after the barrier. *)
 let drift t dt =
+  let t0 = now () in
   let x = t.st.State.positions and v = t.st.State.velocities in
   let n = State.n t.st in
-  Array.blit x 0 t.prev_positions 0 n;
-  for i = 0 to n - 1 do
-    if not (Virtual_sites.is_site t.vsites i) then
-      x.(i) <- Vec3.axpy dt v.(i) x.(i)
-  done;
+  let exec = integrator_exec t in
+  if Exec.n_slots exec = 1 && not (Exec.sanitizing exec) then begin
+    Array.blit x 0 t.prev_positions 0 n;
+    for i = 0 to n - 1 do
+      if not (Virtual_sites.is_site t.vsites i) then
+        x.(i) <- Vec3.axpy dt v.(i) x.(i)
+    done
+  end
+  else begin
+    let prev = t.prev_positions in
+    let tiles = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots exec) in
+    Exec.parallel_run ~phase:"integrate.drift" exec (fun s ->
+        let lo, hi = tiles.(s) in
+        Exec.declare_read ~slot:s ~resource:"state.positions" ~lo ~hi exec;
+        Exec.declare_read ~slot:s ~resource:"state.velocities" ~lo ~hi exec;
+        Exec.declare_write ~slot:s ~resource:"state.positions" ~total:n ~lo
+          ~hi exec;
+        Exec.declare_write ~slot:s ~resource:"integrate.prev" ~total:n ~lo
+          ~hi exec;
+        Array.blit x lo prev lo (hi - lo);
+        for i = lo to hi - 1 do
+          if not (Virtual_sites.is_site t.vsites i) then
+            x.(i) <- Vec3.axpy dt v.(i) x.(i)
+        done)
+  end;
+  Force_calc.add_integrate_s t.fc (now () -. t0);
   if Constraints.count t.cons > 0 then begin
     Constraints.shake t.cons t.st.State.box ~prev:t.prev_positions x
       ~masses:t.st.State.masses;
@@ -399,7 +457,7 @@ let step t =
           t.energies <-
             Force_calc.compute t.fc t.st.State.box t.st.State.positions t.acc;
           Virtual_sites.spread_forces t.vsites t.acc;
-          kick t t.acc (dt /. 2.);
+          kick ~phase:"integrate.kick2" t t.acc (dt /. 2.);
           rattle t
       | _ ->
           (* Velocity Verlet. *)
@@ -408,7 +466,7 @@ let step t =
           t.energies <-
             Force_calc.compute t.fc t.st.State.box t.st.State.positions t.acc;
           Virtual_sites.spread_forces t.vsites t.acc;
-          kick t t.acc (dt /. 2.);
+          kick ~phase:"integrate.kick2" t t.acc (dt /. 2.);
           rattle t);
       let s2 = nhc_half t dt in
       if s2 <> 1. then State.scale_velocities t.st s2;
@@ -438,7 +496,7 @@ let step t =
             t.st.State.positions t.fast_acc
         in
         Virtual_sites.spread_forces t.vsites t.fast_acc;
-        kick t t.fast_acc (dt_in /. 2.);
+        kick ~phase:"integrate.kick2" t t.fast_acc (dt_in /. 2.);
         rattle t
       done;
       let slow =
@@ -446,7 +504,7 @@ let step t =
           t.st.State.positions t.acc
       in
       Virtual_sites.spread_forces t.vsites t.acc;
-      kick t t.acc (dt /. 2.);
+      kick ~phase:"integrate.kick2" t t.acc (dt /. 2.);
       rattle t;
       (* Record combined energies: recompute fast part at final positions. *)
       let fast =

@@ -48,6 +48,16 @@ val create :
 
 val state : t -> State.t
 val force_calc : t -> Force_calc.t
+
+(** [set_serial_integrator t true] forces the integrator position/velocity
+    sweeps back onto the serial loops while every force phase keeps the
+    calculator's executor — the reference the parallel-integrator identity
+    test compares against. The sweeps are per-atom independent, so the
+    tiled parallel sweeps ([integrate.kick1], [integrate.kick2],
+    [integrate.drift]) are bitwise identical to the serial loops at every
+    slot count. Default false. *)
+val set_serial_integrator : t -> bool -> unit
+
 val config : t -> config
 val rng : t -> Rng.t
 

@@ -41,6 +41,7 @@ type timings = {
   mutable bias_s : float;
   mutable neighbor_s : float;
   mutable nbuild_s : float;
+  mutable integrate_s : float;
   mutable pair_words : float;
   mutable calls : int;
 }
@@ -57,12 +58,14 @@ let zero_timings () =
     bias_s = 0.;
     neighbor_s = 0.;
     nbuild_s = 0.;
+    integrate_s = 0.;
     pair_words = 0.;
     calls = 0;
   }
 
 let timings_total tm =
   tm.pair_s +. tm.bonded_s +. tm.longrange_s +. tm.bias_s +. tm.neighbor_s
+  +. tm.integrate_s
 
 let timings_per_call tm =
   if tm.calls = 0 then zero_timings ()
@@ -79,6 +82,7 @@ let timings_per_call tm =
       bias_s = tm.bias_s /. c;
       neighbor_s = tm.neighbor_s /. c;
       nbuild_s = tm.nbuild_s /. c;
+      integrate_s = tm.integrate_s /. c;
       pair_words = tm.pair_words /. c;
       calls = tm.calls;
     }
@@ -120,9 +124,12 @@ type soa_ctx = {
   ed : float array;
 }
 
-let make_soa_ctx ~ns params natoms =
+let make_soa_ctx ~exec params natoms =
   let store = Soa.create natoms in
-  let nslots = if ns > 1 then ns else 0 in
+  let ns = Exec.n_slots exec in
+  (* Sanitizing runs take the parallel (declaring) branches even at one
+     slot, so they need the slot scratch sized. *)
+  let nslots = if ns > 1 || Exec.sanitizing exec then ns else 0 in
   let slot_stores =
     Array.init nslots (fun _ ->
         {
@@ -180,12 +187,14 @@ let create ?(exec = Exec.serial) ?soa topo ~evaluator ~longrange ~nlist =
     charges = Mdsp_ff.Topology.charges topo;
     exec;
     slots =
-      (if ns > 1 then Mdsp_ff.Bonded.make_slots ~slots:ns natoms else [||]);
+      (if ns > 1 || Exec.sanitizing exec then
+         Mdsp_ff.Bonded.make_slots ~slots:ns natoms
+       else [||]);
     gse_ewald = None;
     soa =
       (match soa with
       | None -> None
-      | Some params -> Some (make_soa_ctx ~ns params natoms));
+      | Some params -> Some (make_soa_ctx ~exec params natoms));
     tm = zero_timings ();
   }
 
@@ -228,8 +237,13 @@ let reset_timings t =
   t.tm.bias_s <- 0.;
   t.tm.neighbor_s <- 0.;
   t.tm.nbuild_s <- 0.;
+  t.tm.integrate_s <- 0.;
   t.tm.pair_words <- 0.;
   t.tm.calls <- 0
+
+(* The integrator sweeps live in Engine, outside any [compute] call, so the
+   engine charges their wall time here explicitly. *)
+let add_integrate_s t d = t.tm.integrate_s <- t.tm.integrate_s +. d
 
 let compute_biases t box positions acc =
   List.fold_left
@@ -313,7 +327,10 @@ let soa_bonded t ctx box =
   let na = Array.length topo.Mdsp_ff.Topology.angles in
   let nd = Array.length topo.Mdsp_ff.Topology.dihedrals in
   let ni = Array.length topo.Mdsp_ff.Topology.impropers in
-  if ns = 1 || Mdsp_ff.Bonded.term_count topo = 0 then begin
+  if
+    (ns = 1 && not (Exec.sanitizing t.exec))
+    || Mdsp_ff.Bonded.term_count topo = 0
+  then begin
     sc.K.energy <- 0.;
     K.bonds_range box topo store 0 nb sc;
     let eb = sc.K.energy in
@@ -333,7 +350,8 @@ let soa_bonded t ctx box =
     let d_tiles = Exec.tile_bounds ~total:nd ~ntiles:ns in
     let i_tiles = Exec.tile_bounds ~total:ni ~ntiles:ns in
     let eb = ctx.eb and ea = ctx.ea and ed = ctx.ed in
-    Exec.parallel_run t.exec (fun s ->
+    let natoms = Soa.n store in
+    Exec.parallel_run ~phase:"bonded" t.exec (fun s ->
         let sst = ctx.slot_stores.(s) in
         Soa.clear_forces sst;
         let ssc = ctx.slot_sc.(s) in
@@ -346,6 +364,9 @@ let soa_bonded t ctx box =
         declare "bonded.angles" a_tiles.(s) na;
         declare "bonded.dihedrals" d_tiles.(s) nd;
         declare "bonded.impropers" i_tiles.(s) ni;
+        (* Each term reads arbitrary atoms via its index tuples. *)
+        Exec.declare_read ~slot:s ~resource:"soa.positions" ~lo:0 ~hi:natoms
+          t.exec;
         let lo, hi = b_tiles.(s) in
         ssc.K.energy <- 0.;
         K.bonds_range box topo sst lo hi ssc;
@@ -363,9 +384,16 @@ let soa_bonded t ctx box =
         K.impropers_range box topo sst lo hi ssc;
         ed.(s) <- e_d +. ssc.K.energy;
         ctx.slot_virial.(s) <- ssc.K.virial);
-    K.reduce_slots ~exec:t.exec ~into:store ~slot_fx:ctx.slot_fx
-      ~slot_fy:ctx.slot_fy ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial
-      sc;
+    K.reduce_slots ~exec:t.exec
+      ~reads:
+        [
+          ("bonded.bonds", nb);
+          ("bonded.angles", na);
+          ("bonded.dihedrals", nd);
+          ("bonded.impropers", ni);
+        ]
+      ~into:store ~slot_fx:ctx.slot_fx ~slot_fy:ctx.slot_fy
+      ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial sc;
     (Exec.sum_tree eb, Exec.sum_tree ea, Exec.sum_tree ed)
   end
 
@@ -379,7 +407,8 @@ let soa_pairs14_par t ctx box =
     let ns = Exec.n_slots t.exec in
     let tiles = Exec.tile_bounds ~total:np ~ntiles:ns in
     let energies = ctx.slot_energy in
-    Exec.parallel_run t.exec (fun s ->
+    let natoms = Soa.n ctx.store in
+    Exec.parallel_run ~phase:"pair14" t.exec (fun s ->
         let sst = ctx.slot_stores.(s) in
         Soa.clear_forces sst;
         let ssc = ctx.slot_sc.(s) in
@@ -387,12 +416,14 @@ let soa_pairs14_par t ctx box =
         let lo, hi = tiles.(s) in
         Exec.declare_write ~slot:s ~resource:"pair.pairs14" ~total:np ~lo ~hi
           t.exec;
+        Exec.declare_read ~slot:s ~resource:"soa.positions" ~lo:0 ~hi:natoms
+          t.exec;
         K.pairs14_range params box sst lo hi ssc;
         energies.(s) <- ssc.K.energy;
         ctx.slot_virial.(s) <- ssc.K.virial);
-    K.reduce_slots ~exec:t.exec ~into:ctx.store ~slot_fx:ctx.slot_fx
-      ~slot_fy:ctx.slot_fy ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial
-      ctx.sc;
+    K.reduce_slots ~exec:t.exec ~reads:[ ("pair.pairs14", np) ]
+      ~into:ctx.store ~slot_fx:ctx.slot_fx ~slot_fy:ctx.slot_fy
+      ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial ctx.sc;
     Exec.sum_tree energies
   end
 
@@ -403,19 +434,23 @@ let soa_pair_par t ctx box =
   let tiles = Mdsp_space.Neighbor_list.tiles t.nlist ~ntiles:ns in
   let total = snd tiles.(ns - 1) in
   let energies = ctx.slot_energy in
-  Exec.parallel_run t.exec (fun s ->
+  let natoms = Soa.n ctx.store in
+  Exec.parallel_run ~phase:"pair" t.exec (fun s ->
       let sst = ctx.slot_stores.(s) in
       Soa.clear_forces sst;
       let ssc = ctx.slot_sc.(s) in
       K.reset_scratch ssc;
       let lo, hi = tiles.(s) in
       Exec.declare_write ~slot:s ~resource:"pair.tiles" ~total ~lo ~hi t.exec;
+      Exec.declare_read ~slot:s ~resource:"nlist.pairs" ~total ~lo ~hi t.exec;
+      Exec.declare_read ~slot:s ~resource:"soa.positions" ~lo:0 ~hi:natoms
+        t.exec;
       K.pair_range ctx.params box sst ~is ~js lo hi ssc;
       energies.(s) <- ssc.K.energy;
       ctx.slot_virial.(s) <- ssc.K.virial);
-  K.reduce_slots ~exec:t.exec ~into:ctx.store ~slot_fx:ctx.slot_fx
-    ~slot_fy:ctx.slot_fy ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial
-    ctx.sc;
+  K.reduce_slots ~exec:t.exec ~reads:[ ("pair.tiles", total) ]
+    ~into:ctx.store ~slot_fx:ctx.slot_fx ~slot_fy:ctx.slot_fy
+    ~slot_fz:ctx.slot_fz ~slot_virial:ctx.slot_virial ctx.sc;
   Exec.sum_tree energies
 
 (* Serial 1-4 + pair kernels with the minor-heap probe around them: the
@@ -444,21 +479,22 @@ let soa_pair_serial t ctx box ~with14 =
   p
 
 (* Load positions into the flat store and reset its accumulators; charged
-   to whichever phase runs first on the SoA path. *)
-let soa_load ctx box positions =
+   to whichever phase runs first on the SoA path. With a multi-slot
+   executor this is the declared ["soa.load"] phase. *)
+let soa_load t ctx box positions =
   let store = ctx.store in
   store.Soa.box <- box;
-  Soa.load_positions store positions;
-  Soa.clear_forces store;
+  Soa.sync_load ~exec:t.exec store positions;
   K.reset_scratch ctx.sc
 
 (* Flush the flat force sums and the virial into the boxed accumulator.
    Plain overwrite: the kernels accumulated in the boxed order, so this
    reproduces the boxed accumulator bits at the phase boundary. The
    longrange / bias phases then keep adding into [acc] exactly as before —
-   this is the gather/spread synchronization point. *)
-let soa_flush ctx acc =
-  Soa.scatter_forces ctx.store acc;
+   this is the gather/spread synchronization point (the declared
+   ["soa.store"] phase on a multi-slot executor). *)
+let soa_flush t ctx acc =
+  Soa.sync_store ~exec:t.exec ctx.store acc;
   acc.Mdsp_ff.Bonded.virial <- ctx.sc.K.virial
 
 let compute_soa t ctx box positions acc =
@@ -467,20 +503,20 @@ let compute_soa t ctx box positions acc =
   rebuild_timed t box positions;
   let bond, angle, dihedral =
     timed (fun d -> tm.bonded_s <- tm.bonded_s +. d) (fun () ->
-        soa_load ctx box positions;
+        soa_load t ctx box positions;
         soa_bonded t ctx box)
   in
   let pair =
     timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
         let p =
-          if Exec.n_slots t.exec = 1 then
+          if Exec.n_slots t.exec = 1 && not (Exec.sanitizing t.exec) then
             soa_pair_serial t ctx box ~with14:true
           else begin
             let pair14 = soa_pairs14_par t ctx box in
             pair14 +. soa_pair_par t ctx box
           end
         in
-        soa_flush ctx acc;
+        soa_flush t ctx acc;
         p)
   in
   let recip, correction =
@@ -551,13 +587,14 @@ let compute_class_soa t ctx cls box positions acc =
   | `Fast ->
       let bond, angle, dihedral =
         timed (fun d -> tm.bonded_s <- tm.bonded_s +. d) (fun () ->
-            soa_load ctx box positions;
+            soa_load t ctx box positions;
             soa_bonded t ctx box)
       in
       let pair14 =
         timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
             let p =
-              if Exec.n_slots t.exec = 1 then begin
+              if Exec.n_slots t.exec = 1 && not (Exec.sanitizing t.exec)
+              then begin
                 let params = ctx.params in
                 let sc = ctx.sc in
                 if K.pairs14_active params then begin
@@ -570,7 +607,7 @@ let compute_class_soa t ctx cls box positions acc =
               end
               else soa_pairs14_par t ctx box
             in
-            soa_flush ctx acc;
+            soa_flush t ctx acc;
             p)
       in
       let bias =
@@ -582,13 +619,13 @@ let compute_class_soa t ctx cls box positions acc =
       rebuild_timed t box positions;
       let pair =
         timed (fun d -> tm.pair_s <- tm.pair_s +. d) (fun () ->
-            soa_load ctx box positions;
+            soa_load t ctx box positions;
             let p =
-              if Exec.n_slots t.exec = 1 then
+              if Exec.n_slots t.exec = 1 && not (Exec.sanitizing t.exec) then
                 soa_pair_serial t ctx box ~with14:false
               else soa_pair_par t ctx box
             in
-            soa_flush ctx acc;
+            soa_flush t ctx acc;
             p)
       in
       let recip, correction =

@@ -45,7 +45,10 @@ val zero_energies : energies
 
     [nbuild_s] is the slice of [neighbor_s] actually spent inside the tiled
     cell-list + pair-list build (a sub-phase, not an additional bucket, so
-    {!timings_total} does not add it). [pair_words] is not a time at all:
+    {!timings_total} does not add it). [integrate_s] is the integrator's
+    position/velocity sweeps (the [integrate.*] phases), charged by the
+    engine via {!add_integrate_s} — the one bucket that is not force work.
+    [pair_words] is not a time at all:
     it is the cumulative minor-heap allocation (in words, from
     [Gc.minor_words]) of the short-range pair kernels — on the serial SoA
     path the LJ pair loop is allocation-free and this stays exactly 0,
@@ -62,6 +65,7 @@ type timings = {
   mutable bias_s : float;
   mutable neighbor_s : float;
   mutable nbuild_s : float;
+  mutable integrate_s : float;
   mutable pair_words : float;
   mutable calls : int;
 }
@@ -132,6 +136,11 @@ val longrange_kind : t -> [ `None | `Ewald | `Gse of int * int * int ]
 val timings : t -> timings
 
 val reset_timings : t -> unit
+
+(** [add_integrate_s t d] charges [d] seconds of integrator-sweep wall time
+    to [integrate_s]. Called by the engine: the sweeps run outside any
+    {!compute} call, so they cannot be timed from inside it. *)
+val add_integrate_s : t -> float -> unit
 
 (** Replace the pair evaluator (FEP lambda switching, machine
     substitution). This also disables the SoA fast path if one was

@@ -51,10 +51,28 @@ val clear_forces : t -> unit
     reset accumulator reproduces the boxed accumulator bit for bit. *)
 val scatter_forces : t -> Mdsp_ff.Bonded.accum -> unit
 
+(** [sync_load ?exec t positions] copies boxed positions into the flat
+    columns and zeroes the force columns — the phase-entry sync. With a
+    multi-slot (or sanitizing) executor it runs as the declared parallel
+    phase ["soa.load"] (reads ["state.positions"], writes
+    ["soa.positions"] and ["soa.forces"], tiled over atoms); every copy is
+    a plain float move, so the parallel sync is bitwise identical to the
+    serial one. *)
+val sync_load : ?exec:Exec.t -> t -> Vec3.t array -> unit
+
+(** [sync_store ?exec t acc] is {!scatter_forces} as the declared parallel
+    phase ["soa.store"] (reads ["soa.forces"], writes ["state.forces"]) —
+    the phase-exit sync. *)
+val sync_store : ?exec:Exec.t -> t -> Mdsp_ff.Bonded.accum -> unit
+
 (** Exact flat snapshot of a state (positions, velocities, masses, box,
-    time). *)
-val of_state : State.t -> t
+    time). With a multi-slot (or sanitizing) [exec] the position/velocity
+    copy runs as phase ["soa.load"] (also reading/writing the velocity
+    resources). *)
+val of_state : ?exec:Exec.t -> State.t -> t
 
 (** Inverse of {!of_state}: [to_state (of_state st)] equals [st]
-    bit for bit (forces are scratch and not part of the state). *)
-val to_state : t -> State.t
+    bit for bit (forces are scratch and not part of the state). With a
+    multi-slot (or sanitizing) [exec] the velocity copy runs as phase
+    ["soa.store"] (resource ["state.velocities"]). *)
+val to_state : ?exec:Exec.t -> t -> State.t

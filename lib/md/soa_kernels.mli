@@ -83,10 +83,13 @@ val impropers_range :
 (** [reduce_slots ~exec ~into ~slot_fx ~slot_fy ~slot_fz ~slot_virial sc]
     merges per-slot force columns into [into]'s force columns with the same
     fixed-shape pairwise tree as [Bonded.reduce_slots] (resource
-    ["bonded.reduce"]), and adds the tree-summed slot virials to
-    [sc.virial]. *)
+    ["soa.reduce"], the flat mirror of the accumulator's atom space), and
+    adds the tree-summed slot virials to [sc.virial]. [reads] lists the
+    (resource, extent) iteration spaces whose per-slot partials the
+    reduction consumes, for the dataflow graph. *)
 val reduce_slots :
   exec:Exec.t ->
+  ?reads:(string * int) list ->
   into:Soa.t ->
   slot_fx:Soa.fa array ->
   slot_fy:Soa.fa array ->

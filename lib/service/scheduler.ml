@@ -211,10 +211,14 @@ let run_slice t =
       let jobs = Array.of_list batch in
       let nb = Array.length jobs in
       ignore
-        (Exec.map_slots t.exec (fun slot ->
+        (Exec.map_slots ~phase:"service.jobs" t.exec (fun slot ->
              if slot < nb then begin
                let e, inst = jobs.(slot) in
+               (* A slice advances the slot's own job in place: a
+                  read-modify-write of that job's engine state. *)
                Exec.declare_write ~slot ~resource:"service.jobs" ~total:nb
+                 ~lo:slot ~hi:(slot + 1) t.exec;
+               Exec.declare_read ~slot ~resource:"service.jobs" ~total:nb
                  ~lo:slot ~hi:(slot + 1) t.exec;
                advance inst
                  ~budget_steps:(slice_budget t e.Queue.spec inst)

@@ -29,7 +29,8 @@ let bin_axis ~l ~ncell x =
   let c = int_of_float (Float.floor (x /. l *. float_of_int ncell)) in
   ((c mod ncell) + ncell) mod ncell
 
-let build ?(exec = Exec.serial) box positions ~cutoff =
+let build ?(exec = Exec.serial) ?(positions_resource = "state.positions")
+    box positions ~cutoff =
   if cutoff <= 0. then invalid_arg "Cell_list.build: cutoff must be positive";
   let open Pbc in
   let dims l = max 1 (int_of_float (l /. cutoff)) in
@@ -42,9 +43,13 @@ let build ?(exec = Exec.serial) box positions ~cutoff =
      rebuild like any other parallel phase. *)
   let ns = Exec.n_slots exec in
   let tiles = Exec.tile_bounds ~total:n ~ntiles:ns in
-  Exec.parallel_run exec (fun s ->
+  Exec.parallel_run ~phase:"cell.bin" exec (fun s ->
       let lo, hi = tiles.(s) in
       Exec.declare_write ~slot:s ~resource:"cell.bin" ~total:n ~lo ~hi exec;
+      (* Binning reads exactly its own atom tile; [positions_resource]
+         names whose positions these are (engine state vs decomposition
+         working copy) for the dataflow graph. *)
+      Exec.declare_read ~slot:s ~resource:positions_resource ~lo ~hi exec;
       for i = lo to hi - 1 do
         let p = positions.(i) in
         let cx = bin_axis ~l:box.lx ~ncell:nx p.Vec3.x in

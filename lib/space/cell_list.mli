@@ -20,10 +20,15 @@ type t
     still works but degenerates toward all-pairs in that dimension.
 
     The per-atom bin phase runs tiled on [exec] (default serial) and
-    declares its write-set (resource ["cell.bin"]) for the race sanitizer.
+    declares its write-set (resource ["cell.bin"]) plus its per-tile read
+    of the positions for the race sanitizer; [positions_resource] (default
+    ["state.positions"]) names the position array in the dataflow graph —
+    the decomposition layer passes its own working copy's name.
     The result is a pure function of [box], [positions] and [cutoff] —
     identical for any executor or slot count. *)
-val build : ?exec:Exec.t -> Pbc.t -> Vec3.t array -> cutoff:float -> t
+val build :
+  ?exec:Exec.t -> ?positions_resource:string -> Pbc.t -> Vec3.t array ->
+  cutoff:float -> t
 
 (** Number of cells along each axis. *)
 val dims : t -> int * int * int

@@ -21,12 +21,29 @@ type pool = {
 
 exception Race of string
 
-(* Write-set sanitizer state: slot [s] appends only to [decls.(s)], so the
-   buffers need no locking; the caller drains them after the barrier (the
-   pool mutex orders the writes before the read). Each entry is
-   (resource, lo, hi, total). *)
+type access = {
+  acc_slot : int;
+  acc_resource : string;
+  acc_lo : int;
+  acc_hi : int;
+  acc_total : int option;
+}
+
+type barrier_record = {
+  br_phase : string option;
+  br_reads : access list;
+  br_writes : access list;
+}
+
+type akind = KRead | KWrite
+
+(* Sanitizer state: slot [s] appends only to [decls.(s)], so the buffers
+   need no locking; the caller drains them after the barrier (the pool
+   mutex orders the writes before the read). Each entry is
+   (kind, resource, lo, hi, total). *)
 type sanitizer = {
-  decls : (string * int * int * int option) list array;
+  decls : (akind * string * int * int * int option) list array;
+  mutable observer : (barrier_record -> unit) option;
 }
 
 type t = { bk : backend; pool : pool option; san : sanitizer option }
@@ -38,7 +55,7 @@ let n_slots t = match t.bk with Serial -> 1 | Domains { n } -> max 1 n
 
 let sanitizing t = t.san <> None
 
-let declare_write ~slot ~resource ?total ~lo ~hi t =
+let declare kind ~slot ~resource ?total ~lo ~hi t =
   match t.san with
   | None -> ()
   | Some s ->
@@ -55,22 +72,37 @@ let declare_write ~slot ~resource ?total ~lo ~hi t =
                 "Exec sanitizer: resource %S: slot %d declared a malformed \
                  range [%d, %d)"
                 resource slot lo hi));
-      s.decls.(slot) <- (resource, lo, hi, total) :: s.decls.(slot)
+      s.decls.(slot) <- (kind, resource, lo, hi, total) :: s.decls.(slot)
 
-(* Barrier-time validation: per resource, ranges from different slots must
-   be pairwise disjoint, and when any slot declared the resource's extent
-   the union must cover [0, total) exactly. The scan sorts ranges by [lo]
-   and walks them carrying the furthest-reaching range seen so far; after
-   sorting, any cross-slot conflict shows up against that carried range. *)
-let check_write_sets san =
-  let by_resource : (string, (int * int * int) list ref) Hashtbl.t =
+let declare_write ~slot ~resource ?total ~lo ~hi t =
+  declare KWrite ~slot ~resource ?total ~lo ~hi t
+
+let declare_read ~slot ~resource ?total ~lo ~hi t =
+  declare KRead ~slot ~resource ?total ~lo ~hi t
+
+let set_observer t obs =
+  match t.san with None -> () | Some s -> s.observer <- obs
+
+(* Barrier-time validation — the full conflict matrix. Per resource:
+   - write ranges from different slots must be pairwise disjoint;
+   - a read range on one slot must not overlap a write range on another
+     slot (same-slot read-modify-write is fine: the slot owns the range);
+   - overlapping reads are always allowed;
+   - when any slot declared the resource's extent, the union of the write
+     ranges must cover [0, total) exactly, and no declared range (read or
+     write) may reach beyond it.
+   The scan sorts all ranges by [lo] and walks them carrying the
+   furthest-reaching read and write ranges seen so far; after sorting, any
+   cross-slot conflict shows up against one of the carried ranges. *)
+let check_decls san =
+  let by_resource : (string, (akind * int * int * int) list ref) Hashtbl.t =
     Hashtbl.create 16
   in
   let totals : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
   Array.iteri
     (fun slot ds ->
       List.iter
-        (fun (res, lo, hi, total) ->
+        (fun (kind, res, lo, hi, total) ->
           (match total with
           | None -> ()
           | Some tot -> (
@@ -93,7 +125,7 @@ let check_write_sets san =
                   Hashtbl.replace by_resource res l;
                   l
             in
-            cell := (slot, lo, hi) :: !cell
+            cell := (kind, slot, lo, hi) :: !cell
           end)
         ds)
     san.decls;
@@ -101,35 +133,65 @@ let check_write_sets san =
     (fun res ranges ->
       let sorted =
         List.sort
-          (fun (_, lo1, _) (_, lo2, _) -> compare lo1 lo2)
+          (fun (_, _, lo1, _) (_, _, lo2, _) -> compare lo1 lo2)
           !ranges
       in
-      let rec scan active = function
+      let conflict verb slot lo hi verb0 slot0 lo0 hi0 =
+        raise
+          (Race
+             (Printf.sprintf
+                "Exec sanitizer: resource %S: slot %d %s [%d, %d) \
+                 overlapping slot %d's %s [%d, %d)"
+                res slot verb lo hi slot0 verb0 lo0 hi0))
+      in
+      let rec scan active_w active_r = function
         | [] -> ()
-        | (slot, lo, hi) :: rest ->
-            (match active with
-            | Some (slot0, lo0, hi0) when lo < hi0 && slot0 <> slot ->
-                raise
-                  (Race
-                     (Printf.sprintf
-                        "Exec sanitizer: resource %S: slot %d writes \
-                         [%d, %d) overlapping slot %d's [%d, %d)"
-                        res slot lo hi slot0 lo0 hi0))
+        | (kind, slot, lo, hi) :: rest ->
+            (match (kind, active_w) with
+            | KWrite, Some (slot0, lo0, hi0) when lo < hi0 && slot0 <> slot
+              ->
+                conflict "writes" slot lo hi "write" slot0 lo0 hi0
+            | KRead, Some (slot0, lo0, hi0) when lo < hi0 && slot0 <> slot
+              ->
+                conflict "reads" slot lo hi "write" slot0 lo0 hi0
             | _ -> ());
-            let active =
+            (match (kind, active_r) with
+            | KWrite, Some (slot0, lo0, hi0) when lo < hi0 && slot0 <> slot
+              ->
+                conflict "writes" slot lo hi "read" slot0 lo0 hi0
+            | _ -> ());
+            let extend active =
               match active with
               | Some (_, _, hi0) when hi0 >= hi -> active
               | _ -> Some (slot, lo, hi)
             in
-            scan active rest
+            let active_w, active_r =
+              match kind with
+              | KWrite -> (extend active_w, active_r)
+              | KRead -> (active_w, extend active_r)
+            in
+            scan active_w active_r rest
       in
-      scan None sorted;
+      scan None None sorted;
       match Hashtbl.find_opt totals res with
       | None -> ()
       | Some (total, _) ->
+          List.iter
+            (fun (kind, slot, lo, hi) ->
+              if kind = KRead && hi > total then
+                raise
+                  (Race
+                     (Printf.sprintf
+                        "Exec sanitizer: resource %S: slot %d reads \
+                         [%d, %d) beyond the declared extent %d"
+                        res slot lo hi total)))
+            sorted;
+          let writes =
+            List.filter (fun (kind, _, _, _) -> kind = KWrite) sorted
+          in
           let covered =
             List.fold_left
-              (fun reached (slot, lo, hi) ->
+              (fun reached (_, slot, lo, hi) ->
                 if lo > reached then
                   raise
                     (Race
@@ -145,9 +207,9 @@ let check_write_sets san =
                            [%d, %d) beyond the declared extent %d"
                           res slot lo hi total));
                 max reached hi)
-              0 sorted
+              0 writes
           in
-          if covered <> total then
+          if writes <> [] && covered <> total then
             raise
               (Race
                  (Printf.sprintf
@@ -161,8 +223,38 @@ let reset_write_sets t =
   | None -> ()
   | Some s -> Array.fill s.decls 0 (Array.length s.decls) []
 
-let validate_write_sets t =
-  match t.san with None -> () | Some s -> check_write_sets s
+(* Validate the barrier's declarations, then deliver them (in slot order,
+   declaration order within a slot) to the observer so the dataflow layer
+   can accumulate per-phase footprints. *)
+let validate_write_sets ?phase t =
+  match t.san with
+  | None -> ()
+  | Some s ->
+      check_decls s;
+      (match s.observer with
+      | None -> ()
+      | Some notify ->
+          let reads = ref [] and writes = ref [] in
+          for slot = Array.length s.decls - 1 downto 0 do
+            List.iter
+              (fun (kind, res, lo, hi, total) ->
+                let a =
+                  {
+                    acc_slot = slot;
+                    acc_resource = res;
+                    acc_lo = lo;
+                    acc_hi = hi;
+                    acc_total = total;
+                  }
+                in
+                match kind with
+                | KRead -> reads := a :: !reads
+                | KWrite -> writes := a :: !writes)
+              s.decls.(slot)
+          done;
+          if !reads <> [] || !writes <> [] then
+            notify
+              { br_phase = phase; br_reads = !reads; br_writes = !writes })
 
 let worker_loop pool slot =
   let last_epoch = ref 0 in
@@ -208,7 +300,10 @@ let shutdown t =
       List.iter Domain.join workers
 
 let create ?(sanitize = false) bk =
-  let san n = if sanitize then Some { decls = Array.make n [] } else None in
+  let san n =
+    if sanitize then Some { decls = Array.make n []; observer = None }
+    else None
+  in
   match bk with
   | Serial -> if sanitize then { serial with san = san 1 } else serial
   | Domains { n } when n <= 1 ->
@@ -237,12 +332,12 @@ let create ?(sanitize = false) bk =
       at_exit (fun () -> shutdown t);
       t
 
-let parallel_run t f =
+let parallel_run ?phase t f =
   reset_write_sets t;
   match t.pool with
   | None ->
       f 0;
-      validate_write_sets t
+      validate_write_sets ?phase t
   | Some p ->
       Mutex.lock p.mutex;
       if p.quit then begin
@@ -268,13 +363,17 @@ let parallel_run t f =
       (match worker_failure with Some e -> raise e | None -> ());
       (* Only a barrier that every slot completed can be audited; a failed
          job leaves the declarations incomplete and has already raised. *)
-      validate_write_sets t
+      validate_write_sets ?phase t
 
-let map_slots t f =
+let map_slots ?(phase = "exec.map_slots") t f =
   let n = n_slots t in
   let out = Array.make n None in
-  parallel_run t (fun s ->
+  parallel_run ~phase t (fun s ->
       out.(s) <- Some (f s);
+      (* Each slot both reads its own cell (the closure environment and any
+         per-slot state [f] consults) and writes its result there. *)
+      declare_read ~slot:s ~resource:"exec.map_slots" ~total:n ~lo:s
+        ~hi:(s + 1) t;
       declare_write ~slot:s ~resource:"exec.map_slots" ~total:n ~lo:s
         ~hi:(s + 1) t);
   Array.map

@@ -21,12 +21,14 @@
     threaded through the engine ([mdsp run --domains N]): neighbor-list pair
     sums and 1-4 pairs ([Mdsp_ff.Pair_interactions]), bonded terms
     ([Mdsp_ff.Bonded.all]) and their slot reduction
-    ([Mdsp_ff.Bonded.reduce_slots]), and the whole GSE grid pipeline —
+    ([Mdsp_ff.Bonded.reduce_slots]), the whole GSE grid pipeline —
     charge spreading over per-slot scratch grids, both 3D FFT passes (tiled
     over independent 1-D lines), the k-space convolution, and the
     per-particle force gather ([Mdsp_longrange.Gse.reciprocal],
-    [Mdsp_longrange.Fft.fft_3d]). Neighbor-list rebuilds, constraints,
-    integration and biases stay on the calling domain. *)
+    [Mdsp_longrange.Fft.fft_3d]) — the neighbor-list rebuild, the boxed↔SoA
+    sync, and the integrator position/velocity sweeps
+    ([Mdsp_md.Engine.step]). Constraints (SHAKE/RATTLE), the Langevin
+    O-step and biases stay on the calling domain. *)
 
 type backend =
   | Serial  (** everything on the calling domain *)
@@ -40,13 +42,14 @@ type t
     sanitizer). *)
 val serial : t
 
-(** Raised by the write-set sanitizer (see {!create} and {!declare_write})
-    at the barrier when a parallel schedule is unsound: two slots declared
-    overlapping writes to the same resource, a declared range falls outside
-    the resource, slots disagree about a resource's extent, or the declared
-    ranges fail to cover a resource whose full extent was announced. The
-    message names the resource, the slots involved and the offending index
-    range. *)
+(** Raised by the access-set sanitizer (see {!create}, {!declare_write} and
+    {!declare_read}) at the barrier when a parallel schedule is unsound:
+    two slots declared overlapping writes to the same resource, a read on
+    one slot overlaps a write on another slot (a read-write race), a
+    declared range falls outside the resource, slots disagree about a
+    resource's extent, or the declared writes fail to cover a resource
+    whose full extent was announced. The message names the resource, the
+    slots involved and the offending index ranges. *)
 exception Race of string
 
 (** [create ?sanitize backend] builds an executor. For [Domains { n }] with
@@ -54,14 +57,22 @@ exception Race of string
     {!shutdown} (or program exit, via an [at_exit] hook).
 
     With [sanitize:true] (default false) the executor runs in instrumented
-    mode: slot bodies passed to {!parallel_run} may register the index
-    ranges they write via {!declare_write}, and after every barrier the
-    executor asserts that, per resource, ranges from different slots are
-    pairwise disjoint and (when an extent was declared) that they cover it
+    mode: slot bodies passed to {!parallel_run} register the index ranges
+    they write via {!declare_write} and read via {!declare_read}, and after
+    every barrier the executor checks the full conflict matrix — per
+    resource, write ranges from different slots must be pairwise disjoint,
+    no read range on one slot may overlap a write range on another slot
+    (same-slot read-modify-write is allowed, overlapping reads are always
+    allowed), and when an extent was declared the writes must cover it
     completely — turning a silent determinism violation into an immediate,
     attributed {!Race}. Sanitizing costs a per-barrier scan of the declared
     ranges (not of the data), so it is cheap enough for tests and
-    verification runs but off by default in production. *)
+    verification runs but off by default in production.
+
+    Phases that bypass the pool at one slot for speed must still take the
+    declaring path when [sanitizing] is true, so the sanitized sweep and
+    the {!set_observer} dataflow trace see every phase at every slot
+    count. *)
 val create : ?sanitize:bool -> backend -> t
 
 (** True if the executor was created with [sanitize:true]. *)
@@ -71,32 +82,73 @@ val sanitizing : t -> bool
     a {!parallel_run} slot body, that slot [slot] writes the half-open index
     range [lo, hi) of the named [resource] during the current parallel
     region. [total], when given, declares the resource's full extent
-    [0, total): after the barrier the union of all declared ranges must
-    equal it exactly (no gaps, nothing out of bounds). No-op on executors
-    built without [sanitize:true], so phases declare unconditionally.
+    [0, total): after the barrier the union of all declared write ranges
+    must equal it exactly (no gaps, nothing out of bounds). No-op on
+    executors built without [sanitize:true], so phases declare
+    unconditionally.
 
-    Each slot must only declare its own writes ([slot] is the index the
+    Each slot must only declare its own accesses ([slot] is the index the
     slot body received); declarations are buffered per slot without
     locking and validated on the caller after the barrier. *)
 val declare_write :
   slot:int -> resource:string -> ?total:int -> lo:int -> hi:int -> t -> unit
+
+(** [declare_read ~slot ~resource ?total ~lo ~hi t] registers, from inside
+    a {!parallel_run} slot body, that slot [slot] reads [lo, hi) of the
+    named [resource] during the current parallel region. Reads may overlap
+    each other freely; a read overlapping another slot's declared write in
+    the same barrier is a {!Race}. Same API and buffering as
+    {!declare_write}. *)
+val declare_read :
+  slot:int -> resource:string -> ?total:int -> lo:int -> hi:int -> t -> unit
+
+(** One declared access, as delivered to the barrier observer. *)
+type access = {
+  acc_slot : int;
+  acc_resource : string;
+  acc_lo : int;
+  acc_hi : int;
+  acc_total : int option;
+}
+
+(** Everything one barrier declared: the phase label passed to
+    {!parallel_run} and the read/write access lists in slot order. *)
+type barrier_record = {
+  br_phase : string option;
+  br_reads : access list;
+  br_writes : access list;
+}
+
+(** [set_observer t (Some f)] installs a barrier observer on a sanitizing
+    executor: after each successfully validated barrier that declared at
+    least one access, [f] receives the {!barrier_record}. The dataflow
+    analysis ([Mdsp_verify.Dataflow]) uses this to accumulate per-phase
+    read/write footprints and derive the happens-before graph. No-op on
+    executors built without [sanitize:true]. [None] uninstalls. *)
+val set_observer : t -> (barrier_record -> unit) option -> unit
 
 val backend : t -> backend
 
 (** Number of parallel slots: 1 for [Serial], [max 1 n] for [Domains]. *)
 val n_slots : t -> int
 
-(** [parallel_run t f] runs [f s] for every slot [s] in [0 .. n_slots - 1],
-    slot 0 on the calling domain, and returns when all slots finish. Slots
-    must write to disjoint state. Exceptions raised by any slot are re-raised
-    on the caller after the barrier. Serial executors just call [f 0]. *)
-val parallel_run : t -> (int -> unit) -> unit
+(** [parallel_run ?phase t f] runs [f s] for every slot [s] in
+    [0 .. n_slots - 1], slot 0 on the calling domain, and returns when all
+    slots finish. Slots must write to disjoint state. Exceptions raised by
+    any slot are re-raised on the caller after the barrier. Serial
+    executors just call [f 0]. [phase] names the barrier for the sanitizer
+    observer and the dataflow phase graph; every production phase passes
+    its registered name. *)
+val parallel_run : ?phase:string -> t -> (int -> unit) -> unit
 
 (** [map_slots t f] runs [f s] on every slot (like {!parallel_run}, with the
     same barrier) and returns the results as a slot-indexed array — the
     collective primitive the ensemble layer schedules replicas with. The
-    array order depends only on the slot count, never on timing. *)
-val map_slots : t -> (int -> 'a) -> 'a array
+    array order depends only on the slot count, never on timing. Each slot
+    declares both the read and the write of its own result cell, so the
+    collective passes the conflict matrix without a special case. [phase]
+    defaults to ["exec.map_slots"]. *)
+val map_slots : ?phase:string -> t -> (int -> 'a) -> 'a array
 
 (** [tile_bounds ~total ~ntiles] statically partitions [0 .. total - 1] into
     [ntiles] contiguous half-open ranges [(lo, hi)] whose sizes differ by at

@@ -288,6 +288,7 @@ type summary = {
   tables : Table_check.report list;
   sanitize : sanitize_result list;
   datapath : Fixed_check.report list;
+  phases : Dataflow.report option;
 }
 
 let check_one_kernel k =
@@ -304,8 +305,8 @@ let sanitize_at slots =
   | exception Mdsp_util.Exec.Race msg ->
       { slots; phases = []; failure = Some msg }
 
-let run ?(seed_hazard = false) ?(seed_narrow = false) ?(slots = [ 1; 2; 4 ])
-    () =
+let run ?(seed_hazard = false) ?(seed_narrow = false) ?(seed_race = false)
+    ?(phases = false) ?(slots = [ 1; 2; 4 ]) () =
   let ks = builtin_kernels () in
   let ks = if seed_hazard then ks @ [ hazardous_kernel () ] else ks in
   let envs = builtin_envelopes () in
@@ -330,6 +331,9 @@ let run ?(seed_hazard = false) ?(seed_narrow = false) ?(slots = [ 1; 2; 4 ])
     tables = List.map check_one_table (builtin_tables ());
     sanitize = List.map sanitize_at slots;
     datapath;
+    phases =
+      (if phases || seed_race then Some (Dataflow.run ~slots ~seed_race ())
+       else None);
   }
 
 let ok s =
@@ -337,6 +341,7 @@ let ok s =
   && List.for_all Table_check.report_ok s.tables
   && List.for_all (fun r -> r.failure = None) s.sanitize
   && List.for_all Fixed_check.proved s.datapath
+  && match s.phases with None -> true | Some r -> Dataflow.ok r
 
 let pp_summary fmt s =
   Format.fprintf fmt "@[<v>";
@@ -354,6 +359,7 @@ let pp_summary fmt s =
           Format.fprintf fmt "sanitize (%d slots): RACE@,  %s@," r.slots msg)
     s.sanitize;
   List.iter (Fixed_check.pp_verdict fmt) s.datapath;
+  Option.iter (fun r -> Dataflow.pp_report fmt r) s.phases;
   Format.fprintf fmt "verify: %s@]@."
     (if ok s then "all checks passed" else "FAILED")
 
@@ -383,6 +389,7 @@ let to_json s =
                    Fixed_check.format_ok r name ))
                (Fixed_check.format_names r))
         s.datapath
+    @ (match s.phases with None -> [] | Some r -> Dataflow.json_rows r)
   in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "{\n";

@@ -20,6 +20,8 @@ type summary = {
   tables : Table_check.report list;
   sanitize : sanitize_result list;
   datapath : Fixed_check.report list;
+  phases : Dataflow.report option;
+      (** the phase-dataflow certificate, when requested *)
 }
 
 (** The built-in kernel surface: the restraint kernels and the double-well
@@ -47,17 +49,27 @@ val builtin_envelopes : unit -> Fixed_check.envelope list
     green by accident. *)
 val narrow_format : Mdsp_util.Fixed.format
 
-(** [run ?seed_hazard ?seed_narrow ?slots ()] checks every registered
-    kernel (interval pass over energy and gradients), every registered
-    table (domain / fit / quantization pass), certifies every registered
-    datapath envelope (fixed-point saturation pass), and drives the
-    sanitized parallel phases at each slot count in [slots] (default
-    [[1; 2; 4]]). [seed_hazard] (default false) additionally runs
-    {!hazardous_kernel}; [seed_narrow] (default false) additionally
-    certifies each envelope against {!narrow_format} — either seeded
-    report is included in the summary and makes it fail. *)
+(** [run ?seed_hazard ?seed_narrow ?seed_race ?phases ?slots ()] checks
+    every registered kernel (interval pass over energy and gradients),
+    every registered table (domain / fit / quantization pass), certifies
+    every registered datapath envelope (fixed-point saturation pass), and
+    drives the sanitized parallel phases at each slot count in [slots]
+    (default [[1; 2; 4]]). [phases] (default false) additionally runs the
+    {!Dataflow} analysis at the same slot counts — coverage, acyclicity and
+    slot-count invariance of the happens-before graph. [seed_hazard]
+    (default false) additionally runs {!hazardous_kernel}; [seed_narrow]
+    (default false) additionally certifies each envelope against
+    {!narrow_format}; [seed_race] (default false) implies [phases] and
+    appends the deliberately unsound dataflow window — every seeded report
+    is included in the summary and makes it fail. *)
 val run :
-  ?seed_hazard:bool -> ?seed_narrow:bool -> ?slots:int list -> unit -> summary
+  ?seed_hazard:bool ->
+  ?seed_narrow:bool ->
+  ?seed_race:bool ->
+  ?phases:bool ->
+  ?slots:int list ->
+  unit ->
+  summary
 
 val ok : summary -> bool
 val pp_summary : Format.formatter -> summary -> unit
@@ -65,5 +77,6 @@ val pp_summary : Format.formatter -> summary -> unit
 (** Flat JSON object in the bench-metrics style: ["verify.ok"] plus one
     0/1 verdict per ["kernel.<name>"], ["table.<name>"],
     ["sanitize.slots<n>"], ["datapath.<workload>.ok"] and
-    ["datapath.<workload>.<format>"] key. *)
+    ["datapath.<workload>.<format>"] key, plus the {!Dataflow.json_rows}
+    ["phases.*"] keys when the dataflow pass ran. *)
 val to_json : summary -> string

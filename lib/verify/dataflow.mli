@@ -1,0 +1,87 @@
+(** Static phase-dataflow analysis — the happens-before graph over the
+    stack's parallel phases.
+
+    Every parallel phase declares its write-set and read-set to the
+    {!Mdsp_util.Exec} sanitizer; this module records those footprints
+    through the sanitizer's barrier observer while driving the
+    {!Phase_check} workload windows, and derives the static happens-before
+    DAG: phase B depends on phase A iff B reads a resource A last wrote
+    (within a window; windows isolate independent units of work such as one
+    engine step, so repeated evaluations cannot alias into by-name cycles).
+    Phase-local resource labels that alias the same memory — the per-atom
+    reductions, the in-place grid pipeline, the pair list — are mapped onto
+    canonical resource names first.
+
+    The certificate is fourfold: every phase in {!expected_phases} was
+    observed with both a read-set and a write-set (coverage), the graph is
+    acyclic, its shape (phase names, resource-name sets, edges — footprint
+    extents excluded, they legitimately vary with slot count) is identical
+    at every slot count, and no barrier raced. *)
+
+(** Every named parallel phase the stack ships; the analysis fails if one
+    never appears. Closed-world: adding a parallel phase to the code base
+    means adding its name here. *)
+val expected_phases : string list
+
+(** Map a declared resource label to its canonical resource (e.g.
+    ["bonded.reduce"] and ["gse.gather"] both accumulate into
+    ["state.forces"]; the FFT line sweeps, combine, convolve and phi-scale
+    all transform ["gse.grid"] in place). Identity for labels that already
+    name their memory. *)
+val canon : string -> string
+
+(** One phase's accumulated footprint: per canonical resource, the hull of
+    all declared index ranges across barriers and slots. *)
+type phase = {
+  ph_name : string;
+  ph_reads : (string * (int * int)) list;
+  ph_writes : (string * (int * int)) list;
+  ph_barriers : int;  (** barriers observed under this name *)
+}
+
+(** The derived graph at one slot count. [g_edges] are
+    [(writer, reader, resource)] triples, sorted; phases sorted by name —
+    both deterministic for a given slot count. [g_unlabeled] counts
+    barriers that declared accesses without a phase label (must be 0). *)
+type graph = {
+  g_slots : int;
+  g_phases : phase list;
+  g_edges : (string * string * string) list;
+  g_unlabeled : int;
+}
+
+type report = {
+  df_graphs : graph list;  (** one per slot count, in sweep order *)
+  df_missing : string list;  (** expected phases never observed *)
+  df_no_reads : string list;  (** phases observed without a read-set *)
+  df_no_writes : string list;  (** phases observed without a write-set *)
+  df_acyclic : bool;
+  df_invariant : bool;  (** same shape at every slot count *)
+  df_failure : string option;  (** the {!Mdsp_util.Exec.Race}, if any *)
+  df_seeded : bool;  (** the seeded race window was included *)
+}
+
+(** [run ?slots ?seed_race ()] drives every {!Phase_check.windows} workload
+    window on a sanitizing executor at each slot count in [slots] (default
+    [[1; 2; 4]]), recording footprints and edges. [seed_race] (default
+    false) appends a deliberately unsound window — tiled writes with a
+    whole-array read on every slot — which must trip the conflict matrix at
+    two or more slots; the resulting failure is captured in [df_failure]
+    and makes the report fail. *)
+val run : ?slots:int list -> ?seed_race:bool -> unit -> report
+
+(** Kahn's-algorithm acyclicity check on one graph. *)
+val acyclic : graph -> bool
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+(** Graphviz DOT rendering of one graph. Output is deterministic: nodes
+    and edges are sorted, so two runs at any slot counts with the same
+    phase structure render byte-identical files. *)
+val dot : graph -> string
+
+(** Flat verdict rows for the [mdsp check] JSON: ["phases.ok"],
+    ["phases.acyclic"], ["phases.invariant"], ["phases.coverage"] and one
+    ["phases.slots<n>"] per graph. *)
+val json_rows : report -> (string * bool) list

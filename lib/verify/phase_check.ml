@@ -3,37 +3,53 @@ module E = Mdsp_md.Engine
 module FC = Mdsp_md.Force_calc
 module W = Mdsp_workload.Workloads
 
-(* One force evaluation of a solvated water box with the GSE grid solver:
-   exercises pair tiles, bonded tiles, the per-atom reduction, and every
-   grid-pipeline phase (spread / FFT sweeps / convolve / phi scale /
-   gather). *)
-let gse_box ~exec () =
-  let eng = W.make_engine ~seed:13 ~exec ~gse_grid:(16, 16, 16)
+(* Each window is a named unit of recorded work: [setup] builds whatever
+   the window drives (engines, queues) while no observer watches, then the
+   returned thunk is the body the race sweep executes and the dataflow
+   analysis records. The split matters for the happens-before graph:
+   engine creation runs a full force evaluation, and recording it in the
+   same window as the step that follows would thread a stale
+   gather -> kick1 ordering through the per-name graph and manufacture a
+   cycle that no single step contains. *)
+
+(* One velocity-Verlet step of a solvated water box on the SoA hot path
+   with the GSE grid solver: the integrator sweeps (kick1 / drift / kick2),
+   the boxed<->SoA sync, the SoA bonded / 1-4 / pair tiles with their
+   per-atom reduction, and every grid-pipeline phase (spread / combine /
+   both FFT passes / convolve / phi scale / gather). *)
+let step_soa ~exec () =
+  let eng =
+    W.make_engine ~seed:13 ~exec ~gse_grid:(16, 16, 16) ~soa:true
       (W.water_box ~n_side:3 ())
   in
-  let st = E.state eng in
-  let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
-  ignore
-    (FC.compute (E.force_calc eng) st.Mdsp_md.State.box
-       st.Mdsp_md.State.positions acc)
+  fun () -> E.step eng
 
-(* A charged bead chain: bond / angle / dihedral tiles, 1-4 pair tiles and
-   reaction-field pair tiles. *)
-let bead_chain ~exec () =
-  let eng =
-    W.make_engine ~seed:5 ~exec (W.bead_chain ~n_beads:16 ~n_total:256 ())
-  in
-  let st = E.state eng in
-  let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
-  ignore
-    (FC.compute (E.force_calc eng) st.Mdsp_md.State.box
-       st.Mdsp_md.State.positions acc)
+(* The stock bead chain fully excludes its 1-4 pairs; turning on
+   AMBER-style scaling makes the pair14 phase run, so the sweep covers
+   it. *)
+let scaled14_chain () =
+  let sys = W.bead_chain ~n_beads:16 ~n_total:256 () in
+  {
+    sys with
+    W.topo =
+      {
+        sys.W.topo with
+        Mdsp_ff.Topology.scale14_lj = 0.5;
+        scale14_coul = 1. /. 1.2;
+      };
+  }
 
-(* The same bead chain on the flat (SoA) hot path: the SoA pair, 1-4,
-   bonded and per-atom-reduction phases declare their own write-sets over
-   the flat force columns; a neighbor rebuild is forced so the tiled
-   cell-list bin + pair-list build phases run under the sanitizer too. *)
-let bead_chain_soa ~exec () =
+(* One step of a charged bead chain on the boxed reference path: bond /
+   angle / dihedral tiles, 1-4 and reaction-field pair tiles, the boxed
+   per-atom reduction, and the integrator sweeps. *)
+let step_boxed ~exec () =
+  let eng = W.make_engine ~seed:5 ~exec (scaled14_chain ()) in
+  fun () -> E.step eng
+
+(* Forced neighbor rebuild followed by a full SoA force evaluation: the
+   tiled cell-list bin and pair-list build run first, so the pair phase's
+   read of the fresh list appears as an in-window nbuild -> pair edge. *)
+let rebuild_soa ~exec () =
   let eng =
     W.make_engine ~seed:5 ~exec ~soa:true
       (W.bead_chain ~n_beads:16 ~n_total:256 ())
@@ -41,28 +57,43 @@ let bead_chain_soa ~exec () =
   let st = E.state eng in
   let acc = Mdsp_ff.Bonded.make_accum (Mdsp_md.State.n st) in
   let fc = E.force_calc eng in
-  ignore (FC.compute fc st.Mdsp_md.State.box st.Mdsp_md.State.positions acc);
-  ignore
-    (Mdsp_space.Neighbor_list.rebuild (FC.nlist fc)
-       st.Mdsp_md.State.positions)
+  fun () ->
+    ignore
+      (Mdsp_space.Neighbor_list.rebuild (FC.nlist fc)
+         st.Mdsp_md.State.positions);
+    ignore (FC.compute fc st.Mdsp_md.State.box st.Mdsp_md.State.positions acc)
+
+(* The boxed<->SoA sync pair on its own: [of_state] (phase soa.load, with
+   the velocity columns) into [to_state] (phase soa.store). *)
+let soa_sync ~exec () =
+  let sys = W.bead_chain ~n_beads:8 ~n_total:64 () in
+  let st =
+    Mdsp_md.State.create ~positions:sys.W.positions
+      ~masses:(Mdsp_ff.Topology.masses sys.W.topo)
+      ~box:sys.W.box
+  in
+  fun () ->
+    let s = Mdsp_md.Soa.of_state ~exec st in
+    ignore (Mdsp_md.Soa.to_state ~exec s)
 
 (* One multi-node decomposition frame of a small water box: the per-atom
    owner scan, the per-atom resident-set scan and the tiled midpoint pair
-   assignment each declare their write-sets; the cell-list build inside
-   declares cell.bin. The cutoff obeys the midpoint rule's
+   assignment; the cell-list build inside declares cell.bin against the
+   decomp's own position resource. The cutoff obeys the midpoint rule's
    cutoff <= min_edge / 2 bound for this ~9.3 A box. *)
 let decomp_frame ~exec () =
   let sys = W.water_box ~n_side:3 () in
   let d =
     Mdsp_machine.Decomp.create sys.W.box ~nodes:(2, 2, 2) ~cutoff:4.5
   in
-  ignore (Mdsp_machine.Decomp.analyze ~exec d sys.W.positions)
+  fun () -> ignore (Mdsp_machine.Decomp.analyze ~exec d sys.W.positions)
 
 (* A few tiny jobs through the service scheduler: every slice advances one
    job per slot inside [Exec.map_slots], and each slot declares its
-   per-job write-set (resource "service.jobs") — so the sanitizer audits
-   scheduler batches exactly like force-pipeline phases. The quantum is
-   smaller than the budgets, forcing checkpoint preemption mid-sweep. *)
+   per-job read and write (resource "service.jobs") — so the sanitizer
+   audits scheduler batches exactly like force-pipeline phases. The
+   quantum is smaller than the budgets, forcing checkpoint preemption
+   mid-sweep. *)
 let service_slice ~exec () =
   let dir = Atomic_file.fresh_dir ~prefix:"mdsp_phase_service" () in
   let queue = Mdsp_service.Queue.create ~dir in
@@ -84,11 +115,30 @@ let service_slice ~exec () =
       | Ok _ -> ()
       | Error m -> failwith ("Phase_check.service_slice: " ^ m))
     [ 1; 2; 3 ];
-  Mdsp_service.Scheduler.drain sched;
-  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-  Sys.rmdir dir
+  fun () ->
+    Mdsp_service.Scheduler.drain sched;
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
 
-(* Must track the [Exec.declare_write] resource names in the force stack. *)
+(* The bare collective: [Exec.map_slots] declares the read and write of
+   each slot's own result cell. *)
+let collective ~exec () = fun () -> ignore (Exec.map_slots exec (fun s -> s))
+
+let windows =
+  [
+    ("step.soa", step_soa);
+    ("step.boxed", step_boxed);
+    ("rebuild.soa", rebuild_soa);
+    ("soa.sync", soa_sync);
+    ("decomp.frame", decomp_frame);
+    ("service.slice", service_slice);
+    ("collective", collective);
+  ]
+
+(* Must track the [Exec.declare_write] resource names in the force stack
+   and the engine. *)
 let phase_labels =
   [
     "cell.bin";
@@ -100,6 +150,10 @@ let phase_labels =
     "bonded.dihedrals";
     "bonded.impropers";
     "bonded.reduce";
+    "soa.positions";
+    "soa.velocities";
+    "soa.forces";
+    "soa.reduce";
     "gse.spread";
     "gse.grid_combine";
     "gse.convolve";
@@ -108,24 +162,30 @@ let phase_labels =
     "fft.x_lines";
     "fft.y_lines";
     "fft.z_lines";
+    "state.positions";
+    "state.velocities";
+    "state.forces";
+    "integrate.prev";
     "decomp.owner";
     "decomp.resident";
     "decomp.pairs";
     "service.jobs";
+    "exec.map_slots";
   ]
 
+let make_exec ~slots =
+  if slots < 1 then invalid_arg "Phase_check: slots must be >= 1"
+  else if slots = 1 then Exec.create ~sanitize:true Exec.Serial
+  else Exec.create ~sanitize:true (Exec.Domains { n = slots })
+
 let run_phases ~slots =
-  if slots < 1 then invalid_arg "Phase_check.run_phases: slots must be >= 1";
-  let exec =
-    if slots = 1 then Exec.create ~sanitize:true Exec.Serial
-    else Exec.create ~sanitize:true (Exec.Domains { n = slots })
-  in
+  let exec = make_exec ~slots in
   Fun.protect
     ~finally:(fun () -> Exec.shutdown exec)
     (fun () ->
-      gse_box ~exec ();
-      bead_chain ~exec ();
-      bead_chain_soa ~exec ();
-      decomp_frame ~exec ();
-      service_slice ~exec ());
+      List.iter
+        (fun (_name, window) ->
+          let body = window ~exec () in
+          body ())
+        windows);
   phase_labels

@@ -16,6 +16,7 @@ dune exec bench/main.exe -- e21 --json /tmp/mdsp-timings.json
 test -s /tmp/mdsp-timings.json
 grep -q 'e21\.lr_spread_serial_us' /tmp/mdsp-timings.json
 grep -q 'e21\.pair_soa_serial_us' /tmp/mdsp-timings.json
+grep -q 'e21\.integrate_serial_us' /tmp/mdsp-timings.json
 
 # The SoA hot path must not be slower than the boxed kernels on the pair
 # phase, and the Gc-metered serial SoA pair window must allocate exactly
@@ -47,6 +48,28 @@ grep -q '"datapath\.water6k\.ok": 1' /tmp/mdsp-verify.json
 grep -q '"datapath\.chain10k\.ok": 1' /tmp/mdsp-verify.json
 if dune exec bin/mdsp.exe -- check --seed-hazard --slots 1 >/dev/null 2>&1; then
   echo "ci: mdsp check --seed-hazard unexpectedly passed" >&2
+  exit 1
+fi
+
+# Phase-dataflow gate: record every parallel phase's read/write footprint
+# through the sanitizer, derive the static happens-before graph, and
+# require full coverage of the expected phase set, acyclicity and an
+# identical graph shape at every slot count. The DOT render must be
+# byte-identical at 1 and 4 slots (the graph is slot-count invariant and
+# the emitter is deterministic), and the deliberately racy seeded phase
+# must fail (the conflict-matrix self-test).
+dune exec bin/mdsp.exe -- check --phases --slots 1 \
+  --dot /tmp/mdsp-phases-1.dot --json /tmp/mdsp-phases.json >/dev/null
+test -s /tmp/mdsp-phases.json
+grep -q '"phases\.ok": 1' /tmp/mdsp-phases.json
+grep -q '"phases\.acyclic": 1' /tmp/mdsp-phases.json
+grep -q '"phases\.invariant": 1' /tmp/mdsp-phases.json
+grep -q '"phases\.coverage": 1' /tmp/mdsp-phases.json
+dune exec bin/mdsp.exe -- check --phases --slots 4 \
+  --dot /tmp/mdsp-phases-4.dot >/dev/null
+cmp /tmp/mdsp-phases-1.dot /tmp/mdsp-phases-4.dot
+if dune exec bin/mdsp.exe -- check --seed-race --slots 2 >/dev/null 2>&1; then
+  echo "ci: mdsp check --seed-race unexpectedly passed" >&2
   exit 1
 fi
 

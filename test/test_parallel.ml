@@ -239,6 +239,46 @@ let test_parallel_determinism_trajectory () =
   Array.iteri (fun i p -> if p <> pos2.(i) then identical := false) pos1;
   check_true "trajectory positions bit-identical" !identical
 
+let test_integrator_sweeps_bitwise () =
+  (* The kick/drift sweeps are per-atom independent, so running them tiled
+     over the pool must reproduce the serial sweeps bit-for-bit at every
+     slot count — same pool for the forces, only the integrator differs.
+     Constraints, thermostat and rebuilds all stay in the loop. *)
+  let run ~slots ~serial_integrator =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+    let exec =
+      if slots = 1 then Exec.serial
+      else Exec.create (Exec.Domains { n = slots })
+    in
+    let cfg =
+      {
+        E.default_config with
+        dt_fs = 1.0;
+        temperature = 300.;
+        thermostat = E.Langevin { gamma_fs = 0.02 };
+      }
+    in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:11 ~exec sys in
+    E.set_serial_integrator eng serial_integrator;
+    E.run eng 20;
+    let st = E.state eng in
+    let pos = Array.copy st.Mdsp_md.State.positions in
+    let vel = Array.copy st.Mdsp_md.State.velocities in
+    if slots > 1 then Exec.shutdown exec;
+    (pos, vel)
+  in
+  List.iter
+    (fun slots ->
+      let pos_p, vel_p = run ~slots ~serial_integrator:false in
+      let pos_s, vel_s = run ~slots ~serial_integrator:true in
+      check_true
+        (Printf.sprintf "positions bitwise at %d slots" slots)
+        (pos_p = pos_s);
+      check_true
+        (Printf.sprintf "velocities bitwise at %d slots" slots)
+        (vel_p = vel_s))
+    [ 1; 2; 4 ]
+
 let test_engine_backends_consistent () =
   (* Short run: backends may differ only by rounding, which cannot grow far
      in a few steps. *)
@@ -395,7 +435,7 @@ let test_gse_subphase_timings () =
     (abs_float
        (timings_total tm
        -. (tm.pair_s +. tm.bonded_s +. tm.longrange_s +. tm.bias_s
-          +. tm.neighbor_s))
+          +. tm.neighbor_s +. tm.integrate_s))
     < 1e-12);
   E.reset_timings eng;
   check_true "reset clears sub-phases" ((E.timings eng).lr_spread_s = 0.);
@@ -608,13 +648,14 @@ let test_step_timings_populated () =
   check_true "phases non-negative"
     (tm.bonded_s >= 0. && tm.longrange_s >= 0. && tm.bias_s >= 0.
     && tm.neighbor_s >= 0.);
+  check_true "integrator sweep time recorded" (tm.integrate_s > 0.);
   let per = timings_per_call tm in
   check_close ~rel:1e-9 "per-call scaling" (tm.pair_s /. 10.) per.pair_s;
   check_true "total is the sum"
     (abs_float
        (timings_total tm
        -. (tm.pair_s +. tm.bonded_s +. tm.longrange_s +. tm.bias_s
-          +. tm.neighbor_s))
+          +. tm.neighbor_s +. tm.integrate_s))
     < 1e-12);
   E.reset_timings eng;
   check_true "reset clears" ((E.timings eng).calls = 0)
@@ -688,6 +729,8 @@ let () =
             test_parallel_determinism_single_eval;
           Alcotest.test_case "25-step trajectory bit-identical" `Quick
             test_parallel_determinism_trajectory;
+          Alcotest.test_case "integrator sweeps bitwise vs serial at 1/2/4"
+            `Quick test_integrator_sweeps_bitwise;
           Alcotest.test_case "backends consistent over a short run" `Quick
             test_engine_backends_consistent;
         ] );

@@ -326,6 +326,156 @@ let test_phases_race_free () =
         (List.length phases >= 15))
     [ 1; 2; 4 ]
 
+(* --- the read-set side of the conflict matrix --- *)
+
+let test_read_write_overlap_raises () =
+  with_pool 2 (fun pool ->
+      let raised =
+        try
+          Exec.parallel_run pool (fun s ->
+              let lo = 10 * s in
+              Exec.declare_write ~slot:s ~resource:"rwrace" ~lo ~hi:(lo + 10)
+                pool;
+              (* Every slot also claims to read the whole array: slot 0's
+                 read overlaps slot 1's write. *)
+              Exec.declare_read ~slot:s ~resource:"rwrace" ~lo:0 ~hi:20 pool);
+          false
+        with Exec.Race msg ->
+          check_true "message names the resource"
+            (contains_sub ~sub:"rwrace" msg);
+          true
+      in
+      check_true "cross-slot read-write overlap raised" raised)
+
+let test_overlapping_reads_ok () =
+  with_pool 2 (fun pool ->
+      (* Reads may overlap freely when nobody writes the resource. *)
+      Exec.parallel_run pool (fun s ->
+          ignore s;
+          Exec.declare_read ~slot:s ~resource:"shared_ro" ~lo:0 ~hi:100 pool))
+
+let test_same_slot_rmw_ok () =
+  with_pool 2 (fun pool ->
+      (* A slot reading its own write range is an ordinary
+         read-modify-write (force accumulation), not a race. *)
+      Exec.parallel_run pool (fun s ->
+          let lo = 50 * s in
+          Exec.declare_read ~slot:s ~resource:"rmw" ~lo ~hi:(lo + 50) pool;
+          Exec.declare_write ~slot:s ~resource:"rmw" ~total:100 ~lo
+            ~hi:(lo + 50) pool))
+
+let test_read_beyond_extent_raises () =
+  with_pool 2 (fun pool ->
+      let raised =
+        try
+          Exec.parallel_run pool (fun s ->
+              let lo = 5 * s in
+              Exec.declare_write ~slot:s ~resource:"short" ~total:10 ~lo
+                ~hi:(lo + 5) pool;
+              (* The read range runs past the declared extent. *)
+              Exec.declare_read ~slot:s ~resource:"short" ~lo ~hi:15 pool);
+          false
+        with Exec.Race _ -> true
+      in
+      check_true "read beyond the declared extent raised" raised)
+
+(* --- phase dataflow --- *)
+
+module DF = Mdsp_verify.Dataflow
+
+let dataflow_report = lazy (DF.run ~slots:[ 1; 2 ] ())
+
+let test_dataflow_certified () =
+  let r = Lazy.force dataflow_report in
+  check_true "acyclic" r.DF.df_acyclic;
+  check_true "invariant across slot counts" r.DF.df_invariant;
+  check_true "no missing phase" (r.DF.df_missing = []);
+  check_true "every phase has a read-set" (r.DF.df_no_reads = []);
+  check_true "every phase has a write-set" (r.DF.df_no_writes = []);
+  check_true "report ok" (DF.ok r);
+  List.iter
+    (fun g ->
+      check_true
+        (Printf.sprintf "exactly the expected phase set at %d slots"
+           g.DF.g_slots)
+        (List.map (fun p -> p.DF.ph_name) g.DF.g_phases
+        = List.sort compare DF.expected_phases))
+    r.DF.df_graphs
+
+let test_dataflow_edges_expected () =
+  let r = Lazy.force dataflow_report in
+  let g = List.hd r.DF.df_graphs in
+  let has e = List.mem e g.DF.g_edges in
+  check_true "rebuild feeds the pair phase"
+    (has ("nbuild", "pair", "nlist.tiles"));
+  check_true "first kick precedes the drift"
+    (has ("integrate.kick1", "integrate.drift", "state.velocities"));
+  check_true "the boxed reduction precedes the second kick"
+    (has ("bonded.reduce", "integrate.kick2", "state.forces"));
+  check_true "the grid pipeline chains into the gather"
+    (has ("gse.phi_scale", "gse.gather", "gse.grid"));
+  check_true "the SoA reduction drains into the store"
+    (has ("soa.reduce", "soa.store", "soa.forces"))
+
+let test_dataflow_dot_deterministic () =
+  let r = Lazy.force dataflow_report in
+  match r.DF.df_graphs with
+  | [ g1; g2 ] ->
+      let d1 = DF.dot g1 and d2 = DF.dot g2 in
+      check_true "DOT nonempty" (String.length d1 > 0);
+      check_true "DOT names the pair edge"
+        (contains_sub ~sub:"\"nbuild\" -> \"pair\"" d1);
+      Alcotest.(check string) "byte-identical DOT at 1 and 2 slots" d1 d2
+  | _ -> Alcotest.fail "expected graphs at two slot counts"
+
+let test_dataflow_seed_race_fails () =
+  let r = DF.run ~slots:[ 2 ] ~seed_race:true () in
+  check_true "seeded" r.DF.df_seeded;
+  check_true "the seeded race is caught and named"
+    (match r.DF.df_failure with
+    | Some msg -> contains_sub ~sub:"seed.race" msg
+    | None -> false);
+  check_true "report fails" (not (DF.ok r))
+
+(* The acyclicity checker itself, property-tested: edges that only point
+   forward in some node order form a DAG; reversing any one of them closes
+   a cycle Kahn's algorithm must find. *)
+let mk_dag_graph n edges =
+  let phases =
+    List.init n (fun i ->
+        {
+          DF.ph_name = Printf.sprintf "p%d" i;
+          ph_reads = [];
+          ph_writes = [];
+          ph_barriers = 1;
+        })
+  in
+  { DF.g_slots = 1; g_phases = phases; g_edges = edges; g_unlabeled = 0 }
+
+let prop_acyclic_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"forward edges are a DAG; one reversed edge is a cycle"
+       QCheck.(
+         pair (int_range 2 8)
+           (small_list (pair (int_range 0 7) (int_range 0 7))))
+       (fun (n, raw) ->
+         let name i = Printf.sprintf "p%d" i in
+         let edges =
+           List.sort_uniq compare
+             (List.filter_map
+                (fun (a, b) ->
+                  let a = a mod n and b = b mod n in
+                  if a < b then Some (name a, name b, "r") else None)
+                raw)
+         in
+         DF.acyclic (mk_dag_graph n edges)
+         &&
+         match edges with
+         | [] -> true
+         | (a, b, _) :: _ ->
+             not (DF.acyclic (mk_dag_graph n ((b, a, "r") :: edges)))))
+
 (* --- the registry --- *)
 
 (* --- fixed-point datapath certifier --- *)
@@ -534,6 +684,26 @@ let () =
             test_map_slots_sanitized;
           Alcotest.test_case "force phases race-free at 1/2/4 slots" `Quick
             test_phases_race_free;
+          Alcotest.test_case "cross-slot read-write overlap raises" `Quick
+            test_read_write_overlap_raises;
+          Alcotest.test_case "overlapping reads allowed" `Quick
+            test_overlapping_reads_ok;
+          Alcotest.test_case "same-slot read-modify-write allowed" `Quick
+            test_same_slot_rmw_ok;
+          Alcotest.test_case "read beyond extent raises" `Quick
+            test_read_beyond_extent_raises;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "happens-before graph certified" `Quick
+            test_dataflow_certified;
+          Alcotest.test_case "expected edges present" `Quick
+            test_dataflow_edges_expected;
+          Alcotest.test_case "DOT deterministic across slot counts" `Quick
+            test_dataflow_dot_deterministic;
+          Alcotest.test_case "seeded race fails the report" `Quick
+            test_dataflow_seed_race_fails;
+          prop_acyclic_sound;
         ] );
       ( "datapath",
         [
