@@ -92,8 +92,16 @@ let set_observer t obs =
      ranges must cover [0, total) exactly, and no declared range (read or
      write) may reach beyond it.
    The scan sorts all ranges by [lo] and walks them carrying the
-   furthest-reaching read and write ranges seen so far; after sorting, any
-   cross-slot conflict shows up against one of the carried ranges. *)
+   furthest-reaching write seen so far plus the furthest-reaching read of
+   each of the two furthest-reaching slots. One carried write suffices:
+   cross-slot write overlaps raise the moment the second write arrives, so
+   any write surviving the walk overlaps only its own slot's writes and
+   carries their slot identity. Reads are different — they overlap each
+   other freely, so the single max-hi read may belong to a later writer's
+   own slot and mask a shorter cross-slot read underneath it. Carrying the
+   top read of the top two distinct slots closes that hole: at most one of
+   the two can be the writer's own, and the other reaches at least as far
+   as any read the trim dropped. *)
 let check_decls san =
   let by_resource : (string, (akind * int * int * int) list ref) Hashtbl.t =
     Hashtbl.create 16
@@ -144,7 +152,7 @@ let check_decls san =
                  overlapping slot %d's %s [%d, %d)"
                 res slot verb lo hi slot0 verb0 lo0 hi0))
       in
-      let rec scan active_w active_r = function
+      let rec scan active_w active_rs = function
         | [] -> ()
         | (kind, slot, lo, hi) :: rest ->
             (match (kind, active_w) with
@@ -155,24 +163,49 @@ let check_decls san =
               ->
                 conflict "reads" slot lo hi "write" slot0 lo0 hi0
             | _ -> ());
-            (match (kind, active_r) with
-            | KWrite, Some (slot0, lo0, hi0) when lo < hi0 && slot0 <> slot
-              ->
-                conflict "writes" slot lo hi "read" slot0 lo0 hi0
-            | _ -> ());
-            let extend active =
-              match active with
-              | Some (_, _, hi0) when hi0 >= hi -> active
-              | _ -> Some (slot, lo, hi)
-            in
-            let active_w, active_r =
+            if kind = KWrite then
+              List.iter
+                (fun (slot0, lo0, hi0) ->
+                  if lo < hi0 && slot0 <> slot then
+                    conflict "writes" slot lo hi "read" slot0 lo0 hi0)
+                active_rs;
+            let active_w, active_rs =
               match kind with
-              | KWrite -> (extend active_w, active_r)
-              | KRead -> (active_w, extend active_r)
+              | KWrite ->
+                  let active_w =
+                    match active_w with
+                    | Some (_, _, hi0) when hi0 >= hi -> active_w
+                    | _ -> Some (slot, lo, hi)
+                  in
+                  (active_w, active_rs)
+              | KRead ->
+                  (* Per-slot max first, then keep the two furthest-reaching
+                     entries — necessarily from distinct slots. *)
+                  let mine =
+                    match
+                      List.find_opt (fun (s, _, _) -> s = slot) active_rs
+                    with
+                    | Some ((_, _, hi0) as r) when hi0 >= hi -> r
+                    | _ -> (slot, lo, hi)
+                  in
+                  let merged =
+                    mine
+                    :: List.filter (fun (s, _, _) -> s <> slot) active_rs
+                  in
+                  let top2 =
+                    match
+                      List.sort
+                        (fun (_, _, h1) (_, _, h2) -> compare h2 h1)
+                        merged
+                    with
+                    | a :: b :: _ -> [ a; b ]
+                    | l -> l
+                  in
+                  (active_w, top2)
             in
-            scan active_w active_r rest
+            scan active_w active_rs rest
       in
-      scan None None sorted;
+      scan None [] sorted;
       match Hashtbl.find_opt totals res with
       | None -> ()
       | Some (total, _) ->

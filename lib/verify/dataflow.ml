@@ -69,6 +69,7 @@ type graph = {
 type report = {
   df_graphs : graph list;
   df_missing : string list;
+  df_unexpected : string list;
   df_no_reads : string list;
   df_no_writes : string list;
   df_acyclic : bool;
@@ -267,6 +268,13 @@ let run ?(slots = [ 1; 2; 4 ]) ?(seed_race = false) () =
     if failure <> None then []
     else List.filter (fun p -> not (List.mem p recorded)) expected_phases
   in
+  (* The closed world cuts both ways: a recorded phase that is not
+     registered in [expected_phases] fails the report just like a
+     registered phase that never ran. *)
+  let unexpected =
+    if failure <> None then []
+    else List.filter (fun p -> not (List.mem p expected_phases)) recorded
+  in
   let coverage sel =
     List.concat_map
       (fun g ->
@@ -284,6 +292,7 @@ let run ?(slots = [ 1; 2; 4 ]) ?(seed_race = false) () =
   {
     df_graphs = graphs;
     df_missing = missing;
+    df_unexpected = unexpected;
     df_no_reads = coverage (fun p -> p.ph_reads);
     df_no_writes = coverage (fun p -> p.ph_writes);
     df_acyclic = List.for_all acyclic graphs;
@@ -294,7 +303,8 @@ let run ?(slots = [ 1; 2; 4 ]) ?(seed_race = false) () =
 
 let ok r =
   r.df_failure = None
-  && r.df_missing = [] && r.df_no_reads = [] && r.df_no_writes = []
+  && r.df_missing = [] && r.df_unexpected = []
+  && r.df_no_reads = [] && r.df_no_writes = []
   && r.df_acyclic && r.df_invariant
   && List.for_all (fun g -> g.g_unlabeled = 0) r.df_graphs
   && r.df_graphs <> []
@@ -350,6 +360,9 @@ let pp_report fmt r =
   if r.df_missing <> [] then
     Format.fprintf fmt "phases: MISSING %s@,"
       (String.concat ", " r.df_missing);
+  if r.df_unexpected <> [] then
+    Format.fprintf fmt "phases: UNREGISTERED %s@,"
+      (String.concat ", " r.df_unexpected);
   if r.df_no_reads <> [] then
     Format.fprintf fmt "phases: NO READ-SET %s@,"
       (String.concat ", " r.df_no_reads);
@@ -366,7 +379,8 @@ let json_rows r =
   :: ("phases.acyclic", r.df_acyclic)
   :: ("phases.invariant", r.df_invariant)
   :: ("phases.coverage",
-      r.df_missing = [] && r.df_no_reads = [] && r.df_no_writes = [])
+      r.df_missing = [] && r.df_unexpected = []
+      && r.df_no_reads = [] && r.df_no_writes = [])
   :: List.map
        (fun g ->
          (Printf.sprintf "phases.slots%d" g.g_slots, acyclic g))

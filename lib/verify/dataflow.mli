@@ -12,8 +12,9 @@
     reductions, the in-place grid pipeline, the pair list — are mapped onto
     canonical resource names first.
 
-    The certificate is fourfold: every phase in {!expected_phases} was
-    observed with both a read-set and a write-set (coverage), the graph is
+    The certificate is fourfold: the observed phase set equals
+    {!expected_phases} exactly — nothing missing, nothing unregistered —
+    with both a read-set and a write-set per phase (coverage), the graph is
     acyclic, its shape (phase names, resource-name sets, edges — footprint
     extents excluded, they legitimately vary with slot count) is identical
     at every slot count, and no barrier raced. *)
@@ -53,6 +54,8 @@ type graph = {
 type report = {
   df_graphs : graph list;  (** one per slot count, in sweep order *)
   df_missing : string list;  (** expected phases never observed *)
+  df_unexpected : string list;
+      (** observed phases not registered in {!expected_phases} *)
   df_no_reads : string list;  (** phases observed without a read-set *)
   df_no_writes : string list;  (** phases observed without a write-set *)
   df_acyclic : bool;

@@ -347,6 +347,31 @@ let test_read_write_overlap_raises () =
       in
       check_true "cross-slot read-write overlap raised" raised)
 
+let test_masked_read_conflict_raises () =
+  with_pool 2 (fun pool ->
+      let raised =
+        try
+          (* Slot 0's whole-array read reaches furthest, so a scan carrying
+             only the single max-hi read would check slot 0's write against
+             slot 0's own read and miss slot 1's shorter one underneath. *)
+          Exec.parallel_run pool (fun s ->
+              if s = 0 then begin
+                Exec.declare_read ~slot:0 ~resource:"masked" ~lo:0 ~hi:100
+                  pool;
+                Exec.declare_write ~slot:0 ~resource:"masked" ~lo:15 ~hi:30
+                  pool
+              end
+              else
+                Exec.declare_read ~slot:1 ~resource:"masked" ~lo:10 ~hi:20
+                  pool);
+          false
+        with Exec.Race msg ->
+          check_true "message names the resource"
+            (contains_sub ~sub:"masked" msg);
+          true
+      in
+      check_true "read masked by the writer's own wider read raised" raised)
+
 let test_overlapping_reads_ok () =
   with_pool 2 (fun pool ->
       (* Reads may overlap freely when nobody writes the resource. *)
@@ -435,6 +460,16 @@ let test_dataflow_seed_race_fails () =
     (match r.DF.df_failure with
     | Some msg -> contains_sub ~sub:"seed.race" msg
     | None -> false);
+  check_true "report fails" (not (DF.ok r))
+
+let test_dataflow_unregistered_phase_fails () =
+  (* At one slot the seeded window is a plain same-slot read-modify-write,
+     so no race fires — the only defect left is that "seed.race" is not in
+     [expected_phases], and that alone must fail the report. *)
+  let r = DF.run ~slots:[ 1 ] ~seed_race:true () in
+  check_true "no race at one slot" (r.DF.df_failure = None);
+  check_true "the unregistered phase is flagged"
+    (r.DF.df_unexpected = [ "seed.race" ]);
   check_true "report fails" (not (DF.ok r))
 
 (* The acyclicity checker itself, property-tested: edges that only point
@@ -686,6 +721,8 @@ let () =
             test_phases_race_free;
           Alcotest.test_case "cross-slot read-write overlap raises" `Quick
             test_read_write_overlap_raises;
+          Alcotest.test_case "read masked by writer's wider read raises"
+            `Quick test_masked_read_conflict_raises;
           Alcotest.test_case "overlapping reads allowed" `Quick
             test_overlapping_reads_ok;
           Alcotest.test_case "same-slot read-modify-write allowed" `Quick
@@ -703,6 +740,8 @@ let () =
             test_dataflow_dot_deterministic;
           Alcotest.test_case "seeded race fails the report" `Quick
             test_dataflow_seed_race_fails;
+          Alcotest.test_case "unregistered phase fails the report" `Quick
+            test_dataflow_unregistered_phase_fails;
           prop_acyclic_sound;
         ] );
       ( "datapath",
