@@ -239,6 +239,7 @@ let e21 () =
   phase "neighbor rebuild" ps.neighbor_s pp.neighbor_s;
   phase "  nbuild (tiled)" ps.nbuild_s pp.nbuild_s;
   phase "integrate (kick/drift)" ps.integrate_s pp.integrate_s;
+  phase "thermostat (Langevin O)" ps.thermostat_s pp.thermostat_s;
   phase "total" (timings_total ps) (timings_total pp);
   T.print t;
   (* The flat (SoA) hot path against the boxed reference kernels on the
@@ -278,6 +279,72 @@ let e21 () =
     "allocation: %.0f minor words/step boxed vs %.0f SoA (pair window: %.0f\n\
      words/step — the flat loops allocate nothing once warm).\n"
     words_boxed words_soa soa_pair_words;
+  (* The sweeps the constraint-coloring certificate lets the pool run: a
+     rigid water box drives SHAKE/RATTLE over the fused 3-atom clusters
+     (one batch — the schedule [mdsp check --constraints] certifies) plus
+     the Berendsen velocity rescale, serial vs domains. Bitwise identity
+     between the two columns' trajectories is test_parallel's job; this
+     table prices the sweeps. *)
+  let cons_steps = 10 in
+  let measure_cons exec =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:8 () in
+    let eng =
+      Mdsp_workload.Workloads.make_engine
+        ~config:
+          {
+            Mdsp_md.Engine.default_config with
+            dt_fs = 1.0;
+            temperature = 300.;
+            thermostat = Mdsp_md.Engine.Berendsen { tau_fs = 100. };
+          }
+        ~seed:42 ~exec sys
+    in
+    Mdsp_md.Engine.run eng 2;
+    Mdsp_md.Engine.reset_timings eng;
+    Mdsp_md.Engine.run eng cons_steps;
+    Mdsp_md.Engine.timings eng
+  in
+  let tm_cons_serial = measure_cons X.serial in
+  let pool = X.create (X.Domains { n = ndomains }) in
+  let tm_cons_par = measure_cons pool in
+  X.shutdown pool;
+  let cs = FC.timings_per_call tm_cons_serial in
+  let cp = FC.timings_per_call tm_cons_par in
+  let t_cons =
+    T.create
+      ~title:
+        "constraint + thermostat sweeps, 1536-atom rigid water box (1 batch)"
+      ~columns:
+        [
+          ("phase", T.Left);
+          ("serial (us)", T.Right);
+          (Printf.sprintf "%d domains (us)" ndomains, T.Right);
+          ("speedup", T.Right);
+        ]
+  in
+  let cons_phase name a b =
+    T.row t_cons
+      [
+        name;
+        T.cell_f ~prec:1 (a *. 1e6);
+        T.cell_f ~prec:1 (b *. 1e6);
+        (if b > 0. then Printf.sprintf "%.2fx" (a /. b) else "-");
+      ]
+  in
+  cons_phase "constraints (SHAKE/RATTLE)" cs.constraints_s cp.constraints_s;
+  cons_phase "thermostat (rescale)" cs.thermostat_s cp.thermostat_s;
+  cons_phase "integrate (kick/drift)" cs.integrate_s cp.integrate_s;
+  T.print t_cons;
+  record "e21.constraints_serial_us" (cs.constraints_s *. 1e6);
+  record
+    (Printf.sprintf "e21.constraints_domains%d_us" ndomains)
+    (cp.constraints_s *. 1e6);
+  record "e21.constraints_speedup"
+    (cs.constraints_s /. Float.max 1e-12 cp.constraints_s);
+  record "e21.thermostat_serial_us" (cs.thermostat_s *. 1e6);
+  record
+    (Printf.sprintf "e21.thermostat_domains%d_us" ndomains)
+    (cp.thermostat_s *. 1e6);
   let pair_speedup = ps.pair_s /. Float.max 1e-12 pp.pair_s in
   let cores = X.recommended_domains () in
   if cores < ndomains then

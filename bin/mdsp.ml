@@ -151,6 +151,12 @@ let print_timings eng =
   if per.nbuild_s > 0. then
     Printf.printf "    nbuild            %10.3f us\n" (per.nbuild_s *. 1e6);
   Printf.printf "  integrate           %10.3f us\n" (per.integrate_s *. 1e6);
+  if per.constraints_s > 0. then
+    Printf.printf "  constraints         %10.3f us\n"
+      (per.constraints_s *. 1e6);
+  if per.thermostat_s > 0. then
+    Printf.printf "  thermostat          %10.3f us\n"
+      (per.thermostat_s *. 1e6);
   Printf.printf "  total               %10.3f us\n"
     (timings_total per *. 1e6);
   (* The Gc meter only wraps the serial SoA pair window. *)
@@ -274,12 +280,19 @@ let run_cmd =
     report ();
     let chunk = max 1 (steps / 10) in
     let remaining = ref steps in
-    while !remaining > 0 do
-      let todo = min chunk !remaining in
-      E.run eng todo;
-      remaining := !remaining - todo;
-      report ()
-    done;
+    (try
+       while !remaining > 0 do
+         let todo = min chunk !remaining in
+         E.run eng todo;
+         remaining := !remaining - todo;
+         report ()
+       done
+     with Mdsp_md.Constraints.Unconverged u ->
+       (* The structured payload names the offending cluster; the CLI adds
+          the workload context. *)
+       Printf.eprintf "mdsp: preset %s: %s\n" preset
+         (Mdsp_md.Constraints.unconverged_message u);
+       exit 1);
     Option.iter Mdsp_md.Trajectory.close_xyz traj;
     if timings then print_timings eng;
     (match checkpoint with
@@ -788,7 +801,43 @@ let dot_arg =
     & info [ "dot" ] ~docv:"FILE"
         ~doc:
           "Write the happens-before graph of the last slot count as a \
-           Graphviz DOT file (deterministic output). Implies $(b,--phases).")
+           Graphviz DOT file (deterministic output). Implies $(b,--phases). \
+           With $(b,--constraints) and without $(b,--phases), writes the \
+           constraint-cluster interference graph of the first registered \
+           envelope instead.")
+
+let seed_cycle_arg =
+  Arg.(
+    value & flag
+    & info [ "seed-cycle" ]
+        ~doc:
+          "Additionally drive a race-free but deliberately cyclic phase \
+           pair through the dataflow sweep; the command must then fail the \
+           acyclicity check (a self-test of the cycle branch). Implies \
+           $(b,--phases).")
+
+let constraints_arg =
+  Arg.(
+    value & flag
+    & info [ "constraints" ]
+        ~doc:
+          "Additionally plan and certify the constraint-cluster schedules \
+           of the registered workload envelopes: fuse constraints sharing \
+           an atom into clusters, color the cluster interference graph into \
+           independent batches, and check the certificate — proper \
+           coloring, every constraint covered exactly once, per-batch atom \
+           footprints disjoint across slots — plus the registered envelope \
+           bounds (max cluster size, batch count).")
+
+let seed_conflict_arg =
+  Arg.(
+    value & flag
+    & info [ "seed-conflict" ]
+        ~doc:
+          "Additionally certify a deliberately broken schedule (two \
+           same-batch units sharing an atom); the command must then fail \
+           (a self-test of the schedule certifier). Implies \
+           $(b,--constraints).")
 
 let check_cmd =
   let doc =
@@ -810,14 +859,22 @@ let check_cmd =
          every parallel phase's declared read/write footprint and certifies \
          the static happens-before graph: full coverage of the expected \
          phase set, acyclicity, and an identical graph shape at every slot \
-         count. Exits non-zero if any check fails.";
+         count. With $(b,--constraints), also certifies the constraint-\
+         cluster coloring schedules the parallel SHAKE/RATTLE sweeps run \
+         (proper coloring, exactly-once cover, cross-slot footprint \
+         disjointness, registered envelope bounds). Exits non-zero if any \
+         check fails.";
     ]
   in
-  let run json seed_hazard slots datapath seed_narrow phases seed_race dot =
-    let phases = phases || seed_race || dot <> None in
+  let run json seed_hazard slots datapath seed_narrow phases seed_race
+      seed_cycle constraints seed_conflict dot =
+    let constraints = constraints || seed_conflict in
+    let phases =
+      phases || seed_race || seed_cycle || (dot <> None && not constraints)
+    in
     let s =
-      Mdsp_verify.Check.run ~seed_hazard ~seed_narrow ~seed_race ~phases
-        ~slots ()
+      Mdsp_verify.Check.run ~seed_hazard ~seed_narrow ~seed_race ~seed_cycle
+        ~seed_conflict ~phases ~constraints ~slots ()
     in
     Format.printf "%a" Mdsp_verify.Check.pp_summary s;
     if datapath then
@@ -827,6 +884,7 @@ let check_cmd =
         s.Mdsp_verify.Check.datapath;
     (match (dot, s.Mdsp_verify.Check.phases) with
     | None, _ -> ()
+    | Some _, _ when not phases -> ()
     | Some _, (None | Some { Mdsp_verify.Dataflow.df_graphs = []; _ }) ->
         prerr_endline "mdsp check: no dataflow graph recorded, no DOT written"
     | Some path, Some { Mdsp_verify.Dataflow.df_graphs = gs; _ } ->
@@ -836,6 +894,24 @@ let check_cmd =
         close_out oc;
         Printf.printf "dataflow graph (%d slots) written to %s\n"
           g.Mdsp_verify.Dataflow.g_slots path);
+    (match dot with
+    | Some path when constraints && not phases ->
+        (* The interference graph of the first registered envelope (the
+           schedule the production solver runs), batches as colors. *)
+        (match Mdsp_verify.Schedule.builtin_envelopes () with
+        | [] -> prerr_endline "mdsp check: no constraint envelope registered"
+        | e :: _ ->
+            let p =
+              Mdsp_verify.Schedule.plan
+                ~name:e.Mdsp_verify.Schedule.env_name
+                (e.Mdsp_verify.Schedule.env_topo ())
+            in
+            let oc = open_out path in
+            output_string oc (Mdsp_verify.Schedule.dot p);
+            close_out oc;
+            Printf.printf "constraint interference graph (%s) written to %s\n"
+              e.Mdsp_verify.Schedule.env_name path)
+    | _ -> ());
     (match json with
     | None -> ()
     | Some path ->
@@ -847,7 +923,8 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc ~man)
     Term.(
       const run $ check_json_arg $ seed_hazard_arg $ slots_arg $ datapath_arg
-      $ seed_narrow_arg $ phases_arg $ seed_race_arg $ dot_arg)
+      $ seed_narrow_arg $ phases_arg $ seed_race_arg $ seed_cycle_arg
+      $ constraints_arg $ seed_conflict_arg $ dot_arg)
 
 (* --- analyze --- *)
 

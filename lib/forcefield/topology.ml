@@ -52,6 +52,95 @@ let is_virtual t i =
 let dof t =
   max 1 ((3 * (n_atoms t - n_virtual_sites t)) - n_constraints t - 3)
 
+type cluster = { cl_constraints : int array; cl_atoms : int array }
+
+let constraint_clusters t =
+  let nc = Array.length t.constraints in
+  (* Union-find over constraint indices, keyed by shared atoms. Union by
+     minimum root, so every component's root is its smallest constraint
+     index and the cluster order below is the topology order. *)
+  let parent = Array.init nc Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  let first_on = Hashtbl.create 64 in
+  Array.iteri
+    (fun k (c : constraint_) ->
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt first_on a with
+          | Some k0 -> union k0 k
+          | None -> Hashtbl.add first_on a k)
+        [ c.ci; c.cj ])
+    t.constraints;
+  let members = Hashtbl.create 64 in
+  for k = nc - 1 downto 0 do
+    let r = find k in
+    let tl = try Hashtbl.find members r with Not_found -> [] in
+    Hashtbl.replace members r (k :: tl)
+  done;
+  let roots = ref [] in
+  for k = nc - 1 downto 0 do
+    if find k = k then roots := k :: !roots
+  done;
+  Array.of_list
+    (List.map
+       (fun r ->
+         let ks = Array.of_list (Hashtbl.find members r) in
+         let atoms = Hashtbl.create 8 in
+         Array.iter
+           (fun k ->
+             let c = t.constraints.(k) in
+             Hashtbl.replace atoms c.ci ();
+             Hashtbl.replace atoms c.cj ())
+           ks;
+         let al = Hashtbl.fold (fun a () acc -> a :: acc) atoms [] in
+         let aa = Array.of_list al in
+         Array.sort compare aa;
+         { cl_constraints = ks; cl_atoms = aa })
+       !roots)
+
+let cluster_adjacency (clusters : cluster array) =
+  let n = Array.length clusters in
+  let adj = Array.make n [] in
+  let touching = Hashtbl.create 64 in
+  (* Any atom shared by two clusters makes them neighbors. Fused clusters
+     are atom-disjoint by construction, so this is empty there — but the
+     certifier recomputes it rather than assuming it. *)
+  Array.iteri
+    (fun k c ->
+      Array.iter
+        (fun a ->
+          let prev = try Hashtbl.find touching a with Not_found -> [] in
+          Hashtbl.replace touching a (k :: prev))
+        c.cl_atoms)
+    clusters;
+  let edges = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ ks ->
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j -> if i <> j then Hashtbl.replace edges (min i j, max i j) ())
+            ks)
+        ks)
+    touching;
+  Hashtbl.iter
+    (fun (i, j) () ->
+      adj.(i) <- j :: adj.(i);
+      adj.(j) <- i :: adj.(j))
+    edges;
+  Array.map (fun l -> List.sort_uniq compare l) adj
+
 module Builder = struct
   type topo = t
 

@@ -85,6 +85,24 @@ val is_virtual : t -> int -> bool
     3 (N - n_virtual_sites) - n_constraints - 3 (COM). *)
 val dof : t -> int
 
+(** A maximal set of constraints coupled through shared atoms (a rigid
+    water is one 3-constraint, 3-atom cluster). [cl_constraints] indexes
+    into [constraints], ascending; [cl_atoms] is the sorted union of the
+    member endpoints — the cluster's SHAKE/RATTLE read/write footprint. *)
+type cluster = { cl_constraints : int array; cl_atoms : int array }
+
+(** Fuse constraints sharing an atom into clusters (union-find). Clusters
+    are returned in topology order (by smallest member constraint index),
+    so the decomposition is deterministic. Distinct clusters are
+    atom-disjoint by construction. *)
+val constraint_clusters : t -> cluster array
+
+(** Interference adjacency over an arbitrary cluster set: clusters are
+    neighbors iff their atom footprints intersect. Sorted neighbor lists.
+    On the output of {!constraint_clusters} this is edgeless; the schedule
+    certifier recomputes it instead of assuming so. *)
+val cluster_adjacency : cluster array -> int list array
+
 (** A builder for assembling topologies incrementally. *)
 module Builder : sig
   type topo = t

@@ -1,35 +1,86 @@
 (** Holonomic distance constraints: SHAKE (positions) and RATTLE
     (velocities).
 
-    Constraints come from the topology (rigid waters, fixed X–H bonds). The
-    iterative solvers converge geometrically for the small coupled clusters
-    that appear in practice (a rigid water is a 3-constraint cluster). *)
+    Constraints come from the topology (rigid waters, fixed X–H bonds),
+    fused into atom-disjoint clusters ({!Mdsp_ff.Topology.constraint_clusters})
+    and colored into independent batches with {!Mdsp_util.Coloring} — the
+    same decomposition the {!Mdsp_verify.Schedule} certifier proves
+    race-free. Each cluster is solved by Gauss–Seidel iteration to its own
+    convergence; clusters within one batch share no atoms, so a batch tiles
+    over the {!Mdsp_util.Exec} pool with a barrier between batches, and the
+    parallel sweep is bitwise identical to the serial one. *)
 
 open Mdsp_util
 
 type t
 
-(** [create topo ~tol ~max_iter] prepares the constraint solver. [tol] is
-    the relative tolerance on squared distances (default 1e-8); [max_iter]
-    defaults to 200. *)
+(** [create topo ~tol ~max_iter] prepares the constraint solver: clusters
+    fused, interference graph colored into batches. [tol] is the relative
+    tolerance on squared distances (default 1e-8); [max_iter] defaults to
+    200. *)
 val create : ?tol:float -> ?max_iter:int -> Mdsp_ff.Topology.t -> t
 
 (** No constraints at all (cheap no-op solver). *)
 val none : t
 
 val count : t -> int
+val n_clusters : t -> int
+
+(** Number of independent batches (colors); 0 without constraints, 1 when
+    clusters are atom-disjoint, as fusion guarantees. *)
+val n_batches : t -> int
+
+(** Largest cluster, in constraints. *)
+val max_cluster_size : t -> int
+
+(** Carried by {!Unconverged}: which cluster failed, after how many
+    iterations, and how badly its constraints are still violated. *)
+type unconverged = {
+  uc_solver : string;  (** ["SHAKE"] or ["RATTLE"] *)
+  uc_cluster : int;  (** cluster id, topology order *)
+  uc_first_constraint : int;  (** smallest constraint index in the cluster *)
+  uc_iters : int;
+  uc_max_violation : float;  (** max |r² − d²| / d² over the cluster *)
+}
+
+(** Raised when a cluster's iteration fails to converge within [max_iter].
+    Structured so the engine and CLI can report the offending cluster with
+    workload context instead of a bare message. *)
+exception Unconverged of unconverged
+
+(** One-line rendering of an {!unconverged} payload (also registered as the
+    exception printer). *)
+val unconverged_message : unconverged -> string
 
 (** [shake t box ~prev positions] adjusts [positions] so all constraints
     hold, applying displacements inversely weighted by mass along the
     constraint direction of the *previous* (pre-step) geometry [prev].
-    Raises [Failure] if the iteration does not converge. *)
+    [exec] (default serial) tiles each batch over the pool — bitwise
+    identical to the serial sweep at any slot count, with declared
+    [cons.prev]/[cons.pos] read/write sets under phase
+    ["constraints.shake"]. Raises {!Unconverged} if a cluster does not
+    converge. *)
 val shake :
-  t -> Pbc.t -> prev:Vec3.t array -> Vec3.t array -> masses:float array -> unit
+  ?exec:Exec.t ->
+  t ->
+  Pbc.t ->
+  prev:Vec3.t array ->
+  Vec3.t array ->
+  masses:float array ->
+  unit
 
 (** [rattle t box positions velocities] projects velocity components along
-    the constraint directions out of [velocities]. *)
+    the constraint directions out of [velocities]; phase
+    ["constraints.rattle"], reads [cons.pos], read-modify-writes
+    [cons.vel]. *)
 val rattle :
-  t -> Pbc.t -> Vec3.t array -> Vec3.t array -> masses:float array -> unit
+  ?exec:Exec.t ->
+  t ->
+  Pbc.t ->
+  Vec3.t array ->
+  Vec3.t array ->
+  masses:float array ->
+  unit
 
 (** Maximum relative violation max |r^2 - d^2| / d^2 over constraints. *)
 val max_violation : t -> Pbc.t -> Vec3.t array -> float

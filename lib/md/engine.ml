@@ -56,6 +56,7 @@ type t = {
   mutable mc_baro_accept : int;
   mutable mc_baro_try : int;
   mutable serial_integrator : bool;
+  mutable serial_constraints : bool;
 }
 
 let now () = Unix.gettimeofday ()
@@ -89,6 +90,7 @@ let create ?(seed = 7) topo fc st cfg =
       mc_baro_accept = 0;
       mc_baro_try = 0;
       serial_integrator = false;
+      serial_constraints = false;
     }
   in
   (match cfg.thermostat with
@@ -106,6 +108,7 @@ let create ?(seed = 7) topo fc st cfg =
 let state t = t.st
 let force_calc t = t.fc
 let set_serial_integrator t b = t.serial_integrator <- b
+let set_serial_constraints t b = t.serial_constraints <- b
 let timings t = Force_calc.timings t.fc
 let reset_timings t = Force_calc.reset_timings t.fc
 let soa_active t = Force_calc.soa_active t.fc
@@ -241,18 +244,71 @@ let berendsen_scale t dt tau =
   if temp <= 0. then 1.
   else sqrt (1. +. (dt /. tau *. ((t.cfg.temperature /. temp) -. 1.)))
 
-(* Ornstein–Uhlenbeck velocity update (the O in BAOAB). *)
+(* The thermostat and constraint sweeps run on whichever executor the
+   engine's force calc carries, unless [serial_constraints] forces the
+   serial reference loops — the switch the bitwise-identity tests flip. *)
+let constraints_exec t =
+  if t.serial_constraints then Exec.serial else Force_calc.exec t.fc
+
+(* Ornstein–Uhlenbeck velocity update (the O in BAOAB). The engine RNG
+   yields one key per step; atom i draws its noise from child stream i of
+   that key, so the sweep is a per-atom-independent map — order- and
+   tiling-invariant, hence bitwise identical serial vs. any slot count. *)
 let langevin_o t gamma dt =
+  let t0 = now () in
   let c1 = exp (-.gamma *. dt) in
   let kt = Units.kt t.cfg.temperature in
   let v = t.st.State.velocities and m = t.st.State.masses in
-  for i = 0 to State.n t.st - 1 do
-    if not (Virtual_sites.is_site t.vsites i) then begin
-      let c2 = sqrt (kt /. m.(i) *. (1. -. (c1 *. c1))) in
-      v.(i) <-
-        Vec3.add (Vec3.scale c1 v.(i)) (Vec3.scale c2 (Rng.gaussian_vec t.rng))
-    end
-  done
+  let n = State.n t.st in
+  let key = Rng.split_key t.rng in
+  let body lo hi =
+    for i = lo to hi - 1 do
+      if not (Virtual_sites.is_site t.vsites i) then begin
+        let c2 = sqrt (kt /. m.(i) *. (1. -. (c1 *. c1))) in
+        v.(i) <-
+          Vec3.add (Vec3.scale c1 v.(i))
+            (Vec3.scale c2 (Rng.gaussian_vec (Rng.derive key i)))
+      end
+    done
+  in
+  let exec = constraints_exec t in
+  if Exec.n_slots exec = 1 && not (Exec.sanitizing exec) then body 0 n
+  else begin
+    let tiles = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots exec) in
+    Exec.parallel_run ~phase:"thermo.langevin" exec (fun s ->
+        let lo, hi = tiles.(s) in
+        Exec.declare_read ~slot:s ~resource:"state.velocities" ~lo ~hi exec;
+        Exec.declare_write ~slot:s ~resource:"state.velocities" ~total:n ~lo
+          ~hi exec;
+        body lo hi)
+  end;
+  Force_calc.add_thermostat_s t.fc (now () -. t0)
+
+(* Velocity rescale (NH chain, Berendsen) as a tiled parallel sweep; the
+   scalar factor comes from a serial reduction beforehand, so the sweep
+   itself is a pure per-atom map. A factor of exactly 1 is the thermostat
+   saying "no-op"; skipping it is bitwise-neutral (v *. 1.0 = v). *)
+let thermo_scale t s =
+  if s <> 1. then begin
+    let t0 = now () in
+    let v = t.st.State.velocities in
+    let n = State.n t.st in
+    let exec = constraints_exec t in
+    if Exec.n_slots exec = 1 && not (Exec.sanitizing exec) then
+      State.scale_velocities t.st s
+    else begin
+      let tiles = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots exec) in
+      Exec.parallel_run ~phase:"thermo.scale" exec (fun sl ->
+          let lo, hi = tiles.(sl) in
+          Exec.declare_read ~slot:sl ~resource:"state.velocities" ~lo ~hi exec;
+          Exec.declare_write ~slot:sl ~resource:"state.velocities" ~total:n
+            ~lo ~hi exec;
+          for i = lo to hi - 1 do
+            v.(i) <- Vec3.scale s v.(i)
+          done)
+    end;
+    Force_calc.add_thermostat_s t.fc (now () -. t0)
+  end
 
 (* --- integrator pieces --- *)
 
@@ -327,20 +383,41 @@ let drift t dt =
   end;
   Force_calc.add_integrate_s t.fc (now () -. t0);
   if Constraints.count t.cons > 0 then begin
-    Constraints.shake t.cons t.st.State.box ~prev:t.prev_positions x
-      ~masses:t.st.State.masses;
-    for i = 0 to n - 1 do
-      if not (Virtual_sites.is_site t.vsites i) then
-        v.(i) <- Vec3.scale (1. /. dt) (Vec3.sub x.(i) t.prev_positions.(i))
-    done
+    let t1 = now () in
+    let cexec = constraints_exec t in
+    Constraints.shake ~exec:cexec t.cons t.st.State.box
+      ~prev:t.prev_positions x ~masses:t.st.State.masses;
+    (* Fold the constraint displacement back into velocities: a per-atom
+       map over positions and saved pre-step positions. *)
+    let fold lo hi =
+      for i = lo to hi - 1 do
+        if not (Virtual_sites.is_site t.vsites i) then
+          v.(i) <- Vec3.scale (1. /. dt) (Vec3.sub x.(i) t.prev_positions.(i))
+      done
+    in
+    if Exec.n_slots cexec = 1 && not (Exec.sanitizing cexec) then fold 0 n
+    else begin
+      let tiles = Exec.tile_bounds ~total:n ~ntiles:(Exec.n_slots cexec) in
+      Exec.parallel_run ~phase:"constraints.fold" cexec (fun s ->
+          let lo, hi = tiles.(s) in
+          Exec.declare_read ~slot:s ~resource:"state.positions" ~lo ~hi cexec;
+          Exec.declare_read ~slot:s ~resource:"integrate.prev" ~lo ~hi cexec;
+          Exec.declare_write ~slot:s ~resource:"state.velocities" ~total:n
+            ~lo ~hi cexec;
+          fold lo hi)
+    end;
+    Force_calc.add_constraints_s t.fc (now () -. t1)
   end;
   if Virtual_sites.count t.vsites > 0 then
     Virtual_sites.place t.vsites t.st.State.box x
 
 let rattle t =
-  if Constraints.count t.cons > 0 then
-    Constraints.rattle t.cons t.st.State.box t.st.State.positions
-      t.st.State.velocities ~masses:t.st.State.masses
+  if Constraints.count t.cons > 0 then begin
+    let t0 = now () in
+    Constraints.rattle ~exec:(constraints_exec t) t.cons t.st.State.box
+      t.st.State.positions t.st.State.velocities ~masses:t.st.State.masses;
+    Force_calc.add_constraints_s t.fc (now () -. t0)
+  end
 
 (* --- barostats --- *)
 
@@ -442,7 +519,7 @@ let step t =
   | None -> begin
       (* Thermostat half-step (NH). *)
       let s = nhc_half t dt in
-      if s <> 1. then State.scale_velocities t.st s;
+      thermo_scale t s;
       (match t.cfg.thermostat with
       | Langevin { gamma_fs } ->
           (* BAOAB: B A O A B. gamma_fs is a rate in 1/fs; the internal
@@ -469,11 +546,11 @@ let step t =
           kick ~phase:"integrate.kick2" t t.acc (dt /. 2.);
           rattle t);
       let s2 = nhc_half t dt in
-      if s2 <> 1. then State.scale_velocities t.st s2;
+      thermo_scale t s2;
       (match t.cfg.thermostat with
       | Berendsen { tau_fs } ->
           let sc = berendsen_scale t dt (Units.fs tau_fs) in
-          State.scale_velocities t.st sc
+          thermo_scale t sc
       | _ -> ())
     end
   | Some k ->
@@ -522,7 +599,7 @@ let step t =
       (match t.cfg.thermostat with
       | Berendsen { tau_fs } ->
           let sc = berendsen_scale t dt (Units.fs tau_fs) in
-          State.scale_velocities t.st sc
+          thermo_scale t sc
       | Langevin { gamma_fs } ->
           let gamma_internal = gamma_fs *. Units.time_unit_fs in
           langevin_o t gamma_internal dt

@@ -58,6 +58,19 @@ val force_calc : t -> Force_calc.t
     slot count. Default false. *)
 val set_serial_integrator : t -> bool -> unit
 
+(** [set_serial_constraints t true] is the same reference switch for the
+    constraint and thermostat sweeps: SHAKE/RATTLE batch sweeps
+    ([constraints.shake], [constraints.rattle]), the constraint velocity
+    fold ([constraints.fold]), the Langevin O-step ([thermo.langevin]) and
+    the velocity rescales ([thermo.scale]) run on the calling domain while
+    force phases keep the calculator's executor. Same-batch constraint
+    clusters are atom-disjoint (the [Mdsp_verify.Schedule] certificate) and
+    each cluster converges independently, and the stochastic O-step draws
+    from per-atom derived streams, so the parallel sweeps are bitwise
+    identical to these serial references at every slot count. Default
+    false. *)
+val set_serial_constraints : t -> bool -> unit
+
 val config : t -> config
 val rng : t -> Rng.t
 

@@ -42,6 +42,8 @@ type timings = {
   mutable neighbor_s : float;
   mutable nbuild_s : float;
   mutable integrate_s : float;
+  mutable constraints_s : float;
+  mutable thermostat_s : float;
   mutable pair_words : float;
   mutable calls : int;
 }
@@ -59,13 +61,15 @@ let zero_timings () =
     neighbor_s = 0.;
     nbuild_s = 0.;
     integrate_s = 0.;
+    constraints_s = 0.;
+    thermostat_s = 0.;
     pair_words = 0.;
     calls = 0;
   }
 
 let timings_total tm =
   tm.pair_s +. tm.bonded_s +. tm.longrange_s +. tm.bias_s +. tm.neighbor_s
-  +. tm.integrate_s
+  +. tm.integrate_s +. tm.constraints_s +. tm.thermostat_s
 
 let timings_per_call tm =
   if tm.calls = 0 then zero_timings ()
@@ -83,6 +87,8 @@ let timings_per_call tm =
       neighbor_s = tm.neighbor_s /. c;
       nbuild_s = tm.nbuild_s /. c;
       integrate_s = tm.integrate_s /. c;
+      constraints_s = tm.constraints_s /. c;
+      thermostat_s = tm.thermostat_s /. c;
       pair_words = tm.pair_words /. c;
       calls = tm.calls;
     }
@@ -238,12 +244,16 @@ let reset_timings t =
   t.tm.neighbor_s <- 0.;
   t.tm.nbuild_s <- 0.;
   t.tm.integrate_s <- 0.;
+  t.tm.constraints_s <- 0.;
+  t.tm.thermostat_s <- 0.;
   t.tm.pair_words <- 0.;
   t.tm.calls <- 0
 
 (* The integrator sweeps live in Engine, outside any [compute] call, so the
    engine charges their wall time here explicitly. *)
 let add_integrate_s t d = t.tm.integrate_s <- t.tm.integrate_s +. d
+let add_constraints_s t d = t.tm.constraints_s <- t.tm.constraints_s +. d
+let add_thermostat_s t d = t.tm.thermostat_s <- t.tm.thermostat_s +. d
 
 let compute_biases t box positions acc =
   List.fold_left

@@ -47,7 +47,11 @@ val zero_energies : energies
     cell-list + pair-list build (a sub-phase, not an additional bucket, so
     {!timings_total} does not add it). [integrate_s] is the integrator's
     position/velocity sweeps (the [integrate.*] phases), charged by the
-    engine via {!add_integrate_s} — the one bucket that is not force work.
+    engine via {!add_integrate_s}; [constraints_s] (SHAKE/RATTLE batch
+    sweeps plus the constraint velocity fold) and [thermostat_s] (Langevin
+    O-step, velocity rescales) are charged the same way via
+    {!add_constraints_s}/{!add_thermostat_s} — the buckets that are not
+    force work.
     [pair_words] is not a time at all:
     it is the cumulative minor-heap allocation (in words, from
     [Gc.minor_words]) of the short-range pair kernels — on the serial SoA
@@ -66,6 +70,8 @@ type timings = {
   mutable neighbor_s : float;
   mutable nbuild_s : float;
   mutable integrate_s : float;
+  mutable constraints_s : float;
+  mutable thermostat_s : float;
   mutable pair_words : float;
   mutable calls : int;
 }
@@ -141,6 +147,14 @@ val reset_timings : t -> unit
     to [integrate_s]. Called by the engine: the sweeps run outside any
     {!compute} call, so they cannot be timed from inside it. *)
 val add_integrate_s : t -> float -> unit
+
+(** Same contract for the SHAKE/RATTLE batch sweeps and the constraint
+    velocity fold ([constraints_s]). *)
+val add_constraints_s : t -> float -> unit
+
+(** Same contract for the thermostat sweeps — Langevin O-step and velocity
+    rescales ([thermostat_s]). *)
+val add_thermostat_s : t -> float -> unit
 
 (** Replace the pair evaluator (FEP lambda switching, machine
     substitution). This also disables the SoA fast path if one was

@@ -1,0 +1,71 @@
+(* Deterministic DSATUR graph coloring.
+
+   The classic heuristic: repeatedly color the uncolored vertex with the
+   highest saturation (number of distinct colors among its neighbors),
+   breaking ties by higher degree and then by lower vertex id, always
+   assigning the smallest color absent from its neighborhood. Every rule is
+   a total order on vertices, so the coloring is a pure function of the
+   adjacency structure — two runs (or two machines) produce the same
+   batches, which is what lets the schedule certificate be byte-stable. *)
+
+let dsatur ~n ~(adj : int list array) =
+  if Array.length adj <> n then invalid_arg "Coloring.dsatur: adj size";
+  let colors = Array.make n (-1) in
+  let degree = Array.map List.length adj in
+  (* Per-vertex set of neighbor colors, as a growable bitmap over color
+     ids; n colors always suffice. *)
+  let neigh_colors = Array.make_matrix n (max n 1) false in
+  let saturation = Array.make n 0 in
+  for _ = 1 to n do
+    (* Pick: max saturation, then max degree, then min id. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if colors.(v) < 0 then
+        let better =
+          !best < 0
+          || saturation.(v) > saturation.(!best)
+          || (saturation.(v) = saturation.(!best)
+             && degree.(v) > degree.(!best))
+        in
+        if better then best := v
+    done;
+    let v = !best in
+    (* Smallest color not used by a neighbor. *)
+    let c = ref 0 in
+    while neigh_colors.(v).(!c) do incr c done;
+    colors.(v) <- !c;
+    List.iter
+      (fun u ->
+        if colors.(u) < 0 && not neigh_colors.(u).(!c) then begin
+          neigh_colors.(u).(!c) <- true;
+          saturation.(u) <- saturation.(u) + 1
+        end)
+      adj.(v)
+  done;
+  colors
+
+let n_colors colors =
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 colors
+
+let proper ~adj colors =
+  try
+    Array.iteri
+      (fun v ns ->
+        List.iter (fun u -> if colors.(v) = colors.(u) then raise Exit) ns)
+      adj;
+    true
+  with Exit -> false
+
+let classes colors =
+  let nc = n_colors colors in
+  let sizes = Array.make nc 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) colors;
+  let out = Array.init nc (fun c -> Array.make sizes.(c) 0) in
+  let fill = Array.make nc 0 in
+  (* Ascending vertex id within each class. *)
+  Array.iteri
+    (fun v c ->
+      out.(c).(fill.(c)) <- v;
+      fill.(c) <- fill.(c) + 1)
+    colors;
+  out

@@ -1,0 +1,25 @@
+(** Deterministic DSATUR graph coloring.
+
+    Colors an undirected graph given as adjacency lists. The selection rule
+    (maximum saturation, ties to maximum degree, then lowest vertex id,
+    smallest available color) is a total order, so the coloring — and any
+    schedule built from it — is a pure function of the graph: identical
+    across runs, slot counts and machines. Used by
+    {!Mdsp_verify.Schedule} to batch constraint clusters into
+    independent sets. *)
+
+(** [dsatur ~n ~adj] colors vertices [0..n-1]; [adj.(v)] lists the
+    neighbors of [v] (symmetric, no self-loops). Returns the color of each
+    vertex, colors numbered from 0. Raises [Invalid_argument] if
+    [Array.length adj <> n]. *)
+val dsatur : n:int -> adj:int list array -> int array
+
+(** Number of distinct colors used (max color + 1; 0 for an empty graph). *)
+val n_colors : int array -> int
+
+(** [proper ~adj colors] checks no edge joins two same-colored vertices. *)
+val proper : adj:int list array -> int array -> bool
+
+(** [classes colors] groups vertices by color: [classes.(c)] holds the
+    vertices of color [c], ascending. *)
+val classes : int array -> int array array

@@ -26,9 +26,11 @@
     over independent 1-D lines), the k-space convolution, and the
     per-particle force gather ([Mdsp_longrange.Gse.reciprocal],
     [Mdsp_longrange.Fft.fft_3d]) — the neighbor-list rebuild, the boxed↔SoA
-    sync, and the integrator position/velocity sweeps
-    ([Mdsp_md.Engine.step]). Constraints (SHAKE/RATTLE), the Langevin
-    O-step and biases stay on the calling domain. *)
+    sync, the integrator position/velocity sweeps, the batched SHAKE/RATTLE
+    cluster sweeps scheduled by the [Mdsp_verify.Schedule] coloring
+    certificate, and the thermostat sweeps — the Langevin O-step on
+    per-atom derived streams and the velocity rescales
+    ([Mdsp_md.Engine.step]). *)
 
 type backend =
   | Serial  (** everything on the calling domain *)

@@ -75,6 +75,24 @@ let split t =
   let seed = Int64.to_int (bits64 t) in
   create (seed lxor 0x5851F42D)
 
+let split_key t = bits64 t
+
+let derive key i =
+  (* Mix the index in with an odd multiplier before the splitmix64
+     expansion so neighboring indices land in uncorrelated streams. The
+     child depends only on (key, i) — never on who asks first — which is
+     what makes per-atom sweeps order- and tiling-independent. *)
+  let st =
+    ref
+      (Int64.logxor key
+         (Int64.mul (Int64.add (Int64.of_int i) 1L) 0xD1B54A32D192ED03L))
+  in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; cached_gauss = 0.; has_gauss = false }
+
 let uniform t =
   (* 53 random bits into [0,1). *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in

@@ -17,6 +17,17 @@ val copy : t -> t
     the parent. Used to give each replica / domain its own stream. *)
 val split : t -> t
 
+(** [split_key t] draws one 64-bit key from the parent stream (advancing it
+    exactly once). Feed it to {!derive} to mint any number of independent
+    child streams without touching the parent again. *)
+val split_key : t -> int64
+
+(** [derive key i] builds the [i]-th child stream of [key] via splitmix64
+    expansion. A pure function of [(key, i)] — the same child regardless of
+    evaluation order — so per-atom stochastic sweeps (the Langevin O-step)
+    stay bitwise identical under any tiling of the atom range. *)
+val derive : int64 -> int -> t
+
 (** The complete generator state — the four xoshiro words plus the Box–Muller
     cache — as an immutable value for checkpointing. Restoring a snapshot
     makes the stream continue bit-for-bit where the snapshot was taken. *)

@@ -289,6 +289,7 @@ type summary = {
   sanitize : sanitize_result list;
   datapath : Fixed_check.report list;
   phases : Dataflow.report option;
+  constraints : Schedule.report list option;
 }
 
 let check_one_kernel k =
@@ -306,7 +307,8 @@ let sanitize_at slots =
       { slots; phases = []; failure = Some msg }
 
 let run ?(seed_hazard = false) ?(seed_narrow = false) ?(seed_race = false)
-    ?(phases = false) ?(slots = [ 1; 2; 4 ]) () =
+    ?(seed_cycle = false) ?(seed_conflict = false) ?(phases = false)
+    ?(constraints = false) ?(slots = [ 1; 2; 4 ]) () =
   let ks = builtin_kernels () in
   let ks = if seed_hazard then ks @ [ hazardous_kernel () ] else ks in
   let envs = builtin_envelopes () in
@@ -332,7 +334,12 @@ let run ?(seed_hazard = false) ?(seed_narrow = false) ?(seed_race = false)
     sanitize = List.map sanitize_at slots;
     datapath;
     phases =
-      (if phases || seed_race then Some (Dataflow.run ~slots ~seed_race ())
+      (if phases || seed_race || seed_cycle then
+         Some (Dataflow.run ~slots ~seed_race ~seed_cycle ())
+       else None);
+    constraints =
+      (if constraints || seed_conflict then
+         Some (Schedule.run ~slots ~seed_conflict ())
        else None);
   }
 
@@ -341,7 +348,8 @@ let ok s =
   && List.for_all Table_check.report_ok s.tables
   && List.for_all (fun r -> r.failure = None) s.sanitize
   && List.for_all Fixed_check.proved s.datapath
-  && match s.phases with None -> true | Some r -> Dataflow.ok r
+  && (match s.phases with None -> true | Some r -> Dataflow.ok r)
+  && match s.constraints with None -> true | Some rs -> Schedule.ok rs
 
 let pp_summary fmt s =
   Format.fprintf fmt "@[<v>";
@@ -360,6 +368,7 @@ let pp_summary fmt s =
     s.sanitize;
   List.iter (Fixed_check.pp_verdict fmt) s.datapath;
   Option.iter (fun r -> Dataflow.pp_report fmt r) s.phases;
+  Option.iter (List.iter (Schedule.pp_report fmt)) s.constraints;
   Format.fprintf fmt "verify: %s@]@."
     (if ok s then "all checks passed" else "FAILED")
 
@@ -390,6 +399,9 @@ let to_json s =
                (Fixed_check.format_names r))
         s.datapath
     @ (match s.phases with None -> [] | Some r -> Dataflow.json_rows r)
+    @ (match s.constraints with
+      | None -> []
+      | Some rs -> Schedule.json_rows rs)
   in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "{\n";

@@ -22,6 +22,8 @@ type summary = {
   datapath : Fixed_check.report list;
   phases : Dataflow.report option;
       (** the phase-dataflow certificate, when requested *)
+  constraints : Schedule.report list option;
+      (** the constraint-schedule certificates, when requested *)
 }
 
 (** The built-in kernel surface: the restraint kernels and the double-well
@@ -56,17 +58,25 @@ val narrow_format : Mdsp_util.Fixed.format
     drives the sanitized parallel phases at each slot count in [slots]
     (default [[1; 2; 4]]). [phases] (default false) additionally runs the
     {!Dataflow} analysis at the same slot counts — coverage, acyclicity and
-    slot-count invariance of the happens-before graph. [seed_hazard]
+    slot-count invariance of the happens-before graph. [constraints]
+    (default false) additionally plans and certifies the registered
+    constraint-schedule envelopes ({!Schedule.run}). [seed_hazard]
     (default false) additionally runs {!hazardous_kernel}; [seed_narrow]
     (default false) additionally certifies each envelope against
     {!narrow_format}; [seed_race] (default false) implies [phases] and
-    appends the deliberately unsound dataflow window — every seeded report
-    is included in the summary and makes it fail. *)
+    appends the deliberately unsound dataflow window; [seed_cycle] (default
+    false) implies [phases] and appends the race-free cyclic phase pair
+    that must fail acyclicity; [seed_conflict] (default false) implies
+    [constraints] and appends the planted same-batch conflict plan — every
+    seeded report is included in the summary and makes it fail. *)
 val run :
   ?seed_hazard:bool ->
   ?seed_narrow:bool ->
   ?seed_race:bool ->
+  ?seed_cycle:bool ->
+  ?seed_conflict:bool ->
   ?phases:bool ->
+  ?constraints:bool ->
   ?slots:int list ->
   unit ->
   summary
@@ -78,5 +88,7 @@ val pp_summary : Format.formatter -> summary -> unit
     0/1 verdict per ["kernel.<name>"], ["table.<name>"],
     ["sanitize.slots<n>"], ["datapath.<workload>.ok"] and
     ["datapath.<workload>.<format>"] key, plus the {!Dataflow.json_rows}
-    ["phases.*"] keys when the dataflow pass ran. *)
+    ["phases.*"] keys when the dataflow pass ran and the
+    {!Schedule.json_rows} ["constraints.*"] keys when the schedule pass
+    ran. *)
 val to_json : summary -> string

@@ -10,6 +10,9 @@ let expected_phases =
     "bonded";
     "bonded.reduce";
     "cell.bin";
+    "constraints.fold";
+    "constraints.rattle";
+    "constraints.shake";
     "decomp.owner";
     "decomp.pairs";
     "decomp.resident";
@@ -35,6 +38,8 @@ let expected_phases =
     "soa.load";
     "soa.reduce";
     "soa.store";
+    "thermo.langevin";
+    "thermo.scale";
   ]
 
 (* Several phases declare their accesses under phase-local labels that
@@ -45,6 +50,9 @@ let expected_phases =
    into dataflow edges. *)
 let canon = function
   | "bonded.reduce" | "gse.gather" -> "state.forces"
+  | "cons.pos" -> "state.positions"
+  | "cons.vel" -> "state.velocities"
+  | "cons.prev" -> "integrate.prev"
   | "soa.reduce" -> "soa.forces"
   | "nlist.pairs" -> "nlist.tiles"
   | "gse.grid_combine" | "gse.convolve" | "gse.phi_scale" | "fft.x_lines"
@@ -153,6 +161,32 @@ let seed_race_window ~exec () =
           a.(i) <- a.(i) +. 1.
         done)
 
+(* A deliberately cyclic phase pair: each phase's writes are properly
+   tiled (no races at any slot count — the conflict matrix stays green),
+   but A reads what B last wrote and vice versa, so the derived
+   happens-before graph contains A -> B -> A. This must fail the
+   acyclicity branch of the certifier — the branch [seed.race] never
+   reaches. Both phases also fail the closed-world registry, but the
+   seeded report asserts the cycle specifically. *)
+let seed_cycle_window ~exec () =
+  let n = 64 in
+  let x = Array.make n 0. and y = Array.make n 0. in
+  let half name ~writes ~reads src dst =
+    let ns = Exec.n_slots exec in
+    let tiles = Exec.tile_bounds ~total:n ~ntiles:ns in
+    Exec.parallel_run ~phase:name exec (fun s ->
+        let lo, hi = tiles.(s) in
+        Exec.declare_read ~slot:s ~resource:reads ~lo ~hi exec;
+        Exec.declare_write ~slot:s ~resource:writes ~total:n ~lo ~hi exec;
+        for i = lo to hi - 1 do
+          dst.(i) <- src.(i) +. 1.
+        done)
+  in
+  fun () ->
+    half "seed.cycle.a" ~writes:"seed.x" ~reads:"seed.y" y x;
+    half "seed.cycle.b" ~writes:"seed.y" ~reads:"seed.x" x y;
+    half "seed.cycle.a" ~writes:"seed.x" ~reads:"seed.y" y x
+
 let graph_of rc ~slots =
   let phases =
     Hashtbl.fold
@@ -176,7 +210,7 @@ let graph_of rc ~slots =
     g_unlabeled = rc.r_unlabeled;
   }
 
-let run_at ~slots ~seed_race =
+let run_at ~slots ~seed_race ~seed_cycle =
   let exec = Phase_check.make_exec ~slots in
   let rc =
     {
@@ -192,6 +226,8 @@ let run_at ~slots ~seed_race =
       let windows =
         Phase_check.windows
         @ (if seed_race then [ ("seed.race", seed_race_window) ] else [])
+        @
+        if seed_cycle then [ ("seed.cycle", seed_cycle_window) ] else []
       in
       List.iter
         (fun (_name, window) ->
@@ -250,11 +286,11 @@ let shape g =
       g.g_phases,
     g.g_edges )
 
-let run ?(slots = [ 1; 2; 4 ]) ?(seed_race = false) () =
+let run ?(slots = [ 1; 2; 4 ]) ?(seed_race = false) ?(seed_cycle = false) () =
   let rec sweep acc = function
     | [] -> (List.rev acc, None)
     | s :: rest -> (
-        match run_at ~slots:s ~seed_race with
+        match run_at ~slots:s ~seed_race ~seed_cycle with
         | g -> sweep (g :: acc) rest
         | exception Exec.Race msg ->
             (List.rev acc, Some (Printf.sprintf "slots=%d: %s" s msg)))
@@ -298,7 +334,7 @@ let run ?(slots = [ 1; 2; 4 ]) ?(seed_race = false) () =
     df_acyclic = List.for_all acyclic graphs;
     df_invariant = invariant;
     df_failure = failure;
-    df_seeded = seed_race;
+    df_seeded = seed_race || seed_cycle;
   }
 
 let ok r =

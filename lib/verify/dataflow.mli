@@ -61,17 +61,22 @@ type report = {
   df_acyclic : bool;
   df_invariant : bool;  (** same shape at every slot count *)
   df_failure : string option;  (** the {!Mdsp_util.Exec.Race}, if any *)
-  df_seeded : bool;  (** the seeded race window was included *)
+  df_seeded : bool;  (** a seeded race or cycle window was included *)
 }
 
-(** [run ?slots ?seed_race ()] drives every {!Phase_check.windows} workload
-    window on a sanitizing executor at each slot count in [slots] (default
-    [[1; 2; 4]]), recording footprints and edges. [seed_race] (default
-    false) appends a deliberately unsound window — tiled writes with a
-    whole-array read on every slot — which must trip the conflict matrix at
-    two or more slots; the resulting failure is captured in [df_failure]
-    and makes the report fail. *)
-val run : ?slots:int list -> ?seed_race:bool -> unit -> report
+(** [run ?slots ?seed_race ?seed_cycle ()] drives every
+    {!Phase_check.windows} workload window on a sanitizing executor at each
+    slot count in [slots] (default [[1; 2; 4]]), recording footprints and
+    edges. [seed_race] (default false) appends a deliberately unsound
+    window — tiled writes with a whole-array read on every slot — which
+    must trip the conflict matrix at two or more slots; the resulting
+    failure is captured in [df_failure] and makes the report fail.
+    [seed_cycle] (default false) appends a race-free but deliberately
+    cyclic phase pair (each reads what the other last wrote), which must
+    fail the acyclicity branch — [df_acyclic] goes false at every slot
+    count, including 1. *)
+val run :
+  ?slots:int list -> ?seed_race:bool -> ?seed_cycle:bool -> unit -> report
 
 (** Kahn's-algorithm acyclicity check on one graph. *)
 val acyclic : graph -> bool

@@ -126,10 +126,46 @@ let service_slice ~exec () =
    each slot's own result cell. *)
 let collective ~exec () = fun () -> ignore (Exec.map_slots exec (fun s -> s))
 
+(* One velocity-Verlet step of a rigid water box with a Berendsen
+   thermostat on the boxed path: the batched SHAKE/RATTLE cluster sweeps,
+   the constraint velocity fold, and the end-of-step thermostat velocity
+   rescale. (step.soa covers the same constraint phases on the SoA path,
+   but never rescales — No_thermostat.) *)
+let step_thermo ~exec () =
+  let cfg =
+    {
+      E.default_config with
+      E.dt_fs = 1.0;
+      temperature = 300.;
+      thermostat = E.Berendsen { tau_fs = 100. };
+    }
+  in
+  let eng = W.make_engine ~config:cfg ~seed:3 ~exec (W.water_box ~n_side:2 ()) in
+  fun () -> E.step eng
+
+(* One BAOAB Langevin step of an unconstrained LJ fluid: the stochastic
+   O-step sweep with its per-atom derived streams. Constraint-free on
+   purpose — BAOAB runs RATTLE both before and after the O-step, so a
+   constrained system would put rattle on both sides of the drift in one
+   window and manufacture a by-name cycle no single sweep contains. *)
+let step_langevin ~exec () =
+  let cfg =
+    {
+      E.default_config with
+      E.dt_fs = 2.0;
+      temperature = 120.;
+      thermostat = E.Langevin { gamma_fs = 0.02 };
+    }
+  in
+  let eng = W.make_engine ~config:cfg ~seed:17 ~exec (W.lj_fluid ~n:64 ()) in
+  fun () -> E.step eng
+
 let windows =
   [
     ("step.soa", step_soa);
     ("step.boxed", step_boxed);
+    ("step.thermo", step_thermo);
+    ("step.langevin", step_langevin);
     ("rebuild.soa", rebuild_soa);
     ("soa.sync", soa_sync);
     ("decomp.frame", decomp_frame);
@@ -166,6 +202,9 @@ let phase_labels =
     "state.velocities";
     "state.forces";
     "integrate.prev";
+    "cons.pos";
+    "cons.vel";
+    "cons.prev";
     "decomp.owner";
     "decomp.resident";
     "decomp.pairs";

@@ -4,7 +4,9 @@
     stack and the engine — pair tiles, 1-4 pairs, bonded tiles, per-atom
     reductions, the GSE grid pipeline (spread / combine / FFT sweeps /
     convolve / phi scale / gather), the boxed<->SoA sync, the integrator
-    kick/drift sweeps, the decomposition scans, service-scheduler batches
+    kick/drift sweeps, the batched SHAKE/RATTLE cluster sweeps with the
+    constraint velocity fold, the thermostat sweeps (Langevin O-step,
+    velocity rescale), the decomposition scans, service-scheduler batches
     and the bare collective — on a pool created with
     [Exec.create ~sanitize:true]. In that mode each slot declares the index
     ranges it writes and reads, and every barrier checks the full conflict

@@ -17,6 +17,9 @@ test -s /tmp/mdsp-timings.json
 grep -q 'e21\.lr_spread_serial_us' /tmp/mdsp-timings.json
 grep -q 'e21\.pair_soa_serial_us' /tmp/mdsp-timings.json
 grep -q 'e21\.integrate_serial_us' /tmp/mdsp-timings.json
+grep -q 'e21\.constraints_serial_us' /tmp/mdsp-timings.json
+grep -q 'e21\.constraints_domains4_us' /tmp/mdsp-timings.json
+grep -q 'e21\.thermostat_serial_us' /tmp/mdsp-timings.json
 
 # The SoA hot path must not be slower than the boxed kernels on the pair
 # phase, and the Gc-metered serial SoA pair window must allocate exactly
@@ -68,8 +71,37 @@ grep -q '"phases\.coverage": 1' /tmp/mdsp-phases.json
 dune exec bin/mdsp.exe -- check --phases --slots 4 \
   --dot /tmp/mdsp-phases-4.dot >/dev/null
 cmp /tmp/mdsp-phases-1.dot /tmp/mdsp-phases-4.dot
+# The batched constraint sweeps and thermostat sweeps are pool phases now;
+# the rendered graph must carry them and their ordering edges.
+grep -q '"constraints\.shake"' /tmp/mdsp-phases-1.dot
+grep -q '"constraints\.rattle"' /tmp/mdsp-phases-1.dot
+grep -q '"thermo\.langevin"' /tmp/mdsp-phases-1.dot
+grep -q '"thermo\.scale"' /tmp/mdsp-phases-1.dot
 if dune exec bin/mdsp.exe -- check --seed-race --slots 2 >/dev/null 2>&1; then
   echo "ci: mdsp check --seed-race unexpectedly passed" >&2
+  exit 1
+fi
+# The planted cyclic phase pair is race-free, so the only branch that can
+# reject it is acyclicity — and it must, even at one slot.
+if dune exec bin/mdsp.exe -- check --seed-cycle --slots 1 >/dev/null 2>&1; then
+  echo "ci: mdsp check --seed-cycle unexpectedly passed" >&2
+  exit 1
+fi
+
+# Constraint-schedule gate: plan and certify the coloring schedules the
+# parallel SHAKE/RATTLE sweeps run (proper coloring, exactly-once cover,
+# cross-slot footprint disjointness, registered cluster/batch envelopes),
+# and require the planted same-batch conflict to fail certification.
+dune exec bin/mdsp.exe -- check --constraints --slots 1 \
+  --json /tmp/mdsp-constraints.json >/dev/null
+test -s /tmp/mdsp-constraints.json
+grep -q '"constraints\.ok": 1' /tmp/mdsp-constraints.json
+grep -q '"constraints\.water6k\.ok": 1' /tmp/mdsp-constraints.json
+grep -q '"constraints\.water6k\.disjoint": 1' /tmp/mdsp-constraints.json
+grep -q '"constraints\.water6k\.envelope": 1' /tmp/mdsp-constraints.json
+grep -q '"constraints\.chain10k\.ok": 1' /tmp/mdsp-constraints.json
+if dune exec bin/mdsp.exe -- check --seed-conflict --slots 1 >/dev/null 2>&1; then
+  echo "ci: mdsp check --seed-conflict unexpectedly passed" >&2
   exit 1
 fi
 

@@ -107,6 +107,47 @@ let test_rattle_removes_radial_velocity () =
 let test_constraints_none () =
   Alcotest.(check int) "no constraints" 0 (Constraints.count Constraints.none)
 
+let test_shake_unconverged_structured () =
+  (* Three constraints violating the triangle inequality (1 + 1 < 3) can
+     never all hold, so SHAKE must give up with the structured payload —
+     naming the fused cluster — rather than silently returning broken
+     geometry. *)
+  let b = Mdsp_ff.Topology.Builder.create () in
+  Mdsp_ff.Topology.Builder.set_lj_types b [| (0.1, 1.0) |];
+  for _ = 1 to 3 do
+    ignore
+      (Mdsp_ff.Topology.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0
+         ~name:"X")
+  done;
+  Mdsp_ff.Topology.Builder.add_constraint b ~i:0 ~j:1 ~dist:1.;
+  Mdsp_ff.Topology.Builder.add_constraint b ~i:1 ~j:2 ~dist:1.;
+  Mdsp_ff.Topology.Builder.add_constraint b ~i:0 ~j:2 ~dist:3.;
+  let topo = Mdsp_ff.Topology.Builder.finish b in
+  let cons = Constraints.create ~max_iter:25 topo in
+  Alcotest.(check int) "one fused cluster" 1 (Constraints.n_clusters cons);
+  let box = Pbc.cubic 50. in
+  let masses = Mdsp_ff.Topology.masses topo in
+  let pos =
+    [| Vec3.make 0. 0. 0.; Vec3.make 1. 0. 0.; Vec3.make 2. 0. 0. |]
+  in
+  let prev = Array.copy pos in
+  match Constraints.shake cons box ~prev pos ~masses with
+  | () -> Alcotest.fail "expected Constraints.Unconverged"
+  | exception Constraints.Unconverged u ->
+      Alcotest.(check string) "solver named" "SHAKE" u.Constraints.uc_solver;
+      Alcotest.(check int) "cluster id" 0 u.Constraints.uc_cluster;
+      Alcotest.(check int) "first constraint" 0
+        u.Constraints.uc_first_constraint;
+      Alcotest.(check int) "iteration budget spent" 25 u.Constraints.uc_iters;
+      check_true "residual violation reported"
+        (u.Constraints.uc_max_violation > 0.1);
+      let msg = Constraints.unconverged_message u in
+      check_true "message names the cluster"
+        (let sub = "cluster" in
+         let n = String.length sub and m = String.length msg in
+         let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+         go 0)
+
 (* --- Engines on the LJ fluid --- *)
 
 let test_nve_energy_conservation () =
@@ -218,8 +259,13 @@ let test_velocity_distribution_maxwell () =
   let kt_over_m = Units.kt 120. /. 39.948 in
   check_close ~rel:0.05 "velocity variance = kT/m" kt_over_m
     (Stats.Online.variance acc);
+  (* Langevin dynamics does not conserve momentum, so each snapshot's
+     per-atom mean is the COM velocity — an OU walk with std
+     sigma/sqrt(64) — and the pooled mean has a standard error near
+     0.0125 sigma even with perfectly decorrelated snapshots. Bound at
+     4 of those standard errors. *)
   check_true "mean near zero"
-    (abs_float (Stats.Online.mean acc) < 0.01 *. sqrt kt_over_m)
+    (abs_float (Stats.Online.mean acc) < 0.05 *. sqrt kt_over_m)
 
 let test_com_removal () =
   let sys = Mdsp_workload.Workloads.lj_fluid ~n:64 () in
@@ -700,6 +746,8 @@ let () =
           Alcotest.test_case "RATTLE projects velocities" `Quick
             test_rattle_removes_radial_velocity;
           Alcotest.test_case "none" `Quick test_constraints_none;
+          Alcotest.test_case "unconverged SHAKE names its cluster" `Quick
+            test_shake_unconverged_structured;
         ] );
       ( "integration",
         [

@@ -279,6 +279,122 @@ let test_integrator_sweeps_bitwise () =
         (vel_p = vel_s))
     [ 1; 2; 4 ]
 
+let test_constraint_sweeps_bitwise () =
+  (* The batched SHAKE/RATTLE cluster sweeps, the constraint velocity fold
+     and the Langevin O-step all run over the pool; the coloring
+     certificate (Mdsp_verify.Schedule) says same-batch clusters are
+     atom-disjoint and the O-step uses per-atom derived streams, so the
+     tiled sweeps must reproduce the serial solver bit-for-bit at every
+     slot count — same pool for the forces, only the constraint/thermostat
+     executor differs. *)
+  let run ~slots ~serial =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:3 () in
+    let exec =
+      if slots = 1 then Exec.serial
+      else Exec.create (Exec.Domains { n = slots })
+    in
+    let cfg =
+      {
+        E.default_config with
+        dt_fs = 1.0;
+        temperature = 300.;
+        thermostat = E.Langevin { gamma_fs = 0.02 };
+      }
+    in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:11 ~exec sys in
+    E.set_serial_constraints eng serial;
+    E.run eng 20;
+    let st = E.state eng in
+    let pos = Array.copy st.Mdsp_md.State.positions in
+    let vel = Array.copy st.Mdsp_md.State.velocities in
+    if slots > 1 then Exec.shutdown exec;
+    (pos, vel)
+  in
+  List.iter
+    (fun slots ->
+      let pos_p, vel_p = run ~slots ~serial:false in
+      let pos_s, vel_s = run ~slots ~serial:true in
+      check_true
+        (Printf.sprintf "positions bitwise at %d slots" slots)
+        (pos_p = pos_s);
+      check_true
+        (Printf.sprintf "velocities bitwise at %d slots" slots)
+        (vel_p = vel_s))
+    [ 1; 2; 4 ]
+
+let test_water6k_constraint_sweeps_bitwise () =
+  (* The registry workload the schedule gate certifies: 2197 rigid waters
+     fused into one batch, Berendsen rescale at the end of the step. Two
+     steps suffice — a cross-slot disagreement in the very first SHAKE
+     batch is already a bitwise diff. *)
+  let run ~slots ~serial =
+    let sys = Mdsp_workload.Workloads.water_box ~n_side:13 () in
+    let exec =
+      if slots = 1 then Exec.serial
+      else Exec.create (Exec.Domains { n = slots })
+    in
+    let cfg =
+      {
+        E.default_config with
+        dt_fs = 1.0;
+        temperature = 300.;
+        thermostat = E.Berendsen { tau_fs = 100. };
+      }
+    in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:3 ~exec sys in
+    E.set_serial_constraints eng serial;
+    E.run eng 2;
+    let st = E.state eng in
+    let pos = Array.copy st.Mdsp_md.State.positions in
+    let vel = Array.copy st.Mdsp_md.State.velocities in
+    if slots > 1 then Exec.shutdown exec;
+    (pos, vel)
+  in
+  List.iter
+    (fun slots ->
+      let pos_p, vel_p = run ~slots ~serial:false in
+      let pos_s, vel_s = run ~slots ~serial:true in
+      check_true
+        (Printf.sprintf "water6k positions bitwise at %d slots" slots)
+        (pos_p = pos_s);
+      check_true
+        (Printf.sprintf "water6k velocities bitwise at %d slots" slots)
+        (vel_p = vel_s))
+    [ 1; 4 ]
+
+let test_chain10k_thermostat_bitwise () =
+  (* chain10k carries no constraints at all, so flipping the switch
+     isolates the thermostat sweeps: the per-atom derived Langevin
+     streams must make the O-step independent of the tiling. *)
+  let run ~slots ~serial =
+    let sys = Mdsp_workload.Workloads.bead_chain ~n_beads:256 ~n_total:10_000 () in
+    let exec =
+      if slots = 1 then Exec.serial
+      else Exec.create (Exec.Domains { n = slots })
+    in
+    let cfg =
+      {
+        E.default_config with
+        dt_fs = 2.0;
+        temperature = 120.;
+        thermostat = E.Langevin { gamma_fs = 0.02 };
+      }
+    in
+    let eng = Mdsp_workload.Workloads.make_engine ~config:cfg ~seed:21 ~exec sys in
+    E.set_serial_constraints eng serial;
+    E.run eng 3;
+    let st = E.state eng in
+    let vel = Array.copy st.Mdsp_md.State.velocities in
+    if slots > 1 then Exec.shutdown exec;
+    vel
+  in
+  List.iter
+    (fun slots ->
+      check_true
+        (Printf.sprintf "chain10k velocities bitwise at %d slots" slots)
+        (run ~slots ~serial:false = run ~slots ~serial:true))
+    [ 1; 4 ]
+
 let test_engine_backends_consistent () =
   (* Short run: backends may differ only by rounding, which cannot grow far
      in a few steps. *)
@@ -435,7 +551,8 @@ let test_gse_subphase_timings () =
     (abs_float
        (timings_total tm
        -. (tm.pair_s +. tm.bonded_s +. tm.longrange_s +. tm.bias_s
-          +. tm.neighbor_s +. tm.integrate_s))
+          +. tm.neighbor_s +. tm.integrate_s +. tm.constraints_s
+          +. tm.thermostat_s))
     < 1e-12);
   E.reset_timings eng;
   check_true "reset clears sub-phases" ((E.timings eng).lr_spread_s = 0.);
@@ -731,6 +848,12 @@ let () =
             test_parallel_determinism_trajectory;
           Alcotest.test_case "integrator sweeps bitwise vs serial at 1/2/4"
             `Quick test_integrator_sweeps_bitwise;
+          Alcotest.test_case "constraint sweeps bitwise vs serial at 1/2/4"
+            `Quick test_constraint_sweeps_bitwise;
+          Alcotest.test_case "water6k constraint sweeps bitwise" `Quick
+            test_water6k_constraint_sweeps_bitwise;
+          Alcotest.test_case "chain10k thermostat sweeps bitwise" `Quick
+            test_chain10k_thermostat_bitwise;
           Alcotest.test_case "backends consistent over a short run" `Quick
             test_engine_backends_consistent;
         ] );

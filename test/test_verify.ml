@@ -511,6 +511,101 @@ let prop_acyclic_sound =
          | (a, b, _) :: _ ->
              not (DF.acyclic (mk_dag_graph n ((b, a, "r") :: edges)))))
 
+let test_dataflow_seed_cycle_fails () =
+  (* The planted cyclic pair is race-free — its tiles are sound — so the
+     only defect the acyclicity branch can blame is the cycle itself, and
+     it must find it even at one slot. *)
+  let r = DF.run ~slots:[ 1 ] ~seed_cycle:true () in
+  check_true "seeded" r.DF.df_seeded;
+  check_true "no race" (r.DF.df_failure = None);
+  check_true "acyclicity fails" (not r.DF.df_acyclic);
+  check_true "report fails" (not (DF.ok r));
+  let g = List.hd r.DF.df_graphs in
+  check_true "the planted a->b edge is derived"
+    (List.mem ("seed.cycle.a", "seed.cycle.b", "seed.x") g.DF.g_edges);
+  check_true "the planted b->a edge is derived"
+    (List.mem ("seed.cycle.b", "seed.cycle.a", "seed.y") g.DF.g_edges)
+
+(* --- constraint schedules --- *)
+
+module Sched = Mdsp_verify.Schedule
+module TP = Mdsp_ff.Topology
+
+let test_schedule_builtins_certified () =
+  let reports = Sched.run ~slots:[ 1; 2; 4 ] () in
+  check_true "all builtin envelopes certified" (Sched.ok reports);
+  let water = List.find (fun r -> r.Sched.rp_name = "water6k") reports in
+  check_true "water6k fuses into 3-constraint clusters"
+    (water.Sched.rp_max_cluster = 3);
+  check_true "fused water clusters are atom-disjoint: one batch"
+    (water.Sched.rp_n_batches = 1);
+  check_true "every constraint clustered"
+    (water.Sched.rp_n_constraints = 3 * water.Sched.rp_n_clusters);
+  let chain = List.find (fun r -> r.Sched.rp_name = "chain10k") reports in
+  check_true "chain10k has the empty schedule"
+    (chain.Sched.rp_n_constraints = 0 && chain.Sched.rp_n_batches = 0)
+
+let test_schedule_water_triangle () =
+  (* Unfused, every rigid water is a triangle: three mutually adjacent
+     single-constraint units per molecule, so DSATUR needs exactly three
+     batches — disjoint triangles all reuse the same three colors. *)
+  let topo =
+    (Mdsp_workload.Workloads.water_box ~n_side:2 ())
+      .Mdsp_workload.Workloads.topo
+  in
+  let p = Sched.plan ~fuse:false ~name:"water8" topo in
+  check_true "one unit per constraint"
+    (Array.length p.Sched.pl_units = Array.length topo.TP.constraints);
+  check_true "three batches" (Array.length p.Sched.pl_batches = 3);
+  check_true "certified" (Sched.cert_ok (Sched.certify p));
+  let d = Sched.dot p in
+  check_true "DOT names the triangle edge" (contains_sub ~sub:"u0 -- u1" d)
+
+let test_schedule_seed_conflict_fails () =
+  let c = Sched.certify (Sched.seed_conflict_plan ()) in
+  check_true "planted same-batch neighbors fail the proper check"
+    (not c.Sched.crt_proper);
+  check_true "and the cross-slot footprint check"
+    (not c.Sched.crt_disjoint);
+  check_true "certificate fails" (not (Sched.cert_ok c));
+  check_true "violations name the batch"
+    (List.exists (contains_sub ~sub:"batch") c.Sched.crt_violations)
+
+(* Random constraint topologies: the unfused coloring is always proper
+   over the recomputed adjacency, and both the unfused and the fused
+   (production) plans pass the full certificate. *)
+let prop_schedule_certified =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"random topologies: coloring proper, plans certified"
+       QCheck.(
+         pair (int_range 3 24)
+           (small_list (pair (int_range 0 23) (int_range 0 23))))
+       (fun (n, raw) ->
+         let edges =
+           List.sort_uniq compare
+             (List.filter_map
+                (fun (a, b) ->
+                  let a = a mod n and b = b mod n in
+                  if a < b then Some (a, b) else None)
+                raw)
+         in
+         let b = TP.Builder.create () in
+         TP.Builder.set_lj_types b [| (0.1, 1.0) |];
+         for _ = 1 to n do
+           ignore
+             (TP.Builder.add_atom b ~mass:1. ~charge:0. ~type_id:0 ~name:"X")
+         done;
+         List.iter
+           (fun (i, j) -> TP.Builder.add_constraint b ~i ~j ~dist:1.)
+           edges;
+         let topo = TP.Builder.finish b in
+         let p = Sched.plan ~fuse:false ~name:"prop" topo in
+         let adj = TP.cluster_adjacency p.Sched.pl_units in
+         Mdsp_util.Coloring.proper ~adj p.Sched.pl_colors
+         && Sched.cert_ok (Sched.certify p)
+         && Sched.cert_ok (Sched.certify (Sched.plan ~name:"prop-fused" topo))))
+
 (* --- the registry --- *)
 
 (* --- fixed-point datapath certifier --- *)
@@ -742,7 +837,19 @@ let () =
             test_dataflow_seed_race_fails;
           Alcotest.test_case "unregistered phase fails the report" `Quick
             test_dataflow_unregistered_phase_fails;
+          Alcotest.test_case "seeded cycle fails acyclicity" `Quick
+            test_dataflow_seed_cycle_fails;
           prop_acyclic_sound;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "builtin envelopes certified" `Quick
+            test_schedule_builtins_certified;
+          Alcotest.test_case "unfused water is a 3-color triangle" `Quick
+            test_schedule_water_triangle;
+          Alcotest.test_case "seeded conflict fails the certificate" `Quick
+            test_schedule_seed_conflict_fails;
+          prop_schedule_certified;
         ] );
       ( "datapath",
         [
